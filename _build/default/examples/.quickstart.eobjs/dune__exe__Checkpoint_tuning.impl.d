@@ -1,0 +1,1 @@
+examples/checkpoint_tuning.ml: Adaptive Checkpointing Cyclesteal List Model Printf String

@@ -1,0 +1,1 @@
+examples/laptop_loan.ml: Baselines Cyclesteal Dp Game List Model Nonadaptive Policy Printf Schedule String

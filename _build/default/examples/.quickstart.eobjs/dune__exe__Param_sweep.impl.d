@@ -1,0 +1,1 @@
+examples/param_sweep.ml: Adaptive Csutil Cyclesteal Dp Float Game List Model Policy Printf Schedule

@@ -1,0 +1,1 @@
+examples/param_sweep.mli:

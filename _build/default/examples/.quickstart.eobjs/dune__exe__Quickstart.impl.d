@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cyclesteal Format Game Guidelines List Model Policy Printf Schedule

@@ -1,0 +1,1 @@
+examples/render_farm.ml: Adversary Baselines Capacity Csutil Cyclesteal Format Game List Model Nowsim Policy Printf Workload

@@ -1,0 +1,76 @@
+(* Checkpoint tuning: how much is a cheap checkpoint mechanism worth?
+
+   Scenario: a genome-alignment batch borrowed onto a lab workstation
+   for U = 4 hours.  A full work hand-off (ship the query set, collect
+   alignments) costs c = 60 s, but the aligner can also stream partial
+   results back as it goes -- an incremental checkpoint costing h
+   seconds, for several candidate values of h (how aggressively results
+   are compressed).  The owner may reclaim the machine up to p = 3
+   times.
+
+   The example tunes the checkpoint interval, quantifies the guaranteed
+   win over the per-batch-only base model (both in closed form and on
+   the exact integer-grid game), and shows where investing in a cheaper
+   checkpoint path stops paying.
+
+   Run with:  dune exec examples/checkpoint_tuning.exe *)
+
+open Cyclesteal
+
+let c = 60.
+let base = Model.params ~c
+let u = 4. *. 3600.
+let p = 3
+
+let () =
+  Printf.printf
+    "Checkpoint tuning: U = %.0f s, full hand-off c = %.0f s, p = %d reclaims.\n\n"
+    u c p;
+
+  (* 1. The base model's guarantee (checkpoints only at batch ends). *)
+  let base_w = Adaptive.approx_value base ~p u in
+  Printf.printf "base model (checkpoint = full hand-off): %.0f s guaranteed (%.1f%%)\n\n"
+    base_w (100. *. base_w /. u);
+
+  (* 2. Sweep the incremental-checkpoint cost. *)
+  Printf.printf "%8s %14s %16s %14s %12s\n" "h (s)" "interval s*" "W guaranteed"
+    "vs base" "loss ratio";
+  List.iter
+    (fun h ->
+       let cp = Checkpointing.params base ~h in
+       let s_star = Checkpointing.optimal_segment cp ~u ~p in
+       let w = Checkpointing.closed_form cp ~u ~p in
+       Printf.printf "%8.1f %14.0f %16.0f %+13.0f %12.3f\n" h s_star w (w -. base_w)
+         (Checkpointing.loss_ratio cp ~u ~p))
+    [ 60.; 30.; 10.; 5.; 1.; 0.25 ];
+
+  (* 3. Exact cross-check on the integer grid (1-second ticks would be
+     14400 cells; use 4-second ticks). *)
+  let tick = 4. in
+  let l = int_of_float (u /. tick) in
+  let c_ticks = int_of_float (c /. tick) in
+  Printf.printf "\nexact game values (grid of %.0f-second ticks):\n" tick;
+  List.iter
+    (fun h_ticks ->
+       let t = Checkpointing.solve ~c_ticks ~h_ticks ~max_p:p ~max_l:l in
+       let w = float_of_int (Checkpointing.value t ~p ~l) *. tick in
+       let cp = Checkpointing.params base ~h:(float_of_int h_ticks *. tick) in
+       Printf.printf "  h = %3.0f s: exact %.0f s vs closed form %.0f s\n"
+         (float_of_int h_ticks *. tick)
+         w
+         (Checkpointing.closed_form cp ~u ~p))
+    [ 1; 3; 8; 15 ];
+
+  (* 4. The diminishing-returns story: loss vs h on a log sweep. *)
+  Printf.printf
+    "\nrule of thumb: the sqrt-loss scales as sqrt(h); halving h buys\n\
+     ~29%% less loss until the fixed (p+1)c re-entry tax dominates:\n";
+  List.iter
+    (fun h ->
+       let cp = Checkpointing.params base ~h in
+       let loss = u -. Checkpointing.closed_form cp ~u ~p in
+       let fixed = float_of_int (p + 1) *. c in
+       let bar = String.make (int_of_float (loss /. 40.)) '#' in
+       Printf.printf "  h = %6.2f s: loss %6.0f s (fixed part %.0f)  %s\n" h loss
+         fixed bar)
+    [ 60.; 15.; 4.; 1.; 0.25 ]

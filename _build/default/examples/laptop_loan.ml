@@ -1,0 +1,110 @@
+(* Laptop loan: the paper's motivating draconian contract.
+
+   "Such draconian contracts are inevitable when workstation B is a
+   laptop that can be unplugged from the network."
+
+   A colleague lends us their laptop over a long meeting (90 minutes),
+   but they may grab it back up to three times (to check mail...), and
+   unplugging kills whatever was running.  Setup costs a hefty 2 minutes
+   per batch over conference Wi-Fi.  Is the loan worth anything, and how
+   should batches be sized?
+
+   This example walks the short-lifespan / high-overhead corner of the
+   model where Proposition 4.1(c) bites, then shows how the guaranteed
+   value grows as the contract improves.
+
+   Run with:  dune exec examples/laptop_loan.exe *)
+
+open Cyclesteal
+
+let c = 120. (* 2-minute setup *)
+let params = Model.params ~c
+
+let minutes x = x *. 60.
+
+(* At laptop scale U is only a small multiple of (p+1)c, where the
+   asymptotic guidelines fade; the exact integer-grid optimum is cheap
+   there, so solve it once (5-second ticks: c = 24 ticks) and schedule
+   optimally. *)
+let dp = Dp.solve ~c:24 ~max_p:5 ~max_l:(int_of_float (minutes 90.) / 5)
+
+let describe ~u ~p =
+  let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+  if Model.is_degenerate params opp then
+    Printf.printf
+      "U = %4.0f min, p = %d: DEGENERATE (U <= (p+1)c): any schedule can be\n\
+     \                      wiped out; decline the loan.\n"
+      (u /. 60.) p
+  else begin
+    let w_dp = Game.guaranteed params opp (Policy.of_dp dp) in
+    let w_na =
+      Game.guaranteed params opp (Policy.nonadaptive_guideline params opp)
+    in
+    let s = Nonadaptive.guideline params ~u ~p in
+    Printf.printf
+      "U = %4.0f min, p = %d: guaranteed %5.1f min DP-optimal / %5.1f min\n\
+     \                      non-adaptive (batches of ~%.1f min, %d of them)\n"
+      (u /. 60.) p (w_dp /. 60.) (w_na /. 60.)
+      (Schedule.period s 1 /. 60.)
+      (Schedule.length s)
+  end
+
+let () =
+  Printf.printf "Laptop loan under the draconian contract (c = %.0f s):\n\n" c;
+
+  (* 1. The degenerate corner: short loans with many possible grabs are
+     worthless *as guarantees* (Proposition 4.1(c)). *)
+  describe ~u:(minutes 6.) ~p:3;
+  describe ~u:(minutes 8.) ~p:3;
+  describe ~u:(minutes 30.) ~p:3;
+  describe ~u:(minutes 90.) ~p:3;
+  describe ~u:(minutes 90.) ~p:1;
+  describe ~u:(minutes 90.) ~p:0;
+
+  (* 2. Batch sizing: why sqrt(cU/p), not "as big as fits" nor "as small
+     as possible".  Guaranteed work of m equal batches across m. *)
+  let u = minutes 90. and p = 3 in
+  Printf.printf
+    "\nbatch-count trade-off (U = 90 min, p = %d): guaranteed minutes by m\n"
+    p;
+  List.iter
+    (fun m ->
+       let s = Nonadaptive.equal_periods ~u ~m in
+       let w, _ = Nonadaptive.worst_case params ~u ~p s in
+       let bar = String.make (int_of_float (w /. 60.)) '#' in
+       Printf.printf "  m = %3d: %5.1f min  %s\n" m (w /. 60.) bar)
+    [ 1; 2; 3; 4; 6; 9; 12; 16; 24; 36; 48 ];
+  let best_m, best_w = Nonadaptive.best_equal_period_count params ~u ~p ~max_m:60 in
+  let guideline_m = Schedule.length (Nonadaptive.guideline params ~u ~p) in
+  Printf.printf
+    "  best m = %d (%.1f min guaranteed); the sqrt(pU/c) guideline says %d.\n"
+    best_m (best_w /. 60.) guideline_m;
+
+  (* 3. What the adversary actually does to the naive plans. *)
+  Printf.printf "\nhow the malicious owner punishes naive plans (U = 90 min, p = 3):\n";
+  let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+  List.iter
+    (fun (name, policy) ->
+       let adv = Game.optimal_adversary params opp policy in
+       let outcome = Game.run params opp policy adv in
+       Printf.printf "  %-24s banked %5.1f min in %d episodes (%d grabs)\n" name
+         (outcome.Game.work /. 60.)
+         (List.length outcome.Game.episodes)
+         outcome.Game.interrupts_used)
+    [
+      ("one big batch", Policy.one_long_period);
+      ("5-minute batches", Baselines.Fixed_chunk.policy ~u ~chunk:(minutes 5.));
+      ("non-adaptive guideline", Policy.nonadaptive_guideline params opp);
+      ("adaptive calibrated", Policy.adaptive_calibrated);
+      ("DP-optimal", Policy.of_dp dp);
+    ];
+
+  (* 4. Negotiation value: what is one fewer interrupt worth? *)
+  Printf.printf "\nnegotiation: guaranteed minutes vs the interrupt clause\n";
+  for p = 0 to 5 do
+    let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+    let w = Game.guaranteed params opp (Policy.of_dp dp) in
+    Printf.printf "  p = %d: %5.1f min guaranteed (%4.1f%% of the loan)\n" p
+      (w /. 60.)
+      (100. *. w /. u)
+  done

@@ -1,0 +1,59 @@
+(* Quickstart: schedule one cycle-stealing opportunity.
+
+   Scenario: workstation B is ours from 22:00 to 06:00 (U = 8 hours =
+   28800 s).  Shipping a work batch to B and getting results back costs
+   c = 60 s of setup.  The owner's contract allows at most p = 2
+   interruptions, each of which kills the batch in flight.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Cyclesteal
+
+let () =
+  let params = Model.params ~c:60. in
+  let opp = Model.opportunity ~lifespan:28_800. ~interrupts:2 in
+
+  (* 1. Is the opportunity worth taking at all?  (Proposition 4.1(c)) *)
+  assert (not (Model.is_degenerate params opp));
+
+  (* 2. What does each regime guarantee? *)
+  let advice = Guidelines.advise params opp in
+  Printf.printf "non-adaptive guarantee (closed form): %.0f s of work\n"
+    advice.Guidelines.nonadaptive_bound;
+  Printf.printf "adaptive guarantee (closed form):     %.0f s of work\n"
+    advice.Guidelines.adaptive_bound;
+  Format.printf "recommended regime:                   %a@."
+    Guidelines.pp_regime advice.Guidelines.recommended;
+
+  (* 3. Craft the non-adaptive schedule and inspect it. *)
+  let s = Guidelines.nonadaptive_schedule params opp in
+  Printf.printf "\nnon-adaptive schedule: %d periods of %.0f s each\n"
+    (Schedule.length s) (Schedule.period s 1);
+
+  (* 4. Measure the guaranteed work exactly, by playing the policy
+     against the optimal adversary. *)
+  let w_na = Guidelines.guaranteed_work params opp Guidelines.Non_adaptive in
+  let w_ad = Guidelines.guaranteed_work params opp Guidelines.Adaptive in
+  Printf.printf "\nmeasured guaranteed work (exact minimax):\n";
+  Printf.printf "  non-adaptive: %.0f s (%.1f%% of the lifespan)\n" w_na
+    (100. *. w_na /. opp.Model.lifespan);
+  Printf.printf "  adaptive:     %.0f s (%.1f%% of the lifespan)\n" w_ad
+    (100. *. w_ad /. opp.Model.lifespan);
+
+  (* 5. Watch the adaptive game unfold against the adversary. *)
+  let policy = Policy.adaptive_guideline in
+  let adversary = Game.optimal_adversary params opp policy in
+  let outcome = Game.run params opp policy adversary in
+  Printf.printf "\ngame transcript (adaptive guideline vs optimal adversary):\n";
+  List.iteri
+    (fun i (e : Game.episode_record) ->
+       Printf.printf "  episode %d: planned %d periods, %s, banked %.0f s\n"
+         (i + 1)
+         (Schedule.length e.Game.planned)
+         (match e.Game.outcome with
+          | Game.Completed -> "ran to completion"
+          | Game.Interrupted { period; _ } ->
+            Printf.sprintf "owner killed period %d" period)
+         e.Game.work)
+    outcome.Game.episodes;
+  Printf.printf "  total banked: %.0f s\n" outcome.Game.work

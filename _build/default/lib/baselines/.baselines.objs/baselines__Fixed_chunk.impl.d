@@ -1,0 +1,1 @@
+lib/baselines/fixed_chunk.ml: Cyclesteal List Model Policy Printf Schedule

@@ -1,0 +1,1 @@
+lib/baselines/fixed_chunk.mli: Cyclesteal Model Policy Schedule

@@ -1,0 +1,1 @@
+lib/baselines/geometric.ml: Array Cyclesteal Float Model Policy Printf Schedule

@@ -1,0 +1,1 @@
+lib/baselines/geometric.mli: Cyclesteal Model Policy Schedule

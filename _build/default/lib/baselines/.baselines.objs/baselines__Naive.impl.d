@@ -1,0 +1,1 @@
+lib/baselines/naive.ml: Cyclesteal Model Nonadaptive Policy Printf Schedule

@@ -1,0 +1,38 @@
+(* Fixed-chunk scheduling, after Atallah, Black, Marinescu, Siegel &
+   Casavant (J. Parallel Distrib. Comput. 16, 1992), the paper's related
+   work [1]: the opportunity is auctioned off in large identical chunks,
+   independent of the interrupt budget.
+
+   In our model this is the non-adaptive schedule with all periods equal
+   to a fixed chunk size (the final period absorbs the remainder).  It is
+   the natural practitioner baseline: pick a chunk that amortises the
+   setup cost and hope for the best. *)
+
+open Cyclesteal
+
+(* [schedule ~u ~chunk] covers lifespan [u] with periods of length
+   [chunk]; the remainder, if any, becomes a final shorter period. *)
+let schedule ~u ~chunk =
+  if chunk <= 0. then invalid_arg "Fixed_chunk.schedule: chunk must be positive";
+  if u <= 0. then invalid_arg "Fixed_chunk.schedule: u must be positive";
+  let full = int_of_float (u /. chunk) in
+  let remainder = u -. (float_of_int full *. chunk) in
+  let periods =
+    if full = 0 then [ u ]
+    else if remainder > 1e-9 *. u then
+      List.init full (fun _ -> chunk) @ [ remainder ]
+    else List.init full (fun _ -> chunk)
+  in
+  Schedule.of_list periods
+
+(* A common heuristic chunk: amortise the setup cost to a target overhead
+   fraction f, i.e. chunk = c / f (f = 0.05 gives 5% overhead). *)
+let chunk_for_overhead params ~overhead_fraction =
+  if overhead_fraction <= 0. || overhead_fraction >= 1. then
+    invalid_arg "Fixed_chunk.chunk_for_overhead: fraction outside (0, 1)";
+  Model.c params /. overhead_fraction
+
+let policy ~u ~chunk =
+  Policy.rename
+    (Policy.non_adaptive ~committed:(schedule ~u ~chunk))
+    (Printf.sprintf "fixed-chunk(%g)" chunk)

@@ -1,0 +1,51 @@
+(* Geometrically decreasing periods: the front-loaded shape that
+   expected-output scheduling produces when the reclaim hazard grows
+   over time (e.g. a looming return deadline), the regime studied in the
+   companion papers (Bhatt, Chung, Leighton & Rosenberg, IEEE TC 1997
+   [3] and Rosenberg, IPPS 1998 [9]; see Expected.optimal_schedule_dp,
+   whose uniform-risk optimum is front-loaded, and experiment E8).
+   Under *memoryless* risk the expected optimum is stationary instead.
+   Included as a baseline to show that an expected-output shape is not a
+   guaranteed-output schedule: against a malicious adversary its floor
+   is markedly worse than the Section 3 guidelines'. *)
+
+open Cyclesteal
+
+(* [schedule ~u ~ratio ~m] builds m periods t, t*ratio, t*ratio^2, ...
+   scaled so they sum to u.  [ratio] in (0, 1) gives decreasing periods
+   (front-loaded work: finish big pieces while the reclaim hazard is
+   still low). *)
+let schedule ~u ~ratio ~m =
+  if u <= 0. then invalid_arg "Geometric.schedule: u must be positive";
+  if m <= 0 then invalid_arg "Geometric.schedule: m must be positive";
+  if ratio <= 0. then invalid_arg "Geometric.schedule: ratio must be positive";
+  if Float.abs (ratio -. 1.) < 1e-12 then
+    Schedule.of_periods (Array.make m (u /. float_of_int m))
+  else begin
+    (* First period a with a (1 - r^m) / (1 - r) = u. *)
+    let a = u *. (1. -. ratio) /. (1. -. (ratio ** float_of_int m)) in
+    Schedule.of_periods (Array.init m (fun i -> a *. (ratio ** float_of_int i)))
+  end
+
+(* Choose m so the smallest period stays productive (>= ~3c/2), echoing
+   the terminal-period guidance of Theorem 4.2. *)
+let auto_m params ~u ~ratio =
+  if ratio <= 0. || ratio >= 1. then
+    invalid_arg "Geometric.auto_m: ratio must lie in (0, 1)";
+  let c = Model.c params in
+  let target = 1.5 *. c in
+  (* Find the largest m with a * ratio^(m-1) >= target; search upward. *)
+  let rec grow m =
+    if m > 10_000 then m
+    else begin
+      let s = schedule ~u ~ratio ~m in
+      if Schedule.period s m < target then max 1 (m - 1) else grow (m + 1)
+    end
+  in
+  grow 1
+
+let policy params ~u ~ratio =
+  let m = auto_m params ~u ~ratio in
+  Policy.rename
+    (Policy.non_adaptive ~committed:(schedule ~u ~ratio ~m))
+    (Printf.sprintf "geometric(%g)" ratio)

@@ -1,0 +1,38 @@
+(* Naive baselines bounding the design space from both ends.
+
+   - [one_long_period]: zero overhead, maximal exposure — a single
+     interrupt at the last instant wipes the whole opportunity.
+   - [uniform ~m]: m equal periods for a caller-chosen m, the
+     "split it into a few pieces" folk heuristic.
+   - [minimal_periods]: every period barely above c (maximal protection,
+     crippling overhead). *)
+
+open Cyclesteal
+
+let one_long_period ~u =
+  if u <= 0. then invalid_arg "Naive.one_long_period: u must be positive";
+  Schedule.singleton u
+
+let uniform ~u ~m = Nonadaptive.equal_periods ~u ~m
+
+(* Periods of length 2c (work c each), the shortest length that wastes no
+   more than half of each period; the last period absorbs the remainder. *)
+let minimal_periods params ~u =
+  let c = Model.c params in
+  if u <= 0. then invalid_arg "Naive.minimal_periods: u must be positive";
+  let len = 2. *. c in
+  let m = max 1 (int_of_float (u /. len)) in
+  uniform ~u ~m
+
+let one_long_period_policy =
+  Policy.rename Policy.one_long_period "naive-one-period"
+
+let uniform_policy ~u ~m =
+  Policy.rename
+    (Policy.non_adaptive ~committed:(uniform ~u ~m))
+    (Printf.sprintf "naive-uniform(%d)" m)
+
+let minimal_policy params ~u =
+  Policy.rename
+    (Policy.non_adaptive ~committed:(minimal_periods params ~u))
+    "naive-minimal"

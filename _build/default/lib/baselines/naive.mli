@@ -1,0 +1,17 @@
+(** Naive baselines bounding the design space from both ends. *)
+
+open Cyclesteal
+
+val one_long_period : u:float -> Schedule.t
+(** Zero overhead, maximal exposure: one interrupt wipes everything. *)
+
+val uniform : u:float -> m:int -> Schedule.t
+(** [m] equal periods: the "split it into a few pieces" folk heuristic. *)
+
+val minimal_periods : Model.params -> u:float -> Schedule.t
+(** Periods of length [2c] (each banking [c]): maximal protection,
+    crippling overhead. *)
+
+val one_long_period_policy : Policy.t
+val uniform_policy : u:float -> m:int -> Policy.t
+val minimal_policy : Model.params -> u:float -> Policy.t

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Csutil Float List Model Nonadaptive Schedule

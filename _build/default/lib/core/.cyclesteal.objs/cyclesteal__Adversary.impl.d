@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Csutil Float List Policy Schedule

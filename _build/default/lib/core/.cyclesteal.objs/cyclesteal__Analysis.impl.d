@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Adaptive Csutil Float List Model Nonadaptive Opt_p1 Printf Schedule

@@ -1,0 +1,1 @@
+lib/core/capacity.ml: Adaptive Csutil Float Format Game List Model Policy

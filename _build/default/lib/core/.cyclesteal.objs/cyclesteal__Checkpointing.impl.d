@@ -1,0 +1,1 @@
+lib/core/checkpointing.ml: Adaptive Array Float Model

@@ -1,0 +1,1 @@
+lib/core/checkpointing.mli: Model

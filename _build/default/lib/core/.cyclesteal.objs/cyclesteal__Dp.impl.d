@@ -1,0 +1,1 @@
+lib/core/dp.ml: Array Csutil List Model Printf Schedule

@@ -1,0 +1,1 @@
+lib/core/expected.ml: Array Csutil Float Format List Model Schedule

@@ -1,0 +1,1 @@
+lib/core/game.ml: Adversary Buffer Bytes Csutil Float Hashtbl List Model Policy Printf Schedule String

@@ -1,0 +1,1 @@
+lib/core/guidelines.ml: Adaptive Format Game Model Nonadaptive Policy

@@ -1,0 +1,1 @@
+lib/core/guidelines.mli: Format Model Policy Schedule

@@ -1,0 +1,1 @@
+lib/core/nonadaptive.ml: Array Float List Model Schedule

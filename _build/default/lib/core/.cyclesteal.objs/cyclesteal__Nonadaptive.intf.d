@@ -1,0 +1,1 @@
+lib/core/nonadaptive.mli: Model Schedule

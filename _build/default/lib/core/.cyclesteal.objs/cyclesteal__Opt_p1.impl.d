@@ -1,0 +1,1 @@
+lib/core/opt_p1.ml: Array Float Model Schedule

@@ -1,0 +1,1 @@
+lib/core/opt_p1.mli: Model Schedule

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Csutil Float Format Model Printf

@@ -1,0 +1,251 @@
+(* The adaptive guideline schedules of paper Section 3.2.
+
+   The opportunity-schedule Sigma_a^(p)[U] adaptively invokes the episode
+   schedules S_a^(p)[U], S_a^(p-1)[U - L_1], ... : after each interrupt a
+   fresh episode schedule is built from the residual lifespan and the
+   remaining interrupt budget.
+
+   S_a^(p)[U] for p > 0 has (reading the construction back to front):
+     - a tail of ell_p = ceil(2p/3) periods of length (3/2) c;
+     - a pivot period t_(m - ell_p) = (p - (2 - 2^(2-p)) sqrt(2p) + 1/2) c;
+     - an arithmetic ramp above the pivot with common difference
+       delta = 4^(1-p) c  (t_k = t_(k+1) + delta).
+   The abstract's printed schedule length m(p)[U] makes the lengths sum to
+   U only up to rounding, so we determine m constructively: grow the ramp
+   while it fits within U and absorb the remaining slack into the first
+   (largest) period.  For p = 1 this reproduces Table 2's S_a^(1) column
+   exactly (delta = c, ell_1 = 1, pivot = 3c/2).  See DESIGN.md Section 4
+   for the handling of the pivot formula at p >= 2, where the printed
+   value goes non-positive and is clamped from below. *)
+
+let ell ~p =
+  if p < 1 then invalid_arg "Adaptive.ell: p must be >= 1";
+  (2 * p + 2) / 3 (* ceil (2p/3) *)
+
+let delta params ~p =
+  if p < 1 then invalid_arg "Adaptive.delta: p must be >= 1";
+  4. ** float_of_int (1 - p) *. Model.c params
+
+(* The printed pivot length (p - (2 - 2^(2-p)) sqrt(2p) + 1/2) c, clamped
+   below at delta so the period stays positive for p >= 3. *)
+let pivot params ~p =
+  let c = Model.c params in
+  let pf = float_of_int p in
+  let printed =
+    (pf -. ((2. -. (2. ** float_of_int (2 - p))) *. Float.sqrt (2. *. pf)) +. 0.5)
+    *. c
+  in
+  Float.max printed (delta params ~p)
+
+(* Fallback for residuals too small to hold the tail + pivot structure:
+   equal periods of roughly 3c/2 (the terminal length Theorem 4.2
+   recommends), or a single period when even that does not fit. *)
+let small_residual_fallback params ~residual =
+  let c = Model.c params in
+  let m = max 1 (int_of_float (residual /. (1.5 *. c))) in
+  Nonadaptive.equal_periods ~u:residual ~m
+
+let episode_schedule params ~p ~residual =
+  if p < 0 then invalid_arg "Adaptive.episode_schedule: p must be non-negative";
+  if residual <= 0. then
+    invalid_arg "Adaptive.episode_schedule: residual must be positive";
+  if p = 0 then Schedule.singleton residual
+  else begin
+    let c = Model.c params in
+    let ell = ell ~p in
+    let delta = delta params ~p in
+    let pivot = pivot params ~p in
+    let base = (1.5 *. c *. float_of_int ell) +. pivot in
+    if residual < base +. delta then small_residual_fallback params ~residual
+    else begin
+      (* Grow the ramp pivot+delta, pivot+2*delta, ... while it fits. *)
+      let ramp = ref [] in (* descending toward the pivot *)
+      let sum = ref base in
+      let next = ref (pivot +. delta) in
+      while !sum +. !next <= residual do
+        ramp := !next :: !ramp;
+        sum := !sum +. !next;
+        next := !next +. delta
+      done;
+      let slack = residual -. !sum in
+      (* Periods in execution order: largest first, down the ramp to the
+         pivot, then the (3/2)c tail.  The slack (< the next ramp value)
+         is spread evenly over the ramp so the schedule keeps its
+         arithmetic shape and no single period inflates by more than
+         O(sqrt(c * residual) / m) — dumping the slack on one period
+         would cost a full low-order term in the worst case. *)
+      let q = List.length !ramp in
+      let schedule =
+        if q = 0 then (pivot +. slack) :: List.init ell (fun _ -> 1.5 *. c)
+        else begin
+          let shift = slack /. float_of_int q in
+          List.map (fun x -> x +. shift) !ramp
+          @ (pivot :: List.init ell (fun _ -> 1.5 *. c))
+        end
+      in
+      Schedule.of_list schedule
+    end
+  end
+
+(* Theorem 5.1's guaranteed-work lower bound for Sigma_a^(p)[U], without
+   the O(U^(1/4) + pc) slack term:
+     W >= U - (2 - 2^(1-p)) sqrt(2cU). *)
+let lower_bound params ~u ~p =
+  if p < 0 then invalid_arg "Adaptive.lower_bound: p must be non-negative";
+  let c = Model.c params in
+  if p = 0 then Model.positive_sub u c
+  else
+    let coeff = 2. -. (2. ** float_of_int (1 - p)) in
+    Model.positive_sub u (coeff *. Float.sqrt (2. *. c *. u))
+
+(* The coefficient (2 - 2^(1-p)) of sqrt(2cU) in the loss term; exposed so
+   experiments can report measured coefficients against it. *)
+let loss_coefficient ~p =
+  if p < 0 then invalid_arg "Adaptive.loss_coefficient: p must be non-negative";
+  if p = 0 then 0. else 2. -. (2. ** float_of_int (1 - p))
+
+(* --- Calibrated construction (extension, see DESIGN.md Section 4) -----
+
+   The exact integer-grid optimum (Dp) shows that the true asymptotic
+   loss coefficient a_p in W(p)[U] = U - a_p sqrt(2cU) - O(low order)
+   satisfies the implicit recursion
+
+     a_0 = 0,     a_p = a_(p-1) + 1 / a_p
+     (equivalently a_p = (a_(p-1) + sqrt(a_(p-1)^2 + 4)) / 2),
+
+   giving a_1 = 1, a_2 = golden ratio = 1.618..., a_3 = 2.095...,
+   a_4 = 2.496... — strictly above the abstract's printed (2 - 2^(1-p))
+   for p >= 2, which would otherwise beat the exact minimax optimum and
+   is therefore unachievable as printed (experiment E6 measures this).
+
+   The calibrated episode schedule applies Theorem 4.3's equalization
+   directly, bootstrapping the continuation value with the closed form
+   W(p-1)[x] ~ x - a_(p-1) sqrt(2cx):
+
+     t_k = c + W(p-1)[U - T_k] - W(p-1)[U - T_(k+1)],
+
+   built backwards from a terminal period of 3c/2 (Theorem 4.2). *)
+
+let optimal_coefficient ~p =
+  if p < 0 then invalid_arg "Adaptive.optimal_coefficient: p must be non-negative";
+  let rec go p acc = if p = 0 then acc else go (p - 1) ((acc +. Float.sqrt ((acc *. acc) +. 4.)) /. 2.) in
+  go p 0.
+
+(* The bootstrapped continuation value W(q)[x] ~ x - a_q sqrt(2cx),
+   clamped at 0 (it is a work quantity).  At p = 0 the exact value is
+   known: one long period achieving x - c (Prop 4.1(d)). *)
+let approx_value params ~p x =
+  let c = Model.c params in
+  if x <= 0. then 0.
+  else if p = 0 then Model.positive_sub x c
+  else Model.positive_sub x (optimal_coefficient ~p *. Float.sqrt (2. *. c *. x))
+
+(* One-episode minimax value of [s] when the continuation after an
+   interrupt is estimated by [w_prev]: the adversary either lets the
+   episode run or kills some period at its last instant.  Used to select
+   between candidate episode shapes. *)
+let episode_value_against params ~residual s ~w_prev =
+  let c = Model.c params in
+  let m = Schedule.length s in
+  let best = ref (Schedule.work_if_uninterrupted params s) in
+  let banked = ref 0. in
+  for k = 1 to m do
+    let v = !banked +. w_prev (residual -. Schedule.end_time s k) in
+    if v < !best then best := v;
+    banked := !banked +. Model.positive_sub (Schedule.period s k) c
+  done;
+  !best
+
+let backward_build params ~p ~residual =
+  if p < 0 then invalid_arg "Adaptive.calibrated_episode_schedule: p < 0";
+  if residual <= 0. then
+    invalid_arg "Adaptive.calibrated_episode_schedule: residual must be positive";
+  if p = 0 then Schedule.singleton residual
+  else begin
+    let c = Model.c params in
+    if residual <= 3. *. c then Schedule.singleton residual
+    else begin
+      let w = approx_value params ~p:(p - 1) in
+      (* Build from the episode's end: s = U - T_k is the lifespan that
+         remains after period k.  Terminal period 3c/2 (Theorem 4.2);
+         then t_k = c + W(s_k) - W(s_(k+1)) walking backwards, until the
+         accumulated length reaches the residual. *)
+      let rec grow ~s_next ~t_next ~acc ~sum =
+        if sum >= residual then (acc, sum)
+        else begin
+          let s = s_next +. t_next in
+          let t = c +. (w s -. w s_next) in
+          (* Guard: equalization can momentarily dip below c near the
+             clamp region; periods must stay productive-ish. *)
+          let t = Float.max t (1.5 *. c) in
+          grow ~s_next:s ~t_next:t ~acc:(t :: acc) ~sum:(sum +. t)
+        end
+      in
+      let t_m = 1.5 *. c in
+      let periods_rev, sum = grow ~s_next:0. ~t_next:t_m ~acc:[ t_m ] ~sum:t_m in
+      (* periods_rev is in execution order (earliest first) because we
+         consed later-built (earlier-executed) periods on front.  Trim
+         the overshoot by shrinking the first periods evenly. *)
+      let overshoot = sum -. residual in
+      match periods_rev with
+      | [] -> assert false
+      | first :: rest ->
+        if overshoot <= 0. then Schedule.of_list (first :: rest)
+        else if first -. overshoot > c then
+          Schedule.of_list ((first -. overshoot) :: rest)
+        else begin
+          (* First period too small after trimming: drop it and spread
+             the now-negative overshoot (a deficit) over the rest. *)
+          match rest with
+          | [] -> Schedule.singleton residual
+          | _ ->
+            let deficit = residual -. Csutil.Float_ext.sum_list rest in
+            let n = List.length rest in
+            let shift = deficit /. float_of_int n in
+            Schedule.of_list (List.map (fun x -> x +. shift) rest)
+        end
+    end
+  end
+
+(* The calibrated schedule: the backward Theorem 4.3 build, plus
+   equal-period candidates (which dominate in the overhead-heavy regime
+   where the bootstrapped continuation is worthless and the problem
+   degenerates to the non-adaptive trade-off), scored by the one-episode
+   minimax with the bootstrapped continuation. *)
+let calibrated_episode_schedule params ~p ~residual =
+  if p < 0 then invalid_arg "Adaptive.calibrated_episode_schedule: p < 0";
+  if residual <= 0. then
+    invalid_arg "Adaptive.calibrated_episode_schedule: residual must be positive";
+  if p = 0 then Schedule.singleton residual
+  else begin
+    let c = Model.c params in
+    let w_prev rem = approx_value params ~p:(p - 1) rem in
+    let m_equal =
+      int_of_float (Float.sqrt (float_of_int p *. residual /. c) +. 0.5)
+    in
+    let candidates =
+      backward_build params ~p ~residual
+      :: Schedule.singleton residual
+      :: List.filter_map
+           (fun m ->
+              if m >= 1 && float_of_int m *. 1e-9 < residual then
+                Some (Nonadaptive.equal_periods ~u:residual ~m)
+              else None)
+           [ m_equal - 1; m_equal; m_equal + 1; p + 1 ]
+    in
+    let scored =
+      List.map
+        (fun s -> (episode_value_against params ~residual s ~w_prev, s))
+        candidates
+    in
+    let best =
+      List.fold_left
+        (fun (bv, bs) (v, s) -> if v > bv then (v, s) else (bv, bs))
+        (List.hd scored) (List.tl scored)
+    in
+    snd best
+  end
+
+(* The measured-optimal analogue of [lower_bound], using the recursion's
+   coefficients instead of the printed ones. *)
+let calibrated_bound params ~u ~p = approx_value params ~p u

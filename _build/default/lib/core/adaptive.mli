@@ -1,0 +1,68 @@
+(** The adaptive guideline schedules of paper Section 3.2.
+
+    The opportunity-schedule [Sigma_a^(p)[U]] re-plans after every
+    interrupt: episode [i+1] is the episode schedule
+    [S_a^(p-i)[residual]].  This module builds the episode schedules; the
+    full adaptive policy is {!Policy.adaptive_guideline}. *)
+
+val episode_schedule : Model.params -> p:int -> residual:float -> Schedule.t
+(** [episode_schedule params ~p ~residual] is [S_a^(p)[residual]]:
+    the single long period when [p = 0]; otherwise a schedule with a tail
+    of [ceil(2p/3)] periods of length [3c/2], a pivot period, and an
+    arithmetic ramp with common difference [4^(1-p) c], grown to cover
+    [residual] exactly (slack absorbed into the first period).  For
+    [p = 1] this reproduces Table 2's [S_a^(1)] column.
+    @raise Invalid_argument when [p < 0] or [residual <= 0]. *)
+
+val ell : p:int -> int
+(** [ceil (2p/3)]: the number of terminal [3c/2] periods, paper
+    Section 3.2. *)
+
+val delta : Model.params -> p:int -> float
+(** [4^(1-p) c]: the ramp's common difference. *)
+
+val pivot : Model.params -> p:int -> float
+(** The pivot period length [t_(m - ell_p)], as printed, clamped below at
+    {!delta} (see DESIGN.md Section 4). *)
+
+val lower_bound : Model.params -> u:float -> p:int -> float
+(** Theorem 5.1's bound [U - (2 - 2^(1-p)) sqrt(2cU)] (clamped at 0),
+    without the [O(U^(1/4) + pc)] slack term. *)
+
+val loss_coefficient : p:int -> float
+(** The coefficient [(2 - 2^(1-p))] of [sqrt(2cU)] in the loss term. *)
+
+val optimal_coefficient : p:int -> float
+(** The loss coefficient [a_p] of the {e exact} optimum, as revealed by
+    the integer-grid DP (experiment E6): [a_0 = 0],
+    [a_p = (a_(p-1) + sqrt (a_(p-1)^2 + 4)) / 2], i.e. the positive root
+    of [a_p = a_(p-1) + 1/a_p].  [a_1 = 1], [a_2] is the golden ratio.
+    Strictly above the printed [(2 - 2^(1-p))] for [p >= 2], which is
+    therefore unachievable as printed (see DESIGN.md Section 4). *)
+
+val approx_value : Model.params -> p:int -> float -> float
+(** Bootstrapped closed-form estimate
+    [W(p)[x] ~ x - a_p sqrt(2cx)] (clamped at 0) with [a_p] from
+    {!optimal_coefficient}. *)
+
+val calibrated_episode_schedule :
+  Model.params -> p:int -> residual:float -> Schedule.t
+(** Extension: Theorem 4.3's equalization applied directly with
+    {!approx_value} as the continuation, built backwards from a terminal
+    [3c/2] period.  Tracks the exact optimum to low-order terms where
+    the printed Section 3.2 construction does not (for [p >= 2]). *)
+
+val calibrated_bound : Model.params -> u:float -> p:int -> float
+(** [approx_value] at the full lifespan: the guaranteed-work level the
+    calibrated construction aims for. *)
+
+val episode_value_against :
+  Model.params -> residual:float -> Schedule.t -> w_prev:(float -> float) -> float
+(** One-episode minimax value of a schedule when the continuation after
+    an interrupt is estimated by [w_prev]: the minimum over letting the
+    episode run and every last-instant kill.  Generalises
+    {!Opt_p1.exact_work_of_schedule}. *)
+
+val backward_build : Model.params -> p:int -> residual:float -> Schedule.t
+(** The raw backward Theorem 4.3 construction (one of the candidates
+    {!calibrated_episode_schedule} selects from). *)

@@ -1,0 +1,134 @@
+(* Adversary strategies: when the owner of workstation B interrupts.
+
+   The paper treats the owner as a malicious adversary who knows the
+   schedule and places interrupts to minimise A's work production.  This
+   module provides the adversary interface plus simple strategies; the
+   exact minimax adversary lives in {!Game.optimal_adversary} because it
+   needs the game-value recursion.
+
+   An adversary decides, for the episode about to run, whether to let it
+   run or to interrupt a given period at a given fraction of its length
+   (fraction 1 = the period's last instant, which Observation (a) of the
+   paper shows is the only placement an optimal adversary uses). *)
+
+type action =
+  | Let_run
+  | Interrupt of { period : int; fraction : float }
+
+let check_action schedule = function
+  | Let_run -> ()
+  | Interrupt { period; fraction } ->
+    if period < 1 || period > Schedule.length schedule then
+      invalid_arg "Adversary: interrupt period out of range";
+    if fraction <= 0. || fraction > 1. then
+      invalid_arg "Adversary: interrupt fraction outside (0, 1]"
+
+type t = {
+  name : string;
+  decide : Policy.context -> Schedule.t -> action;
+}
+
+let name t = t.name
+
+let decide t ctx schedule =
+  if ctx.Policy.interrupts_left <= 0 then Let_run
+  else begin
+    let action = t.decide ctx schedule in
+    check_action schedule action;
+    action
+  end
+
+let make ~name ~decide = { name; decide }
+
+(* Never interrupts; measures the schedule's overhead-only cost. *)
+let none = { name = "none"; decide = (fun _ _ -> Let_run) }
+
+(* Kills the last period of every episode at its last instant: the
+   highest-damage single-period heuristic against schedules whose period
+   lengths are non-increasing toward the tail. *)
+let kill_last =
+  {
+    name = "kill-last";
+    decide = (fun _ s -> Interrupt { period = Schedule.length s; fraction = 1.0 });
+  }
+
+(* Kills period (m - j + 1) where j is the remaining budget: against an
+   equal-period non-adaptive schedule this reproduces the paper's stated
+   optimal strategy of killing the last p periods. *)
+let eager_tail =
+  {
+    name = "eager-tail";
+    decide =
+      (fun ctx s ->
+         let m = Schedule.length s in
+         let k = max 1 (m - ctx.Policy.interrupts_left + 1) in
+         Interrupt { period = k; fraction = 1.0 });
+  }
+
+(* Kills the first period of every episode: maximises the number of
+   episodes but wastes little lifespan per kill. *)
+let kill_first =
+  { name = "kill-first"; decide = (fun _ _ -> Interrupt { period = 1; fraction = 1.0 }) }
+
+(* Translate an interrupt at [offset] time units into the episode into
+   the (period, fraction) form: the period whose interval contains the
+   offset, with the elapsed fraction clamped into (0, 1]. *)
+let interrupt_at_offset s ~offset =
+  let m = Schedule.length s in
+  let rec find k =
+    if k >= m then m else if offset <= Schedule.end_time s k then k else find (k + 1)
+  in
+  let k = find 1 in
+  let len = Schedule.period s k in
+  let frac = (offset -. Schedule.start_time s k) /. len in
+  Interrupt { period = k; fraction = Float.min 1.0 (Float.max 1e-12 frac) }
+
+(* Interrupts at prescribed absolute (elapsed) times; models a
+   trace-driven owner.  Times must be strictly increasing. *)
+let at_times times =
+  let rec check = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+      if a >= b then invalid_arg "Adversary.at_times: times must be increasing";
+      check rest
+  in
+  check times;
+  List.iter
+    (fun t -> if t < 0. then invalid_arg "Adversary.at_times: negative time")
+    times;
+  let decide ctx s =
+    let episode_start = Policy.elapsed ctx in
+    let episode_end = episode_start +. Schedule.total s in
+    (* First prescribed time that falls inside this episode and has not
+       already passed.  The strictness guard carries a relative epsilon:
+       after an interrupt at time t, the next episode's elapsed time can
+       land one ulp below t, and without the epsilon the same trace
+       entry would fire again as a zero-length kill.  Trace times are
+       thus resolved at 1e-9 relative precision. *)
+    let eps = 1e-9 *. Float.max 1. episode_end in
+    let hit =
+      List.find_opt (fun t -> t > episode_start +. eps && t <= episode_end) times
+    in
+    match hit with
+    | None -> Let_run
+    | Some t -> interrupt_at_offset s ~offset:(t -. episode_start)
+  in
+  { name = "at-times"; decide }
+
+(* Stochastic owner: in each episode, interrupts with probability
+   [prob_per_episode] at a uniformly random period and fraction.  Not
+   malicious; used to show stochastic owners do better than the
+   guaranteed floor. *)
+let random ~rng ~prob_per_episode =
+  if prob_per_episode < 0. || prob_per_episode > 1. then
+    invalid_arg "Adversary.random: probability outside [0, 1]";
+  let decide _ctx s =
+    if Csutil.Rng.float01 rng > prob_per_episode then Let_run
+    else begin
+      let m = Schedule.length s in
+      let k = 1 + Csutil.Rng.int rng ~bound:m in
+      let frac = Float.max 1e-9 (Csutil.Rng.float01 rng) in
+      Interrupt { period = k; fraction = frac }
+    end
+  in
+  { name = "random"; decide }

@@ -1,0 +1,56 @@
+(** Adversary strategies: when the owner of workstation [B] interrupts.
+
+    An adversary sees the episode schedule about to run (the paper's
+    adversary knows [A]'s strategy) and either lets it run or interrupts
+    one period at a fraction of its length; fraction [1] is the period's
+    last instant, the only placement an optimal adversary uses
+    (Observation (a)).  The exact minimax adversary is
+    {!Game.optimal_adversary}. *)
+
+type action =
+  | Let_run
+  | Interrupt of { period : int; fraction : float }
+      (** Kill [period] (1-based) once [fraction] of it has elapsed;
+          [fraction] must lie in [(0, 1]]. *)
+
+type t
+
+val name : t -> string
+
+val decide : t -> Policy.context -> Schedule.t -> action
+(** The strategy's decision for this episode.  Returns [Let_run]
+    unconditionally once the interrupt budget is exhausted; validates
+    the action's period index and fraction.
+    @raise Invalid_argument on a malformed action from the strategy. *)
+
+val make :
+  name:string -> decide:(Policy.context -> Schedule.t -> action) -> t
+
+val none : t
+(** Never interrupts. *)
+
+val kill_last : t
+(** Kills the last period of every episode at its last instant. *)
+
+val eager_tail : t
+(** With budget [j] left, kills period [m - j + 1]: reproduces the
+    paper's stated optimal strategy (kill the last [p] periods) against
+    the equal-period non-adaptive guideline. *)
+
+val kill_first : t
+(** Kills the first period of every episode. *)
+
+val at_times : float list -> t
+(** Interrupts at the given strictly-increasing absolute elapsed times
+    (a trace-driven owner).
+    @raise Invalid_argument on unsorted or negative times. *)
+
+val random : rng:Csutil.Rng.t -> prob_per_episode:float -> t
+(** Non-malicious stochastic owner: each episode is interrupted with the
+    given probability at a uniform random period and fraction. *)
+
+val interrupt_at_offset : Schedule.t -> offset:float -> action
+(** Translate an interrupt [offset] time units into an episode into the
+    [(period, fraction)] form: the period whose interval contains the
+    offset, fraction clamped into (0, 1].  Building block for
+    trace-driven and process-driven owners. *)

@@ -1,0 +1,167 @@
+(* Analysis helpers: the paper's closed forms gathered in one place, the
+   Table 1 / Table 2 generators, and optimality-gap reporting. *)
+
+(* --- Closed forms ----------------------------------------------------- *)
+
+(* Guaranteed work of the non-adaptive guideline (re-derived form). *)
+let nonadaptive_closed_form = Nonadaptive.closed_form
+
+(* Theorem 5.1's lower bound for the adaptive guideline. *)
+let adaptive_lower_bound = Adaptive.lower_bound
+
+(* Table 2's approximation of the optimum for p = 1. *)
+let opt_p1_closed_form = Opt_p1.closed_form
+
+(* The loss terms (U minus guaranteed work), useful for shape
+   comparisons: who loses how much, as a multiple of sqrt(cU). *)
+let nonadaptive_loss_coefficient ~p = 2. *. Float.sqrt (float_of_int p)
+
+let adaptive_loss_coefficient ~p = Adaptive.loss_coefficient ~p *. Float.sqrt 2.
+
+(* --- Table 1 ----------------------------------------------------------- *)
+
+(* Consequences of the adversary's m + 1 options against a fully
+   productive episode schedule (paper Table 1).  [w_prev ~residual] must
+   return W^(p-1)[residual], the guaranteed work of optimal (or
+   policy-specific) continuation after the interrupt. *)
+let table1 params s ~u ~w_prev =
+  let c = Model.c params in
+  let m = Schedule.length s in
+  let table =
+    Csutil.Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 1: consequences of the adversary's options (m = %d, U = %g, c = %g)"
+           m u c)
+      ~aligns:Csutil.Table.[ Left; Left; Right; Right; Right ]
+      [
+        "Interrupted period";
+        "Interruption time";
+        "Episode work-output";
+        "Residual lifespan";
+        "Opportunity work production";
+      ]
+  in
+  let fl = Csutil.Table.cell_float ~prec:2 in
+  (* No interrupt: the whole episode completes. *)
+  let episode_work = Schedule.work_if_uninterrupted params s in
+  Csutil.Table.add_row table
+    [ "none"; "n/a"; fl episode_work; fl (u -. Schedule.total s); fl episode_work ];
+  for k = 1 to m do
+    let t_lo = Schedule.start_time s k and t_hi = Schedule.end_time s k in
+    let banked = Schedule.work_before params s k in
+    (* Last-instant values, the adversary's optimal placement. *)
+    let residual = u -. t_hi in
+    let production = banked +. w_prev ~residual in
+    Csutil.Table.add_row table
+      [
+        string_of_int k;
+        Printf.sprintf "[%.2f, %.2f)" t_lo t_hi;
+        fl banked;
+        fl residual;
+        fl production;
+      ]
+  done;
+  table
+
+(* --- Table 2 ----------------------------------------------------------- *)
+
+type table2_entry = {
+  parameter : string;
+  opt_formula : float; (* the paper's approximate value for S_opt^(1) *)
+  opt_exact : float;   (* our constructed S_opt^(1) *)
+  adaptive : float;    (* our constructed S_a^(1) *)
+}
+
+(* Parameter values for the case p = 1 (paper Table 2): schedule length,
+   alpha, representative period lengths, and guaranteed work, for the
+   optimal schedule against the adaptive guideline's S_a^(1). *)
+let table2_entries params ~u =
+  let c = Model.c params in
+  let s_opt = Opt_p1.schedule params ~u in
+  let s_a = Adaptive.episode_schedule params ~p:1 ~residual:u in
+  let m_opt = Schedule.length s_opt in
+  let m_a = Schedule.length s_a in
+  let alpha = Opt_p1.alpha params ~u ~m:m_opt in
+  let sqrt2cu = Float.sqrt (2. *. c *. u) in
+  let t_k_formula k = sqrt2cu -. (float_of_int k *. c) in
+  let entries =
+    [
+      {
+        parameter = "m(1)[U]";
+        opt_formula = Float.sqrt ((2. *. u /. c) -. 1.75);
+        opt_exact = float_of_int m_opt;
+        adaptive = float_of_int m_a;
+      };
+      { parameter = "alpha"; opt_formula = alpha; opt_exact = alpha; adaptive = Float.nan };
+      {
+        parameter = "t_1[U]";
+        opt_formula = t_k_formula 1;
+        opt_exact = Schedule.period s_opt 1;
+        adaptive = Schedule.period s_a 1;
+      };
+      {
+        parameter = "t_(m-2)[U]";
+        opt_formula = (2. +. alpha) *. c;
+        opt_exact =
+          (if m_opt >= 3 then Schedule.period s_opt (m_opt - 2) else Float.nan);
+        adaptive = (if m_a >= 3 then Schedule.period s_a (m_a - 2) else Float.nan);
+      };
+      {
+        parameter = "t_m[U] = t_(m-1)[U]";
+        opt_formula = 1.5 *. c;
+        opt_exact = Schedule.period s_opt m_opt;
+        adaptive = Schedule.period s_a m_a;
+      };
+      {
+        parameter = "W(1)[U]";
+        opt_formula = Opt_p1.closed_form params ~u;
+        opt_exact = Opt_p1.exact_work params ~u;
+        adaptive = Opt_p1.exact_work_of_schedule params ~u s_a;
+      };
+    ]
+  in
+  entries
+
+let table2 params ~u =
+  let c = Model.c params in
+  let table =
+    Csutil.Table.create
+      ~title:(Printf.sprintf "Table 2: parameter values for p = 1 (U = %g, c = %g)" u c)
+      ~aligns:Csutil.Table.[ Left; Right; Right; Right ]
+      [ "Parameter"; "S_opt formula"; "S_opt measured"; "S_a measured" ]
+  in
+  let cell x =
+    if Float.is_nan x then "n/a" else Csutil.Table.cell_float ~prec:3 x
+  in
+  List.iter
+    (fun e ->
+       Csutil.Table.add_row table
+         [ e.parameter; cell e.opt_formula; cell e.opt_exact; cell e.adaptive ])
+    (table2_entries params ~u);
+  table
+
+(* --- Optimality gaps (experiment E6) ----------------------------------- *)
+
+type gap_report = {
+  u : float;
+  p : int;
+  optimal : float;    (* exact DP optimum, in float time units *)
+  achieved : float;   (* the policy's guaranteed work *)
+  gap : float;        (* optimal - achieved *)
+  gap_in_c : float;   (* gap / c *)
+  gap_in_sqrt_cu : float; (* gap / sqrt(cU): low-order iff this -> 0 *)
+}
+
+let gap_report params ~u ~p ~optimal ~achieved =
+  let c = Model.c params in
+  let gap = optimal -. achieved in
+  {
+    u;
+    p;
+    optimal;
+    achieved;
+    gap;
+    gap_in_c = gap /. c;
+    gap_in_sqrt_cu = gap /. Float.sqrt (c *. u);
+  }

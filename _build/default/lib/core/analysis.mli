@@ -1,0 +1,60 @@
+(** Closed forms, the paper's table generators, and optimality-gap
+    reporting. *)
+
+val nonadaptive_closed_form : Model.params -> u:float -> p:int -> float
+(** Guaranteed work of the Section 3.1 non-adaptive guideline
+    ([u - 2*sqrt(p*c*u) + p*c], clamped at 0). *)
+
+val adaptive_lower_bound : Model.params -> u:float -> p:int -> float
+(** Theorem 5.1's printed bound for the adaptive guideline. *)
+
+val opt_p1_closed_form : Model.params -> u:float -> float
+(** Table 2's approximation of the [p = 1] optimum. *)
+
+val nonadaptive_loss_coefficient : p:int -> float
+(** [2*sqrt(p)]: the non-adaptive loss in units of [sqrt(cU)]. *)
+
+val adaptive_loss_coefficient : p:int -> float
+(** [(2 - 2^(1-p)) * sqrt 2]: the printed adaptive loss in units of
+    [sqrt(cU)]. *)
+
+val table1 :
+  Model.params ->
+  Schedule.t ->
+  u:float ->
+  w_prev:(residual:float -> float) ->
+  Csutil.Table.t
+(** The paper's Table 1 for a concrete episode schedule: one row per
+    adversary option (no interrupt, or kill period [k] at its last
+    instant), with episode work output, residual lifespan, and total
+    opportunity work production.  [w_prev ~residual] supplies the
+    continuation value [W^(p-1)[residual]]. *)
+
+type table2_entry = {
+  parameter : string;
+  opt_formula : float;  (** the paper's approximate value for [S_opt^(1)] *)
+  opt_exact : float;    (** our constructed [S_opt^(1)] *)
+  adaptive : float;     (** our constructed [S_a^(1)] (NaN when n/a) *)
+}
+
+val table2_entries : Model.params -> u:float -> table2_entry list
+(** The rows of the paper's Table 2 ([m], [alpha], representative period
+    lengths, [W^(1)[U]]) computed three ways. *)
+
+val table2 : Model.params -> u:float -> Csutil.Table.t
+(** {!table2_entries} rendered as a printable table. *)
+
+type gap_report = {
+  u : float;
+  p : int;
+  optimal : float;        (** exact DP optimum, in float time units *)
+  achieved : float;       (** the policy's guaranteed work *)
+  gap : float;            (** [optimal - achieved] *)
+  gap_in_c : float;       (** gap in units of the setup cost *)
+  gap_in_sqrt_cu : float; (** gap in units of [sqrt(cU)]; "low-order"
+                              means this tends to 0 *)
+}
+
+val gap_report :
+  Model.params -> u:float -> p:int -> optimal:float -> achieved:float -> gap_report
+(** Package an optimality-gap measurement (experiment E6). *)

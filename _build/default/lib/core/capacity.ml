@@ -1,0 +1,102 @@
+(* Guaranteed-capacity planning across a heterogeneous farm.
+
+   Each borrowed station comes with its own contract (U_i, p_i) and
+   possibly its own setup cost c_i.  Because guaranteed work is additive
+   across independent opportunities (the adversaries are independent and
+   each floor holds regardless of the others), a job of total size W can
+   be *guaranteed* to finish iff the sum of per-station floors reaches W.
+   This module computes floors, selects minimal station subsets, and
+   splits a job proportionally to the floors. *)
+
+type station = {
+  name : string;
+  params : Model.params;
+  opportunity : Model.opportunity;
+  speed : float; (* task units per time unit of productive period time *)
+}
+
+let station ?(speed = 1.) ~name ~params ~opportunity () =
+  if speed <= 0. then invalid_arg "Capacity.station: speed must be positive";
+  { name; params; opportunity; speed }
+
+(* The guaranteed floor used for planning.  [`Closed_form] uses the
+   calibrated coefficient bound (fast, slightly conservative at small
+   U/c); [`Measured] plays the calibrated policy against the optimal
+   adversary (exact, costlier). *)
+type estimator = [ `Closed_form | `Measured ]
+
+let time_floor_of ?(estimator = `Closed_form) st =
+  let u = st.opportunity.Model.lifespan in
+  let p = st.opportunity.Model.interrupts in
+  if Model.is_degenerate st.params st.opportunity then 0.
+  else
+    match estimator with
+    | `Closed_form -> Adaptive.approx_value st.params ~p u
+    | `Measured ->
+      let grid = if u > 5_000. then Some (u /. 1e5) else None in
+      Game.guaranteed ?grid st.params st.opportunity Policy.adaptive_calibrated
+
+(* Guaranteed capacity in task units: the time floor scaled by the
+   station's compute speed. *)
+let floor_of ?estimator st = st.speed *. time_floor_of ?estimator st
+
+type plan = {
+  selected : (station * float) list; (* station, its guaranteed floor *)
+  total_floor : float;
+  job : float;
+  feasible : bool;
+  slack : float; (* total_floor - job; negative iff infeasible *)
+}
+
+(* Select a minimal-cardinality station subset guaranteeing [job] units:
+   since coverage is a plain sum, taking stations in decreasing floor
+   order is optimal for cardinality.  If the job is infeasible even with
+   every station, all stations are selected and [feasible] is false. *)
+let plan ?estimator ~job stations =
+  if job <= 0. then invalid_arg "Capacity.plan: job must be positive";
+  if stations = [] then invalid_arg "Capacity.plan: no stations";
+  let with_floors =
+    List.map (fun st -> (st, floor_of ?estimator st)) stations
+  in
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) with_floors
+  in
+  let rec take acc total = function
+    | [] -> (List.rev acc, total)
+    | (st, f) :: rest ->
+      if total >= job then (List.rev acc, total)
+      else take ((st, f) :: acc) (total +. f) rest
+  in
+  let selected, total_floor = take [] 0. sorted in
+  {
+    selected;
+    total_floor;
+    job;
+    feasible = total_floor >= job;
+    slack = total_floor -. job;
+  }
+
+(* Split a job of size [job] across the plan's stations proportionally
+   to their floors: station i receives job * floor_i / total_floor.
+   With a feasible plan each share is at most the station's floor, so
+   each share is individually guaranteed. *)
+let shares plan =
+  if plan.total_floor <= 0. then
+    invalid_arg "Capacity.shares: plan has no capacity";
+  List.map
+    (fun (st, f) -> (st, plan.job *. f /. plan.total_floor))
+    plan.selected
+
+(* The largest job size this station set can guarantee. *)
+let max_guaranteed_job ?estimator stations =
+  Csutil.Float_ext.sum_list (List.map (fun st -> floor_of ?estimator st) stations)
+
+let pp_plan fmt plan =
+  Format.fprintf fmt "@[<v>job %.6g: %s (floor %.6g, slack %.6g)@,"
+    plan.job
+    (if plan.feasible then "FEASIBLE" else "INFEASIBLE")
+    plan.total_floor plan.slack;
+  List.iter
+    (fun (st, f) -> Format.fprintf fmt "  %s: floor %.6g@," st.name f)
+    plan.selected;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,58 @@
+(** Guaranteed-capacity planning across a heterogeneous farm.
+
+    Guaranteed work is additive across independent opportunities, so a
+    job of size [W] is guaranteed to finish iff the per-station floors
+    sum to [W].  Floors come from the calibrated closed form (fast) or
+    exact minimax measurement. *)
+
+type station = {
+  name : string;
+  params : Model.params;            (** the station's own setup cost *)
+  opportunity : Model.opportunity;  (** its own [(U, p)] contract *)
+  speed : float;                    (** task units per productive time
+                                        unit; default 1 *)
+}
+
+val station :
+  ?speed:float ->
+  name:string ->
+  params:Model.params ->
+  opportunity:Model.opportunity ->
+  unit ->
+  station
+(** @raise Invalid_argument on non-positive [speed]. *)
+
+type estimator = [ `Closed_form | `Measured ]
+
+val time_floor_of : ?estimator:estimator -> station -> float
+(** The station's guaranteed floor in time units (0 for degenerate
+    contracts, Prop 4.1(c)). *)
+
+val floor_of : ?estimator:estimator -> station -> float
+(** The station's guaranteed capacity in task units:
+    [speed * time_floor_of]. *)
+
+type plan = {
+  selected : (station * float) list;  (** chosen stations with floors *)
+  total_floor : float;
+  job : float;
+  feasible : bool;
+  slack : float;  (** [total_floor - job]; negative iff infeasible *)
+}
+
+val plan : ?estimator:estimator -> job:float -> station list -> plan
+(** A minimal-cardinality subset guaranteeing the job (largest floors
+    first — optimal since coverage is a plain sum); selects everything
+    and reports infeasibility when the job exceeds the total capacity.
+    @raise Invalid_argument on a non-positive job or empty station
+    list. *)
+
+val shares : plan -> (station * float) list
+(** Split the job proportionally to the floors; under a feasible plan
+    each share is individually guaranteed.
+    @raise Invalid_argument when the plan has zero capacity. *)
+
+val max_guaranteed_job : ?estimator:estimator -> station list -> float
+(** The largest job this station set can guarantee. *)
+
+val pp_plan : Format.formatter -> plan -> unit

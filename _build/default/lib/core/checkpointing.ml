@@ -1,0 +1,161 @@
+(* Cheap-checkpoint extension of the draconian model.
+
+   The paper's contract kills "all work since the last checkpoint", and
+   in the base model the only checkpoints are the period boundaries:
+   banking results costs a full paired communication c (results return +
+   next work shipment).  This module generalises: the worker may write
+   intermediate checkpoints at cost h <= c each (an incremental result
+   return that does not need a new work shipment), while regaining
+   control after an interrupt still costs a full setup c.
+
+   The base model is recovered at h = c (every checkpoint is a full
+   round trip); h << c models copy-on-write snapshots or incremental
+   uploads.  The analysis mirrors Section 3.1: with equal segments of
+   compute length s, each followed by an h-checkpoint, the adversary
+   kills p segments at their last instants, so
+
+     W ~ U - (p+1)c - (number of checkpoints) h - p s,
+
+   and optimising s gives s* + h = sqrt(U h / p) and guaranteed work
+
+     W ~ U - 2 sqrt(p h U) + p h - (p+1) c + O(1):
+
+   the sqrt-loss scales with the *checkpoint* cost, not the full setup
+   cost -- the quantitative value of cheap checkpoints.
+
+   An exact integer-grid DP (mirroring Dp) validates the closed form:
+
+     V(p, l)  = G(p, l - c)                    (pay setup, then play)
+     G(0, l)  = l                              (no risk: compute straight)
+     G(p, 0)  = 0
+     G(p, l)  = max_{s >= 1} min( s + G(p, l - s - h)     (segment + its
+                                                            checkpoint land)
+                                , V(p-1, l - s - h) )     (killed at the
+                                                            last instant)
+
+   where the kill wastes the whole segment and its checkpoint write. *)
+
+type params = {
+  base : Model.params; (* the full setup cost c *)
+  h : float;           (* cost of one intermediate checkpoint, 0 < h <= c *)
+}
+
+let params base ~h =
+  if h <= 0. then invalid_arg "Checkpointing.params: h must be positive";
+  if h > Model.c base then
+    invalid_arg "Checkpointing.params: h must not exceed the full setup cost c";
+  { base; h }
+
+let h t = t.h
+let c t = Model.c t.base
+
+(* Optimal equal segment length (compute portion): s* = sqrt(U h / p) - h,
+   clamped positive.  For p = 0 no checkpoints are needed at all. *)
+let optimal_segment t ~u ~p =
+  if u <= 0. then invalid_arg "Checkpointing.optimal_segment: u must be positive";
+  if p < 0 then invalid_arg "Checkpointing.optimal_segment: p must be non-negative";
+  if p = 0 then u
+  else begin
+    let stride = Float.sqrt (u *. t.h /. float_of_int p) in
+    Float.max (t.h /. 2.) (stride -. t.h)
+  end
+
+(* Closed-form guaranteed work of the non-adaptive equal-segment plan. *)
+let equal_segment_closed_form t ~u ~p =
+  if p < 0 then
+    invalid_arg "Checkpointing.equal_segment_closed_form: p must be non-negative";
+  let c = c t in
+  if p = 0 then Model.positive_sub u c
+  else begin
+    let pf = float_of_int p in
+    Model.positive_sub
+      (u +. (pf *. t.h))
+      ((2. *. Float.sqrt (pf *. t.h *. u)) +. ((pf +. 1.) *. c))
+  end
+
+(* Closed-form guaranteed work of optimal *adaptive* checkpointed play:
+   the exact DP below shows the game is isomorphic to the base game with
+   h in place of c in the sqrt-loss, plus a fixed (p+1)c re-entry tax:
+
+     W ~ U - (p+1) c - a_p sqrt(2 h U)
+
+   with a_p the base game's optimal coefficients (verified against the
+   DP within a few ticks in test_checkpointing.ml). *)
+let closed_form t ~u ~p =
+  if p < 0 then invalid_arg "Checkpointing.closed_form: p must be non-negative";
+  let c = c t in
+  if p = 0 then Model.positive_sub u c
+  else
+    Model.positive_sub u
+      ((float_of_int (p + 1) *. c)
+       +. (Adaptive.optimal_coefficient ~p *. Float.sqrt (2. *. t.h *. u)))
+
+(* --- Exact integer-grid DP ------------------------------------------- *)
+
+type table = {
+  cp : params_int;
+  max_p : int;
+  max_l : int;
+  g : int array array; (* g.(p).(l): value with setup already paid *)
+}
+
+and params_int = { c_ticks : int; h_ticks : int }
+
+let solve ~c_ticks ~h_ticks ~max_p ~max_l =
+  if h_ticks < 1 then invalid_arg "Checkpointing.solve: h must be >= 1 tick";
+  if c_ticks < h_ticks then invalid_arg "Checkpointing.solve: need c >= h";
+  if max_p < 0 || max_l < 0 then invalid_arg "Checkpointing.solve: negative bounds";
+  let g = Array.make_matrix (max_p + 1) (max_l + 1) 0 in
+  for l = 0 to max_l do
+    g.(0).(l) <- l
+  done;
+  (* v p l = value before paying the re-entry setup. *)
+  let v p l = if l <= c_ticks then 0 else g.(p).(l - c_ticks) in
+  for p = 1 to max_p do
+    for l = 1 to max_l do
+      let best = ref 0 in
+      (* s + h <= l for the segment and checkpoint to fit; larger s is
+         pointless beyond l - h_ticks. *)
+      for s = 1 to l - h_ticks do
+        let rest = l - s - h_ticks in
+        let survive = s + g.(p).(rest) in
+        let killed = v (p - 1) rest in
+        let cand = min survive killed in
+        if cand > !best then best := cand
+      done;
+      (* Also allowed: compute to the end with no further checkpoint --
+         worthless under an interrupt but fine if l is tiny. *)
+      g.(p).(l) <- !best
+    done
+  done;
+  { cp = { c_ticks; h_ticks }; max_p; max_l; g }
+
+let check t ~p ~l =
+  if p < 0 || p > t.max_p then invalid_arg "Checkpointing: p out of range";
+  if l < 0 || l > t.max_l then invalid_arg "Checkpointing: l out of range"
+
+(* Guaranteed work (in ticks) for a fresh opportunity of l ticks: pay the
+   initial setup, then play. *)
+let value t ~p ~l =
+  check t ~p ~l;
+  if l <= t.cp.c_ticks then 0 else t.g.(p).(l - t.cp.c_ticks)
+
+(* The interior (post-setup) value, for tests of the recurrence. *)
+let interior_value t ~p ~l =
+  check t ~p ~l;
+  t.g.(p).(l)
+
+(* --- Comparison helpers ------------------------------------------------ *)
+
+(* The base model's guaranteed-work estimate at the same (u, p): the
+   calibrated coefficient bound U - a_p sqrt(2cU).  Used to report the
+   value of cheap checkpoints as a ratio of losses. *)
+let base_model_bound t ~u ~p = Adaptive.approx_value t.base ~p u
+
+(* Loss ratio (checkpointed loss / base-model loss); < 1 when
+   checkpoints help.  Both from closed forms. *)
+let loss_ratio t ~u ~p =
+  if p <= 0 then invalid_arg "Checkpointing.loss_ratio: needs p >= 1";
+  let base_loss = u -. base_model_bound t ~u ~p in
+  let cp_loss = u -. closed_form t ~u ~p in
+  cp_loss /. base_loss

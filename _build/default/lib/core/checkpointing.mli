@@ -1,0 +1,58 @@
+(** Cheap-checkpoint extension of the draconian model.
+
+    The paper's interrupts kill "all work since the last checkpoint"; in
+    the base model checkpoints are period boundaries costing a full
+    paired communication [c].  Here the worker may also write
+    intermediate checkpoints at cost [h <= c] each (incremental result
+    returns), while resuming after an interrupt still costs [c].  The
+    base model is recovered at [h = c]; the analysis shows the
+    [sqrt]-loss scales with [h] rather than [c]:
+    [W ~ U - 2 sqrt(p h U) + p h - (p+1) c]. *)
+
+type params
+
+val params : Model.params -> h:float -> params
+(** @raise Invalid_argument unless [0 < h <= c]. *)
+
+val h : params -> float
+val c : params -> float
+
+val optimal_segment : params -> u:float -> p:int -> float
+(** The equal-segment compute length [s* ~ sqrt(U h / p) - h] (the whole
+    lifespan when [p = 0]). *)
+
+val equal_segment_closed_form : params -> u:float -> p:int -> float
+(** Guaranteed work of the non-adaptive equal-segment plan
+    ([U - 2 sqrt(p h U) + p h - (p+1) c], clamped at 0). *)
+
+val closed_form : params -> u:float -> p:int -> float
+(** Guaranteed work of optimal {e adaptive} checkpointed play:
+    [U - (p+1) c - a_p sqrt(2 h U)] (clamped at 0), with [a_p] the base
+    game's optimal coefficients; matches the exact {!solve} values within
+    a few ticks (tested). *)
+
+type table
+(** A solved integer-grid game (mirrors {!Dp}). *)
+
+val solve : c_ticks:int -> h_ticks:int -> max_p:int -> max_l:int -> table
+(** Exact value of the checkpointed game on an integer grid:
+    segments of [s] ticks followed by an [h]-tick checkpoint; a kill at
+    the last instant wastes segment and checkpoint; resuming costs [c].
+    [O(max_p * max_l^2)].
+    @raise Invalid_argument unless [1 <= h_ticks <= c_ticks]. *)
+
+val value : table -> p:int -> l:int -> int
+(** Guaranteed work (ticks) for a fresh opportunity of [l] ticks
+    (initial setup included). *)
+
+val interior_value : table -> p:int -> l:int -> int
+(** The post-setup value [G(p)[l]], exposed for recurrence tests. *)
+
+val base_model_bound : params -> u:float -> p:int -> float
+(** The base (per-period-checkpoint) model's guaranteed-work estimate at
+    the same [(u, p)], from the calibrated coefficients. *)
+
+val loss_ratio : params -> u:float -> p:int -> float
+(** Checkpointed loss over base-model loss (closed forms); below 1 when
+    cheap checkpoints help.
+    @raise Invalid_argument when [p < 1]. *)

@@ -1,0 +1,158 @@
+(* Exact solution of the guaranteed-output game on an integer time grid
+   (the "bootstrapping" of paper Section 4).
+
+   Time is measured in ticks; the setup cost c is an integer number of
+   ticks.  W(p)[L] satisfies
+
+     W(0)[L] = L (-) c                       (Proposition 4.1(d))
+     W(p)[0] = 0
+     W(p)[L] = max_{1 <= t <= L}
+                 min( W(p-1)[L - t],                    -- killed at the
+                                                           last instant
+                      (t (-) c) + W(p)[L - t] )         -- period survives
+
+   The recurrence prices each period as it is chosen; because the game is
+   deterministic and perfect-information, committing to a whole episode
+   schedule up front has the same value as choosing period-by-period (the
+   brute-force oracle below checks this on small instances).  The optimal
+   episode schedule is recovered by following the argmax chain at fixed p.
+
+   Complexity: O(max_p * max_l^2) time, O(max_p * max_l) space. *)
+
+type t = {
+  c : int;
+  max_p : int;
+  max_l : int;
+  value : int array array; (* value.(p).(l) = W(p)[l] *)
+  first : int array array; (* an optimal first period length at (p, l) *)
+}
+
+let c t = t.c
+let max_p t = t.max_p
+let max_l t = t.max_l
+
+let solve ~c ~max_p ~max_l =
+  if c < 1 then invalid_arg "Dp.solve: c must be >= 1 tick";
+  if max_p < 0 then invalid_arg "Dp.solve: max_p must be non-negative";
+  if max_l < 0 then invalid_arg "Dp.solve: max_l must be non-negative";
+  let value = Array.make_matrix (max_p + 1) (max_l + 1) 0 in
+  let first = Array.make_matrix (max_p + 1) (max_l + 1) 0 in
+  for l = 0 to max_l do
+    value.(0).(l) <- max 0 (l - c);
+    first.(0).(l) <- l
+  done;
+  for p = 1 to max_p do
+    let vp = value.(p) and vp1 = value.(p - 1) in
+    let fp = first.(p) in
+    for l = 1 to max_l do
+      (* t = l is always available and yields min(vp1.(0), ...) = 0, so
+         the maximum is at least 0; seed with it. *)
+      let best = ref 0 and best_t = ref l in
+      for t = 1 to l do
+        let survive = max 0 (t - c) + vp.(l - t) in
+        let killed = vp1.(l - t) in
+        let cand = if killed < survive then killed else survive in
+        if cand > !best then begin
+          best := cand;
+          best_t := t
+        end
+      done;
+      vp.(l) <- !best;
+      fp.(l) <- !best_t
+    done
+  done;
+  { c; max_p; max_l; value; first }
+
+let check t ~p ~l =
+  if p < 0 || p > t.max_p then
+    invalid_arg (Printf.sprintf "Dp: p = %d outside 0..%d" p t.max_p);
+  if l < 0 || l > t.max_l then
+    invalid_arg (Printf.sprintf "Dp: l = %d outside 0..%d" l t.max_l)
+
+let value t ~p ~l =
+  check t ~p ~l;
+  t.value.(p).(l)
+
+let optimal_first_period t ~p ~l =
+  check t ~p ~l;
+  t.first.(p).(l)
+
+(* The episode schedule optimal play follows while no interrupt occurs:
+   the argmax chain at fixed p.  Covers l exactly. *)
+let optimal_episode t ~p ~l =
+  check t ~p ~l;
+  let rec go l acc =
+    if l = 0 then List.rev acc
+    else begin
+      let tk = t.first.(p).(l) in
+      assert (tk >= 1 && tk <= l);
+      go (l - tk) (tk :: acc)
+    end
+  in
+  go l []
+
+(* Brute-force oracle over *committed* episode schedules, used by tests
+   to validate both the recurrence and the claim that per-period play has
+   the same value as per-episode commitment.  For each composition
+   t_1..t_m of l, the adversary either lets the episode run or kills some
+   period k at its last instant, after which play continues optimally
+   (recursively brute-forced) with p - 1 interrupts.  Exponential in l:
+   use only for l <~ 16. *)
+let rec brute_force_committed ~c ~p ~l =
+  if l <= 0 then 0
+  else if p = 0 then max 0 (l - c)
+  else begin
+    (* Enumerate compositions incrementally, tracking banked work and
+       the adversary's running minimum over kill options. *)
+    let best = ref 0 in
+    let rec extend ~remaining ~banked ~adversary_min =
+      if remaining = 0 then begin
+        let v = min adversary_min banked in
+        if v > !best then best := v
+      end
+      else
+        for tk = 1 to remaining do
+          let after_kill = brute_force_committed ~c ~p:(p - 1) ~l:(remaining - tk) in
+          let kill_value = banked + after_kill in
+          extend
+            ~remaining:(remaining - tk)
+            ~banked:(banked + max 0 (tk - c))
+            ~adversary_min:(min adversary_min kill_value)
+        done
+    in
+    extend ~remaining:l ~banked:0 ~adversary_min:max_int;
+    !best
+  end
+
+(* Map the integer solution onto the float world: one tick equals
+   [tick] time units, so the float setup cost is [tick * c]. *)
+let tick_of_params t params = Model.c params /. float_of_int t.c
+
+let float_value t params ~p ~residual =
+  let tick = tick_of_params t params in
+  let l = min t.max_l (int_of_float (residual /. tick)) in
+  let p = min p t.max_p in
+  float_of_int t.value.(p).(l) *. tick
+
+let float_episode t params ~p ~residual =
+  let tick = tick_of_params t params in
+  let l = min t.max_l (int_of_float (residual /. tick)) in
+  let p = min p t.max_p in
+  if l = 0 then Schedule.singleton residual
+  else begin
+    let ticks = optimal_episode t ~p ~l in
+    let periods = List.map (fun n -> float_of_int n *. tick) ticks in
+    (* The grid may not cover the residual exactly; absorb the remainder
+       into the final period so the schedule spans the residual. *)
+    let covered = Csutil.Float_ext.sum_list periods in
+    let slack = residual -. covered in
+    let periods =
+      if slack <= 0. then periods
+      else begin
+        match List.rev periods with
+        | last :: rest -> List.rev ((last +. slack) :: rest)
+        | [] -> assert false
+      end
+    in
+    Schedule.of_list periods
+  end

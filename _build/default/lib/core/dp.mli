@@ -1,0 +1,48 @@
+(** Exact solution of the guaranteed-output game on an integer time grid
+    (the "bootstrapping" of paper Section 4).
+
+    Time is measured in ticks; the setup cost [c] is an integer number of
+    ticks.  The table holds [W(p)[L]] — the maximum work any adaptive
+    schedule can guarantee with residual lifespan [L] and up to [p]
+    interrupts — for all [p <= max_p], [L <= max_l]. *)
+
+type t
+(** A solved table. *)
+
+val solve : c:int -> max_p:int -> max_l:int -> t
+(** [solve ~c ~max_p ~max_l] fills the table by the recurrence
+    [W(p)[L] = max_t min (W(p-1)[L-t], (t (-) c) + W(p)[L-t])] with base
+    cases [W(0)[L] = L (-) c] and [W(p)[0] = 0].
+    [O(max_p * max_l^2)] time.
+    @raise Invalid_argument when [c < 1] or bounds are negative. *)
+
+val c : t -> int
+val max_p : t -> int
+val max_l : t -> int
+
+val value : t -> p:int -> l:int -> int
+(** [W(p)[l]] in ticks.  @raise Invalid_argument out of table range. *)
+
+val optimal_first_period : t -> p:int -> l:int -> int
+(** An optimal first period length at state [(p, l)]. *)
+
+val optimal_episode : t -> p:int -> l:int -> int list
+(** The episode schedule optimal play follows while no interrupt occurs
+    (the argmax chain at fixed [p]); covers [l] exactly. *)
+
+val brute_force_committed : c:int -> p:int -> l:int -> int
+(** Test oracle: exhaustive search over committed episode schedules
+    (all compositions of [l]) with optimal recursive continuation after
+    each interrupt.  Exponential in [l]; use only for [l <~ 16]. *)
+
+val tick_of_params : t -> Model.params -> float
+(** The duration of one tick when the table's integer [c] represents the
+    float cost in [params]. *)
+
+val float_value : t -> Model.params -> p:int -> residual:float -> float
+(** [W(p)[residual]] mapped into float time units (residual rounded down
+    to the grid; [p] and the grid length clamped to the table). *)
+
+val float_episode : t -> Model.params -> p:int -> residual:float -> Schedule.t
+(** The optimal episode for the rounded state, stretched to cover
+    [residual] exactly (grid slack absorbed into the final period). *)

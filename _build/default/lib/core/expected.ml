@@ -1,0 +1,228 @@
+(* The expected-output submodel: the other facet of the two-faceted model
+   of Bhatt-Chung-Leighton-Rosenberg (IEEE TC 1997, [3]), studied in the
+   companion paper (Rosenberg, IPPS 1998, [9]).
+
+   Here the opportunity ends at a random time X with a *known*
+   distribution (rather than at an adversarially chosen one of up to p
+   times), and the goal is to maximise the expected accomplished work.
+   A period [T_(k-1), T_k) banks its t_k - c units iff the opportunity
+   survives through T_k, so for a schedule S,
+
+     E[W(S)] = sum_k P(X >= T_k) * (t_k (-) c).
+
+   This module exists for two reasons: (1) it completes the model the
+   paper positions itself within, making the geometric baseline's origin
+   precise; (2) experiment E8 quantifies the "price of paranoia" — how
+   much expected output the guaranteed-output guidelines give up, and how
+   badly expected-output schedules can fare against the adversary. *)
+
+(* Risk models for the kill time X.  [survival r t] is P(X > t); all
+   risks here have continuous distributions, so P(X >= t) = P(X > t). *)
+type risk =
+  | Never                          (* X = infinity: B is never reclaimed *)
+  | Exponential of { rate : float }
+    (* memoryless reclaim at the given rate *)
+  | Uniform of { horizon : float }
+    (* reclaim uniform on [0, horizon] -- increasing hazard *)
+  | Weibull of { scale : float; shape : float }
+    (* shape < 1: decreasing hazard; shape > 1: increasing hazard *)
+
+let exponential ~rate =
+  if rate <= 0. then invalid_arg "Expected.exponential: rate must be positive";
+  Exponential { rate }
+
+let uniform ~horizon =
+  if horizon <= 0. then invalid_arg "Expected.uniform: horizon must be positive";
+  Uniform { horizon }
+
+let weibull ~scale ~shape =
+  if scale <= 0. || shape <= 0. then
+    invalid_arg "Expected.weibull: scale and shape must be positive";
+  Weibull { scale; shape }
+
+let survival risk t =
+  if t <= 0. then 1.
+  else
+    match risk with
+    | Never -> 1.
+    | Exponential { rate } -> Float.exp (-.rate *. t)
+    | Uniform { horizon } -> if t >= horizon then 0. else 1. -. (t /. horizon)
+    | Weibull { scale; shape } -> Float.exp (-.((t /. scale) ** shape))
+
+(* [sample risk rng] draws a kill time (possibly infinite). *)
+let sample risk rng =
+  match risk with
+  | Never -> Float.infinity
+  | Exponential { rate } -> Csutil.Rng.exponential rng ~rate
+  | Uniform { horizon } -> Csutil.Rng.float_range rng ~lo:0. ~hi:horizon
+  | Weibull { scale; shape } ->
+    let u = Float.max 1e-300 (1. -. Csutil.Rng.float01 rng) in
+    scale *. ((-.Float.log u) ** (1. /. shape))
+
+let pp_risk fmt = function
+  | Never -> Format.pp_print_string fmt "never"
+  | Exponential { rate } -> Format.fprintf fmt "exponential(rate=%g)" rate
+  | Uniform { horizon } -> Format.fprintf fmt "uniform(horizon=%g)" horizon
+  | Weibull { scale; shape } ->
+    Format.fprintf fmt "weibull(scale=%g, shape=%g)" scale shape
+
+(* Expected work of a schedule: each period pays off iff the opportunity
+   survives through its end. *)
+let expected_work params risk s =
+  let c = Model.c params in
+  let acc = ref 0. in
+  for k = 1 to Schedule.length s do
+    acc :=
+      !acc
+      +. (survival risk (Schedule.end_time s k)
+          *. Model.positive_sub (Schedule.period s k) c)
+  done;
+  !acc
+
+(* --- Optimal schedules ---------------------------------------------- *)
+
+(* Memoryless risk admits a stationary optimum: every period has the same
+   length t*, the maximiser of the per-period value series
+     f(t) = (t - c) * e^(-rate t) / (1 - e^(-rate t))
+   (the expected work of an infinite equal-period schedule, summed
+   geometrically).  f is unimodal on (c, infinity); golden-section
+   search finds t*. *)
+let optimal_period_exponential params ~rate =
+  if rate <= 0. then
+    invalid_arg "Expected.optimal_period_exponential: rate must be positive";
+  let c = Model.c params in
+  let f t =
+    let q = Float.exp (-.rate *. t) in
+    (t -. c) *. q /. (1. -. q)
+  in
+  let phi = (Float.sqrt 5. -. 1.) /. 2. in
+  (* Bracket: the maximiser exceeds c and is below c + 3/rate + 3 sqrt(c/rate)
+     (the value decays exponentially past the mean scale); widen to be safe. *)
+  let lo = ref c and hi = ref (c +. (10. /. rate) +. (10. *. Float.sqrt (c /. rate))) in
+  let x1 = ref (!hi -. (phi *. (!hi -. !lo))) in
+  let x2 = ref (!lo +. (phi *. (!hi -. !lo))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  for _ = 1 to 200 do
+    if !f1 >= !f2 then begin
+      hi := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !hi -. (phi *. (!hi -. !lo));
+      f1 := f !x1
+    end
+    else begin
+      lo := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !lo +. (phi *. (!hi -. !lo));
+      f2 := f !x2
+    end
+  done;
+  (!lo +. !hi) /. 2.
+
+(* Equal periods of the stationary optimum, truncated to the horizon
+   (the final period absorbs the remainder). *)
+let optimal_exponential_schedule params ~rate ~horizon =
+  if horizon <= 0. then
+    invalid_arg "Expected.optimal_exponential_schedule: horizon must be positive";
+  let t_star = optimal_period_exponential params ~rate in
+  if t_star >= horizon then Schedule.singleton horizon
+  else begin
+    let m = int_of_float (horizon /. t_star) in
+    let rem = horizon -. (float_of_int m *. t_star) in
+    let periods = List.init m (fun _ -> t_star) in
+    let periods = if rem > 1e-9 *. horizon then periods @ [ rem ] else periods in
+    Schedule.of_list periods
+  end
+
+(* General risks: discretised DP over period boundaries.
+   V(i) = max over j > i of survival(time_j) * (time_j - time_i - c) + V(j),
+   on a uniform grid of [steps] points over [0, horizon].  O(steps^2).
+   Returns the optimal schedule (boundaries mapped back to times). *)
+let optimal_schedule_dp params risk ~horizon ~steps =
+  if horizon <= 0. then
+    invalid_arg "Expected.optimal_schedule_dp: horizon must be positive";
+  if steps < 1 then invalid_arg "Expected.optimal_schedule_dp: steps must be >= 1";
+  let c = Model.c params in
+  let dt = horizon /. float_of_int steps in
+  let time i = float_of_int i *. dt in
+  let value = Array.make (steps + 1) 0. in
+  let next = Array.make (steps + 1) steps in
+  (* A final zero-value period to the horizon is always allowed; V(steps)
+     = 0.  Work backwards. *)
+  for i = steps - 1 downto 0 do
+    let best = ref 0. and best_j = ref steps in
+    for j = i + 1 to steps do
+      let w =
+        (survival risk (time j) *. Model.positive_sub (time j -. time i) c)
+        +. value.(j)
+      in
+      if w > !best then begin
+        best := w;
+        best_j := j
+      end
+    done;
+    value.(i) <- !best;
+    next.(i) <- !best_j
+  done;
+  let rec boundaries i acc =
+    if i >= steps then List.rev (steps :: acc) else boundaries next.(i) (i :: acc)
+  in
+  let bs = boundaries 0 [] in
+  let rec periods = function
+    | i :: (j :: _ as rest) -> (time j -. time i) :: periods rest
+    | [ _ ] | [] -> []
+  in
+  (Schedule.of_list (periods bs), value.(0))
+
+(* One sampled opportunity: run the schedule until the drawn kill time. *)
+let one_sample params risk s rng =
+  let c = Model.c params in
+  let x = sample risk rng in
+  let w = ref 0. in
+  (try
+     for k = 1 to Schedule.length s do
+       if Schedule.end_time s k <= x then
+         w := !w +. Model.positive_sub (Schedule.period s k) c
+       else raise Exit
+     done
+   with Exit -> ());
+  !w
+
+(* Monte-Carlo estimate of expected work under a sampled kill time: the
+   opportunity runs the schedule until X; used by tests to validate
+   [expected_work] through the game engine's accounting. *)
+let monte_carlo_expected params risk s ~rng ~samples =
+  if samples < 1 then invalid_arg "Expected.monte_carlo_expected: samples >= 1";
+  let acc = ref 0. in
+  for _ = 1 to samples do
+    acc := !acc +. one_sample params risk s rng
+  done;
+  !acc /. float_of_int samples
+
+(* Data-parallel Monte Carlo across domains: deterministic given (seed,
+   chunks) — each chunk owns an independent splitmix64 stream, so the
+   result does not depend on how chunks are scheduled. *)
+let monte_carlo_expected_par ?domains params risk s ~seed ~samples =
+  if samples < 1 then
+    invalid_arg "Expected.monte_carlo_expected_par: samples >= 1";
+  let chunks =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Expected.monte_carlo_expected_par: domains >= 1"
+    | None -> Csutil.Par.available_domains ()
+  in
+  let chunks = min chunks samples in
+  let per_chunk = samples / chunks in
+  let extra = samples mod chunks in
+  let totals =
+    Csutil.Par.init ~domains:chunks chunks (fun i ->
+        let n = per_chunk + (if i < extra then 1 else 0) in
+        let rng = Csutil.Rng.create ~seed:(seed + (i * 0x9E3779B9)) in
+        let acc = ref 0. in
+        for _ = 1 to n do
+          acc := !acc +. one_sample params risk s rng
+        done;
+        !acc)
+  in
+  Csutil.Float_ext.sum totals /. float_of_int samples

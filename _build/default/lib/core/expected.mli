@@ -1,0 +1,64 @@
+(** The expected-output submodel — the other facet of the two-faceted
+    model of [3], studied in the companion paper [9].
+
+    The opportunity ends at a random time [X] with known distribution;
+    period [k] banks [t_k - c] iff [X >= T_k], so
+    [E[W(S)] = sum_k P(X >= T_k) (t_k (-) c)].  Included to make the
+    geometric baseline's origin precise and to support experiment E8
+    (the guaranteed-vs-expected trade-off). *)
+
+type risk =
+  | Never  (** [X] is infinite: the workstation is never reclaimed. *)
+  | Exponential of { rate : float }  (** memoryless reclaim *)
+  | Uniform of { horizon : float }   (** uniform on [0, horizon] *)
+  | Weibull of { scale : float; shape : float }
+      (** [shape < 1]: decreasing hazard; [> 1]: increasing hazard *)
+
+val exponential : rate:float -> risk
+(** @raise Invalid_argument on non-positive parameters (likewise
+    below). *)
+
+val uniform : horizon:float -> risk
+val weibull : scale:float -> shape:float -> risk
+
+val survival : risk -> float -> float
+(** [P(X > t)]; [1.] for [t <= 0]. *)
+
+val sample : risk -> Csutil.Rng.t -> float
+(** Draw a kill time (possibly infinite). *)
+
+val pp_risk : Format.formatter -> risk -> unit
+
+val expected_work : Model.params -> risk -> Schedule.t -> float
+(** [E[W(S)]] under the risk model. *)
+
+val optimal_period_exponential : Model.params -> rate:float -> float
+(** The stationary optimal period length under memoryless risk (the
+    maximiser of [(t - c) e^(-rate t) / (1 - e^(-rate t))], found by
+    golden-section search). *)
+
+val optimal_exponential_schedule :
+  Model.params -> rate:float -> horizon:float -> Schedule.t
+(** Equal periods of the stationary optimum, truncated to the horizon. *)
+
+val optimal_schedule_dp :
+  Model.params -> risk -> horizon:float -> steps:int -> Schedule.t * float
+(** Discretised [O(steps^2)] DP over period boundaries: the optimal
+    schedule for an arbitrary risk, and its expected work. *)
+
+val monte_carlo_expected :
+  Model.params -> risk -> Schedule.t -> rng:Csutil.Rng.t -> samples:int -> float
+(** Monte-Carlo estimate of [E[W(S)]], used by tests to validate
+    {!expected_work}. *)
+
+val monte_carlo_expected_par :
+  ?domains:int ->
+  Model.params ->
+  risk ->
+  Schedule.t ->
+  seed:int ->
+  samples:int ->
+  float
+(** Data-parallel Monte Carlo on OCaml 5 domains: deterministic given
+    [(seed, domains)] — each chunk owns an independent splitmix64
+    stream. *)

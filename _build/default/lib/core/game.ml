@@ -1,0 +1,253 @@
+(* The cycle-stealing game (paper Section 4): play a policy against an
+   adversary, and compute a policy's exact guaranteed work against the
+   optimal adversary.
+
+   The engine is the analytic counterpart of the NOW simulator; both
+   drive the same Policy interface, and experiment E7 checks that they
+   agree action for action. *)
+
+type episode_outcome =
+  | Completed
+  | Interrupted of { period : int; fraction : float }
+
+type episode_record = {
+  start_elapsed : float;   (* opportunity time when the episode began *)
+  planned : Schedule.t;
+  outcome : episode_outcome;
+  work : float;            (* work banked by this episode *)
+  duration : float;        (* lifespan consumed by this episode *)
+}
+
+type outcome = {
+  work : float;
+  interrupts_used : int;
+  episodes : episode_record list; (* in play order *)
+}
+
+let progress_eps opp = 1e-9 *. opp.Model.lifespan
+
+(* Validate a plan against the current state: it must make progress and
+   must not exceed the residual lifespan. *)
+let check_plan ~policy_name ~eps ctx s =
+  let tot = Schedule.total s in
+  if tot > ctx.Policy.residual +. eps then
+    invalid_arg
+      (Printf.sprintf "Game: policy %s planned %g exceeding residual %g"
+         policy_name tot ctx.Policy.residual);
+  if tot <= eps then
+    invalid_arg
+      (Printf.sprintf "Game: policy %s planned a zero-length episode" policy_name)
+
+let run params opportunity policy adversary =
+  let eps = progress_eps opportunity in
+  let rec loop ctx episodes work interrupts_used =
+    if ctx.Policy.residual <= eps then (episodes, work, interrupts_used)
+    else begin
+      let s = Policy.plan policy ctx in
+      check_plan ~policy_name:(Policy.name policy) ~eps ctx s;
+      match Adversary.decide adversary ctx s with
+      | Adversary.Let_run ->
+        let w = Schedule.work_if_uninterrupted params s in
+        let duration = Schedule.total s in
+        let record =
+          {
+            start_elapsed = Policy.elapsed ctx;
+            planned = s;
+            outcome = Completed;
+            work = w;
+            duration;
+          }
+        in
+        let ctx = { ctx with Policy.residual = ctx.Policy.residual -. duration } in
+        loop ctx (record :: episodes) (work +. w) interrupts_used
+      | Adversary.Interrupt { period; fraction } ->
+        let duration =
+          Schedule.start_time s period +. (fraction *. Schedule.period s period)
+        in
+        let w = Schedule.work_before params s period in
+        let record =
+          {
+            start_elapsed = Policy.elapsed ctx;
+            planned = s;
+            outcome = Interrupted { period; fraction };
+            work = w;
+            duration;
+          }
+        in
+        let ctx =
+          {
+            ctx with
+            Policy.residual = ctx.Policy.residual -. duration;
+            Policy.interrupts_left = ctx.Policy.interrupts_left - 1;
+          }
+        in
+        loop ctx (record :: episodes) (work +. w) (interrupts_used + 1)
+    end
+  in
+  let episodes, work, interrupts_used =
+    loop (Policy.initial_context params opportunity) [] 0. 0
+  in
+  { work; interrupts_used; episodes = List.rev episodes }
+
+(* --- Timeline rendering ------------------------------------------------ *)
+
+(* An ASCII timeline of the opportunity: one lane per episode, '=' for
+   completed-period time, '.' for the setup share, 'x' for the killed
+   stretch, '!' at the interrupt.  Used by the CLI's evaluate command. *)
+let render_timeline ?(width = 72) params opportunity outcome =
+  if width < 16 then invalid_arg "Game.render_timeline: width too small";
+  let u = opportunity.Model.lifespan in
+  let c = Model.c params in
+  let col t = int_of_float (t /. u *. float_of_int (width - 1)) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "0%s%s\n" (String.make (width - 2) ' ')
+       (Printf.sprintf "%g" u));
+  List.iteri
+    (fun i (e : episode_record) ->
+       let line = Bytes.make width ' ' in
+       let mark a b ch =
+         for x = max 0 (col a) to min (width - 1) (col b) do
+           Bytes.set line x ch
+         done
+       in
+       let pos = ref e.start_elapsed in
+       let m = Schedule.length e.planned in
+       let last_full =
+         match e.outcome with
+         | Completed -> m
+         | Interrupted { period; _ } -> period - 1
+       in
+       for k = 1 to last_full do
+         let t = Schedule.period e.planned k in
+         (* Draw the setup share then the work share of the period. *)
+         mark !pos (!pos +. Float.min c t) '.';
+         if t > c then mark (!pos +. c) (!pos +. t) '=';
+         pos := !pos +. t
+       done;
+       (match e.outcome with
+        | Completed -> ()
+        | Interrupted { period; fraction } ->
+          let killed = fraction *. Schedule.period e.planned period in
+          mark !pos (!pos +. killed) 'x';
+          let bang = col (!pos +. killed) in
+          if bang >= 0 && bang < width then Bytes.set line bang '!');
+       Buffer.add_string buf
+         (Printf.sprintf "%s  ep%d %s (%.4g work)\n"
+            (Bytes.to_string line) (i + 1)
+            (match e.outcome with
+             | Completed -> "ran out the lifespan"
+             | Interrupted { period; _ } ->
+               Printf.sprintf "killed in period %d" period)
+            e.work))
+    outcome.episodes;
+  Buffer.contents buf
+
+(* --- Exact guaranteed work (minimax) --------------------------------- *)
+
+(* The recursion considers, per planned episode, the adversary's
+   last-instant options (Observation (a)) plus letting the episode run.
+   For policies whose value is monotone non-decreasing in the residual
+   lifespan -- every policy in this library -- last-instant placements
+   dominate mid-period ones, so the result is the exact minimax value.
+
+   States are memoised on (interrupts_left, residual); with [~grid] the
+   residual is first rounded *down* to the grid, which makes the state
+   space finite at the cost of under-approximating the value by at most
+   one grid step per episode. *)
+
+exception State_budget_exceeded of int
+
+let make_solver ?grid ?(max_states = 4_000_000) params opportunity policy =
+  let c = Model.c params in
+  let eps = progress_eps opportunity in
+  let memo : (int * float, float) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref 0 in
+  let rec value ~p ~residual =
+    let residual =
+      match grid with
+      | None -> residual
+      | Some g -> Csutil.Float_ext.round_down_to ~grid:g residual
+    in
+    if residual <= c +. eps then 0.
+    else begin
+      let key = (p, residual) in
+      match Hashtbl.find_opt memo key with
+      | Some v -> v
+      | None ->
+        incr states;
+        if !states > max_states then raise (State_budget_exceeded !states);
+        let ctx =
+          { Policy.params; opportunity; residual; interrupts_left = p }
+        in
+        let s = Policy.plan policy ctx in
+        check_plan ~policy_name:(Policy.name policy) ~eps ctx s;
+        let leftover = residual -. Schedule.total s in
+        let completed =
+          Schedule.work_if_uninterrupted params s
+          +. (if leftover > eps then value ~p ~residual:leftover else 0.)
+        in
+        let v =
+          if p <= 0 then completed
+          else begin
+            (* banked accumulates work_before incrementally: O(m) total
+               rather than O(m^2). *)
+            let best = ref completed in
+            let banked = ref 0. in
+            let m = Schedule.length s in
+            for k = 1 to m do
+              let rem = residual -. Schedule.end_time s k in
+              let cand = !banked +. value ~p:(p - 1) ~residual:rem in
+              if cand < !best then best := cand;
+              banked := !banked +. Model.positive_sub (Schedule.period s k) c
+            done;
+            !best
+          end
+        in
+        Hashtbl.replace memo key v;
+        v
+    end
+  in
+  value
+
+let guaranteed_at ?grid ?max_states params opportunity policy ~p ~residual =
+  let value = make_solver ?grid ?max_states params opportunity policy in
+  value ~p ~residual
+
+let guaranteed ?grid ?max_states params opportunity policy =
+  guaranteed_at ?grid ?max_states params opportunity policy
+    ~p:opportunity.Model.interrupts ~residual:opportunity.Model.lifespan
+
+(* The minimax adversary realised as a strategy: replays the
+   value-recursion's argmin choice for the episode at hand.  Playing it
+   through [run] against the same policy reproduces [guaranteed] (tested
+   in test/test_game.ml). *)
+let optimal_adversary ?grid ?max_states params opportunity policy =
+  let value = make_solver ?grid ?max_states params opportunity policy in
+  let decide ctx s =
+    let p = ctx.Policy.interrupts_left in
+    if p <= 0 then Adversary.Let_run
+    else begin
+      let eps = progress_eps opportunity in
+      let leftover = ctx.Policy.residual -. Schedule.total s in
+      let completed =
+        Schedule.work_if_uninterrupted params s
+        +. (if leftover > eps then value ~p ~residual:leftover else 0.)
+      in
+      let best = ref completed and best_k = ref 0 in
+      let banked = ref 0. in
+      let m = Schedule.length s in
+      for k = 1 to m do
+        let rem = ctx.Policy.residual -. Schedule.end_time s k in
+        let cand = !banked +. value ~p:(p - 1) ~residual:rem in
+        if cand < !best then begin
+          best := cand;
+          best_k := k
+        end;
+        banked := !banked +. Model.positive_sub (Schedule.period s k) (Model.c params)
+      done;
+      if !best_k = 0 then Adversary.Let_run
+      else Adversary.Interrupt { period = !best_k; fraction = 1.0 }
+    end
+  in
+  Adversary.make ~name:"optimal" ~decide

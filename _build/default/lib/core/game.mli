@@ -1,0 +1,78 @@
+(** The cycle-stealing game (paper Section 4): play a policy against an
+    adversary, or compute the policy's exact guaranteed work against the
+    optimal adversary. *)
+
+type episode_outcome =
+  | Completed
+  | Interrupted of { period : int; fraction : float }
+
+type episode_record = {
+  start_elapsed : float;  (** opportunity time when the episode began *)
+  planned : Schedule.t;
+  outcome : episode_outcome;
+  work : float;           (** work banked by this episode *)
+  duration : float;       (** lifespan consumed by this episode *)
+}
+
+type outcome = {
+  work : float;
+  interrupts_used : int;
+  episodes : episode_record list;  (** in play order *)
+}
+
+val run :
+  Model.params -> Model.opportunity -> Policy.t -> Adversary.t -> outcome
+(** Play the opportunity out: repeatedly plan an episode, let the
+    adversary react, account the work.  Terminates when the residual
+    lifespan is exhausted.
+    @raise Invalid_argument if the policy plans a zero-length episode or
+    overruns the residual. *)
+
+exception State_budget_exceeded of int
+(** Raised by the minimax evaluators when the memoised state space grows
+    past [max_states]; pass [~grid] to bound it. *)
+
+val guaranteed :
+  ?grid:float ->
+  ?max_states:int ->
+  Model.params ->
+  Model.opportunity ->
+  Policy.t ->
+  float
+(** The policy's guaranteed work: the minimax value against an optimal
+    adversary restricted to last-instant interrupt placements
+    (Observation (a)); exact for policies whose value is monotone in the
+    residual lifespan, which covers every policy in this library.  With
+    [~grid] residuals are rounded down to the grid: the state space
+    becomes finite and the result is a lower bound on the exact value
+    (off by at most one grid step per episode). *)
+
+val guaranteed_at :
+  ?grid:float ->
+  ?max_states:int ->
+  Model.params ->
+  Model.opportunity ->
+  Policy.t ->
+  p:int ->
+  residual:float ->
+  float
+(** {!guaranteed} evaluated at an arbitrary interior state, e.g. to
+    tabulate [W^(p-1)] continuations for Table 1. *)
+
+val optimal_adversary :
+  ?grid:float ->
+  ?max_states:int ->
+  Model.params ->
+  Model.opportunity ->
+  Policy.t ->
+  Adversary.t
+(** The minimax adversary as a playable strategy (shares the recursion
+    with {!guaranteed}); running it through {!run} against the same
+    policy reproduces the {!guaranteed} value. *)
+
+val render_timeline :
+  ?width:int -> Model.params -> Model.opportunity -> outcome -> string
+(** An ASCII timeline of the played opportunity, one lane per episode:
+    ['.'] setup, ['='] productive work, ['x'] the killed stretch, ['!']
+    the interrupt instant.  [width] defaults to 72 columns.
+    @raise Invalid_argument when [width < 16]. *)

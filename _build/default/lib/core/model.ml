@@ -1,0 +1,48 @@
+(* The formal model of Rosenberg (IPPS 1999), Section 2.
+
+   A cycle-stealing opportunity is characterised by a usable lifespan [U]
+   and an upper bound [p] on the number of owner interrupts.  The single
+   architecture parameter [c] is the fixed cost of setting up the paired
+   communications that bracket each period. *)
+
+type params = { c : float }
+
+let params ~c =
+  if not (Float.is_finite c) || c <= 0. then
+    invalid_arg "Model.params: setup cost c must be finite and positive";
+  { c }
+
+let c t = t.c
+
+type opportunity = {
+  lifespan : float; (* U > 0: time units B is available to A *)
+  interrupts : int; (* p >= 0: upper bound on owner interrupts *)
+}
+
+let opportunity ~lifespan ~interrupts =
+  if not (Float.is_finite lifespan) || lifespan <= 0. then
+    invalid_arg "Model.opportunity: lifespan U must be finite and positive";
+  if interrupts < 0 then
+    invalid_arg "Model.opportunity: interrupt bound p must be non-negative";
+  { lifespan; interrupts }
+
+(* Positive subtraction, the paper's x (-) y = max(0, x - y).  A period of
+   length t accomplishes t (-) c units of work when it completes. *)
+let ( -^ ) = Csutil.Float_ext.positive_sub
+
+let positive_sub = Csutil.Float_ext.positive_sub
+
+(* Proposition 4.1(c): when U <= (p+1)c the adversary can kill every
+   productive period, so no schedule guarantees positive work.  This is the
+   smallest lifespan worth borrowing. *)
+let min_useful_lifespan t ~interrupts =
+  if interrupts < 0 then invalid_arg "Model.min_useful_lifespan: negative p";
+  float_of_int (interrupts + 1) *. t.c
+
+let is_degenerate t opp =
+  opp.lifespan <= min_useful_lifespan t ~interrupts:opp.interrupts
+
+let pp_params fmt t = Format.fprintf fmt "{ c = %g }" t.c
+
+let pp_opportunity fmt o =
+  Format.fprintf fmt "{ U = %g; p = %d }" o.lifespan o.interrupts

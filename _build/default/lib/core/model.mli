@@ -1,0 +1,48 @@
+(** The formal model of cycle-stealing (paper Section 2).
+
+    Workstation [A] borrows workstation [B] for a usable lifespan of [U]
+    time units, subject to at most [p] owner interrupts, each of which
+    kills all work in progress since the last result return.  Every period
+    (one [A]->[B]->[A] round trip) pays a fixed communication-setup cost
+    [c]; a period of length [t] that completes accomplishes [t (-) c]
+    units of work, where [(-)] is positive subtraction. *)
+
+type params
+(** Architecture parameters; currently the single cost [c] of the paired
+    communications bracketing each period ([c] is independent of the
+    amount of data transmitted, paper Section 2.1). *)
+
+val params : c:float -> params
+(** [params ~c] validates [c > 0].
+    @raise Invalid_argument otherwise. *)
+
+val c : params -> float
+(** The communication-setup cost. *)
+
+type opportunity = {
+  lifespan : float;  (** [U > 0]: time units [B] is available to [A]. *)
+  interrupts : int;  (** [p >= 0]: upper bound on owner interrupts. *)
+}
+(** A cycle-stealing opportunity, paper Section 2.1. *)
+
+val opportunity : lifespan:float -> interrupts:int -> opportunity
+(** Smart constructor validating [lifespan > 0] and [interrupts >= 0].
+    @raise Invalid_argument otherwise. *)
+
+val ( -^ ) : float -> float -> float
+(** Positive subtraction: [x -^ y = max 0. (x -. y)], the paper's
+    [x (-) y]. *)
+
+val positive_sub : float -> float -> float
+(** Prefix form of [( -^ )]. *)
+
+val min_useful_lifespan : params -> interrupts:int -> float
+(** [(p+1) * c].  By Proposition 4.1(c), no schedule guarantees positive
+    work when the lifespan is at most this value. *)
+
+val is_degenerate : params -> opportunity -> bool
+(** Whether the opportunity falls under Proposition 4.1(c) (guaranteed
+    work is necessarily zero). *)
+
+val pp_params : Format.formatter -> params -> unit
+val pp_opportunity : Format.formatter -> opportunity -> unit

@@ -1,0 +1,172 @@
+(* Non-adaptive schedules (paper Sections 2.2 and 3.1).
+
+   A non-adaptive opportunity uses a single episode schedule
+   S = t_1, ..., t_m.  After an interrupt in period i, the tail
+   t_(i+1), ..., t_m is used unchanged; the only exception is that after
+   the p-th interrupt the remainder of the lifespan runs as one long
+   period.
+
+   The paper's guideline (Section 3.1) uses m = floor(sqrt(pU/c)) equal
+   periods of length sqrt(cU/p).  The stated worst case is reached when
+   the adversary kills the last p periods at their last instants. *)
+
+(* Equal-period schedule covering [u] with [m] periods.  Because
+   m * (u/m) = u exactly, no residual handling is needed. *)
+let equal_periods ~u ~m =
+  if m <= 0 then invalid_arg "Nonadaptive.equal_periods: m must be positive";
+  if u <= 0. then invalid_arg "Nonadaptive.equal_periods: u must be positive";
+  Schedule.of_periods (Array.make m (u /. float_of_int m))
+
+(* Section 3.1 guideline: m(p)[U] = floor(sqrt(pU/c)) periods.  The paper
+   states the common period length sqrt(cU/p); with the floor the two are
+   consistent only up to rounding, so we keep m and divide U equally
+   (each period is then sqrt(cU/p) * (1 + O(1/m))), which preserves the
+   analysis and makes the schedule cover U exactly.  For p = 0 the optimal
+   schedule is the single long period (Proposition 4.1(d)). *)
+let guideline params ~u ~p =
+  if u <= 0. then invalid_arg "Nonadaptive.guideline: u must be positive";
+  if p < 0 then invalid_arg "Nonadaptive.guideline: p must be non-negative";
+  if p = 0 then Schedule.singleton u
+  else begin
+    let c = Model.c params in
+    let m = int_of_float (Float.sqrt (float_of_int p *. u /. c)) in
+    let m = max 1 m in
+    equal_periods ~u ~m
+  end
+
+(* The closed form the guideline's analysis yields for the worst case of
+   the equal-period schedule: killing the last p periods at their last
+   instants leaves (m - p) completed periods, so
+     W = (m - p) (t - c) = U - p t - (m - p) c,  t = sqrt(cU/p),
+   i.e. W = U - 2 sqrt(pcU) + pc (+ O(1) rounding).  See DESIGN.md
+   Section 4 for the discrepancy with the abstract's printed middle term
+   sqrt(2pcU). *)
+let closed_form params ~u ~p =
+  let c = Model.c params in
+  if p = 0 then Model.positive_sub u c
+  else
+    let pf = float_of_int p in
+    Model.positive_sub (u +. (pf *. c)) (2. *. Float.sqrt (pf *. c *. u))
+
+(* The abstract's printed variant, kept for EXPERIMENTS.md comparison. *)
+let closed_form_as_printed params ~u ~p =
+  let c = Model.c params in
+  if p = 0 then Model.positive_sub u c
+  else
+    let pf = float_of_int p in
+    Model.positive_sub (u +. (pf *. c)) (Float.sqrt (2. *. pf *. c *. u))
+
+(* Work achieved by schedule [s] (covering lifespan [u]) when the
+   adversary interrupts exactly at the last instants of the periods whose
+   indices are listed (strictly increasing) in [interrupted]; at most [p]
+   interrupts.  Paper Section 2.2:
+
+     W(S) = sum over completed periods of (t_k (-) c),
+
+   where "completed" means k not interrupted and, if all p interrupts were
+   used at i_1 < ... < i_p, periods after i_p are replaced by one long
+   period of length U - T_(i_p). *)
+let work_given_interrupts params ~u ~p s ~interrupted =
+  let m = Schedule.length s in
+  let rec check_sorted = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+      if a >= b then
+        invalid_arg "Nonadaptive.work_given_interrupts: indices must be increasing";
+      check_sorted rest
+  in
+  check_sorted interrupted;
+  List.iter
+    (fun k ->
+       if k < 1 || k > m then
+         invalid_arg "Nonadaptive.work_given_interrupts: index outside 1..m")
+    interrupted;
+  let a = List.length interrupted in
+  if a > p then
+    invalid_arg "Nonadaptive.work_given_interrupts: more interrupts than p";
+  let c = Model.c params in
+  if a = p && p > 0 then begin
+    (* All interrupts used: periods before the last interrupt contribute
+       unless killed; the remainder runs as one long period. *)
+    let last = List.nth interrupted (a - 1) in
+    let acc = ref 0. in
+    for k = 1 to last - 1 do
+      if not (List.mem k interrupted) then
+        acc := !acc +. Model.positive_sub (Schedule.period s k) c
+    done;
+    !acc +. Model.positive_sub (u -. Schedule.end_time s last) c
+  end
+  else begin
+    (* Fewer than p interrupts: the tail runs as scheduled. *)
+    let acc = ref 0. in
+    for k = 1 to m do
+      if not (List.mem k interrupted) then
+        acc := !acc +. Model.positive_sub (Schedule.period s k) c
+    done;
+    !acc
+  end
+
+(* Exact optimal adversary against a fixed non-adaptive schedule, by
+   dynamic programming over (period index, interrupts used).  At period k
+   with j < p interrupts used the adversary either lets the period
+   complete (banking t_k (-) c for A) or kills it at its last instant; the
+   p-th kill triggers the long-period consolidation.  O(m * p).
+
+   Returns the minimum work and one minimising interrupt set. *)
+let worst_case params ~u ~p s =
+  let c = Model.c params in
+  let m = Schedule.length s in
+  if p = 0 then (Schedule.work_if_uninterrupted params s, [])
+  else begin
+    (* value.(k-1).(j): min work from period k onward given j interrupts
+       already used; choice.(k-1).(j): true when killing period k is a
+       minimising move. *)
+    let value = Array.make_matrix (m + 1) p infinity in
+    let choice = Array.make_matrix (m + 1) p false in
+    for j = 0 to p - 1 do
+      value.(m).(j) <- 0.
+    done;
+    for k = m downto 1 do
+      let tk = Model.positive_sub (Schedule.period s k) c in
+      for j = 0 to p - 1 do
+        let keep = tk +. value.(k).(j) in
+        let kill =
+          if j + 1 = p then Model.positive_sub (u -. Schedule.end_time s k) c
+          else value.(k).(j + 1)
+        in
+        if kill <= keep then begin
+          value.(k - 1).(j) <- kill;
+          choice.(k - 1).(j) <- true
+        end
+        else value.(k - 1).(j) <- keep
+      done
+    done;
+    (* Reconstruct one optimal interrupt set. *)
+    let rec walk k j acc =
+      if k > m || j >= p then List.rev acc
+      else if choice.(k - 1).(j) then
+        if j + 1 = p then List.rev (k :: acc) else walk (k + 1) (j + 1) (k :: acc)
+      else walk (k + 1) j acc
+    in
+    (value.(0).(0), walk 1 0 [])
+  end
+
+(* The paper's stated adversary strategy against the equal-period
+   guideline: kill the last p periods at their last instants. *)
+let last_p_periods_interrupts s ~p =
+  let m = Schedule.length s in
+  let first = max 1 (m - p + 1) in
+  List.init (m - first + 1) (fun i -> first + i)
+
+(* Optimal number of equal periods for lifespan [u] and [p] interrupts,
+   found by exact search with the adversary DP.  Used by tests to confirm
+   the guideline's m = floor(sqrt(pU/c)) is within O(1) of the best
+   equal-period choice. *)
+let best_equal_period_count params ~u ~p ~max_m =
+  if max_m < 1 then invalid_arg "Nonadaptive.best_equal_period_count: max_m < 1";
+  let best = ref (1, fst (worst_case params ~u ~p (equal_periods ~u ~m:1))) in
+  for m = 2 to max_m do
+    let w = fst (worst_case params ~u ~p (equal_periods ~u ~m)) in
+    if w > snd !best then best := (m, w)
+  done;
+  !best

@@ -1,0 +1,47 @@
+(** Non-adaptive schedules and their exact worst-case evaluation
+    (paper Sections 2.2 and 3.1).
+
+    A non-adaptive opportunity commits to one episode schedule
+    [t_1, ..., t_m]; after an interrupt in period [i] the tail
+    [t_(i+1), ..., t_m] is used unchanged, except that after the [p]-th
+    interrupt the remaining lifespan runs as one long period. *)
+
+val equal_periods : u:float -> m:int -> Schedule.t
+(** [m] equal periods covering lifespan [u] exactly. *)
+
+val guideline : Model.params -> u:float -> p:int -> Schedule.t
+(** The Section 3.1 guideline: [m = floor (sqrt (p*u/c))] equal periods
+    (each of length [sqrt(c*u/p)] up to rounding); the single long period
+    when [p = 0]. *)
+
+val closed_form : Model.params -> u:float -> p:int -> float
+(** The guideline's guaranteed work as re-derived from the stated
+    adversary strategy: [u - 2*sqrt(p*c*u) + p*c], clamped at 0.
+    See DESIGN.md on the abstract's printed middle term. *)
+
+val closed_form_as_printed : Model.params -> u:float -> p:int -> float
+(** The abstract's printed bound [u - sqrt(2*p*c*u) + p*c], kept for
+    comparison in EXPERIMENTS.md. *)
+
+val work_given_interrupts :
+  Model.params -> u:float -> p:int -> Schedule.t -> interrupted:int list -> float
+(** Work achieved when the adversary kills exactly the listed periods
+    (strictly increasing indices, at their last instants) out of a budget
+    of [p]; implements the paper's [W(S)] formula including the
+    long-period consolidation after the [p]-th interrupt.
+    @raise Invalid_argument on malformed index lists. *)
+
+val worst_case :
+  Model.params -> u:float -> p:int -> Schedule.t -> float * int list
+(** Exact optimal adversary against a fixed non-adaptive schedule
+    ([O(m*p)] dynamic program): the guaranteed work and one minimising
+    interrupt set. *)
+
+val last_p_periods_interrupts : Schedule.t -> p:int -> int list
+(** The paper's stated optimal adversary strategy against the
+    equal-period guideline: the indices of the last [p] periods. *)
+
+val best_equal_period_count :
+  Model.params -> u:float -> p:int -> max_m:int -> int * float
+(** Exhaustive search (up to [max_m]) for the equal-period count that
+    maximises guaranteed work; used to validate the guideline's [m]. *)

@@ -1,0 +1,79 @@
+(* The optimal 1-interrupt episode schedule S_opt^(1)[U] of paper
+   Section 5.2 (and Table 2).
+
+   Since the case p = 1 is 0-immune, there is alpha in (0, 1] with
+     t_m = t_(m-1) = (1 + alpha) c,
+     t_k = t_(k+1) + c = (m - k + alpha) c   for k <= m - 2,
+   and, because the periods sum to U,
+     alpha = (U - c) / (m c) - (m - 1) / 2.
+   The optimal schedule length is
+     m^(1)[U] = ceil( sqrt(2U/c - 7/4) - 1/2 ).         (5.1) *)
+
+let alpha params ~u ~m =
+  if m < 1 then invalid_arg "Opt_p1.alpha: m must be positive";
+  let c = Model.c params in
+  ((u -. c) /. (float_of_int m *. c)) -. (float_of_int (m - 1) /. 2.)
+
+let m_formula params ~u =
+  let c = Model.c params in
+  let disc = (2. *. u /. c) -. 1.75 in
+  if disc <= 0. then 1
+  else max 1 (int_of_float (Float.ceil (Float.sqrt disc -. 0.5)))
+
+(* The schedule length actually used: start from (5.1) and nudge until
+   alpha lands in (0, 1] (the formula's floors can leave it just
+   outside).  At least 2 periods are needed for the t_(m-1) = t_m
+   structure. *)
+let m_opt params ~u =
+  let rec adjust m =
+    if m < 2 then 2
+    else begin
+      let a = alpha params ~u ~m in
+      if a > 1. then adjust (m + 1) else if a <= 0. then adjust (m - 1) else m
+    end
+  in
+  adjust (max 2 (m_formula params ~u))
+
+(* Degenerate lifespans: when U <= 2c Proposition 4.1(c) applies (p = 1),
+   so any schedule guarantees zero work; we return the single long period
+   (it at least achieves U - c if the adversary declines to interrupt). *)
+let schedule params ~u =
+  if u <= 0. then invalid_arg "Opt_p1.schedule: u must be positive";
+  let c = Model.c params in
+  if u <= 2. *. c then Schedule.singleton u
+  else begin
+    let m = m_opt params ~u in
+    let a = alpha params ~u ~m in
+    let periods =
+      Array.init m (fun i ->
+          let k = i + 1 in
+          if k >= m - 1 then (1. +. a) *. c
+          else (float_of_int (m - k) +. a) *. c)
+    in
+    Schedule.of_periods periods
+  end
+
+(* Table 2's approximate optimum: W^(1)[U] ~ U - sqrt(2cU) - c/2. *)
+let closed_form params ~u =
+  let c = Model.c params in
+  Model.positive_sub u (Float.sqrt (2. *. c *. u) +. (c /. 2.))
+
+(* Exact guaranteed work of an arbitrary episode schedule under a single
+   potential interrupt, assuming optimal continuation afterwards
+   (Proposition 4.1(d): one long period of the residual).  The adversary
+   interrupts some period k at its last instant, leaving
+   work_before(k) + ((u - T_k) (-) c), or declines to interrupt. *)
+let exact_work_of_schedule params ~u s =
+  let c = Model.c params in
+  let m = Schedule.length s in
+  let best = ref (Schedule.work_if_uninterrupted params s) in
+  for k = 1 to m do
+    let v =
+      Schedule.work_before params s k
+      +. Model.positive_sub (u -. Schedule.end_time s k) c
+    in
+    if v < !best then best := v
+  done;
+  !best
+
+let exact_work params ~u = exact_work_of_schedule params ~u (schedule params ~u)

@@ -1,0 +1,36 @@
+(** The optimal 1-interrupt episode schedule [S_opt^(1)[U]] of paper
+    Section 5.2 and Table 2.
+
+    The schedule has [t_m = t_(m-1) = (1 + alpha) c] and
+    [t_k = (m - k + alpha) c] for [k <= m - 2], with [alpha] in [(0, 1]]
+    determined by the requirement that the periods sum to [U]. *)
+
+val m_formula : Model.params -> u:float -> int
+(** Equation (5.1): [ceil (sqrt (2U/c - 7/4) - 1/2)], clamped to at
+    least 1. *)
+
+val m_opt : Model.params -> u:float -> int
+(** The schedule length actually used: (5.1) nudged so that
+    {!alpha} lands in [(0, 1]]; at least 2. *)
+
+val alpha : Model.params -> u:float -> m:int -> float
+(** [(U - c)/(m c) - (m - 1)/2]: the fractional part of the terminal
+    period lengths in units of [c]. *)
+
+val schedule : Model.params -> u:float -> Schedule.t
+(** [S_opt^(1)[U]]; the single long period when [U <= 2c]
+    (Proposition 4.1(c) territory).
+    @raise Invalid_argument when [u <= 0]. *)
+
+val closed_form : Model.params -> u:float -> float
+(** Table 2's approximation [W^(1)[U] ~ U - sqrt(2cU) - c/2]
+    (clamped at 0). *)
+
+val exact_work_of_schedule : Model.params -> u:float -> Schedule.t -> float
+(** Exact guaranteed work of an arbitrary episode schedule under one
+    potential interrupt with optimal continuation (one long period of the
+    residual): the minimum over the adversary's last-instant options and
+    the no-interrupt outcome. *)
+
+val exact_work : Model.params -> u:float -> float
+(** [exact_work_of_schedule] applied to {!schedule}. *)

@@ -1,0 +1,108 @@
+(* Scheduling policies: how workstation A plans episodes.
+
+   A policy maps the current game state (residual lifespan, remaining
+   interrupt budget) to the episode schedule A will run until the next
+   interrupt.  Both regimes of the paper fit this interface:
+
+   - adaptive policies compute a fresh episode schedule per state;
+   - the non-adaptive regime replays the tail of one committed schedule
+     (with the paper's "one long period after the p-th interrupt"
+     exception).
+
+   The game engine (Game) and the NOW simulator (nowsim) both drive
+   policies through this interface, which is what lets experiment E7
+   check them against each other. *)
+
+type context = {
+  params : Model.params;
+  opportunity : Model.opportunity;
+  residual : float;        (* lifespan still ahead of us *)
+  interrupts_left : int;   (* remaining interrupt budget of the owner *)
+}
+
+let initial_context params opportunity =
+  {
+    params;
+    opportunity;
+    residual = opportunity.Model.lifespan;
+    interrupts_left = opportunity.Model.interrupts;
+  }
+
+let elapsed ctx = ctx.opportunity.Model.lifespan -. ctx.residual
+let interrupts_used ctx = ctx.opportunity.Model.interrupts - ctx.interrupts_left
+
+type t = {
+  name : string;
+  plan : context -> Schedule.t;
+}
+
+let name t = t.name
+let plan t ctx = t.plan ctx
+let make ~name ~plan = { name; plan }
+
+(* Build a policy from an episode-schedule family S^(p)[L]. *)
+let of_episode_family ~name family =
+  let plan ctx = family ctx.params ~p:ctx.interrupts_left ~residual:ctx.residual in
+  { name; plan }
+
+(* Proposition 4.1(d)'s baseline: always one long period. *)
+let one_long_period =
+  { name = "one-long-period"; plan = (fun ctx -> Schedule.singleton ctx.residual) }
+
+(* The paper's adaptive guideline Sigma_a^(p)[U] (Section 3.2). *)
+let adaptive_guideline = of_episode_family ~name:"adaptive-guideline" Adaptive.episode_schedule
+
+(* The calibrated variant driven by Theorem 4.3 and the exact-DP
+   coefficients (see Adaptive.calibrated_episode_schedule). *)
+let adaptive_calibrated =
+  of_episode_family ~name:"adaptive-calibrated" Adaptive.calibrated_episode_schedule
+
+(* Optimal adaptive play from a solved integer-grid table. *)
+let of_dp dp =
+  let plan ctx = Dp.float_episode dp ctx.params ~p:ctx.interrupts_left ~residual:ctx.residual in
+  { name = "dp-optimal"; plan }
+
+(* Non-adaptive policy committed to [committed] (which must cover the
+   opportunity's lifespan).  After an interrupt at elapsed time tau, the
+   killed period is the one whose interval contains tau; the plan resumes
+   with the tail after it.  After the p-th interrupt the remainder runs
+   as one long period (the engine reaches that case with
+   interrupts_left = 0 and a positive residual mid-opportunity).  Any
+   slack the tail does not cover (possible only for mid-period
+   interrupts, which an optimal adversary never plays) is appended as one
+   extra final period. *)
+let non_adaptive ~committed =
+  let plan ctx =
+    let u = ctx.opportunity.Model.lifespan in
+    if interrupts_used ctx = 0 then committed
+    else if ctx.interrupts_left = 0 then Schedule.singleton ctx.residual
+    else begin
+      let tau = elapsed ctx in
+      let m = Schedule.length committed in
+      (* Killed period: smallest k with T_k >= tau (up to tolerance). *)
+      let rec find k =
+        if k > m then m
+        else if Schedule.end_time committed k >= tau -. (1e-9 *. u) then k
+        else find (k + 1)
+      in
+      let killed = find 1 in
+      match Schedule.tail committed ~from:(killed + 1) with
+      | Some tail_schedule ->
+        let slack = ctx.residual -. Schedule.total tail_schedule in
+        if slack > 1e-9 *. u then Schedule.append tail_schedule slack
+        else tail_schedule
+      | None -> Schedule.singleton ctx.residual
+    end
+  in
+  { name = "non-adaptive"; plan }
+
+(* The Section 3.1 non-adaptive guideline packaged as a policy. *)
+let nonadaptive_guideline params opportunity =
+  let committed =
+    Nonadaptive.guideline params ~u:opportunity.Model.lifespan
+      ~p:opportunity.Model.interrupts
+  in
+  let base = non_adaptive ~committed in
+  { base with name = "nonadaptive-guideline" }
+
+let rename t name = { t with name }

@@ -1,0 +1,61 @@
+(** Scheduling policies: how workstation [A] plans episodes.
+
+    A policy maps the current game state to the episode schedule [A] runs
+    until the next interrupt.  Adaptive policies recompute per state; the
+    non-adaptive regime replays the tail of one committed schedule.  Both
+    the game engine ({!Game}) and the NOW simulator drive policies
+    through this interface. *)
+
+type context = {
+  params : Model.params;
+  opportunity : Model.opportunity;
+  residual : float;       (** lifespan still ahead *)
+  interrupts_left : int;  (** remaining owner-interrupt budget *)
+}
+(** The observable game state when an episode is planned. *)
+
+val initial_context : Model.params -> Model.opportunity -> context
+val elapsed : context -> float
+(** [U - residual]. *)
+
+val interrupts_used : context -> int
+
+type t
+(** A named planning rule. *)
+
+val name : t -> string
+
+val plan : t -> context -> Schedule.t
+(** The episode schedule to run next; must total at most
+    [context.residual] (the engines check). *)
+
+val make : name:string -> plan:(context -> Schedule.t) -> t
+
+val of_episode_family :
+  name:string -> (Model.params -> p:int -> residual:float -> Schedule.t) -> t
+(** Adaptive policy from an episode-schedule family [S^(p)[L]]. *)
+
+val one_long_period : t
+(** Always a single period of the full residual (optimal when [p = 0],
+    Proposition 4.1(d)). *)
+
+val adaptive_guideline : t
+(** The paper's [Sigma_a^(p)[U]] (Section 3.2), built on
+    {!Adaptive.episode_schedule}. *)
+
+val adaptive_calibrated : t
+(** The Theorem 4.3-calibrated adaptive policy, built on
+    {!Adaptive.calibrated_episode_schedule}; tracks the exact optimum
+    for [p >= 2] where the printed construction does not. *)
+
+val of_dp : Dp.t -> t
+(** Optimal adaptive play from a solved integer-grid table. *)
+
+val non_adaptive : committed:Schedule.t -> t
+(** The non-adaptive regime committed to the given schedule: tails after
+    interrupts, one long period after the [p]-th interrupt. *)
+
+val nonadaptive_guideline : Model.params -> Model.opportunity -> t
+(** {!Nonadaptive.guideline} packaged with the tail semantics. *)
+
+val rename : t -> string -> t

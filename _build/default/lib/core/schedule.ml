@@ -1,0 +1,154 @@
+(* Episode schedules (paper Section 2.2).
+
+   An m-period schedule for an episode of length L is a sequence
+   t_1, ..., t_m of positive period lengths summing to L.  Period k begins
+   at T_{k-1} = t_1 + ... + t_{k-1} and ends at T_k.  We cache the prefix
+   sums because every evaluator (adversary DPs, game engine, analysis)
+   needs the T_k repeatedly.
+
+   Indexing follows the paper: periods are numbered 1..m. *)
+
+type t = {
+  periods : float array; (* t_1 .. t_m, stored 0-based *)
+  starts : float array;  (* starts.(k) = T_k for k = 0..m, so T_0 = 0 *)
+}
+
+let validate_periods periods =
+  let m = Array.length periods in
+  if m = 0 then invalid_arg "Schedule: a schedule needs at least one period";
+  Array.iteri
+    (fun i t ->
+       if not (Float.is_finite t) || t <= 0. then
+         invalid_arg
+           (Printf.sprintf
+              "Schedule: period %d has non-positive or non-finite length %g"
+              (i + 1) t))
+    periods
+
+let of_periods periods =
+  validate_periods periods;
+  let periods = Array.copy periods in
+  { periods; starts = Csutil.Float_ext.prefix_sums periods }
+
+let of_list l = of_periods (Array.of_list l)
+
+let singleton t = of_periods [| t |]
+
+let periods t = Array.copy t.periods
+let to_list t = Array.to_list t.periods
+
+let length t = Array.length t.periods
+
+let total t = t.starts.(Array.length t.periods)
+
+let check_index t k =
+  if k < 1 || k > Array.length t.periods then
+    invalid_arg
+      (Printf.sprintf "Schedule: period index %d outside 1..%d" k
+         (Array.length t.periods))
+
+(* t_k, 1-based as in the paper. *)
+let period t k =
+  check_index t k;
+  t.periods.(k - 1)
+
+(* T_{k-1}: the time at which period k begins. *)
+let start_time t k =
+  check_index t k;
+  t.starts.(k - 1)
+
+(* T_k: the time at which period k ends. *)
+let end_time t k =
+  check_index t k;
+  t.starts.(k)
+
+(* Work accomplished when the whole schedule runs uninterrupted:
+   sum of (t_i (-) c). *)
+let work_if_uninterrupted params t =
+  let c = Model.c params in
+  let acc = ref 0. in
+  Array.iter (fun ti -> acc := !acc +. Model.positive_sub ti c) t.periods;
+  !acc
+
+(* Work banked when period k is killed: the completed periods 1..k-1
+   each contribute t_i (-) c (paper Section 2.2: W(S) for an interrupt in
+   period k).  [k = m+1] is allowed and means "nothing was killed". *)
+let work_before params t k =
+  if k < 1 || k > Array.length t.periods + 1 then
+    invalid_arg "Schedule.work_before: index outside 1..m+1";
+  let c = Model.c params in
+  let acc = ref 0. in
+  for i = 0 to k - 2 do
+    acc := !acc +. Model.positive_sub t.periods.(i) c
+  done;
+  !acc
+
+(* A schedule is productive when every non-terminal period strictly
+   exceeds c (Theorem 4.1), and fully productive when all periods do
+   (the focus of Section 4). *)
+let is_productive params t =
+  let c = Model.c params in
+  let m = Array.length t.periods in
+  let rec go i = i >= m - 1 || (t.periods.(i) > c && go (i + 1)) in
+  go 0
+
+let is_fully_productive params t =
+  let c = Model.c params in
+  Array.for_all (fun ti -> ti > c) t.periods
+
+(* Theorem 4.1 transformation: while some non-terminal period is
+   non-productive (<= c), merge it into its successor.  The merged period
+   subsumes both; total length is preserved and the proof shows work
+   production cannot decrease. *)
+let make_productive params t =
+  let c = Model.c params in
+  let rec merge = function
+    | [] -> []
+    | [ last ] -> [ last ]
+    | x :: y :: rest when x <= c -> merge ((x +. y) :: rest)
+    | x :: rest -> x :: merge rest
+  in
+  of_list (merge (to_list t))
+
+(* Theorem 4.2 operation: split period k into two equal halves.  Used to
+   pin r-immune period lengths into (c, 2c]. *)
+let split_period t ~k =
+  check_index t k;
+  let m = Array.length t.periods in
+  let out = Array.make (m + 1) 0. in
+  Array.blit t.periods 0 out 0 (k - 1);
+  out.(k - 1) <- t.periods.(k - 1) /. 2.;
+  out.(k) <- t.periods.(k - 1) /. 2.;
+  Array.blit t.periods k out (k + 1) (m - k);
+  of_periods out
+
+(* The non-adaptive "tail" rule needs suffixes: [tail t ~from:k] is
+   t_k, ..., t_m.  Returns [None] when the tail is empty. *)
+let tail t ~from =
+  let m = Array.length t.periods in
+  if from < 1 || from > m + 1 then invalid_arg "Schedule.tail: index outside 1..m+1";
+  if from = m + 1 then None
+  else Some (of_periods (Array.sub t.periods (from - 1) (m - from + 1)))
+
+let append t extra =
+  if not (Float.is_finite extra) || extra <= 0. then
+    invalid_arg "Schedule.append: extra period must be positive";
+  of_periods (Array.append t.periods [| extra |])
+
+let equal ?(tol = 1e-9) a b =
+  Array.length a.periods = Array.length b.periods
+  && Array.for_all2
+       (fun x y -> Csutil.Float_ext.approx_eq ~rtol:tol ~atol:tol x y)
+       a.periods b.periods
+
+let pp fmt t =
+  let m = Array.length t.periods in
+  Format.fprintf fmt "@[<hov 2>[%d periods, total %g:" m (total t);
+  let shown = min m 12 in
+  for i = 0 to shown - 1 do
+    Format.fprintf fmt "@ %g" t.periods.(i)
+  done;
+  if shown < m then Format.fprintf fmt "@ ... (%d more)" (m - shown);
+  Format.fprintf fmt "]@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,78 @@
+(** Episode schedules (paper Section 2.2).
+
+    An [m]-period schedule for an episode of length [L] is a sequence
+    [t_1, ..., t_m] of positive period lengths with sum [L].  Period [k]
+    begins at [T_(k-1) = t_1 + ... + t_(k-1)] and ends at [T_k].  All
+    indices are 1-based, following the paper. *)
+
+type t
+(** An immutable episode schedule with cached prefix sums. *)
+
+val of_periods : float array -> t
+(** [of_periods a] builds a schedule from period lengths [t_1..t_m].
+    @raise Invalid_argument if [a] is empty or any entry is non-positive
+    or non-finite. *)
+
+val of_list : float list -> t
+(** List variant of {!of_periods}. *)
+
+val singleton : float -> t
+(** One-period schedule; the optimal 0-interrupt schedule of
+    Proposition 4.1(d) is [singleton u]. *)
+
+val periods : t -> float array
+(** A copy of the period lengths. *)
+
+val to_list : t -> float list
+
+val length : t -> int
+(** The number of periods [m]. *)
+
+val total : t -> float
+(** [T_m]: the episode length covered by the schedule. *)
+
+val period : t -> int -> float
+(** [period t k] is [t_k] for [k] in [1..m].
+    @raise Invalid_argument on out-of-range indices. *)
+
+val start_time : t -> int -> float
+(** [start_time t k] is [T_(k-1)], when period [k] begins. *)
+
+val end_time : t -> int -> float
+(** [end_time t k] is [T_k], when period [k] ends. *)
+
+val work_if_uninterrupted : Model.params -> t -> float
+(** Sum of [t_i (-) c]: the work accomplished when no interrupt occurs. *)
+
+val work_before : Model.params -> t -> int -> float
+(** [work_before params t k] is the work banked by completed periods
+    [1..k-1] when period [k] is killed; [k = m+1] means nothing was
+    killed.  Paper Section 2.2. *)
+
+val is_productive : Model.params -> t -> bool
+(** Every non-terminal period strictly exceeds [c] (Theorem 4.1). *)
+
+val is_fully_productive : Model.params -> t -> bool
+(** Every period strictly exceeds [c] (the focus of Section 4). *)
+
+val make_productive : Model.params -> t -> t
+(** The Theorem 4.1 transformation: repeatedly merge each non-productive
+    non-terminal period into its successor.  Preserves the total length
+    and never decreases worst-case work production. *)
+
+val split_period : t -> k:int -> t
+(** The Theorem 4.2 operation: replace period [k] by two equal halves. *)
+
+val tail : t -> from:int -> t option
+(** [tail t ~from:k] is the suffix [t_k, ..., t_m] used by the
+    non-adaptive regime after an interrupt in period [k-1]; [None] when
+    the suffix is empty. *)
+
+val append : t -> float -> t
+(** [append t x] adds a final period of length [x > 0]. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Pointwise approximate equality of period lengths. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/nowsim/event_queue.ml: Array Float

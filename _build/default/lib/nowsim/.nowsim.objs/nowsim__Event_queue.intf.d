@@ -1,0 +1,1 @@
+lib/nowsim/event_queue.mli:

@@ -1,0 +1,1 @@
+lib/nowsim/farm.ml: Adversary Cyclesteal List Master Metrics Model Policy Sim Workload

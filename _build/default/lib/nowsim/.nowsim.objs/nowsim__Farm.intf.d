@@ -1,0 +1,1 @@
+lib/nowsim/farm.mli: Adversary Cyclesteal Metrics Model Nic Policy Workload

@@ -1,0 +1,1 @@
+lib/nowsim/link.ml: Cyclesteal Float Option

@@ -1,0 +1,1 @@
+lib/nowsim/link.mli: Cyclesteal

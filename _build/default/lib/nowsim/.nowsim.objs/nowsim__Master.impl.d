@@ -1,0 +1,1 @@
+lib/nowsim/master.ml: Adversary Cyclesteal Float Link List Logs Metrics Model Nic Option Policy Printf Schedule Sim Workload

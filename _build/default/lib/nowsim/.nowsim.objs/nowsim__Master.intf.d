@@ -1,0 +1,1 @@
+lib/nowsim/master.mli: Adversary Cyclesteal Metrics Model Nic Policy Sim Workload

@@ -1,0 +1,1 @@
+lib/nowsim/metrics.ml: Csutil Format List Printf

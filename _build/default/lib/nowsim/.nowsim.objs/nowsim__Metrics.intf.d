@@ -1,0 +1,1 @@
+lib/nowsim/metrics.mli: Format

@@ -1,0 +1,1 @@
+lib/nowsim/nic.mli: Sim

@@ -1,0 +1,1 @@
+lib/nowsim/owner_model.ml: Adversary Csutil Cyclesteal Expected Float Policy Schedule

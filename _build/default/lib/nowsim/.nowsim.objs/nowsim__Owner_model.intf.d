@@ -1,0 +1,1 @@
+lib/nowsim/owner_model.mli: Csutil Cyclesteal

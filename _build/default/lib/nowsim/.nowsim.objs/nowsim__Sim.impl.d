@@ -1,0 +1,1 @@
+lib/nowsim/sim.ml: Event_queue Float Fun Printf

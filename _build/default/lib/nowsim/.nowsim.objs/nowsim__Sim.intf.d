@@ -1,0 +1,1 @@
+lib/nowsim/sim.mli: Event_queue

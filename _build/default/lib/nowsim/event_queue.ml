@@ -1,0 +1,116 @@
+(* A binary min-heap of timestamped events with stable tie-breaking and
+   O(log n) cancellation by lazy deletion.
+
+   Determinism requirement: two events at the same timestamp must fire in
+   the order they were scheduled, whatever the heap's internal shape, so
+   each entry carries a monotone sequence number that breaks ties. *)
+
+type 'a entry = {
+  time : float;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+}
+
+type 'a t = {
+  mutable heap : 'a entry array; (* heap.(0) is the minimum *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int; (* entries not cancelled *)
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live = 0 }
+
+let length t = t.live
+let is_empty t = t.live = 0
+
+let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nheap = Array.make ncap t.heap.(0) in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+type handle = { entry_ref : unit -> unit; is_cancelled : unit -> bool }
+
+let add t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.add: NaN time";
+  let entry = { time; seq = t.next_seq; payload; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
+  grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  {
+    entry_ref =
+      (fun () ->
+         if not entry.cancelled then begin
+           entry.cancelled <- true;
+           t.live <- t.live - 1
+         end);
+    is_cancelled = (fun () -> entry.cancelled);
+  }
+
+let cancel (h : handle) = h.entry_ref ()
+let is_cancelled (h : handle) = h.is_cancelled ()
+
+(* Pop the earliest live entry, discarding cancelled ones. *)
+let rec pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    if top.cancelled then pop t
+    else begin
+      t.live <- t.live - 1;
+      Some (top.time, top.payload)
+    end
+  end
+
+(* Earliest live timestamp without removing it. *)
+let rec peek_time t =
+  if t.size = 0 then None
+  else if t.heap.(0).cancelled then begin
+    (* Physically drop the cancelled top so the loop terminates. *)
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    peek_time t
+  end
+  else Some t.heap.(0).time

@@ -1,0 +1,32 @@
+(** Binary min-heap of timestamped events with stable (FIFO) tie-breaking
+    and O(log n) cancellation by lazy deletion.
+
+    Determinism requirement: two events at the same timestamp fire in
+    scheduling order — the master relies on this so that a fraction-1.0
+    interrupt (scheduled at episode-planning time) beats the period
+    completion landing on the same instant. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Live (non-cancelled) entries. *)
+
+val is_empty : 'a t -> bool
+
+type handle
+
+val add : 'a t -> time:float -> 'a -> handle
+(** @raise Invalid_argument on NaN times. *)
+
+val cancel : handle -> unit
+(** Idempotent; the entry is skipped by {!pop} and {!peek_time}. *)
+
+val is_cancelled : handle -> bool
+
+val pop : 'a t -> (float * 'a) option
+(** The earliest live entry, or [None] when drained. *)
+
+val peek_time : 'a t -> float option
+(** The earliest live timestamp without removing the entry. *)

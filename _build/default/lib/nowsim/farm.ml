@@ -1,0 +1,79 @@
+(* A farm of borrowed workstations working through one shared task bag —
+   the data-parallel NOW deployment the paper's introduction motivates.
+
+   Each station is an independent cycle-stealing opportunity (its own
+   lifespan, interrupt bound, policy and owner); all masters draw tasks
+   from the shared bag and return them when a period is killed.  The farm
+   watches the bag and records the makespan: the first instant at which
+   the bag is empty and no tasks are in flight. *)
+
+open Cyclesteal
+
+type spec = {
+  name : string;
+  opportunity : Model.opportunity;
+  policy : Policy.t;
+  owner : Adversary.t;
+  start_at : float;
+  speed : float;
+}
+
+let spec ?(start_at = 0.) ?(speed = 1.) ~name ~opportunity ~policy ~owner () =
+  if start_at < 0. then invalid_arg "Farm.spec: start_at must be non-negative";
+  if speed <= 0. then invalid_arg "Farm.spec: speed must be positive";
+  { name; opportunity; policy; owner; start_at; speed }
+
+type report = {
+  per_station : Metrics.t list;     (* in spec order *)
+  summary : Metrics.summary;
+  leftover_tasks : int;
+  leftover_work : float;
+  events_fired : int;
+  finished_at : float;              (* simulation time when all stations stopped *)
+}
+
+let run ?(early_return = false) ?nic params ~bag specs =
+  if specs = [] then invalid_arg "Farm.run: no stations";
+  let sim = Sim.create () in
+  let drained_at = ref None in
+  let masters = ref [] in
+  let watch master =
+    ignore master;
+    if !drained_at = None && Workload.Task.is_empty bag then begin
+      let in_flight =
+        List.fold_left (fun acc m -> acc + Master.in_flight m) 0 !masters
+      in
+      if in_flight = 0 then drained_at := Some (Sim.now sim)
+    end
+  in
+  masters :=
+    List.map
+      (fun s ->
+         Master.create ~on_change:watch ~sim ~bag
+           {
+             Master.station = s.name;
+             params;
+             opportunity = s.opportunity;
+             policy = s.policy;
+             owner = s.owner;
+             start_at = s.start_at;
+             early_return;
+             nic;
+             speed = s.speed;
+           })
+      specs;
+  Sim.run sim;
+  let per_station = List.map Master.metrics !masters in
+  {
+    per_station;
+    summary = Metrics.summarize ?makespan:!drained_at per_station;
+    leftover_tasks = Workload.Task.remaining_count bag;
+    leftover_work = Workload.Task.remaining_work bag;
+    events_fired = Sim.events_fired sim;
+    finished_at = Sim.now sim;
+  }
+
+(* Convenience single-station run: the E7 configuration. *)
+let run_single ?early_return ?nic params ~bag ~opportunity ~policy ~owner () =
+  let specs = [ spec ~name:"B" ~opportunity ~policy ~owner () ] in
+  run ?early_return ?nic params ~bag specs

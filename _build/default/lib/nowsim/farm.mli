@@ -1,0 +1,63 @@
+(** A farm of borrowed workstations working through one shared task bag
+    — the data-parallel NOW deployment the paper motivates.  Each
+    station is an independent opportunity; killed periods return their
+    tasks to the shared bag. *)
+
+open Cyclesteal
+
+type spec = {
+  name : string;
+  opportunity : Model.opportunity;
+  policy : Policy.t;
+  owner : Adversary.t;
+  start_at : float;
+  speed : float;  (** relative compute speed (task units per time unit
+                      of productive period time); default 1 *)
+}
+
+val spec :
+  ?start_at:float ->
+  ?speed:float ->
+  name:string ->
+  opportunity:Model.opportunity ->
+  policy:Policy.t ->
+  owner:Adversary.t ->
+  unit ->
+  spec
+(** @raise Invalid_argument on negative [start_at] or non-positive
+    [speed]. *)
+
+type report = {
+  per_station : Metrics.t list;  (** in spec order *)
+  summary : Metrics.summary;
+  leftover_tasks : int;
+  leftover_work : float;
+  events_fired : int;
+  finished_at : float;
+}
+
+val run :
+  ?early_return:bool ->
+  ?nic:Nic.t ->
+  Model.params ->
+  bag:Workload.Task.bag ->
+  spec list ->
+  report
+(** Run all stations to completion in one simulation.  The summary's
+    makespan is the first instant the bag is empty with no tasks in
+    flight.  Limitation: a station that stopped because the bag was
+    momentarily empty does not restart if another station's kill later
+    returns tasks; leftovers are reported.
+    @raise Invalid_argument on an empty spec list. *)
+
+val run_single :
+  ?early_return:bool ->
+  ?nic:Nic.t ->
+  Model.params ->
+  bag:Workload.Task.bag ->
+  opportunity:Model.opportunity ->
+  policy:Policy.t ->
+  owner:Adversary.t ->
+  unit ->
+  report
+(** One-station convenience (the E7 configuration). *)

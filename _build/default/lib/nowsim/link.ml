@@ -1,0 +1,39 @@
+(* The inter-workstation communication model.
+
+   The paper's single architecture parameter c is the cost of setting up
+   the *paired* communications bracketing a period: A ships work to B,
+   and B returns results to A.  The simulator splits c into the shipping
+   half (paid before compute starts) and the return half (paid after
+   compute ends), so a period of length t runs as
+
+     [ send: c_send | compute: t - c | receive: c_recv ]
+
+   with c_send + c_recv = c.  The split is observable (an interrupt during
+   the return phase still kills the period — results were not back yet)
+   but does not change any total: completed periods cost exactly c of
+   overhead either way. *)
+
+type t = {
+  setup_send : float; (* paid before compute starts *)
+  setup_recv : float; (* paid after compute ends *)
+}
+
+let create ?send_fraction params =
+  let c = Cyclesteal.Model.c params in
+  let f = Option.value send_fraction ~default:0.5 in
+  if f < 0. || f > 1. then
+    invalid_arg "Link.create: send_fraction outside [0, 1]";
+  { setup_send = f *. c; setup_recv = (1. -. f) *. c }
+
+let setup_send t = t.setup_send
+let setup_recv t = t.setup_recv
+let setup_total t = t.setup_send +. t.setup_recv
+
+(* Phase boundaries within a period of length [len]: compute starts after
+   the send setup and ends [setup_recv] before the period boundary.  For
+   periods shorter than c the compute window is empty (the period can do
+   no work, matching t (-) c = 0). *)
+let compute_window t ~len =
+  let start = Float.min len t.setup_send in
+  let stop = Float.max start (len -. t.setup_recv) in
+  (start, stop)

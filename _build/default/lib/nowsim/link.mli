@@ -1,0 +1,20 @@
+(** The inter-workstation communication model: the paper's setup cost
+    [c] split into a shipping half (before compute) and a return half
+    (after compute).  The split is observable — an interrupt during the
+    return phase still kills the period — but completed periods cost
+    exactly [c] of overhead either way. *)
+
+type t
+
+val create : ?send_fraction:float -> Cyclesteal.Model.params -> t
+(** [send_fraction] defaults to [0.5].
+    @raise Invalid_argument outside [[0, 1]]. *)
+
+val setup_send : t -> float
+val setup_recv : t -> float
+val setup_total : t -> float
+
+val compute_window : t -> len:float -> float * float
+(** [(start, stop)] of the compute phase within a period of length
+    [len], clipped so the phases always fit; empty for periods shorter
+    than [c] (which can do no work, matching [t (-) c = 0]). *)

@@ -1,0 +1,377 @@
+(* Workstation A's side of one cycle-stealing opportunity, as an
+   event-driven process.
+
+   The master owns a Policy.context mirroring the game engine's state,
+   plans episodes through the policy, fills periods with tasks from a
+   (possibly shared) bag, and reacts to owner interrupts by unpacking the
+   killed period's tasks and re-planning.  With the adversarial owner
+   this process reproduces Game.run decision for decision (experiment
+   E7). *)
+
+open Cyclesteal
+
+let log_src = Logs.Src.create "nowsim.master" ~doc:"Cycle-stealing master process"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  station : string;
+  params : Model.params;
+  opportunity : Model.opportunity;
+  policy : Policy.t;
+  owner : Adversary.t;
+  start_at : float;          (* simulation time when B becomes available *)
+  early_return : bool;       (* end periods early when the bag runs dry *)
+  nic : Nic.t option;        (* A-side interface serialising transfers *)
+  speed : float;             (* B's relative compute speed: a period's
+                                task budget is speed * (t - c) task
+                                units; the model's work metric (t - c)
+                                stays in time units *)
+}
+
+type phase = Computing | Receiving
+
+type t = {
+  config : config;
+  sim : Sim.t;
+  bag : Workload.Task.bag;
+  metrics : Metrics.t;
+  link : Link.t;
+  mutable ctx : Policy.context;
+  mutable episode_no : int;
+  mutable episode_start : float;
+  mutable episode_plan : Schedule.t option;
+  mutable period_index : int;
+  mutable period_start : float;
+  mutable period_packed : Workload.Packing.packed option;
+  mutable period_compute : float; (* the compute-phase length of the
+                                     running period = its model work *)
+  mutable pending_event : Sim.handle option;   (* next phase boundary *)
+  mutable pending_interrupt : Sim.handle option;
+  mutable nic_token : Nic.token option;        (* outstanding NIC request/hold *)
+  mutable finished : bool;
+  on_change : t -> unit; (* farm hook, called after task movements *)
+}
+
+let metrics t = t.metrics
+let finished t = t.finished
+let context t = t.ctx
+
+let progress_eps t = 1e-9 *. t.config.opportunity.Model.lifespan
+
+let cancel_pending t =
+  Option.iter Sim.cancel t.pending_event;
+  t.pending_event <- None
+
+let cancel_interrupt t =
+  Option.iter Sim.cancel t.pending_interrupt;
+  t.pending_interrupt <- None
+
+(* Withdraw or release any NIC involvement (waiting request or held
+   interface); safe to call in any state. *)
+let drop_nic t =
+  match (t.config.nic, t.nic_token) with
+  | Some nic, Some token ->
+    t.nic_token <- None;
+    (* A waiting request is cancelled; a granted one is released. *)
+    Nic.cancel nic token;
+    Nic.release_if_held nic t.sim token
+  | _ -> t.nic_token <- None
+
+let finish t =
+  if not t.finished then begin
+    cancel_pending t;
+    cancel_interrupt t;
+    drop_nic t;
+    if t.ctx.Policy.residual > progress_eps t then
+      Metrics.log_idle t.metrics ~duration:t.ctx.Policy.residual;
+    Log.debug (fun m ->
+        m "%s: finished at %.4g (work %.4g, interrupts %d)" t.config.station
+          (Sim.now t.sim)
+          (Metrics.model_work t.metrics)
+          (Metrics.interrupts t.metrics));
+    Metrics.log_finished t.metrics ~at:(Sim.now t.sim);
+    t.finished <- true;
+    t.on_change t
+  end
+
+(* --- Period phase machinery ------------------------------------------- *)
+
+let rec start_period t k =
+  match t.episode_plan with
+  | None -> assert false
+  | Some plan ->
+    let len = Schedule.period plan k in
+    let c = Model.c t.config.params in
+    let budget = t.config.speed *. Model.positive_sub len c in
+    let packed = Workload.Packing.pack t.bag ~budget in
+    t.period_index <- k;
+    t.period_start <- Sim.now t.sim;
+    t.period_packed <- Some packed;
+    t.on_change t;
+    (* Three phases clipped into the period.  Without a shared NIC the
+       period boundary is scheduled at the ABSOLUTE time
+       episode_start + T_(k-1) + t_k, bit-identical to the arithmetic an
+       owner uses to place a last-instant interrupt, so that a
+       fraction-1.0 interrupt and the period completion land on the same
+       timestamp and the event queue's FIFO tie-break (interrupt first:
+       it was scheduled at episode-planning time) preserves the model's
+       kill-at-last-instant semantics.  With a NIC (or under
+       early_return) timing is relative: transfer phases first queue for
+       the interface, so periods stretch by the contention delay. *)
+    let cstart, cstop = Link.compute_window t.link ~len in
+    let compute_time =
+      if t.config.early_return then
+        Float.min
+          (packed.Workload.Packing.used /. t.config.speed)
+          (cstop -. cstart)
+      else cstop -. cstart
+    in
+    t.period_compute <- compute_time;
+    match t.config.nic with
+    | None ->
+      let end_at =
+        if t.config.early_return then
+          t.period_start +. cstart +. compute_time +. (len -. cstop)
+        else t.episode_start +. (Schedule.start_time plan k +. (1.0 *. len))
+      in
+      t.pending_event <-
+        Some
+          (Sim.schedule_after t.sim ~delay:cstart (fun _ ->
+               enter_phase t Computing ~compute_time ~end_at))
+    | Some nic ->
+      (* Queue for the interface, hold it for the send, compute, queue
+         again for the receive. *)
+      let send_time = cstart and recv_time = len -. cstop in
+      t.nic_token <-
+        Some
+          (Nic.acquire nic t.sim (fun _ ->
+               t.pending_event <-
+                 Some
+                   (Sim.schedule_after t.sim ~delay:send_time (fun _ ->
+                        (match t.nic_token with
+                         | Some token ->
+                           Nic.release nic t.sim token;
+                           t.nic_token <- None
+                         | None -> assert false);
+                        t.pending_event <-
+                          Some
+                            (Sim.schedule_after t.sim ~delay:compute_time
+                               (fun _ ->
+                                  t.nic_token <-
+                                    Some
+                                      (Nic.acquire nic t.sim (fun _ ->
+                                           t.pending_event <-
+                                             Some
+                                               (Sim.schedule_after t.sim
+                                                  ~delay:recv_time (fun _ ->
+                                                    (match t.nic_token with
+                                                     | Some token ->
+                                                       Nic.release nic t.sim
+                                                         token;
+                                                       t.nic_token <- None
+                                                     | None -> assert false);
+                                                    period_completed t))))))))))
+
+and enter_phase t phase ~compute_time ~end_at =
+  match phase with
+  | Computing ->
+    t.pending_event <-
+      Some
+        (Sim.schedule_after t.sim ~delay:compute_time (fun _ ->
+             enter_phase t Receiving ~compute_time ~end_at))
+  | Receiving ->
+    t.pending_event <-
+      Some (Sim.schedule t.sim ~at:end_at (fun _ -> period_completed t))
+
+and period_completed t =
+  t.pending_event <- None;
+  match (t.episode_plan, t.period_packed) with
+  | Some plan, Some packed ->
+    let k = t.period_index in
+    let actual_len = Sim.now t.sim -. t.period_start in
+    Metrics.log_period t.metrics
+      {
+        Metrics.station = t.config.station;
+        episode = t.episode_no;
+        index = k;
+        start = t.period_start;
+        length = actual_len;
+        fate = Metrics.Period_completed;
+        model_work = t.period_compute;
+        task_work = packed.Workload.Packing.used;
+        tasks_completed = List.length packed.Workload.Packing.tasks;
+      };
+    t.period_packed <- None;
+    t.on_change t;
+    (* Consume the period's lifespan as it actually elapsed. *)
+    t.ctx <- { t.ctx with Policy.residual = t.ctx.Policy.residual -. actual_len };
+    if k < Schedule.length plan && t.ctx.Policy.residual > progress_eps t then
+      start_period t (k + 1)
+    else episode_completed t
+  | _ -> assert false
+
+and episode_completed t =
+  cancel_interrupt t;
+  t.episode_plan <- None;
+  if t.ctx.Policy.residual <= progress_eps t then finish t else plan_episode t
+
+(* --- Episode planning -------------------------------------------------- *)
+
+and plan_episode t =
+  if t.finished then ()
+  else if t.ctx.Policy.residual <= progress_eps t then finish t
+  else if Workload.Task.is_empty t.bag then finish t
+  else begin
+    let plan = Policy.plan t.config.policy t.ctx in
+    let total = Schedule.total plan in
+    if total > t.ctx.Policy.residual +. progress_eps t then
+      invalid_arg
+        (Printf.sprintf "Master: policy %s overran the residual lifespan"
+           (Policy.name t.config.policy));
+    if total <= progress_eps t then finish t else run_episode t plan
+  end
+
+and run_episode t plan =
+  begin
+    t.episode_no <- t.episode_no + 1;
+    t.episode_start <- Sim.now t.sim;
+    t.episode_plan <- Some plan;
+    Log.debug (fun m ->
+        m "%s: episode %d at %.4g: %d periods over %.4g" t.config.station
+          t.episode_no t.episode_start (Schedule.length plan)
+          (Schedule.total plan));
+    Metrics.log_episode_started t.metrics;
+    (* Ask the owner (adversary) for this episode's interrupt, if any,
+       and schedule it as a concrete event. *)
+    (match Adversary.decide t.config.owner t.ctx plan with
+     | Adversary.Let_run -> ()
+     | Adversary.Interrupt { period; fraction } ->
+       let offset =
+         Schedule.start_time plan period
+         +. (fraction *. Schedule.period plan period)
+       in
+       t.pending_interrupt <-
+         Some (Sim.schedule_after t.sim ~delay:offset (fun _ -> interrupted t)));
+    start_period t 1
+  end
+
+and interrupted t =
+  t.pending_interrupt <- None;
+  cancel_pending t;
+  drop_nic t;
+  (* The period in flight is killed: its tasks go back to the bag. *)
+  (match t.period_packed with
+   | Some packed ->
+     Workload.Packing.unpack t.bag packed;
+     t.period_packed <- None
+   | None -> ());
+  let now = Sim.now t.sim in
+  let elapsed_in_period = now -. t.period_start in
+  (match t.episode_plan with
+   | Some plan ->
+     Metrics.log_period t.metrics
+       {
+         Metrics.station = t.config.station;
+         episode = t.episode_no;
+         index = t.period_index;
+         start = t.period_start;
+         length = elapsed_in_period;
+         fate = Metrics.Period_killed;
+         model_work = 0.;
+         task_work = 0.;
+         tasks_completed = 0;
+       };
+     ignore plan
+   | None -> ());
+  Log.debug (fun m ->
+      m "%s: interrupted at %.4g in period %d of episode %d (%.4g wasted)"
+        t.config.station now t.period_index t.episode_no elapsed_in_period);
+  Metrics.log_kill t.metrics ~elapsed:elapsed_in_period;
+  t.episode_plan <- None;
+  (* Completed periods already decremented the residual at their
+     boundaries; only the killed period's elapsed time remains. *)
+  t.ctx <-
+    {
+      t.ctx with
+      Policy.residual = Float.max 0. (t.ctx.Policy.residual -. elapsed_in_period);
+      Policy.interrupts_left = t.ctx.Policy.interrupts_left - 1;
+    };
+  t.on_change t;
+  plan_episode t
+
+(* --- Construction ------------------------------------------------------ *)
+
+(* Under NIC contention periods can stretch past the lifespan; B's
+   availability nevertheless ends at start_at + U, killing whatever is
+   in flight (no interrupt is consumed -- the contract simply ended).
+   Scheduled a half-epsilon late so that a final period completing at
+   exactly the lifespan boundary fires first. *)
+let lifespan_exhausted t =
+  if not t.finished then begin
+    cancel_pending t;
+    cancel_interrupt t;
+    drop_nic t;
+    (match t.period_packed with
+     | Some packed ->
+       Workload.Packing.unpack t.bag packed;
+       t.period_packed <- None;
+       let elapsed = Sim.now t.sim -. t.period_start in
+       Metrics.log_period t.metrics
+         {
+           Metrics.station = t.config.station;
+           episode = t.episode_no;
+           index = t.period_index;
+           start = t.period_start;
+           length = elapsed;
+           fate = Metrics.Period_killed;
+           model_work = 0.;
+           task_work = 0.;
+           tasks_completed = 0;
+         };
+       Metrics.log_truncated t.metrics ~elapsed
+     | None -> ());
+    t.ctx <- { t.ctx with Policy.residual = 0. };
+    finish t
+  end
+
+let create ?(on_change = fun _ -> ()) ~sim ~bag config =
+  let t =
+    {
+      config;
+      sim;
+      bag;
+      metrics = Metrics.create ~station:config.station;
+      link = Link.create config.params;
+      ctx = Policy.initial_context config.params config.opportunity;
+      episode_no = 0;
+      episode_start = 0.;
+      episode_plan = None;
+      period_index = 0;
+      period_start = 0.;
+      period_packed = None;
+      period_compute = 0.;
+      pending_event = None;
+      pending_interrupt = None;
+      nic_token = None;
+      finished = false;
+      on_change;
+    }
+  in
+  ignore (Sim.schedule t.sim ~at:config.start_at (fun _ -> plan_episode t));
+  (match config.nic with
+   | Some _ ->
+     let cutoff =
+       config.start_at +. config.opportunity.Model.lifespan
+       +. (0.5 *. progress_eps t)
+     in
+     ignore (Sim.schedule t.sim ~at:cutoff (fun _ -> lifespan_exhausted t))
+   | None -> ());
+  t
+
+(* Tasks currently in flight on this station (killed periods return
+   theirs, so this is exactly the packed set of the running period). *)
+let in_flight t =
+  match t.period_packed with
+  | None -> 0
+  | Some p -> List.length p.Workload.Packing.tasks

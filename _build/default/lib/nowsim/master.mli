@@ -1,0 +1,44 @@
+(** Workstation [A]'s side of one cycle-stealing opportunity, as an
+    event-driven process: plans episodes through a {!Cyclesteal.Policy},
+    fills periods with tasks from a (possibly shared) bag, and reacts to
+    owner interrupts by returning the killed period's tasks and
+    re-planning.  With the adversarial-oracle owner this process
+    reproduces {!Cyclesteal.Game.run} decision for decision
+    (experiment E7). *)
+
+open Cyclesteal
+
+type config = {
+  station : string;
+  params : Model.params;
+  opportunity : Model.opportunity;
+  policy : Policy.t;
+  owner : Adversary.t;
+  start_at : float;     (** simulation time when [B] becomes available *)
+  early_return : bool;  (** end periods early when the packed work is
+                            exhausted (shifts all later timing; off for
+                            model-exact runs) *)
+  nic : Nic.t option;   (** when present, transfer phases queue for this
+                            shared [A]-side interface: periods stretch
+                            by contention delay and any period still in
+                            flight at the lifespan boundary is cut off *)
+  speed : float;        (** [B]'s relative compute speed: a period of
+                            length [t] carries [speed * (t - c)] task
+                            units; the model work metric stays in time
+                            units *)
+}
+
+type t
+
+val create :
+  ?on_change:(t -> unit) -> sim:Sim.t -> bag:Workload.Task.bag -> config -> t
+(** Registers the opportunity's start event on [sim]; [on_change] fires
+    after every task movement (the farm uses it to detect bag drain). *)
+
+val metrics : t -> Metrics.t
+val finished : t -> bool
+val context : t -> Policy.context
+(** The master's current view of the game state. *)
+
+val in_flight : t -> int
+(** Tasks currently packed into the running period. *)

@@ -1,0 +1,120 @@
+(* Accounting for simulated cycle-stealing opportunities.
+
+   Two parallel currencies are tracked:
+   - *model work*: the paper's t - c per completed period, independent of
+     the task bag; this is what experiment E7 compares against the game
+     engine;
+   - *task work*: the total size of tasks actually completed, which falls
+     short of model work by the packing fragmentation. *)
+
+type period_fate = Period_completed | Period_killed
+
+type period_log = {
+  station : string;
+  episode : int;          (* episode index within the opportunity *)
+  index : int;            (* period index within the episode, 1-based *)
+  start : float;          (* absolute simulation time *)
+  length : float;
+  fate : period_fate;
+  model_work : float;     (* (length - c) for completed periods, else 0 *)
+  task_work : float;      (* total size of tasks banked by this period *)
+  tasks_completed : int;
+}
+
+type t = {
+  station : string;
+  mutable periods : period_log list; (* reversed *)
+  mutable episodes : int;
+  mutable interrupts : int;
+  mutable model_work : float;
+  mutable task_work : float;
+  mutable tasks_completed : int;
+  mutable overhead_time : float;   (* c per completed period *)
+  mutable wasted_time : float;     (* lifespan consumed by killed periods *)
+  mutable idle_time : float;       (* lifespan never assigned to a period *)
+  mutable finished_at : float option;
+}
+
+let create ~station =
+  {
+    station;
+    periods = [];
+    episodes = 0;
+    interrupts = 0;
+    model_work = 0.;
+    task_work = 0.;
+    tasks_completed = 0;
+    overhead_time = 0.;
+    wasted_time = 0.;
+    idle_time = 0.;
+    finished_at = None;
+  }
+
+let log_period t p =
+  t.periods <- p :: t.periods;
+  match p.fate with
+  | Period_completed ->
+    t.model_work <- t.model_work +. p.model_work;
+    t.task_work <- t.task_work +. p.task_work;
+    t.tasks_completed <- t.tasks_completed + p.tasks_completed;
+    t.overhead_time <- t.overhead_time +. (p.length -. p.model_work)
+  | Period_killed -> ()
+
+(* A killed period wastes the time that elapsed before the interrupt. *)
+let log_kill t ~elapsed =
+  t.interrupts <- t.interrupts + 1;
+  t.wasted_time <- t.wasted_time +. elapsed
+
+(* A period cut off by the end of the lifespan (e.g. stretched past it
+   by NIC contention) wastes its time without consuming an interrupt. *)
+let log_truncated t ~elapsed = t.wasted_time <- t.wasted_time +. elapsed
+
+let log_episode_started t = t.episodes <- t.episodes + 1
+let log_idle t ~duration = t.idle_time <- t.idle_time +. duration
+let log_finished t ~at = t.finished_at <- Some at
+
+let periods t = List.rev t.periods
+let station t = t.station
+let episodes t = t.episodes
+let interrupts t = t.interrupts
+let model_work t = t.model_work
+let task_work t = t.task_work
+let tasks_completed t = t.tasks_completed
+let overhead_time t = t.overhead_time
+let wasted_time t = t.wasted_time
+let idle_time t = t.idle_time
+let finished_at t = t.finished_at
+
+(* Packing fragmentation: model work offered minus task work banked. *)
+let fragmentation t = t.model_work -. t.task_work
+
+type summary = {
+  stations : int;
+  total_model_work : float;
+  total_task_work : float;
+  total_tasks : int;
+  total_interrupts : int;
+  total_overhead : float;
+  total_wasted : float;
+  makespan : float option; (* when the shared bag drained, if it did *)
+}
+
+let summarize ?makespan ts =
+  {
+    stations = List.length ts;
+    total_model_work = Csutil.Float_ext.sum_list (List.map model_work ts);
+    total_task_work = Csutil.Float_ext.sum_list (List.map task_work ts);
+    total_tasks = List.fold_left (fun a t -> a + tasks_completed t) 0 ts;
+    total_interrupts = List.fold_left (fun a t -> a + interrupts t) 0 ts;
+    total_overhead = Csutil.Float_ext.sum_list (List.map overhead_time ts);
+    total_wasted = Csutil.Float_ext.sum_list (List.map wasted_time ts);
+    makespan;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>stations: %d@ model work: %.3f@ task work: %.3f@ tasks: %d@ \
+     interrupts: %d@ overhead: %.3f@ wasted: %.3f@ makespan: %s@]"
+    s.stations s.total_model_work s.total_task_work s.total_tasks
+    s.total_interrupts s.total_overhead s.total_wasted
+    (match s.makespan with None -> "n/a" | Some m -> Printf.sprintf "%.3f" m)

@@ -1,0 +1,75 @@
+(** Accounting for simulated opportunities.  Two currencies: {e model
+    work} (the paper's [t - c] per completed period, compared against
+    the game engine in experiment E7) and {e task work} (total size of
+    tasks actually completed; the difference is packing
+    fragmentation). *)
+
+type period_fate = Period_completed | Period_killed
+
+type period_log = {
+  station : string;
+  episode : int;        (** episode index within the opportunity *)
+  index : int;          (** period index within the episode, 1-based *)
+  start : float;        (** absolute simulation time *)
+  length : float;
+  fate : period_fate;
+  model_work : float;   (** [length - c] for completed periods, else 0 *)
+  task_work : float;
+  tasks_completed : int;
+}
+
+type t
+
+val create : station:string -> t
+
+val log_period : t -> period_log -> unit
+val log_kill : t -> elapsed:float -> unit
+(** [elapsed]: time the killed period had consumed. *)
+
+val log_truncated : t -> elapsed:float -> unit
+(** A period cut off by the end of the lifespan (no interrupt
+    consumed); its elapsed time is wasted. *)
+
+val log_episode_started : t -> unit
+val log_idle : t -> duration:float -> unit
+val log_finished : t -> at:float -> unit
+
+val periods : t -> period_log list
+(** In chronological order. *)
+
+val station : t -> string
+val episodes : t -> int
+val interrupts : t -> int
+val model_work : t -> float
+val task_work : t -> float
+val tasks_completed : t -> int
+
+val overhead_time : t -> float
+(** [c] per completed period. *)
+
+val wasted_time : t -> float
+(** Lifespan consumed by killed periods. *)
+
+val idle_time : t -> float
+(** Lifespan never assigned to a period (e.g. the bag drained).
+    Invariant (tested): model work + overhead + wasted + idle = the
+    lifespan actually used. *)
+
+val finished_at : t -> float option
+
+val fragmentation : t -> float
+(** [model_work - task_work]. *)
+
+type summary = {
+  stations : int;
+  total_model_work : float;
+  total_task_work : float;
+  total_tasks : int;
+  total_interrupts : int;
+  total_overhead : float;
+  total_wasted : float;
+  makespan : float option;  (** when the shared bag drained, if it did *)
+}
+
+val summarize : ?makespan:float -> t list -> summary
+val pp_summary : Format.formatter -> summary -> unit

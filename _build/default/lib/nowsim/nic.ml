@@ -1,0 +1,90 @@
+(* A shared, exclusive network interface at workstation A.
+
+   The model charges each period a setup cost c for the paired
+   communications, implicitly assuming A can talk to every borrowed
+   workstation at once.  With several stations that assumption breaks:
+   A's interface serialises the send and receive phases.  This module is
+   that interface — a FIFO resource masters acquire around their
+   transfer phases — and it is what makes farm scaling saturate at
+   roughly (period length / c) stations (experiment E10).
+
+   Grants are FIFO; a waiting request can be cancelled (its master was
+   interrupted), and a holder must release explicitly. *)
+
+type token = { mutable state : [ `Waiting | `Granted | `Cancelled | `Done ] }
+
+type t = {
+  waiting : (token * float * (Sim.t -> unit)) Queue.t;
+    (* (request, enqueue time, grant callback) *)
+  mutable busy : bool;
+  (* statistics *)
+  mutable acquisitions : int;
+  mutable busy_since : float;
+  mutable busy_time : float;
+  mutable wait_time : float;
+}
+
+let create () =
+  {
+    waiting = Queue.create ();
+    busy = false;
+    acquisitions = 0;
+    busy_since = 0.;
+    busy_time = 0.;
+    wait_time = 0.;
+  }
+
+let grant t sim token cb =
+  t.busy <- true;
+  t.busy_since <- Sim.now sim;
+  t.acquisitions <- t.acquisitions + 1;
+  token.state <- `Granted;
+  cb sim
+
+(* [acquire t sim cb] requests the interface; [cb] runs (possibly
+   immediately) when granted.  Returns a token for cancellation. *)
+let acquire t sim cb =
+  let token = { state = `Waiting } in
+  if not t.busy then grant t sim token cb
+  else Queue.add (token, Sim.now sim, cb) t.waiting;
+  token
+
+(* [cancel t token] withdraws a waiting request; granted or completed
+   tokens are unaffected (the holder must still release). *)
+let cancel _t token = if token.state = `Waiting then token.state <- `Cancelled
+
+(* [release t sim token] frees the interface and grants the next live
+   waiter.  @raise Invalid_argument if [token] does not hold it. *)
+let release t sim token =
+  if token.state <> `Granted then
+    invalid_arg "Nic.release: token does not hold the interface";
+  token.state <- `Done;
+  t.busy_time <- t.busy_time +. (Sim.now sim -. t.busy_since);
+  t.busy <- false;
+  let rec next () =
+    match Queue.take_opt t.waiting with
+    | None -> ()
+    | Some (tok, enqueued, cb) ->
+      if tok.state = `Cancelled then next ()
+      else begin
+        t.wait_time <- t.wait_time +. (Sim.now sim -. enqueued);
+        grant t sim tok cb
+      end
+  in
+  next ()
+
+(* [release_if_held t sim token]: release when the token holds the
+   interface; no-op otherwise.  For cleanup paths that do not know the
+   token's state. *)
+let release_if_held t sim token =
+  if token.state = `Granted then release t sim token
+
+let is_busy t = t.busy
+let acquisitions t = t.acquisitions
+let total_busy_time t = t.busy_time
+let total_wait_time t = t.wait_time
+
+(* Fraction of [0, horizon] the interface was held. *)
+let utilization t ~horizon =
+  if horizon <= 0. then invalid_arg "Nic.utilization: horizon must be positive";
+  t.busy_time /. horizon

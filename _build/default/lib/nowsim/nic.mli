@@ -1,0 +1,36 @@
+(** A shared, exclusive network interface at workstation [A].
+
+    The model's setup cost [c] implicitly assumes [A] can talk to every
+    borrowed workstation at once; with several stations the interface
+    serialises the transfer phases, and farm scaling saturates at
+    roughly (period length / c) stations (experiment E10).  Grants are
+    FIFO; waiting requests can be cancelled; holders release
+    explicitly. *)
+
+type t
+type token
+
+val create : unit -> t
+
+val acquire : t -> Sim.t -> (Sim.t -> unit) -> token
+(** Request the interface; the callback runs — possibly immediately —
+    when granted. *)
+
+val cancel : t -> token -> unit
+(** Withdraw a waiting request (no-op on granted/finished tokens). *)
+
+val release : t -> Sim.t -> token -> unit
+(** Free the interface and grant the next live waiter.
+    @raise Invalid_argument if the token does not hold the interface. *)
+
+val release_if_held : t -> Sim.t -> token -> unit
+(** {!release} when the token holds the interface; no-op otherwise. *)
+
+val is_busy : t -> bool
+val acquisitions : t -> int
+val total_busy_time : t -> float
+val total_wait_time : t -> float
+(** Total time requests spent queued. *)
+
+val utilization : t -> horizon:float -> float
+(** Fraction of [[0, horizon]] the interface was held. *)

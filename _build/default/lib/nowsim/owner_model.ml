@@ -1,0 +1,51 @@
+(* Owner behaviour models for the simulator, beyond raw traces.
+
+   The guaranteed-output model treats the owner as an adversary with a
+   budget; real owners follow processes.  These constructors build
+   Adversary.t values (the simulator's owner interface) from stochastic
+   reclaim models, including the Expected-submodel risks, so the same
+   risk assumptions can drive both the expected-output analysis and the
+   simulation. *)
+
+open Cyclesteal
+
+(* Shared machinery: an owner driven by a stream of absolute reclaim
+   times, drawn lazily by [draw_next ~after].  At most the contractual
+   budget fires (Adversary.decide enforces the budget). *)
+let of_reclaim_stream ~name ~draw_next =
+  let next_at = ref None in
+  let decide ctx s =
+    let episode_start = Policy.elapsed ctx in
+    let episode_end = episode_start +. Schedule.total s in
+    let t =
+      match !next_at with
+      | Some t when t > episode_start -> t
+      | _ ->
+        let t = draw_next ~after:episode_start in
+        next_at := Some t;
+        t
+    in
+    if t <= episode_start || t > episode_end then Adversary.Let_run
+    else begin
+      (* Consume this reclaim and pre-draw the next. *)
+      next_at := Some (draw_next ~after:t);
+      Adversary.interrupt_at_offset s ~offset:(t -. episode_start)
+    end
+  in
+  Adversary.make ~name ~decide
+
+(* Reclaims form a renewal process with the given risk distribution:
+   after each reclaim (and at the start) the time to the next one is a
+   fresh sample. *)
+let renewal ~rng ~(risk : Expected.risk) =
+  of_reclaim_stream ~name:"renewal-owner" ~draw_next:(fun ~after ->
+      after +. Expected.sample risk rng)
+
+(* A day/night owner: certainly absent before [quiet_until] (the night),
+   then memoryless reclaims at [day_rate].  Models borrowing a 9-to-5
+   machine overnight. *)
+let day_night ~rng ~quiet_until ~day_rate =
+  if quiet_until < 0. then invalid_arg "Owner_model.day_night: negative quiet_until";
+  if day_rate <= 0. then invalid_arg "Owner_model.day_night: rate must be positive";
+  of_reclaim_stream ~name:"day-night-owner" ~draw_next:(fun ~after ->
+      Float.max after quiet_until +. Csutil.Rng.exponential rng ~rate:day_rate)

@@ -1,0 +1,22 @@
+(** Owner behaviour models beyond raw traces: build simulator owners
+    ({!Cyclesteal.Adversary.t}) from stochastic reclaim processes, so the
+    same risk assumptions drive the expected-output analysis and the
+    simulation. *)
+
+val of_reclaim_stream :
+  name:string -> draw_next:(after:float -> float) -> Cyclesteal.Adversary.t
+(** An owner driven by a lazily-drawn stream of absolute reclaim times;
+    [draw_next ~after] must return a time strictly later than [after]
+    for the stream to progress. *)
+
+val renewal :
+  rng:Csutil.Rng.t -> risk:Cyclesteal.Expected.risk -> Cyclesteal.Adversary.t
+(** Reclaims form a renewal process with inter-reclaim times drawn from
+    the risk distribution. *)
+
+val day_night :
+  rng:Csutil.Rng.t -> quiet_until:float -> day_rate:float -> Cyclesteal.Adversary.t
+(** Certainly absent before [quiet_until] (the night), then memoryless
+    reclaims at [day_rate].
+    @raise Invalid_argument on negative [quiet_until] or non-positive
+    [day_rate]. *)

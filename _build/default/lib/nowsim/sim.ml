@@ -1,0 +1,63 @@
+(* Discrete-event simulation core.
+
+   The engine owns a virtual clock and an event queue; events are
+   closures receiving the engine, so processes (masters, owners) are
+   plain OCaml values that schedule further events.  The clock never runs
+   backwards: scheduling into the past is an error, which catches
+   accounting bugs in the processes early. *)
+
+type t = {
+  mutable now : float;
+  queue : (t -> unit) Event_queue.t;
+  mutable events_fired : int;
+  mutable running : bool;
+}
+
+let create () =
+  { now = 0.; queue = Event_queue.create (); events_fired = 0; running = false }
+
+let now t = t.now
+let events_fired t = t.events_fired
+let pending t = Event_queue.length t.queue
+
+type handle = Event_queue.handle
+
+let schedule t ~at action =
+  if at < t.now -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: time %g is in the past (now %g)" at t.now);
+  Event_queue.add t.queue ~time:(Float.max at t.now) action
+
+let schedule_after t ~delay action =
+  if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
+  schedule t ~at:(t.now +. delay) action
+
+let cancel = Event_queue.cancel
+
+(* Run until the queue drains, [until] is reached, or [max_events] fire
+   (a runaway guard for buggy processes). *)
+let run ?until ?(max_events = 50_000_000) t =
+  if t.running then invalid_arg "Sim.run: already running";
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+       let continue = ref true in
+       while !continue do
+         match Event_queue.peek_time t.queue with
+         | None -> continue := false
+         | Some time ->
+           (match until with
+            | Some horizon when time > horizon ->
+              t.now <- horizon;
+              continue := false
+            | _ ->
+              (match Event_queue.pop t.queue with
+               | None -> continue := false
+               | Some (time, action) ->
+                 t.now <- time;
+                 t.events_fired <- t.events_fired + 1;
+                 if t.events_fired > max_events then
+                   failwith "Sim.run: max_events exceeded (runaway process?)";
+                 action t))
+       done)

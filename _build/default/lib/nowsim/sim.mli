@@ -1,0 +1,30 @@
+(** Discrete-event simulation core: a virtual clock and an event queue.
+    Events are closures receiving the engine; processes are OCaml values
+    that schedule further events. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** The virtual clock; never runs backwards. *)
+
+val events_fired : t -> int
+val pending : t -> int
+
+type handle = Event_queue.handle
+
+val schedule : t -> at:float -> (t -> unit) -> handle
+(** @raise Invalid_argument when [at] is in the past (beyond a small
+    tolerance; times within the tolerance clamp to [now]). *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> handle
+(** @raise Invalid_argument on negative delays. *)
+
+val cancel : handle -> unit
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Fire events in timestamp (then FIFO) order until the queue drains or
+    [until] is reached; [max_events] guards against runaway processes.
+    @raise Invalid_argument when re-entered from an event handler.
+    @raise Failure when [max_events] is exceeded. *)

@@ -1,0 +1,64 @@
+(* Float helpers shared across the analytic layer.
+
+   All schedule arithmetic in the analytic layer is carried out in [float];
+   these helpers centralise the tolerance conventions so that "equal",
+   "sums to U", etc. mean the same thing everywhere. *)
+
+(* Default relative tolerance used by the schedule layer. *)
+let default_rtol = 1e-9
+
+(* Default absolute tolerance (for comparisons near zero). *)
+let default_atol = 1e-9
+
+(* [approx_eq ?rtol ?atol a b] is true when [a] and [b] are equal up to the
+   combined absolute/relative tolerance, in the style of numpy's isclose. *)
+let approx_eq ?(rtol = default_rtol) ?(atol = default_atol) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+(* [positive_sub x y] is the paper's positive subtraction [x (-) y]:
+   max(0, x - y).  Defined here because both the analytic and the workload
+   layers need it; re-exported as [Cyclesteal.Model.( -^ )]. *)
+let positive_sub x y = Float.max 0. (x -. y)
+
+(* [clamp ~lo ~hi x] bounds [x] into [lo, hi]. *)
+let clamp ~lo ~hi x =
+  if x < lo then lo else if x > hi then hi else x
+
+(* [sum a] sums a float array with Kahan compensation.  Schedules can have
+   thousands of periods whose lengths differ by orders of magnitude; naive
+   summation loses enough precision to break "sums to U" invariants. *)
+let sum a =
+  let s = ref 0. and comp = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let y = a.(i) -. !comp in
+    let t = !s +. y in
+    comp := t -. !s -. y;
+    s := t
+  done;
+  !s
+
+(* [sum_list l] is [sum] over a list. *)
+let sum_list l = sum (Array.of_list l)
+
+(* [prefix_sums a] returns [b] of length [n+1] with [b.(k) = a.(0) + ... +
+   a.(k-1)]; [b.(0) = 0].  These are the paper's period start times T_k. *)
+let prefix_sums a =
+  let n = Array.length a in
+  let b = Array.make (n + 1) 0. in
+  for i = 0 to n - 1 do
+    b.(i + 1) <- b.(i) +. a.(i)
+  done;
+  b
+
+(* [is_finite x] is true when [x] is neither NaN nor infinite. *)
+let is_finite x = Float.is_finite x
+
+(* [round_to ~grid x] rounds [x] down to a multiple of [grid] (> 0). *)
+let round_down_to ~grid x =
+  assert (grid > 0.);
+  Float.of_int (int_of_float (Float.floor (x /. grid))) *. grid
+
+(* [compare_with_tol ?rtol ?atol a b] is a three-way comparison that treats
+   approximately-equal values as equal. *)
+let compare_with_tol ?rtol ?atol a b =
+  if approx_eq ?rtol ?atol a b then 0 else Float.compare a b

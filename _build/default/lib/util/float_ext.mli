@@ -1,0 +1,36 @@
+(** Float helpers shared across the analytic layer: tolerance
+    conventions, compensated summation, prefix sums. *)
+
+val default_rtol : float
+(** Default relative tolerance used by the schedule layer ([1e-9]). *)
+
+val default_atol : float
+(** Default absolute tolerance (for comparisons near zero). *)
+
+val approx_eq : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [approx_eq a b] is true when [|a - b| <= atol + rtol * max |a| |b|]
+    (numpy-style [isclose]). *)
+
+val positive_sub : float -> float -> float
+(** The paper's positive subtraction: [max 0. (x -. y)]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Bound a value into [[lo, hi]]. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum; schedules mix period lengths across orders of
+    magnitude, where naive summation breaks "sums to U" invariants. *)
+
+val sum_list : float list -> float
+
+val prefix_sums : float array -> float array
+(** [prefix_sums a] has length [n+1] with entry [k] the sum of
+    [a.(0) .. a.(k-1)]; these are the period start times [T_k]. *)
+
+val is_finite : float -> bool
+
+val round_down_to : grid:float -> float -> float
+(** Round down to a multiple of [grid] (> 0). *)
+
+val compare_with_tol : ?rtol:float -> ?atol:float -> float -> float -> int
+(** Three-way comparison treating approximately-equal values as equal. *)

@@ -1,0 +1,53 @@
+(* Minimal data-parallel helpers on OCaml 5 domains (stdlib only).
+
+   The evaluators in this library are embarrassingly parallel across
+   *instances* (Monte-Carlo samples, parameter sweeps, per-m searches),
+   not within one DP layer, so a chunked parallel map is all the
+   machinery needed.  Each domain computes an independent slice and the
+   results are concatenated — no shared mutable state, so no locks.
+
+   Keep closures passed here free of shared mutable state (in
+   particular, give each chunk its own Rng). *)
+
+let available_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* [map ~domains f a]: like [Array.map f a], computed on up to [domains]
+   domains.  Deterministic: the result ordering never depends on the
+   domain count. *)
+let map ?domains f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let domains =
+      match domains with
+      | Some d when d >= 1 -> min d n
+      | Some _ -> invalid_arg "Par.map: domains must be >= 1"
+      | None -> min (available_domains ()) n
+    in
+    if domains = 1 then Array.map f a
+    else begin
+      let chunk = (n + domains - 1) / domains in
+      let handles =
+        List.init domains (fun i ->
+            let lo = i * chunk in
+            let hi = min n (lo + chunk) in
+            Domain.spawn (fun () ->
+                if hi <= lo then [||]
+                else Array.init (hi - lo) (fun j -> f a.(lo + j))))
+      in
+      Array.concat (List.map Domain.join handles)
+    end
+  end
+
+(* [init ~domains n f]: like [Array.init], parallel across chunks. *)
+let init ?domains n f =
+  if n < 0 then invalid_arg "Par.init: negative length";
+  map ?domains f (Array.init n Fun.id)
+
+(* [map_reduce ~domains ~map:f ~combine ~init a]: fold the mapped values
+   with an associative, commutative [combine] (the per-domain partial
+   results are combined in chunk order, so associativity suffices if
+   [combine] is not commutative). *)
+let map_reduce ?domains ~map:f ~combine ~init:acc0 a =
+  let mapped = map ?domains f a in
+  Array.fold_left combine acc0 mapped

@@ -1,0 +1,28 @@
+(** Minimal data-parallel helpers on OCaml 5 domains (stdlib only).
+
+    Chunked parallel map for embarrassingly parallel instance-level work
+    (Monte-Carlo sampling, parameter sweeps).  No shared mutable state:
+    each domain computes an independent slice.  Closures must not share
+    mutable state across chunks (give each chunk its own {!Rng.t}). *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Like [Array.map], computed on up to [domains] domains (default: the
+    recommended count).  The result is identical to the sequential map
+    for any domain count.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** Like [Array.init], parallel across chunks. *)
+
+val map_reduce :
+  ?domains:int ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  init:'b ->
+  'a array ->
+  'b
+(** Fold the mapped values with an associative [combine] (partials are
+    combined in chunk order). *)

@@ -1,0 +1,78 @@
+(* Deterministic, splittable pseudo-random number generator (splitmix64).
+
+   The NOW simulator must be exactly reproducible from a seed: owner
+   interrupt times, task sizes and tie-breaking all draw from this
+   generator.  OCaml's [Random] state is global and version-dependent, so
+   we carry our own.  splitmix64 is the standard seeding/splitting PRNG
+   (Steele, Lea & Flood, OOPSLA 2014); 64-bit output, period 2^64. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* Core splitmix64 step: advance the state by the golden gamma and mix. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* [split t] returns a statistically independent generator; used to give
+   each simulated workstation its own stream so that adding a workstation
+   does not perturb the draws of the others. *)
+let split t =
+  let s = next_int64 t in
+  { state = s }
+
+(* Uniform float in [0, 1).  Uses the top 53 bits. *)
+let float01 t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+(* Uniform float in [lo, hi). *)
+let float_range t ~lo ~hi =
+  assert (hi >= lo);
+  lo +. ((hi -. lo) *. float01 t)
+
+(* Uniform int in [0, bound). *)
+let int t ~bound =
+  assert (bound > 0);
+  (* Rejection-free for our purposes: bias is < 2^-40 for bound < 2^24. *)
+  int_of_float (float01 t *. float_of_int bound)
+
+(* [bool t] is a fair coin. *)
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Exponential variate with the given rate (mean 1/rate). *)
+let exponential t ~rate =
+  assert (rate > 0.);
+  let u = float01 t in
+  -.Float.log1p (-.u) /. rate
+
+(* Pareto variate with scale [xm] and shape [alpha]. *)
+let pareto t ~xm ~alpha =
+  assert (xm > 0. && alpha > 0.);
+  let u = float01 t in
+  xm /. ((1. -. u) ** (1. /. alpha))
+
+(* Standard normal via Box-Muller (single value; the twin is discarded to
+   keep the stream position deterministic per call). *)
+let normal t ~mean ~stddev =
+  let u1 = Float.max 1e-300 (float01 t) in
+  let u2 = float01 t in
+  let z = Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+(* Fisher-Yates shuffle in place. *)
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

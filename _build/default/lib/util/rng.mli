@@ -1,0 +1,42 @@
+(** Deterministic, splittable pseudo-random numbers (splitmix64).
+
+    The simulator must be exactly reproducible from a seed; OCaml's
+    global [Random] state is not suitable.  Each simulated entity can be
+    given its own stream via {!split} so adding one does not perturb the
+    draws of the others. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+(** An independent generator starting from the same state. *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing)
+    this one. *)
+
+val next_int64 : t -> int64
+(** The raw 64-bit output. *)
+
+val float01 : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform in [[lo, hi)]. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [[0, bound)]; [bound > 0]. *)
+
+val bool : t -> bool
+
+val exponential : t -> rate:float -> float
+(** Exponential variate with mean [1/rate]. *)
+
+val pareto : t -> xm:float -> alpha:float -> float
+(** Pareto variate with scale [xm] and shape [alpha]. *)
+
+val normal : t -> mean:float -> stddev:float -> float
+(** Gaussian variate (Box-Muller). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,132 @@
+(* Summary statistics for experiment reporting.
+
+   The bench harness and the simulator aggregate repeated runs; this module
+   provides the usual estimators plus a streaming accumulator (Welford) so
+   long simulations do not need to retain every sample. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.mean: empty array";
+  Float_ext.sum a /. float_of_int n
+
+(* Unbiased sample variance (n-1 denominator); 0 for singleton samples. *)
+let variance a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.variance: empty array";
+  if n = 1 then 0.
+  else begin
+    let m = mean a in
+    let acc = Array.map (fun x -> (x -. m) *. (x -. m)) a in
+    Float_ext.sum acc /. float_of_int (n - 1)
+  end
+
+let stddev a = Float.sqrt (variance a)
+
+let min_max a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.min_max: empty array";
+  let mn = ref a.(0) and mx = ref a.(0) in
+  for i = 1 to n - 1 do
+    if a.(i) < !mn then mn := a.(i);
+    if a.(i) > !mx then mx := a.(i)
+  done;
+  (!mn, !mx)
+
+(* [quantile a q] is the linear-interpolation (type-7) sample quantile,
+   matching numpy's default.  [q] must lie in [0, 1]. *)
+let quantile a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median a = quantile a 0.5
+
+(* Streaming mean/variance accumulator (Welford's algorithm). *)
+module Accumulator = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float; (* sum of squared deviations *)
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.; m2 = 0.; min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    let delta2 = x -. t.mean in
+    t.m2 <- t.m2 +. (delta *. delta2);
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then invalid_arg "Accumulator.mean: empty" else t.mean
+
+  let variance t =
+    if t.count = 0 then invalid_arg "Accumulator.variance: empty"
+    else if t.count = 1 then 0.
+    else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = Float.sqrt (variance t)
+  let min t = if t.count = 0 then invalid_arg "Accumulator.min: empty" else t.min
+  let max t = if t.count = 0 then invalid_arg "Accumulator.max: empty" else t.max
+
+  (* Half-width of the normal-approximation 95% confidence interval. *)
+  let ci95_halfwidth t =
+    if t.count < 2 then 0.
+    else 1.96 *. stddev t /. Float.sqrt (float_of_int t.count)
+end
+
+(* Simple fixed-width histogram, used by the simulator's metrics module. *)
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    counts : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable total : int;
+  }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+    if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+    { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+  let add t x =
+    t.total <- t.total + 1;
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let bins = Array.length t.counts in
+      let idx = int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo)) in
+      let idx = if idx >= bins then bins - 1 else idx in
+      t.counts.(idx) <- t.counts.(idx) + 1
+    end
+
+  let total t = t.total
+  let counts t = Array.copy t.counts
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+
+  (* Bin midpoint for rendering. *)
+  let midpoint t i =
+    let bins = Array.length t.counts in
+    if i < 0 || i >= bins then invalid_arg "Histogram.midpoint: bin out of range";
+    let w = (t.hi -. t.lo) /. float_of_int bins in
+    t.lo +. (w *. (float_of_int i +. 0.5))
+end

@@ -1,0 +1,50 @@
+(** Summary statistics for experiment reporting. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on empty input (likewise below). *)
+
+val variance : float array -> float
+(** Unbiased sample variance ([n-1] denominator); [0.] for singletons. *)
+
+val stddev : float array -> float
+val min_max : float array -> float * float
+
+val quantile : float array -> float -> float
+(** Linear-interpolation (type-7) sample quantile, numpy's default.
+    The quantile argument must lie in [[0, 1]]; input need not be
+    sorted. *)
+
+val median : float array -> float
+
+(** Streaming mean/variance (Welford), for long simulations that should
+    not retain every sample. *)
+module Accumulator : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val ci95_halfwidth : t -> float
+  (** Half-width of the normal-approximation 95% confidence interval. *)
+end
+
+(** Fixed-width histogram. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  val total : t -> int
+  val counts : t -> int array
+  val underflow : t -> int
+  val overflow : t -> int
+
+  val midpoint : t -> int -> float
+  (** Midpoint of bin [i], for rendering. *)
+end

@@ -1,0 +1,119 @@
+(* ASCII and CSV table rendering for the bench harness and CLI.
+
+   Every reproduced paper table and experiment series is printed through
+   this module so the output format is uniform and machine-greppable. *)
+
+type align = Left | Right
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ?title ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns and headers length mismatch";
+      a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { title; headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+(* Formatting helpers for numeric cells. *)
+let cell_float ?(prec = 3) x = Printf.sprintf "%.*f" prec x
+let cell_int n = string_of_int n
+let cell_sci ?(prec = 3) x = Printf.sprintf "%.*e" prec x
+let cell_pct ?(prec = 2) x = Printf.sprintf "%.*f%%" prec (100. *. x)
+
+let rows_in_order t = List.rev t.rows
+
+let column_widths t =
+  let rows = t.headers :: rows_in_order t in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let scan row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter scan rows;
+  widths
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+(* Render as an ASCII table with a header rule. *)
+let to_string t =
+  let widths = column_widths t in
+  let aligns = Array.of_list t.aligns in
+  let buf = Buffer.create 1024 in
+  (match t.title with
+   | Some title ->
+     Buffer.add_string buf title;
+     Buffer.add_char buf '\n'
+   | None -> ());
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+         if i > 0 then Buffer.add_string buf "  ";
+         Buffer.add_string buf (pad aligns.(i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.headers;
+  let rule_len =
+    Array.fold_left ( + ) 0 widths + (2 * (Array.length widths - 1))
+  in
+  Buffer.add_string buf (String.make rule_len '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row (rows_in_order t);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+(* CSV escaping per RFC 4180: quote cells containing commas, quotes or
+   newlines, doubling embedded quotes. *)
+let csv_escape s =
+  let needs_quoting =
+    String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n' || ch = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+         if ch = '"' then Buffer.add_string buf "\"\""
+         else Buffer.add_char buf ch)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let render_row row =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape row));
+    Buffer.add_char buf '\n'
+  in
+  render_row t.headers;
+  List.iter render_row (rows_in_order t);
+  Buffer.contents buf
+
+let save_csv t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

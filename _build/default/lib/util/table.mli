@@ -1,0 +1,32 @@
+(** ASCII and CSV table rendering.  All reproduced tables and experiment
+    series print through this module so output is uniform and greppable. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> ?aligns:align list -> string list -> t
+(** [create headers] makes an empty table; [aligns] defaults to all
+    [Right].
+    @raise Invalid_argument when [aligns] and [headers] disagree in
+    length. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the cell count differs from the
+    headers. *)
+
+val cell_float : ?prec:int -> float -> string
+val cell_int : int -> string
+val cell_sci : ?prec:int -> float -> string
+val cell_pct : ?prec:int -> float -> string
+(** Render a fraction as a percentage (e.g. [0.125] as ["12.50%"]). *)
+
+val rows_in_order : t -> string list list
+val to_string : t -> string
+val print : t -> unit
+
+val to_csv : t -> string
+(** RFC 4180 escaping: cells containing commas, quotes or newlines are
+    quoted, embedded quotes doubled. *)
+
+val save_csv : t -> string -> unit

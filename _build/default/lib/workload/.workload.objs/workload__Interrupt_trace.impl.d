@@ -1,0 +1,1 @@
+lib/workload/interrupt_trace.ml: Array Csutil Cyclesteal Float List

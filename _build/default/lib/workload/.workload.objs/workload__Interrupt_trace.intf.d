@@ -1,0 +1,1 @@
+lib/workload/interrupt_trace.mli: Csutil Cyclesteal

@@ -1,0 +1,1 @@
+lib/workload/packing.ml: Cyclesteal List Task

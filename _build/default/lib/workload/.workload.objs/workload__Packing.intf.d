@@ -1,0 +1,1 @@
+lib/workload/packing.mli: Cyclesteal Task

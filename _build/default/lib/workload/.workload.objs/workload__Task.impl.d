@@ -1,0 +1,1 @@
+lib/workload/task.ml: Distribution Format List

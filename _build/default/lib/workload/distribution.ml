@@ -1,0 +1,71 @@
+(* Task-size and inter-arrival distributions for synthetic workloads.
+
+   The paper assumes task times "may vary but are known perfectly"; the
+   distributions here generate such known-but-varied sizes.  All sampling
+   goes through Csutil.Rng so runs are reproducible from a seed. *)
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { xm : float; alpha : float }
+  | Truncated_normal of { mean : float; stddev : float; lo : float }
+
+let constant v =
+  if v <= 0. then invalid_arg "Distribution.constant: value must be positive";
+  Constant v
+
+let uniform ~lo ~hi =
+  if lo <= 0. || hi < lo then
+    invalid_arg "Distribution.uniform: need 0 < lo <= hi";
+  Uniform { lo; hi }
+
+let exponential ~mean =
+  if mean <= 0. then invalid_arg "Distribution.exponential: mean must be positive";
+  Exponential { mean }
+
+let pareto ~xm ~alpha =
+  if xm <= 0. || alpha <= 0. then
+    invalid_arg "Distribution.pareto: xm and alpha must be positive";
+  Pareto { xm; alpha }
+
+let truncated_normal ~mean ~stddev ~lo =
+  if stddev < 0. || lo <= 0. then
+    invalid_arg "Distribution.truncated_normal: need stddev >= 0 and lo > 0";
+  Truncated_normal { mean; stddev; lo }
+
+let sample t rng =
+  match t with
+  | Constant v -> v
+  | Uniform { lo; hi } -> Csutil.Rng.float_range rng ~lo ~hi
+  | Exponential { mean } -> Csutil.Rng.exponential rng ~rate:(1. /. mean)
+  | Pareto { xm; alpha } -> Csutil.Rng.pareto rng ~xm ~alpha
+  | Truncated_normal { mean; stddev; lo } ->
+    (* Resample until above the floor; the floor keeps sizes positive. *)
+    let rec draw tries =
+      if tries = 0 then lo
+      else begin
+        let x = Csutil.Rng.normal rng ~mean ~stddev in
+        if x >= lo then x else draw (tries - 1)
+      end
+    in
+    draw 64
+
+(* Analytic mean, for sanity tests and workload sizing.  The truncated
+   normal's exact mean involves the error function; we return the
+   untruncated mean, which the tests treat as approximate. *)
+let mean = function
+  | Constant v -> v
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.
+  | Exponential { mean } -> mean
+  | Pareto { xm; alpha } ->
+    if alpha <= 1. then Float.infinity else alpha *. xm /. (alpha -. 1.)
+  | Truncated_normal { mean; _ } -> mean
+
+let pp fmt = function
+  | Constant v -> Format.fprintf fmt "constant(%g)" v
+  | Uniform { lo; hi } -> Format.fprintf fmt "uniform(%g, %g)" lo hi
+  | Exponential { mean } -> Format.fprintf fmt "exponential(mean=%g)" mean
+  | Pareto { xm; alpha } -> Format.fprintf fmt "pareto(xm=%g, alpha=%g)" xm alpha
+  | Truncated_normal { mean; stddev; lo } ->
+    Format.fprintf fmt "truncnormal(mean=%g, sd=%g, lo=%g)" mean stddev lo

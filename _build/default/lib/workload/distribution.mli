@@ -1,0 +1,28 @@
+(** Task-size and inter-arrival distributions for synthetic workloads.
+    The paper assumes task times "may vary but are known perfectly";
+    these generate such known-but-varied sizes, reproducibly. *)
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { xm : float; alpha : float }
+  | Truncated_normal of { mean : float; stddev : float; lo : float }
+
+val constant : float -> t
+(** @raise Invalid_argument on non-positive values (likewise below). *)
+
+val uniform : lo:float -> hi:float -> t
+val exponential : mean:float -> t
+val pareto : xm:float -> alpha:float -> t
+
+val truncated_normal : mean:float -> stddev:float -> lo:float -> t
+(** Gaussian resampled above the floor [lo] (so sizes stay positive). *)
+
+val sample : t -> Csutil.Rng.t -> float
+
+val mean : t -> float
+(** Analytic mean; infinite for Pareto with [alpha <= 1]; the
+    untruncated mean for the truncated normal (approximate). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(* Owner interrupt traces: when (in absolute opportunity time) the owner
+   of the borrowed workstation comes back.
+
+   The guaranteed-output model only bounds the *number* of interrupts;
+   traces let the simulator explore concrete owner behaviours.  All
+   generators cap the count at the contractual bound p. *)
+
+type t = float list (* strictly increasing absolute times in (0, u) *)
+
+let validate ~u times =
+  let rec check prev = function
+    | [] -> ()
+    | x :: rest ->
+      if x <= prev then invalid_arg "Interrupt_trace: times must be increasing";
+      if x >= u then invalid_arg "Interrupt_trace: time beyond the lifespan";
+      check x rest
+  in
+  check 0. times;
+  times
+
+(* Poisson arrivals with the given rate, truncated to at most [p] events
+   inside (0, u). *)
+let poisson ~rng ~u ~rate ~p =
+  if rate <= 0. then invalid_arg "Interrupt_trace.poisson: rate must be positive";
+  if p < 0 then invalid_arg "Interrupt_trace.poisson: p must be non-negative";
+  let rec go acc t n =
+    if n = p then List.rev acc
+    else begin
+      let t = t +. Csutil.Rng.exponential rng ~rate in
+      if t >= u then List.rev acc else go (t :: acc) t (n + 1)
+    end
+  in
+  go [] 0. 0
+
+(* Exactly [a] interrupts placed uniformly at random (sorted). *)
+let uniform ~rng ~u ~a =
+  if a < 0 then invalid_arg "Interrupt_trace.uniform: a must be non-negative";
+  let times = Array.init a (fun _ -> Csutil.Rng.float_range rng ~lo:0. ~hi:u) in
+  Array.sort Float.compare times;
+  (* Deduplicate pathological collisions by nudging; probability ~ 0. *)
+  let rec fix i =
+    if i >= Array.length times then ()
+    else begin
+      if times.(i) <= times.(i - 1) then
+        times.(i) <- times.(i - 1) +. (1e-9 *. u);
+      fix (i + 1)
+    end
+  in
+  if a > 1 then fix 1;
+  validate ~u (Array.to_list times)
+
+(* A "shift" owner: returns at fixed wall-clock times (e.g. the 9am
+   return to a machine borrowed overnight), expressed as fractions of the
+   lifespan. *)
+let shifts ~u ~fractions =
+  List.iter
+    (fun f ->
+       if f <= 0. || f >= 1. then
+         invalid_arg "Interrupt_trace.shifts: fractions must lie in (0, 1)")
+    fractions;
+  validate ~u (List.sort Float.compare (List.map (fun f -> f *. u) fractions))
+
+let of_times ~u times = validate ~u (List.sort Float.compare times)
+
+let to_adversary trace = Cyclesteal.Adversary.at_times trace

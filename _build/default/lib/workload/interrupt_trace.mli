@@ -1,0 +1,28 @@
+(** Owner interrupt traces: concrete reclaim times (relative to the
+    start of the opportunity) for the simulator's stochastic and
+    trace-driven owners.  All generators cap the count at the
+    contractual bound [p]. *)
+
+type t = float list
+(** Strictly increasing times in [(0, u)]. *)
+
+val validate : u:float -> float list -> t
+(** @raise Invalid_argument unless strictly increasing and inside the
+    lifespan. *)
+
+val poisson : rng:Csutil.Rng.t -> u:float -> rate:float -> p:int -> t
+(** Poisson arrivals truncated to at most [p] events. *)
+
+val uniform : rng:Csutil.Rng.t -> u:float -> a:int -> t
+(** Exactly [a] uniformly-placed interrupts (sorted). *)
+
+val shifts : u:float -> fractions:float list -> t
+(** Fixed returns at the given fractions of the lifespan (e.g. the 9am
+    return to a machine borrowed overnight).
+    @raise Invalid_argument unless all fractions lie in (0, 1). *)
+
+val of_times : u:float -> float list -> t
+(** Sort and validate explicit times. *)
+
+val to_adversary : t -> Cyclesteal.Adversary.t
+(** The trace as an owner strategy ({!Cyclesteal.Adversary.at_times}). *)

@@ -1,0 +1,44 @@
+(* Filling a period with indivisible tasks.
+
+   A period of length t has a work budget of t - c (the paper's t (-) c).
+   Because tasks are indivisible, a period may not be fillable exactly;
+   the greedy FIFO packing takes tasks while they fit and reports the
+   unused budget ("internal fragmentation"), which experiment E7 tracks
+   as the gap between the continuous model and a discrete workload. *)
+
+type packed = {
+  tasks : Task.task list; (* in execution order *)
+  used : float;           (* total size of the packed tasks *)
+  budget : float;         (* the work budget that was offered *)
+}
+
+let fragmentation p = p.budget -. p.used
+
+(* [pack bag ~budget] removes tasks FIFO from [bag] while they fit in
+   [budget].  Stops at the first task that does not fit (no reordering:
+   the workload order is part of the model's determinism). *)
+let pack bag ~budget =
+  if budget < 0. then invalid_arg "Packing.pack: negative budget";
+  let rec go acc used =
+    match Task.peek bag with
+    | Some t when used +. Task.size t <= budget +. 1e-12 ->
+      let popped = Task.pop bag in
+      assert (popped = Some t);
+      go (t :: acc) (used +. Task.size t)
+    | Some _ | None -> (List.rev acc, used)
+  in
+  let tasks, used = go [] 0. in
+  { tasks; used; budget }
+
+(* Undo a packing: return the tasks to the front of the bag, e.g. when
+   the period carrying them was killed. *)
+let unpack bag p = Task.push_front bag p.tasks
+
+(* Plan a whole episode: pack each period of [s] in turn (each period of
+   length t offers budget t - c).  Returns the per-period packings; the
+   bag is left with the residue. *)
+let pack_episode params s bag =
+  let c = Cyclesteal.Model.c params in
+  List.map
+    (fun t -> pack bag ~budget:(Cyclesteal.Model.positive_sub t c))
+    (Cyclesteal.Schedule.to_list s)

@@ -1,0 +1,27 @@
+(** Filling periods with indivisible tasks.  A period of length [t]
+    offers a work budget of [t - c]; greedy FIFO packing reports the
+    unused budget ("fragmentation"), the gap between the continuous
+    model and a discrete workload (experiment E7). *)
+
+type packed = {
+  tasks : Task.task list;  (** in execution order *)
+  used : float;            (** total size of the packed tasks *)
+  budget : float;          (** the work budget that was offered *)
+}
+
+val fragmentation : packed -> float
+(** [budget - used]. *)
+
+val pack : Task.bag -> budget:float -> packed
+(** Remove tasks FIFO while they fit; stops at the first task that does
+    not fit (no reordering — workload order is part of the model's
+    determinism).
+    @raise Invalid_argument on negative budgets. *)
+
+val unpack : Task.bag -> packed -> unit
+(** Return the packed tasks to the front of the bag (the period carrying
+    them was killed). *)
+
+val pack_episode :
+  Cyclesteal.Model.params -> Cyclesteal.Schedule.t -> Task.bag -> packed list
+(** Pack every period of an episode schedule in order. *)

@@ -1,0 +1,93 @@
+(* Indivisible data-parallel tasks (paper Section 2.1: "tasks are
+   indivisible; task times may vary but are known perfectly; the time
+   allotted to a task includes the marginal cost of transmitting its
+   input and output data").
+
+   A bag is the mutable pool of not-yet-completed tasks that the master
+   draws from when filling a period. *)
+
+type task = {
+  id : int;
+  size : float; (* known execution time, data-transfer inclusive *)
+}
+
+let task ~id ~size =
+  if size <= 0. then invalid_arg "Task.task: size must be positive";
+  { id; size }
+
+let id t = t.id
+let size t = t.size
+
+let pp fmt t = Format.fprintf fmt "task#%d(%g)" t.id t.size
+
+(* A FIFO bag of tasks.  FIFO matters: the paper's model supplies "an
+   amount of work" per period, and the simulator must be deterministic,
+   so tasks are consumed in generation order. *)
+type bag = {
+  mutable pending : task list; (* front of the queue *)
+  mutable back : task list;    (* reversed tail *)
+  mutable remaining : float;   (* total size of pending tasks *)
+  mutable next_id : int;
+}
+
+let empty_bag () = { pending = []; back = []; remaining = 0.; next_id = 0 }
+
+let bag_of_sizes sizes =
+  let b = empty_bag () in
+  List.iter
+    (fun size ->
+       let t = task ~id:b.next_id ~size in
+       b.next_id <- b.next_id + 1;
+       b.back <- t :: b.back;
+       b.remaining <- b.remaining +. size)
+    sizes;
+  b
+
+(* Generate [n] tasks with sizes drawn from [dist]. *)
+let generate ~rng ~dist ~n =
+  if n < 0 then invalid_arg "Task.generate: n must be non-negative";
+  bag_of_sizes (List.init n (fun _ -> Distribution.sample dist rng))
+
+(* Generate tasks until their total size reaches [total]. *)
+let generate_total ~rng ~dist ~total =
+  if total <= 0. then invalid_arg "Task.generate_total: total must be positive";
+  let rec go acc sum =
+    if sum >= total then List.rev acc
+    else begin
+      let s = Distribution.sample dist rng in
+      go (s :: acc) (sum +. s)
+    end
+  in
+  bag_of_sizes (go [] 0.)
+
+let remaining_work b = b.remaining
+
+let remaining_count b = List.length b.pending + List.length b.back
+
+let is_empty b = b.pending = [] && b.back = []
+
+let normalize b =
+  if b.pending = [] then begin
+    b.pending <- List.rev b.back;
+    b.back <- []
+  end
+
+(* Peek at the next task without removing it. *)
+let peek b =
+  normalize b;
+  match b.pending with [] -> None | t :: _ -> Some t
+
+let pop b =
+  normalize b;
+  match b.pending with
+  | [] -> None
+  | t :: rest ->
+    b.pending <- rest;
+    b.remaining <- b.remaining -. t.size;
+    Some t
+
+(* Return tasks to the FRONT of the bag (used when an interrupt kills a
+   period: its tasks were not completed and must be redone). *)
+let push_front b tasks =
+  List.iter (fun t -> b.remaining <- b.remaining +. t.size) tasks;
+  b.pending <- tasks @ b.pending

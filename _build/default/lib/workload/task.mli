@@ -1,0 +1,36 @@
+(** Indivisible data-parallel tasks with perfectly-known sizes
+    (paper Section 2.1), and the FIFO bag the master draws from. *)
+
+type task
+
+val task : id:int -> size:float -> task
+(** @raise Invalid_argument on non-positive sizes. *)
+
+val id : task -> int
+val size : task -> float
+val pp : Format.formatter -> task -> unit
+
+type bag
+(** A mutable FIFO pool of not-yet-completed tasks.  FIFO matters for
+    determinism: tasks are consumed in generation order. *)
+
+val empty_bag : unit -> bag
+val bag_of_sizes : float list -> bag
+
+val generate : rng:Csutil.Rng.t -> dist:Distribution.t -> n:int -> bag
+(** [n] tasks with sizes drawn from [dist]. *)
+
+val generate_total :
+  rng:Csutil.Rng.t -> dist:Distribution.t -> total:float -> bag
+(** Tasks until their total size reaches [total]. *)
+
+val remaining_work : bag -> float
+val remaining_count : bag -> int
+val is_empty : bag -> bool
+
+val peek : bag -> task option
+val pop : bag -> task option
+
+val push_front : bag -> task list -> unit
+(** Return tasks to the front of the bag — used when an interrupt kills
+    the period carrying them. *)

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Adaptive Alcotest Array Csutil Cyclesteal Float Game List Model Policy Printf QCheck QCheck_alcotest Schedule

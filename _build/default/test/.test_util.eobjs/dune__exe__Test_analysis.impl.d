@@ -1,0 +1,1 @@
+test/test_analysis.ml: Adaptive Alcotest Analysis Csutil Cyclesteal Float List Model Nonadaptive Opt_p1 Printf Schedule String

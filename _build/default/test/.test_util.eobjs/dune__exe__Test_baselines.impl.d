@@ -1,0 +1,1 @@
+test/test_baselines.ml: Adaptive Alcotest Baselines Csutil Cyclesteal Game Guidelines List Model Nonadaptive Policy Printf QCheck QCheck_alcotest Schedule

@@ -1,0 +1,1 @@
+test/test_capacity.ml: Adversary Alcotest Capacity Csutil Cyclesteal Float Game List Model Nonadaptive Nowsim Policy Printf Workload

@@ -1,0 +1,1 @@
+test/test_checkpointing.ml: Alcotest Checkpointing Cyclesteal Dp Float List Model Printf

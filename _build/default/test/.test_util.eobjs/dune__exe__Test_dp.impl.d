@@ -1,0 +1,1 @@
+test/test_dp.ml: Adaptive Alcotest Array Cyclesteal Dp Float Game List Model Policy Printf Schedule

@@ -1,0 +1,1 @@
+test/test_expected.ml: Alcotest Csutil Cyclesteal Expected Float Format List Model Nonadaptive Printf QCheck QCheck_alcotest Schedule

@@ -1,0 +1,1 @@
+test/test_game.ml: Adversary Alcotest Csutil Cyclesteal Game List Model Nonadaptive Opt_p1 Policy Printf QCheck QCheck_alcotest Schedule String

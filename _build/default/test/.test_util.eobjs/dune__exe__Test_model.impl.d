@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Cyclesteal Dp Float Format Model Printf String

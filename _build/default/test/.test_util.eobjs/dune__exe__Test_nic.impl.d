@@ -1,0 +1,1 @@
+test/test_nic.ml: Adversary Alcotest Cyclesteal List Model Nonadaptive Nowsim Policy Printf Workload

@@ -1,0 +1,1 @@
+test/test_nonadaptive.ml: Alcotest Csutil Cyclesteal Float List Model Nonadaptive Printf QCheck QCheck_alcotest Schedule

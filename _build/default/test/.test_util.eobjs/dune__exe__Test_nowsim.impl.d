@@ -1,0 +1,1 @@
+test/test_nowsim.ml: Adversary Alcotest Csutil Cyclesteal Expected Game Gen List Model Nonadaptive Nowsim Policy Printf QCheck QCheck_alcotest Schedule Workload

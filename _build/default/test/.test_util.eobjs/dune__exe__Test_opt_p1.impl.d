@@ -1,0 +1,1 @@
+test/test_opt_p1.ml: Adaptive Alcotest Csutil Cyclesteal Dp Float List Model Nonadaptive Opt_p1 Printf QCheck QCheck_alcotest Schedule

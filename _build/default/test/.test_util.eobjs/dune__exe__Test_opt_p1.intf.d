@@ -1,0 +1,1 @@
+test/test_opt_p1.mli:

@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Array Csutil Cyclesteal Domain Expected Float List Model Printf Schedule

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Csutil Cyclesteal Float List Model Nonadaptive Opt_p1 QCheck QCheck_alcotest Schedule

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csutil Float Float_ext Fun Gen List QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Csutil Cyclesteal Float Format Gen List Option QCheck QCheck_alcotest Workload

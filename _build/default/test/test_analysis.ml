@@ -1,0 +1,123 @@
+(* Tests for the Analysis module: closed-form aggregators, the Table 1
+   and Table 2 generators, and gap reports. *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let params = Model.params ~c:1.
+
+let test_closed_form_reexports () =
+  check_float "nonadaptive" (Nonadaptive.closed_form params ~u:100. ~p:2)
+    (Analysis.nonadaptive_closed_form params ~u:100. ~p:2);
+  check_float "adaptive bound" (Adaptive.lower_bound params ~u:100. ~p:2)
+    (Analysis.adaptive_lower_bound params ~u:100. ~p:2);
+  check_float "opt p1" (Opt_p1.closed_form params ~u:100.)
+    (Analysis.opt_p1_closed_form params ~u:100.)
+
+let test_loss_coefficients () =
+  (* Non-adaptive 2 sqrt p; adaptive printed (2 - 2^(1-p)) sqrt 2. *)
+  check_float "na p=1" 2. (Analysis.nonadaptive_loss_coefficient ~p:1);
+  check_float "na p=4" 4. (Analysis.nonadaptive_loss_coefficient ~p:4);
+  check_float "ad p=1" (Float.sqrt 2.) (Analysis.adaptive_loss_coefficient ~p:1);
+  check_float "ad p=2" (1.5 *. Float.sqrt 2.) (Analysis.adaptive_loss_coefficient ~p:2);
+  (* The separation that motivates adaptivity. *)
+  for p = 1 to 6 do
+    Alcotest.(check bool)
+      (Printf.sprintf "adaptive < nonadaptive at p=%d" p)
+      true
+      (Analysis.adaptive_loss_coefficient ~p
+       < Analysis.nonadaptive_loss_coefficient ~p)
+  done
+
+(* Table 1's rows encode the paper's formulas exactly: check them
+   against hand-computed values on a small schedule. *)
+let test_table1_contents () =
+  let u = 20. in
+  let s = Schedule.of_list [ 8.; 7.; 5. ] in
+  (* Continuation: one long period of the residual (p = 1 case). *)
+  let w_prev ~residual = Model.positive_sub residual 1. in
+  let t = Analysis.table1 params s ~u ~w_prev in
+  let rows = Csutil.Table.rows_in_order t in
+  Alcotest.(check int) "m + 1 rows" 4 (List.length rows);
+  (* Row 0: no interrupt: work = (8-1)+(7-1)+(5-1) = 17. *)
+  (match List.nth rows 0 with
+   | [ opt; _; work; residual; production ] ->
+     Alcotest.(check string) "option" "none" opt;
+     Alcotest.(check string) "episode work" "17.00" work;
+     Alcotest.(check string) "residual" "0.00" residual;
+     Alcotest.(check string) "production" "17.00" production
+   | _ -> Alcotest.fail "row arity");
+  (* Row for period 2 killed at T_2 = 15: banked (8-1) = 7; residual 5;
+     production 7 + (5-1) = 11. *)
+  (match List.nth rows 2 with
+   | [ opt; window; work; residual; production ] ->
+     Alcotest.(check string) "option" "2" opt;
+     Alcotest.(check string) "window" "[8.00, 15.00)" window;
+     Alcotest.(check string) "banked" "7.00" work;
+     Alcotest.(check string) "residual" "5.00" residual;
+     Alcotest.(check string) "production" "11.00" production
+   | _ -> Alcotest.fail "row arity")
+
+(* Table 2's entries are mutually consistent: the measured S_opt values
+   satisfy the paper's structural identities. *)
+let test_table2_consistency () =
+  let u = 1_000. in
+  let entries = Analysis.table2_entries params ~u in
+  let find name =
+    match List.find_opt (fun e -> e.Analysis.parameter = name) entries with
+    | Some e -> e
+    | None -> Alcotest.fail ("missing row " ^ name)
+  in
+  let m_row = find "m(1)[U]" in
+  let alpha_row = find "alpha" in
+  let t1_row = find "t_1[U]" in
+  let tm_row = find "t_m[U] = t_(m-1)[U]" in
+  let w_row = find "W(1)[U]" in
+  let m = int_of_float m_row.Analysis.opt_exact in
+  let alpha = alpha_row.Analysis.opt_exact in
+  (* t_1 = (m - 1 + alpha) c. *)
+  check_float ~eps:1e-9 "t_1 identity"
+    (float_of_int (m - 1) +. alpha)
+    t1_row.Analysis.opt_exact;
+  (* t_m = (1 + alpha) c. *)
+  check_float ~eps:1e-9 "t_m identity" (1. +. alpha) tm_row.Analysis.opt_exact;
+  (* alpha in (0, 1]. *)
+  Alcotest.(check bool) "alpha range" true (alpha > 0. && alpha <= 1.);
+  (* Measured W within c of the formula column. *)
+  Alcotest.(check bool) "W close to formula" true
+    (Float.abs (w_row.Analysis.opt_exact -. w_row.Analysis.opt_formula) <= 1.)
+
+let test_table2_renders () =
+  let t = Analysis.table2 params ~u:500. in
+  let s = Csutil.Table.to_string t in
+  Alcotest.(check bool) "mentions alpha" true
+    (String.length s > 0
+     &&
+     let rec contains i =
+       i + 5 <= String.length s && (String.sub s i 5 = "alpha" || contains (i + 1))
+     in
+     contains 0)
+
+let test_gap_report () =
+  let r = Analysis.gap_report params ~u:400. ~p:2 ~optimal:350. ~achieved:340. in
+  check_float "gap" 10. r.Analysis.gap;
+  check_float "gap in c" 10. r.Analysis.gap_in_c;
+  check_float "gap in sqrt(cU)" (10. /. 20.) r.Analysis.gap_in_sqrt_cu;
+  Alcotest.(check int) "p recorded" 2 r.Analysis.p
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "closed-form re-exports" `Quick
+            test_closed_form_reexports;
+          Alcotest.test_case "loss coefficients" `Quick test_loss_coefficients;
+          Alcotest.test_case "table1 contents" `Quick test_table1_contents;
+          Alcotest.test_case "table2 consistency" `Quick test_table2_consistency;
+          Alcotest.test_case "table2 renders" `Quick test_table2_renders;
+          Alcotest.test_case "gap report" `Quick test_gap_report;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for the guaranteed-capacity planner. *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let params = Model.params ~c:1.
+
+let mk ?speed name u p =
+  Capacity.station ?speed ~name ~params
+    ~opportunity:(Model.opportunity ~lifespan:u ~interrupts:p)
+    ()
+
+let test_floor_basics () =
+  (* p = 0: the floor is U - c exactly. *)
+  check_float "p=0 closed form" 99. (Capacity.floor_of (mk "a" 100. 0));
+  (* Degenerate contract: zero floor. *)
+  check_float "degenerate" 0.
+    (Capacity.floor_of (mk "b" 2. 1));
+  (* Closed form tracks the measured floor. *)
+  let st = mk "c" 1_000. 2 in
+  let cf = Capacity.floor_of ~estimator:`Closed_form st in
+  let ms = Capacity.floor_of ~estimator:`Measured st in
+  Alcotest.(check bool)
+    (Printf.sprintf "closed %g ~ measured %g" cf ms)
+    true
+    (Float.abs (cf -. ms) < 0.05 *. ms)
+
+let test_plan_selects_minimal_subset () =
+  let stations = [ mk "small" 100. 1; mk "big" 10_000. 1; mk "mid" 1_000. 1 ] in
+  (* A job the big station covers alone. *)
+  let plan = Capacity.plan ~job:5_000. stations in
+  Alcotest.(check bool) "feasible" true plan.Capacity.feasible;
+  Alcotest.(check int) "one station" 1 (List.length plan.Capacity.selected);
+  (match plan.Capacity.selected with
+   | [ (st, _) ] -> Alcotest.(check string) "the big one" "big" st.Capacity.name
+   | _ -> Alcotest.fail "selection shape");
+  Alcotest.(check bool) "slack positive" true (plan.Capacity.slack > 0.)
+
+let test_plan_accumulates () =
+  let stations = [ mk "a" 1_000. 1; mk "b" 1_000. 1; mk "c" 1_000. 1 ] in
+  let one = Capacity.floor_of (mk "a" 1_000. 1) in
+  let plan = Capacity.plan ~job:(2.5 *. one) stations in
+  Alcotest.(check bool) "feasible" true plan.Capacity.feasible;
+  Alcotest.(check int) "needs all three" 3 (List.length plan.Capacity.selected)
+
+let test_plan_infeasible () =
+  let stations = [ mk "a" 100. 1; mk "b" 100. 1 ] in
+  let plan = Capacity.plan ~job:1_000. stations in
+  Alcotest.(check bool) "infeasible" false plan.Capacity.feasible;
+  Alcotest.(check int) "everything selected" 2 (List.length plan.Capacity.selected);
+  Alcotest.(check bool) "negative slack" true (plan.Capacity.slack < 0.)
+
+let test_plan_validation () =
+  (try
+     ignore (Capacity.plan ~job:0. [ mk "a" 100. 1 ]);
+     Alcotest.fail "zero job accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Capacity.plan ~job:10. []);
+     Alcotest.fail "empty stations accepted"
+   with Invalid_argument _ -> ())
+
+let test_shares () =
+  let stations = [ mk "a" 4_000. 1; mk "b" 1_000. 1 ] in
+  let plan = Capacity.plan ~job:1_000. stations in
+  let shares = Capacity.shares plan in
+  (* Shares sum to the job. *)
+  check_float ~eps:1e-6 "sum = job" 1_000.
+    (Csutil.Float_ext.sum_list (List.map snd shares));
+  (* Each share within its floor under a feasible plan. *)
+  List.iter
+    (fun (st, share) ->
+       Alcotest.(check bool)
+         (st.Capacity.name ^ " share within floor")
+         true
+         (share <= Capacity.floor_of st +. 1e-9))
+    shares
+
+let test_max_guaranteed_job () =
+  let stations = [ mk "a" 1_000. 1; mk "b" 2_000. 2 ] in
+  let expect =
+    Capacity.floor_of (mk "a" 1_000. 1) +. Capacity.floor_of (mk "b" 2_000. 2)
+  in
+  check_float "additive" expect (Capacity.max_guaranteed_job stations)
+
+let test_speed_scales_capacity () =
+  let slow = mk "slow" 1_000. 1 in
+  let fast = mk ~speed:3. "fast" 1_000. 1 in
+  check_float "same time floor" (Capacity.time_floor_of slow)
+    (Capacity.time_floor_of fast);
+  check_float "3x task capacity" (3. *. Capacity.floor_of slow)
+    (Capacity.floor_of fast);
+  (* The planner prefers the fast machine. *)
+  let plan = Capacity.plan ~job:(2. *. Capacity.floor_of slow) [ slow; fast ] in
+  (match plan.Capacity.selected with
+   | (st, _) :: _ -> Alcotest.(check string) "fast first" "fast" st.Capacity.name
+   | [] -> Alcotest.fail "empty selection");
+  Alcotest.(check int) "fast alone suffices" 1 (List.length plan.Capacity.selected);
+  (try
+     ignore (mk ~speed:0. "zero" 10. 0);
+     Alcotest.fail "zero speed accepted"
+   with Invalid_argument _ -> ())
+
+(* A 2x-speed station completes ~2x the tasks of a 1x station over the
+   same uninterrupted opportunity in the simulator. *)
+let test_speed_in_simulator () =
+  let opportunity = Model.opportunity ~lifespan:100. ~interrupts:0 in
+  let run speed =
+    let bag = Workload.Task.bag_of_sizes (List.init 40_000 (fun _ -> 0.01)) in
+    let spec =
+      Nowsim.Farm.spec ~speed ~name:"b" ~opportunity
+        ~policy:(Policy.non_adaptive
+                   ~committed:(Nonadaptive.equal_periods ~u:100. ~m:5))
+        ~owner:Adversary.none ()
+    in
+    let r = Nowsim.Farm.run params ~bag [ spec ] in
+    let m = List.hd r.Nowsim.Farm.per_station in
+    (Nowsim.Metrics.model_work m, Nowsim.Metrics.task_work m)
+  in
+  let mw1, tw1 = run 1. in
+  let mw2, tw2 = run 2. in
+  (* Model work (time units) is speed-independent; task throughput
+     doubles. *)
+  check_float "model work unchanged" mw1 mw2;
+  check_float ~eps:0.1 "task work doubles" (2. *. tw1) tw2
+
+(* End-to-end: a feasible plan's shares really complete under fully
+   malicious owners in the simulator (each share becomes a task bag no
+   larger than the station's floor). *)
+let test_plan_survives_adversaries () =
+  let stations = [ mk "a" 400. 1; mk "b" 400. 2 ] in
+  let job = 0.9 *. Capacity.max_guaranteed_job stations in
+  let plan = Capacity.plan ~job stations in
+  Alcotest.(check bool) "feasible" true plan.Capacity.feasible;
+  List.iter
+    (fun (st, share) ->
+       let bag =
+         Workload.Task.bag_of_sizes
+           (List.init (int_of_float (share /. 0.01)) (fun _ -> 0.01))
+       in
+       let policy = Policy.adaptive_calibrated in
+       let adv = Game.optimal_adversary st.Capacity.params st.Capacity.opportunity policy in
+       let report =
+         Nowsim.Farm.run_single st.Capacity.params ~bag
+           ~opportunity:st.Capacity.opportunity ~policy ~owner:adv ()
+       in
+       let m = List.hd report.Nowsim.Farm.per_station in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: work %.1f covers share %.1f" st.Capacity.name
+            (Nowsim.Metrics.model_work m) share)
+         true
+         (Nowsim.Metrics.model_work m >= share -. 1e-6))
+    (Capacity.shares plan)
+
+let () =
+  Alcotest.run "capacity"
+    [
+      ( "capacity",
+        [
+          Alcotest.test_case "floors" `Quick test_floor_basics;
+          Alcotest.test_case "minimal subset" `Quick test_plan_selects_minimal_subset;
+          Alcotest.test_case "accumulates" `Quick test_plan_accumulates;
+          Alcotest.test_case "infeasible" `Quick test_plan_infeasible;
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+          Alcotest.test_case "shares" `Quick test_shares;
+          Alcotest.test_case "max job" `Quick test_max_guaranteed_job;
+          Alcotest.test_case "speed scales capacity" `Quick
+            test_speed_scales_capacity;
+          Alcotest.test_case "speed in simulator" `Quick test_speed_in_simulator;
+          Alcotest.test_case "plan survives adversaries" `Slow
+            test_plan_survives_adversaries;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the cheap-checkpoint extension. *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let base = Model.params ~c:10.
+
+let test_params_validation () =
+  ignore (Checkpointing.params base ~h:10.);
+  ignore (Checkpointing.params base ~h:0.5);
+  (try
+     ignore (Checkpointing.params base ~h:0.);
+     Alcotest.fail "h = 0 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Checkpointing.params base ~h:11.);
+     Alcotest.fail "h > c accepted"
+   with Invalid_argument _ -> ())
+
+let test_accessors () =
+  let cp = Checkpointing.params base ~h:2. in
+  check_float "h" 2. (Checkpointing.h cp);
+  check_float "c" 10. (Checkpointing.c cp)
+
+let test_optimal_segment () =
+  let cp = Checkpointing.params base ~h:1. in
+  (* s* = sqrt(U h / p) - h. *)
+  check_float "p=1" (Float.sqrt 10_000. -. 1.)
+    (Checkpointing.optimal_segment cp ~u:10_000. ~p:1);
+  check_float "p=4 halves the stride" (Float.sqrt 2_500. -. 1.)
+    (Checkpointing.optimal_segment cp ~u:10_000. ~p:4);
+  (* p=0: no checkpoints, one straight run. *)
+  check_float "p=0" 10_000. (Checkpointing.optimal_segment cp ~u:10_000. ~p:0)
+
+let test_closed_form_limits () =
+  let u = 10_000. in
+  (* p=0 reduces to U - c (one setup, no checkpoints). *)
+  let cp = Checkpointing.params base ~h:1. in
+  check_float "p=0" (u -. 10.) (Checkpointing.closed_form cp ~u ~p:0);
+  (* Cheaper checkpoints, better guarantee. *)
+  let w_at h = Checkpointing.closed_form (Checkpointing.params base ~h) ~u ~p:2 in
+  Alcotest.(check bool) "monotone in h" true (w_at 1. > w_at 5. && w_at 5. > w_at 10.)
+
+(* The closed form's sqrt-loss scales with h: quartering h roughly
+   halves the loss beyond the fixed (p+1)c term. *)
+let test_loss_scales_with_sqrt_h () =
+  let u = 100_000. in
+  let p = 2 in
+  let loss h =
+    u -. Checkpointing.closed_form (Checkpointing.params base ~h) ~u ~p
+    -. (float_of_int (p + 1) *. 10.)   (* remove the fixed setup term *)
+  in
+  let ratio = loss 8. /. loss 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f ~ 2" ratio)
+    true
+    (Float.abs (ratio -. 2.) < 0.05)
+
+(* --- Exact DP ----------------------------------------------------------- *)
+
+let test_dp_base_cases () =
+  let t = Checkpointing.solve ~c_ticks:5 ~h_ticks:2 ~max_p:2 ~max_l:100 in
+  (* p = 0: interior value is the whole residual; fresh value pays c. *)
+  Alcotest.(check int) "interior p0" 50 (Checkpointing.interior_value t ~p:0 ~l:50);
+  Alcotest.(check int) "fresh p0" 45 (Checkpointing.value t ~p:0 ~l:50);
+  Alcotest.(check int) "tiny lifespans are worthless" 0
+    (Checkpointing.value t ~p:2 ~l:5)
+
+let test_dp_monotonicity () =
+  let t = Checkpointing.solve ~c_ticks:4 ~h_ticks:2 ~max_p:3 ~max_l:120 in
+  for p = 0 to 3 do
+    for l = 0 to 119 do
+      Alcotest.(check bool) "monotone in l" true
+        (Checkpointing.value t ~p ~l:(l + 1) >= Checkpointing.value t ~p ~l)
+    done
+  done;
+  for p = 0 to 2 do
+    for l = 0 to 120 do
+      Alcotest.(check bool) "antitone in p" true
+        (Checkpointing.value t ~p:(p + 1) ~l <= Checkpointing.value t ~p ~l)
+    done
+  done
+
+(* h = c ticks reduces (up to the modelling difference that a
+   re-entry setup replaces a checkpoint) to the neighbourhood of the
+   base model: the values must agree within (p+1) setups. *)
+let test_dp_vs_base_model () =
+  let c = 6 in
+  let l = 600 in
+  let base_dp = Dp.solve ~c ~max_p:2 ~max_l:l in
+  let cp = Checkpointing.solve ~c_ticks:c ~h_ticks:c ~max_p:2 ~max_l:l in
+  List.iter
+    (fun p ->
+       let w_base = Dp.value base_dp ~p ~l in
+       let w_cp = Checkpointing.value cp ~p ~l in
+       Alcotest.(check bool)
+         (Printf.sprintf "p=%d: |%d - %d| <= (p+1)c" p w_base w_cp)
+         true
+         (abs (w_base - w_cp) <= (p + 1) * c))
+    [ 0; 1; 2 ]
+
+(* Cheap checkpoints strictly beat the base model on the exact values. *)
+let test_dp_cheap_checkpoints_win () =
+  let c = 8 in
+  let l = 800 in
+  let base_dp = Dp.solve ~c ~max_p:2 ~max_l:l in
+  let cp = Checkpointing.solve ~c_ticks:c ~h_ticks:1 ~max_p:2 ~max_l:l in
+  List.iter
+    (fun p ->
+       Alcotest.(check bool)
+         (Printf.sprintf "p=%d" p)
+         true
+         (Checkpointing.value cp ~p ~l > Dp.value base_dp ~p ~l))
+    [ 1; 2 ]
+
+(* The closed form tracks the exact DP within O(c) on moderate grids. *)
+let test_closed_form_vs_dp () =
+  let c_ticks = 10 and h_ticks = 2 in
+  let t = Checkpointing.solve ~c_ticks ~h_ticks ~max_p:2 ~max_l:3000 in
+  let cp = Checkpointing.params (Model.params ~c:(float_of_int c_ticks))
+      ~h:(float_of_int h_ticks)
+  in
+  List.iter
+    (fun (l, p) ->
+       let u = float_of_int l in
+       let exact = float_of_int (Checkpointing.value t ~p ~l) in
+       let predicted = Checkpointing.closed_form cp ~u ~p in
+       Alcotest.(check bool)
+         (Printf.sprintf "l=%d p=%d: |%g - %g| <= 2.5c" l p exact predicted)
+         true
+         (Float.abs (exact -. predicted) <= 2.5 *. float_of_int c_ticks))
+    [ (1000, 1); (3000, 1); (1000, 2); (3000, 2) ];
+  (* The non-adaptive equal-segment form is a valid lower bound but
+     weaker than adaptive play. *)
+  List.iter
+    (fun (l, p) ->
+       let u = float_of_int l in
+       Alcotest.(check bool) "equal-segment below adaptive form" true
+         (Checkpointing.equal_segment_closed_form cp ~u ~p
+          <= Checkpointing.closed_form cp ~u ~p +. 1e-9))
+    [ (1000, 1); (3000, 2) ]
+
+let test_loss_ratio () =
+  let cp = Checkpointing.params base ~h:1. in
+  let r = Checkpointing.loss_ratio cp ~u:100_000. ~p:2 in
+  (* h/c = 0.1: the sqrt term shrinks ~ sqrt(0.1) ~ 0.32, diluted by the
+     fixed setups; anything clearly below 1 and above sqrt(h/c)/2 is the
+     right ballpark. *)
+  Alcotest.(check bool) (Printf.sprintf "ratio %.3f" r) true (r > 0.1 && r < 0.8);
+  (try
+     ignore (Checkpointing.loss_ratio cp ~u:100. ~p:0);
+     Alcotest.fail "p=0 accepted"
+   with Invalid_argument _ -> ())
+
+let () =
+  Alcotest.run "checkpointing"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "params validation" `Quick test_params_validation;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "optimal segment" `Quick test_optimal_segment;
+          Alcotest.test_case "closed-form limits" `Quick test_closed_form_limits;
+          Alcotest.test_case "loss ~ sqrt(h)" `Quick test_loss_scales_with_sqrt_h;
+        ] );
+      ( "dp",
+        [
+          Alcotest.test_case "base cases" `Quick test_dp_base_cases;
+          Alcotest.test_case "monotonicity" `Quick test_dp_monotonicity;
+          Alcotest.test_case "h = c ~ base model" `Quick test_dp_vs_base_model;
+          Alcotest.test_case "cheap checkpoints win" `Quick
+            test_dp_cheap_checkpoints_win;
+          Alcotest.test_case "closed form vs DP" `Slow test_closed_form_vs_dp;
+          Alcotest.test_case "loss ratio" `Quick test_loss_ratio;
+        ] );
+    ]

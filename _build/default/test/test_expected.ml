@@ -1,0 +1,263 @@
+(* Tests for the expected-output submodel (companion papers [3], [9]). *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let params = Model.params ~c:1.
+
+(* --- survival functions ---------------------------------------------- *)
+
+let test_survival_basics () =
+  check_float "never" 1. (Expected.survival Expected.Never 1e9);
+  check_float "at zero" 1. (Expected.survival (Expected.exponential ~rate:2.) 0.);
+  check_float "exponential" (Float.exp (-2.))
+    (Expected.survival (Expected.exponential ~rate:2.) 1.);
+  check_float "uniform interior" 0.75
+    (Expected.survival (Expected.uniform ~horizon:100.) 25.);
+  check_float "uniform beyond" 0.
+    (Expected.survival (Expected.uniform ~horizon:100.) 100.);
+  (* Weibull with shape 1 reduces to exponential. *)
+  check_float "weibull shape 1" (Float.exp (-0.5))
+    (Expected.survival (Expected.weibull ~scale:2. ~shape:1.) 1.)
+
+let test_survival_monotone () =
+  List.iter
+    (fun risk ->
+       let prev = ref 1.0 in
+       for i = 1 to 100 do
+         let s = Expected.survival risk (float_of_int i) in
+         Alcotest.(check bool) "non-increasing" true (s <= !prev +. 1e-12);
+         prev := s
+       done)
+    [
+      Expected.Never;
+      Expected.exponential ~rate:0.05;
+      Expected.uniform ~horizon:80.;
+      Expected.weibull ~scale:30. ~shape:0.7;
+      Expected.weibull ~scale:30. ~shape:2.;
+    ]
+
+let test_validation () =
+  (try
+     ignore (Expected.exponential ~rate:0.);
+     Alcotest.fail "rate 0 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Expected.uniform ~horizon:(-1.));
+     Alcotest.fail "negative horizon accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Expected.weibull ~scale:1. ~shape:0.);
+     Alcotest.fail "shape 0 accepted"
+   with Invalid_argument _ -> ())
+
+(* --- expected work ----------------------------------------------------- *)
+
+let test_expected_work_never_risk () =
+  (* With no risk, expected work equals uninterrupted work. *)
+  let s = Schedule.of_list [ 5.; 3.; 2. ] in
+  check_float "sum (t - c)"
+    (Schedule.work_if_uninterrupted params s)
+    (Expected.expected_work params Expected.Never s)
+
+let test_expected_work_hand_computed () =
+  (* Uniform horizon 10, S = [4; 4]: periods end at 4, 8 with survival
+     0.6, 0.2: E = 0.6*3 + 0.2*3 = 2.4. *)
+  let risk = Expected.uniform ~horizon:10. in
+  let s = Schedule.of_list [ 4.; 4. ] in
+  check_float "hand value" 2.4 (Expected.expected_work params risk s)
+
+let test_expected_work_matches_monte_carlo () =
+  let rng = Csutil.Rng.create ~seed:17 in
+  List.iter
+    (fun risk ->
+       let s = Schedule.of_list [ 10.; 8.; 6.; 4.; 2. ] in
+       let exact = Expected.expected_work params risk s in
+       let mc = Expected.monte_carlo_expected params risk s ~rng ~samples:40_000 in
+       Alcotest.(check bool)
+         (Format.asprintf "%a: %g vs %g" Expected.pp_risk risk exact mc)
+         true
+         (Float.abs (exact -. mc) < 0.05 *. Float.max 1. exact))
+    [
+      Expected.exponential ~rate:0.05;
+      Expected.uniform ~horizon:40.;
+      Expected.weibull ~scale:20. ~shape:2.;
+    ]
+
+(* --- optimal schedules --------------------------------------------------- *)
+
+let test_stationary_period_beats_neighbours () =
+  List.iter
+    (fun rate ->
+       let t_star = Expected.optimal_period_exponential params ~rate in
+       Alcotest.(check bool) "exceeds c" true (t_star > 1.);
+       let f t =
+         let q = Float.exp (-.rate *. t) in
+         (t -. 1.) *. q /. (1. -. q)
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "rate %g: local max at %g" rate t_star)
+         true
+         (f t_star >= f (t_star *. 0.9) && f t_star >= f (t_star *. 1.1)))
+    [ 0.001; 0.01; 0.1; 1. ]
+
+let test_exponential_schedule_shape () =
+  let s = Expected.optimal_exponential_schedule params ~rate:0.05 ~horizon:200. in
+  (* Stationary: all periods equal except possibly the last. *)
+  let m = Schedule.length s in
+  Alcotest.(check bool) "several periods" true (m > 2);
+  for k = 2 to m - 1 do
+    check_float "stationary" (Schedule.period s 1) (Schedule.period s k)
+  done;
+  check_float ~eps:1e-6 "covers horizon" 200. (Schedule.total s)
+
+(* The boundary DP agrees with the stationary solution under memoryless
+   risk (up to grid resolution), and its claimed value matches
+   [expected_work] of the schedule it returns. *)
+let test_dp_consistency () =
+  let risk = Expected.exponential ~rate:0.05 in
+  let s_dp, v_dp = Expected.optimal_schedule_dp params risk ~horizon:200. ~steps:400 in
+  check_float ~eps:1e-9 "dp value = expected work of dp schedule" v_dp
+    (Expected.expected_work params risk s_dp);
+  let s_stat = Expected.optimal_exponential_schedule params ~rate:0.05 ~horizon:200. in
+  let v_stat = Expected.expected_work params risk s_stat in
+  Alcotest.(check bool)
+    (Printf.sprintf "dp %g within grid slack of stationary %g" v_dp v_stat)
+    true
+    (v_dp >= v_stat -. 1.0);
+  (* And the DP never claims more than a fine upper bound: a denser grid
+     only improves it. *)
+  let _, v_dense = Expected.optimal_schedule_dp params risk ~horizon:200. ~steps:800 in
+  Alcotest.(check bool) "denser grid at least as good" true (v_dense >= v_dp -. 1e-9)
+
+(* Hazard direction governs period shape: with increasing hazard
+   (uniform risk) the optimal periods shrink over time; with decreasing
+   hazard (Weibull shape < 1) they grow. *)
+let test_hazard_shapes_periods () =
+  let shape_of risk =
+    let s, _ = Expected.optimal_schedule_dp params risk ~horizon:100. ~steps:400 in
+    s
+  in
+  let incr_hazard = shape_of (Expected.uniform ~horizon:120.) in
+  let m = Schedule.length incr_hazard in
+  if m >= 3 then
+    Alcotest.(check bool) "uniform risk: front-loaded" true
+      (Schedule.period incr_hazard 1 >= Schedule.period incr_hazard (m - 1) -. 1e-9);
+  let decr_hazard = shape_of (Expected.weibull ~scale:50. ~shape:0.5) in
+  let m2 = Schedule.length decr_hazard in
+  if m2 >= 3 then
+    Alcotest.(check bool) "decreasing hazard: periods grow" true
+      (Schedule.period decr_hazard 1 <= Schedule.period decr_hazard (m2 - 1) +. 1e-9)
+
+(* E8's headline: the expected-output optimum has a bad guaranteed
+   floor, and the guaranteed-output guideline gives up only a modest
+   amount of expected work ("price of paranoia"). *)
+let test_expected_vs_guaranteed_tradeoff () =
+  let u = 400. in
+  let rate = 1. /. 40. in
+  let risk = Expected.exponential ~rate in
+  (* The grid DP is the expected-output champion (the stationary
+     closed form is only optimal up to horizon truncation). *)
+  let s_exp, _ = Expected.optimal_schedule_dp params risk ~horizon:u ~steps:800 in
+  let s_gua = Nonadaptive.guideline params ~u ~p:2 in
+  (* Expected performance. *)
+  let e_exp = Expected.expected_work params risk s_exp in
+  let e_gua = Expected.expected_work params risk s_gua in
+  (* Guaranteed performance (2 adversarial interrupts). *)
+  let g_exp, _ = Nonadaptive.worst_case params ~u ~p:2 s_exp in
+  let g_gua, _ = Nonadaptive.worst_case params ~u ~p:2 s_gua in
+  Alcotest.(check bool) "expected optimum wins its game" true (e_exp >= e_gua -. 1e-9);
+  Alcotest.(check bool) "guideline wins its game" true (g_gua >= g_exp -. 1e-9);
+  (* The paranoia premium is modest; the adversarial exposure is not. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "premium small: %g vs %g" e_gua e_exp)
+    true
+    (e_gua >= 0.8 *. e_exp);
+  (* Both optima here are near-equal-period schedules, so the exposure
+     gap is strict but modest; the dramatic exposure cases (geometric,
+     one-long-period) are covered in test_baselines.ml. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "exposure strictly worse: %g vs %g" g_exp g_gua)
+    true
+    (g_exp < g_gua)
+
+(* --- QCheck --------------------------------------------------------------- *)
+
+let arb_schedule =
+  QCheck.make ~print:QCheck.Print.(list float)
+    QCheck.Gen.(list_size (1 -- 15) (map (fun x -> 0.2 +. (x *. 10.)) (float_bound_exclusive 1.)))
+
+let prop_expected_between_bounds =
+  QCheck.Test.make ~name:"0 <= E[W] <= uninterrupted work" ~count:200
+    arb_schedule (fun l ->
+      let s = Schedule.of_list l in
+      let risk = Expected.exponential ~rate:0.07 in
+      let e = Expected.expected_work params risk s in
+      e >= 0. && e <= Schedule.work_if_uninterrupted params s +. 1e-9)
+
+let prop_dp_dominates_random_schedules =
+  QCheck.Test.make ~name:"boundary DP dominates random schedules" ~count:60
+    arb_schedule (fun l ->
+      (* Scale the random schedule onto the DP's horizon so both cover
+         the same span; the DP's value must weakly dominate (its grid
+         contains every boundary up to rounding, costing at most one
+         step per period). *)
+      let horizon = 60. in
+      let steps = 240 in
+      let risk = Expected.exponential ~rate:0.05 in
+      let raw = Schedule.of_list l in
+      let scale = horizon /. Schedule.total raw in
+      let s = Schedule.of_list (List.map (fun t -> t *. scale) l) in
+      let _, v_dp = Expected.optimal_schedule_dp params risk ~horizon ~steps in
+      let grid_slack =
+        float_of_int (Schedule.length s) *. (horizon /. float_of_int steps)
+      in
+      v_dp >= Expected.expected_work params risk s -. grid_slack)
+
+let prop_expected_monotone_in_risk =
+  QCheck.Test.make ~name:"higher rate, lower expected work" ~count:200
+    arb_schedule (fun l ->
+      let s = Schedule.of_list l in
+      let e1 = Expected.expected_work params (Expected.exponential ~rate:0.02) s in
+      let e2 = Expected.expected_work params (Expected.exponential ~rate:0.2) s in
+      e2 <= e1 +. 1e-9)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "expected"
+    [
+      ( "risk",
+        [
+          Alcotest.test_case "survival basics" `Quick test_survival_basics;
+          Alcotest.test_case "survival monotone" `Quick test_survival_monotone;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "expected work",
+        [
+          Alcotest.test_case "never risk" `Quick test_expected_work_never_risk;
+          Alcotest.test_case "hand computed" `Quick test_expected_work_hand_computed;
+          Alcotest.test_case "matches monte carlo" `Slow
+            test_expected_work_matches_monte_carlo;
+        ] );
+      ( "optima",
+        [
+          Alcotest.test_case "stationary period" `Quick
+            test_stationary_period_beats_neighbours;
+          Alcotest.test_case "exponential schedule" `Quick
+            test_exponential_schedule_shape;
+          Alcotest.test_case "dp consistency" `Quick test_dp_consistency;
+          Alcotest.test_case "hazard shapes periods" `Quick
+            test_hazard_shapes_periods;
+          Alcotest.test_case "expected vs guaranteed trade-off" `Quick
+            test_expected_vs_guaranteed_tradeoff;
+        ] );
+      ("props",
+        qc
+          [
+            prop_expected_between_bounds;
+            prop_dp_dominates_random_schedules;
+            prop_expected_monotone_in_risk;
+          ] );
+    ]

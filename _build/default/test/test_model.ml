@@ -1,0 +1,102 @@
+(* Tests for the model layer (paper Section 2.1). *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let test_params_validation () =
+  ignore (Model.params ~c:1.);
+  Alcotest.check_raises "zero c"
+    (Invalid_argument "Model.params: setup cost c must be finite and positive")
+    (fun () -> ignore (Model.params ~c:0.));
+  Alcotest.check_raises "negative c"
+    (Invalid_argument "Model.params: setup cost c must be finite and positive")
+    (fun () -> ignore (Model.params ~c:(-1.)));
+  Alcotest.check_raises "nan c"
+    (Invalid_argument "Model.params: setup cost c must be finite and positive")
+    (fun () -> ignore (Model.params ~c:Float.nan))
+
+let test_params_accessor () =
+  check_float "c" 2.5 (Model.c (Model.params ~c:2.5))
+
+let test_opportunity_validation () =
+  ignore (Model.opportunity ~lifespan:10. ~interrupts:0);
+  Alcotest.check_raises "zero lifespan"
+    (Invalid_argument "Model.opportunity: lifespan U must be finite and positive")
+    (fun () -> ignore (Model.opportunity ~lifespan:0. ~interrupts:1));
+  Alcotest.check_raises "negative interrupts"
+    (Invalid_argument
+       "Model.opportunity: interrupt bound p must be non-negative")
+    (fun () -> ignore (Model.opportunity ~lifespan:1. ~interrupts:(-1)))
+
+let test_positive_sub_operator () =
+  let open Model in
+  check_float "5 -^ 2" 3. (5. -^ 2.);
+  check_float "2 -^ 5" 0. (2. -^ 5.);
+  check_float "prefix" 3. (Model.positive_sub 5. 2.)
+
+let test_min_useful_lifespan () =
+  (* Proposition 4.1(c): the threshold is (p+1) c. *)
+  let params = Model.params ~c:3. in
+  check_float "p=0" 3. (Model.min_useful_lifespan params ~interrupts:0);
+  check_float "p=2" 9. (Model.min_useful_lifespan params ~interrupts:2);
+  Alcotest.check_raises "negative p"
+    (Invalid_argument "Model.min_useful_lifespan: negative p") (fun () ->
+      ignore (Model.min_useful_lifespan params ~interrupts:(-1)))
+
+let test_is_degenerate () =
+  let params = Model.params ~c:3. in
+  Alcotest.(check bool) "at threshold" true
+    (Model.is_degenerate params (Model.opportunity ~lifespan:9. ~interrupts:2));
+  Alcotest.(check bool) "above threshold" false
+    (Model.is_degenerate params (Model.opportunity ~lifespan:9.1 ~interrupts:2))
+
+(* Proposition 4.1(c) semantics, not just the formula: when the
+   opportunity is degenerate, even the exact optimal adaptive player
+   guarantees zero work (checked through the integer DP). *)
+let test_degenerate_means_zero_work () =
+  let c = 3 in
+  let dp = Dp.solve ~c ~max_p:3 ~max_l:40 in
+  for p = 0 to 3 do
+    for l = 0 to c * (p + 1) do
+      Alcotest.(check int)
+        (Printf.sprintf "W(%d)[%d] = 0" p l)
+        0
+        (Dp.value dp ~p ~l)
+    done;
+    (* Comfortably above the threshold, positive work is guaranteed. *)
+    let l = (c * (p + 1)) + (2 * (p + 1)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "W(%d)[%d] > 0" p l)
+      true
+      (Dp.value dp ~p ~l > 0)
+  done
+
+let test_pp_smoke () =
+  let params = Model.params ~c:1.5 in
+  let opp = Model.opportunity ~lifespan:100. ~interrupts:2 in
+  Alcotest.(check bool) "params pp" true
+    (String.length (Format.asprintf "%a" Model.pp_params params) > 0);
+  Alcotest.(check bool) "opp pp" true
+    (String.length (Format.asprintf "%a" Model.pp_opportunity opp) > 0)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "params validation" `Quick test_params_validation;
+          Alcotest.test_case "params accessor" `Quick test_params_accessor;
+          Alcotest.test_case "opportunity validation" `Quick
+            test_opportunity_validation;
+          Alcotest.test_case "positive subtraction" `Quick
+            test_positive_sub_operator;
+          Alcotest.test_case "min useful lifespan" `Quick
+            test_min_useful_lifespan;
+          Alcotest.test_case "is_degenerate" `Quick test_is_degenerate;
+          Alcotest.test_case "Prop 4.1(c) via DP" `Quick
+            test_degenerate_means_zero_work;
+          Alcotest.test_case "pretty printers" `Quick test_pp_smoke;
+        ] );
+    ]

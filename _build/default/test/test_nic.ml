@@ -1,0 +1,195 @@
+(* Tests for the shared NIC resource and contention-aware farms. *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let params = Model.params ~c:2.
+
+(* --- Resource semantics -------------------------------------------------- *)
+
+let test_immediate_grant_when_free () =
+  let sim = Nowsim.Sim.create () in
+  let nic = Nowsim.Nic.create () in
+  let granted = ref false in
+  let token = Nowsim.Nic.acquire nic sim (fun _ -> granted := true) in
+  Alcotest.(check bool) "granted immediately" true !granted;
+  Alcotest.(check bool) "busy" true (Nowsim.Nic.is_busy nic);
+  Nowsim.Nic.release nic sim token;
+  Alcotest.(check bool) "free after release" false (Nowsim.Nic.is_busy nic)
+
+let test_fifo_grants () =
+  let sim = Nowsim.Sim.create () in
+  let nic = Nowsim.Nic.create () in
+  let order = ref [] in
+  let t1 = Nowsim.Nic.acquire nic sim (fun _ -> order := 1 :: !order) in
+  let t2 = Nowsim.Nic.acquire nic sim (fun _ -> order := 2 :: !order) in
+  let t3 = Nowsim.Nic.acquire nic sim (fun _ -> order := 3 :: !order) in
+  Nowsim.Nic.release nic sim t1;
+  Nowsim.Nic.release nic sim t2;
+  Nowsim.Nic.release nic sim t3;
+  Alcotest.(check (list int)) "grant order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_cancelled_waiter_skipped () =
+  let sim = Nowsim.Sim.create () in
+  let nic = Nowsim.Nic.create () in
+  let order = ref [] in
+  let t1 = Nowsim.Nic.acquire nic sim (fun _ -> order := 1 :: !order) in
+  let t2 = Nowsim.Nic.acquire nic sim (fun _ -> order := 2 :: !order) in
+  let t3 = Nowsim.Nic.acquire nic sim (fun _ -> order := 3 :: !order) in
+  Nowsim.Nic.cancel nic t2;
+  Nowsim.Nic.release nic sim t1;
+  Nowsim.Nic.release nic sim t3;
+  Alcotest.(check (list int)) "t2 skipped" [ 1; 3 ] (List.rev !order)
+
+let test_release_requires_holder () =
+  let sim = Nowsim.Sim.create () in
+  let nic = Nowsim.Nic.create () in
+  let t1 = Nowsim.Nic.acquire nic sim (fun _ -> ()) in
+  let t2 = Nowsim.Nic.acquire nic sim (fun _ -> ()) in
+  (try
+     Nowsim.Nic.release nic sim t2;
+     Alcotest.fail "waiting token released"
+   with Invalid_argument _ -> ());
+  Nowsim.Nic.release_if_held nic sim t2; (* no-op *)
+  Nowsim.Nic.release nic sim t1
+
+let test_busy_time_accounting () =
+  let sim = Nowsim.Sim.create () in
+  let nic = Nowsim.Nic.create () in
+  ignore
+    (Nowsim.Sim.schedule sim ~at:1. (fun s ->
+         let tok = Nowsim.Nic.acquire nic s (fun _ -> ()) in
+         ignore (Nowsim.Sim.schedule s ~at:4. (fun s -> Nowsim.Nic.release nic s tok))));
+  Nowsim.Sim.run sim;
+  check_float "busy 3 units" 3. (Nowsim.Nic.total_busy_time nic);
+  check_float "utilization" 0.3 (Nowsim.Nic.utilization nic ~horizon:10.);
+  Alcotest.(check int) "acquisitions" 1 (Nowsim.Nic.acquisitions nic)
+
+(* --- Farm integration ------------------------------------------------------ *)
+
+let big_bag () = Workload.Task.bag_of_sizes (List.init 30_000 (fun _ -> 0.01))
+
+let farm_with ~stations ~nic () =
+  let opportunity = Model.opportunity ~lifespan:100. ~interrupts:0 in
+  let specs =
+    List.init stations (fun i ->
+        Nowsim.Farm.spec
+          ~name:(Printf.sprintf "b%d" (i + 1))
+          ~opportunity
+          ~policy:(Policy.non_adaptive ~committed:(Nonadaptive.equal_periods ~u:100. ~m:10))
+          ~owner:Adversary.none ())
+  in
+  Nowsim.Farm.run ?nic params ~bag:(big_bag ()) specs
+
+(* One station with an uncontended NIC matches the no-NIC run's work
+   exactly (waits are zero). *)
+let test_single_station_nic_equals_none () =
+  let r_none = farm_with ~stations:1 ~nic:None () in
+  let nic = Nowsim.Nic.create () in
+  let r_nic = farm_with ~stations:1 ~nic:(Some nic) () in
+  let w r = (List.hd r.Nowsim.Farm.per_station |> Nowsim.Metrics.model_work) in
+  check_float ~eps:1e-6 "same model work" (w r_none) (w r_nic);
+  check_float ~eps:1e-6 "no queueing" 0. (Nowsim.Nic.total_wait_time nic);
+  (* Ten periods, two transfers each. *)
+  Alcotest.(check int) "acquisitions" 20 (Nowsim.Nic.acquisitions nic)
+
+(* Heavy contention: many stations on one NIC stretch periods, so total
+   model work falls below the uncontended total and some time is cut off
+   at the lifespan boundary. *)
+let test_contention_costs_work () =
+  let stations = 8 in
+  let r_free = farm_with ~stations ~nic:None () in
+  let nic = Nowsim.Nic.create () in
+  let r_nic = farm_with ~stations ~nic:(Some nic) () in
+  let total r = r.Nowsim.Farm.summary.Nowsim.Metrics.total_model_work in
+  Alcotest.(check bool)
+    (Printf.sprintf "with contention %.1f < free %.1f" (total r_nic) (total r_free))
+    true
+    (total r_nic < total r_free);
+  Alcotest.(check bool) "queueing happened" true
+    (Nowsim.Nic.total_wait_time nic > 0.);
+  (* The interface is exclusive: it can never be busy more than the
+     whole horizon. *)
+  Alcotest.(check bool) "utilization <= 1" true
+    (Nowsim.Nic.utilization nic ~horizon:r_nic.Nowsim.Farm.finished_at <= 1. +. 1e-9)
+
+(* Time conservation still holds per station under contention, with
+   waits counted inside overhead. *)
+let test_conservation_under_contention () =
+  let nic = Nowsim.Nic.create () in
+  let r = farm_with ~stations:4 ~nic:(Some nic) () in
+  List.iter
+    (fun m ->
+       let used =
+         Nowsim.Metrics.model_work m +. Nowsim.Metrics.overhead_time m
+         +. Nowsim.Metrics.wasted_time m +. Nowsim.Metrics.idle_time m
+       in
+       (* Stations stop at the lifespan boundary; everything they
+          touched must be accounted for. *)
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: used %.3f <= 100" (Nowsim.Metrics.station m) used)
+         true
+         (used <= 100. +. 1e-6 && used >= 0.))
+    r.Nowsim.Farm.per_station
+
+(* Interrupts interact correctly with contention: a kill while queued
+   for the NIC withdraws the request and the simulation completes. *)
+let test_interrupt_while_queued () =
+  let nic = Nowsim.Nic.create () in
+  let opportunity = Model.opportunity ~lifespan:100. ~interrupts:1 in
+  let specs =
+    List.init 6 (fun i ->
+        Nowsim.Farm.spec
+          ~name:(Printf.sprintf "b%d" (i + 1))
+          ~opportunity
+          ~policy:(Policy.non_adaptive ~committed:(Nonadaptive.equal_periods ~u:100. ~m:10))
+          ~owner:(Adversary.at_times [ 15.5 +. (0.1 *. float_of_int i) ])
+          ())
+  in
+  let r = Nowsim.Farm.run ~nic params ~bag:(big_bag ()) specs in
+  List.iter
+    (fun m ->
+       Alcotest.(check int)
+         (Printf.sprintf "%s interrupted once" (Nowsim.Metrics.station m))
+         1 (Nowsim.Metrics.interrupts m))
+    r.Nowsim.Farm.per_station;
+  Alcotest.(check bool) "interface not leaked" false (Nowsim.Nic.is_busy nic)
+
+let test_contention_deterministic () =
+  let run () =
+    let nic = Nowsim.Nic.create () in
+    let r = farm_with ~stations:5 ~nic:(Some nic) () in
+    (r.Nowsim.Farm.summary.Nowsim.Metrics.total_model_work,
+     Nowsim.Nic.total_wait_time nic)
+  in
+  let w1, q1 = run () and w2, q2 = run () in
+  check_float "same work" w1 w2;
+  check_float "same queueing" q1 q2
+
+let () =
+  Alcotest.run "nic"
+    [
+      ( "resource",
+        [
+          Alcotest.test_case "immediate grant" `Quick test_immediate_grant_when_free;
+          Alcotest.test_case "fifo grants" `Quick test_fifo_grants;
+          Alcotest.test_case "cancelled waiter skipped" `Quick
+            test_cancelled_waiter_skipped;
+          Alcotest.test_case "release requires holder" `Quick
+            test_release_requires_holder;
+          Alcotest.test_case "busy-time accounting" `Quick test_busy_time_accounting;
+        ] );
+      ( "farm",
+        [
+          Alcotest.test_case "uncontended = none" `Quick
+            test_single_station_nic_equals_none;
+          Alcotest.test_case "contention costs work" `Quick test_contention_costs_work;
+          Alcotest.test_case "conservation under contention" `Quick
+            test_conservation_under_contention;
+          Alcotest.test_case "interrupt while queued" `Quick
+            test_interrupt_while_queued;
+          Alcotest.test_case "deterministic" `Quick test_contention_deterministic;
+        ] );
+    ]

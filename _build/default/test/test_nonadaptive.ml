@@ -1,0 +1,240 @@
+(* Tests for the non-adaptive regime (paper Section 3.1): the guideline
+   schedule, the interrupt-set work formula, and the exact adversary. *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let params = Model.params ~c:1.
+
+let test_equal_periods () =
+  let s = Nonadaptive.equal_periods ~u:10. ~m:4 in
+  Alcotest.(check int) "m" 4 (Schedule.length s);
+  check_float "each" 2.5 (Schedule.period s 1);
+  check_float "total" 10. (Schedule.total s);
+  Alcotest.check_raises "m = 0"
+    (Invalid_argument "Nonadaptive.equal_periods: m must be positive")
+    (fun () -> ignore (Nonadaptive.equal_periods ~u:10. ~m:0))
+
+let test_guideline_shape () =
+  (* c = 1, u = 100, p = 1: m = floor(sqrt(100)) = 10 equal periods. *)
+  let s = Nonadaptive.guideline params ~u:100. ~p:1 in
+  Alcotest.(check int) "m = sqrt(pU/c)" 10 (Schedule.length s);
+  check_float "period = sqrt(cU/p)" 10. (Schedule.period s 1);
+  check_float "covers u" 100. (Schedule.total s);
+  (* p = 4 doubles the period count. *)
+  Alcotest.(check int) "m scales with sqrt p" 20
+    (Schedule.length (Nonadaptive.guideline params ~u:100. ~p:4))
+
+let test_guideline_p0 () =
+  (* Proposition 4.1(d): a single long period. *)
+  let s = Nonadaptive.guideline params ~u:50. ~p:0 in
+  Alcotest.(check int) "one period" 1 (Schedule.length s);
+  check_float "full lifespan" 50. (Schedule.total s)
+
+let test_guideline_small_u () =
+  (* Lifespans so short the formula gives m = 0 must still yield a valid
+     schedule. *)
+  let s = Nonadaptive.guideline params ~u:0.5 ~p:1 in
+  Alcotest.(check bool) "at least one period" true (Schedule.length s >= 1);
+  check_float "covers u" 0.5 (Schedule.total s)
+
+(* The paper's W(S) formula, hand-checked on a small schedule.
+   S = 4,3,2,1 over u = 10, c = 1. *)
+let test_work_given_interrupts_cases () =
+  let s = Schedule.of_list [ 4.; 3.; 2.; 1. ] in
+  let w = Nonadaptive.work_given_interrupts params ~u:10. s in
+  (* No interrupts: (4-1)+(3-1)+(2-1)+(1-1) = 6. *)
+  check_float "none" 6. (w ~p:2 ~interrupted:[]);
+  (* One interrupt (budget 2, so no consolidation): lose period 2. *)
+  check_float "partial budget" 4. (w ~p:2 ~interrupted:[ 2 ]);
+  (* Full budget p=1 on period 2: consolidation; completed period 1 plus
+     one long period of u - T_2 = 3: (4-1) + (3-1) = 5. *)
+  check_float "consolidated" 5. (w ~p:1 ~interrupted:[ 2 ]);
+  (* Full budget p=2 on periods 1,4: periods 2,3 complete before i_p = 4;
+     remainder u - T_4 = 0: (3-1)+(2-1) = 3. *)
+  check_float "both used" 3. (w ~p:2 ~interrupted:[ 1; 4 ])
+
+let test_work_given_interrupts_validation () =
+  let s = Schedule.of_list [ 4.; 3.; 2.; 1. ] in
+  let w = Nonadaptive.work_given_interrupts params ~u:10. s in
+  (try
+     ignore (w ~p:2 ~interrupted:[ 2; 2 ]);
+     Alcotest.fail "duplicate indices accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (w ~p:2 ~interrupted:[ 3; 2 ]);
+     Alcotest.fail "unsorted indices accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (w ~p:2 ~interrupted:[ 0 ]);
+     Alcotest.fail "index 0 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (w ~p:1 ~interrupted:[ 1; 2 ]);
+     Alcotest.fail "over budget accepted"
+   with Invalid_argument _ -> ())
+
+(* The closed form U - 2 sqrt(pcU) + pc matches the exact adversary on
+   the guideline schedule whenever sqrt(pU/c) is an integer (no floor
+   noise). *)
+let test_closed_form_matches_exact () =
+  List.iter
+    (fun (u, p) ->
+       let s = Nonadaptive.guideline params ~u ~p in
+       let worst, _ = Nonadaptive.worst_case params ~u ~p s in
+       check_float
+         (Printf.sprintf "u=%g p=%d" u p)
+         (Nonadaptive.closed_form params ~u ~p)
+         worst)
+    [ (100., 1); (400., 1); (100., 4); (900., 4) ]
+
+let test_closed_form_near_exact_general () =
+  (* With floor noise the exact value stays within O(1) = a few c of the
+     closed form. *)
+  List.iter
+    (fun (u, p) ->
+       let s = Nonadaptive.guideline params ~u ~p in
+       let worst, _ = Nonadaptive.worst_case params ~u ~p s in
+       let predicted = Nonadaptive.closed_form params ~u ~p in
+       Alcotest.(check bool)
+         (Printf.sprintf "u=%g p=%d within O(1)" u p)
+         true
+         (Float.abs (worst -. predicted) <= 3. *. Model.c params))
+    [ (137., 1); (1000., 2); (5000., 3); (777., 2) ]
+
+(* The exact adversary really is optimal: no interrupt set the paper's
+   formula admits does better, exhaustively on a small instance. *)
+let test_worst_case_is_minimal () =
+  let u = 30. in
+  let p = 2 in
+  let s = Schedule.of_list [ 7.; 6.; 5.; 5.; 4.; 3. ] in
+  let worst, witness = Nonadaptive.worst_case params ~u ~p s in
+  (* Enumerate all interrupt sets of size <= 2 (the empty set seeds the
+     reference). *)
+  let m = Schedule.length s in
+  let best = ref (Nonadaptive.work_given_interrupts params ~u ~p s ~interrupted:[]) in
+  for i = 0 to m do
+    for j = i + 1 to m do
+      let set = List.filter (fun k -> k >= 1) [ i; j ] in
+      let set = List.sort_uniq compare set in
+      if List.length set <= p then begin
+        let w = Nonadaptive.work_given_interrupts params ~u ~p s ~interrupted:set in
+        if w < !best then best := w
+      end
+    done
+  done;
+  (* Also size-0 and size-1 sets are covered above via i=0. *)
+  check_float "matches exhaustive minimum" !best worst;
+  check_float "witness reproduces value" worst
+    (Nonadaptive.work_given_interrupts params ~u ~p s ~interrupted:witness)
+
+(* The paper's stated adversary strategy (kill the last p periods) is
+   optimal against the equal-period guideline. *)
+let test_last_p_strategy_optimal_on_guideline () =
+  List.iter
+    (fun (u, p) ->
+       let s = Nonadaptive.guideline params ~u ~p in
+       let worst, _ = Nonadaptive.worst_case params ~u ~p s in
+       let last_p = Nonadaptive.last_p_periods_interrupts s ~p in
+       let w_last =
+         Nonadaptive.work_given_interrupts params ~u ~p s ~interrupted:last_p
+       in
+       check_float (Printf.sprintf "u=%g p=%d" u p) worst w_last)
+    [ (100., 1); (100., 2); (400., 3) ]
+
+(* The guideline's m is within O(1) of the best equal-period count. *)
+let test_guideline_m_near_best () =
+  List.iter
+    (fun (u, p) ->
+       let best_m, best_w = Nonadaptive.best_equal_period_count params ~u ~p ~max_m:60 in
+       let s = Nonadaptive.guideline params ~u ~p in
+       let w, _ = Nonadaptive.worst_case params ~u ~p s in
+       Alcotest.(check bool)
+         (Printf.sprintf "u=%g p=%d: guideline m=%d vs best m=%d" u p
+            (Schedule.length s) best_m)
+         true
+         (w >= best_w -. (2. *. Model.c params)))
+    [ (100., 1); (200., 2); (300., 3) ]
+
+let test_worst_case_p0 () =
+  let s = Schedule.of_list [ 5.; 5. ] in
+  let w, set = Nonadaptive.worst_case params ~u:10. ~p:0 s in
+  check_float "no adversary" 8. w;
+  Alcotest.(check (list int)) "empty witness" [] set
+
+(* --- QCheck properties -------------------------------------------------- *)
+
+let arb_schedule_u =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 12) (map (fun x -> 0.5 +. (x *. 8.)) (float_bound_exclusive 1.)))
+  in
+  QCheck.make ~print:QCheck.Print.(list float) gen
+
+let prop_worst_case_le_uninterrupted =
+  QCheck.Test.make ~name:"worst case <= uninterrupted work" ~count:200
+    QCheck.(pair arb_schedule_u (int_bound 3))
+    (fun (l, p) ->
+      let s = Schedule.of_list l in
+      let u = Schedule.total s in
+      let w, _ = Nonadaptive.worst_case params ~u ~p s in
+      w <= Schedule.work_if_uninterrupted params s +. 1e-9)
+
+let prop_worst_case_antitone_in_p =
+  QCheck.Test.make ~name:"worst case non-increasing in p" ~count:200
+    arb_schedule_u (fun l ->
+      let s = Schedule.of_list l in
+      let u = Schedule.total s in
+      let w p = fst (Nonadaptive.worst_case params ~u ~p s) in
+      let ok = ref true in
+      for p = 0 to 3 do
+        if w (p + 1) > w p +. 1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_witness_achieves_value =
+  QCheck.Test.make ~name:"adversary witness achieves the DP value" ~count:200
+    QCheck.(pair arb_schedule_u (int_bound 3))
+    (fun (l, p) ->
+      let s = Schedule.of_list l in
+      let u = Schedule.total s in
+      let w, witness = Nonadaptive.worst_case params ~u ~p s in
+      Csutil.Float_ext.approx_eq ~atol:1e-9 w
+        (Nonadaptive.work_given_interrupts params ~u ~p s ~interrupted:witness))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "nonadaptive"
+    [
+      ( "nonadaptive",
+        [
+          Alcotest.test_case "equal periods" `Quick test_equal_periods;
+          Alcotest.test_case "guideline shape" `Quick test_guideline_shape;
+          Alcotest.test_case "guideline p=0" `Quick test_guideline_p0;
+          Alcotest.test_case "guideline small u" `Quick test_guideline_small_u;
+          Alcotest.test_case "W(S) formula cases" `Quick
+            test_work_given_interrupts_cases;
+          Alcotest.test_case "W(S) validation" `Quick
+            test_work_given_interrupts_validation;
+          Alcotest.test_case "closed form exact points" `Quick
+            test_closed_form_matches_exact;
+          Alcotest.test_case "closed form O(1) general" `Quick
+            test_closed_form_near_exact_general;
+          Alcotest.test_case "adversary DP is minimal" `Quick
+            test_worst_case_is_minimal;
+          Alcotest.test_case "last-p strategy optimal" `Quick
+            test_last_p_strategy_optimal_on_guideline;
+          Alcotest.test_case "guideline m near best" `Quick
+            test_guideline_m_near_best;
+          Alcotest.test_case "worst case p=0" `Quick test_worst_case_p0;
+        ] );
+      ( "props",
+        qc
+          [
+            prop_worst_case_le_uninterrupted;
+            prop_worst_case_antitone_in_p;
+            prop_witness_achieves_value;
+          ] );
+    ]

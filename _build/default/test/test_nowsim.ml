@@ -1,0 +1,604 @@
+(* Tests for the NOW discrete-event simulator: the event queue and engine
+   primitives, the master/owner processes, and experiment E7's
+   sim-vs-game-engine equivalence. *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let params = Model.params ~c:1.
+
+(* --- Event queue ----------------------------------------------------------- *)
+
+let test_queue_ordering () =
+  let q = Nowsim.Event_queue.create () in
+  ignore (Nowsim.Event_queue.add q ~time:3. "c");
+  ignore (Nowsim.Event_queue.add q ~time:1. "a");
+  ignore (Nowsim.Event_queue.add q ~time:2. "b");
+  let pops = List.init 3 (fun _ -> Nowsim.Event_queue.pop q) in
+  let labels = List.map (function Some (_, x) -> x | None -> "?") pops in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] labels;
+  Alcotest.(check bool) "drained" true (Nowsim.Event_queue.pop q = None)
+
+let test_queue_fifo_ties () =
+  let q = Nowsim.Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Nowsim.Event_queue.add q ~time:5. (string_of_int i))
+  done;
+  let labels =
+    List.init 10 (fun _ ->
+        match Nowsim.Event_queue.pop q with Some (_, x) -> x | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order at same time"
+    (List.init 10 string_of_int) labels
+
+let test_queue_cancellation () =
+  let q = Nowsim.Event_queue.create () in
+  let _h1 = Nowsim.Event_queue.add q ~time:1. "keep1" in
+  let h2 = Nowsim.Event_queue.add q ~time:2. "drop" in
+  let _h3 = Nowsim.Event_queue.add q ~time:3. "keep2" in
+  Nowsim.Event_queue.cancel h2;
+  Alcotest.(check bool) "is_cancelled" true (Nowsim.Event_queue.is_cancelled h2);
+  Alcotest.(check int) "live count" 2 (Nowsim.Event_queue.length q);
+  let labels =
+    List.init 2 (fun _ ->
+        match Nowsim.Event_queue.pop q with Some (_, x) -> x | None -> "?")
+  in
+  Alcotest.(check (list string)) "cancelled skipped" [ "keep1"; "keep2" ] labels
+
+let test_queue_cancel_idempotent () =
+  let q = Nowsim.Event_queue.create () in
+  let h = Nowsim.Event_queue.add q ~time:1. () in
+  Nowsim.Event_queue.cancel h;
+  Nowsim.Event_queue.cancel h;
+  Alcotest.(check int) "live count not negative" 0 (Nowsim.Event_queue.length q)
+
+let test_queue_peek_skips_cancelled () =
+  let q = Nowsim.Event_queue.create () in
+  let h = Nowsim.Event_queue.add q ~time:1. () in
+  ignore (Nowsim.Event_queue.add q ~time:2. ());
+  Nowsim.Event_queue.cancel h;
+  (match Nowsim.Event_queue.peek_time q with
+   | Some t -> check_float "peek" 2. t
+   | None -> Alcotest.fail "peek failed")
+
+let prop_queue_sorted_output =
+  QCheck.Test.make ~name:"pop yields sorted times" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 100) (float_range 0. 1000.))
+    (fun times ->
+      let q = Nowsim.Event_queue.create () in
+      List.iter (fun t -> ignore (Nowsim.Event_queue.add q ~time:t ())) times;
+      let rec drain last =
+        match Nowsim.Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* --- Sim engine ------------------------------------------------------------- *)
+
+let test_sim_runs_in_order () =
+  let sim = Nowsim.Sim.create () in
+  let log = ref [] in
+  ignore (Nowsim.Sim.schedule sim ~at:2. (fun s -> log := ("b", Nowsim.Sim.now s) :: !log));
+  ignore (Nowsim.Sim.schedule sim ~at:1. (fun s -> log := ("a", Nowsim.Sim.now s) :: !log));
+  Nowsim.Sim.run sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "events in order with clock" [ ("a", 1.); ("b", 2.) ]
+    (List.rev !log);
+  check_float "clock at end" 2. (Nowsim.Sim.now sim);
+  Alcotest.(check int) "events fired" 2 (Nowsim.Sim.events_fired sim)
+
+let test_sim_schedule_during_run () =
+  let sim = Nowsim.Sim.create () in
+  let fired = ref 0 in
+  ignore
+    (Nowsim.Sim.schedule sim ~at:1. (fun s ->
+         incr fired;
+         ignore (Nowsim.Sim.schedule_after s ~delay:1. (fun _ -> incr fired))));
+  Nowsim.Sim.run sim;
+  Alcotest.(check int) "chained events" 2 !fired;
+  check_float "final time" 2. (Nowsim.Sim.now sim)
+
+let test_sim_until_horizon () =
+  let sim = Nowsim.Sim.create () in
+  let fired = ref 0 in
+  ignore (Nowsim.Sim.schedule sim ~at:1. (fun _ -> incr fired));
+  ignore (Nowsim.Sim.schedule sim ~at:10. (fun _ -> incr fired));
+  Nowsim.Sim.run ~until:5. sim;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  check_float "clock clamped to horizon" 5. (Nowsim.Sim.now sim)
+
+let test_sim_rejects_past () =
+  let sim = Nowsim.Sim.create () in
+  ignore
+    (Nowsim.Sim.schedule sim ~at:5. (fun s ->
+         try
+           ignore (Nowsim.Sim.schedule s ~at:1. (fun _ -> ()));
+           Alcotest.fail "past scheduling accepted"
+         with Invalid_argument _ -> ()));
+  Nowsim.Sim.run sim
+
+(* --- Single-station simulation ---------------------------------------------- *)
+
+let big_bag () =
+  (* Plenty of fine-grained work so packing fragmentation is negligible
+     and the bag never drains. *)
+  Workload.Task.bag_of_sizes (List.init 40_000 (fun _ -> 0.01))
+
+let run_single ?(early_return = false) ~u ~p ~policy ~owner () =
+  let opportunity = Model.opportunity ~lifespan:u ~interrupts:p in
+  Nowsim.Farm.run_single ~early_return params ~bag:(big_bag ()) ~opportunity
+    ~policy ~owner ()
+
+let test_uninterrupted_run_accounting () =
+  let committed = Schedule.of_list [ 5.; 5. ] in
+  let report =
+    run_single ~u:10. ~p:0 ~policy:(Policy.non_adaptive ~committed)
+      ~owner:Adversary.none ()
+  in
+  let m = List.hd report.Nowsim.Farm.per_station in
+  check_float "model work" 8. (Nowsim.Metrics.model_work m);
+  check_float "overhead = 2c" 2. (Nowsim.Metrics.overhead_time m);
+  check_float "no waste" 0. (Nowsim.Metrics.wasted_time m);
+  Alcotest.(check int) "episodes" 1 (Nowsim.Metrics.episodes m);
+  Alcotest.(check int) "interrupts" 0 (Nowsim.Metrics.interrupts m);
+  (* 8 units of work at 0.01 per task = 800 tasks. *)
+  Alcotest.(check int) "tasks" 800 (Nowsim.Metrics.tasks_completed m)
+
+let test_interrupted_run_accounting () =
+  let committed = Schedule.of_list [ 5.; 5. ] in
+  let adv =
+    Adversary.make ~name:"k1" ~decide:(fun ctx _ ->
+        if ctx.Policy.interrupts_left > 0 then
+          Adversary.Interrupt { period = 1; fraction = 1.0 }
+        else Adversary.Let_run)
+  in
+  let report =
+    run_single ~u:10. ~p:1 ~policy:(Policy.non_adaptive ~committed) ~owner:adv ()
+  in
+  let m = List.hd report.Nowsim.Farm.per_station in
+  (* Period 1 killed at its last instant (5 wasted); then one long period
+     of 5 -> 4 work. *)
+  check_float "model work" 4. (Nowsim.Metrics.model_work m);
+  check_float "wasted" 5. (Nowsim.Metrics.wasted_time m);
+  Alcotest.(check int) "interrupts" 1 (Nowsim.Metrics.interrupts m);
+  Alcotest.(check int) "episodes" 2 (Nowsim.Metrics.episodes m)
+
+let test_kill_returns_tasks_to_bag () =
+  let bag = Workload.Task.bag_of_sizes (List.init 100 (fun _ -> 0.5)) in
+  let opportunity = Model.opportunity ~lifespan:10. ~interrupts:1 in
+  let adv =
+    Adversary.make ~name:"k1mid" ~decide:(fun ctx _ ->
+        if ctx.Policy.interrupts_left > 0 then
+          Adversary.Interrupt { period = 1; fraction = 0.9 }
+        else Adversary.Let_run)
+  in
+  let committed = Schedule.of_list [ 6.; 4. ] in
+  let report =
+    Nowsim.Farm.run_single params ~bag ~opportunity
+      ~policy:(Policy.non_adaptive ~committed) ~owner:adv ()
+  in
+  let m = List.hd report.Nowsim.Farm.per_station in
+  (* Period 1 (budget 5 -> 10 tasks) killed; its tasks must be back.
+     Then a long period of 10 - 5.4 = 4.6 -> budget 3.6 -> 7 tasks. *)
+  Alcotest.(check int) "tasks completed" 7 (Nowsim.Metrics.tasks_completed m);
+  Alcotest.(check int) "bag holds the rest" 93 report.Nowsim.Farm.leftover_tasks
+
+(* E7: with the adversarial-oracle owner, the simulator's model work
+   equals Game.guaranteed exactly, policy by policy. *)
+let test_sim_matches_game_engine () =
+  List.iter
+    (fun (u, p, policy) ->
+       let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+       let g = Game.guaranteed params opp policy in
+       let adv = Game.optimal_adversary params opp policy in
+       let report = run_single ~u ~p ~policy ~owner:adv () in
+       let m = List.hd report.Nowsim.Farm.per_station in
+       check_float ~eps:1e-6
+         (Printf.sprintf "u=%g p=%d %s" u p (Policy.name policy))
+         g (Nowsim.Metrics.model_work m))
+    [
+      (100., 1, Policy.adaptive_guideline);
+      (100., 2, Policy.adaptive_guideline);
+      (100., 1, Policy.adaptive_calibrated);
+      (60., 2, Policy.nonadaptive_guideline params
+                 (Model.opportunity ~lifespan:60. ~interrupts:2));
+    ]
+
+(* E7 stochastic: any owner behaviour yields at least the guaranteed
+   floor for the shipped (monotone) policies. *)
+let test_sim_stochastic_above_floor () =
+  let u = 150. and p = 2 in
+  let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+  let g = Game.guaranteed params opp Policy.adaptive_guideline in
+  let rng = Csutil.Rng.create ~seed:7 in
+  for _ = 1 to 10 do
+    let trace = Workload.Interrupt_trace.poisson ~rng ~u ~rate:0.05 ~p in
+    let owner = Workload.Interrupt_trace.to_adversary trace in
+    let report = run_single ~u ~p ~policy:Policy.adaptive_guideline ~owner () in
+    let m = List.hd report.Nowsim.Farm.per_station in
+    Alcotest.(check bool) "above floor" true
+      (Nowsim.Metrics.model_work m >= g -. 1e-6)
+  done
+
+(* Time conservation: work + overhead + waste + idle = lifespan. *)
+let test_time_conservation () =
+  let u = 97. and p = 2 in
+  let rng = Csutil.Rng.create ~seed:31 in
+  for seed = 1 to 5 do
+    ignore seed;
+    let trace = Workload.Interrupt_trace.poisson ~rng ~u ~rate:0.1 ~p in
+    let owner = Workload.Interrupt_trace.to_adversary trace in
+    let report = run_single ~u ~p ~policy:Policy.adaptive_guideline ~owner () in
+    let m = List.hd report.Nowsim.Farm.per_station in
+    let total =
+      Nowsim.Metrics.model_work m +. Nowsim.Metrics.overhead_time m
+      +. Nowsim.Metrics.wasted_time m +. Nowsim.Metrics.idle_time m
+    in
+    check_float ~eps:1e-6 "conservation" u total
+  done
+
+(* Early return: with a drained bag the station finishes ahead of the
+   model timing and never does worse on tasks. *)
+let test_early_return_with_small_bag () =
+  let bag = Workload.Task.bag_of_sizes (List.init 5 (fun _ -> 1.)) in
+  let opportunity = Model.opportunity ~lifespan:100. ~interrupts:0 in
+  let report =
+    Nowsim.Farm.run_single ~early_return:true params ~bag ~opportunity
+      ~policy:(Policy.non_adaptive ~committed:(Schedule.of_list [ 50.; 50. ]))
+      ~owner:Adversary.none ()
+  in
+  Alcotest.(check int) "all tasks done" 0 report.Nowsim.Farm.leftover_tasks;
+  let m = List.hd report.Nowsim.Farm.per_station in
+  Alcotest.(check int) "tasks" 5 (Nowsim.Metrics.tasks_completed m)
+
+(* --- Link phases --------------------------------------------------------------- *)
+
+let test_link_split () =
+  let link = Nowsim.Link.create params in
+  check_float "send half" 0.5 (Nowsim.Link.setup_send link);
+  check_float "recv half" 0.5 (Nowsim.Link.setup_recv link);
+  check_float "total c" 1. (Nowsim.Link.setup_total link);
+  let link2 = Nowsim.Link.create ~send_fraction:0.25 params in
+  check_float "asymmetric send" 0.25 (Nowsim.Link.setup_send link2);
+  check_float "asymmetric recv" 0.75 (Nowsim.Link.setup_recv link2);
+  (try
+     ignore (Nowsim.Link.create ~send_fraction:1.5 params);
+     Alcotest.fail "fraction > 1 accepted"
+   with Invalid_argument _ -> ())
+
+let test_link_compute_window () =
+  let link = Nowsim.Link.create params in
+  (* Normal period: compute spans [c/2, len - c/2]. *)
+  let s, e = Nowsim.Link.compute_window link ~len:10. in
+  check_float "start" 0.5 s;
+  check_float "stop" 9.5 e;
+  (* Period shorter than c: empty compute window, phases clipped. *)
+  let s, e = Nowsim.Link.compute_window link ~len:0.6 in
+  Alcotest.(check bool) "clipped" true (e -. s <= 1e-12);
+  Alcotest.(check bool) "within period" true (s >= 0. && e <= 0.6 +. 1e-12);
+  (* Exactly c: zero compute. *)
+  let s, e = Nowsim.Link.compute_window link ~len:1. in
+  check_float "zero compute" 0. (e -. s)
+
+(* --- Metrics invariants ---------------------------------------------------------- *)
+
+let test_metrics_accounting () =
+  let m = Nowsim.Metrics.create ~station:"x" in
+  Nowsim.Metrics.log_episode_started m;
+  Nowsim.Metrics.log_period m
+    {
+      Nowsim.Metrics.station = "x"; episode = 1; index = 1; start = 0.;
+      length = 5.; fate = Nowsim.Metrics.Period_completed; model_work = 4.;
+      task_work = 3.5; tasks_completed = 7;
+    };
+  Nowsim.Metrics.log_period m
+    {
+      Nowsim.Metrics.station = "x"; episode = 1; index = 2; start = 5.;
+      length = 2.; fate = Nowsim.Metrics.Period_killed; model_work = 0.;
+      task_work = 0.; tasks_completed = 0;
+    };
+  Nowsim.Metrics.log_kill m ~elapsed:2.;
+  Nowsim.Metrics.log_truncated m ~elapsed:1.;
+  Nowsim.Metrics.log_idle m ~duration:3.;
+  check_float "model work" 4. (Nowsim.Metrics.model_work m);
+  check_float "task work" 3.5 (Nowsim.Metrics.task_work m);
+  Alcotest.(check int) "tasks" 7 (Nowsim.Metrics.tasks_completed m);
+  check_float "overhead c" 1. (Nowsim.Metrics.overhead_time m);
+  check_float "wasted kill+truncate" 3. (Nowsim.Metrics.wasted_time m);
+  check_float "idle" 3. (Nowsim.Metrics.idle_time m);
+  Alcotest.(check int) "interrupts" 1 (Nowsim.Metrics.interrupts m);
+  check_float "fragmentation" 0.5 (Nowsim.Metrics.fragmentation m);
+  Alcotest.(check int) "period log" 2 (List.length (Nowsim.Metrics.periods m));
+  let s = Nowsim.Metrics.summarize [ m ] in
+  check_float "summary work" 4. s.Nowsim.Metrics.total_model_work;
+  Alcotest.(check int) "summary stations" 1 s.Nowsim.Metrics.stations
+
+(* --- Owner models ------------------------------------------------------------ *)
+
+let test_renewal_owner_respects_budget () =
+  let u = 300. and p = 2 in
+  let rng = Csutil.Rng.create ~seed:3 in
+  (* Very fast renewal: wants to reclaim constantly, but the budget caps
+     it at p. *)
+  let owner = Nowsim.Owner_model.renewal ~rng ~risk:(Expected.exponential ~rate:0.5) in
+  let report = run_single ~u ~p ~policy:Policy.adaptive_guideline ~owner () in
+  let m = List.hd report.Nowsim.Farm.per_station in
+  Alcotest.(check int) "capped at p" p (Nowsim.Metrics.interrupts m);
+  (* Still above the guaranteed floor. *)
+  let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+  let g = Game.guaranteed params opp Policy.adaptive_guideline in
+  Alcotest.(check bool) "above floor" true
+    (Nowsim.Metrics.model_work m >= g -. 1e-6)
+
+let test_renewal_owner_slow_never_fires () =
+  let u = 100. in
+  let rng = Csutil.Rng.create ~seed:4 in
+  (* Mean inter-reclaim of 10^6: effectively absent over a lifespan of
+     100 (any seed hitting it would be astronomically unlucky). *)
+  let owner = Nowsim.Owner_model.renewal ~rng ~risk:(Expected.exponential ~rate:1e-6) in
+  let report = run_single ~u ~p:3 ~policy:Policy.adaptive_guideline ~owner () in
+  let m = List.hd report.Nowsim.Farm.per_station in
+  Alcotest.(check int) "no reclaims" 0 (Nowsim.Metrics.interrupts m)
+
+let test_day_night_owner_quiet_window () =
+  let u = 200. in
+  let rng = Csutil.Rng.create ~seed:5 in
+  (* Quiet until 150, then reclaims arrive fast: all interrupts must be
+     after 150. *)
+  let owner = Nowsim.Owner_model.day_night ~rng ~quiet_until:150. ~day_rate:0.5 in
+  let report = run_single ~u ~p:2 ~policy:Policy.adaptive_guideline ~owner () in
+  let m = List.hd report.Nowsim.Farm.per_station in
+  Alcotest.(check bool) "some reclaim fired" true (Nowsim.Metrics.interrupts m > 0);
+  List.iter
+    (fun (p : Nowsim.Metrics.period_log) ->
+       match p.Nowsim.Metrics.fate with
+       | Nowsim.Metrics.Period_killed ->
+         Alcotest.(check bool) "kill after quiet window" true
+           (p.Nowsim.Metrics.start +. p.Nowsim.Metrics.length >= 150. -. 1e-9)
+       | Nowsim.Metrics.Period_completed -> ())
+    (Nowsim.Metrics.periods m)
+
+let test_day_night_validation () =
+  let rng = Csutil.Rng.create ~seed:6 in
+  (try
+     ignore (Nowsim.Owner_model.day_night ~rng ~quiet_until:(-1.) ~day_rate:1.);
+     Alcotest.fail "negative quiet_until accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Nowsim.Owner_model.day_night ~rng ~quiet_until:0. ~day_rate:0.);
+     Alcotest.fail "zero rate accepted"
+   with Invalid_argument _ -> ())
+
+(* --- Farm (multi-station) ---------------------------------------------------- *)
+
+let test_farm_shared_bag_drains () =
+  let bag = Workload.Task.bag_of_sizes (List.init 200 (fun _ -> 0.5)) in
+  let mk name start_at =
+    Nowsim.Farm.spec ~name ~start_at
+      ~opportunity:(Model.opportunity ~lifespan:80. ~interrupts:0)
+      ~policy:(Policy.non_adaptive ~committed:(Nonadaptive.equal_periods ~u:80. ~m:8))
+      ~owner:Adversary.none ()
+  in
+  let report = Nowsim.Farm.run params ~bag [ mk "b1" 0.; mk "b2" 5. ] in
+  Alcotest.(check int) "bag drained" 0 report.Nowsim.Farm.leftover_tasks;
+  (match report.Nowsim.Farm.summary.Nowsim.Metrics.makespan with
+   | Some t -> Alcotest.(check bool) "makespan recorded" true (t > 0. && t < 85.)
+   | None -> Alcotest.fail "expected makespan");
+  Alcotest.(check int) "both stations report" 2
+    (List.length report.Nowsim.Farm.per_station);
+  let total_tasks =
+    List.fold_left
+      (fun acc m -> acc + Nowsim.Metrics.tasks_completed m)
+      0 report.Nowsim.Farm.per_station
+  in
+  Alcotest.(check int) "200 tasks total" 200 total_tasks
+
+let test_farm_deterministic () =
+  let run () =
+    let bag = Workload.Task.bag_of_sizes (List.init 500 (fun _ -> 0.25)) in
+    let rng = Csutil.Rng.create ~seed:5 in
+    let mk name =
+      let u = 60. in
+      let trace = Workload.Interrupt_trace.poisson ~rng ~u ~rate:0.05 ~p:2 in
+      Nowsim.Farm.spec ~name
+        ~opportunity:(Model.opportunity ~lifespan:u ~interrupts:2)
+        ~policy:Policy.adaptive_guideline
+        ~owner:(Workload.Interrupt_trace.to_adversary trace) ()
+    in
+    let report = Nowsim.Farm.run params ~bag [ mk "b1"; mk "b2"; mk "b3" ] in
+    report.Nowsim.Farm.summary
+  in
+  let s1 = run () and s2 = run () in
+  check_float "same work" s1.Nowsim.Metrics.total_model_work
+    s2.Nowsim.Metrics.total_model_work;
+  Alcotest.(check int) "same tasks" s1.Nowsim.Metrics.total_tasks
+    s2.Nowsim.Metrics.total_tasks;
+  Alcotest.(check int) "same interrupts" s1.Nowsim.Metrics.total_interrupts
+    s2.Nowsim.Metrics.total_interrupts
+
+let test_farm_empty_specs_rejected () =
+  let bag = Workload.Task.bag_of_sizes [ 1. ] in
+  (try
+     ignore (Nowsim.Farm.run params ~bag []);
+     Alcotest.fail "empty specs accepted"
+   with Invalid_argument _ -> ())
+
+(* --- Random-trace engine equivalence (E7, property form) ----------------- *)
+
+(* The game engine and the simulator implement the same semantics for
+   arbitrary interrupt traces, including mid-period kills: identical
+   work, episode counts and interrupt usage on random configurations. *)
+let prop_engines_agree_on_traces =
+  let arb =
+    QCheck.make
+      ~print:(fun (u, p, seed, pol) ->
+        Printf.sprintf "u=%g p=%d seed=%d policy=%d" u p seed pol)
+      QCheck.Gen.(
+        quad
+          (map (fun x -> 20. +. (x *. 400.)) (float_bound_exclusive 1.))
+          (0 -- 3) (0 -- 10_000) (0 -- 2))
+  in
+  QCheck.Test.make ~name:"sim = game engine on random traces" ~count:60 arb
+    (fun (u, p, seed, pol) ->
+      let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+      let policy =
+        match pol with
+        | 0 -> Policy.adaptive_guideline
+        | 1 -> Policy.adaptive_calibrated
+        | _ -> Policy.nonadaptive_guideline params opp
+      in
+      let rng = Csutil.Rng.create ~seed in
+      let trace = Workload.Interrupt_trace.uniform ~rng ~u:(0.99 *. u) ~a:p in
+      let game_outcome =
+        Game.run params opp policy (Workload.Interrupt_trace.to_adversary trace)
+      in
+      let report =
+        Nowsim.Farm.run_single params ~bag:(big_bag ()) ~opportunity:opp ~policy
+          ~owner:(Workload.Interrupt_trace.to_adversary trace) ()
+      in
+      let m = List.hd report.Nowsim.Farm.per_station in
+      Csutil.Float_ext.approx_eq ~rtol:1e-6 ~atol:1e-6 game_outcome.Game.work
+        (Nowsim.Metrics.model_work m)
+      && game_outcome.Game.interrupts_used = Nowsim.Metrics.interrupts m
+      && List.length game_outcome.Game.episodes = Nowsim.Metrics.episodes m)
+
+(* --- Stress / error paths ---------------------------------------------------- *)
+
+(* A 50-station farm with mixed owners: conservation per station and
+   bounded event counts. *)
+let test_large_farm_soak () =
+  let u = 150. in
+  let rng = Csutil.Rng.create ~seed:77 in
+  let opportunity = Model.opportunity ~lifespan:u ~interrupts:2 in
+  let specs =
+    List.init 50 (fun i ->
+        let owner =
+          match i mod 3 with
+          | 0 -> Adversary.none
+          | 1 ->
+            Workload.Interrupt_trace.to_adversary
+              (Workload.Interrupt_trace.poisson ~rng:(Csutil.Rng.split rng) ~u
+                 ~rate:0.02 ~p:2)
+          | _ -> Adversary.eager_tail
+        in
+        Nowsim.Farm.spec
+          ~name:(Printf.sprintf "s%02d" i)
+          ~start_at:(float_of_int (i mod 7))
+          ~opportunity ~policy:Policy.adaptive_guideline ~owner ())
+  in
+  let bag = Workload.Task.bag_of_sizes (List.init 200_000 (fun _ -> 0.05)) in
+  let report = Nowsim.Farm.run params ~bag specs in
+  Alcotest.(check int) "all stations" 50 (List.length report.Nowsim.Farm.per_station);
+  List.iter
+    (fun m ->
+       let used =
+         Nowsim.Metrics.model_work m +. Nowsim.Metrics.overhead_time m
+         +. Nowsim.Metrics.wasted_time m +. Nowsim.Metrics.idle_time m
+       in
+       check_float ~eps:1e-6 (Nowsim.Metrics.station m) u used)
+    report.Nowsim.Farm.per_station;
+  Alcotest.(check bool) "bounded events" true
+    (report.Nowsim.Farm.events_fired < 100_000)
+
+let test_sim_max_events_guard () =
+  let sim = Nowsim.Sim.create () in
+  (* A self-perpetuating zero-delay event: the runaway guard must trip. *)
+  let rec forever s = ignore (Nowsim.Sim.schedule_after s ~delay:0. forever) in
+  ignore (Nowsim.Sim.schedule sim ~at:0. forever);
+  (try
+     Nowsim.Sim.run ~max_events:1000 sim;
+     Alcotest.fail "runaway not caught"
+   with Failure _ -> ())
+
+let test_sim_reentrancy_rejected () =
+  let sim = Nowsim.Sim.create () in
+  let reentered = ref false in
+  ignore
+    (Nowsim.Sim.schedule sim ~at:1. (fun s ->
+         try Nowsim.Sim.run s with Invalid_argument _ -> reentered := true));
+  Nowsim.Sim.run sim;
+  Alcotest.(check bool) "re-entrance rejected" true !reentered
+
+let test_master_rejects_overrunning_policy () =
+  let bag = Workload.Task.bag_of_sizes [ 1. ] in
+  let opportunity = Model.opportunity ~lifespan:10. ~interrupts:0 in
+  let policy = Policy.make ~name:"overrun" ~plan:(fun _ -> Schedule.singleton 20.) in
+  (try
+     ignore
+       (Nowsim.Farm.run_single params ~bag ~opportunity ~policy
+          ~owner:Adversary.none ());
+     Alcotest.fail "overrun accepted"
+   with Invalid_argument _ -> ())
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "nowsim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "cancellation" `Quick test_queue_cancellation;
+          Alcotest.test_case "cancel idempotent" `Quick test_queue_cancel_idempotent;
+          Alcotest.test_case "peek skips cancelled" `Quick
+            test_queue_peek_skips_cancelled;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
+          Alcotest.test_case "chained scheduling" `Quick test_sim_schedule_during_run;
+          Alcotest.test_case "horizon" `Quick test_sim_until_horizon;
+          Alcotest.test_case "rejects past" `Quick test_sim_rejects_past;
+        ] );
+      ( "master",
+        [
+          Alcotest.test_case "uninterrupted accounting" `Quick
+            test_uninterrupted_run_accounting;
+          Alcotest.test_case "interrupted accounting" `Quick
+            test_interrupted_run_accounting;
+          Alcotest.test_case "kill returns tasks" `Quick
+            test_kill_returns_tasks_to_bag;
+          Alcotest.test_case "E7: matches game engine" `Slow
+            test_sim_matches_game_engine;
+          Alcotest.test_case "E7: stochastic above floor" `Slow
+            test_sim_stochastic_above_floor;
+          Alcotest.test_case "time conservation" `Quick test_time_conservation;
+          Alcotest.test_case "early return" `Quick test_early_return_with_small_bag;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "setup split" `Quick test_link_split;
+          Alcotest.test_case "compute window" `Quick test_link_compute_window;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "accounting" `Quick test_metrics_accounting ] );
+      ( "owner_model",
+        [
+          Alcotest.test_case "renewal respects budget" `Quick
+            test_renewal_owner_respects_budget;
+          Alcotest.test_case "slow renewal never fires" `Quick
+            test_renewal_owner_slow_never_fires;
+          Alcotest.test_case "day/night quiet window" `Quick
+            test_day_night_owner_quiet_window;
+          Alcotest.test_case "day/night validation" `Quick
+            test_day_night_validation;
+        ] );
+      ( "farm",
+        [
+          Alcotest.test_case "shared bag drains" `Quick test_farm_shared_bag_drains;
+          Alcotest.test_case "deterministic" `Quick test_farm_deterministic;
+          Alcotest.test_case "empty specs" `Quick test_farm_empty_specs_rejected;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "50-station soak" `Slow test_large_farm_soak;
+          Alcotest.test_case "runaway guard" `Quick test_sim_max_events_guard;
+          Alcotest.test_case "re-entrance" `Quick test_sim_reentrancy_rejected;
+          Alcotest.test_case "master overrun" `Quick
+            test_master_rejects_overrunning_policy;
+        ] );
+      ("props", qc [ prop_queue_sorted_output; prop_engines_agree_on_traces ]);
+    ]

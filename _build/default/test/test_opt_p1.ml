@@ -1,0 +1,182 @@
+(* Tests for the closed-form optimal 1-interrupt schedule S_opt^(1)[U]
+   (paper Section 5.2 and Table 2). *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let params = Model.params ~c:1.
+
+let test_m_formula_values () =
+  (* m^(1)[U] = ceil(sqrt(2U/c - 7/4) - 1/2). *)
+  Alcotest.(check int) "u=100" 14 (Opt_p1.m_formula params ~u:100.);
+  Alcotest.(check int) "u=50" 10 (Opt_p1.m_formula params ~u:50.);
+  (* Tiny u degenerates to 1. *)
+  Alcotest.(check int) "u tiny" 1 (Opt_p1.m_formula params ~u:0.5)
+
+let test_alpha_in_range () =
+  List.iter
+    (fun u ->
+       let m = Opt_p1.m_opt params ~u in
+       let a = Opt_p1.alpha params ~u ~m in
+       Alcotest.(check bool)
+         (Printf.sprintf "alpha(%g) = %g in (0,1]" u a)
+         true
+         (a > 0. && a <= 1.))
+    [ 5.; 10.; 47.; 100.; 1000.; 12345.; 100000. ]
+
+let test_schedule_sums_to_u () =
+  List.iter
+    (fun u ->
+       let s = Opt_p1.schedule params ~u in
+       check_float ~eps:1e-6 (Printf.sprintf "u=%g" u) u (Schedule.total s))
+    [ 1.; 2.; 3.; 10.; 100.; 999.; 10000. ]
+
+let test_schedule_structure () =
+  let u = 100. in
+  let s = Opt_p1.schedule params ~u in
+  let m = Schedule.length s in
+  Alcotest.(check int) "m matches m_opt" (Opt_p1.m_opt params ~u) m;
+  let a = Opt_p1.alpha params ~u ~m in
+  (* t_m = t_(m-1) = (1 + alpha) c. *)
+  check_float "t_m" (1. +. a) (Schedule.period s m);
+  check_float "t_(m-1)" (1. +. a) (Schedule.period s (m - 1));
+  (* t_k = (m - k + alpha) c for k <= m-2; increments of exactly c. *)
+  for k = 1 to m - 2 do
+    check_float
+      (Printf.sprintf "t_%d" k)
+      (float_of_int (m - k) +. a)
+      (Schedule.period s k)
+  done
+
+let test_degenerate_single_period () =
+  (* u <= 2c: Proposition 4.1(c) territory; one long period. *)
+  let s = Opt_p1.schedule params ~u:1.5 in
+  Alcotest.(check int) "single period" 1 (Schedule.length s);
+  check_float "total" 1.5 (Schedule.total s)
+
+let test_closed_form_value () =
+  (* Table 2: W(1)[U] ~ U - sqrt(2cU) - c/2. *)
+  check_float "u=100" (100. -. Float.sqrt 200. -. 0.5)
+    (Opt_p1.closed_form params ~u:100.);
+  check_float "clamps at 0" 0. (Opt_p1.closed_form params ~u:0.1)
+
+let test_exact_work_close_to_closed_form () =
+  List.iter
+    (fun u ->
+       let exact = Opt_p1.exact_work params ~u in
+       let approx = Opt_p1.closed_form params ~u in
+       Alcotest.(check bool)
+         (Printf.sprintf "u=%g: |%g - %g| <= c" u exact approx)
+         true
+         (Float.abs (exact -. approx) <= 1.))
+    [ 10.; 100.; 1000.; 10000. ]
+
+(* S_opt^(1) equalizes the adversary's options (the construction's whole
+   point): every last-instant kill before the terminal pair yields the
+   same opportunity work. *)
+let test_equalization () =
+  let u = 200. in
+  let s = Opt_p1.schedule params ~u in
+  let m = Schedule.length s in
+  let option_value k =
+    Schedule.work_before params s k
+    +. Model.positive_sub (u -. Schedule.end_time s k) 1.
+  in
+  let v1 = option_value 1 in
+  for k = 2 to m - 2 do
+    check_float ~eps:1e-9 (Printf.sprintf "option %d equal" k) v1 (option_value k)
+  done
+
+(* S_opt^(1) is at least as good as every other schedule we can easily
+   construct, and in particular beats the non-adaptive guideline. *)
+let test_beats_alternatives () =
+  let u = 500. in
+  let w s = Opt_p1.exact_work_of_schedule params ~u s in
+  let w_opt = w (Opt_p1.schedule params ~u) in
+  Alcotest.(check bool) "beats equal periods" true
+    (w_opt >= w (Nonadaptive.equal_periods ~u ~m:22) -. 1e-9);
+  Alcotest.(check bool) "beats one long period" true
+    (w_opt >= w (Schedule.singleton u));
+  Alcotest.(check bool) "beats adaptive guideline episode" true
+    (w_opt >= w (Adaptive.episode_schedule params ~p:1 ~residual:u) -. 1e-9)
+
+(* Against the exact integer DP: S_opt^(1)'s guaranteed work matches the
+   true optimum W(1)[U] within O(c) grid noise. *)
+let test_matches_dp_optimum () =
+  let dp = Dp.solve ~c:1 ~max_p:1 ~max_l:2000 in
+  List.iter
+    (fun l ->
+       let u = float_of_int l in
+       let exact = Opt_p1.exact_work params ~u in
+       let opt = float_of_int (Dp.value dp ~p:1 ~l) in
+       Alcotest.(check bool)
+         (Printf.sprintf "l=%d: |%g - %g| <= 2c" l exact opt)
+         true
+         (Float.abs (exact -. opt) <= 2.))
+    [ 50; 100; 500; 1000; 2000 ]
+
+(* Scale invariance: the construction commutes with rescaling time by c
+   (a schedule for (u, c) is c times the schedule for (u/c, 1)). *)
+let test_scale_invariance () =
+  let c = 7. in
+  let params_c = Model.params ~c in
+  let u = 350. in
+  let s_scaled = Opt_p1.schedule params_c ~u in
+  let s_unit = Opt_p1.schedule params ~u:(u /. c) in
+  Alcotest.(check int) "same m" (Schedule.length s_unit) (Schedule.length s_scaled);
+  for k = 1 to Schedule.length s_unit do
+    check_float ~eps:1e-9
+      (Printf.sprintf "t_%d scales" k)
+      (c *. Schedule.period s_unit k)
+      (Schedule.period s_scaled k)
+  done
+
+(* --- QCheck properties -------------------------------------------------- *)
+
+let arb_u =
+  QCheck.make
+    ~print:(Printf.sprintf "%g")
+    QCheck.Gen.(map (fun x -> 2.5 +. (x *. 5000.)) (float_bound_exclusive 1.))
+
+let prop_alpha_range =
+  QCheck.Test.make ~name:"alpha in (0,1] for m_opt" ~count:300 arb_u (fun u ->
+      let a = Opt_p1.alpha params ~u ~m:(Opt_p1.m_opt params ~u) in
+      a > 0. && a <= 1.)
+
+let prop_sums_to_u =
+  QCheck.Test.make ~name:"schedule sums to u" ~count:300 arb_u (fun u ->
+      Csutil.Float_ext.approx_eq ~rtol:1e-9 ~atol:1e-6 u
+        (Schedule.total (Opt_p1.schedule params ~u)))
+
+let prop_exact_work_dominates_guideline =
+  QCheck.Test.make ~name:"S_opt >= S_a under one interrupt" ~count:100 arb_u
+    (fun u ->
+      Opt_p1.exact_work params ~u
+      >= Opt_p1.exact_work_of_schedule params ~u
+           (Adaptive.episode_schedule params ~p:1 ~residual:u)
+         -. 1e-9)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "opt_p1"
+    [
+      ( "opt_p1",
+        [
+          Alcotest.test_case "m formula" `Quick test_m_formula_values;
+          Alcotest.test_case "alpha range" `Quick test_alpha_in_range;
+          Alcotest.test_case "sums to u" `Quick test_schedule_sums_to_u;
+          Alcotest.test_case "structure" `Quick test_schedule_structure;
+          Alcotest.test_case "degenerate" `Quick test_degenerate_single_period;
+          Alcotest.test_case "closed form" `Quick test_closed_form_value;
+          Alcotest.test_case "exact vs closed form" `Quick
+            test_exact_work_close_to_closed_form;
+          Alcotest.test_case "equalization" `Quick test_equalization;
+          Alcotest.test_case "beats alternatives" `Quick test_beats_alternatives;
+          Alcotest.test_case "matches DP optimum" `Quick test_matches_dp_optimum;
+          Alcotest.test_case "scale invariance" `Quick test_scale_invariance;
+        ] );
+      ( "props",
+        qc [ prop_alpha_range; prop_sums_to_u; prop_exact_work_dominates_guideline ] );
+    ]

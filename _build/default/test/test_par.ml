@@ -1,0 +1,111 @@
+(* Tests for the domain-parallel helpers and their users. *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+(* --- Par.map --------------------------------------------------------------- *)
+
+let test_map_matches_sequential () =
+  let a = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun domains ->
+       Alcotest.(check (array int))
+         (Printf.sprintf "domains=%d" domains)
+         (Array.map f a)
+         (Csutil.Par.map ~domains f a))
+    [ 1; 2; 3; 7; 16 ]
+
+let test_map_empty_and_small () =
+  Alcotest.(check (array int)) "empty" [||] (Csutil.Par.map ~domains:4 succ [||]);
+  Alcotest.(check (array int)) "singleton" [| 2 |]
+    (Csutil.Par.map ~domains:8 succ [| 1 |]);
+  (* More domains than elements is fine. *)
+  Alcotest.(check (array int)) "n < domains" [| 2; 3 |]
+    (Csutil.Par.map ~domains:16 succ [| 1; 2 |])
+
+let test_map_validation () =
+  (try
+     ignore (Csutil.Par.map ~domains:0 succ [| 1 |]);
+     Alcotest.fail "domains=0 accepted"
+   with Invalid_argument _ -> ())
+
+let test_map_actually_spans_domains () =
+  (* Each element records the executing domain id; with 4 domains over
+     4000 elements at least 2 distinct ids must appear (scheduler
+     permitting; recommended_domain_count >= 2 on the test machines --
+     skip silently on single-core). *)
+  if Csutil.Par.available_domains () >= 2 then begin
+    let ids =
+      Csutil.Par.map ~domains:4
+        (fun _ -> (Domain.self () :> int))
+        (Array.make 4000 ())
+    in
+    let distinct = List.sort_uniq compare (Array.to_list ids) in
+    Alcotest.(check bool) "multiple domains used" true (List.length distinct >= 2)
+  end
+
+let test_init_and_map_reduce () =
+  Alcotest.(check (array int)) "init" [| 0; 2; 4; 6 |]
+    (Csutil.Par.init ~domains:2 4 (fun i -> 2 * i));
+  let total =
+    Csutil.Par.map_reduce ~domains:4 ~map:(fun x -> x * x) ~combine:( + )
+      ~init:0
+      (Array.init 100 succ)
+  in
+  Alcotest.(check int) "sum of squares" 338350 total
+
+(* --- Parallel Monte Carlo ---------------------------------------------------- *)
+
+let params = Model.params ~c:1.
+
+let test_mc_par_deterministic () =
+  let risk = Expected.exponential ~rate:0.02 in
+  let s = Schedule.of_list [ 20.; 15.; 10.; 5. ] in
+  let a = Expected.monte_carlo_expected_par ~domains:4 params risk s ~seed:9 ~samples:10_000 in
+  let b = Expected.monte_carlo_expected_par ~domains:4 params risk s ~seed:9 ~samples:10_000 in
+  check_float "same seed, same estimate" a b
+
+let test_mc_par_matches_exact () =
+  let risk = Expected.exponential ~rate:0.02 in
+  let s = Schedule.of_list [ 20.; 15.; 10.; 5. ] in
+  let exact = Expected.expected_work params risk s in
+  List.iter
+    (fun domains ->
+       let est =
+         Expected.monte_carlo_expected_par ~domains params risk s ~seed:5
+           ~samples:60_000
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "domains=%d: %g ~ %g" domains est exact)
+         true
+         (Float.abs (est -. exact) < 0.05 *. exact))
+    [ 1; 2; 4 ]
+
+let test_mc_par_small_samples () =
+  let risk = Expected.uniform ~horizon:50. in
+  let s = Schedule.of_list [ 10.; 10. ] in
+  (* samples < domains must still work. *)
+  let est = Expected.monte_carlo_expected_par ~domains:8 params risk s ~seed:1 ~samples:3 in
+  Alcotest.(check bool) "finite" true (Float.is_finite est && est >= 0.)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "par",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "empty and small" `Quick test_map_empty_and_small;
+          Alcotest.test_case "validation" `Quick test_map_validation;
+          Alcotest.test_case "spans domains" `Quick test_map_actually_spans_domains;
+          Alcotest.test_case "init / map_reduce" `Quick test_init_and_map_reduce;
+        ] );
+      ( "monte carlo",
+        [
+          Alcotest.test_case "deterministic" `Quick test_mc_par_deterministic;
+          Alcotest.test_case "matches exact" `Slow test_mc_par_matches_exact;
+          Alcotest.test_case "samples < domains" `Quick test_mc_par_small_samples;
+        ] );
+    ]

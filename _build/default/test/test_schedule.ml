@@ -1,0 +1,260 @@
+(* Tests for episode schedules (paper Section 2.2) and the structural
+   theorems 4.1 / 4.2. *)
+
+open Cyclesteal
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let params = Model.params ~c:1.
+
+let test_construction_and_accessors () =
+  let s = Schedule.of_list [ 3.; 2.; 5. ] in
+  Alcotest.(check int) "length" 3 (Schedule.length s);
+  check_float "total" 10. (Schedule.total s);
+  check_float "t_1" 3. (Schedule.period s 1);
+  check_float "t_3" 5. (Schedule.period s 3);
+  check_float "T_0" 0. (Schedule.start_time s 1);
+  check_float "T_1" 3. (Schedule.start_time s 2);
+  check_float "T_2" 5. (Schedule.end_time s 2);
+  check_float "T_3" 10. (Schedule.end_time s 3)
+
+let test_validation () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Schedule: a schedule needs at least one period")
+    (fun () -> ignore (Schedule.of_list []));
+  (try
+     ignore (Schedule.of_list [ 1.; 0.; 2. ]);
+     Alcotest.fail "expected rejection of zero-length period"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Schedule.of_list [ 1.; Float.nan ]);
+     Alcotest.fail "expected rejection of NaN period"
+   with Invalid_argument _ -> ())
+
+let test_index_bounds () =
+  let s = Schedule.of_list [ 1.; 1. ] in
+  (try
+     ignore (Schedule.period s 0);
+     Alcotest.fail "index 0 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Schedule.period s 3);
+     Alcotest.fail "index m+1 accepted"
+   with Invalid_argument _ -> ())
+
+let test_work_accounting () =
+  let s = Schedule.of_list [ 3.; 0.5; 2. ] in
+  (* c = 1: contributions 2, 0 (clamped), 1. *)
+  check_float "uninterrupted" 3. (Schedule.work_if_uninterrupted params s);
+  check_float "before 1" 0. (Schedule.work_before params s 1);
+  check_float "before 2" 2. (Schedule.work_before params s 2);
+  check_float "before 3" 2. (Schedule.work_before params s 3);
+  check_float "before m+1 = full" 3. (Schedule.work_before params s 4)
+
+let test_periods_copy_is_defensive () =
+  let s = Schedule.of_list [ 1.; 2. ] in
+  let a = Schedule.periods s in
+  a.(0) <- 99.;
+  check_float "internal state unchanged" 1. (Schedule.period s 1)
+
+let test_productivity_predicates () =
+  let s_prod = Schedule.of_list [ 2.; 3.; 0.5 ] in
+  Alcotest.(check bool) "nonterminal > c" true (Schedule.is_productive params s_prod);
+  Alcotest.(check bool) "terminal may be short" false
+    (Schedule.is_fully_productive params s_prod);
+  let s_bad = Schedule.of_list [ 0.5; 3. ] in
+  Alcotest.(check bool) "short nonterminal" false
+    (Schedule.is_productive params s_bad);
+  let s_full = Schedule.of_list [ 2.; 3. ] in
+  Alcotest.(check bool) "fully productive" true
+    (Schedule.is_fully_productive params s_full)
+
+(* Theorem 4.1: the productive transformation preserves total length and
+   never decreases uninterrupted work. *)
+let test_make_productive () =
+  let s = Schedule.of_list [ 0.5; 0.4; 3.; 0.9; 2.; 0.3 ] in
+  let s' = Schedule.make_productive params s in
+  Alcotest.(check bool) "result productive" true (Schedule.is_productive params s');
+  check_float "total preserved" (Schedule.total s) (Schedule.total s');
+  Alcotest.(check bool) "work not decreased" true
+    (Schedule.work_if_uninterrupted params s'
+     >= Schedule.work_if_uninterrupted params s -. 1e-12)
+
+let test_make_productive_idempotent () =
+  let s = Schedule.of_list [ 2.; 3.; 1.5 ] in
+  let s' = Schedule.make_productive params s in
+  Alcotest.(check bool) "unchanged" true (Schedule.equal s s')
+
+let test_make_productive_all_short () =
+  (* Everything merges into one period. *)
+  let s = Schedule.of_list [ 0.3; 0.3; 0.3 ] in
+  let s' = Schedule.make_productive params s in
+  Alcotest.(check int) "single period" 1 (Schedule.length s');
+  check_float "total" 0.9 (Schedule.total s')
+
+(* Theorem 4.2: splitting a period in two halves preserves the total and,
+   for a period of length > 2c, strictly increases uninterrupted work. *)
+let test_split_period () =
+  let s = Schedule.of_list [ 6.; 2. ] in
+  let s' = Schedule.split_period s ~k:1 in
+  Alcotest.(check int) "m+1 periods" 3 (Schedule.length s');
+  check_float "total preserved" (Schedule.total s) (Schedule.total s');
+  check_float "halves" 3. (Schedule.period s' 1);
+  check_float "halves" 3. (Schedule.period s' 2);
+  check_float "rest shifted" 2. (Schedule.period s' 3);
+  (* work: before 6-1+2-1 = 6; after 2+2+1 = 5?  No: splitting ADDS a c.
+     Theorem 4.2 is about *worst-case* work of immune periods, not
+     uninterrupted work; uninterrupted work decreases by c. *)
+  check_float "uninterrupted work drops by c"
+    (Schedule.work_if_uninterrupted params s -. 1.)
+    (Schedule.work_if_uninterrupted params s')
+
+(* Theorem 4.2's actual claim, checked semantically: against one
+   interrupt, halving a long first period does not decrease the
+   schedule's guaranteed work. *)
+let test_split_improves_worst_case () =
+  let u = 20. in
+  let s = Schedule.of_list [ 12.; 4.; 4. ] in
+  let split = Schedule.split_period s ~k:1 in
+  let w s = Opt_p1.exact_work_of_schedule params ~u s in
+  Alcotest.(check bool) "split no worse" true (w split >= w s -. 1e-12)
+
+let test_tail () =
+  let s = Schedule.of_list [ 1.; 2.; 3. ] in
+  (match Schedule.tail s ~from:2 with
+   | Some t ->
+     Alcotest.(check int) "tail length" 2 (Schedule.length t);
+     check_float "tail first" 2. (Schedule.period t 1)
+   | None -> Alcotest.fail "tail expected");
+  (match Schedule.tail s ~from:4 with
+   | None -> ()
+   | Some _ -> Alcotest.fail "empty tail expected");
+  (try
+     ignore (Schedule.tail s ~from:5);
+     Alcotest.fail "out-of-range accepted"
+   with Invalid_argument _ -> ())
+
+let test_append () =
+  let s = Schedule.append (Schedule.of_list [ 1. ]) 2. in
+  Alcotest.(check int) "length" 2 (Schedule.length s);
+  check_float "appended" 2. (Schedule.period s 2);
+  (try
+     ignore (Schedule.append s 0.);
+     Alcotest.fail "zero append accepted"
+   with Invalid_argument _ -> ())
+
+let test_equal () =
+  let a = Schedule.of_list [ 1.; 2. ] and b = Schedule.of_list [ 1.; 2. +. 1e-12 ] in
+  Alcotest.(check bool) "approx equal" true (Schedule.equal a b);
+  Alcotest.(check bool) "different lengths" false
+    (Schedule.equal a (Schedule.of_list [ 3. ]));
+  Alcotest.(check bool) "different values" false
+    (Schedule.equal a (Schedule.of_list [ 1.; 3. ]))
+
+(* --- QCheck properties -------------------------------------------------- *)
+
+let periods_gen =
+  QCheck.Gen.(
+    list_size (1 -- 20) (map (fun x -> 0.1 +. (x *. 10.)) (float_bound_exclusive 1.)))
+
+let arb_periods = QCheck.make ~print:QCheck.Print.(list float) periods_gen
+
+let prop_prefix_sums_consistent =
+  QCheck.Test.make ~name:"start/end times consistent with periods" ~count:200
+    arb_periods (fun l ->
+      let s = Schedule.of_list l in
+      let ok = ref true in
+      for k = 1 to Schedule.length s do
+        if
+          not
+            (Csutil.Float_ext.approx_eq
+               (Schedule.end_time s k -. Schedule.start_time s k)
+               (Schedule.period s k))
+        then ok := false
+      done;
+      !ok
+      && Csutil.Float_ext.approx_eq (Schedule.total s)
+           (Schedule.end_time s (Schedule.length s)))
+
+let prop_work_before_monotone =
+  QCheck.Test.make ~name:"work_before is monotone in k" ~count:200 arb_periods
+    (fun l ->
+      let s = Schedule.of_list l in
+      let ok = ref true in
+      for k = 1 to Schedule.length s do
+        if Schedule.work_before params s k > Schedule.work_before params s (k + 1) +. 1e-12
+        then ok := false
+      done;
+      !ok)
+
+let prop_make_productive_invariants =
+  QCheck.Test.make ~name:"Thm 4.1 transformation invariants" ~count:200
+    arb_periods (fun l ->
+      let s = Schedule.of_list l in
+      let s' = Schedule.make_productive params s in
+      Schedule.is_productive params s'
+      && Csutil.Float_ext.approx_eq (Schedule.total s) (Schedule.total s')
+      && Schedule.work_if_uninterrupted params s'
+         >= Schedule.work_if_uninterrupted params s -. 1e-9)
+
+(* Theorem 4.1's actual claim: the productive transformation does not
+   decrease *worst-case* work production, for any interrupt budget
+   (evaluated with the exact non-adaptive adversary DP over the same
+   lifespan). *)
+let prop_make_productive_preserves_worst_case =
+  QCheck.Test.make ~name:"Thm 4.1 preserves worst-case work" ~count:150
+    QCheck.(pair arb_periods (int_bound 3))
+    (fun (l, p) ->
+      let s = Schedule.of_list l in
+      let u = Schedule.total s in
+      let s' = Schedule.make_productive params s in
+      let w, _ = Nonadaptive.worst_case params ~u ~p s in
+      let w', _ = Nonadaptive.worst_case params ~u ~p s' in
+      w' >= w -. 1e-9)
+
+let prop_split_preserves_total =
+  QCheck.Test.make ~name:"Thm 4.2 split preserves total" ~count:200
+    QCheck.(pair arb_periods small_nat)
+    (fun (l, kraw) ->
+      let s = Schedule.of_list l in
+      let k = 1 + (kraw mod Schedule.length s) in
+      let s' = Schedule.split_period s ~k in
+      Schedule.length s' = Schedule.length s + 1
+      && Csutil.Float_ext.approx_eq (Schedule.total s) (Schedule.total s'))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "schedule"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "construction" `Quick test_construction_and_accessors;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "index bounds" `Quick test_index_bounds;
+          Alcotest.test_case "work accounting" `Quick test_work_accounting;
+          Alcotest.test_case "defensive copies" `Quick test_periods_copy_is_defensive;
+          Alcotest.test_case "productivity predicates" `Quick
+            test_productivity_predicates;
+          Alcotest.test_case "Thm 4.1 make_productive" `Quick test_make_productive;
+          Alcotest.test_case "make_productive idempotent" `Quick
+            test_make_productive_idempotent;
+          Alcotest.test_case "make_productive all short" `Quick
+            test_make_productive_all_short;
+          Alcotest.test_case "Thm 4.2 split" `Quick test_split_period;
+          Alcotest.test_case "split improves worst case" `Quick
+            test_split_improves_worst_case;
+          Alcotest.test_case "tail" `Quick test_tail;
+          Alcotest.test_case "append" `Quick test_append;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "props",
+        qc
+          [
+            prop_prefix_sums_consistent;
+            prop_work_before_monotone;
+            prop_make_productive_invariants;
+            prop_make_productive_preserves_worst_case;
+            prop_split_preserves_total;
+          ] );
+    ]

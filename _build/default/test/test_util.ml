@@ -1,0 +1,242 @@
+(* Tests for the utility substrate: Float_ext, Stats, Table, Rng. *)
+
+open Csutil
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+(* --- Float_ext --------------------------------------------------------- *)
+
+let test_positive_sub () =
+  check_float "x > y" 3. (Float_ext.positive_sub 5. 2.);
+  check_float "x = y" 0. (Float_ext.positive_sub 2. 2.);
+  check_float "x < y clamps" 0. (Float_ext.positive_sub 1. 2.);
+  check_float "negative x" 0. (Float_ext.positive_sub (-1.) 2.)
+
+let test_approx_eq () =
+  Alcotest.(check bool) "exact" true (Float_ext.approx_eq 1. 1.);
+  Alcotest.(check bool) "within rtol" true (Float_ext.approx_eq 1e12 (1e12 +. 1.));
+  Alcotest.(check bool) "outside" false (Float_ext.approx_eq 1. 2.);
+  Alcotest.(check bool) "near zero atol" true (Float_ext.approx_eq 0. 1e-12)
+
+let test_sum_kahan () =
+  (* Many tiny values plus a large one: naive summation loses the tiny
+     ones; Kahan keeps them. *)
+  let a = Array.make 10_001 1e-8 in
+  a.(0) <- 1e8;
+  let expected = 1e8 +. 1e-4 in
+  check_float ~eps:1e-7 "kahan" expected (Float_ext.sum a)
+
+let test_prefix_sums () =
+  let b = Float_ext.prefix_sums [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "length" 4 (Array.length b);
+  check_float "T0" 0. b.(0);
+  check_float "T1" 1. b.(1);
+  check_float "T2" 3. b.(2);
+  check_float "T3" 6. b.(3)
+
+let test_round_down_to () =
+  check_float "multiple" 10. (Float_ext.round_down_to ~grid:5. 10.);
+  check_float "rounds down" 10. (Float_ext.round_down_to ~grid:5. 14.9);
+  check_float "zero" 0. (Float_ext.round_down_to ~grid:5. 4.9)
+
+let test_clamp () =
+  check_float "below" 1. (Float_ext.clamp ~lo:1. ~hi:2. 0.);
+  check_float "inside" 1.5 (Float_ext.clamp ~lo:1. ~hi:2. 1.5);
+  check_float "above" 2. (Float_ext.clamp ~lo:1. ~hi:2. 3.)
+
+(* --- Stats ------------------------------------------------------------- *)
+
+let test_mean_variance () =
+  let a = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Stats.mean a);
+  check_float "variance" (32. /. 7.) (Stats.variance a);
+  check_float "stddev" (Float.sqrt (32. /. 7.)) (Stats.stddev a)
+
+let test_variance_singleton () = check_float "singleton" 0. (Stats.variance [| 42. |])
+
+let test_quantile () =
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Stats.median a);
+  check_float "q0" 1. (Stats.quantile a 0.);
+  check_float "q1" 5. (Stats.quantile a 1.);
+  check_float "q25 interpolates" 2. (Stats.quantile a 0.25)
+
+let test_quantile_unsorted_input () =
+  let a = [| 5.; 1.; 4.; 2.; 3. |] in
+  check_float "median of unsorted" 3. (Stats.median a)
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_accumulator_matches_batch () =
+  let samples = Array.init 100 (fun i -> Float.sin (float_of_int i)) in
+  let acc = Stats.Accumulator.create () in
+  Array.iter (Stats.Accumulator.add acc) samples;
+  check_float "count" 100. (float_of_int (Stats.Accumulator.count acc));
+  check_float ~eps:1e-9 "mean" (Stats.mean samples) (Stats.Accumulator.mean acc);
+  check_float ~eps:1e-9 "variance" (Stats.variance samples)
+    (Stats.Accumulator.variance acc);
+  let mn, mx = Stats.min_max samples in
+  check_float "min" mn (Stats.Accumulator.min acc);
+  check_float "max" mx (Stats.Accumulator.max acc)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ -1.; 0.; 0.5; 5.; 9.99; 10.; 42. ];
+  Alcotest.(check int) "total" 7 (Stats.Histogram.total h);
+  Alcotest.(check int) "underflow" 1 (Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Stats.Histogram.overflow h);
+  let counts = Stats.Histogram.counts h in
+  Alcotest.(check int) "bin 0" 2 counts.(0);
+  Alcotest.(check int) "bin 5" 1 counts.(5);
+  Alcotest.(check int) "bin 9" 1 counts.(9);
+  check_float "midpoint" 0.5 (Stats.Histogram.midpoint h 0)
+
+(* --- Table ------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "10"; "20" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  (* Rows must appear in insertion order. *)
+  let first_row = String.index s '1' in
+  let second_row = String.index s '0' in
+  Alcotest.(check bool) "order" true (first_row < second_row)
+
+(* Minimal substring containment check (avoids extra dependencies). *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_csv_escaping () =
+  let t = Table.create [ "x" ] in
+  Table.add_row t [ "plain" ];
+  Table.add_row t [ "has,comma" ];
+  Table.add_row t [ "has\"quote" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "comma quoted" true (contains ~sub:"\"has,comma\"" csv);
+  Alcotest.(check bool) "quote doubled" true (contains ~sub:"\"has\"\"quote\"" csv);
+  Alcotest.(check bool) "plain untouched" true (contains ~sub:"\nplain\n" csv)
+
+let test_table_mismatched_row () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "row arity"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+(* --- Rng --------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float01 a) (Rng.float01 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.float01 a = Rng.float01 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_copy_independent () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.float01 a);
+  let b = Rng.copy a in
+  check_float "copies aligned" (Rng.float01 a) (Rng.float01 b)
+
+let test_rng_ranges () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float01 rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.);
+    let n = Rng.int rng ~bound:10 in
+    Alcotest.(check bool) "int in range" true (n >= 0 && n < 10);
+    let e = Rng.exponential rng ~rate:2. in
+    Alcotest.(check bool) "exp positive" true (e >= 0.);
+    let p = Rng.pareto rng ~xm:1. ~alpha:2. in
+    Alcotest.(check bool) "pareto >= xm" true (p >= 1.)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~rate:0.5
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 2"
+    true
+    (Float.abs (mean -. 2.) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted;
+  Alcotest.(check bool) "actually moved" true (a <> Array.init 50 Fun.id)
+
+(* QCheck properties. *)
+let prop_positive_sub_nonneg =
+  QCheck.Test.make ~name:"positive_sub is non-negative" ~count:500
+    QCheck.(pair (float_bound_exclusive 1e6) (float_bound_exclusive 1e6))
+    (fun (x, y) -> Float_ext.positive_sub x y >= 0.)
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~name:"quantiles stay within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_bound_exclusive 1e3)) (float_bound_inclusive 1.))
+    (fun (l, q) ->
+      let a = Array.of_list l in
+      let v = Stats.quantile a q in
+      let mn, mx = Stats.min_max a in
+      v >= mn -. 1e-9 && v <= mx +. 1e-9)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "float_ext",
+        [
+          Alcotest.test_case "positive_sub" `Quick test_positive_sub;
+          Alcotest.test_case "approx_eq" `Quick test_approx_eq;
+          Alcotest.test_case "kahan sum" `Quick test_sum_kahan;
+          Alcotest.test_case "prefix sums" `Quick test_prefix_sums;
+          Alcotest.test_case "round_down_to" `Quick test_round_down_to;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+          Alcotest.test_case "singleton variance" `Quick test_variance_singleton;
+          Alcotest.test_case "quantiles" `Quick test_quantile;
+          Alcotest.test_case "quantile unsorted" `Quick test_quantile_unsorted_input;
+          Alcotest.test_case "empty raises" `Quick test_empty_raises;
+          Alcotest.test_case "accumulator" `Quick test_accumulator_matches_batch;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "csv escaping" `Quick test_table_csv_escaping;
+          Alcotest.test_case "row arity" `Quick test_table_mismatched_row;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ("props", qc [ prop_positive_sub_nonneg; prop_quantile_bounds ]);
+    ]

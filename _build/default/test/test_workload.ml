@@ -1,0 +1,284 @@
+(* Tests for the workload substrate: distributions, task bags, period
+   packing and interrupt traces. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let rng () = Csutil.Rng.create ~seed:2024
+
+(* --- Distributions ------------------------------------------------------- *)
+
+let test_distribution_validation () =
+  (try
+     ignore (Workload.Distribution.constant 0.);
+     Alcotest.fail "constant 0 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Workload.Distribution.uniform ~lo:2. ~hi:1.);
+     Alcotest.fail "inverted uniform accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Workload.Distribution.pareto ~xm:1. ~alpha:0.);
+     Alcotest.fail "alpha 0 accepted"
+   with Invalid_argument _ -> ())
+
+let test_constant_sampling () =
+  let d = Workload.Distribution.constant 2.5 in
+  let r = rng () in
+  for _ = 1 to 10 do
+    check_float "constant" 2.5 (Workload.Distribution.sample d r)
+  done;
+  check_float "mean" 2.5 (Workload.Distribution.mean d)
+
+let test_uniform_sampling_bounds () =
+  let d = Workload.Distribution.uniform ~lo:1. ~hi:3. in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let x = Workload.Distribution.sample d r in
+    Alcotest.(check bool) "in range" true (x >= 1. && x < 3.)
+  done;
+  check_float "mean" 2. (Workload.Distribution.mean d)
+
+let test_sample_means_near_analytic () =
+  let r = rng () in
+  let n = 20_000 in
+  List.iter
+    (fun d ->
+       let acc = ref 0. in
+       for _ = 1 to n do
+         acc := !acc +. Workload.Distribution.sample d r
+       done;
+       let sample_mean = !acc /. float_of_int n in
+       let expected = Workload.Distribution.mean d in
+       Alcotest.(check bool)
+         (Format.asprintf "%a: %g vs %g" Workload.Distribution.pp d sample_mean
+            expected)
+         true
+         (Float.abs (sample_mean -. expected) /. expected < 0.1))
+    [
+      Workload.Distribution.uniform ~lo:1. ~hi:5.;
+      Workload.Distribution.exponential ~mean:3.;
+      Workload.Distribution.pareto ~xm:1. ~alpha:3.;
+    ]
+
+let test_pareto_infinite_mean () =
+  let d = Workload.Distribution.pareto ~xm:1. ~alpha:0.9 in
+  Alcotest.(check bool) "infinite" true
+    (Workload.Distribution.mean d = Float.infinity)
+
+let test_truncated_normal_floor () =
+  let d = Workload.Distribution.truncated_normal ~mean:1. ~stddev:5. ~lo:0.5 in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above floor" true
+      (Workload.Distribution.sample d r >= 0.5)
+  done
+
+(* --- Task bags ------------------------------------------------------------ *)
+
+let test_bag_fifo_order () =
+  let bag = Workload.Task.bag_of_sizes [ 1.; 2.; 3. ] in
+  (match Workload.Task.pop bag with
+   | Some t ->
+     Alcotest.(check int) "first id" 0 (Workload.Task.id t);
+     check_float "first size" 1. (Workload.Task.size t)
+   | None -> Alcotest.fail "pop failed");
+  (match Workload.Task.pop bag with
+   | Some t -> check_float "second size" 2. (Workload.Task.size t)
+   | None -> Alcotest.fail "pop failed")
+
+let test_bag_accounting () =
+  let bag = Workload.Task.bag_of_sizes [ 1.; 2.; 3. ] in
+  check_float "remaining work" 6. (Workload.Task.remaining_work bag);
+  Alcotest.(check int) "count" 3 (Workload.Task.remaining_count bag);
+  ignore (Workload.Task.pop bag);
+  check_float "after pop" 5. (Workload.Task.remaining_work bag);
+  Alcotest.(check bool) "not empty" false (Workload.Task.is_empty bag)
+
+let test_bag_push_front () =
+  let bag = Workload.Task.bag_of_sizes [ 1.; 2. ] in
+  let t1 = Option.get (Workload.Task.pop bag) in
+  Workload.Task.push_front bag [ t1 ];
+  (match Workload.Task.peek bag with
+   | Some t -> Alcotest.(check int) "returned to front" (Workload.Task.id t1) (Workload.Task.id t)
+   | None -> Alcotest.fail "peek failed");
+  check_float "work restored" 3. (Workload.Task.remaining_work bag)
+
+let test_generate () =
+  let r = rng () in
+  let bag =
+    Workload.Task.generate ~rng:r ~dist:(Workload.Distribution.constant 2.) ~n:5
+  in
+  Alcotest.(check int) "count" 5 (Workload.Task.remaining_count bag);
+  check_float "total" 10. (Workload.Task.remaining_work bag)
+
+let test_generate_total () =
+  let r = rng () in
+  let bag =
+    Workload.Task.generate_total ~rng:r
+      ~dist:(Workload.Distribution.uniform ~lo:1. ~hi:2.) ~total:50.
+  in
+  Alcotest.(check bool) "at least the target" true
+    (Workload.Task.remaining_work bag >= 50.);
+  Alcotest.(check bool) "no overshoot beyond one task" true
+    (Workload.Task.remaining_work bag < 52.)
+
+(* --- Packing --------------------------------------------------------------- *)
+
+let test_pack_greedy_fifo () =
+  let bag = Workload.Task.bag_of_sizes [ 2.; 3.; 4.; 1. ] in
+  let packed = Workload.Packing.pack bag ~budget:6. in
+  (* Takes 2, 3 (sum 5); 4 does not fit; stops (FIFO, no skipping). *)
+  Alcotest.(check int) "tasks taken" 2 (List.length packed.Workload.Packing.tasks);
+  check_float "used" 5. packed.Workload.Packing.used;
+  check_float "fragmentation" 1. (Workload.Packing.fragmentation packed);
+  Alcotest.(check int) "bag keeps rest" 2 (Workload.Task.remaining_count bag)
+
+let test_pack_zero_budget () =
+  let bag = Workload.Task.bag_of_sizes [ 1. ] in
+  let packed = Workload.Packing.pack bag ~budget:0. in
+  Alcotest.(check int) "nothing packed" 0 (List.length packed.Workload.Packing.tasks);
+  Alcotest.(check int) "bag untouched" 1 (Workload.Task.remaining_count bag)
+
+let test_pack_exact_fit () =
+  let bag = Workload.Task.bag_of_sizes [ 2.; 4. ] in
+  let packed = Workload.Packing.pack bag ~budget:6. in
+  Alcotest.(check int) "both" 2 (List.length packed.Workload.Packing.tasks);
+  check_float "no fragmentation" 0. (Workload.Packing.fragmentation packed)
+
+let test_unpack_restores () =
+  let bag = Workload.Task.bag_of_sizes [ 2.; 3.; 4. ] in
+  let packed = Workload.Packing.pack bag ~budget:5. in
+  Workload.Packing.unpack bag packed;
+  check_float "work restored" 9. (Workload.Task.remaining_work bag);
+  (* Order restored too. *)
+  match Workload.Task.peek bag with
+  | Some t -> check_float "front is first task" 2. (Workload.Task.size t)
+  | None -> Alcotest.fail "peek failed"
+
+let test_pack_episode () =
+  let params = Cyclesteal.Model.params ~c:1. in
+  let bag = Workload.Task.bag_of_sizes (List.init 20 (fun _ -> 1.)) in
+  let s = Cyclesteal.Schedule.of_list [ 4.; 3.; 2. ] in
+  let packings = Workload.Packing.pack_episode params s bag in
+  Alcotest.(check int) "one packing per period" 3 (List.length packings);
+  let budgets = List.map (fun p -> p.Workload.Packing.budget) packings in
+  Alcotest.(check (list (float 1e-9))) "budgets are t - c" [ 3.; 2.; 1. ] budgets;
+  (* 6 unit tasks packed in total. *)
+  Alcotest.(check int) "bag residue" 14 (Workload.Task.remaining_count bag)
+
+(* --- Interrupt traces ------------------------------------------------------ *)
+
+let test_trace_validation () =
+  (try
+     ignore (Workload.Interrupt_trace.of_times ~u:10. [ 11. ]);
+     Alcotest.fail "time beyond lifespan accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Workload.Interrupt_trace.validate ~u:10. [ 3.; 3. ]);
+     Alcotest.fail "duplicate accepted"
+   with Invalid_argument _ -> ())
+
+let test_poisson_trace_caps_at_p () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let trace = Workload.Interrupt_trace.poisson ~rng:r ~u:100. ~rate:1. ~p:3 in
+    Alcotest.(check bool) "capped" true (List.length trace <= 3);
+    List.iter
+      (fun t -> Alcotest.(check bool) "in range" true (t > 0. && t < 100.))
+      trace
+  done
+
+let test_poisson_trace_strictly_increasing () =
+  let r = rng () in
+  let trace = Workload.Interrupt_trace.poisson ~rng:r ~u:1000. ~rate:0.1 ~p:20 in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "increasing" true (increasing trace)
+
+let test_uniform_trace () =
+  let r = rng () in
+  let trace = Workload.Interrupt_trace.uniform ~rng:r ~u:50. ~a:5 in
+  Alcotest.(check int) "exactly a" 5 (List.length trace)
+
+let test_shifts () =
+  let trace = Workload.Interrupt_trace.shifts ~u:100. ~fractions:[ 0.25; 0.75 ] in
+  Alcotest.(check (list (float 1e-9))) "times" [ 25.; 75. ] trace;
+  (try
+     ignore (Workload.Interrupt_trace.shifts ~u:100. ~fractions:[ 1.5 ]);
+     Alcotest.fail "fraction > 1 accepted"
+   with Invalid_argument _ -> ())
+
+(* --- QCheck ---------------------------------------------------------------- *)
+
+let prop_pack_within_budget =
+  QCheck.Test.make ~name:"packing never exceeds the budget" ~count:300
+    QCheck.(pair (list_of_size Gen.(0 -- 20) (float_range 0.1 5.)) (float_range 0. 20.))
+    (fun (sizes, budget) ->
+      let bag = Workload.Task.bag_of_sizes sizes in
+      let packed = Workload.Packing.pack bag ~budget in
+      packed.Workload.Packing.used <= budget +. 1e-9)
+
+let prop_pack_conserves_tasks =
+  QCheck.Test.make ~name:"pack + bag residue conserve tasks" ~count:300
+    QCheck.(pair (list_of_size Gen.(0 -- 20) (float_range 0.1 5.)) (float_range 0. 20.))
+    (fun (sizes, budget) ->
+      let bag = Workload.Task.bag_of_sizes sizes in
+      let packed = Workload.Packing.pack bag ~budget in
+      List.length packed.Workload.Packing.tasks + Workload.Task.remaining_count bag
+      = List.length sizes)
+
+let prop_unpack_roundtrip =
+  QCheck.Test.make ~name:"unpack restores remaining work" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 20) (float_range 0.1 5.)) (float_range 0. 20.))
+    (fun (sizes, budget) ->
+      let bag = Workload.Task.bag_of_sizes sizes in
+      let before = Workload.Task.remaining_work bag in
+      let packed = Workload.Packing.pack bag ~budget in
+      Workload.Packing.unpack bag packed;
+      Csutil.Float_ext.approx_eq before (Workload.Task.remaining_work bag))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "workload"
+    [
+      ( "distribution",
+        [
+          Alcotest.test_case "validation" `Quick test_distribution_validation;
+          Alcotest.test_case "constant" `Quick test_constant_sampling;
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_sampling_bounds;
+          Alcotest.test_case "sample means" `Slow test_sample_means_near_analytic;
+          Alcotest.test_case "pareto infinite mean" `Quick test_pareto_infinite_mean;
+          Alcotest.test_case "truncated normal floor" `Quick
+            test_truncated_normal_floor;
+        ] );
+      ( "task",
+        [
+          Alcotest.test_case "fifo order" `Quick test_bag_fifo_order;
+          Alcotest.test_case "accounting" `Quick test_bag_accounting;
+          Alcotest.test_case "push front" `Quick test_bag_push_front;
+          Alcotest.test_case "generate n" `Quick test_generate;
+          Alcotest.test_case "generate total" `Quick test_generate_total;
+        ] );
+      ( "packing",
+        [
+          Alcotest.test_case "greedy fifo" `Quick test_pack_greedy_fifo;
+          Alcotest.test_case "zero budget" `Quick test_pack_zero_budget;
+          Alcotest.test_case "exact fit" `Quick test_pack_exact_fit;
+          Alcotest.test_case "unpack" `Quick test_unpack_restores;
+          Alcotest.test_case "episode" `Quick test_pack_episode;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+          Alcotest.test_case "poisson cap" `Quick test_poisson_trace_caps_at_p;
+          Alcotest.test_case "poisson increasing" `Quick
+            test_poisson_trace_strictly_increasing;
+          Alcotest.test_case "uniform" `Quick test_uniform_trace;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+        ] );
+      ( "props",
+        qc [ prop_pack_within_budget; prop_pack_conserves_tasks; prop_unpack_roundtrip ] );
+    ]
