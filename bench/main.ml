@@ -828,6 +828,66 @@ let bechamel () =
     rows;
   emit table
 
+(* --- Service: cold vs warm table-cache throughput ---------------------------- *)
+
+(* The cschedd cache exists to amortize DP solves across queries; this
+   measures what that buys.  The cold pass answers every dp query with a
+   direct [Dp.solve] at the query's own bounds (what the library does
+   without the daemon); the warm pass answers the same queries from a
+   pre-warmed canonical table cache.  The queries spread over nearby
+   (p, L) so the whole set shares a handful of canonical tables. *)
+let service_bench () =
+  heading "Service -- cold vs warm table-cache throughput (cschedd)";
+  let queries =
+    List.init 60 (fun i ->
+        Service.Protocol.Dp_query
+          {
+            c_ticks = (if i mod 2 = 0 then 10 else 8);
+            l = 1500 + (17 * i mod 548);
+            p = i mod 4;
+          })
+  in
+  let n = List.length queries in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let answer ?cache () =
+    List.iter
+      (fun q -> ignore (Service.Protocol.handle ?cache q))
+      queries
+  in
+  let cold = time (fun () -> answer ()) in
+  let cache = Service.Cache.create ~capacity:16 () in
+  (* Warm the cache with one untimed pass, then measure the steady state. *)
+  answer ~cache ();
+  let warm = time (fun () -> answer ~cache ()) in
+  let s = Service.Cache.stats cache in
+  let t =
+    Csutil.Table.create
+      ~title:
+        (Printf.sprintf
+           "%d dp queries, c in {8,10}, p in 0..3, L in 1500..2047" n)
+      ~aligns:Csutil.Table.[ Left; Right; Right ]
+      [ "phase"; "seconds"; "queries/s" ]
+  in
+  List.iter
+    (fun (phase, secs) ->
+       Csutil.Table.add_row t
+         [
+           phase;
+           Csutil.Table.cell_float ~prec:4 secs;
+           Csutil.Table.cell_float ~prec:0 (float_of_int n /. secs);
+         ])
+    [ ("cold (direct Dp.solve per query)", cold);
+      ("warm (canonical table cache)", warm) ];
+  emit t;
+  Printf.printf
+    "warm/cold speedup: %.0fx (%d canonical tables cover all %d queries,\n\
+     %d cache hits)\n\n"
+    (cold /. warm) s.Service.Cache.resident n s.Service.Cache.hits
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let tables () =
@@ -856,6 +916,7 @@ let all () =
   series_e9 ();
   series_e10 ();
   ablations ();
+  service_bench ();
   bechamel ()
 
 let () =
@@ -869,9 +930,11 @@ let () =
     | [ "tables" ] -> tables ()
     | [ "series"; s ] -> series s
     | [ "ablations" ] -> ablations ()
+    | [ "service" ] -> service_bench ()
     | [ "bechamel" ] -> bechamel ()
     | other ->
-      Printf.eprintf "usage: main.exe [--csv DIR] [tables | series eN | bechamel]\n";
+      Printf.eprintf
+        "usage: main.exe [--csv DIR] [tables | series eN | service | bechamel]\n";
       Printf.eprintf "got: %s\n" (String.concat " " other);
       exit 2
   in

@@ -50,25 +50,25 @@ let validate ~c ~u ~p k =
   else if p < 0 then `Error (false, "p must be non-negative")
   else k (Model.params ~c) (Model.opportunity ~lifespan:u ~interrupts:p)
 
-(* Named policies available on the command line. *)
-let policy_of_name params opp = function
-  | "nonadaptive" -> Ok (Policy.nonadaptive_guideline params opp)
-  | "adaptive" -> Ok Policy.adaptive_guideline
-  | "calibrated" -> Ok Policy.adaptive_calibrated
-  | "one-period" -> Ok Policy.one_long_period
-  | "fixed-chunk" ->
-    let chunk =
-      Baselines.Fixed_chunk.chunk_for_overhead params ~overhead_fraction:0.05
-    in
-    Ok (Baselines.Fixed_chunk.policy ~u:opp.Model.lifespan ~chunk)
-  | "geometric" ->
-    Ok (Baselines.Geometric.policy params ~u:opp.Model.lifespan ~ratio:0.9)
-  | other ->
-    Error
-      (Printf.sprintf
-         "unknown policy %S (want nonadaptive | adaptive | calibrated | \
-          one-period | fixed-chunk | geometric)"
-         other)
+(* Named policies available on the command line (shared with the
+   cschedd daemon, so the two front ends accept the same names). *)
+let policy_of_name = Service.Protocol.policy_of_name
+
+let json_flag =
+  let doc =
+    "Emit the result as one line of JSON (the cschedd daemon's result \
+     payload for the same query, byte for byte)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+(* Run a request through the daemon's evaluation path and print the
+   result payload, so CLI and daemon output cannot drift apart. *)
+let print_protocol_result request =
+  match Service.Protocol.handle request with
+  | Ok payload ->
+    print_endline (Service.Json.to_string payload);
+    `Ok ()
+  | Error e -> `Error (false, e)
 
 let policy_arg =
   let doc =
@@ -168,8 +168,29 @@ let evaluate_cmd =
     | Failure _ -> Error "periods must be numeric"
     | Invalid_argument e -> Error e
   in
-  let run c u p policy_name periods =
+  let parse_periods text =
+    try
+      Ok
+        (List.map (fun x -> float_of_string (String.trim x))
+           (String.split_on_char ',' text))
+    with Failure _ -> Error "periods must be numeric"
+  in
+  let run c u p policy_name periods json =
     validate ~c ~u ~p (fun params opp ->
+        if json then begin
+          let parsed =
+            match periods with
+            | None -> Ok None
+            | Some text -> Result.map Option.some (parse_periods text)
+          in
+          match parsed with
+          | Error e -> `Error (false, e)
+          | Ok periods ->
+            print_protocol_result
+              (Service.Protocol.Evaluate
+                 { c; u; p; policy = policy_name; periods })
+        end
+        else
         let policy =
           match periods with
           | Some text -> custom_policy u text
@@ -211,7 +232,10 @@ let evaluate_cmd =
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc)
-    Term.(ret (const run $ cost $ lifespan $ interrupts $ policy_arg $ periods_arg))
+    Term.(
+      ret
+        (const run $ cost $ lifespan $ interrupts $ policy_arg $ periods_arg
+         $ json_flag))
 
 (* --- dp -------------------------------------------------------------------- *)
 
@@ -456,8 +480,10 @@ let simulate_cmd =
 (* --- advise ------------------------------------------------------------------- *)
 
 let advise_cmd =
-  let run c u p =
+  let run c u p json =
     validate ~c ~u ~p (fun params opp ->
+        if json then print_protocol_result (Service.Protocol.Advise { c; u; p })
+        else
         let advice = Guidelines.advise params opp in
         Printf.printf "opportunity:         U = %g, p = %d, c = %g\n" u p c;
         Printf.printf "degenerate (4.1c):   %b\n" (Model.is_degenerate params opp);
@@ -472,7 +498,7 @@ let advise_cmd =
   in
   let doc = "Compare regimes and recommend one for an opportunity." in
   Cmd.v (Cmd.info "advise" ~doc)
-    Term.(ret (const run $ cost $ lifespan $ interrupts))
+    Term.(ret (const run $ cost $ lifespan $ interrupts $ json_flag))
 
 (* --- checkpoint ------------------------------------------------------------------ *)
 

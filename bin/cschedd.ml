@@ -1,0 +1,85 @@
+(* cschedd: the schedule-advice daemon.
+
+   Serves the csched subcommands as a long-running service speaking
+   newline-delimited JSON (see Service.Protocol): requests on stdin,
+   responses on stdout, one per line, in request order — or over a
+   Unix-domain socket with --socket.  Solved DP tables are kept in a
+   sharded LRU cache so repeated and nearby (c, p, L) queries cost an
+   array read instead of an O(p L^2) solve; batches of independent
+   requests fan out across domains.
+
+     echo '{"op":"advise","c":30,"u":86400,"p":3}' | cschedd
+     cschedd --socket /tmp/cschedd.sock &
+
+   On EOF or SIGINT the daemon finishes the in-flight batch, flushes
+   its responses, and prints a session summary to stderr. *)
+
+open Cmdliner
+
+let serve socket_path batch_size domains cache_tables shards quiet =
+  if batch_size < 1 then `Error (false, "batch must be >= 1")
+  else if domains < 1 then `Error (false, "domains must be >= 1")
+  else if cache_tables < 1 then `Error (false, "cache-tables must be >= 1")
+  else if shards < 1 then `Error (false, "shards must be >= 1")
+  else begin
+    let cache = Service.Cache.create ~shards ~capacity:cache_tables () in
+    let server =
+      Service.Server.create ~batch_size ~domains ~cache ()
+    in
+    let stop _ = Service.Server.request_stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+     with Invalid_argument _ -> ());
+    (match socket_path with
+     | Some path -> Service.Server.serve_socket server ~path
+     | None -> Service.Server.serve_fd server Unix.stdin Unix.stdout);
+    if not quiet then prerr_string (Service.Server.summary server);
+    `Ok ()
+  end
+
+let socket_arg =
+  let doc =
+    "Listen on a Unix-domain socket at $(docv) (clients served one at a \
+     time) instead of stdin/stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let batch_arg =
+  let doc =
+    "Maximum requests drained into one batch; a batch shares DP-table \
+     solves and fans out across domains."
+  in
+  Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N" ~doc)
+
+let domains_arg =
+  let doc = "Maximum domains used to evaluate a batch in parallel." in
+  Arg.(
+    value
+    & opt int (Csutil.Par.available_domains ())
+    & info [ "domains" ] ~docv:"N" ~doc)
+
+let cache_tables_arg =
+  let doc = "Maximum solved DP tables kept resident (LRU per shard)." in
+  Arg.(value & opt int 32 & info [ "cache-tables" ] ~docv:"N" ~doc)
+
+let shards_arg =
+  let doc = "Number of independently locked cache shards." in
+  Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress the session summary printed to stderr on shutdown." in
+  Arg.(value & flag & info [ "quiet" ] ~doc)
+
+let () =
+  let doc =
+    "Schedule-advice daemon for cycle-stealing opportunities (JSON lines \
+     over stdin/stdout or a Unix socket)."
+  in
+  let info = Cmd.info "cschedd" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(
+      ret
+        (const serve $ socket_arg $ batch_arg $ domains_arg
+         $ cache_tables_arg $ shards_arg $ quiet_arg))
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -22,6 +22,19 @@ let pending t = Event_queue.length t.queue
 
 type handle = Event_queue.handle
 
+exception
+  Event_budget_exhausted of { events_fired : int; simulated_time : float }
+
+let () =
+  Printexc.register_printer (function
+    | Event_budget_exhausted { events_fired; simulated_time } ->
+      Some
+        (Printf.sprintf
+           "Nowsim.Sim.Event_budget_exhausted { events_fired = %d; \
+            simulated_time = %g } (runaway process?)"
+           events_fired simulated_time)
+    | _ -> None)
+
 let schedule t ~at action =
   if at < t.now -. 1e-12 then
     invalid_arg
@@ -58,6 +71,9 @@ let run ?until ?(max_events = 50_000_000) t =
                  t.now <- time;
                  t.events_fired <- t.events_fired + 1;
                  if t.events_fired > max_events then
-                   failwith "Sim.run: max_events exceeded (runaway process?)";
+                   raise
+                     (Event_budget_exhausted
+                        { events_fired = t.events_fired;
+                          simulated_time = time });
                  action t))
        done)

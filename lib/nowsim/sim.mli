@@ -14,6 +14,12 @@ val pending : t -> int
 
 type handle = Event_queue.handle
 
+exception
+  Event_budget_exhausted of { events_fired : int; simulated_time : float }
+(** Raised by {!run} when [max_events] is exceeded (a runaway-process
+    guard); carries how many events had fired and the virtual time the
+    simulation had reached. *)
+
 val schedule : t -> at:float -> (t -> unit) -> handle
 (** @raise Invalid_argument when [at] is in the past (beyond a small
     tolerance; times within the tolerance clamp to [now]). *)
@@ -27,4 +33,4 @@ val run : ?until:float -> ?max_events:int -> t -> unit
 (** Fire events in timestamp (then FIFO) order until the queue drains or
     [until] is reached; [max_events] guards against runaway processes.
     @raise Invalid_argument when re-entered from an event handler.
-    @raise Failure when [max_events] is exceeded. *)
+    @raise Event_budget_exhausted when [max_events] is exceeded. *)

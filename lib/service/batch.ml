@@ -1,0 +1,31 @@
+(* Two-phase batch evaluation: preload distinct DP tables, then fan the
+   requests across domains.  All shared state touched from worker
+   domains is the cache (internally locked); everything else is pure. *)
+
+type outcome = {
+  envelope : Protocol.envelope;
+  result : (Json.t, string) result;
+  latency : float;
+}
+
+let dp_keys envelopes =
+  Array.to_list envelopes
+  |> List.filter_map (fun (e : Protocol.envelope) ->
+      match e.Protocol.request with
+      | Ok (Protocol.Dp_query { c_ticks; l; p }) ->
+        Some (Cache.canonical ~c:c_ticks ~p ~l)
+      | _ -> None)
+
+let run ?domains ?stats_payload ~cache envelopes =
+  Cache.preload cache ~keys:(dp_keys envelopes) ?domains ();
+  let evaluate (e : Protocol.envelope) =
+    match e.Protocol.request with
+    | Error msg -> { envelope = e; result = Error msg; latency = 0. }
+    | Ok Protocol.Stats when stats_payload <> None ->
+      { envelope = e; result = Ok (Option.get stats_payload); latency = 0. }
+    | Ok req ->
+      let t0 = Unix.gettimeofday () in
+      let result = Protocol.handle ~cache req in
+      { envelope = e; result; latency = Unix.gettimeofday () -. t0 }
+  in
+  Csutil.Par.map ?domains evaluate envelopes

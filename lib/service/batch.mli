@@ -1,0 +1,32 @@
+(** Batched request evaluation.
+
+    A batch is processed in two phases.  First the distinct canonical
+    DP-table keys the batch needs but the cache lacks are solved in
+    parallel ({!Cache.preload}) — this is where same-key queries are
+    grouped, so a batch of a hundred [dp] requests over nearby [(c, p,
+    L)] pays each canonical solve exactly once.  Then every request is
+    evaluated through {!Protocol.handle}, fanned across domains with
+    {!Csutil.Par.map}; results come back in request order, so response
+    order always matches request order regardless of the domain count. *)
+
+type outcome = {
+  envelope : Protocol.envelope;
+  result : (Json.t, string) result;
+  latency : float;  (** seconds spent in {!Protocol.handle} *)
+}
+
+val dp_keys : Protocol.envelope array -> Cache.key list
+(** The canonical table keys of the batch's well-formed [dp] requests
+    (with duplicates; {!Cache.preload} dedups). *)
+
+val run :
+  ?domains:int ->
+  ?stats_payload:Json.t ->
+  cache:Cache.t ->
+  Protocol.envelope array ->
+  outcome array
+(** Evaluate a batch.  Parse errors become [Error] outcomes with zero
+    latency.  [Stats] requests answer with [stats_payload] (the daemon
+    snapshots its counters once per batch, before the parallel phase);
+    without it they answer with {!Protocol.handle}'s error.  The result
+    array is index-aligned with the input. *)

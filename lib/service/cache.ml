@@ -1,0 +1,176 @@
+(* Sharded LRU cache of solved Dp tables.
+
+   Each shard is a Hashtbl guarded by its own mutex with a logical-clock
+   LRU: every hit stamps the entry with a fresh tick, eviction scans for
+   the minimum stamp.  Shard capacities are small (a handful of tables),
+   so the O(shard size) eviction scan is cheaper than maintaining an
+   intrusive list, and far simpler.
+
+   Solves run outside the lock: two domains racing on the same missing
+   key may both solve it; the loser's table is dropped on insert.  The
+   batch engine avoids that waste by preloading distinct keys before
+   fanning queries out. *)
+
+open Cyclesteal
+
+type key = { c : int; max_p : int; max_l : int }
+
+let min_l = 256
+let min_p = 2
+
+let next_pow2 n =
+  let rec go acc = if acc >= n then acc else go (acc * 2) in
+  go 1
+
+let canonical ~c ~p ~l =
+  if c < 1 then invalid_arg "Cache.canonical: c must be >= 1";
+  if p < 0 then invalid_arg "Cache.canonical: p must be non-negative";
+  if l < 0 then invalid_arg "Cache.canonical: l must be non-negative";
+  let max_l = max min_l (next_pow2 l) in
+  let max_p = max min_p (if p mod 2 = 0 then p else p + 1) in
+  { c; max_p; max_l }
+
+(* value + first matrices: (max_p+1) rows of (max_l+1) boxed-word ints. *)
+let table_bytes dp =
+  let words_per_row = Dp.max_l dp + 2 in
+  2 * (Dp.max_p dp + 1) * words_per_row * (Sys.word_size / 8)
+
+type entry = { dp : Dp.t; mutable used : int }
+
+type shard = {
+  lock : Mutex.t;
+  table : (key, entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type t = { shards : shard array }
+
+let create ?(shards = 8) ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  if shards < 1 then invalid_arg "Cache.create: shards must be >= 1";
+  let shards = min shards capacity in
+  let per_shard = (capacity + shards - 1) / shards in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create 16;
+            capacity = per_shard;
+            clock = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
+  }
+
+let shard_of t key =
+  t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let with_lock sh f =
+  Mutex.lock sh.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) f
+
+(* Under the shard lock: look the key up and stamp it on hit.  [count]
+   is off for the convergence re-lookup after a solve — that request
+   already paid (and counted) the miss, so it is not also a hit. *)
+let lookup sh key ~count =
+  with_lock sh (fun () ->
+      match Hashtbl.find_opt sh.table key with
+      | Some e ->
+        sh.clock <- sh.clock + 1;
+        e.used <- sh.clock;
+        if count then sh.hits <- sh.hits + 1;
+        Some e.dp
+      | None ->
+        if count then sh.misses <- sh.misses + 1;
+        None)
+
+let evict_lru sh =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+       match !victim with
+       | Some (_, best) when best.used <= e.used -> ()
+       | _ -> victim := Some (k, e))
+    sh.table;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove sh.table k;
+    sh.evictions <- sh.evictions + 1
+  | None -> ()
+
+let insert sh key dp =
+  with_lock sh (fun () ->
+      if not (Hashtbl.mem sh.table key) then begin
+        while Hashtbl.length sh.table >= sh.capacity do
+          evict_lru sh
+        done;
+        sh.clock <- sh.clock + 1;
+        Hashtbl.add sh.table key { dp; used = sh.clock }
+      end)
+
+let solve_key key = Dp.solve ~c:key.c ~max_p:key.max_p ~max_l:key.max_l
+
+let find_or_solve t ~c ~p ~l =
+  let key = canonical ~c ~p ~l in
+  let sh = shard_of t key in
+  match lookup sh key ~count:true with
+  | Some dp -> dp
+  | None ->
+    let dp = solve_key key in
+    insert sh key dp;
+    (* Return the cached table so racing solvers converge on one copy. *)
+    (match lookup sh key ~count:false with
+     | Some cached -> cached
+     | None -> dp)
+
+(* Presence probe that neither stamps the LRU clock nor counts. *)
+let mem t key =
+  let sh = shard_of t key in
+  with_lock sh (fun () -> Hashtbl.mem sh.table key)
+
+let preload t ~keys ?domains () =
+  let missing =
+    List.sort_uniq compare keys
+    |> List.filter (fun key -> not (mem t key))
+    |> Array.of_list
+  in
+  if Array.length missing > 0 then begin
+    let solved = Csutil.Par.map ?domains solve_key missing in
+    Array.iteri
+      (fun i dp ->
+         let sh = shard_of t missing.(i) in
+         with_lock sh (fun () -> sh.misses <- sh.misses + 1);
+         insert sh missing.(i) dp)
+      solved
+  end
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  resident : int;
+  resident_bytes : int;
+}
+
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+       with_lock sh (fun () ->
+           let bytes =
+             Hashtbl.fold (fun _ e b -> b + table_bytes e.dp) sh.table 0
+           in
+           {
+             hits = acc.hits + sh.hits;
+             misses = acc.misses + sh.misses;
+             evictions = acc.evictions + sh.evictions;
+             resident = acc.resident + Hashtbl.length sh.table;
+             resident_bytes = acc.resident_bytes + bytes;
+           }))
+    { hits = 0; misses = 0; evictions = 0; resident = 0; resident_bytes = 0 }
+    t.shards

@@ -1,0 +1,45 @@
+(** Minimal JSON values, printer and parser (RFC 8259 subset; stdlib
+    only — the toolchain ships no JSON library).
+
+    The printer is deterministic: object fields keep their given order,
+    floats render with the shortest representation that round-trips, and
+    output is a single line.  Both the [cschedd] daemon and the
+    [csched --json] CLI print through this module, so equal values yield
+    byte-identical text. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  Non-finite floats render as [null]
+    (JSON has no NaN/infinity). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; trailing garbage is an error.  Numbers
+    without fraction or exponent that fit in an OCaml [int] parse as
+    [Int], all others as [Float].  Errors carry a character offset. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Int n] and [Float f] compare equal when
+    [f = float_of_int n] (the parser may legitimately read a printed
+    float back as an integer). *)
+
+(** Accessors for decoding requests; all are total. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj] ([None] on absent field or non-object). *)
+
+val to_float : t -> float option
+(** Accepts [Int] and [Float]. *)
+
+val to_int : t -> int option
+(** Accepts [Int] and integral [Float]. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

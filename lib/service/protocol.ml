@@ -1,0 +1,356 @@
+(* Request parsing and response serialization for cschedd.
+
+   Field defaults mirror the csched CLI (c = 1, u = 1000, p = 1,
+   regime/policy = "adaptive", c_ticks = 10, l = 2000), and the
+   evaluation logic mirrors the corresponding subcommands — including
+   the grid heuristic — so a daemon response is byte-identical to what
+   the CLI computes for the same query. *)
+
+open Cyclesteal
+
+type request =
+  | Advise of { c : float; u : float; p : int }
+  | Schedule of { c : float; u : float; p : int; regime : string }
+  | Evaluate of {
+      c : float;
+      u : float;
+      p : int;
+      policy : string;
+      periods : float list option;
+    }
+  | Dp_query of { c_ticks : int; l : int; p : int }
+  | Stats
+
+type envelope = { id : Json.t; request : (request, string) result }
+
+let op_name = function
+  | Advise _ -> "advise"
+  | Schedule _ -> "schedule"
+  | Evaluate _ -> "evaluate"
+  | Dp_query _ -> "dp"
+  | Stats -> "stats"
+
+(* --- decoding ----------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field_float obj name default =
+  match Json.member name obj with
+  | None -> Ok default
+  | Some v ->
+    (match Json.to_float v with
+     | Some x -> Ok x
+     | None -> Error (Printf.sprintf "field %S must be a number" name))
+
+let field_int obj name default =
+  match Json.member name obj with
+  | None -> Ok default
+  | Some v ->
+    (match Json.to_int v with
+     | Some n -> Ok n
+     | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let field_string obj name default =
+  match Json.member name obj with
+  | None -> Ok default
+  | Some v ->
+    (match Json.to_str v with
+     | Some s -> Ok s
+     | None -> Error (Printf.sprintf "field %S must be a string" name))
+
+let field_float_list obj name =
+  match Json.member name obj with
+  | None -> Ok None
+  | Some v ->
+    (match Json.to_list v with
+     | None -> Error (Printf.sprintf "field %S must be an array" name)
+     | Some items ->
+       let rec go acc = function
+         | [] -> Ok (Some (List.rev acc))
+         | x :: rest ->
+           (match Json.to_float x with
+            | Some f -> go (f :: acc) rest
+            | None ->
+              Error (Printf.sprintf "field %S must contain only numbers" name))
+       in
+       go [] items)
+
+let validate_cup ~c ~u ~p =
+  if c <= 0. then Error "c must be positive"
+  else if u <= 0. then Error "U must be positive"
+  else if p < 0 then Error "p must be non-negative"
+  else Ok ()
+
+let decode_request obj =
+  let* op =
+    match Json.member "op" obj with
+    | None -> Error "missing field \"op\""
+    | Some v ->
+      (match Json.to_str v with
+       | Some s -> Ok s
+       | None -> Error "field \"op\" must be a string")
+  in
+  match op with
+  | "advise" ->
+    let* c = field_float obj "c" 1.0 in
+    let* u = field_float obj "u" 1000. in
+    let* p = field_int obj "p" 1 in
+    let* () = validate_cup ~c ~u ~p in
+    Ok (Advise { c; u; p })
+  | "schedule" ->
+    let* c = field_float obj "c" 1.0 in
+    let* u = field_float obj "u" 1000. in
+    let* p = field_int obj "p" 1 in
+    let* regime = field_string obj "regime" "adaptive" in
+    let* () = validate_cup ~c ~u ~p in
+    Ok (Schedule { c; u; p; regime })
+  | "evaluate" ->
+    let* c = field_float obj "c" 1.0 in
+    let* u = field_float obj "u" 1000. in
+    let* p = field_int obj "p" 1 in
+    let* policy = field_string obj "policy" "adaptive" in
+    let* periods = field_float_list obj "periods" in
+    let* () = validate_cup ~c ~u ~p in
+    Ok (Evaluate { c; u; p; policy; periods })
+  | "dp" ->
+    let* c_ticks = field_int obj "c_ticks" 10 in
+    let* l = field_int obj "l" 2000 in
+    let* p = field_int obj "p" 1 in
+    if c_ticks < 1 then Error "c_ticks must be >= 1"
+    else if p < 0 then Error "p must be non-negative"
+    else if l < 0 then Error "l must be non-negative"
+    else Ok (Dp_query { c_ticks; l; p })
+  | "stats" -> Ok Stats
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown op %S (want advise | schedule | evaluate | dp | stats)"
+         other)
+
+let parse_line line =
+  match Json.of_string line with
+  | Error e -> { id = Json.Null; request = Error e }
+  | Ok (Json.Obj _ as obj) ->
+    let id = Option.value ~default:Json.Null (Json.member "id" obj) in
+    { id; request = decode_request obj }
+  | Ok _ -> { id = Json.Null; request = Error "request must be a JSON object" }
+
+(* --- encoding ----------------------------------------------------------- *)
+
+let request_to_json ?(id = Json.Null) req =
+  let with_id fields =
+    match id with Json.Null -> fields | _ -> ("id", id) :: fields
+  in
+  Json.Obj
+    (with_id
+       (match req with
+        | Advise { c; u; p } ->
+          [
+            ("op", Json.String "advise"); ("c", Json.Float c);
+            ("u", Json.Float u); ("p", Json.Int p);
+          ]
+        | Schedule { c; u; p; regime } ->
+          [
+            ("op", Json.String "schedule"); ("c", Json.Float c);
+            ("u", Json.Float u); ("p", Json.Int p);
+            ("regime", Json.String regime);
+          ]
+        | Evaluate { c; u; p; policy; periods } ->
+          [
+            ("op", Json.String "evaluate"); ("c", Json.Float c);
+            ("u", Json.Float u); ("p", Json.Int p);
+            ("policy", Json.String policy);
+          ]
+          @ (match periods with
+             | None -> []
+             | Some ts ->
+               [ ("periods", Json.List (List.map (fun t -> Json.Float t) ts)) ])
+        | Dp_query { c_ticks; l; p } ->
+          [
+            ("op", Json.String "dp"); ("c_ticks", Json.Int c_ticks);
+            ("l", Json.Int l); ("p", Json.Int p);
+          ]
+        | Stats -> [ ("op", Json.String "stats") ]))
+
+(* --- evaluation --------------------------------------------------------- *)
+
+let policy_of_name params opp = function
+  | "nonadaptive" -> Ok (Policy.nonadaptive_guideline params opp)
+  | "adaptive" -> Ok Policy.adaptive_guideline
+  | "calibrated" -> Ok Policy.adaptive_calibrated
+  | "one-period" -> Ok Policy.one_long_period
+  | "fixed-chunk" ->
+    let chunk =
+      Baselines.Fixed_chunk.chunk_for_overhead params ~overhead_fraction:0.05
+    in
+    Ok (Baselines.Fixed_chunk.policy ~u:opp.Model.lifespan ~chunk)
+  | "geometric" ->
+    Ok (Baselines.Geometric.policy params ~u:opp.Model.lifespan ~ratio:0.9)
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown policy %S (want nonadaptive | adaptive | calibrated | \
+          one-period | fixed-chunk | geometric)"
+         other)
+
+let regime_name = function
+  | Guidelines.Non_adaptive -> "nonadaptive"
+  | Guidelines.Adaptive -> "adaptive"
+
+let handle_advise ~c ~u ~p =
+  let params = Model.params ~c in
+  let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+  let advice = Guidelines.advise params opp in
+  Ok
+    (Json.Obj
+       [
+         ("c", Json.Float c); ("u", Json.Float u); ("p", Json.Int p);
+         ("degenerate", Json.Bool (Model.is_degenerate params opp));
+         ("nonadaptive_bound", Json.Float advice.Guidelines.nonadaptive_bound);
+         ("adaptive_bound", Json.Float advice.Guidelines.adaptive_bound);
+         ( "calibrated_target",
+           Json.Float (Adaptive.calibrated_bound params ~u ~p) );
+         ( "recommended",
+           Json.String (regime_name advice.Guidelines.recommended) );
+         ("advantage", Json.Float advice.Guidelines.advantage);
+       ])
+
+let handle_schedule ~c ~u ~p ~regime =
+  let params = Model.params ~c in
+  let* s =
+    match regime with
+    | "nonadaptive" -> Ok (Nonadaptive.guideline params ~u ~p)
+    | "adaptive" -> Ok (Adaptive.episode_schedule params ~p ~residual:u)
+    | "calibrated" ->
+      Ok (Adaptive.calibrated_episode_schedule params ~p ~residual:u)
+    | "opt-p1" -> Ok (Opt_p1.schedule params ~u)
+    | other -> Error (Printf.sprintf "unknown regime %S" other)
+  in
+  Ok
+    (Json.Obj
+       [
+         ("regime", Json.String regime);
+         ("length", Json.Int (Schedule.length s));
+         ("total", Json.Float (Schedule.total s));
+         ( "work_if_uninterrupted",
+           Json.Float (Schedule.work_if_uninterrupted params s) );
+         ( "periods",
+           Json.List
+             (List.map (fun t -> Json.Float t) (Schedule.to_list s)) );
+       ])
+
+let custom_policy ~u periods =
+  match Schedule.of_list periods with
+  | exception Invalid_argument e -> Error e
+  | s ->
+    if Float.abs (Schedule.total s -. u) > 1e-6 *. u then
+      Error
+        (Printf.sprintf "periods sum to %g, not U = %g" (Schedule.total s) u)
+    else Ok (Policy.rename (Policy.non_adaptive ~committed:s) "custom")
+
+let episode_to_json (e : Game.episode_record) =
+  Json.Obj
+    [
+      ("start", Json.Float e.Game.start_elapsed);
+      ("periods", Json.Int (Schedule.length e.Game.planned));
+      ( "outcome",
+        match e.Game.outcome with
+        | Game.Completed -> Json.Obj [ ("kind", Json.String "completed") ]
+        | Game.Interrupted { period; fraction } ->
+          Json.Obj
+            [
+              ("kind", Json.String "interrupted");
+              ("period", Json.Int period);
+              ("fraction", Json.Float fraction);
+            ] );
+      ("work", Json.Float e.Game.work);
+    ]
+
+let handle_evaluate ~c ~u ~p ~policy ~periods =
+  let params = Model.params ~c in
+  let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+  let* pol =
+    match periods with
+    | Some ts -> custom_policy ~u ts
+    | None -> policy_of_name params opp policy
+  in
+  (* Same grid heuristic as csched evaluate: exact below U = 5000,
+     200k-point grid above. *)
+  let grid = if u > 5_000. then Some (u /. 2e5) else None in
+  let g = Game.guaranteed ?grid params opp pol in
+  let adv = Game.optimal_adversary ?grid params opp pol in
+  let outcome = Game.run params opp pol adv in
+  Ok
+    (Json.Obj
+       [
+         ("policy", Json.String (Policy.name pol));
+         ("c", Json.Float c); ("u", Json.Float u); ("p", Json.Int p);
+         ("guaranteed", Json.Float g);
+         ("guaranteed_fraction", Json.Float (g /. u));
+         ("loss", Json.Float (u -. g));
+         ( "loss_coefficient",
+           Json.Float ((u -. g) /. Float.sqrt (2. *. c *. u)) );
+         ("interrupts_used", Json.Int outcome.Game.interrupts_used);
+         ( "episodes",
+           Json.List (List.map episode_to_json outcome.Game.episodes) );
+       ])
+
+let handle_dp ?cache ~c_ticks ~l ~p () =
+  let dp =
+    match cache with
+    | Some cache -> Cache.find_or_solve cache ~c:c_ticks ~p ~l
+    | None -> Dp.solve ~c:c_ticks ~max_p:p ~max_l:l
+  in
+  (* The recurrence at (p, l) only reads entries at smaller p and l, so
+     the value and episode are independent of the table bounds: cached
+     (canonical, larger) and direct (exact) tables answer identically. *)
+  let w = Dp.value dp ~p ~l in
+  let a_hat =
+    if l = 0 then 0.
+    else
+      float_of_int (l - w)
+      /. Float.sqrt (2. *. float_of_int c_ticks *. float_of_int l)
+  in
+  Ok
+    (Json.Obj
+       [
+         ("c_ticks", Json.Int c_ticks); ("l", Json.Int l); ("p", Json.Int p);
+         ("value", Json.Int w);
+         ("loss_coefficient", Json.Float a_hat);
+         ("target_coefficient", Json.Float (Adaptive.optimal_coefficient ~p));
+         ( "episode",
+           Json.List
+             (List.map (fun t -> Json.Int t) (Dp.optimal_episode dp ~p ~l)) );
+       ])
+
+(* The daemon must never die on a request, so evaluation failures
+   (including library validation errors on adversarial inputs) become
+   error responses. *)
+let handle ?cache req =
+  match
+    match req with
+    | Advise { c; u; p } -> handle_advise ~c ~u ~p
+    | Schedule { c; u; p; regime } -> handle_schedule ~c ~u ~p ~regime
+    | Evaluate { c; u; p; policy; periods } ->
+      handle_evaluate ~c ~u ~p ~policy ~periods
+    | Dp_query { c_ticks; l; p } -> handle_dp ?cache ~c_ticks ~l ~p ()
+    | Stats -> Error "stats is served by the cschedd daemon"
+  with
+  | result -> result
+  | exception Invalid_argument e -> Error e
+  | exception Failure e -> Error e
+  | exception Game.State_budget_exceeded n ->
+    Error
+      (Printf.sprintf
+         "state budget exceeded (%d states); use a coarser query" n)
+
+let response_to_string ~id result =
+  Json.to_string
+    (Json.Obj
+       (match result with
+        | Ok payload ->
+          [ ("id", id); ("ok", Json.Bool true); ("result", payload) ]
+        | Error msg ->
+          [ ("id", id); ("ok", Json.Bool false); ("error", Json.String msg) ]))
+
+let error_response ~id msg = response_to_string ~id (Error msg)

@@ -1,0 +1,75 @@
+(** The [cschedd] wire protocol: newline-delimited JSON requests and
+    responses mirroring the [csched] subcommands.
+
+    One request per line:
+
+    {v
+    {"id":1,"op":"advise","c":30,"u":86400,"p":3}
+    {"id":2,"op":"schedule","c":1,"u":1000,"p":2,"regime":"calibrated"}
+    {"id":3,"op":"evaluate","c":1,"u":200,"p":1,"policy":"nonadaptive"}
+    {"id":4,"op":"evaluate","c":1,"u":20,"p":1,"periods":[8,7,5]}
+    {"id":5,"op":"dp","c_ticks":10,"l":2000,"p":3}
+    {"id":6,"op":"stats"}
+    v}
+
+    One response per line, in request order, [id] echoed verbatim:
+    [{"id":...,"ok":true,"result":{...}}] on success,
+    [{"id":...,"ok":false,"error":"..."}] on a malformed or failing
+    request (the daemon never dies on bad input).
+
+    {!handle} is the single evaluation path: the daemon, the batch
+    engine and [csched --json] all serialize through it, so a daemon
+    response is byte-identical to a direct library call. *)
+
+type request =
+  | Advise of { c : float; u : float; p : int }
+  | Schedule of { c : float; u : float; p : int; regime : string }
+  | Evaluate of {
+      c : float;
+      u : float;
+      p : int;
+      policy : string;
+      periods : float list option;
+          (** when present, evaluate this committed schedule instead of
+              the named policy (the [csched evaluate --periods] path) *)
+    }
+  | Dp_query of { c_ticks : int; l : int; p : int }
+  | Stats
+
+type envelope = {
+  id : Json.t;  (** echoed in the response; [Null] when absent *)
+  request : (request, string) result;
+      (** [Error] carries the parse/validation message for the error
+          response *)
+}
+
+val op_name : request -> string
+(** The wire name of the operation ("advise", "schedule", ...). *)
+
+val parse_line : string -> envelope
+(** Parse one request line.  Total: malformed JSON, a non-object, an
+    unknown [op] or bad argument types yield an [Error] envelope, never
+    an exception. *)
+
+val request_to_json : ?id:Json.t -> request -> Json.t
+(** Re-serialize a request (round-trips through {!parse_line}). *)
+
+val policy_of_name :
+  Cyclesteal.Model.params ->
+  Cyclesteal.Model.opportunity ->
+  string ->
+  (Cyclesteal.Policy.t, string) result
+(** The named policies the CLI and the daemon accept: nonadaptive |
+    adaptive | calibrated | one-period | fixed-chunk | geometric. *)
+
+val handle : ?cache:Cache.t -> request -> (Json.t, string) result
+(** Evaluate one request to its [result] payload.  [Dp_query] solves
+    through [cache] when given (canonicalized, LRU), directly otherwise.
+    [Stats] is served by the daemon, not here: without a daemon context
+    it returns [Error]. *)
+
+val response_to_string : id:Json.t -> (Json.t, string) result -> string
+(** The response envelope as one line (no trailing newline). *)
+
+val error_response : id:Json.t -> string -> string
+(** [response_to_string ~id (Error msg)]. *)

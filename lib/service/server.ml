@@ -1,0 +1,234 @@
+(* Serving loop over raw file descriptors.
+
+   A small line reader sits on the input descriptor so the loop can ask
+   two different questions: "give me the next line, blocking" (the
+   batch's first request) and "give me the next line only if it is
+   already here" (the opportunistic drain that forms the rest of the
+   batch).  in_channel buffering cannot answer the second question, so
+   the reader owns its buffer and uses [Unix.select] to probe. *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable len : int;    (* unconsumed byte count *)
+  mutable eof : bool;
+}
+
+let reader fd = { fd; buf = Bytes.create 65536; start = 0; len = 0; eof = false }
+
+(* Slide pending bytes to the front so there is room to refill. *)
+let compact r =
+  if r.start > 0 then begin
+    Bytes.blit r.buf r.start r.buf 0 r.len;
+    r.start <- 0
+  end
+
+let refill ~blocking r =
+  if r.eof then false
+  else begin
+    compact r;
+    if r.len = Bytes.length r.buf then
+      (* Line longer than the buffer: grow never — treat the overlong
+         chunk as a line; the parser will reject it cleanly. *)
+      false
+    else begin
+      let ready =
+        blocking
+        ||
+        match Unix.select [ r.fd ] [] [] 0. with
+        | [], _, _ -> false
+        | _ -> true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      if not ready then false
+      else
+        match Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) with
+        | 0 ->
+          r.eof <- true;
+          false
+        | n ->
+          r.len <- r.len + n;
+          true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    end
+  end
+
+let find_newline r =
+  let rec scan i =
+    if i >= r.start + r.len then None
+    else if Bytes.get r.buf i = '\n' then Some i
+    else scan (i + 1)
+  in
+  scan r.start
+
+let take_line r upto =
+  let raw_len = upto - r.start in
+  let line_len =
+    if raw_len > 0 && Bytes.get r.buf (upto - 1) = '\r' then raw_len - 1
+    else raw_len
+  in
+  let line = Bytes.sub_string r.buf r.start line_len in
+  r.len <- r.len - (raw_len + 1);
+  r.start <- upto + 1;
+  line
+
+(* [next_line ~blocking ~should_stop r]: the next input line, [None] on
+   EOF, or — nonblocking — when no complete line is buffered or
+   readable.  [should_stop] aborts a blocking wait between reads. *)
+let rec next_line ~blocking ~should_stop r =
+  match find_newline r with
+  | Some i -> Some (take_line r i)
+  | None ->
+    if r.len = Bytes.length r.buf then begin
+      (* Overlong line filled the whole buffer: surface the fragment as
+         a line; the JSON parser rejects it with a clean error. *)
+      let line = Bytes.sub_string r.buf r.start r.len in
+      r.start <- 0;
+      r.len <- 0;
+      Some line
+    end
+    else if should_stop () then
+      if r.len > 0 && r.eof then begin
+        (* final unterminated line *)
+        let line = Bytes.sub_string r.buf r.start r.len in
+        r.len <- 0;
+        Some line
+      end
+      else None
+    else if refill ~blocking r then next_line ~blocking ~should_stop r
+    else if r.eof && r.len > 0 then begin
+      let line = Bytes.sub_string r.buf r.start r.len in
+      r.len <- 0;
+      Some line
+    end
+    else if r.eof || not blocking then None
+    else next_line ~blocking ~should_stop r
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    match Unix.write fd b !written (n - !written) with
+    | k -> written := !written + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* --- server ------------------------------------------------------------- *)
+
+type t = {
+  batch_size : int;
+  domains : int;
+  cache : Cache.t;
+  stats : Stats.t;
+  stop : bool Atomic.t;
+}
+
+let create ?(batch_size = 64) ?domains ~cache () =
+  if batch_size < 1 then invalid_arg "Server.create: batch_size must be >= 1";
+  let domains =
+    match domains with
+    | None -> Csutil.Par.available_domains ()
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Server.create: domains must be >= 1"
+  in
+  {
+    batch_size;
+    domains;
+    cache;
+    stats = Stats.create ();
+    stop = Atomic.make false;
+  }
+
+let stats t = t.stats
+let cache t = t.cache
+let request_stop t = Atomic.set t.stop true
+let stopped t = Atomic.get t.stop
+
+let summary t = Stats.summary t.stats ~cache:(Cache.stats t.cache)
+
+(* Read one batch: block for the first line, then drain whatever is
+   already available, up to the batch size. *)
+let read_batch t r =
+  let should_stop () = stopped t in
+  match next_line ~blocking:true ~should_stop r with
+  | None -> []
+  | Some first ->
+    let rec drain acc k =
+      if k >= t.batch_size then List.rev acc
+      else
+        match next_line ~blocking:false ~should_stop r with
+        | Some line -> drain (line :: acc) (k + 1)
+        | None -> List.rev acc
+    in
+    drain [ first ] 1
+
+let serve_fd t in_fd out_fd =
+  let r = reader in_fd in
+  let rec loop () =
+    if stopped t then ()
+    else
+      match read_batch t r with
+      | [] -> ()
+      | lines ->
+        let envelopes =
+          Array.of_list (List.map Protocol.parse_line lines)
+        in
+        Stats.add_batch t.stats ~size:(Array.length envelopes);
+        let stats_payload =
+          Stats.to_json t.stats ~cache:(Cache.stats t.cache)
+        in
+        let outcomes =
+          Batch.run ~domains:t.domains ~stats_payload ~cache:t.cache
+            envelopes
+        in
+        let buf = Buffer.create 4096 in
+        Array.iter
+          (fun (o : Batch.outcome) ->
+             let line =
+               Protocol.response_to_string ~id:o.Batch.envelope.Protocol.id
+                 o.Batch.result
+             in
+             Buffer.add_string buf line;
+             Buffer.add_char buf '\n';
+             Stats.add t.stats
+               {
+                 Stats.op =
+                   (match o.Batch.envelope.Protocol.request with
+                    | Ok req -> Protocol.op_name req
+                    | Error _ -> "invalid");
+                 ok = Result.is_ok o.Batch.result;
+                 latency = o.Batch.latency;
+                 bytes = String.length line + 1;
+               })
+          outcomes;
+        write_all out_fd (Buffer.contents buf);
+        loop ()
+  in
+  loop ()
+
+let serve_socket t ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+       (* Replace a stale socket file from a previous run. *)
+       (try Unix.unlink path with Unix.Unix_error _ -> ());
+       Unix.bind sock (Unix.ADDR_UNIX path);
+       Unix.listen sock 8;
+       let rec accept_loop () =
+         if not (stopped t) then begin
+           match Unix.accept sock with
+           | conn, _ ->
+             Fun.protect
+               ~finally:(fun () ->
+                 try Unix.close conn with Unix.Unix_error _ -> ())
+               (fun () -> serve_fd t conn conn);
+             accept_loop ()
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+         end
+       in
+       accept_loop ())

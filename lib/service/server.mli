@@ -1,0 +1,43 @@
+(** The cschedd serving loop: newline-delimited JSON over file
+    descriptors (stdin/stdout or a Unix-domain socket).
+
+    The loop blocks for one request, then opportunistically drains
+    whatever further lines are already readable — up to the batch size —
+    so a client streaming queries gets batching (shared table solves,
+    parallel evaluation) while an interactive client still gets an
+    answer per line without waiting for a full batch.  Responses are
+    written in request order and flushed once per batch.
+
+    Shutdown is graceful: on EOF or {!request_stop} (the SIGINT handler)
+    the in-flight batch completes and its responses are flushed before
+    the loop returns. *)
+
+type t
+
+val create :
+  ?batch_size:int -> ?domains:int -> cache:Cache.t -> unit -> t
+(** [batch_size] (default 64) caps how many requests one batch drains;
+    [domains] caps the parallel fan-out (default:
+    {!Csutil.Par.available_domains}).
+    @raise Invalid_argument when [batch_size < 1] or [domains < 1]. *)
+
+val stats : t -> Stats.t
+val cache : t -> Cache.t
+
+val request_stop : t -> unit
+(** Ask the serving loops to stop after the current batch.  Safe to call
+    from a signal handler. *)
+
+val stopped : t -> bool
+
+val serve_fd : t -> Unix.file_descr -> Unix.file_descr -> unit
+(** Serve one connection: read request lines from the first descriptor,
+    write response lines to the second, until EOF or {!request_stop}. *)
+
+val serve_socket : t -> path:string -> unit
+(** Listen on a Unix-domain socket at [path] (replacing any stale socket
+    file) and serve clients one at a time until {!request_stop}; the
+    socket file is removed on exit. *)
+
+val summary : t -> string
+(** The shutdown summary ({!Stats.summary} over current counters). *)

@@ -1,0 +1,107 @@
+(* Serving-side accounting.  Folded in by the single serving thread;
+   the parallel phase only produces immutable records. *)
+
+type record = { op : string; ok : bool; latency : float; bytes : int }
+
+type t = {
+  latency : Csutil.Stats.Accumulator.t;
+  by_op : (string, int ref) Hashtbl.t;
+  mutable requests : int;
+  mutable errors : int;
+  mutable bytes_served : int;
+  mutable batches : int;
+  mutable largest_batch : int;
+}
+
+let create () =
+  {
+    latency = Csutil.Stats.Accumulator.create ();
+    by_op = Hashtbl.create 8;
+    requests = 0;
+    errors = 0;
+    bytes_served = 0;
+    batches = 0;
+    largest_batch = 0;
+  }
+
+let add t r =
+  t.requests <- t.requests + 1;
+  if not r.ok then t.errors <- t.errors + 1;
+  t.bytes_served <- t.bytes_served + r.bytes;
+  Csutil.Stats.Accumulator.add t.latency r.latency;
+  match Hashtbl.find_opt t.by_op r.op with
+  | Some n -> incr n
+  | None -> Hashtbl.add t.by_op r.op (ref 1)
+
+let add_batch t ~size =
+  t.batches <- t.batches + 1;
+  t.largest_batch <- max t.largest_batch size
+
+let requests t = t.requests
+let bytes_served t = t.bytes_served
+
+let op_counts t =
+  Hashtbl.fold (fun op n acc -> (op, !n) :: acc) t.by_op []
+  |> List.sort compare
+
+let latency_fields t =
+  let open Csutil.Stats.Accumulator in
+  if count t.latency = 0 then []
+  else
+    [
+      ("mean_s", Json.Float (mean t.latency));
+      ("min_s", Json.Float (min t.latency));
+      ("max_s", Json.Float (max t.latency));
+    ]
+
+let to_json t ~cache:(c : Cache.stats) =
+  Json.Obj
+    [
+      ("requests", Json.Int t.requests);
+      ("errors", Json.Int t.errors);
+      ( "by_op",
+        Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) (op_counts t)) );
+      ("latency", Json.Obj (latency_fields t));
+      ("bytes_served", Json.Int t.bytes_served);
+      ("batches", Json.Int t.batches);
+      ("largest_batch", Json.Int t.largest_batch);
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int c.Cache.hits);
+            ("misses", Json.Int c.Cache.misses);
+            ("evictions", Json.Int c.Cache.evictions);
+            ("tables_resident", Json.Int c.Cache.resident);
+            ("resident_bytes", Json.Int c.Cache.resident_bytes);
+          ] );
+    ]
+
+let summary t ~cache:(c : Cache.stats) =
+  let table =
+    Csutil.Table.create ~title:"cschedd session summary"
+      ~aligns:Csutil.Table.[ Left; Right ]
+      [ "metric"; "value" ]
+  in
+  let add k v = Csutil.Table.add_row table [ k; v ] in
+  add "requests" (string_of_int t.requests);
+  add "errors" (string_of_int t.errors);
+  List.iter
+    (fun (op, n) -> add ("  op " ^ op) (string_of_int n))
+    (op_counts t);
+  add "batches" (string_of_int t.batches);
+  add "largest batch" (string_of_int t.largest_batch);
+  if Csutil.Stats.Accumulator.count t.latency > 0 then begin
+    add "mean latency"
+      (Printf.sprintf "%.3f ms"
+         (1e3 *. Csutil.Stats.Accumulator.mean t.latency));
+    add "max latency"
+      (Printf.sprintf "%.3f ms"
+         (1e3 *. Csutil.Stats.Accumulator.max t.latency))
+  end;
+  add "bytes served" (string_of_int t.bytes_served);
+  add "cache hits" (string_of_int c.Cache.hits);
+  add "cache misses" (string_of_int c.Cache.misses);
+  add "cache evictions" (string_of_int c.Cache.evictions);
+  add "tables resident" (string_of_int c.Cache.resident);
+  add "resident bytes" (string_of_int c.Cache.resident_bytes);
+  Csutil.Table.to_string table

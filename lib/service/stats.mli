@@ -1,0 +1,34 @@
+(** Per-request accounting for the cschedd daemon: request counts by
+    operation, outcome, latency distribution, bytes served, batch sizes.
+
+    Records are produced by the batch engine (pure values computed in
+    worker domains) and folded in by the single serving thread, so the
+    accumulator itself needs no locking.  Cache hit/miss counters live
+    with the cache ({!Cache.stats}); {!to_json} merges both views. *)
+
+type t
+
+val create : unit -> t
+
+type record = {
+  op : string;       (** "advise" | "schedule" | "evaluate" | "dp" | ... *)
+  ok : bool;
+  latency : float;   (** seconds spent evaluating the request *)
+  bytes : int;       (** response line length, newline included *)
+}
+
+val add : t -> record -> unit
+
+val add_batch : t -> size:int -> unit
+(** Record that one batch of [size] requests was dispatched. *)
+
+val requests : t -> int
+val bytes_served : t -> int
+
+val to_json : t -> cache:Cache.stats -> Json.t
+(** The [stats] request payload: request/error/batch counts, per-op
+    counts, latency quantiles (mean/min/max), bytes served, cache
+    counters and resident-table footprint. *)
+
+val summary : t -> cache:Cache.stats -> string
+(** Human-readable shutdown summary (an ASCII {!Csutil.Table}). *)

@@ -505,13 +505,18 @@ let test_large_farm_soak () =
 
 let test_sim_max_events_guard () =
   let sim = Nowsim.Sim.create () in
-  (* A self-perpetuating zero-delay event: the runaway guard must trip. *)
-  let rec forever s = ignore (Nowsim.Sim.schedule_after s ~delay:0. forever) in
+  (* A self-perpetuating event marching 0.5 per step: the runaway guard
+     must trip, and the exception must carry the event count and the
+     virtual time reached. *)
+  let rec forever s = ignore (Nowsim.Sim.schedule_after s ~delay:0.5 forever) in
   ignore (Nowsim.Sim.schedule sim ~at:0. forever);
   (try
      Nowsim.Sim.run ~max_events:1000 sim;
      Alcotest.fail "runaway not caught"
-   with Failure _ -> ())
+   with
+   | Nowsim.Sim.Event_budget_exhausted { events_fired; simulated_time } ->
+     Alcotest.(check int) "events at the guard" 1001 events_fired;
+     check_float ~eps:1e-9 "virtual time at the guard" 500. simulated_time)
 
 let test_sim_reentrancy_rejected () =
   let sim = Nowsim.Sim.create () in

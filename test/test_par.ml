@@ -57,6 +57,28 @@ let test_init_and_map_reduce () =
   in
   Alcotest.(check int) "sum of squares" 338350 total
 
+(* map_reduce promises chunk-order combining, so with an associative but
+   NON-commutative combine (string concatenation) the result must be
+   identical for every domain count.  Array sizes that do and do not
+   divide evenly exercise the chunk-boundary arithmetic. *)
+let test_map_reduce_deterministic_across_domains () =
+  List.iter
+    (fun n ->
+       let input = Array.init n (fun i -> i) in
+       let map x = Printf.sprintf "%x." x in
+       let expected =
+         Array.fold_left (fun acc x -> acc ^ map x) "" input
+       in
+       List.iter
+         (fun domains ->
+            Alcotest.(check string)
+              (Printf.sprintf "n=%d domains=%d" n domains)
+              expected
+              (Csutil.Par.map_reduce ~domains ~map ~combine:( ^ ) ~init:""
+                 input))
+         [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    [ 0; 1; 7; 64; 103 ]
+
 (* --- Parallel Monte Carlo ---------------------------------------------------- *)
 
 let params = Model.params ~c:1.
@@ -101,6 +123,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_map_validation;
           Alcotest.test_case "spans domains" `Quick test_map_actually_spans_domains;
           Alcotest.test_case "init / map_reduce" `Quick test_init_and_map_reduce;
+          Alcotest.test_case "map_reduce domain invariance" `Quick
+            test_map_reduce_deterministic_across_domains;
         ] );
       ( "monte carlo",
         [

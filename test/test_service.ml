@@ -1,0 +1,554 @@
+(* Tests for the schedule-advice service: JSON round-trips, protocol
+   parsing, the sharded LRU table cache, the batch engine, and the
+   serving loop end to end.  The load-bearing property throughout: a
+   daemon response is byte-identical to a direct library call serialized
+   through the same protocol. *)
+
+open Service
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- Json ----------------------------------------------------------------- *)
+
+let test_json_print () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Float 1.5; Json.Bool true; Json.Null ]);
+        ("s", Json.String "x\"y\nz");
+      ]
+  in
+  Alcotest.(check string) "compact print"
+    {|{"a":1,"b":[1.5,true,null],"s":"x\"y\nz"}|} (Json.to_string v)
+
+let test_json_parse () =
+  (match Json.of_string {| {"a": [1, 2.5, "x"], "b": {"c": null}} |} with
+   | Ok v ->
+     Alcotest.(check bool) "a member" true
+       (Json.member "a" v
+        = Some (Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]));
+     Alcotest.(check bool) "nested" true
+       (Option.bind (Json.member "b" v) (Json.member "c") = Some Json.Null)
+   | Error e -> Alcotest.fail e);
+  (match Json.of_string {|"Aé\t"|} with
+   | Ok (Json.String s) -> Alcotest.(check string) "unicode escape" "A\xc3\xa9\t" s
+   | _ -> Alcotest.fail "unicode escape did not parse")
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+       match Json.of_string bad with
+       | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" bad)
+       | Error e ->
+         Alcotest.(check bool) "offset in message" true
+           (contains ~sub:"offset" e))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated"; "{'a':1}" ]
+
+let test_json_float_round_trip () =
+  List.iter
+    (fun x ->
+       let s = Json.to_string (Json.Float x) in
+       match Json.of_string s with
+       | Ok v ->
+         (match Json.to_float v with
+          | Some y ->
+            Alcotest.(check bool) (Printf.sprintf "%.17g round-trips" x) true
+              (x = y)
+          | None -> Alcotest.fail "not a number")
+       | Error e -> Alcotest.fail e)
+    [ 0.; 1.5; -3.25; 1. /. 3.; 86399.999999999996; 1e-300; 1.7e308; 0.1 ]
+
+(* Random JSON values for the printer/parser round-trip property. *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun n -> Json.Int n) (int_range (-1000000) 1000000);
+        map (fun x -> Json.Float x) (float_range (-1e6) 1e6);
+        map (fun s -> Json.String s) (string_size ~gen:printable (0 -- 12));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Json.List l) (list_size (0 -- 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (0 -- 4)
+                 (pair (string_size ~gen:printable (1 -- 6)) (value (depth - 1))))
+          );
+        ]
+  in
+  value 3
+
+let prop_json_round_trip =
+  QCheck.Test.make ~name:"Json.to_string round-trips through of_string"
+    ~count:300
+    (QCheck.make json_gen ~print:(fun v -> Json.to_string v))
+    (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> Json.equal v v'
+      | Error _ -> false)
+
+(* --- Protocol ------------------------------------------------------------- *)
+
+let roundtrip req =
+  let line = Json.to_string (Protocol.request_to_json ~id:(Json.Int 7) req) in
+  let e = Protocol.parse_line line in
+  Alcotest.(check bool) ("id echoed for " ^ line) true (e.Protocol.id = Json.Int 7);
+  match e.Protocol.request with
+  | Ok req' -> Alcotest.(check bool) ("round-trip " ^ line) true (req = req')
+  | Error msg -> Alcotest.fail msg
+
+let test_protocol_round_trip () =
+  roundtrip (Protocol.Advise { c = 30.; u = 86400.; p = 3 });
+  roundtrip (Protocol.Schedule { c = 1.; u = 1000.; p = 2; regime = "calibrated" });
+  roundtrip
+    (Protocol.Evaluate
+       { c = 1.; u = 20.; p = 1; policy = "adaptive"; periods = Some [ 8.; 7.; 5. ] });
+  roundtrip
+    (Protocol.Evaluate
+       { c = 2.; u = 500.; p = 2; policy = "geometric"; periods = None });
+  roundtrip (Protocol.Dp_query { c_ticks = 10; l = 2000; p = 3 });
+  roundtrip Protocol.Stats
+
+let expect_error line needle =
+  let e = Protocol.parse_line line in
+  match e.Protocol.request with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %s" line)
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s rejected with %S (got %S)" line needle msg)
+      true (contains ~sub:needle msg)
+
+let test_protocol_errors () =
+  expect_error "not json at all" "JSON parse error";
+  expect_error "[1,2,3]" "must be a JSON object";
+  expect_error {|{"id":1}|} "missing field \"op\"";
+  expect_error {|{"op":"frobnicate"}|} "unknown op";
+  expect_error {|{"op":"advise","c":-1}|} "c must be positive";
+  expect_error {|{"op":"advise","u":0}|} "U must be positive";
+  expect_error {|{"op":"advise","p":-2}|} "p must be non-negative";
+  expect_error {|{"op":"advise","c":"ten"}|} "must be a number";
+  expect_error {|{"op":"dp","c_ticks":0}|} "c_ticks must be >= 1";
+  expect_error {|{"op":"evaluate","periods":[1,"x"]}|} "only numbers";
+  (* The id is still echoed from a request whose body fails validation. *)
+  let e = Protocol.parse_line {|{"id":"q-1","op":"advise","c":-1}|} in
+  Alcotest.(check bool) "id survives invalid body" true
+    (e.Protocol.id = Json.String "q-1")
+
+let test_protocol_handle_errors () =
+  (match Protocol.handle (Protocol.Schedule { c = 1.; u = 10.; p = 1; regime = "bogus" }) with
+   | Error msg ->
+     Alcotest.(check bool) "unknown regime" true (contains ~sub:"unknown regime" msg)
+   | Ok _ -> Alcotest.fail "bogus regime accepted");
+  (match
+     Protocol.handle
+       (Protocol.Evaluate
+          { c = 1.; u = 10.; p = 1; policy = "bogus"; periods = None })
+   with
+   | Error msg ->
+     Alcotest.(check bool) "unknown policy" true (contains ~sub:"unknown policy" msg)
+   | Ok _ -> Alcotest.fail "bogus policy accepted");
+  (match
+     Protocol.handle
+       (Protocol.Evaluate
+          { c = 1.; u = 10.; p = 1; policy = "adaptive"; periods = Some [ 3.; 3. ] })
+   with
+   | Error msg ->
+     Alcotest.(check bool) "periods sum" true (contains ~sub:"periods sum" msg)
+   | Ok _ -> Alcotest.fail "mismatched periods accepted");
+  match Protocol.handle Protocol.Stats with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stats answered outside the daemon"
+
+(* --- Cache ---------------------------------------------------------------- *)
+
+let test_cache_canonicalization () =
+  let k1 = Cache.canonical ~c:10 ~p:3 ~l:1900 in
+  let k2 = Cache.canonical ~c:10 ~p:4 ~l:2048 in
+  Alcotest.(check bool) "nearby queries share a key" true (k1 = k2);
+  let k3 = Cache.canonical ~c:11 ~p:3 ~l:1900 in
+  Alcotest.(check bool) "c is kept exact" true (k1 <> k3);
+  let small = Cache.canonical ~c:1 ~p:0 ~l:10 in
+  Alcotest.(check int) "l floor" Cache.min_l (small.Cache.max_l);
+  Alcotest.(check int) "p floor" Cache.min_p (small.Cache.max_p)
+
+let test_cache_sharing_and_correctness () =
+  let cache = Cache.create ~capacity:4 () in
+  let a = Cache.find_or_solve cache ~c:10 ~p:2 ~l:300 in
+  let b = Cache.find_or_solve cache ~c:10 ~p:1 ~l:290 in
+  Alcotest.(check bool) "one physical table" true (a == b);
+  (* Values read from the shared canonical table equal a direct solve at
+     the query's own bounds. *)
+  List.iter
+    (fun (p, l) ->
+       let direct = Cyclesteal.Dp.solve ~c:10 ~max_p:p ~max_l:l in
+       Alcotest.(check int)
+         (Printf.sprintf "value at p=%d l=%d" p l)
+         (Cyclesteal.Dp.value direct ~p ~l)
+         (Cyclesteal.Dp.value a ~p ~l);
+       Alcotest.(check (list int))
+         (Printf.sprintf "episode at p=%d l=%d" p l)
+         (Cyclesteal.Dp.optimal_episode direct ~p ~l)
+         (Cyclesteal.Dp.optimal_episode a ~p ~l))
+    [ (2, 300); (1, 290); (0, 77) ];
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "one resident table" 1 s.Cache.resident;
+  Alcotest.(check bool) "footprint accounted" true (s.Cache.resident_bytes > 0)
+
+let test_cache_lru_eviction () =
+  let cache = Cache.create ~shards:1 ~capacity:2 () in
+  let k l = Cache.find_or_solve cache ~c:5 ~p:1 ~l in
+  let t256 = k 200 in
+  let _t512 = k 500 in
+  (* Touch the 256-table so the 512-table is the LRU victim. *)
+  let t256' = k 200 in
+  Alcotest.(check bool) "hit keeps the table" true (t256 == t256');
+  let _t1024 = k 1000 in
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check int) "capacity respected" 2 s.Cache.resident;
+  (* The touched table survived; the untouched one was evicted. *)
+  let t256'' = k 200 in
+  Alcotest.(check bool) "MRU survived" true (t256 == t256'');
+  let s = Cache.stats cache in
+  Alcotest.(check int) "three solves so far" 3 s.Cache.misses;
+  let _t512' = k 500 in
+  let s' = Cache.stats cache in
+  Alcotest.(check int) "evicted table re-solves" (s.Cache.misses + 1)
+    s'.Cache.misses
+
+let test_cache_preload_groups_solves () =
+  let cache = Cache.create ~capacity:8 () in
+  let keys =
+    [
+      Cache.canonical ~c:10 ~p:2 ~l:300;
+      Cache.canonical ~c:10 ~p:1 ~l:290;  (* same canonical key *)
+      Cache.canonical ~c:5 ~p:1 ~l:300;
+    ]
+  in
+  Cache.preload cache ~keys ~domains:2 ();
+  let s = Cache.stats cache in
+  Alcotest.(check int) "two distinct solves" 2 s.Cache.misses;
+  Alcotest.(check int) "two resident" 2 s.Cache.resident;
+  (* A later preload of present keys solves nothing. *)
+  Cache.preload cache ~keys ~domains:2 ();
+  let s' = Cache.stats cache in
+  Alcotest.(check int) "no further solves" s.Cache.misses s'.Cache.misses
+
+(* --- A mixed workload ------------------------------------------------------ *)
+
+(* >= 100 mixed advise/schedule/evaluate/dp requests with varying
+   parameters, as JSON lines.  Kept cheap enough for the exact minimax
+   evaluator (u <= 400) while exercising every op and the cache. *)
+let mixed_request_lines () =
+  let lines = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let policies =
+    [| "nonadaptive"; "adaptive"; "calibrated"; "one-period"; "geometric" |]
+  in
+  let regimes = [| "nonadaptive"; "adaptive"; "calibrated"; "opt-p1" |] in
+  for i = 0 to 29 do
+    add {|{"id":%d,"op":"advise","c":%d,"u":%d,"p":%d}|} (4 * i)
+      ((i mod 5) + 1)
+      (500 + (137 * i))
+      (i mod 4);
+    add {|{"id":%d,"op":"schedule","c":1,"u":%d,"p":%d,"regime":"%s"}|}
+      ((4 * i) + 1)
+      (100 + (31 * i))
+      ((i mod 3) + if regimes.(i mod 4) = "opt-p1" then 0 else 0)
+      regimes.(i mod 4);
+    add {|{"id":%d,"op":"evaluate","c":1,"u":%d,"p":%d,"policy":"%s"}|}
+      ((4 * i) + 2)
+      (50 + (23 * i))
+      (i mod 3)
+      policies.(i mod 5);
+    add {|{"id":%d,"op":"dp","c_ticks":%d,"l":%d,"p":%d}|}
+      ((4 * i) + 3)
+      (5 + (5 * (i mod 2)))
+      (100 + (29 * i))
+      (i mod 4)
+  done;
+  (* A custom-periods evaluation and some malformed lines for error
+     paths. *)
+  add {|{"id":120,"op":"evaluate","c":1,"u":20,"p":1,"periods":[8,7,5]}|};
+  add {|{"id":121,"op":"advise","c":-3}|};
+  add "garbage that is not json";
+  List.rev !lines
+
+(* The reference answer: parse and evaluate each line directly against
+   the library, no cache, no batching, no daemon. *)
+let direct_response line =
+  let e = Protocol.parse_line line in
+  let result = Result.bind e.Protocol.request (fun req -> Protocol.handle req) in
+  Protocol.response_to_string ~id:e.Protocol.id result
+
+let test_batch_matches_direct () =
+  let lines = mixed_request_lines () in
+  Alcotest.(check bool) "at least 100 requests" true (List.length lines >= 100);
+  let expected = List.map direct_response lines in
+  List.iter
+    (fun domains ->
+       let cache = Cache.create ~capacity:16 () in
+       let envelopes =
+         Array.of_list (List.map Protocol.parse_line lines)
+       in
+       let outcomes = Batch.run ~domains ~cache envelopes in
+       let got =
+         Array.to_list outcomes
+         |> List.map (fun (o : Batch.outcome) ->
+             Protocol.response_to_string ~id:o.Batch.envelope.Protocol.id
+               o.Batch.result)
+       in
+       List.iteri
+         (fun i (e, g) ->
+            Alcotest.(check string)
+              (Printf.sprintf "domains=%d line %d" domains i)
+              e g)
+         (List.combine expected got))
+    [ 1; 4 ]
+
+let test_batch_stats_payload () =
+  let cache = Cache.create ~capacity:4 () in
+  let payload = Json.Obj [ ("requests", Json.Int 42) ] in
+  let envelopes =
+    [| Protocol.parse_line {|{"id":1,"op":"stats"}|} |]
+  in
+  let out = Batch.run ~domains:1 ~stats_payload:payload ~cache envelopes in
+  match out.(0).Batch.result with
+  | Ok p -> Alcotest.(check bool) "snapshot served" true (Json.equal p payload)
+  | Error e -> Alcotest.fail e
+
+(* --- Server end to end ------------------------------------------------------ *)
+
+let with_temp_file content f =
+  let path = Filename.temp_file "cschedd_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       let oc = open_out path in
+       output_string oc content;
+       close_out oc;
+       f path)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       let rec go acc =
+         match input_line ic with
+         | line -> go (line :: acc)
+         | exception End_of_file -> List.rev acc
+       in
+       go [])
+
+let serve_lines ?batch_size lines =
+  let input = String.concat "\n" lines ^ "\n" in
+  with_temp_file input (fun in_path ->
+      let out_path = Filename.temp_file "cschedd_test" ".out" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove out_path with Sys_error _ -> ())
+        (fun () ->
+           let cache = Cache.create ~capacity:16 () in
+           let server = Server.create ?batch_size ~domains:2 ~cache () in
+           let in_fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+           let out_fd =
+             Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+           in
+           Fun.protect
+             ~finally:(fun () ->
+               Unix.close in_fd;
+               Unix.close out_fd)
+             (fun () -> Server.serve_fd server in_fd out_fd);
+           (read_lines out_path, Server.stats server, server)))
+
+let test_server_end_to_end () =
+  let lines = mixed_request_lines () in
+  let expected = List.map direct_response lines in
+  let got, stats, _server = serve_lines ~batch_size:32 lines in
+  Alcotest.(check int) "one response per request" (List.length lines)
+    (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+       Alcotest.(check string) (Printf.sprintf "line %d byte-identical" i) e g)
+    (List.combine expected got);
+  Alcotest.(check int) "requests counted" (List.length lines)
+    (Stats.requests stats);
+  Alcotest.(check int) "bytes served counted"
+    (List.fold_left (fun acc l -> acc + String.length l + 1) 0 got)
+    (Stats.bytes_served stats)
+
+let test_server_stats_request () =
+  let lines =
+    [
+      {|{"id":1,"op":"advise","c":1,"u":100,"p":1}|};
+      {|{"id":2,"op":"stats"}|};
+    ]
+  in
+  let got, _, _ = serve_lines ~batch_size:1 lines in
+  match got with
+  | [ _first; second ] ->
+    Alcotest.(check bool) "stats ok" true (contains ~sub:{|"ok":true|} second);
+    (* Batch size 1: the snapshot for request 2 has request 1 folded in. *)
+    Alcotest.(check bool) "previous request counted" true
+      (contains ~sub:{|"requests":1|} second);
+    Alcotest.(check bool) "advise tallied" true
+      (contains ~sub:{|"advise":1|} second)
+  | other ->
+    Alcotest.fail (Printf.sprintf "expected 2 responses, got %d" (List.length other))
+
+let test_server_survives_malformed_flood () =
+  let lines =
+    List.init 50 (fun i ->
+        if i mod 2 = 0 then Printf.sprintf "junk line %d" i
+        else {|{"op":"advise","c":1,"u":100,"p":1}|})
+  in
+  let got, stats, _ = serve_lines lines in
+  Alcotest.(check int) "all answered" 50 (List.length got);
+  Alcotest.(check int) "requests counted" 50 (Stats.requests stats);
+  List.iteri
+    (fun i line ->
+       let want_ok = i mod 2 = 1 in
+       Alcotest.(check bool)
+         (Printf.sprintf "line %d ok=%b" i want_ok)
+         want_ok
+         (contains ~sub:{|"ok":true|} line))
+    got
+
+let test_server_unterminated_final_line () =
+  (* A final request without a trailing newline must still be answered. *)
+  with_temp_file {|{"id":9,"op":"advise","c":1,"u":100,"p":1}|} (fun in_path ->
+      let out_path = Filename.temp_file "cschedd_test" ".out" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove out_path with Sys_error _ -> ())
+        (fun () ->
+           let cache = Cache.create ~capacity:4 () in
+           let server = Server.create ~domains:1 ~cache () in
+           let in_fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+           let out_fd =
+             Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+           in
+           Fun.protect
+             ~finally:(fun () ->
+               Unix.close in_fd;
+               Unix.close out_fd)
+             (fun () -> Server.serve_fd server in_fd out_fd);
+           match read_lines out_path with
+           | [ line ] ->
+             Alcotest.(check bool) "answered" true
+               (contains ~sub:{|"id":9,"ok":true|} line)
+           | other ->
+             Alcotest.fail
+               (Printf.sprintf "expected 1 response, got %d" (List.length other))))
+
+let test_server_socket () =
+  let dir = Filename.temp_file "cschedd_sock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "s.sock" in
+  let cache = Cache.create ~capacity:4 () in
+  let server = Server.create ~domains:1 ~cache () in
+  let serving = Domain.spawn (fun () -> Server.serve_socket server ~path) in
+  (* Wait for the socket to appear, connect, query, read, shut down. *)
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "socket never appeared"
+    else if Sys.file_exists path then ()
+    else begin
+      Unix.sleepf 0.02;
+      wait (tries - 1)
+    end
+  in
+  wait 250;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  let line = {|{"id":5,"op":"advise","c":1,"u":100,"p":1}|} in
+  let payload = line ^ "\n" in
+  ignore (Unix.write_substring sock payload 0 (String.length payload));
+  let buf = Bytes.create 4096 in
+  let n = Unix.read sock buf 0 4096 in
+  let response = Bytes.sub_string buf 0 n in
+  Alcotest.(check string) "socket response matches direct"
+    (direct_response line ^ "\n")
+    response;
+  Alcotest.(check bool) "response ok" true (contains ~sub:{|"ok":true|} response);
+  Server.request_stop server;
+  Unix.close sock;
+  (* Unblock the accept loop with one last throwaway connection. *)
+  (try
+     let poke = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     Unix.connect poke (Unix.ADDR_UNIX path);
+     Unix.close poke
+   with Unix.Unix_error _ -> ());
+  Domain.join serving;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
+  Unix.rmdir dir
+
+(* --- Summary rendering ------------------------------------------------------ *)
+
+let test_summary_renders () =
+  let _, _, server = serve_lines [ {|{"op":"advise","c":1,"u":100,"p":1}|} ] in
+  let s = Server.summary server in
+  Alcotest.(check bool) "has title" true (contains ~sub:"cschedd session summary" s);
+  Alcotest.(check bool) "has request count" true (contains ~sub:"requests" s)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "print" `Quick test_json_print;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "float round-trip" `Quick test_json_float_round_trip;
+        ] );
+      ("json props", qc [ prop_json_round_trip ]);
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_protocol_round_trip;
+          Alcotest.test_case "parse errors" `Quick test_protocol_errors;
+          Alcotest.test_case "handle errors" `Quick test_protocol_handle_errors;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "canonicalization" `Quick test_cache_canonicalization;
+          Alcotest.test_case "sharing + correctness" `Quick
+            test_cache_sharing_and_correctness;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "preload groups solves" `Quick
+            test_cache_preload_groups_solves;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "mixed batch matches direct calls" `Slow
+            test_batch_matches_direct;
+          Alcotest.test_case "stats snapshot" `Quick test_batch_stats_payload;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end to end, byte-identical" `Slow
+            test_server_end_to_end;
+          Alcotest.test_case "stats request" `Quick test_server_stats_request;
+          Alcotest.test_case "malformed flood" `Quick
+            test_server_survives_malformed_flood;
+          Alcotest.test_case "unterminated final line" `Quick
+            test_server_unterminated_final_line;
+          Alcotest.test_case "unix socket" `Quick test_server_socket;
+          Alcotest.test_case "summary" `Quick test_summary_renders;
+        ] );
+    ]

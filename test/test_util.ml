@@ -200,6 +200,78 @@ let prop_quantile_bounds =
       let mn, mx = Stats.min_max a in
       v >= mn -. 1e-9 && v <= mx +. 1e-9)
 
+(* An independent RFC 4180 reader: quoted cells may contain commas,
+   quotes (doubled) and newlines; rows are '\n'-terminated as
+   [Table.to_csv] writes them. *)
+let parse_csv s =
+  let n = String.length s in
+  let rows = ref [] and row = ref [] and buf = Buffer.create 16 in
+  let flush_cell () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec cell_start i =
+    if i >= n then begin
+      if Buffer.length buf > 0 || !row <> [] then flush_row ()
+    end
+    else if s.[i] = '"' then quoted (i + 1)
+    else unquoted i
+  and unquoted i =
+    if i >= n then flush_row ()
+    else
+      match s.[i] with
+      | ',' ->
+        flush_cell ();
+        cell_start (i + 1)
+      | '\n' ->
+        flush_row ();
+        cell_start (i + 1)
+      | ch ->
+        Buffer.add_char buf ch;
+        unquoted (i + 1)
+  and quoted i =
+    if i >= n then failwith "parse_csv: unterminated quoted cell"
+    else if s.[i] = '"' then
+      if i + 1 < n && s.[i + 1] = '"' then begin
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      end
+      else unquoted (i + 1)
+    else begin
+      Buffer.add_char buf s.[i];
+      quoted (i + 1)
+    end
+  in
+  cell_start 0;
+  List.rev !rows
+
+(* Cells biased toward the characters that trigger RFC 4180 quoting. *)
+let csv_cell_gen =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; ' '; ','; '"'; '\n'; '\r' ]) (0 -- 8))
+
+let csv_table_gen =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun cols ->
+  list_size (return cols) csv_cell_gen >>= fun headers ->
+  list_size (0 -- 6) (list_size (return cols) csv_cell_gen) >>= fun rows ->
+  return (headers, rows)
+
+let prop_csv_round_trip =
+  QCheck.Test.make ~name:"Table.to_csv round-trips through an RFC 4180 reader"
+    ~count:300
+    (QCheck.make csv_table_gen ~print:(fun (headers, rows) ->
+         String.concat " | " (headers :: rows |> List.map (String.concat ";"))))
+    (fun (headers, rows) ->
+      let t = Table.create headers in
+      List.iter (Table.add_row t) rows;
+      parse_csv (Table.to_csv t) = headers :: rows)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -238,5 +310,7 @@ let () =
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
         ] );
-      ("props", qc [ prop_positive_sub_nonneg; prop_quantile_bounds ]);
+      ( "props",
+        qc [ prop_positive_sub_nonneg; prop_quantile_bounds; prop_csv_round_trip ]
+      );
     ]

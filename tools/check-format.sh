@@ -1,0 +1,33 @@
+#!/bin/sh
+# Format gate for a container without ocamlformat: OCaml sources and
+# dune files must be tab-free, carry no trailing whitespace, and end
+# with a newline.  Run via `dune build @fmt` (or directly from the
+# repository root).
+set -eu
+
+fail=0
+tab=$(printf '\t')
+
+for f in $(find lib bin test bench examples -type f \
+             \( -name '*.ml' -o -name '*.mli' -o -name 'dune' \) \
+           | sort); do
+  if grep -n "$tab" "$f" >/dev/null 2>&1; then
+    echo "format: tab character in $f:" >&2
+    grep -n "$tab" "$f" | head -3 >&2
+    fail=1
+  fi
+  if grep -nE "[ $tab]+\$" "$f" >/dev/null 2>&1; then
+    echo "format: trailing whitespace in $f:" >&2
+    grep -nE "[ $tab]+\$" "$f" | head -3 >&2
+    fail=1
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | od -An -c | tr -d ' ')" != '\n' ]; then
+    echo "format: missing final newline in $f" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "format check: OK"
+fi
+exit "$fail"
