@@ -8,8 +8,12 @@
      csched sweep     -u 10000 --max-p 4
      csched simulate  -u 500 -p 2 --owner poisson --rate 0.01 --seed 7
      csched advise    -u 86400 -c 30 -p 3
+     csched strategies
 
-   Every subcommand prints human-readable tables (Csutil.Table). *)
+   Every subcommand prints human-readable tables (Csutil.Table).
+   Strategy and regime names resolve through Engine.Registry — the same
+   table the cschedd daemon, the bench harness and the NOW simulator
+   use, so all front ends accept exactly the same names. *)
 
 open Cyclesteal
 open Cmdliner
@@ -44,20 +48,32 @@ let seed =
   let doc = "PRNG seed (simulations are reproducible given the seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let validate ~c ~u ~p k =
-  if c <= 0. then `Error (false, "c must be positive")
-  else if u <= 0. then `Error (false, "U must be positive")
-  else if p < 0 then `Error (false, "p must be non-negative")
+(* In --json mode a bad argument becomes the daemon's structured error
+   object on stdout and a non-zero exit, so scripted callers parse one
+   shape for success and failure alike; otherwise cmdliner reports it. *)
+let fail ?(json = false) e =
+  if json then begin
+    print_endline (Service.Json.to_string (Service.Protocol.error_to_json e));
+    exit 1
+  end
+  else `Error (false, Error.to_string e)
+
+let validate ?json ~c ~u ~p k =
+  if c <= 0. then fail ?json (Error.Invalid_params "c must be positive")
+  else if u <= 0. then fail ?json (Error.Invalid_params "U must be positive")
+  else if p < 0 then fail ?json (Error.Invalid_params "p must be non-negative")
   else k (Model.params ~c) (Model.opportunity ~lifespan:u ~interrupts:p)
 
-(* Named policies available on the command line (shared with the
+(* Named strategies come from the engine registry (shared with the
    cschedd daemon, so the two front ends accept the same names). *)
-let policy_of_name = Service.Protocol.policy_of_name
+let policy_of_name params opp name =
+  Error.guard (fun () -> Engine.Registry.policy params opp name)
 
 let json_flag =
   let doc =
     "Emit the result as one line of JSON (the cschedd daemon's result \
-     payload for the same query, byte for byte)."
+     payload for the same query, byte for byte).  Errors become the \
+     daemon's structured error object and a non-zero exit."
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
@@ -68,12 +84,12 @@ let print_protocol_result request =
   | Ok payload ->
     print_endline (Service.Json.to_string payload);
     `Ok ()
-  | Error e -> `Error (false, e)
+  | Error e -> fail ~json:true e
 
 let policy_arg =
   let doc =
-    "Scheduling policy: nonadaptive | adaptive | calibrated | one-period | \
-     fixed-chunk | geometric."
+    Printf.sprintf "Scheduling strategy: %s (see $(b,csched strategies))."
+      (String.concat " | " (Engine.Registry.names ()))
   in
   Arg.(value & opt string "adaptive" & info [ "policy" ] ~docv:"POLICY" ~doc)
 
@@ -117,22 +133,19 @@ let print_schedule params s =
 
 let schedule_cmd =
   let regime =
-    let doc = "Which schedule to print: nonadaptive | adaptive | calibrated | opt-p1." in
+    let doc =
+      Printf.sprintf "Which schedule to print: %s."
+        (String.concat " | " (Engine.Registry.regime_names ()))
+    in
     Arg.(value & opt string "adaptive" & info [ "regime" ] ~docv:"REGIME" ~doc)
   in
   let run c u p regime =
     validate ~c ~u ~p (fun params _opp ->
-        let s =
-          match regime with
-          | "nonadaptive" -> Ok (Nonadaptive.guideline params ~u ~p)
-          | "adaptive" -> Ok (Adaptive.episode_schedule params ~p ~residual:u)
-          | "calibrated" ->
-            Ok (Adaptive.calibrated_episode_schedule params ~p ~residual:u)
-          | "opt-p1" -> Ok (Opt_p1.schedule params ~u)
-          | other -> Error (Printf.sprintf "unknown regime %S" other)
-        in
-        match s with
-        | Error e -> `Error (false, e)
+        match
+          Error.guard (fun () ->
+              Engine.Registry.episode_schedule params ~u ~p regime)
+        with
+        | Error e -> fail e
         | Ok s ->
           print_schedule params s;
           `Ok ())
@@ -153,30 +166,24 @@ let evaluate_cmd =
     in
     Arg.(value & opt (some string) None & info [ "periods" ] ~docv:"T1,T2,..." ~doc)
   in
-  let custom_policy u text =
-    try
-      let periods =
-        List.map (fun x -> float_of_string (String.trim x))
-          (String.split_on_char ',' text)
-      in
-      let s = Schedule.of_list periods in
-      if Float.abs (Schedule.total s -. u) > 1e-6 *. u then
-        Error
-          (Printf.sprintf "periods sum to %g, not U = %g" (Schedule.total s) u)
-      else Ok (Policy.rename (Policy.non_adaptive ~committed:s) "custom")
-    with
-    | Failure _ -> Error "periods must be numeric"
-    | Invalid_argument e -> Error e
-  in
   let parse_periods text =
     try
       Ok
         (List.map (fun x -> float_of_string (String.trim x))
            (String.split_on_char ',' text))
-    with Failure _ -> Error "periods must be numeric"
+    with Failure _ -> Error (Error.Invalid_params "periods must be numeric")
+  in
+  let custom_policy u text =
+    Result.bind (parse_periods text) (fun periods ->
+        Error.guard (fun () ->
+            let s = Schedule.of_list periods in
+            if Float.abs (Schedule.total s -. u) > 1e-6 *. u then
+              Error.invalidf "periods sum to %g, not U = %g" (Schedule.total s)
+                u
+            else Policy.rename (Policy.non_adaptive ~committed:s) "custom"))
   in
   let run c u p policy_name periods json =
-    validate ~c ~u ~p (fun params opp ->
+    validate ~json ~c ~u ~p (fun params opp ->
         if json then begin
           let parsed =
             match periods with
@@ -184,7 +191,7 @@ let evaluate_cmd =
             | Some text -> Result.map Option.some (parse_periods text)
           in
           match parsed with
-          | Error e -> `Error (false, e)
+          | Error e -> fail ~json e
           | Ok periods ->
             print_protocol_result
               (Service.Protocol.Evaluate
@@ -197,9 +204,9 @@ let evaluate_cmd =
           | None -> policy_of_name params opp policy_name
         in
         match policy with
-        | Error e -> `Error (false, e)
+        | Error e -> fail e
         | Ok policy ->
-          let grid = if u > 5_000. then Some (u /. 2e5) else None in
+          let grid = Engine.Planner.default_grid ~u in
           let g = Game.guaranteed ?grid params opp policy in
           let adv = Game.optimal_adversary ?grid params opp policy in
           let outcome = Game.run params opp policy adv in
@@ -249,9 +256,9 @@ let dp_cmd =
     Arg.(value & opt int 2000 & info [ "l"; "max-l" ] ~docv:"L" ~doc)
   in
   let run c_ticks max_l p =
-    if c_ticks < 1 then `Error (false, "c-ticks must be >= 1")
-    else if p < 0 then `Error (false, "p must be non-negative")
-    else if max_l < 0 then `Error (false, "max-l must be non-negative")
+    if c_ticks < 1 then fail (Error.Invalid_params "c-ticks must be >= 1")
+    else if p < 0 then fail (Error.Invalid_params "p must be non-negative")
+    else if max_l < 0 then fail (Error.Invalid_params "max-l must be non-negative")
     else begin
       let dp = Dp.solve ~c:c_ticks ~max_p:p ~max_l in
       let t =
@@ -295,19 +302,49 @@ let dp_cmd =
   let doc = "Solve the exact guaranteed-output game on an integer grid." in
   Cmd.v (Cmd.info "dp" ~doc) Term.(ret (const run $ ticks $ max_l $ interrupts))
 
+(* --- strategies ------------------------------------------------------------- *)
+
+let strategies_cmd =
+  let run json =
+    if json then print_protocol_result Service.Protocol.Strategies
+    else begin
+      let t =
+        Csutil.Table.create ~title:"Registered strategies"
+          ~aligns:Csutil.Table.[ Left; Left; Left; Left; Left ]
+          [ "name"; "kind"; "paper"; "aliases"; "summary" ]
+      in
+      List.iter
+        (fun (pl : Engine.Planner.t) ->
+           Csutil.Table.add_row t
+             [
+               pl.Engine.Planner.name;
+               Engine.Planner.kind_to_string pl.Engine.Planner.kind;
+               pl.Engine.Planner.paper;
+               String.concat ", " pl.Engine.Planner.aliases;
+               pl.Engine.Planner.summary;
+             ])
+        (Engine.Registry.all ());
+      Csutil.Table.print t;
+      Printf.printf "\nschedule regimes: %s\n"
+        (String.concat " | " (Engine.Registry.regime_names ()));
+      `Ok ()
+    end
+  in
+  let doc = "List the strategy registry (names, kinds, paper sections)." in
+  Cmd.v (Cmd.info "strategies" ~doc) Term.(ret (const run $ json_flag))
+
 (* --- table1 / table2 -------------------------------------------------------- *)
 
 let table1_cmd =
   let run c u p =
     validate ~c ~u ~p (fun params opp ->
-        if p < 1 then `Error (false, "table1 needs p >= 1")
+        if p < 1 then fail (Error.Invalid_params "table1 needs p >= 1")
         else begin
-          let s = Adaptive.episode_schedule params ~p ~residual:u in
+          let s = Engine.Registry.episode_schedule params ~u ~p "adaptive" in
+          let adaptive = Engine.Registry.policy params opp "adaptive" in
           let w_prev ~residual =
             if residual <= c then 0.
-            else
-              Game.guaranteed_at params opp Policy.adaptive_guideline ~p:(p - 1)
-                ~residual
+            else Game.guaranteed_at params opp adaptive ~p:(p - 1) ~residual
           in
           Csutil.Table.print (Analysis.table1 params s ~u ~w_prev);
           `Ok ()
@@ -346,11 +383,10 @@ let sweep_cmd =
         for p = 0 to max_p do
           let opp = Model.opportunity ~lifespan:u ~interrupts:p in
           let grid = u /. 2e5 in
-          let w_na =
-            Game.guaranteed ~grid params opp (Policy.nonadaptive_guideline params opp)
-          in
-          let w_ad = Game.guaranteed ~grid params opp Policy.adaptive_guideline in
-          let w_cal = Game.guaranteed ~grid params opp Policy.adaptive_calibrated in
+          let w_of name = Engine.Registry.guarantee ~grid params opp name in
+          let w_na = w_of "nonadaptive" in
+          let w_ad = w_of "adaptive" in
+          let w_cal = w_of "calibrated" in
           Csutil.Table.add_row t
             [
               string_of_int p;
@@ -387,11 +423,12 @@ let simulate_cmd =
   in
   let run c u p policy_name owner_kind rate stations task_size seed =
     validate ~c ~u ~p (fun params opp ->
-        if stations < 1 then `Error (false, "stations must be >= 1")
-        else if task_size <= 0. then `Error (false, "task-size must be positive")
+        if stations < 1 then fail (Error.Invalid_params "stations must be >= 1")
+        else if task_size <= 0. then
+          fail (Error.Invalid_params "task-size must be positive")
         else begin
           match policy_of_name params opp policy_name with
-          | Error e -> `Error (false, e)
+          | Error e -> fail e
           | Ok policy ->
             let rng = Csutil.Rng.create ~seed in
             let owner_for _station =
@@ -413,7 +450,14 @@ let simulate_cmd =
                         float_of_int (i + 1) /. float_of_int (p + 1)))
                 in
                 Ok (Workload.Interrupt_trace.to_adversary trace)
-              | other -> Error (Printf.sprintf "unknown owner %S" other)
+              | other ->
+                Error
+                  (Error.Unknown_name
+                     {
+                       kind = "owner";
+                       name = other;
+                       known = [ "adversary"; "poisson"; "shifts"; "none" ];
+                     })
             in
             let specs =
               List.init stations (fun i ->
@@ -433,7 +477,7 @@ let simulate_cmd =
                     | (Error e, _ | _, Error e) -> Error e)
                  specs (Ok [])
              with
-             | Error e -> `Error (false, e)
+             | Error e -> fail e
              | Ok specs ->
                let dist = Workload.Distribution.exponential ~mean:task_size in
                let bag =
@@ -481,7 +525,7 @@ let simulate_cmd =
 
 let advise_cmd =
   let run c u p json =
-    validate ~c ~u ~p (fun params opp ->
+    validate ~json ~c ~u ~p (fun params opp ->
         if json then print_protocol_result (Service.Protocol.Advise { c; u; p })
         else
         let advice = Guidelines.advise params opp in
@@ -510,7 +554,7 @@ let checkpoint_cmd =
   let run c u p h =
     validate ~c ~u ~p (fun params _opp ->
         if h <= 0. || h > c then
-          `Error (false, "checkpoint cost must satisfy 0 < h <= c")
+          fail (Error.Invalid_params "checkpoint cost must satisfy 0 < h <= c")
         else begin
           let cp = Checkpointing.params params ~h in
           let t =
@@ -562,13 +606,20 @@ let expected_cmd =
           | "exponential" -> Ok (Expected.exponential ~rate:(1. /. mean))
           | "uniform" -> Ok (Expected.uniform ~horizon:mean)
           | "weibull" -> Ok (Expected.weibull ~scale:mean ~shape)
-          | other -> Error (Printf.sprintf "unknown risk %S" other)
+          | other ->
+            Error
+              (Error.Unknown_name
+                 {
+                   kind = "risk";
+                   name = other;
+                   known = [ "exponential"; "uniform"; "weibull" ];
+                 })
         in
         match risk with
-        | Error e -> `Error (false, e)
+        | Error e -> fail e
         | Ok risk ->
           let s_dp, e_dp = Expected.optimal_schedule_dp params risk ~horizon:u ~steps:800 in
-          let s_gua = Nonadaptive.guideline params ~u ~p in
+          let s_gua = Engine.Registry.episode_schedule params ~u ~p "nonadaptive" in
           let t =
             Csutil.Table.create
               ~title:
@@ -693,7 +744,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            schedule_cmd; evaluate_cmd; dp_cmd; table1_cmd; table2_cmd;
-            sweep_cmd; simulate_cmd; advise_cmd; checkpoint_cmd; expected_cmd;
-            plan_cmd;
+            schedule_cmd; evaluate_cmd; dp_cmd; strategies_cmd; table1_cmd;
+            table2_cmd; sweep_cmd; simulate_cmd; advise_cmd; checkpoint_cmd;
+            expected_cmd; plan_cmd;
           ]))

@@ -13,8 +13,8 @@ open Cyclesteal
 (* [schedule ~u ~chunk] covers lifespan [u] with periods of length
    [chunk]; the remainder, if any, becomes a final shorter period. *)
 let schedule ~u ~chunk =
-  if chunk <= 0. then invalid_arg "Fixed_chunk.schedule: chunk must be positive";
-  if u <= 0. then invalid_arg "Fixed_chunk.schedule: u must be positive";
+  if chunk <= 0. then Error.invalid "Fixed_chunk.schedule: chunk must be positive";
+  if u <= 0. then Error.invalid "Fixed_chunk.schedule: u must be positive";
   let full = int_of_float (u /. chunk) in
   let remainder = u -. (float_of_int full *. chunk) in
   let periods =
@@ -29,7 +29,7 @@ let schedule ~u ~chunk =
    fraction f, i.e. chunk = c / f (f = 0.05 gives 5% overhead). *)
 let chunk_for_overhead params ~overhead_fraction =
   if overhead_fraction <= 0. || overhead_fraction >= 1. then
-    invalid_arg "Fixed_chunk.chunk_for_overhead: fraction outside (0, 1)";
+    Error.invalid "Fixed_chunk.chunk_for_overhead: fraction outside (0, 1)";
   Model.c params /. overhead_fraction
 
 let policy ~u ~chunk =

@@ -8,12 +8,12 @@ open Cyclesteal
 val schedule : u:float -> chunk:float -> Schedule.t
 (** Periods of length [chunk] covering [u]; a final shorter period
     absorbs the remainder.
-    @raise Invalid_argument unless [u > 0] and [chunk > 0]. *)
+    @raise Error.Error unless [u > 0] and [chunk > 0]. *)
 
 val chunk_for_overhead : Model.params -> overhead_fraction:float -> float
 (** The practitioner heuristic [c / f]: the chunk size whose completed
     periods spend fraction [f] of their time on setup.
-    @raise Invalid_argument unless [f] lies in (0, 1). *)
+    @raise Error.Error unless [f] lies in (0, 1). *)
 
 val policy : u:float -> chunk:float -> Policy.t
 (** {!schedule} wrapped with the non-adaptive tail semantics. *)

@@ -16,9 +16,9 @@ open Cyclesteal
    (front-loaded work: finish big pieces while the reclaim hazard is
    still low). *)
 let schedule ~u ~ratio ~m =
-  if u <= 0. then invalid_arg "Geometric.schedule: u must be positive";
-  if m <= 0 then invalid_arg "Geometric.schedule: m must be positive";
-  if ratio <= 0. then invalid_arg "Geometric.schedule: ratio must be positive";
+  if u <= 0. then Error.invalid "Geometric.schedule: u must be positive";
+  if m <= 0 then Error.invalid "Geometric.schedule: m must be positive";
+  if ratio <= 0. then Error.invalid "Geometric.schedule: ratio must be positive";
   if Float.abs (ratio -. 1.) < 1e-12 then
     Schedule.of_periods (Array.make m (u /. float_of_int m))
   else begin
@@ -31,7 +31,7 @@ let schedule ~u ~ratio ~m =
    the terminal-period guidance of Theorem 4.2. *)
 let auto_m params ~u ~ratio =
   if ratio <= 0. || ratio >= 1. then
-    invalid_arg "Geometric.auto_m: ratio must lie in (0, 1)";
+    Error.invalid "Geometric.auto_m: ratio must lie in (0, 1)";
   let c = Model.c params in
   let target = 1.5 *. c in
   (* Find the largest m with a * ratio^(m-1) >= target; search upward. *)

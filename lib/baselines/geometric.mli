@@ -9,12 +9,12 @@ open Cyclesteal
 
 val schedule : u:float -> ratio:float -> m:int -> Schedule.t
 (** [m] periods [a, a*ratio, a*ratio^2, ...] scaled to sum to [u].
-    @raise Invalid_argument unless [u > 0], [m > 0], [ratio > 0]. *)
+    @raise Error.Error unless [u > 0], [m > 0], [ratio > 0]. *)
 
 val auto_m : Model.params -> u:float -> ratio:float -> int
 (** The largest [m] keeping the smallest period at least [3c/2]
     (echoing Theorem 4.2's terminal-period guidance).
-    @raise Invalid_argument unless [ratio] lies in (0, 1). *)
+    @raise Error.Error unless [ratio] lies in (0, 1). *)
 
 val policy : Model.params -> u:float -> ratio:float -> Policy.t
 (** {!schedule} with {!auto_m}, wrapped with non-adaptive tails. *)

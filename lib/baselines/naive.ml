@@ -10,7 +10,7 @@
 open Cyclesteal
 
 let one_long_period ~u =
-  if u <= 0. then invalid_arg "Naive.one_long_period: u must be positive";
+  if u <= 0. then Error.invalid "Naive.one_long_period: u must be positive";
   Schedule.singleton u
 
 let uniform ~u ~m = Nonadaptive.equal_periods ~u ~m
@@ -19,7 +19,7 @@ let uniform ~u ~m = Nonadaptive.equal_periods ~u ~m
    more than half of each period; the last period absorbs the remainder. *)
 let minimal_periods params ~u =
   let c = Model.c params in
-  if u <= 0. then invalid_arg "Naive.minimal_periods: u must be positive";
+  if u <= 0. then Error.invalid "Naive.minimal_periods: u must be positive";
   let len = 2. *. c in
   let m = max 1 (int_of_float (u /. len)) in
   uniform ~u ~m

@@ -19,11 +19,11 @@
    value goes non-positive and is clamped from below. *)
 
 let ell ~p =
-  if p < 1 then invalid_arg "Adaptive.ell: p must be >= 1";
+  if p < 1 then Error.invalid "Adaptive.ell: p must be >= 1";
   (2 * p + 2) / 3 (* ceil (2p/3) *)
 
 let delta params ~p =
-  if p < 1 then invalid_arg "Adaptive.delta: p must be >= 1";
+  if p < 1 then Error.invalid "Adaptive.delta: p must be >= 1";
   4. ** float_of_int (1 - p) *. Model.c params
 
 (* The printed pivot length (p - (2 - 2^(2-p)) sqrt(2p) + 1/2) c, clamped
@@ -46,9 +46,9 @@ let small_residual_fallback params ~residual =
   Nonadaptive.equal_periods ~u:residual ~m
 
 let episode_schedule params ~p ~residual =
-  if p < 0 then invalid_arg "Adaptive.episode_schedule: p must be non-negative";
+  if p < 0 then Error.invalid "Adaptive.episode_schedule: p must be non-negative";
   if residual <= 0. then
-    invalid_arg "Adaptive.episode_schedule: residual must be positive";
+    Error.invalid "Adaptive.episode_schedule: residual must be positive";
   if p = 0 then Schedule.singleton residual
   else begin
     let c = Model.c params in
@@ -91,7 +91,7 @@ let episode_schedule params ~p ~residual =
    the O(U^(1/4) + pc) slack term:
      W >= U - (2 - 2^(1-p)) sqrt(2cU). *)
 let lower_bound params ~u ~p =
-  if p < 0 then invalid_arg "Adaptive.lower_bound: p must be non-negative";
+  if p < 0 then Error.invalid "Adaptive.lower_bound: p must be non-negative";
   let c = Model.c params in
   if p = 0 then Model.positive_sub u c
   else
@@ -101,7 +101,7 @@ let lower_bound params ~u ~p =
 (* The coefficient (2 - 2^(1-p)) of sqrt(2cU) in the loss term; exposed so
    experiments can report measured coefficients against it. *)
 let loss_coefficient ~p =
-  if p < 0 then invalid_arg "Adaptive.loss_coefficient: p must be non-negative";
+  if p < 0 then Error.invalid "Adaptive.loss_coefficient: p must be non-negative";
   if p = 0 then 0. else 2. -. (2. ** float_of_int (1 - p))
 
 (* --- Calibrated construction (extension, see DESIGN.md Section 4) -----
@@ -127,7 +127,7 @@ let loss_coefficient ~p =
    built backwards from a terminal period of 3c/2 (Theorem 4.2). *)
 
 let optimal_coefficient ~p =
-  if p < 0 then invalid_arg "Adaptive.optimal_coefficient: p must be non-negative";
+  if p < 0 then Error.invalid "Adaptive.optimal_coefficient: p must be non-negative";
   let rec go p acc = if p = 0 then acc else go (p - 1) ((acc +. Float.sqrt ((acc *. acc) +. 4.)) /. 2.) in
   go p 0.
 
@@ -157,9 +157,9 @@ let episode_value_against params ~residual s ~w_prev =
   !best
 
 let backward_build params ~p ~residual =
-  if p < 0 then invalid_arg "Adaptive.calibrated_episode_schedule: p < 0";
+  if p < 0 then Error.invalid "Adaptive.calibrated_episode_schedule: p < 0";
   if residual <= 0. then
-    invalid_arg "Adaptive.calibrated_episode_schedule: residual must be positive";
+    Error.invalid "Adaptive.calibrated_episode_schedule: residual must be positive";
   if p = 0 then Schedule.singleton residual
   else begin
     let c = Model.c params in
@@ -213,9 +213,9 @@ let backward_build params ~p ~residual =
    degenerates to the non-adaptive trade-off), scored by the one-episode
    minimax with the bootstrapped continuation. *)
 let calibrated_episode_schedule params ~p ~residual =
-  if p < 0 then invalid_arg "Adaptive.calibrated_episode_schedule: p < 0";
+  if p < 0 then Error.invalid "Adaptive.calibrated_episode_schedule: p < 0";
   if residual <= 0. then
-    invalid_arg "Adaptive.calibrated_episode_schedule: residual must be positive";
+    Error.invalid "Adaptive.calibrated_episode_schedule: residual must be positive";
   if p = 0 then Schedule.singleton residual
   else begin
     let c = Model.c params in

@@ -12,7 +12,7 @@ val episode_schedule : Model.params -> p:int -> residual:float -> Schedule.t
     arithmetic ramp with common difference [4^(1-p) c], grown to cover
     [residual] exactly (slack absorbed into the first period).  For
     [p = 1] this reproduces Table 2's [S_a^(1)] column.
-    @raise Invalid_argument when [p < 0] or [residual <= 0]. *)
+    @raise Error.Error when [p < 0] or [residual <= 0]. *)
 
 val ell : p:int -> int
 (** [ceil (2p/3)]: the number of terminal [3c/2] periods, paper

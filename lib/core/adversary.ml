@@ -19,9 +19,9 @@ let check_action schedule = function
   | Let_run -> ()
   | Interrupt { period; fraction } ->
     if period < 1 || period > Schedule.length schedule then
-      invalid_arg "Adversary: interrupt period out of range";
+      Error.range "Adversary: interrupt period out of range";
     if fraction <= 0. || fraction > 1. then
-      invalid_arg "Adversary: interrupt fraction outside (0, 1]"
+      Error.invalid "Adversary: interrupt fraction outside (0, 1]"
 
 type t = {
   name : string;
@@ -89,12 +89,12 @@ let at_times times =
   let rec check = function
     | [] | [ _ ] -> ()
     | a :: (b :: _ as rest) ->
-      if a >= b then invalid_arg "Adversary.at_times: times must be increasing";
+      if a >= b then Error.invalid "Adversary.at_times: times must be increasing";
       check rest
   in
   check times;
   List.iter
-    (fun t -> if t < 0. then invalid_arg "Adversary.at_times: negative time")
+    (fun t -> if t < 0. then Error.invalid "Adversary.at_times: negative time")
     times;
   let decide ctx s =
     let episode_start = Policy.elapsed ctx in
@@ -121,7 +121,7 @@ let at_times times =
    guaranteed floor. *)
 let random ~rng ~prob_per_episode =
   if prob_per_episode < 0. || prob_per_episode > 1. then
-    invalid_arg "Adversary.random: probability outside [0, 1]";
+    Error.invalid "Adversary.random: probability outside [0, 1]";
   let decide _ctx s =
     if Csutil.Rng.float01 rng > prob_per_episode then Let_run
     else begin

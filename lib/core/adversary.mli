@@ -21,7 +21,7 @@ val decide : t -> Policy.context -> Schedule.t -> action
 (** The strategy's decision for this episode.  Returns [Let_run]
     unconditionally once the interrupt budget is exhausted; validates
     the action's period index and fraction.
-    @raise Invalid_argument on a malformed action from the strategy. *)
+    @raise Error.Error on a malformed action from the strategy. *)
 
 val make :
   name:string -> decide:(Policy.context -> Schedule.t -> action) -> t
@@ -43,7 +43,7 @@ val kill_first : t
 val at_times : float list -> t
 (** Interrupts at the given strictly-increasing absolute elapsed times
     (a trace-driven owner).
-    @raise Invalid_argument on unsorted or negative times. *)
+    @raise Error.Error on unsorted or negative times. *)
 
 val random : rng:Csutil.Rng.t -> prob_per_episode:float -> t
 (** Non-malicious stochastic owner: each episode is interrupted with the

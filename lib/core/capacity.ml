@@ -16,7 +16,7 @@ type station = {
 }
 
 let station ?(speed = 1.) ~name ~params ~opportunity () =
-  if speed <= 0. then invalid_arg "Capacity.station: speed must be positive";
+  if speed <= 0. then Error.invalid "Capacity.station: speed must be positive";
   { name; params; opportunity; speed }
 
 (* The guaranteed floor used for planning.  [`Closed_form] uses the
@@ -53,8 +53,8 @@ type plan = {
    order is optimal for cardinality.  If the job is infeasible even with
    every station, all stations are selected and [feasible] is false. *)
 let plan ?estimator ~job stations =
-  if job <= 0. then invalid_arg "Capacity.plan: job must be positive";
-  if stations = [] then invalid_arg "Capacity.plan: no stations";
+  if job <= 0. then Error.invalid "Capacity.plan: job must be positive";
+  if stations = [] then Error.invalid "Capacity.plan: no stations";
   let with_floors =
     List.map (fun st -> (st, floor_of ?estimator st)) stations
   in
@@ -82,7 +82,7 @@ let plan ?estimator ~job stations =
    each share is individually guaranteed. *)
 let shares plan =
   if plan.total_floor <= 0. then
-    invalid_arg "Capacity.shares: plan has no capacity";
+    Error.invalid "Capacity.shares: plan has no capacity";
   List.map
     (fun (st, f) -> (st, plan.job *. f /. plan.total_floor))
     plan.selected

@@ -20,7 +20,7 @@ val station :
   opportunity:Model.opportunity ->
   unit ->
   station
-(** @raise Invalid_argument on non-positive [speed]. *)
+(** @raise Error.Error on non-positive [speed]. *)
 
 type estimator = [ `Closed_form | `Measured ]
 
@@ -44,13 +44,13 @@ val plan : ?estimator:estimator -> job:float -> station list -> plan
 (** A minimal-cardinality subset guaranteeing the job (largest floors
     first — optimal since coverage is a plain sum); selects everything
     and reports infeasibility when the job exceeds the total capacity.
-    @raise Invalid_argument on a non-positive job or empty station
+    @raise Error.Error on a non-positive job or empty station
     list. *)
 
 val shares : plan -> (station * float) list
 (** Split the job proportionally to the floors; under a feasible plan
     each share is individually guaranteed.
-    @raise Invalid_argument when the plan has zero capacity. *)
+    @raise Error.Error when the plan has zero capacity. *)
 
 val max_guaranteed_job : ?estimator:estimator -> station list -> float
 (** The largest job this station set can guarantee. *)

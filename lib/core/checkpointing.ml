@@ -41,9 +41,9 @@ type params = {
 }
 
 let params base ~h =
-  if h <= 0. then invalid_arg "Checkpointing.params: h must be positive";
+  if h <= 0. then Error.invalid "Checkpointing.params: h must be positive";
   if h > Model.c base then
-    invalid_arg "Checkpointing.params: h must not exceed the full setup cost c";
+    Error.invalid "Checkpointing.params: h must not exceed the full setup cost c";
   { base; h }
 
 let h t = t.h
@@ -52,8 +52,8 @@ let c t = Model.c t.base
 (* Optimal equal segment length (compute portion): s* = sqrt(U h / p) - h,
    clamped positive.  For p = 0 no checkpoints are needed at all. *)
 let optimal_segment t ~u ~p =
-  if u <= 0. then invalid_arg "Checkpointing.optimal_segment: u must be positive";
-  if p < 0 then invalid_arg "Checkpointing.optimal_segment: p must be non-negative";
+  if u <= 0. then Error.invalid "Checkpointing.optimal_segment: u must be positive";
+  if p < 0 then Error.invalid "Checkpointing.optimal_segment: p must be non-negative";
   if p = 0 then u
   else begin
     let stride = Float.sqrt (u *. t.h /. float_of_int p) in
@@ -63,7 +63,7 @@ let optimal_segment t ~u ~p =
 (* Closed-form guaranteed work of the non-adaptive equal-segment plan. *)
 let equal_segment_closed_form t ~u ~p =
   if p < 0 then
-    invalid_arg "Checkpointing.equal_segment_closed_form: p must be non-negative";
+    Error.invalid "Checkpointing.equal_segment_closed_form: p must be non-negative";
   let c = c t in
   if p = 0 then Model.positive_sub u c
   else begin
@@ -82,7 +82,7 @@ let equal_segment_closed_form t ~u ~p =
    with a_p the base game's optimal coefficients (verified against the
    DP within a few ticks in test_checkpointing.ml). *)
 let closed_form t ~u ~p =
-  if p < 0 then invalid_arg "Checkpointing.closed_form: p must be non-negative";
+  if p < 0 then Error.invalid "Checkpointing.closed_form: p must be non-negative";
   let c = c t in
   if p = 0 then Model.positive_sub u c
   else
@@ -102,9 +102,9 @@ type table = {
 and params_int = { c_ticks : int; h_ticks : int }
 
 let solve ~c_ticks ~h_ticks ~max_p ~max_l =
-  if h_ticks < 1 then invalid_arg "Checkpointing.solve: h must be >= 1 tick";
-  if c_ticks < h_ticks then invalid_arg "Checkpointing.solve: need c >= h";
-  if max_p < 0 || max_l < 0 then invalid_arg "Checkpointing.solve: negative bounds";
+  if h_ticks < 1 then Error.invalid "Checkpointing.solve: h must be >= 1 tick";
+  if c_ticks < h_ticks then Error.invalid "Checkpointing.solve: need c >= h";
+  if max_p < 0 || max_l < 0 then Error.invalid "Checkpointing.solve: negative bounds";
   let g = Array.make_matrix (max_p + 1) (max_l + 1) 0 in
   for l = 0 to max_l do
     g.(0).(l) <- l
@@ -131,8 +131,8 @@ let solve ~c_ticks ~h_ticks ~max_p ~max_l =
   { cp = { c_ticks; h_ticks }; max_p; max_l; g }
 
 let check t ~p ~l =
-  if p < 0 || p > t.max_p then invalid_arg "Checkpointing: p out of range";
-  if l < 0 || l > t.max_l then invalid_arg "Checkpointing: l out of range"
+  if p < 0 || p > t.max_p then Error.invalid "Checkpointing: p out of range";
+  if l < 0 || l > t.max_l then Error.invalid "Checkpointing: l out of range"
 
 (* Guaranteed work (in ticks) for a fresh opportunity of l ticks: pay the
    initial setup, then play. *)
@@ -155,7 +155,7 @@ let base_model_bound t ~u ~p = Adaptive.approx_value t.base ~p u
 (* Loss ratio (checkpointed loss / base-model loss); < 1 when
    checkpoints help.  Both from closed forms. *)
 let loss_ratio t ~u ~p =
-  if p <= 0 then invalid_arg "Checkpointing.loss_ratio: needs p >= 1";
+  if p <= 0 then Error.invalid "Checkpointing.loss_ratio: needs p >= 1";
   let base_loss = u -. base_model_bound t ~u ~p in
   let cp_loss = u -. closed_form t ~u ~p in
   cp_loss /. base_loss

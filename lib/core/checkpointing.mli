@@ -12,7 +12,7 @@
 type params
 
 val params : Model.params -> h:float -> params
-(** @raise Invalid_argument unless [0 < h <= c]. *)
+(** @raise Error.Error unless [0 < h <= c]. *)
 
 val h : params -> float
 val c : params -> float
@@ -39,7 +39,7 @@ val solve : c_ticks:int -> h_ticks:int -> max_p:int -> max_l:int -> table
     segments of [s] ticks followed by an [h]-tick checkpoint; a kill at
     the last instant wastes segment and checkpoint; resuming costs [c].
     [O(max_p * max_l^2)].
-    @raise Invalid_argument unless [1 <= h_ticks <= c_ticks]. *)
+    @raise Error.Error unless [1 <= h_ticks <= c_ticks]. *)
 
 val value : table -> p:int -> l:int -> int
 (** Guaranteed work (ticks) for a fresh opportunity of [l] ticks
@@ -55,4 +55,4 @@ val base_model_bound : params -> u:float -> p:int -> float
 val loss_ratio : params -> u:float -> p:int -> float
 (** Checkpointed loss over base-model loss (closed forms); below 1 when
     cheap checkpoints help.
-    @raise Invalid_argument when [p < 1]. *)
+    @raise Error.Error when [p < 1]. *)

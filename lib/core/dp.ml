@@ -17,74 +17,170 @@
    brute-force oracle below checks this on small instances).  The optimal
    episode schedule is recovered by following the argmax chain at fixed p.
 
-   Complexity: O(max_p * max_l^2) time, O(max_p * max_l) space. *)
+   Storage is a pair of flat Bigarrays in row-major order (row = p), so
+   the table can *grow in place*: the cell at (p, l) only reads cells at
+   strictly smaller l (same or previous row), hence extending max_l or
+   max_p never invalidates what is already solved — new cells are filled
+   and the old prefix is reused verbatim.  Growth is published as a fresh
+   [body] snapshot after the new cells are filled: concurrent readers
+   holding the previous snapshot keep reading the untouched prefix (or
+   the superseded arrays after a re-allocation), so a single grower —
+   e.g. the service cache under its shard lock — never races them.
 
-type t = {
-  c : int;
+   Complexity: O(max_p * max_l^2) time for a fresh solve; a grow pays
+   only for the new cells.  Space: O(cap_p * cap_l). *)
+
+type mat = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* One published state of the table.  [value]/[first] rows are laid out
+   with stride [cap_l + 1]; cells beyond (max_p, max_l) are unsolved. *)
+type body = {
   max_p : int;
   max_l : int;
-  value : int array array; (* value.(p).(l) = W(p)[l] *)
-  first : int array array; (* an optimal first period length at (p, l) *)
+  cap_p : int;
+  cap_l : int;
+  value : mat; (* value.{p * (cap_l+1) + l} = W(p)[l] *)
+  first : mat; (* an optimal first period length at (p, l) *)
 }
 
-let c t = t.c
-let max_p t = t.max_p
-let max_l t = t.max_l
+type t = { c : int; mutable body : body }
 
-let solve ~c ~max_p ~max_l =
-  if c < 1 then invalid_arg "Dp.solve: c must be >= 1 tick";
-  if max_p < 0 then invalid_arg "Dp.solve: max_p must be non-negative";
-  if max_l < 0 then invalid_arg "Dp.solve: max_l must be non-negative";
-  let value = Array.make_matrix (max_p + 1) (max_l + 1) 0 in
-  let first = Array.make_matrix (max_p + 1) (max_l + 1) 0 in
-  for l = 0 to max_l do
-    value.(0).(l) <- max 0 (l - c);
-    first.(0).(l) <- l
+let c t = t.c
+let max_p t = t.body.max_p
+let max_l t = t.body.max_l
+
+let footprint_bytes t =
+  let b = t.body in
+  2 * (b.cap_p + 1) * (b.cap_l + 1) * (Sys.word_size / 8)
+
+let alloc ~cap_p ~cap_l =
+  let a =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout
+      ((cap_p + 1) * (cap_l + 1))
+  in
+  Bigarray.Array1.fill a 0;
+  a
+
+(* Fill every cell of [body] not already solved when the bounds were
+   (old_p, old_l); pass old_p = -1 for a fresh table.  Rows ascend so a
+   cell's reads (previous row, smaller l in this row) are always ready:
+   for surviving rows only l > old_l is new, for new rows everything. *)
+let fill ~c body ~old_p ~old_l =
+  let open Bigarray in
+  let stride = body.cap_l + 1 in
+  let v = body.value and f = body.first in
+  let l0_row0 = if old_p < 0 then 0 else old_l + 1 in
+  for l = l0_row0 to body.max_l do
+    Array1.unsafe_set v l (max 0 (l - c));
+    Array1.unsafe_set f l l
   done;
-  for p = 1 to max_p do
-    let vp = value.(p) and vp1 = value.(p - 1) in
-    let fp = first.(p) in
-    for l = 1 to max_l do
+  for p = 1 to body.max_p do
+    let row = p * stride in
+    let prev = row - stride in
+    let l_from = if p > old_p then 0 else old_l + 1 in
+    if l_from = 0 then begin
+      Array1.unsafe_set v row 0;
+      Array1.unsafe_set f row 0
+    end;
+    for l = max 1 l_from to body.max_l do
       (* t = l is always available and yields min(vp1.(0), ...) = 0, so
          the maximum is at least 0; seed with it. *)
       let best = ref 0 and best_t = ref l in
       for t = 1 to l do
-        let survive = max 0 (t - c) + vp.(l - t) in
-        let killed = vp1.(l - t) in
+        let survive = max 0 (t - c) + Array1.unsafe_get v (row + l - t) in
+        let killed = Array1.unsafe_get v (prev + l - t) in
         let cand = if killed < survive then killed else survive in
         if cand > !best then begin
           best := cand;
           best_t := t
         end
       done;
-      vp.(l) <- !best;
-      fp.(l) <- !best_t
+      Array1.unsafe_set v (row + l) !best;
+      Array1.unsafe_set f (row + l) !best_t
     done
-  done;
-  { c; max_p; max_l; value; first }
+  done
 
-let check t ~p ~l =
-  if p < 0 || p > t.max_p then
-    invalid_arg (Printf.sprintf "Dp: p = %d outside 0..%d" p t.max_p);
-  if l < 0 || l > t.max_l then
-    invalid_arg (Printf.sprintf "Dp: l = %d outside 0..%d" l t.max_l)
+let solve ~c ~max_p ~max_l =
+  if c < 1 then Error.invalid "Dp.solve: c must be >= 1 tick";
+  if max_p < 0 then Error.invalid "Dp.solve: max_p must be non-negative";
+  if max_l < 0 then Error.invalid "Dp.solve: max_l must be non-negative";
+  let body =
+    {
+      max_p;
+      max_l;
+      cap_p = max_p;
+      cap_l = max_l;
+      value = alloc ~cap_p:max_p ~cap_l:max_l;
+      first = alloc ~cap_p:max_p ~cap_l:max_l;
+    }
+  in
+  fill ~c body ~old_p:(-1) ~old_l:(-1);
+  { c; body }
+
+let grow t ~max_p ~max_l =
+  if max_p < 0 then Error.invalid "Dp.grow: max_p must be non-negative";
+  if max_l < 0 then Error.invalid "Dp.grow: max_l must be non-negative";
+  let old = t.body in
+  let new_p = max old.max_p max_p and new_l = max old.max_l max_l in
+  if new_p > old.max_p || new_l > old.max_l then begin
+    let body =
+      if new_p <= old.cap_p && new_l <= old.cap_l then
+        (* Headroom suffices: share the arrays, only new cells will be
+           written (readers of the published body never look there). *)
+        { old with max_p = new_p; max_l = new_l }
+      else begin
+        (* Re-allocate with at least doubled exceeded capacities so a
+           sequence of small grows stays amortised, and blit the solved
+           prefix row by row (strides differ). *)
+        let cap_p = if new_p > old.cap_p then max new_p (2 * old.cap_p) else old.cap_p in
+        let cap_l = if new_l > old.cap_l then max new_l (2 * old.cap_l) else old.cap_l in
+        let value = alloc ~cap_p ~cap_l in
+        let first = alloc ~cap_p ~cap_l in
+        let old_stride = old.cap_l + 1 and stride = cap_l + 1 in
+        for p = 0 to old.max_p do
+          let cells = old.max_l + 1 in
+          Bigarray.Array1.blit
+            (Bigarray.Array1.sub old.value (p * old_stride) cells)
+            (Bigarray.Array1.sub value (p * stride) cells);
+          Bigarray.Array1.blit
+            (Bigarray.Array1.sub old.first (p * old_stride) cells)
+            (Bigarray.Array1.sub first (p * stride) cells)
+        done;
+        { max_p = new_p; max_l = new_l; cap_p; cap_l; value; first }
+      end
+    in
+    fill ~c:t.c body ~old_p:old.max_p ~old_l:old.max_l;
+    t.body <- body
+  end
+
+let check_body b ~p ~l =
+  if p < 0 || p > b.max_p then
+    Error.rangef "Dp: p = %d outside 0..%d" p b.max_p;
+  if l < 0 || l > b.max_l then
+    Error.rangef "Dp: l = %d outside 0..%d" l b.max_l
+
+let check t ~p ~l = check_body t.body ~p ~l
 
 let value t ~p ~l =
-  check t ~p ~l;
-  t.value.(p).(l)
+  let b = t.body in
+  check_body b ~p ~l;
+  Bigarray.Array1.get b.value ((p * (b.cap_l + 1)) + l)
 
 let optimal_first_period t ~p ~l =
-  check t ~p ~l;
-  t.first.(p).(l)
+  let b = t.body in
+  check_body b ~p ~l;
+  Bigarray.Array1.get b.first ((p * (b.cap_l + 1)) + l)
 
 (* The episode schedule optimal play follows while no interrupt occurs:
    the argmax chain at fixed p.  Covers l exactly. *)
 let optimal_episode t ~p ~l =
-  check t ~p ~l;
+  let b = t.body in
+  check_body b ~p ~l;
+  let row = p * (b.cap_l + 1) in
   let rec go l acc =
     if l = 0 then List.rev acc
     else begin
-      let tk = t.first.(p).(l) in
+      let tk = Bigarray.Array1.get b.first (row + l) in
       assert (tk >= 1 && tk <= l);
       go (l - tk) (tk :: acc)
     end
@@ -129,15 +225,17 @@ let rec brute_force_committed ~c ~p ~l =
 let tick_of_params t params = Model.c params /. float_of_int t.c
 
 let float_value t params ~p ~residual =
+  let b = t.body in
   let tick = tick_of_params t params in
-  let l = min t.max_l (int_of_float (residual /. tick)) in
-  let p = min p t.max_p in
-  float_of_int t.value.(p).(l) *. tick
+  let l = min b.max_l (int_of_float (residual /. tick)) in
+  let p = min p b.max_p in
+  float_of_int (Bigarray.Array1.get b.value ((p * (b.cap_l + 1)) + l)) *. tick
 
 let float_episode t params ~p ~residual =
+  let b = t.body in
   let tick = tick_of_params t params in
-  let l = min t.max_l (int_of_float (residual /. tick)) in
-  let p = min p t.max_p in
+  let l = min b.max_l (int_of_float (residual /. tick)) in
+  let p = min p b.max_p in
   if l = 0 then Schedule.singleton residual
   else begin
     let ticks = optimal_episode t ~p ~l in

@@ -4,7 +4,14 @@
     Time is measured in ticks; the setup cost [c] is an integer number of
     ticks.  The table holds [W(p)[L]] — the maximum work any adaptive
     schedule can guarantee with residual lifespan [L] and up to [p]
-    interrupts — for all [p <= max_p], [L <= max_l]. *)
+    interrupts — for all [p <= max_p], [L <= max_l].
+
+    The table is backed by flat [Bigarray]s and can {!grow} in place:
+    the recurrence at [(p, l)] only reads cells at strictly smaller
+    indices, so extending the bounds fills new cells and reuses the
+    solved prefix verbatim.  Growth must be driven by a single writer at
+    a time (e.g. the service cache under its shard lock); concurrent
+    readers of the previously published bounds are safe throughout. *)
 
 type t
 (** A solved table. *)
@@ -14,14 +21,26 @@ val solve : c:int -> max_p:int -> max_l:int -> t
     [W(p)[L] = max_t min (W(p-1)[L-t], (t (-) c) + W(p)[L-t])] with base
     cases [W(0)[L] = L (-) c] and [W(p)[0] = 0].
     [O(max_p * max_l^2)] time.
-    @raise Invalid_argument when [c < 1] or bounds are negative. *)
+    @raise Error.Error when [c < 1] or bounds are negative. *)
+
+val grow : t -> max_p:int -> max_l:int -> unit
+(** [grow t ~max_p ~max_l] extends the table in place to bounds
+    [max t.max_p max_p] and [max t.max_l max_l], solving only the new
+    cells; the existing prefix is reused, never recomputed.  A no-op
+    when the table already covers the requested bounds.  Capacity is at
+    least doubled on re-allocation so repeated small grows stay
+    amortised.  @raise Error.Error on negative bounds. *)
 
 val c : t -> int
 val max_p : t -> int
 val max_l : t -> int
 
+val footprint_bytes : t -> int
+(** Allocated size of the backing stores in bytes (capacity, not just
+    the solved bounds). *)
+
 val value : t -> p:int -> l:int -> int
-(** [W(p)[l]] in ticks.  @raise Invalid_argument out of table range. *)
+(** [W(p)[l]] in ticks.  @raise Error.Error out of table range. *)
 
 val optimal_first_period : t -> p:int -> l:int -> int
 (** An optimal first period length at state [(p, l)]. *)
@@ -29,6 +48,10 @@ val optimal_first_period : t -> p:int -> l:int -> int
 val optimal_episode : t -> p:int -> l:int -> int list
 (** The episode schedule optimal play follows while no interrupt occurs
     (the argmax chain at fixed [p]); covers [l] exactly. *)
+
+val check : t -> p:int -> l:int -> unit
+(** Validate that [(p, l)] lies inside the solved bounds.
+    @raise Error.Error otherwise. *)
 
 val brute_force_committed : c:int -> p:int -> l:int -> int
 (** Test oracle: exhaustive search over committed episode schedules

@@ -1,0 +1,59 @@
+(* The library's one structured error type.
+
+   Every validation failure in the model, the solvers, the service layer
+   and the binaries raises [Error] carrying a [t]; callers that prefer
+   values use [guard].  The classification is small and stable:
+
+   - [Invalid_params]: a caller-supplied parameter violates a model or
+     API precondition (non-positive cost, malformed schedule, ...);
+   - [Out_of_range]: an index or query point falls outside a table or
+     schedule that is otherwise well-formed;
+   - [Budget_exhausted]: an exact computation hit its state budget and
+     was abandoned (the caller should coarsen the query);
+   - [Unknown_name]: a registry/dispatch lookup failed; carries the
+     accepted names so the message can teach the caller.
+
+   Generic container utilities in [Csutil] keep raising the stdlib's
+   [Invalid_argument]: they are not part of the scheduling domain and
+   their callers are library code, not end users. *)
+
+type t =
+  | Invalid_params of string
+  | Out_of_range of string
+  | Budget_exhausted of { states : int; budget : int }
+  | Unknown_name of { kind : string; name : string; known : string list }
+
+exception Error of t
+
+let code = function
+  | Invalid_params _ -> "invalid_params"
+  | Out_of_range _ -> "out_of_range"
+  | Budget_exhausted _ -> "budget_exhausted"
+  | Unknown_name _ -> "unknown_name"
+
+let to_string = function
+  | Invalid_params msg -> msg
+  | Out_of_range msg -> msg
+  | Budget_exhausted { states; budget } ->
+    Printf.sprintf "state budget exceeded (%d states, budget %d); use a coarser query"
+      states budget
+  | Unknown_name { kind; name; known } ->
+    Printf.sprintf "unknown %s %S (want %s)" kind name
+      (String.concat " | " known)
+
+let raise_error t = raise (Error t)
+
+let invalid msg = raise_error (Invalid_params msg)
+let invalidf fmt = Printf.ksprintf invalid fmt
+let range msg = raise_error (Out_of_range msg)
+let rangef fmt = Printf.ksprintf range fmt
+let budget_exhausted ~states ~budget = raise_error (Budget_exhausted { states; budget })
+let unknown ~kind ~name ~known = raise_error (Unknown_name { kind; name; known })
+
+(* Run [f], turning a raised [Error] into [Result.Error]. *)
+let guard f = match f () with v -> Ok v | exception Error t -> Result.Error t
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some (Printf.sprintf "Cyclesteal.Error.Error(%s: %s)" (code t) (to_string t))
+    | _ -> None)

@@ -1,0 +1,44 @@
+(** The library's one structured error type.
+
+    Validation failures across the model, solvers, service layer and
+    binaries raise {!exception-Error} carrying a {!t}; use {!guard} to
+    get a [result] instead.  Generic container utilities in [Csutil]
+    keep raising the stdlib's [Invalid_argument] — they are not part of
+    the scheduling domain. *)
+
+type t =
+  | Invalid_params of string
+      (** A caller-supplied parameter violates a precondition. *)
+  | Out_of_range of string
+      (** An index or query point falls outside a well-formed table. *)
+  | Budget_exhausted of { states : int; budget : int }
+      (** An exact computation hit its state budget; coarsen the query. *)
+  | Unknown_name of { kind : string; name : string; known : string list }
+      (** A registry/dispatch lookup failed; [known] lists valid names. *)
+
+exception Error of t
+
+val code : t -> string
+(** Stable machine-readable tag: ["invalid_params"], ["out_of_range"],
+    ["budget_exhausted"] or ["unknown_name"]. *)
+
+val to_string : t -> string
+(** Human-readable rendering (the message for the two string cases). *)
+
+val raise_error : t -> 'a
+
+val invalid : string -> 'a
+(** [invalid msg] raises [Error (Invalid_params msg)]. *)
+
+val invalidf : ('a, unit, string, 'b) format4 -> 'a
+
+val range : string -> 'a
+(** [range msg] raises [Error (Out_of_range msg)]. *)
+
+val rangef : ('a, unit, string, 'b) format4 -> 'a
+
+val budget_exhausted : states:int -> budget:int -> 'a
+val unknown : kind:string -> name:string -> known:string list -> 'a
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** [guard f] runs [f], catching a raised [Error] as [Result.Error]. *)

@@ -28,16 +28,16 @@ type risk =
     (* shape < 1: decreasing hazard; shape > 1: increasing hazard *)
 
 let exponential ~rate =
-  if rate <= 0. then invalid_arg "Expected.exponential: rate must be positive";
+  if rate <= 0. then Error.invalid "Expected.exponential: rate must be positive";
   Exponential { rate }
 
 let uniform ~horizon =
-  if horizon <= 0. then invalid_arg "Expected.uniform: horizon must be positive";
+  if horizon <= 0. then Error.invalid "Expected.uniform: horizon must be positive";
   Uniform { horizon }
 
 let weibull ~scale ~shape =
   if scale <= 0. || shape <= 0. then
-    invalid_arg "Expected.weibull: scale and shape must be positive";
+    Error.invalid "Expected.weibull: scale and shape must be positive";
   Weibull { scale; shape }
 
 let survival risk t =
@@ -89,7 +89,7 @@ let expected_work params risk s =
    search finds t*. *)
 let optimal_period_exponential params ~rate =
   if rate <= 0. then
-    invalid_arg "Expected.optimal_period_exponential: rate must be positive";
+    Error.invalid "Expected.optimal_period_exponential: rate must be positive";
   let c = Model.c params in
   let f t =
     let q = Float.exp (-.rate *. t) in
@@ -124,7 +124,7 @@ let optimal_period_exponential params ~rate =
    (the final period absorbs the remainder). *)
 let optimal_exponential_schedule params ~rate ~horizon =
   if horizon <= 0. then
-    invalid_arg "Expected.optimal_exponential_schedule: horizon must be positive";
+    Error.invalid "Expected.optimal_exponential_schedule: horizon must be positive";
   let t_star = optimal_period_exponential params ~rate in
   if t_star >= horizon then Schedule.singleton horizon
   else begin
@@ -141,8 +141,8 @@ let optimal_exponential_schedule params ~rate ~horizon =
    Returns the optimal schedule (boundaries mapped back to times). *)
 let optimal_schedule_dp params risk ~horizon ~steps =
   if horizon <= 0. then
-    invalid_arg "Expected.optimal_schedule_dp: horizon must be positive";
-  if steps < 1 then invalid_arg "Expected.optimal_schedule_dp: steps must be >= 1";
+    Error.invalid "Expected.optimal_schedule_dp: horizon must be positive";
+  if steps < 1 then Error.invalid "Expected.optimal_schedule_dp: steps must be >= 1";
   let c = Model.c params in
   let dt = horizon /. float_of_int steps in
   let time i = float_of_int i *. dt in
@@ -193,7 +193,7 @@ let one_sample params risk s rng =
    opportunity runs the schedule until X; used by tests to validate
    [expected_work] through the game engine's accounting. *)
 let monte_carlo_expected params risk s ~rng ~samples =
-  if samples < 1 then invalid_arg "Expected.monte_carlo_expected: samples >= 1";
+  if samples < 1 then Error.invalid "Expected.monte_carlo_expected: samples >= 1";
   let acc = ref 0. in
   for _ = 1 to samples do
     acc := !acc +. one_sample params risk s rng
@@ -205,11 +205,11 @@ let monte_carlo_expected params risk s ~rng ~samples =
    result does not depend on how chunks are scheduled. *)
 let monte_carlo_expected_par ?domains params risk s ~seed ~samples =
   if samples < 1 then
-    invalid_arg "Expected.monte_carlo_expected_par: samples >= 1";
+    Error.invalid "Expected.monte_carlo_expected_par: samples >= 1";
   let chunks =
     match domains with
     | Some d when d >= 1 -> d
-    | Some _ -> invalid_arg "Expected.monte_carlo_expected_par: domains >= 1"
+    | Some _ -> Error.invalid "Expected.monte_carlo_expected_par: domains >= 1"
     | None -> Csutil.Par.available_domains ()
   in
   let chunks = min chunks samples in

@@ -15,7 +15,7 @@ type risk =
       (** [shape < 1]: decreasing hazard; [> 1]: increasing hazard *)
 
 val exponential : rate:float -> risk
-(** @raise Invalid_argument on non-positive parameters (likewise
+(** @raise Error.Error on non-positive parameters (likewise
     below). *)
 
 val uniform : horizon:float -> risk

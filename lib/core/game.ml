@@ -31,11 +31,11 @@ let progress_eps opp = 1e-9 *. opp.Model.lifespan
 let check_plan ~policy_name ~eps ctx s =
   let tot = Schedule.total s in
   if tot > ctx.Policy.residual +. eps then
-    invalid_arg
+    Error.invalid
       (Printf.sprintf "Game: policy %s planned %g exceeding residual %g"
          policy_name tot ctx.Policy.residual);
   if tot <= eps then
-    invalid_arg
+    Error.invalid
       (Printf.sprintf "Game: policy %s planned a zero-length episode" policy_name)
 
 let run params opportunity policy adversary =
@@ -95,7 +95,7 @@ let run params opportunity policy adversary =
    completed-period time, '.' for the setup share, 'x' for the killed
    stretch, '!' at the interrupt.  Used by the CLI's evaluate command. *)
 let render_timeline ?(width = 72) params opportunity outcome =
-  if width < 16 then invalid_arg "Game.render_timeline: width too small";
+  if width < 16 then Error.invalid "Game.render_timeline: width too small";
   let u = opportunity.Model.lifespan in
   let c = Model.c params in
   let col t = int_of_float (t /. u *. float_of_int (width - 1)) in
@@ -156,8 +156,6 @@ let render_timeline ?(width = 72) params opportunity outcome =
    space finite at the cost of under-approximating the value by at most
    one grid step per episode. *)
 
-exception State_budget_exceeded of int
-
 let make_solver ?grid ?(max_states = 4_000_000) params opportunity policy =
   let c = Model.c params in
   let eps = progress_eps opportunity in
@@ -176,7 +174,8 @@ let make_solver ?grid ?(max_states = 4_000_000) params opportunity policy =
       | Some v -> v
       | None ->
         incr states;
-        if !states > max_states then raise (State_budget_exceeded !states);
+        if !states > max_states then
+          Error.budget_exhausted ~states:!states ~budget:max_states;
         let ctx =
           { Policy.params; opportunity; residual; interrupts_left = p }
         in

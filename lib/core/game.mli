@@ -25,12 +25,8 @@ val run :
 (** Play the opportunity out: repeatedly plan an episode, let the
     adversary react, account the work.  Terminates when the residual
     lifespan is exhausted.
-    @raise Invalid_argument if the policy plans a zero-length episode or
+    @raise Error.Error if the policy plans a zero-length episode or
     overruns the residual. *)
-
-exception State_budget_exceeded of int
-(** Raised by the minimax evaluators when the memoised state space grows
-    past [max_states]; pass [~grid] to bound it. *)
 
 val guaranteed :
   ?grid:float ->
@@ -45,7 +41,9 @@ val guaranteed :
     residual lifespan, which covers every policy in this library.  With
     [~grid] residuals are rounded down to the grid: the state space
     becomes finite and the result is a lower bound on the exact value
-    (off by at most one grid step per episode). *)
+    (off by at most one grid step per episode).
+    @raise Error.Error ([Budget_exhausted]) when the memoised state
+    space grows past [max_states]; pass [~grid] to bound it. *)
 
 val guaranteed_at :
   ?grid:float ->
@@ -75,4 +73,4 @@ val render_timeline :
 (** An ASCII timeline of the played opportunity, one lane per episode:
     ['.'] setup, ['='] productive work, ['x'] the killed stretch, ['!']
     the interrupt instant.  [width] defaults to 72 columns.
-    @raise Invalid_argument when [width < 16]. *)
+    @raise Error.Error when [width < 16]. *)

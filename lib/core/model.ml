@@ -9,7 +9,7 @@ type params = { c : float }
 
 let params ~c =
   if not (Float.is_finite c) || c <= 0. then
-    invalid_arg "Model.params: setup cost c must be finite and positive";
+    Error.invalid "Model.params: setup cost c must be finite and positive";
   { c }
 
 let c t = t.c
@@ -21,9 +21,9 @@ type opportunity = {
 
 let opportunity ~lifespan ~interrupts =
   if not (Float.is_finite lifespan) || lifespan <= 0. then
-    invalid_arg "Model.opportunity: lifespan U must be finite and positive";
+    Error.invalid "Model.opportunity: lifespan U must be finite and positive";
   if interrupts < 0 then
-    invalid_arg "Model.opportunity: interrupt bound p must be non-negative";
+    Error.invalid "Model.opportunity: interrupt bound p must be non-negative";
   { lifespan; interrupts }
 
 (* Positive subtraction, the paper's x (-) y = max(0, x - y).  A period of
@@ -36,7 +36,7 @@ let positive_sub = Csutil.Float_ext.positive_sub
    productive period, so no schedule guarantees positive work.  This is the
    smallest lifespan worth borrowing. *)
 let min_useful_lifespan t ~interrupts =
-  if interrupts < 0 then invalid_arg "Model.min_useful_lifespan: negative p";
+  if interrupts < 0 then Error.invalid "Model.min_useful_lifespan: negative p";
   float_of_int (interrupts + 1) *. t.c
 
 let is_degenerate t opp =

@@ -14,7 +14,7 @@ type params
 
 val params : c:float -> params
 (** [params ~c] validates [c > 0].
-    @raise Invalid_argument otherwise. *)
+    @raise Error.Error otherwise. *)
 
 val c : params -> float
 (** The communication-setup cost. *)
@@ -27,7 +27,7 @@ type opportunity = {
 
 val opportunity : lifespan:float -> interrupts:int -> opportunity
 (** Smart constructor validating [lifespan > 0] and [interrupts >= 0].
-    @raise Invalid_argument otherwise. *)
+    @raise Error.Error otherwise. *)
 
 val ( -^ ) : float -> float -> float
 (** Positive subtraction: [x -^ y = max 0. (x -. y)], the paper's

@@ -13,8 +13,8 @@
 (* Equal-period schedule covering [u] with [m] periods.  Because
    m * (u/m) = u exactly, no residual handling is needed. *)
 let equal_periods ~u ~m =
-  if m <= 0 then invalid_arg "Nonadaptive.equal_periods: m must be positive";
-  if u <= 0. then invalid_arg "Nonadaptive.equal_periods: u must be positive";
+  if m <= 0 then Error.invalid "Nonadaptive.equal_periods: m must be positive";
+  if u <= 0. then Error.invalid "Nonadaptive.equal_periods: u must be positive";
   Schedule.of_periods (Array.make m (u /. float_of_int m))
 
 (* Section 3.1 guideline: m(p)[U] = floor(sqrt(pU/c)) periods.  The paper
@@ -24,8 +24,8 @@ let equal_periods ~u ~m =
    analysis and makes the schedule cover U exactly.  For p = 0 the optimal
    schedule is the single long period (Proposition 4.1(d)). *)
 let guideline params ~u ~p =
-  if u <= 0. then invalid_arg "Nonadaptive.guideline: u must be positive";
-  if p < 0 then invalid_arg "Nonadaptive.guideline: p must be non-negative";
+  if u <= 0. then Error.invalid "Nonadaptive.guideline: u must be positive";
+  if p < 0 then Error.invalid "Nonadaptive.guideline: p must be non-negative";
   if p = 0 then Schedule.singleton u
   else begin
     let c = Model.c params in
@@ -72,18 +72,18 @@ let work_given_interrupts params ~u ~p s ~interrupted =
     | [] | [ _ ] -> ()
     | a :: (b :: _ as rest) ->
       if a >= b then
-        invalid_arg "Nonadaptive.work_given_interrupts: indices must be increasing";
+        Error.invalid "Nonadaptive.work_given_interrupts: indices must be increasing";
       check_sorted rest
   in
   check_sorted interrupted;
   List.iter
     (fun k ->
        if k < 1 || k > m then
-         invalid_arg "Nonadaptive.work_given_interrupts: index outside 1..m")
+         Error.invalid "Nonadaptive.work_given_interrupts: index outside 1..m")
     interrupted;
   let a = List.length interrupted in
   if a > p then
-    invalid_arg "Nonadaptive.work_given_interrupts: more interrupts than p";
+    Error.invalid "Nonadaptive.work_given_interrupts: more interrupts than p";
   let c = Model.c params in
   if a = p && p > 0 then begin
     (* All interrupts used: periods before the last interrupt contribute
@@ -163,7 +163,7 @@ let last_p_periods_interrupts s ~p =
    the guideline's m = floor(sqrt(pU/c)) is within O(1) of the best
    equal-period choice. *)
 let best_equal_period_count params ~u ~p ~max_m =
-  if max_m < 1 then invalid_arg "Nonadaptive.best_equal_period_count: max_m < 1";
+  if max_m < 1 then Error.invalid "Nonadaptive.best_equal_period_count: max_m < 1";
   let best = ref (1, fst (worst_case params ~u ~p (equal_periods ~u ~m:1))) in
   for m = 2 to max_m do
     let w = fst (worst_case params ~u ~p (equal_periods ~u ~m)) in

@@ -29,7 +29,7 @@ val work_given_interrupts :
     (strictly increasing indices, at their last instants) out of a budget
     of [p]; implements the paper's [W(S)] formula including the
     long-period consolidation after the [p]-th interrupt.
-    @raise Invalid_argument on malformed index lists. *)
+    @raise Error.Error on malformed index lists. *)
 
 val worst_case :
   Model.params -> u:float -> p:int -> Schedule.t -> float * int list

@@ -10,7 +10,7 @@
      m^(1)[U] = ceil( sqrt(2U/c - 7/4) - 1/2 ).         (5.1) *)
 
 let alpha params ~u ~m =
-  if m < 1 then invalid_arg "Opt_p1.alpha: m must be positive";
+  if m < 1 then Error.invalid "Opt_p1.alpha: m must be positive";
   let c = Model.c params in
   ((u -. c) /. (float_of_int m *. c)) -. (float_of_int (m - 1) /. 2.)
 
@@ -38,7 +38,7 @@ let m_opt params ~u =
    so any schedule guarantees zero work; we return the single long period
    (it at least achieves U - c if the adversary declines to interrupt). *)
 let schedule params ~u =
-  if u <= 0. then invalid_arg "Opt_p1.schedule: u must be positive";
+  if u <= 0. then Error.invalid "Opt_p1.schedule: u must be positive";
   let c = Model.c params in
   if u <= 2. *. c then Schedule.singleton u
   else begin

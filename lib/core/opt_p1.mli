@@ -20,7 +20,7 @@ val alpha : Model.params -> u:float -> m:int -> float
 val schedule : Model.params -> u:float -> Schedule.t
 (** [S_opt^(1)[U]]; the single long period when [U <= 2c]
     (Proposition 4.1(c) territory).
-    @raise Invalid_argument when [u <= 0]. *)
+    @raise Error.Error when [u <= 0]. *)
 
 val closed_form : Model.params -> u:float -> float
 (** Table 2's approximation [W^(1)[U] ~ U - sqrt(2cU) - c/2]

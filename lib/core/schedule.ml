@@ -15,11 +15,11 @@ type t = {
 
 let validate_periods periods =
   let m = Array.length periods in
-  if m = 0 then invalid_arg "Schedule: a schedule needs at least one period";
+  if m = 0 then Error.invalid "Schedule: a schedule needs at least one period";
   Array.iteri
     (fun i t ->
        if not (Float.is_finite t) || t <= 0. then
-         invalid_arg
+         Error.invalid
            (Printf.sprintf
               "Schedule: period %d has non-positive or non-finite length %g"
               (i + 1) t))
@@ -43,9 +43,8 @@ let total t = t.starts.(Array.length t.periods)
 
 let check_index t k =
   if k < 1 || k > Array.length t.periods then
-    invalid_arg
-      (Printf.sprintf "Schedule: period index %d outside 1..%d" k
-         (Array.length t.periods))
+    Error.rangef "Schedule: period index %d outside 1..%d" k
+      (Array.length t.periods)
 
 (* t_k, 1-based as in the paper. *)
 let period t k =
@@ -75,7 +74,7 @@ let work_if_uninterrupted params t =
    period k).  [k = m+1] is allowed and means "nothing was killed". *)
 let work_before params t k =
   if k < 1 || k > Array.length t.periods + 1 then
-    invalid_arg "Schedule.work_before: index outside 1..m+1";
+    Error.range "Schedule.work_before: index outside 1..m+1";
   let c = Model.c params in
   let acc = ref 0. in
   for i = 0 to k - 2 do
@@ -126,13 +125,13 @@ let split_period t ~k =
    t_k, ..., t_m.  Returns [None] when the tail is empty. *)
 let tail t ~from =
   let m = Array.length t.periods in
-  if from < 1 || from > m + 1 then invalid_arg "Schedule.tail: index outside 1..m+1";
+  if from < 1 || from > m + 1 then Error.range "Schedule.tail: index outside 1..m+1";
   if from = m + 1 then None
   else Some (of_periods (Array.sub t.periods (from - 1) (m - from + 1)))
 
 let append t extra =
   if not (Float.is_finite extra) || extra <= 0. then
-    invalid_arg "Schedule.append: extra period must be positive";
+    Error.invalid "Schedule.append: extra period must be positive";
   of_periods (Array.append t.periods [| extra |])
 
 let equal ?(tol = 1e-9) a b =

@@ -10,7 +10,7 @@ type t
 
 val of_periods : float array -> t
 (** [of_periods a] builds a schedule from period lengths [t_1..t_m].
-    @raise Invalid_argument if [a] is empty or any entry is non-positive
+    @raise Error.Error if [a] is empty or any entry is non-positive
     or non-finite. *)
 
 val of_list : float list -> t
@@ -33,7 +33,7 @@ val total : t -> float
 
 val period : t -> int -> float
 (** [period t k] is [t_k] for [k] in [1..m].
-    @raise Invalid_argument on out-of-range indices. *)
+    @raise Error.Error on out-of-range indices. *)
 
 val start_time : t -> int -> float
 (** [start_time t k] is [T_(k-1)], when period [k] begins. *)

@@ -1,0 +1,5 @@
+(* The engine re-exports the library-wide structured error type so that
+   consumers resolving planners through the registry can speak about
+   failures without also depending on [Cyclesteal] directly. *)
+
+include Cyclesteal.Error

@@ -1,0 +1,41 @@
+(* The planner contract: a named, documented strategy producing a
+   Policy.t for an opportunity.  See planner.mli. *)
+
+open Cyclesteal
+
+type kind = Baseline | Guideline | Exact
+
+let kind_to_string = function
+  | Baseline -> "baseline"
+  | Guideline -> "guideline"
+  | Exact -> "exact"
+
+type t = {
+  name : string;
+  aliases : string list;
+  kind : kind;
+  paper : string;
+  summary : string;
+  params : (string * string) list;
+  policy : Model.params -> Model.opportunity -> Policy.t;
+}
+
+let make ?(aliases = []) ?(params = []) ~name ~kind ~paper ~summary policy =
+  { name; aliases; kind; paper; summary; params; policy }
+
+let policy t params opp = t.policy params opp
+
+let plan t params opp ~p ~residual =
+  let pol = t.policy params opp in
+  Policy.plan pol
+    { Policy.params; opportunity = opp; residual; interrupts_left = p }
+
+let guarantee ?grid ?max_states t params opp =
+  Game.guaranteed ?grid ?max_states params opp (t.policy params opp)
+
+(* Exact below U = 5000, a 200k-point grid above: the heuristic the
+   csched evaluate command has always used; the daemon mirrors it so a
+   daemon response is byte-identical to the CLI's. *)
+let default_grid ~u = if u > 5_000. then Some (u /. 2e5) else None
+
+let responds_to t name = String.equal t.name name || List.mem name t.aliases

@@ -1,0 +1,66 @@
+(** A planner: one named strategy for playing a cycle-stealing
+    opportunity, packaged uniformly so every consumer (CLI, daemon,
+    bench, simulator) resolves strategies the same way.
+
+    A planner turns the model parameters and the opportunity into a
+    {!Cyclesteal.Policy.t} — the object the game engine and the NOW
+    simulator drive — and can plan a single episode from any interior
+    state (residual lifespan + interrupt budget) or report its exact
+    guarantee against the optimal adversary. *)
+
+open Cyclesteal
+
+type kind =
+  | Baseline  (** folk heuristics bounding the design space *)
+  | Guideline  (** the paper's closed-form recipes *)
+  | Exact  (** integer-grid optimal play (Section 4 bootstrapping) *)
+
+val kind_to_string : kind -> string
+
+type t = {
+  name : string;  (** canonical registry name *)
+  aliases : string list;  (** accepted alternate spellings *)
+  kind : kind;
+  paper : string;  (** paper section (or related-work source) *)
+  summary : string;
+  params : (string * string) list;
+      (** tunable knobs baked into this planner: (name, description) *)
+  policy : Model.params -> Model.opportunity -> Policy.t;
+}
+
+val make :
+  ?aliases:string list ->
+  ?params:(string * string) list ->
+  name:string ->
+  kind:kind ->
+  paper:string ->
+  summary:string ->
+  (Model.params -> Model.opportunity -> Policy.t) ->
+  t
+
+val policy : t -> Model.params -> Model.opportunity -> Policy.t
+(** The strategy as a drivable policy for the given opportunity. *)
+
+val plan :
+  t -> Model.params -> Model.opportunity -> p:int -> residual:float -> Schedule.t
+(** Plan one episode from the interior state with [residual] lifespan
+    left and an owner budget of [p] interrupts. *)
+
+val guarantee :
+  ?grid:float ->
+  ?max_states:int ->
+  t ->
+  Model.params ->
+  Model.opportunity ->
+  float
+(** The planner's guaranteed work over the opportunity:
+    {!Cyclesteal.Game.guaranteed} of its policy. *)
+
+val default_grid : u:float -> float option
+(** The grid heuristic every evaluation surface shares (exact below
+    [u = 5000], a 200k-point grid above), so CLI and daemon answers stay
+    byte-identical. *)
+
+val responds_to : t -> string -> bool
+(** Does [name] (case-sensitively) match the planner's canonical name
+    or one of its aliases? *)

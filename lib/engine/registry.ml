@@ -1,0 +1,128 @@
+(* The registry of schedule producers.  See registry.mli.
+
+   Adding a strategy here is all it takes to expose it in the csched
+   CLI, the cschedd daemon's evaluate/strategies ops, the bench harness
+   and the NOW simulator: they all dispatch by name through this table. *)
+
+open Cyclesteal
+
+(* --- the dp_exact planner's table sizing ------------------------------- *)
+
+(* Pick the tick so the grid has about [target] points over the
+   lifespan; for very long opportunities (u >> 4096 c) the tick bottoms
+   out at c and the grid is capped, after which episode recovery
+   degrades gracefully (the residual is clamped to the table and the
+   slack is absorbed into the final period). *)
+let dp_target_l = 4096
+let dp_cap_l = 8192
+
+let dp_table params opp =
+  let c = Model.c params and u = opp.Model.lifespan in
+  let c_ticks =
+    max 1 (int_of_float (float_of_int dp_target_l *. c /. Float.max u c))
+  in
+  let tick = c /. float_of_int c_ticks in
+  let max_l = min dp_cap_l (int_of_float (Float.ceil (u /. tick))) in
+  Dp.solve ~c:c_ticks ~max_p:opp.Model.interrupts ~max_l
+
+(* --- planners ----------------------------------------------------------- *)
+
+let naive =
+  Planner.make ~name:"naive"
+    ~aliases:[ "one-period"; "one-long-period" ]
+    ~kind:Planner.Baseline ~paper:"Prop. 4.1(d)"
+    ~summary:"one long period: zero overhead, one interrupt wipes everything"
+    (fun _params _opp -> Policy.one_long_period)
+
+let fixed_chunk =
+  Planner.make ~name:"fixed_chunk" ~aliases:[ "fixed-chunk" ]
+    ~kind:Planner.Baseline ~paper:"related work [1] (Atallah et al. 1992)"
+    ~summary:"identical chunks sized for a 5% setup-overhead budget"
+    ~params:[ ("overhead_fraction", "setup share of each chunk (0.05)") ]
+    (fun params opp ->
+      let chunk =
+        Baselines.Fixed_chunk.chunk_for_overhead params ~overhead_fraction:0.05
+      in
+      Baselines.Fixed_chunk.policy ~u:opp.Model.lifespan ~chunk)
+
+let geometric =
+  Planner.make ~name:"geometric" ~kind:Planner.Baseline
+    ~paper:"related work [3], [9] (expected-output shape)"
+    ~summary:"geometrically decreasing periods (ratio 0.9), auto-sized tail"
+    ~params:[ ("ratio", "successive period ratio (0.9)") ]
+    (fun params opp ->
+      Baselines.Geometric.policy params ~u:opp.Model.lifespan ~ratio:0.9)
+
+let guideline =
+  Planner.make ~name:"guideline" ~kind:Planner.Guideline
+    ~paper:"Sections 3.1/3.2 via the Section 5 recipe"
+    ~summary:"the advised regime: adaptive when its bound wins, else nonadaptive"
+    (fun params opp ->
+      let advice = Guidelines.advise params opp in
+      Guidelines.policy params opp advice.Guidelines.recommended)
+
+let nonadaptive =
+  Planner.make ~name:"nonadaptive" ~kind:Planner.Guideline ~paper:"Section 3.1"
+    ~summary:"the committed Section 3.1 schedule with tail semantics"
+    (fun params opp -> Policy.nonadaptive_guideline params opp)
+
+let adaptive =
+  Planner.make ~name:"adaptive" ~kind:Planner.Guideline ~paper:"Section 3.2"
+    ~summary:"the adaptive guideline: replan Sigma_a^(p)[U] per state"
+    (fun _params _opp -> Policy.adaptive_guideline)
+
+let calibrated =
+  Planner.make ~name:"calibrated" ~kind:Planner.Guideline ~paper:"Theorem 4.3"
+    ~summary:"adaptive guideline with DP-calibrated loss coefficients"
+    (fun _params _opp -> Policy.adaptive_calibrated)
+
+let dp_exact =
+  Planner.make ~name:"dp_exact" ~aliases:[ "dp"; "dp-optimal" ]
+    ~kind:Planner.Exact ~paper:"Section 4 (bootstrapping)"
+    ~summary:"optimal adaptive play from an integer-grid DP table"
+    ~params:
+      [
+        ("target_l", "grid points over the lifespan (~4096, capped at 8192)");
+      ]
+    (fun params opp -> Policy.of_dp (dp_table params opp))
+
+let planners =
+  [
+    naive; fixed_chunk; geometric; guideline; nonadaptive; adaptive; calibrated;
+    dp_exact;
+  ]
+
+let all () = planners
+let names () = List.map (fun (p : Planner.t) -> p.Planner.name) planners
+
+let find_opt name = List.find_opt (fun p -> Planner.responds_to p name) planners
+
+let find name =
+  match find_opt name with
+  | Some p -> p
+  | None -> Error.unknown ~kind:"policy" ~name ~known:(names ())
+
+let policy params opp name = Planner.policy (find name) params opp
+
+let guarantee ?grid ?max_states params opp name =
+  Planner.guarantee ?grid ?max_states (find name) params opp
+
+(* --- schedule regimes --------------------------------------------------- *)
+
+(* The per-episode schedule constructors behind the [schedule] op.  The
+   names predate the registry and are part of the wire protocol. *)
+let regimes : (string * (Model.params -> u:float -> p:int -> Schedule.t)) list =
+  [
+    ("nonadaptive", fun params ~u ~p -> Nonadaptive.guideline params ~u ~p);
+    ("adaptive", fun params ~u ~p -> Adaptive.episode_schedule params ~p ~residual:u);
+    ( "calibrated",
+      fun params ~u ~p -> Adaptive.calibrated_episode_schedule params ~p ~residual:u );
+    ("opt-p1", fun params ~u ~p:_ -> Opt_p1.schedule params ~u);
+  ]
+
+let regime_names () = List.map fst regimes
+
+let episode_schedule params ~u ~p name =
+  match List.assoc_opt name regimes with
+  | Some produce -> produce params ~u ~p
+  | None -> Error.unknown ~kind:"regime" ~name ~known:(regime_names ())

@@ -1,0 +1,57 @@
+(** The one registry of schedule producers.
+
+    Every strategy the repository knows — baselines, the paper's
+    guideline recipes, and exact DP play — is registered here under a
+    canonical name (plus aliases for historical spellings), so the CLI,
+    the daemon, the bench harness and the NOW simulator all resolve
+    strategies through one table instead of hard-wiring module calls.
+
+    Two kinds of producers live here:
+
+    - {e planners} ({!find}, {!policy}): full strategies that yield a
+      {!Cyclesteal.Policy.t} for an opportunity;
+    - {e regimes} ({!episode_schedule}): the per-episode schedule
+      constructors behind the [schedule] CLI/daemon op. *)
+
+open Cyclesteal
+
+val all : unit -> Planner.t list
+(** Every registered planner, in presentation order. *)
+
+val names : unit -> string list
+(** Canonical planner names, in presentation order. *)
+
+val find : string -> Planner.t
+(** Resolve a planner by canonical name or alias.
+    @raise Error.Error ([Unknown_name]) listing the accepted names. *)
+
+val find_opt : string -> Planner.t option
+
+val policy : Model.params -> Model.opportunity -> string -> Policy.t
+(** [policy params opp name] is [Planner.policy (find name) params opp].
+    @raise Error.Error on unknown names or invalid parameters. *)
+
+val guarantee :
+  ?grid:float ->
+  ?max_states:int ->
+  Model.params ->
+  Model.opportunity ->
+  string ->
+  float
+(** The named planner's guaranteed work over the opportunity. *)
+
+val dp_table : Model.params -> Model.opportunity -> Dp.t
+(** The integer-grid table the [dp_exact] planner plays from: tick
+    chosen so the grid has about 4096 points over the lifespan (capped
+    at 8192 for very long opportunities), [max_p] the opportunity's
+    interrupt bound. *)
+
+val regime_names : unit -> string list
+(** Names accepted by {!episode_schedule}. *)
+
+val episode_schedule : Model.params -> u:float -> p:int -> string -> Schedule.t
+(** The named regime's committed/first episode schedule for a fresh
+    opportunity of lifespan [u] with [p] interrupts: the producer behind
+    the [schedule] op of csched and cschedd.
+    @raise Error.Error ([Unknown_name], kind ["regime"]) on unknown
+    names. *)

@@ -62,7 +62,7 @@ let grow t =
 type handle = { entry_ref : unit -> unit; is_cancelled : unit -> bool }
 
 let add t ~time payload =
-  if Float.is_nan time then invalid_arg "Event_queue.add: NaN time";
+  if Float.is_nan time then Cyclesteal.Error.invalid "Event_queue.add: NaN time";
   let entry = { time; seq = t.next_seq; payload; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   if Array.length t.heap = 0 then t.heap <- Array.make 16 entry;

@@ -18,7 +18,7 @@ val is_empty : 'a t -> bool
 type handle
 
 val add : 'a t -> time:float -> 'a -> handle
-(** @raise Invalid_argument on NaN times. *)
+(** @raise Error.Error on NaN times. *)
 
 val cancel : handle -> unit
 (** Idempotent; the entry is skipped by {!pop} and {!peek_time}. *)

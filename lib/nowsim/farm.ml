@@ -19,9 +19,17 @@ type spec = {
 }
 
 let spec ?(start_at = 0.) ?(speed = 1.) ~name ~opportunity ~policy ~owner () =
-  if start_at < 0. then invalid_arg "Farm.spec: start_at must be non-negative";
-  if speed <= 0. then invalid_arg "Farm.spec: speed must be positive";
+  if start_at < 0. then Error.invalid "Farm.spec: start_at must be non-negative";
+  if speed <= 0. then Error.invalid "Farm.spec: speed must be positive";
   { name; opportunity; policy; owner; start_at; speed }
+
+(* Stations are usually described by strategy name ("adaptive",
+   "dp_exact", ...); resolve the name through the engine registry so the
+   simulator accepts exactly what the CLI and daemon accept. *)
+let spec_of_strategy ?start_at ?speed ~name ~params ~opportunity ~strategy
+    ~owner () =
+  let policy = Engine.Registry.policy params opportunity strategy in
+  spec ?start_at ?speed ~name ~opportunity ~policy ~owner ()
 
 type report = {
   per_station : Metrics.t list;     (* in spec order *)
@@ -33,7 +41,7 @@ type report = {
 }
 
 let run ?(early_return = false) ?nic params ~bag specs =
-  if specs = [] then invalid_arg "Farm.run: no stations";
+  if specs = [] then Error.invalid "Farm.run: no stations";
   let sim = Sim.create () in
   let drained_at = ref None in
   let masters = ref [] in

@@ -24,8 +24,23 @@ val spec :
   owner:Adversary.t ->
   unit ->
   spec
-(** @raise Invalid_argument on negative [start_at] or non-positive
+(** @raise Error.Error on negative [start_at] or non-positive
     [speed]. *)
+
+val spec_of_strategy :
+  ?start_at:float ->
+  ?speed:float ->
+  name:string ->
+  params:Model.params ->
+  opportunity:Model.opportunity ->
+  strategy:string ->
+  owner:Adversary.t ->
+  unit ->
+  spec
+(** {!spec} with the policy resolved by strategy name through
+    {!Engine.Registry} — the simulator accepts exactly the names the
+    CLI and daemon accept.
+    @raise Error.Error ([Unknown_name]) on unregistered strategies. *)
 
 type report = {
   per_station : Metrics.t list;  (** in spec order *)
@@ -48,7 +63,7 @@ val run :
     flight.  Limitation: a station that stopped because the bag was
     momentarily empty does not restart if another station's kill later
     returns tasks; leftovers are reported.
-    @raise Invalid_argument on an empty spec list. *)
+    @raise Error.Error on an empty spec list. *)
 
 val run_single :
   ?early_return:bool ->

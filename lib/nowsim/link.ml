@@ -22,7 +22,7 @@ let create ?send_fraction params =
   let c = Cyclesteal.Model.c params in
   let f = Option.value send_fraction ~default:0.5 in
   if f < 0. || f > 1. then
-    invalid_arg "Link.create: send_fraction outside [0, 1]";
+    Cyclesteal.Error.invalid "Link.create: send_fraction outside [0, 1]";
   { setup_send = f *. c; setup_recv = (1. -. f) *. c }
 
 let setup_send t = t.setup_send

@@ -8,7 +8,7 @@ type t
 
 val create : ?send_fraction:float -> Cyclesteal.Model.params -> t
 (** [send_fraction] defaults to [0.5].
-    @raise Invalid_argument outside [[0, 1]]. *)
+    @raise Error.Error outside [[0, 1]]. *)
 
 val setup_send : t -> float
 val setup_recv : t -> float

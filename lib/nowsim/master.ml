@@ -226,7 +226,7 @@ and plan_episode t =
     let plan = Policy.plan t.config.policy t.ctx in
     let total = Schedule.total plan in
     if total > t.ctx.Policy.residual +. progress_eps t then
-      invalid_arg
+      Error.invalid
         (Printf.sprintf "Master: policy %s overran the residual lifespan"
            (Policy.name t.config.policy));
     if total <= progress_eps t then finish t else run_episode t plan

@@ -57,7 +57,7 @@ let cancel _t token = if token.state = `Waiting then token.state <- `Cancelled
    waiter.  @raise Invalid_argument if [token] does not hold it. *)
 let release t sim token =
   if token.state <> `Granted then
-    invalid_arg "Nic.release: token does not hold the interface";
+    Cyclesteal.Error.invalid "Nic.release: token does not hold the interface";
   token.state <- `Done;
   t.busy_time <- t.busy_time +. (Sim.now sim -. t.busy_since);
   t.busy <- false;
@@ -86,5 +86,5 @@ let total_wait_time t = t.wait_time
 
 (* Fraction of [0, horizon] the interface was held. *)
 let utilization t ~horizon =
-  if horizon <= 0. then invalid_arg "Nic.utilization: horizon must be positive";
+  if horizon <= 0. then Cyclesteal.Error.invalid "Nic.utilization: horizon must be positive";
   t.busy_time /. horizon

@@ -21,7 +21,7 @@ val cancel : t -> token -> unit
 
 val release : t -> Sim.t -> token -> unit
 (** Free the interface and grant the next live waiter.
-    @raise Invalid_argument if the token does not hold the interface. *)
+    @raise Error.Error if the token does not hold the interface. *)
 
 val release_if_held : t -> Sim.t -> token -> unit
 (** {!release} when the token holds the interface; no-op otherwise. *)

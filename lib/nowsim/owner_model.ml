@@ -45,7 +45,7 @@ let renewal ~rng ~(risk : Expected.risk) =
    then memoryless reclaims at [day_rate].  Models borrowing a 9-to-5
    machine overnight. *)
 let day_night ~rng ~quiet_until ~day_rate =
-  if quiet_until < 0. then invalid_arg "Owner_model.day_night: negative quiet_until";
-  if day_rate <= 0. then invalid_arg "Owner_model.day_night: rate must be positive";
+  if quiet_until < 0. then Error.invalid "Owner_model.day_night: negative quiet_until";
+  if day_rate <= 0. then Error.invalid "Owner_model.day_night: rate must be positive";
   of_reclaim_stream ~name:"day-night-owner" ~draw_next:(fun ~after ->
       Float.max after quiet_until +. Csutil.Rng.exponential rng ~rate:day_rate)

@@ -18,5 +18,5 @@ val day_night :
   rng:Csutil.Rng.t -> quiet_until:float -> day_rate:float -> Cyclesteal.Adversary.t
 (** Certainly absent before [quiet_until] (the night), then memoryless
     reclaims at [day_rate].
-    @raise Invalid_argument on negative [quiet_until] or non-positive
+    @raise Error.Error on negative [quiet_until] or non-positive
     [day_rate]. *)

@@ -37,12 +37,12 @@ let () =
 
 let schedule t ~at action =
   if at < t.now -. 1e-12 then
-    invalid_arg
+    Cyclesteal.Error.invalid
       (Printf.sprintf "Sim.schedule: time %g is in the past (now %g)" at t.now);
   Event_queue.add t.queue ~time:(Float.max at t.now) action
 
 let schedule_after t ~delay action =
-  if delay < 0. then invalid_arg "Sim.schedule_after: negative delay";
+  if delay < 0. then Cyclesteal.Error.invalid "Sim.schedule_after: negative delay";
   schedule t ~at:(t.now +. delay) action
 
 let cancel = Event_queue.cancel
@@ -50,7 +50,7 @@ let cancel = Event_queue.cancel
 (* Run until the queue drains, [until] is reached, or [max_events] fire
    (a runaway guard for buggy processes). *)
 let run ?until ?(max_events = 50_000_000) t =
-  if t.running then invalid_arg "Sim.run: already running";
+  if t.running then Cyclesteal.Error.invalid "Sim.run: already running";
   t.running <- true;
   Fun.protect
     ~finally:(fun () -> t.running <- false)

@@ -21,16 +21,16 @@ exception
     simulation had reached. *)
 
 val schedule : t -> at:float -> (t -> unit) -> handle
-(** @raise Invalid_argument when [at] is in the past (beyond a small
+(** @raise Error.Error when [at] is in the past (beyond a small
     tolerance; times within the tolerance clamp to [now]). *)
 
 val schedule_after : t -> delay:float -> (t -> unit) -> handle
-(** @raise Invalid_argument on negative delays. *)
+(** @raise Error.Error on negative delays. *)
 
 val cancel : handle -> unit
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Fire events in timestamp (then FIFO) order until the queue drains or
     [until] is reached; [max_events] guards against runaway processes.
-    @raise Invalid_argument when re-entered from an event handler.
+    @raise Error.Error when re-entered from an event handler.
     @raise Event_budget_exhausted when [max_events] is exceeded. *)

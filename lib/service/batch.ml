@@ -4,7 +4,7 @@
 
 type outcome = {
   envelope : Protocol.envelope;
-  result : (Json.t, string) result;
+  result : (Json.t, Cyclesteal.Error.t) result;
   latency : float;
 }
 
@@ -20,8 +20,8 @@ let run ?domains ?stats_payload ~cache envelopes =
   Cache.preload cache ~keys:(dp_keys envelopes) ?domains ();
   let evaluate (e : Protocol.envelope) =
     match e.Protocol.request with
-    | Error msg -> { envelope = e; result = Error msg; latency = 0. }
-    | Ok Protocol.Stats when stats_payload <> None ->
+    | Error err -> { envelope = e; result = Error err; latency = 0. }
+    | Ok (Protocol.Stats _) when stats_payload <> None ->
       { envelope = e; result = Ok (Option.get stats_payload); latency = 0. }
     | Ok req ->
       let t0 = Unix.gettimeofday () in

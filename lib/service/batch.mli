@@ -11,7 +11,7 @@
 
 type outcome = {
   envelope : Protocol.envelope;
-  result : (Json.t, string) result;
+  result : (Json.t, Cyclesteal.Error.t) result;
   latency : float;  (** seconds spent in {!Protocol.handle} *)
 }
 

@@ -1,4 +1,11 @@
-(* Sharded LRU cache of solved Dp tables.
+(* Sharded LRU cache of solved Dp tables, keyed by the tick cost c.
+
+   One table per c: a query whose bounds exceed the resident table's
+   GROWS the table in place (Dp.grow) instead of solving a fresh one —
+   the recurrence only reads smaller indices, so the solved prefix is
+   reused verbatim and only the new cells are paid for.  Bounds are
+   still canonicalized (l to a power of two, p to an even bound) so a
+   ramp of slightly-growing queries does not trigger a grow per query.
 
    Each shard is a Hashtbl guarded by its own mutex with a logical-clock
    LRU: every hit stamps the entry with a fresh tick, eviction scans for
@@ -6,10 +13,12 @@
    so the O(shard size) eviction scan is cheaper than maintaining an
    intrusive list, and far simpler.
 
-   Solves run outside the lock: two domains racing on the same missing
-   key may both solve it; the loser's table is dropped on insert.  The
-   batch engine avoids that waste by preloading distinct keys before
-   fanning queries out. *)
+   Growth happens under the shard lock — Dp.grow requires a single
+   writer — and readers that obtained the table earlier stay safe: a
+   grow publishes a fresh snapshot and never mutates published cells.
+   Cold solves triggered by a lone query also run under the lock; the
+   batch engine keeps its parallelism by preloading distinct tables
+   outside the locks before fanning queries out. *)
 
 open Cyclesteal
 
@@ -23,35 +32,33 @@ let next_pow2 n =
   go 1
 
 let canonical ~c ~p ~l =
-  if c < 1 then invalid_arg "Cache.canonical: c must be >= 1";
-  if p < 0 then invalid_arg "Cache.canonical: p must be non-negative";
-  if l < 0 then invalid_arg "Cache.canonical: l must be non-negative";
+  if c < 1 then Error.invalid "Cache.canonical: c must be >= 1";
+  if p < 0 then Error.invalid "Cache.canonical: p must be non-negative";
+  if l < 0 then Error.invalid "Cache.canonical: l must be non-negative";
   let max_l = max min_l (next_pow2 l) in
   let max_p = max min_p (if p mod 2 = 0 then p else p + 1) in
   { c; max_p; max_l }
 
-(* value + first matrices: (max_p+1) rows of (max_l+1) boxed-word ints. *)
-let table_bytes dp =
-  let words_per_row = Dp.max_l dp + 2 in
-  2 * (Dp.max_p dp + 1) * words_per_row * (Sys.word_size / 8)
+let table_bytes = Dp.footprint_bytes
 
 type entry = { dp : Dp.t; mutable used : int }
 
 type shard = {
   lock : Mutex.t;
-  table : (key, entry) Hashtbl.t;
+  table : (int, entry) Hashtbl.t; (* keyed by the table's c *)
   capacity : int;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable growths : int;
 }
 
 type t = { shards : shard array }
 
 let create ?(shards = 8) ~capacity () =
-  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
-  if shards < 1 then invalid_arg "Cache.create: shards must be >= 1";
+  if capacity < 1 then Error.invalid "Cache.create: capacity must be >= 1";
+  if shards < 1 then Error.invalid "Cache.create: shards must be >= 1";
   let shards = min shards capacity in
   let per_shard = (capacity + shards - 1) / shards in
   {
@@ -65,30 +72,17 @@ let create ?(shards = 8) ~capacity () =
             hits = 0;
             misses = 0;
             evictions = 0;
+            growths = 0;
           });
   }
 
-let shard_of t key =
-  t.shards.(Hashtbl.hash key mod Array.length t.shards)
+let shard_of t c = t.shards.(Hashtbl.hash c mod Array.length t.shards)
 
 let with_lock sh f =
   Mutex.lock sh.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) f
 
-(* Under the shard lock: look the key up and stamp it on hit.  [count]
-   is off for the convergence re-lookup after a solve — that request
-   already paid (and counted) the miss, so it is not also a hit. *)
-let lookup sh key ~count =
-  with_lock sh (fun () ->
-      match Hashtbl.find_opt sh.table key with
-      | Some e ->
-        sh.clock <- sh.clock + 1;
-        e.used <- sh.clock;
-        if count then sh.hits <- sh.hits + 1;
-        Some e.dp
-      | None ->
-        if count then sh.misses <- sh.misses + 1;
-        None)
+let covers dp key = Dp.max_p dp >= key.max_p && Dp.max_l dp >= key.max_l
 
 let evict_lru sh =
   let victim = ref None in
@@ -104,49 +98,94 @@ let evict_lru sh =
     sh.evictions <- sh.evictions + 1
   | None -> ()
 
-let insert sh key dp =
+(* Under the shard lock: the resident table for [key.c], grown or
+   solved so it covers [key].  A grow counts as both a miss (solve work
+   was paid) and a growth (the prefix was reused). *)
+let obtain sh key ~count =
   with_lock sh (fun () ->
-      if not (Hashtbl.mem sh.table key) then begin
+      sh.clock <- sh.clock + 1;
+      match Hashtbl.find_opt sh.table key.c with
+      | Some e ->
+        e.used <- sh.clock;
+        if covers e.dp key then begin
+          if count then sh.hits <- sh.hits + 1;
+          e.dp
+        end
+        else begin
+          if count then sh.misses <- sh.misses + 1;
+          sh.growths <- sh.growths + 1;
+          Dp.grow e.dp ~max_p:key.max_p ~max_l:key.max_l;
+          e.dp
+        end
+      | None ->
+        if count then sh.misses <- sh.misses + 1;
         while Hashtbl.length sh.table >= sh.capacity do
           evict_lru sh
         done;
-        sh.clock <- sh.clock + 1;
-        Hashtbl.add sh.table key { dp; used = sh.clock }
-      end)
-
-let solve_key key = Dp.solve ~c:key.c ~max_p:key.max_p ~max_l:key.max_l
+        let dp = Dp.solve ~c:key.c ~max_p:key.max_p ~max_l:key.max_l in
+        Hashtbl.add sh.table key.c { dp; used = sh.clock };
+        dp)
 
 let find_or_solve t ~c ~p ~l =
   let key = canonical ~c ~p ~l in
-  let sh = shard_of t key in
-  match lookup sh key ~count:true with
-  | Some dp -> dp
-  | None ->
-    let dp = solve_key key in
-    insert sh key dp;
-    (* Return the cached table so racing solvers converge on one copy. *)
-    (match lookup sh key ~count:false with
-     | Some cached -> cached
-     | None -> dp)
+  obtain (shard_of t key.c) key ~count:true
 
-(* Presence probe that neither stamps the LRU clock nor counts. *)
+(* Presence probe ("is there a resident table covering these bounds?")
+   that neither stamps the LRU clock nor counts. *)
 let mem t key =
-  let sh = shard_of t key in
-  with_lock sh (fun () -> Hashtbl.mem sh.table key)
+  let sh = shard_of t key.c in
+  with_lock sh (fun () ->
+      match Hashtbl.find_opt sh.table key.c with
+      | Some e -> covers e.dp key
+      | None -> false)
+
+(* Requested bounds merged per c, so one table covers every query of the
+   batch that shares a tick cost. *)
+let merge_keys keys =
+  let by_c : (int, key) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+       match Hashtbl.find_opt by_c k.c with
+       | None -> Hashtbl.replace by_c k.c k
+       | Some prev ->
+         Hashtbl.replace by_c k.c
+           {
+             c = k.c;
+             max_p = max prev.max_p k.max_p;
+             max_l = max prev.max_l k.max_l;
+           })
+    keys;
+  Hashtbl.fold (fun _ k acc -> k :: acc) by_c []
 
 let preload t ~keys ?domains () =
   let missing =
-    List.sort_uniq compare keys
-    |> List.filter (fun key -> not (mem t key))
-    |> Array.of_list
+    merge_keys keys |> List.filter (fun key -> not (mem t key)) |> Array.of_list
   in
   if Array.length missing > 0 then begin
-    let solved = Csutil.Par.map ?domains solve_key missing in
+    (* Solve outside the locks (this is the parallel phase), then merge
+       under the lock; if another domain raced a table in, grow it to
+       cover instead of replacing it, so everyone converges on one. *)
+    let solve key = Dp.solve ~c:key.c ~max_p:key.max_p ~max_l:key.max_l in
+    let solved = Csutil.Par.map ?domains solve missing in
     Array.iteri
       (fun i dp ->
-         let sh = shard_of t missing.(i) in
-         with_lock sh (fun () -> sh.misses <- sh.misses + 1);
-         insert sh missing.(i) dp)
+         let key = missing.(i) in
+         let sh = shard_of t key.c in
+         with_lock sh (fun () ->
+             sh.misses <- sh.misses + 1;
+             sh.clock <- sh.clock + 1;
+             match Hashtbl.find_opt sh.table key.c with
+             | Some e ->
+               e.used <- sh.clock;
+               if not (covers e.dp key) then begin
+                 sh.growths <- sh.growths + 1;
+                 Dp.grow e.dp ~max_p:key.max_p ~max_l:key.max_l
+               end
+             | None ->
+               while Hashtbl.length sh.table >= sh.capacity do
+                 evict_lru sh
+               done;
+               Hashtbl.add sh.table key.c { dp; used = sh.clock }))
       solved
   end
 
@@ -154,6 +193,7 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  growths : int;
   resident : int;
   resident_bytes : int;
 }
@@ -169,8 +209,26 @@ let stats t =
              hits = acc.hits + sh.hits;
              misses = acc.misses + sh.misses;
              evictions = acc.evictions + sh.evictions;
+             growths = acc.growths + sh.growths;
              resident = acc.resident + Hashtbl.length sh.table;
              resident_bytes = acc.resident_bytes + bytes;
            }))
-    { hits = 0; misses = 0; evictions = 0; resident = 0; resident_bytes = 0 }
+    {
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      growths = 0;
+      resident = 0;
+      resident_bytes = 0;
+    }
+    t.shards
+
+let reset_counters t =
+  Array.iter
+    (fun sh ->
+       with_lock sh (fun () ->
+           sh.hits <- 0;
+           sh.misses <- 0;
+           sh.evictions <- 0;
+           sh.growths <- 0))
     t.shards

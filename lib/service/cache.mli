@@ -1,22 +1,28 @@
-(** Sharded LRU cache of solved {!Cyclesteal.Dp} tables.
+(** Sharded LRU cache of solved {!Cyclesteal.Dp} tables, one per tick
+    cost [c].
 
     Solving a table costs [O(max_p * max_l^2)]; answering a query from a
-    solved table costs an array read.  The cache canonicalizes keys so
-    nearby queries share one table: [max_l] rounds up to the next power
-    of two (at least {!min_l}) and [max_p] rounds up to the next even
-    bound (at least {!min_p}).  A canonical table therefore answers
-    every query at or below its bounds — the extra solve work is at most
-    a small constant factor, paid once, and amortized across all queries
-    that hash to the same canonical key.
+    solved table costs an array read.  The cache keeps at most one table
+    per [c]: a query whose bounds exceed the resident table's {e grows}
+    the table in place ({!Cyclesteal.Dp.grow}) — the solved prefix is
+    reused verbatim and only the new cells are computed.  Query bounds
+    are canonicalized first ([max_l] rounds up to the next power of two,
+    at least {!min_l}; [max_p] to the next even bound, at least
+    {!min_p}) so a ramp of slightly-growing queries does not pay a grow
+    per query.
 
     Shards are independently locked LRU maps, so concurrent lookups from
     {!Csutil.Par} domains contend only when they hash to the same shard.
-    Tables are immutable once solved and safe to share across domains. *)
+    Growth happens under the shard lock (single writer); previously
+    obtained tables stay valid throughout — growth publishes a fresh
+    snapshot and never mutates published cells. *)
 
 type t
 
 type key = private { c : int; max_p : int; max_l : int }
-(** A canonical key; build one with {!canonical}. *)
+(** Canonicalized query bounds; build one with {!canonical}.  Cache
+    identity is [c] alone — the bounds say how far the resident table
+    must cover. *)
 
 val min_l : int
 (** Smallest canonical [max_l] bound (256). *)
@@ -28,37 +34,47 @@ val canonical : c:int -> p:int -> l:int -> key
 (** The canonical table bounds covering query [(c, p, l)].  [c] is kept
     exact (it changes the game), [l] rounds up to a power of two [>=
     min_l], [p] rounds up to an even number [>= min_p].
-    @raise Invalid_argument when [c < 1], [p < 0] or [l < 0]. *)
+    @raise Error.Error when [c < 1], [p < 0] or [l < 0]. *)
 
 val create : ?shards:int -> capacity:int -> unit -> t
 (** [create ~capacity ()] holds at most [capacity] solved tables in
     total, split over [shards] (default 8) independently locked LRU
     shards (each shard holds at most [ceil (capacity / shards)]).
-    @raise Invalid_argument when [capacity < 1] or [shards < 1]. *)
+    @raise Error.Error when [capacity < 1] or [shards < 1]. *)
 
 val find_or_solve : t -> c:int -> p:int -> l:int -> Cyclesteal.Dp.t
-(** The solved table for the canonical key of [(c, p, l)]; solves and
-    inserts on miss, evicting the shard's least-recently-used table when
-    the shard is full.  Thread- and domain-safe; the solve itself runs
-    outside the shard lock. *)
+(** The resident table for [c], guaranteed to cover the canonical
+    bounds of [(c, p, l)]: served as-is on a hit, grown in place when
+    the bounds exceed it, solved fresh (evicting the shard's
+    least-recently-used table if full) when absent.  Thread- and
+    domain-safe. *)
 
 val preload : t -> keys:key list -> ?domains:int -> unit -> unit
-(** Solve all missing [keys] (deduplicated) in parallel via
-    {!Csutil.Par.map} and insert them; used by the batch engine so a
-    mixed batch pays each distinct solve once, concurrently. *)
+(** Solve all missing tables (requested bounds merged per [c]) in
+    parallel via {!Csutil.Par.map} outside the shard locks and insert
+    them; used by the batch engine so a mixed batch pays each distinct
+    solve once, concurrently. *)
 
 type stats = {
-  hits : int;    (** lookups served from a resident table *)
-  misses : int;  (** solves paid, whether triggered by a lookup or a
-                     {!preload} *)
+  hits : int;  (** lookups fully served from a resident table *)
+  misses : int;
+      (** solve work paid, whether a fresh solve, a grow, or a
+          {!preload} *)
   evictions : int;
-  resident : int;      (** tables currently cached *)
+  growths : int;
+      (** in-place grows: misses that reused a solved prefix instead of
+          re-solving it *)
+  resident : int;  (** tables currently cached *)
   resident_bytes : int;  (** approximate heap bytes of cached tables *)
 }
 
 val stats : t -> stats
 (** Aggregate counters across shards (a consistent-enough snapshot:
     each shard is read under its lock). *)
+
+val reset_counters : t -> unit
+(** Zero the hit/miss/eviction/growth counters, keeping the resident
+    tables; backs the daemon's [stats reset] sub-op. *)
 
 val table_bytes : Cyclesteal.Dp.t -> int
 (** Approximate heap footprint of one solved table. *)

@@ -42,4 +42,5 @@ val to_int : t -> int option
 (** Accepts [Int] and integral [Float]. *)
 
 val to_str : t -> string option
+val to_bool : t -> bool option
 val to_list : t -> t list option

@@ -4,7 +4,9 @@
    regime/policy = "adaptive", c_ticks = 10, l = 2000), and the
    evaluation logic mirrors the corresponding subcommands — including
    the grid heuristic — so a daemon response is byte-identical to what
-   the CLI computes for the same query. *)
+   the CLI computes for the same query.  Strategy and regime names are
+   resolved through Engine.Registry: the daemon accepts exactly the
+   registry's planners, nothing more. *)
 
 open Cyclesteal
 
@@ -19,20 +21,24 @@ type request =
       periods : float list option;
     }
   | Dp_query of { c_ticks : int; l : int; p : int }
-  | Stats
+  | Strategies
+  | Stats of { reset : bool }
 
-type envelope = { id : Json.t; request : (request, string) result }
+type envelope = { id : Json.t; request : (request, Error.t) result }
 
 let op_name = function
   | Advise _ -> "advise"
   | Schedule _ -> "schedule"
   | Evaluate _ -> "evaluate"
   | Dp_query _ -> "dp"
-  | Stats -> "stats"
+  | Strategies -> "strategies"
+  | Stats _ -> "stats"
 
 (* --- decoding ----------------------------------------------------------- *)
 
 let ( let* ) = Result.bind
+
+let invalid msg = Result.Error (Error.Invalid_params msg)
 
 let field_float obj name default =
   match Json.member name obj with
@@ -40,7 +46,7 @@ let field_float obj name default =
   | Some v ->
     (match Json.to_float v with
      | Some x -> Ok x
-     | None -> Error (Printf.sprintf "field %S must be a number" name))
+     | None -> invalid (Printf.sprintf "field %S must be a number" name))
 
 let field_int obj name default =
   match Json.member name obj with
@@ -48,7 +54,7 @@ let field_int obj name default =
   | Some v ->
     (match Json.to_int v with
      | Some n -> Ok n
-     | None -> Error (Printf.sprintf "field %S must be an integer" name))
+     | None -> invalid (Printf.sprintf "field %S must be an integer" name))
 
 let field_string obj name default =
   match Json.member name obj with
@@ -56,14 +62,22 @@ let field_string obj name default =
   | Some v ->
     (match Json.to_str v with
      | Some s -> Ok s
-     | None -> Error (Printf.sprintf "field %S must be a string" name))
+     | None -> invalid (Printf.sprintf "field %S must be a string" name))
+
+let field_bool obj name default =
+  match Json.member name obj with
+  | None -> Ok default
+  | Some v ->
+    (match Json.to_bool v with
+     | Some b -> Ok b
+     | None -> invalid (Printf.sprintf "field %S must be a boolean" name))
 
 let field_float_list obj name =
   match Json.member name obj with
   | None -> Ok None
   | Some v ->
     (match Json.to_list v with
-     | None -> Error (Printf.sprintf "field %S must be an array" name)
+     | None -> invalid (Printf.sprintf "field %S must be an array" name)
      | Some items ->
        let rec go acc = function
          | [] -> Ok (Some (List.rev acc))
@@ -71,24 +85,24 @@ let field_float_list obj name =
            (match Json.to_float x with
             | Some f -> go (f :: acc) rest
             | None ->
-              Error (Printf.sprintf "field %S must contain only numbers" name))
+              invalid (Printf.sprintf "field %S must contain only numbers" name))
        in
        go [] items)
 
 let validate_cup ~c ~u ~p =
-  if c <= 0. then Error "c must be positive"
-  else if u <= 0. then Error "U must be positive"
-  else if p < 0 then Error "p must be non-negative"
+  if c <= 0. then invalid "c must be positive"
+  else if u <= 0. then invalid "U must be positive"
+  else if p < 0 then invalid "p must be non-negative"
   else Ok ()
 
 let decode_request obj =
   let* op =
     match Json.member "op" obj with
-    | None -> Error "missing field \"op\""
+    | None -> invalid "missing field \"op\""
     | Some v ->
       (match Json.to_str v with
        | Some s -> Ok s
-       | None -> Error "field \"op\" must be a string")
+       | None -> invalid "field \"op\" must be a string")
   in
   match op with
   | "advise" ->
@@ -116,24 +130,30 @@ let decode_request obj =
     let* c_ticks = field_int obj "c_ticks" 10 in
     let* l = field_int obj "l" 2000 in
     let* p = field_int obj "p" 1 in
-    if c_ticks < 1 then Error "c_ticks must be >= 1"
-    else if p < 0 then Error "p must be non-negative"
-    else if l < 0 then Error "l must be non-negative"
+    if c_ticks < 1 then invalid "c_ticks must be >= 1"
+    else if p < 0 then invalid "p must be non-negative"
+    else if l < 0 then invalid "l must be non-negative"
     else Ok (Dp_query { c_ticks; l; p })
-  | "stats" -> Ok Stats
+  | "strategies" -> Ok Strategies
+  | "stats" ->
+    let* reset = field_bool obj "reset" false in
+    Ok (Stats { reset })
   | other ->
-    Error
-      (Printf.sprintf
-         "unknown op %S (want advise | schedule | evaluate | dp | stats)"
-         other)
+    Result.Error
+      (Error.Unknown_name
+         {
+           kind = "op";
+           name = other;
+           known = [ "advise"; "schedule"; "evaluate"; "dp"; "strategies"; "stats" ];
+         })
 
 let parse_line line =
   match Json.of_string line with
-  | Error e -> { id = Json.Null; request = Error e }
+  | Error e -> { id = Json.Null; request = invalid e }
   | Ok (Json.Obj _ as obj) ->
     let id = Option.value ~default:Json.Null (Json.member "id" obj) in
     { id; request = decode_request obj }
-  | Ok _ -> { id = Json.Null; request = Error "request must be a JSON object" }
+  | Ok _ -> { id = Json.Null; request = invalid "request must be a JSON object" }
 
 (* --- encoding ----------------------------------------------------------- *)
 
@@ -170,28 +190,12 @@ let request_to_json ?(id = Json.Null) req =
             ("op", Json.String "dp"); ("c_ticks", Json.Int c_ticks);
             ("l", Json.Int l); ("p", Json.Int p);
           ]
-        | Stats -> [ ("op", Json.String "stats") ]))
+        | Strategies -> [ ("op", Json.String "strategies") ]
+        | Stats { reset } ->
+          ("op", Json.String "stats")
+          :: (if reset then [ ("reset", Json.Bool true) ] else [])))
 
 (* --- evaluation --------------------------------------------------------- *)
-
-let policy_of_name params opp = function
-  | "nonadaptive" -> Ok (Policy.nonadaptive_guideline params opp)
-  | "adaptive" -> Ok Policy.adaptive_guideline
-  | "calibrated" -> Ok Policy.adaptive_calibrated
-  | "one-period" -> Ok Policy.one_long_period
-  | "fixed-chunk" ->
-    let chunk =
-      Baselines.Fixed_chunk.chunk_for_overhead params ~overhead_fraction:0.05
-    in
-    Ok (Baselines.Fixed_chunk.policy ~u:opp.Model.lifespan ~chunk)
-  | "geometric" ->
-    Ok (Baselines.Geometric.policy params ~u:opp.Model.lifespan ~ratio:0.9)
-  | other ->
-    Error
-      (Printf.sprintf
-         "unknown policy %S (want nonadaptive | adaptive | calibrated | \
-          one-period | fixed-chunk | geometric)"
-         other)
 
 let regime_name = function
   | Guidelines.Non_adaptive -> "nonadaptive"
@@ -217,15 +221,7 @@ let handle_advise ~c ~u ~p =
 
 let handle_schedule ~c ~u ~p ~regime =
   let params = Model.params ~c in
-  let* s =
-    match regime with
-    | "nonadaptive" -> Ok (Nonadaptive.guideline params ~u ~p)
-    | "adaptive" -> Ok (Adaptive.episode_schedule params ~p ~residual:u)
-    | "calibrated" ->
-      Ok (Adaptive.calibrated_episode_schedule params ~p ~residual:u)
-    | "opt-p1" -> Ok (Opt_p1.schedule params ~u)
-    | other -> Error (Printf.sprintf "unknown regime %S" other)
-  in
+  let s = Engine.Registry.episode_schedule params ~u ~p regime in
   Ok
     (Json.Obj
        [
@@ -240,13 +236,10 @@ let handle_schedule ~c ~u ~p ~regime =
        ])
 
 let custom_policy ~u periods =
-  match Schedule.of_list periods with
-  | exception Invalid_argument e -> Error e
-  | s ->
-    if Float.abs (Schedule.total s -. u) > 1e-6 *. u then
-      Error
-        (Printf.sprintf "periods sum to %g, not U = %g" (Schedule.total s) u)
-    else Ok (Policy.rename (Policy.non_adaptive ~committed:s) "custom")
+  let s = Schedule.of_list periods in
+  if Float.abs (Schedule.total s -. u) > 1e-6 *. u then
+    Error.invalidf "periods sum to %g, not U = %g" (Schedule.total s) u
+  else Policy.rename (Policy.non_adaptive ~committed:s) "custom"
 
 let episode_to_json (e : Game.episode_record) =
   Json.Obj
@@ -269,14 +262,14 @@ let episode_to_json (e : Game.episode_record) =
 let handle_evaluate ~c ~u ~p ~policy ~periods =
   let params = Model.params ~c in
   let opp = Model.opportunity ~lifespan:u ~interrupts:p in
-  let* pol =
+  let pol =
     match periods with
     | Some ts -> custom_policy ~u ts
-    | None -> policy_of_name params opp policy
+    | None -> Engine.Registry.policy params opp policy
   in
   (* Same grid heuristic as csched evaluate: exact below U = 5000,
      200k-point grid above. *)
-  let grid = if u > 5_000. then Some (u /. 2e5) else None in
+  let grid = Engine.Planner.default_grid ~u in
   let g = Game.guaranteed ?grid params opp pol in
   let adv = Game.optimal_adversary ?grid params opp pol in
   let outcome = Game.run params opp pol adv in
@@ -303,7 +296,8 @@ let handle_dp ?cache ~c_ticks ~l ~p () =
   in
   (* The recurrence at (p, l) only reads entries at smaller p and l, so
      the value and episode are independent of the table bounds: cached
-     (canonical, larger) and direct (exact) tables answer identically. *)
+     (canonical, larger, possibly grown) and direct (exact) tables
+     answer identically. *)
   let w = Dp.value dp ~p ~l in
   let a_hat =
     if l = 0 then 0.
@@ -323,6 +317,36 @@ let handle_dp ?cache ~c_ticks ~l ~p () =
              (List.map (fun t -> Json.Int t) (Dp.optimal_episode dp ~p ~l)) );
        ])
 
+let planner_to_json (pl : Engine.Planner.t) =
+  Json.Obj
+    [
+      ("name", Json.String pl.Engine.Planner.name);
+      ("kind", Json.String (Engine.Planner.kind_to_string pl.Engine.Planner.kind));
+      ("paper", Json.String pl.Engine.Planner.paper);
+      ("summary", Json.String pl.Engine.Planner.summary);
+      ( "aliases",
+        Json.List
+          (List.map (fun a -> Json.String a) pl.Engine.Planner.aliases) );
+      ( "params",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.String v))
+             pl.Engine.Planner.params) );
+    ]
+
+let handle_strategies () =
+  Ok
+    (Json.Obj
+       [
+         ( "strategies",
+           Json.List (List.map planner_to_json (Engine.Registry.all ())) );
+         ( "regimes",
+           Json.List
+             (List.map
+                (fun r -> Json.String r)
+                (Engine.Registry.regime_names ())) );
+       ])
+
 (* The daemon must never die on a request, so evaluation failures
    (including library validation errors on adversarial inputs) become
    error responses. *)
@@ -334,15 +358,21 @@ let handle ?cache req =
     | Evaluate { c; u; p; policy; periods } ->
       handle_evaluate ~c ~u ~p ~policy ~periods
     | Dp_query { c_ticks; l; p } -> handle_dp ?cache ~c_ticks ~l ~p ()
-    | Stats -> Error "stats is served by the cschedd daemon"
+    | Strategies -> handle_strategies ()
+    | Stats _ ->
+      Result.Error (Error.Invalid_params "stats is served by the cschedd daemon")
   with
   | result -> result
-  | exception Invalid_argument e -> Error e
-  | exception Failure e -> Error e
-  | exception Game.State_budget_exceeded n ->
-    Error
-      (Printf.sprintf
-         "state budget exceeded (%d states); use a coarser query" n)
+  | exception Error.Error e -> Result.Error e
+  | exception Invalid_argument e -> Result.Error (Error.Invalid_params e)
+  | exception Failure e -> Result.Error (Error.Invalid_params e)
+
+let error_to_json e =
+  Json.Obj
+    [
+      ("code", Json.String (Error.code e));
+      ("message", Json.String (Error.to_string e));
+    ]
 
 let response_to_string ~id result =
   Json.to_string
@@ -350,7 +380,7 @@ let response_to_string ~id result =
        (match result with
         | Ok payload ->
           [ ("id", id); ("ok", Json.Bool true); ("result", payload) ]
-        | Error msg ->
-          [ ("id", id); ("ok", Json.Bool false); ("error", Json.String msg) ]))
+        | Error e ->
+          [ ("id", id); ("ok", Json.Bool false); ("error", error_to_json e) ]))
 
-let error_response ~id msg = response_to_string ~id (Error msg)
+let error_response ~id e = response_to_string ~id (Error e)

@@ -9,13 +9,18 @@
     {"id":3,"op":"evaluate","c":1,"u":200,"p":1,"policy":"nonadaptive"}
     {"id":4,"op":"evaluate","c":1,"u":20,"p":1,"periods":[8,7,5]}
     {"id":5,"op":"dp","c_ticks":10,"l":2000,"p":3}
-    {"id":6,"op":"stats"}
+    {"id":6,"op":"strategies"}
+    {"id":7,"op":"stats","reset":true}
     v}
 
     One response per line, in request order, [id] echoed verbatim:
     [{"id":...,"ok":true,"result":{...}}] on success,
-    [{"id":...,"ok":false,"error":"..."}] on a malformed or failing
-    request (the daemon never dies on bad input).
+    [{"id":...,"ok":false,"error":{"code":...,"message":...}}] on a
+    malformed or failing request (the daemon never dies on bad input).
+
+    Strategy ([evaluate]'s [policy]) and regime ([schedule]'s [regime])
+    names resolve through {!Engine.Registry}; the [strategies] op lists
+    them.
 
     {!handle} is the single evaluation path: the daemon, the batch
     engine and [csched --json] all serialize through it, so a daemon
@@ -34,12 +39,14 @@ type request =
               the named policy (the [csched evaluate --periods] path) *)
     }
   | Dp_query of { c_ticks : int; l : int; p : int }
-  | Stats
+  | Strategies  (** list the planner registry and the schedule regimes *)
+  | Stats of { reset : bool }
+      (** daemon counters; with [reset], zero them after responding *)
 
 type envelope = {
   id : Json.t;  (** echoed in the response; [Null] when absent *)
-  request : (request, string) result;
-      (** [Error] carries the parse/validation message for the error
+  request : (request, Cyclesteal.Error.t) result;
+      (** [Error] carries the parse/validation error for the error
           response *)
 }
 
@@ -54,22 +61,21 @@ val parse_line : string -> envelope
 val request_to_json : ?id:Json.t -> request -> Json.t
 (** Re-serialize a request (round-trips through {!parse_line}). *)
 
-val policy_of_name :
-  Cyclesteal.Model.params ->
-  Cyclesteal.Model.opportunity ->
-  string ->
-  (Cyclesteal.Policy.t, string) result
-(** The named policies the CLI and the daemon accept: nonadaptive |
-    adaptive | calibrated | one-period | fixed-chunk | geometric. *)
-
-val handle : ?cache:Cache.t -> request -> (Json.t, string) result
+val handle :
+  ?cache:Cache.t -> request -> (Json.t, Cyclesteal.Error.t) result
 (** Evaluate one request to its [result] payload.  [Dp_query] solves
-    through [cache] when given (canonicalized, LRU), directly otherwise.
-    [Stats] is served by the daemon, not here: without a daemon context
-    it returns [Error]. *)
+    through [cache] when given (canonicalized, growable, LRU), directly
+    otherwise.  [Stats] is served by the daemon, not here: without a
+    daemon context it returns [Error]. *)
 
-val response_to_string : id:Json.t -> (Json.t, string) result -> string
+val error_to_json : Cyclesteal.Error.t -> Json.t
+(** The structured error object of an error response:
+    [{"code":...,"message":...}].  Shared with [csched --json] so CLI
+    and daemon errors render identically. *)
+
+val response_to_string :
+  id:Json.t -> (Json.t, Cyclesteal.Error.t) result -> string
 (** The response envelope as one line (no trailing newline). *)
 
-val error_response : id:Json.t -> string -> string
-(** [response_to_string ~id (Error msg)]. *)
+val error_response : id:Json.t -> Cyclesteal.Error.t -> string
+(** [response_to_string ~id (Error e)]. *)

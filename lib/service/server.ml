@@ -126,12 +126,12 @@ type t = {
 }
 
 let create ?(batch_size = 64) ?domains ~cache () =
-  if batch_size < 1 then invalid_arg "Server.create: batch_size must be >= 1";
+  if batch_size < 1 then Cyclesteal.Error.invalid "Server.create: batch_size must be >= 1";
   let domains =
     match domains with
     | None -> Csutil.Par.available_domains ()
     | Some d when d >= 1 -> d
-    | Some _ -> invalid_arg "Server.create: domains must be >= 1"
+    | Some _ -> Cyclesteal.Error.invalid "Server.create: domains must be >= 1"
   in
   {
     batch_size;
@@ -204,6 +204,21 @@ let serve_fd t in_fd out_fd =
                })
           outcomes;
         write_all out_fd (Buffer.contents buf);
+        (* A stats reset applies once the batch that carried it is fully
+           accounted and written, so the response still reflects the
+           pre-reset counters. *)
+        let wants_reset =
+          Array.exists
+            (fun (o : Batch.outcome) ->
+               match o.Batch.envelope.Protocol.request with
+               | Ok (Protocol.Stats { reset }) -> reset
+               | _ -> false)
+            outcomes
+        in
+        if wants_reset then begin
+          Stats.reset t.stats;
+          Cache.reset_counters t.cache
+        end;
         loop ()
   in
   loop ()

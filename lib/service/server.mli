@@ -19,7 +19,7 @@ val create :
 (** [batch_size] (default 64) caps how many requests one batch drains;
     [domains] caps the parallel fan-out (default:
     {!Csutil.Par.available_domains}).
-    @raise Invalid_argument when [batch_size < 1] or [domains < 1]. *)
+    @raise Error.Error when [batch_size < 1] or [domains < 1]. *)
 
 val stats : t -> Stats.t
 val cache : t -> Cache.t

@@ -4,7 +4,7 @@
 type record = { op : string; ok : bool; latency : float; bytes : int }
 
 type t = {
-  latency : Csutil.Stats.Accumulator.t;
+  mutable latency : Csutil.Stats.Accumulator.t;
   by_op : (string, int ref) Hashtbl.t;
   mutable requests : int;
   mutable errors : int;
@@ -36,6 +36,15 @@ let add t r =
 let add_batch t ~size =
   t.batches <- t.batches + 1;
   t.largest_batch <- max t.largest_batch size
+
+let reset t =
+  t.latency <- Csutil.Stats.Accumulator.create ();
+  Hashtbl.reset t.by_op;
+  t.requests <- 0;
+  t.errors <- 0;
+  t.bytes_served <- 0;
+  t.batches <- 0;
+  t.largest_batch <- 0
 
 let requests t = t.requests
 let bytes_served t = t.bytes_served
@@ -71,6 +80,7 @@ let to_json t ~cache:(c : Cache.stats) =
             ("hits", Json.Int c.Cache.hits);
             ("misses", Json.Int c.Cache.misses);
             ("evictions", Json.Int c.Cache.evictions);
+            ("growths", Json.Int c.Cache.growths);
             ("tables_resident", Json.Int c.Cache.resident);
             ("resident_bytes", Json.Int c.Cache.resident_bytes);
           ] );
@@ -102,6 +112,7 @@ let summary t ~cache:(c : Cache.stats) =
   add "cache hits" (string_of_int c.Cache.hits);
   add "cache misses" (string_of_int c.Cache.misses);
   add "cache evictions" (string_of_int c.Cache.evictions);
+  add "cache growths" (string_of_int c.Cache.growths);
   add "tables resident" (string_of_int c.Cache.resident);
   add "resident bytes" (string_of_int c.Cache.resident_bytes);
   Csutil.Table.to_string table

@@ -22,6 +22,11 @@ val add : t -> record -> unit
 val add_batch : t -> size:int -> unit
 (** Record that one batch of [size] requests was dispatched. *)
 
+val reset : t -> unit
+(** Zero every counter and the latency accumulator; backs the daemon's
+    [stats reset] sub-op (cache counters reset separately via
+    {!Cache.reset_counters}). *)
+
 val requests : t -> int
 val bytes_served : t -> int
 

@@ -12,26 +12,26 @@ type t =
   | Truncated_normal of { mean : float; stddev : float; lo : float }
 
 let constant v =
-  if v <= 0. then invalid_arg "Distribution.constant: value must be positive";
+  if v <= 0. then Cyclesteal.Error.invalid "Distribution.constant: value must be positive";
   Constant v
 
 let uniform ~lo ~hi =
   if lo <= 0. || hi < lo then
-    invalid_arg "Distribution.uniform: need 0 < lo <= hi";
+    Cyclesteal.Error.invalid "Distribution.uniform: need 0 < lo <= hi";
   Uniform { lo; hi }
 
 let exponential ~mean =
-  if mean <= 0. then invalid_arg "Distribution.exponential: mean must be positive";
+  if mean <= 0. then Cyclesteal.Error.invalid "Distribution.exponential: mean must be positive";
   Exponential { mean }
 
 let pareto ~xm ~alpha =
   if xm <= 0. || alpha <= 0. then
-    invalid_arg "Distribution.pareto: xm and alpha must be positive";
+    Cyclesteal.Error.invalid "Distribution.pareto: xm and alpha must be positive";
   Pareto { xm; alpha }
 
 let truncated_normal ~mean ~stddev ~lo =
   if stddev < 0. || lo <= 0. then
-    invalid_arg "Distribution.truncated_normal: need stddev >= 0 and lo > 0";
+    Cyclesteal.Error.invalid "Distribution.truncated_normal: need stddev >= 0 and lo > 0";
   Truncated_normal { mean; stddev; lo }
 
 let sample t rng =

@@ -10,7 +10,7 @@ type t =
   | Truncated_normal of { mean : float; stddev : float; lo : float }
 
 val constant : float -> t
-(** @raise Invalid_argument on non-positive values (likewise below). *)
+(** @raise Error.Error on non-positive values (likewise below). *)
 
 val uniform : lo:float -> hi:float -> t
 val exponential : mean:float -> t

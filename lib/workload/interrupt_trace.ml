@@ -11,8 +11,8 @@ let validate ~u times =
   let rec check prev = function
     | [] -> ()
     | x :: rest ->
-      if x <= prev then invalid_arg "Interrupt_trace: times must be increasing";
-      if x >= u then invalid_arg "Interrupt_trace: time beyond the lifespan";
+      if x <= prev then Cyclesteal.Error.invalid "Interrupt_trace: times must be increasing";
+      if x >= u then Cyclesteal.Error.invalid "Interrupt_trace: time beyond the lifespan";
       check x rest
   in
   check 0. times;
@@ -21,8 +21,8 @@ let validate ~u times =
 (* Poisson arrivals with the given rate, truncated to at most [p] events
    inside (0, u). *)
 let poisson ~rng ~u ~rate ~p =
-  if rate <= 0. then invalid_arg "Interrupt_trace.poisson: rate must be positive";
-  if p < 0 then invalid_arg "Interrupt_trace.poisson: p must be non-negative";
+  if rate <= 0. then Cyclesteal.Error.invalid "Interrupt_trace.poisson: rate must be positive";
+  if p < 0 then Cyclesteal.Error.invalid "Interrupt_trace.poisson: p must be non-negative";
   let rec go acc t n =
     if n = p then List.rev acc
     else begin
@@ -34,7 +34,7 @@ let poisson ~rng ~u ~rate ~p =
 
 (* Exactly [a] interrupts placed uniformly at random (sorted). *)
 let uniform ~rng ~u ~a =
-  if a < 0 then invalid_arg "Interrupt_trace.uniform: a must be non-negative";
+  if a < 0 then Cyclesteal.Error.invalid "Interrupt_trace.uniform: a must be non-negative";
   let times = Array.init a (fun _ -> Csutil.Rng.float_range rng ~lo:0. ~hi:u) in
   Array.sort Float.compare times;
   (* Deduplicate pathological collisions by nudging; probability ~ 0. *)
@@ -56,7 +56,7 @@ let shifts ~u ~fractions =
   List.iter
     (fun f ->
        if f <= 0. || f >= 1. then
-         invalid_arg "Interrupt_trace.shifts: fractions must lie in (0, 1)")
+         Cyclesteal.Error.invalid "Interrupt_trace.shifts: fractions must lie in (0, 1)")
     fractions;
   validate ~u (List.sort Float.compare (List.map (fun f -> f *. u) fractions))
 

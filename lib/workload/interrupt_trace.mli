@@ -7,7 +7,7 @@ type t = float list
 (** Strictly increasing times in [(0, u)]. *)
 
 val validate : u:float -> float list -> t
-(** @raise Invalid_argument unless strictly increasing and inside the
+(** @raise Error.Error unless strictly increasing and inside the
     lifespan. *)
 
 val poisson : rng:Csutil.Rng.t -> u:float -> rate:float -> p:int -> t
@@ -19,7 +19,7 @@ val uniform : rng:Csutil.Rng.t -> u:float -> a:int -> t
 val shifts : u:float -> fractions:float list -> t
 (** Fixed returns at the given fractions of the lifespan (e.g. the 9am
     return to a machine borrowed overnight).
-    @raise Invalid_argument unless all fractions lie in (0, 1). *)
+    @raise Error.Error unless all fractions lie in (0, 1). *)
 
 val of_times : u:float -> float list -> t
 (** Sort and validate explicit times. *)

@@ -18,7 +18,7 @@ let fragmentation p = p.budget -. p.used
    [budget].  Stops at the first task that does not fit (no reordering:
    the workload order is part of the model's determinism). *)
 let pack bag ~budget =
-  if budget < 0. then invalid_arg "Packing.pack: negative budget";
+  if budget < 0. then Cyclesteal.Error.invalid "Packing.pack: negative budget";
   let rec go acc used =
     match Task.peek bag with
     | Some t when used +. Task.size t <= budget +. 1e-12 ->

@@ -16,7 +16,7 @@ val pack : Task.bag -> budget:float -> packed
 (** Remove tasks FIFO while they fit; stops at the first task that does
     not fit (no reordering — workload order is part of the model's
     determinism).
-    @raise Invalid_argument on negative budgets. *)
+    @raise Error.Error on negative budgets. *)
 
 val unpack : Task.bag -> packed -> unit
 (** Return the packed tasks to the front of the bag (the period carrying

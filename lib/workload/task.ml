@@ -12,7 +12,7 @@ type task = {
 }
 
 let task ~id ~size =
-  if size <= 0. then invalid_arg "Task.task: size must be positive";
+  if size <= 0. then Cyclesteal.Error.invalid "Task.task: size must be positive";
   { id; size }
 
 let id t = t.id
@@ -45,12 +45,12 @@ let bag_of_sizes sizes =
 
 (* Generate [n] tasks with sizes drawn from [dist]. *)
 let generate ~rng ~dist ~n =
-  if n < 0 then invalid_arg "Task.generate: n must be non-negative";
+  if n < 0 then Cyclesteal.Error.invalid "Task.generate: n must be non-negative";
   bag_of_sizes (List.init n (fun _ -> Distribution.sample dist rng))
 
 (* Generate tasks until their total size reaches [total]. *)
 let generate_total ~rng ~dist ~total =
-  if total <= 0. then invalid_arg "Task.generate_total: total must be positive";
+  if total <= 0. then Cyclesteal.Error.invalid "Task.generate_total: total must be positive";
   let rec go acc sum =
     if sum >= total then List.rev acc
     else begin

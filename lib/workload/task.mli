@@ -4,7 +4,7 @@
 type task
 
 val task : id:int -> size:float -> task
-(** @raise Invalid_argument on non-positive sizes. *)
+(** @raise Error.Error on non-positive sizes. *)
 
 val id : task -> int
 val size : task -> float

@@ -94,11 +94,11 @@ let test_validation () =
   (try
      ignore (Adaptive.episode_schedule params ~p:(-1) ~residual:10.);
      Alcotest.fail "negative p accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Adaptive.episode_schedule params ~p:1 ~residual:0.);
      Alcotest.fail "zero residual accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* Theorem 5.1 for p = 1: the guideline's measured guaranteed work is
    within O(U^(1/4) + pc) of the printed bound, and the relative

@@ -30,14 +30,14 @@ let test_fixed_chunk_validation () =
   (try
      ignore (Baselines.Fixed_chunk.schedule ~u:10. ~chunk:0.);
      Alcotest.fail "chunk 0 accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let test_chunk_for_overhead () =
   check_float "5% overhead" 20. (Baselines.Fixed_chunk.chunk_for_overhead params ~overhead_fraction:0.05);
   (try
      ignore (Baselines.Fixed_chunk.chunk_for_overhead params ~overhead_fraction:1.5);
      Alcotest.fail "fraction > 1 accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* --- Geometric ----------------------------------------------------------- *)
 

@@ -56,11 +56,11 @@ let test_plan_validation () =
   (try
      ignore (Capacity.plan ~job:0. [ mk "a" 100. 1 ]);
      Alcotest.fail "zero job accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Capacity.plan ~job:10. []);
      Alcotest.fail "empty stations accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let test_shares () =
   let stations = [ mk "a" 4_000. 1; mk "b" 1_000. 1 ] in
@@ -101,7 +101,7 @@ let test_speed_scales_capacity () =
   (try
      ignore (mk ~speed:0. "zero" 10. 0);
      Alcotest.fail "zero speed accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* A 2x-speed station completes ~2x the tasks of a 1x station over the
    same uninterrupted opportunity in the simulator. *)

@@ -13,11 +13,11 @@ let test_params_validation () =
   (try
      ignore (Checkpointing.params base ~h:0.);
      Alcotest.fail "h = 0 accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Checkpointing.params base ~h:11.);
      Alcotest.fail "h > c accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let test_accessors () =
   let cp = Checkpointing.params base ~h:2. in
@@ -152,7 +152,7 @@ let test_loss_ratio () =
   (try
      ignore (Checkpointing.loss_ratio cp ~u:100. ~p:0);
      Alcotest.fail "p=0 accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let () =
   Alcotest.run "checkpointing"

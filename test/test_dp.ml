@@ -17,16 +17,16 @@ let test_validation () =
   (try
      ignore (Dp.solve ~c:0 ~max_p:1 ~max_l:10);
      Alcotest.fail "c=0 accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   let dp = Dp.solve ~c:1 ~max_p:1 ~max_l:10 in
   (try
      ignore (Dp.value dp ~p:2 ~l:5);
      Alcotest.fail "p out of range accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Dp.value dp ~p:1 ~l:11);
      Alcotest.fail "l out of range accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* The DP (per-period play) equals the brute-force optimum over
    *committed* episode schedules: the two formulations of the game have

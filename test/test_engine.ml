@@ -1,0 +1,163 @@
+(* Tests for the engine layer: the planner registry resolves every
+   strategy by name to exactly the policy the underlying module builds,
+   and the growable DP store agrees with a fresh solve at every cell.
+   These are the two contracts the consumers (csched, cschedd, bench,
+   nowsim) rely on when they stop calling strategy modules directly. *)
+
+open Cyclesteal
+
+(* --- registry resolution -------------------------------------------------- *)
+
+let test_registry_names () =
+  let must =
+    [ "naive"; "fixed_chunk"; "geometric"; "guideline"; "dp_exact"; "adaptive" ]
+  in
+  let names = Engine.Registry.names () in
+  List.iter
+    (fun n ->
+       Alcotest.(check bool) (Printf.sprintf "%S registered" n) true
+         (List.mem n names))
+    must;
+  (* Aliases resolve to the same planner as the primary name. *)
+  List.iter
+    (fun (alias, primary) ->
+       let a = Engine.Registry.find alias and p = Engine.Registry.find primary in
+       Alcotest.(check string)
+         (Printf.sprintf "%S is an alias of %S" alias primary)
+         p.Engine.Planner.name a.Engine.Planner.name)
+    [ ("one-period", "naive"); ("fixed-chunk", "fixed_chunk"); ("dp", "dp_exact") ]
+
+let test_registry_unknown () =
+  (match Engine.Registry.find_opt "frobnicate" with
+   | None -> ()
+   | Some _ -> Alcotest.fail "bogus planner resolved");
+  match
+    Error.guard (fun () ->
+        Engine.Registry.policy (Model.params ~c:1.)
+          (Model.opportunity ~lifespan:100. ~interrupts:1)
+          "frobnicate")
+  with
+  | Error (Error.Unknown_name { kind = "policy"; _ }) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e)
+  | Ok _ -> Alcotest.fail "bogus planner produced a policy"
+
+(* --- registry guarantee = direct module call ------------------------------ *)
+
+(* The policy each registry name must stand for, built the way the
+   consumers used to build it before the registry existed. *)
+let direct_policy params opp = function
+  | "naive" -> Policy.one_long_period
+  | "fixed_chunk" ->
+    let chunk =
+      Baselines.Fixed_chunk.chunk_for_overhead params ~overhead_fraction:0.05
+    in
+    Baselines.Fixed_chunk.policy ~u:opp.Model.lifespan ~chunk
+  | "geometric" -> Baselines.Geometric.policy params ~u:opp.Model.lifespan ~ratio:0.9
+  | "guideline" ->
+    let advice = Guidelines.advise params opp in
+    Guidelines.policy params opp advice.Guidelines.recommended
+  | "nonadaptive" -> Policy.nonadaptive_guideline params opp
+  | "adaptive" -> Policy.adaptive_guideline
+  | "calibrated" -> Policy.adaptive_calibrated
+  | name -> Alcotest.fail ("no direct construction for " ^ name)
+
+let scenario_gen =
+  QCheck.Gen.(
+    triple (float_range 0.5 5.) (float_range 20. 400.) (int_range 0 3))
+
+let scenario_print (c, u, p) = Printf.sprintf "c=%g u=%g p=%d" c u p
+
+let prop_registry_matches_direct name =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "registry %S guarantee = direct module call" name)
+    ~count:30
+    (QCheck.make scenario_gen ~print:scenario_print)
+    (fun (c, u, p) ->
+       let params = Model.params ~c in
+       let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+       let via_registry = Engine.Registry.guarantee params opp name in
+       let direct =
+         Game.guaranteed params opp (direct_policy params opp name)
+       in
+       via_registry = direct)
+
+let registry_props =
+  List.map prop_registry_matches_direct
+    [
+      "naive"; "fixed_chunk"; "geometric"; "guideline"; "nonadaptive";
+      "adaptive"; "calibrated";
+    ]
+
+(* dp_exact is deterministic and its table is costly: one fixed case
+   instead of a property. *)
+let test_dp_exact_matches_direct () =
+  let params = Model.params ~c:1. in
+  let opp = Model.opportunity ~lifespan:80. ~interrupts:2 in
+  let via_registry = Engine.Registry.guarantee params opp "dp_exact" in
+  let direct =
+    Game.guaranteed params opp (Policy.of_dp (Engine.Registry.dp_table params opp))
+  in
+  Alcotest.(check (float 0.)) "dp_exact guarantee" direct via_registry
+
+(* --- grown DP table = fresh solve at every cell --------------------------- *)
+
+let grow_gen =
+  QCheck.Gen.(
+    let* c = int_range 1 8 in
+    let* p0 = int_range 1 3 in
+    let* l0 = int_range 50 200 in
+    let* dp = int_range 0 3 in
+    let* dl = int_range 0 300 in
+    return (c, p0, l0, p0 + dp, l0 + dl))
+
+let grow_print (c, p0, l0, p1, l1) =
+  Printf.sprintf "c=%d p %d->%d l %d->%d" c p0 p1 l0 l1
+
+let prop_grow_matches_fresh =
+  QCheck.Test.make ~name:"grown DP table agrees with a fresh solve everywhere"
+    ~count:40
+    (QCheck.make grow_gen ~print:grow_print)
+    (fun (c, p0, l0, p1, l1) ->
+       let grown = Dp.solve ~c ~max_p:p0 ~max_l:l0 in
+       Dp.grow grown ~max_p:p1 ~max_l:l1;
+       let fresh = Dp.solve ~c ~max_p:p1 ~max_l:l1 in
+       let ok = ref true in
+       for p = 0 to p1 do
+         for l = 0 to l1 do
+           if Dp.value grown ~p ~l <> Dp.value fresh ~p ~l then ok := false
+         done
+       done;
+       !ok)
+
+(* Growth must also preserve episode recovery, not just values. *)
+let test_grow_preserves_episodes () =
+  let grown = Dp.solve ~c:5 ~max_p:2 ~max_l:150 in
+  Dp.grow grown ~max_p:4 ~max_l:400;
+  let fresh = Dp.solve ~c:5 ~max_p:4 ~max_l:400 in
+  List.iter
+    (fun (p, l) ->
+       Alcotest.(check (list int))
+         (Printf.sprintf "episode at p=%d l=%d" p l)
+         (Dp.optimal_episode fresh ~p ~l)
+         (Dp.optimal_episode grown ~p ~l))
+    [ (0, 120); (1, 150); (2, 150); (3, 280); (4, 400) ]
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "names and aliases" `Quick test_registry_names;
+          Alcotest.test_case "unknown name" `Quick test_registry_unknown;
+          Alcotest.test_case "dp_exact matches direct" `Quick
+            test_dp_exact_matches_direct;
+        ] );
+      ("registry props", qc registry_props);
+      ( "dp growth",
+        qc [ prop_grow_matches_fresh ]
+        @ [
+          Alcotest.test_case "episodes preserved" `Quick
+            test_grow_preserves_episodes;
+        ] );
+    ]

@@ -43,15 +43,15 @@ let test_validation () =
   (try
      ignore (Expected.exponential ~rate:0.);
      Alcotest.fail "rate 0 accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Expected.uniform ~horizon:(-1.));
      Alcotest.fail "negative horizon accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Expected.weibull ~scale:1. ~shape:0.);
      Alcotest.fail "shape 0 accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* --- expected work ----------------------------------------------------- *)
 

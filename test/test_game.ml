@@ -125,7 +125,7 @@ let test_run_rejects_overrunning_policy () =
   (try
      ignore (Game.run params opp policy Adversary.none);
      Alcotest.fail "overrun accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* --- guaranteed = minimax ------------------------------------------------ *)
 
@@ -230,7 +230,7 @@ let test_state_budget_exception () =
      ignore
        (Game.guaranteed ~max_states:50 params opp Policy.adaptive_guideline);
      Alcotest.fail "expected state budget exception"
-   with Game.State_budget_exceeded _ -> ())
+   with Error.Error (Error.Budget_exhausted _) -> ())
 
 (* at_times adversary: trace-driven interrupts land in the right period
    with the right fraction. *)
@@ -249,11 +249,11 @@ let test_at_times_validation () =
   (try
      ignore (Adversary.at_times [ 3.; 2. ]);
      Alcotest.fail "unsorted accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Adversary.at_times [ -1. ]);
      Alcotest.fail "negative accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* Adversary plumbing: named strategies behave as documented and
    malformed actions from custom strategies are rejected. *)
@@ -285,7 +285,7 @@ let test_adversary_strategies () =
   (try
      ignore (Adversary.decide bad_period ctx s);
      Alcotest.fail "period out of range accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   let bad_fraction =
     Adversary.make ~name:"bad" ~decide:(fun _ _ ->
         Adversary.Interrupt { period = 1; fraction = 0. })
@@ -293,7 +293,7 @@ let test_adversary_strategies () =
   (try
      ignore (Adversary.decide bad_fraction ctx s);
      Alcotest.fail "zero fraction accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let test_interrupt_at_offset () =
   let s = Schedule.of_list [ 4.; 3.; 3. ] in
@@ -327,7 +327,7 @@ let test_render_timeline () =
   (try
      ignore (Game.render_timeline ~width:4 params opp outcome);
      Alcotest.fail "narrow width accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* The assumption behind restricting the minimax to last-instant
    placements: every shipped policy's value is monotone non-decreasing

@@ -8,13 +8,16 @@ let check_float ?(eps = 1e-9) msg expected actual =
 let test_params_validation () =
   ignore (Model.params ~c:1.);
   Alcotest.check_raises "zero c"
-    (Invalid_argument "Model.params: setup cost c must be finite and positive")
+    (Error.Error
+       (Error.Invalid_params "Model.params: setup cost c must be finite and positive"))
     (fun () -> ignore (Model.params ~c:0.));
   Alcotest.check_raises "negative c"
-    (Invalid_argument "Model.params: setup cost c must be finite and positive")
+    (Error.Error
+       (Error.Invalid_params "Model.params: setup cost c must be finite and positive"))
     (fun () -> ignore (Model.params ~c:(-1.)));
   Alcotest.check_raises "nan c"
-    (Invalid_argument "Model.params: setup cost c must be finite and positive")
+    (Error.Error
+       (Error.Invalid_params "Model.params: setup cost c must be finite and positive"))
     (fun () -> ignore (Model.params ~c:Float.nan))
 
 let test_params_accessor () =
@@ -23,11 +26,14 @@ let test_params_accessor () =
 let test_opportunity_validation () =
   ignore (Model.opportunity ~lifespan:10. ~interrupts:0);
   Alcotest.check_raises "zero lifespan"
-    (Invalid_argument "Model.opportunity: lifespan U must be finite and positive")
+    (Error.Error
+       (Error.Invalid_params
+          "Model.opportunity: lifespan U must be finite and positive"))
     (fun () -> ignore (Model.opportunity ~lifespan:0. ~interrupts:1));
   Alcotest.check_raises "negative interrupts"
-    (Invalid_argument
-       "Model.opportunity: interrupt bound p must be non-negative")
+    (Error.Error
+       (Error.Invalid_params
+          "Model.opportunity: interrupt bound p must be non-negative"))
     (fun () -> ignore (Model.opportunity ~lifespan:1. ~interrupts:(-1)))
 
 let test_positive_sub_operator () =
@@ -42,7 +48,7 @@ let test_min_useful_lifespan () =
   check_float "p=0" 3. (Model.min_useful_lifespan params ~interrupts:0);
   check_float "p=2" 9. (Model.min_useful_lifespan params ~interrupts:2);
   Alcotest.check_raises "negative p"
-    (Invalid_argument "Model.min_useful_lifespan: negative p") (fun () ->
+    (Error.Error (Error.Invalid_params "Model.min_useful_lifespan: negative p")) (fun () ->
       ignore (Model.min_useful_lifespan params ~interrupts:(-1)))
 
 let test_is_degenerate () =

@@ -51,7 +51,7 @@ let test_release_requires_holder () =
   (try
      Nowsim.Nic.release nic sim t2;
      Alcotest.fail "waiting token released"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   Nowsim.Nic.release_if_held nic sim t2; (* no-op *)
   Nowsim.Nic.release nic sim t1
 

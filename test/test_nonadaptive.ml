@@ -14,7 +14,7 @@ let test_equal_periods () =
   check_float "each" 2.5 (Schedule.period s 1);
   check_float "total" 10. (Schedule.total s);
   Alcotest.check_raises "m = 0"
-    (Invalid_argument "Nonadaptive.equal_periods: m must be positive")
+    (Error.Error (Error.Invalid_params "Nonadaptive.equal_periods: m must be positive"))
     (fun () -> ignore (Nonadaptive.equal_periods ~u:10. ~m:0))
 
 let test_guideline_shape () =
@@ -62,19 +62,19 @@ let test_work_given_interrupts_validation () =
   (try
      ignore (w ~p:2 ~interrupted:[ 2; 2 ]);
      Alcotest.fail "duplicate indices accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (w ~p:2 ~interrupted:[ 3; 2 ]);
      Alcotest.fail "unsorted indices accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (w ~p:2 ~interrupted:[ 0 ]);
      Alcotest.fail "index 0 accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (w ~p:1 ~interrupted:[ 1; 2 ]);
      Alcotest.fail "over budget accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* The closed form U - 2 sqrt(pcU) + pc matches the exact adversary on
    the guideline schedule whenever sqrt(pU/c) is an integer (no floor

@@ -117,7 +117,7 @@ let test_sim_rejects_past () =
          try
            ignore (Nowsim.Sim.schedule s ~at:1. (fun _ -> ()));
            Alcotest.fail "past scheduling accepted"
-         with Invalid_argument _ -> ()));
+         with Error.Error _ -> ()));
   Nowsim.Sim.run sim
 
 (* --- Single-station simulation ---------------------------------------------- *)
@@ -267,7 +267,7 @@ let test_link_split () =
   (try
      ignore (Nowsim.Link.create ~send_fraction:1.5 params);
      Alcotest.fail "fraction > 1 accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let test_link_compute_window () =
   let link = Nowsim.Link.create params in
@@ -366,11 +366,11 @@ let test_day_night_validation () =
   (try
      ignore (Nowsim.Owner_model.day_night ~rng ~quiet_until:(-1.) ~day_rate:1.);
      Alcotest.fail "negative quiet_until accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Nowsim.Owner_model.day_night ~rng ~quiet_until:0. ~day_rate:0.);
      Alcotest.fail "zero rate accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* --- Farm (multi-station) ---------------------------------------------------- *)
 
@@ -424,7 +424,7 @@ let test_farm_empty_specs_rejected () =
   (try
      ignore (Nowsim.Farm.run params ~bag []);
      Alcotest.fail "empty specs accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 (* --- Random-trace engine equivalence (E7, property form) ----------------- *)
 
@@ -523,7 +523,7 @@ let test_sim_reentrancy_rejected () =
   let reentered = ref false in
   ignore
     (Nowsim.Sim.schedule sim ~at:1. (fun s ->
-         try Nowsim.Sim.run s with Invalid_argument _ -> reentered := true));
+         try Nowsim.Sim.run s with Error.Error _ -> reentered := true));
   Nowsim.Sim.run sim;
   Alcotest.(check bool) "re-entrance rejected" true !reentered
 
@@ -536,7 +536,7 @@ let test_master_rejects_overrunning_policy () =
        (Nowsim.Farm.run_single params ~bag ~opportunity ~policy
           ~owner:Adversary.none ());
      Alcotest.fail "overrun accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in

@@ -21,27 +21,27 @@ let test_construction_and_accessors () =
 
 let test_validation () =
   Alcotest.check_raises "empty"
-    (Invalid_argument "Schedule: a schedule needs at least one period")
+    (Error.Error (Error.Invalid_params "Schedule: a schedule needs at least one period"))
     (fun () -> ignore (Schedule.of_list []));
   (try
      ignore (Schedule.of_list [ 1.; 0.; 2. ]);
      Alcotest.fail "expected rejection of zero-length period"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Schedule.of_list [ 1.; Float.nan ]);
      Alcotest.fail "expected rejection of NaN period"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let test_index_bounds () =
   let s = Schedule.of_list [ 1.; 1. ] in
   (try
      ignore (Schedule.period s 0);
      Alcotest.fail "index 0 accepted"
-   with Invalid_argument _ -> ());
+   with Error.Error _ -> ());
   (try
      ignore (Schedule.period s 3);
      Alcotest.fail "index m+1 accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let test_work_accounting () =
   let s = Schedule.of_list [ 3.; 0.5; 2. ] in
@@ -133,7 +133,7 @@ let test_tail () =
   (try
      ignore (Schedule.tail s ~from:5);
      Alcotest.fail "out-of-range accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let test_append () =
   let s = Schedule.append (Schedule.of_list [ 1. ]) 2. in
@@ -142,7 +142,7 @@ let test_append () =
   (try
      ignore (Schedule.append s 0.);
      Alcotest.fail "zero append accepted"
-   with Invalid_argument _ -> ())
+   with Error.Error _ -> ())
 
 let test_equal () =
   let a = Schedule.of_list [ 1.; 2. ] and b = Schedule.of_list [ 1.; 2. +. 1e-12 ] in

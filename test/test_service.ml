@@ -109,7 +109,7 @@ let roundtrip req =
   Alcotest.(check bool) ("id echoed for " ^ line) true (e.Protocol.id = Json.Int 7);
   match e.Protocol.request with
   | Ok req' -> Alcotest.(check bool) ("round-trip " ^ line) true (req = req')
-  | Error msg -> Alcotest.fail msg
+  | Error err -> Alcotest.fail (Cyclesteal.Error.to_string err)
 
 let test_protocol_round_trip () =
   roundtrip (Protocol.Advise { c = 30.; u = 86400.; p = 3 });
@@ -121,13 +121,16 @@ let test_protocol_round_trip () =
     (Protocol.Evaluate
        { c = 2.; u = 500.; p = 2; policy = "geometric"; periods = None });
   roundtrip (Protocol.Dp_query { c_ticks = 10; l = 2000; p = 3 });
-  roundtrip Protocol.Stats
+  roundtrip Protocol.Strategies;
+  roundtrip (Protocol.Stats { reset = false });
+  roundtrip (Protocol.Stats { reset = true })
 
 let expect_error line needle =
   let e = Protocol.parse_line line in
   match e.Protocol.request with
   | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %s" line)
-  | Error msg ->
+  | Error err ->
+    let msg = Cyclesteal.Error.to_string err in
     Alcotest.(check bool)
       (Printf.sprintf "%s rejected with %S (got %S)" line needle msg)
       true (contains ~sub:needle msg)
@@ -149,29 +152,48 @@ let test_protocol_errors () =
     (e.Protocol.id = Json.String "q-1")
 
 let test_protocol_handle_errors () =
+  let msg_of err = Cyclesteal.Error.to_string err in
   (match Protocol.handle (Protocol.Schedule { c = 1.; u = 10.; p = 1; regime = "bogus" }) with
-   | Error msg ->
-     Alcotest.(check bool) "unknown regime" true (contains ~sub:"unknown regime" msg)
+   | Error err ->
+     Alcotest.(check bool) "unknown regime" true
+       (contains ~sub:"unknown regime" (msg_of err))
    | Ok _ -> Alcotest.fail "bogus regime accepted");
   (match
      Protocol.handle
        (Protocol.Evaluate
           { c = 1.; u = 10.; p = 1; policy = "bogus"; periods = None })
    with
-   | Error msg ->
-     Alcotest.(check bool) "unknown policy" true (contains ~sub:"unknown policy" msg)
+   | Error err ->
+     Alcotest.(check bool) "unknown policy" true
+       (contains ~sub:"unknown policy" (msg_of err))
    | Ok _ -> Alcotest.fail "bogus policy accepted");
   (match
      Protocol.handle
        (Protocol.Evaluate
           { c = 1.; u = 10.; p = 1; policy = "adaptive"; periods = Some [ 3.; 3. ] })
    with
-   | Error msg ->
-     Alcotest.(check bool) "periods sum" true (contains ~sub:"periods sum" msg)
+   | Error err ->
+     Alcotest.(check bool) "periods sum" true
+       (contains ~sub:"periods sum" (msg_of err))
    | Ok _ -> Alcotest.fail "mismatched periods accepted");
-  match Protocol.handle Protocol.Stats with
+  match Protocol.handle (Protocol.Stats { reset = false }) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "stats answered outside the daemon"
+
+let test_protocol_strategies () =
+  match Protocol.handle Protocol.Strategies with
+  | Error err -> Alcotest.fail (Cyclesteal.Error.to_string err)
+  | Ok payload ->
+    let s = Json.to_string payload in
+    List.iter
+      (fun name ->
+         Alcotest.(check bool)
+           (Printf.sprintf "lists %S" name)
+           true
+           (contains ~sub:(Printf.sprintf {|"%s"|} name) s))
+      [ "naive"; "fixed_chunk"; "geometric"; "guideline"; "dp_exact"; "adaptive" ];
+    (* Regimes ride along so schedule clients can discover them too. *)
+    Alcotest.(check bool) "lists regimes" true (contains ~sub:"opt-p1" s)
 
 (* --- Cache ---------------------------------------------------------------- *)
 
@@ -210,24 +232,46 @@ let test_cache_sharing_and_correctness () =
   Alcotest.(check int) "one resident table" 1 s.Cache.resident;
   Alcotest.(check bool) "footprint accounted" true (s.Cache.resident_bytes > 0)
 
+let test_cache_growth () =
+  (* A query past the resident table's bounds grows it in place: same
+     physical table, one growth, no new resident entry -- and the grown
+     region agrees with a fresh solve. *)
+  let cache = Cache.create ~capacity:4 () in
+  let a = Cache.find_or_solve cache ~c:10 ~p:2 ~l:300 in
+  let b = Cache.find_or_solve cache ~c:10 ~p:5 ~l:700 in
+  Alcotest.(check bool) "growth keeps the table" true (a == b);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one growth" 1 s.Cache.growths;
+  Alcotest.(check int) "still one resident table" 1 s.Cache.resident;
+  let direct = Cyclesteal.Dp.solve ~c:10 ~max_p:5 ~max_l:700 in
+  List.iter
+    (fun (p, l) ->
+       Alcotest.(check int)
+         (Printf.sprintf "grown value at p=%d l=%d" p l)
+         (Cyclesteal.Dp.value direct ~p ~l)
+         (Cyclesteal.Dp.value b ~p ~l))
+    [ (0, 77); (2, 300); (3, 450); (5, 700) ]
+
 let test_cache_lru_eviction () =
+  (* Identity is the tick cost c alone (bounds only grow a resident
+     table), so eviction needs three distinct costs. *)
   let cache = Cache.create ~shards:1 ~capacity:2 () in
-  let k l = Cache.find_or_solve cache ~c:5 ~p:1 ~l in
-  let t256 = k 200 in
-  let _t512 = k 500 in
-  (* Touch the 256-table so the 512-table is the LRU victim. *)
-  let t256' = k 200 in
-  Alcotest.(check bool) "hit keeps the table" true (t256 == t256');
-  let _t1024 = k 1000 in
+  let k c = Cache.find_or_solve cache ~c ~p:1 ~l:200 in
+  let t3 = k 3 in
+  let _t5 = k 5 in
+  (* Touch the c=3 table so the c=5 table is the LRU victim. *)
+  let t3' = k 3 in
+  Alcotest.(check bool) "hit keeps the table" true (t3 == t3');
+  let _t7 = k 7 in
   let s = Cache.stats cache in
   Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
   Alcotest.(check int) "capacity respected" 2 s.Cache.resident;
   (* The touched table survived; the untouched one was evicted. *)
-  let t256'' = k 200 in
-  Alcotest.(check bool) "MRU survived" true (t256 == t256'');
+  let t3'' = k 3 in
+  Alcotest.(check bool) "MRU survived" true (t3 == t3'');
   let s = Cache.stats cache in
   Alcotest.(check int) "three solves so far" 3 s.Cache.misses;
-  let _t512' = k 500 in
+  let _t5' = k 5 in
   let s' = Cache.stats cache in
   Alcotest.(check int) "evicted table re-solves" (s.Cache.misses + 1)
     s'.Cache.misses
@@ -287,6 +331,7 @@ let mixed_request_lines () =
      paths. *)
   add {|{"id":120,"op":"evaluate","c":1,"u":20,"p":1,"periods":[8,7,5]}|};
   add {|{"id":121,"op":"advise","c":-3}|};
+  add {|{"id":122,"op":"strategies"}|};
   add "garbage that is not json";
   List.rev !lines
 
@@ -331,7 +376,7 @@ let test_batch_stats_payload () =
   let out = Batch.run ~domains:1 ~stats_payload:payload ~cache envelopes in
   match out.(0).Batch.result with
   | Ok p -> Alcotest.(check bool) "snapshot served" true (Json.equal p payload)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Cyclesteal.Error.to_string e)
 
 (* --- Server end to end ------------------------------------------------------ *)
 
@@ -411,6 +456,27 @@ let test_server_stats_request () =
       (contains ~sub:{|"advise":1|} second)
   | other ->
     Alcotest.fail (Printf.sprintf "expected 2 responses, got %d" (List.length other))
+
+let test_server_stats_reset () =
+  let lines =
+    [
+      {|{"id":1,"op":"advise","c":1,"u":100,"p":1}|};
+      {|{"id":2,"op":"stats","reset":true}|};
+      {|{"id":3,"op":"stats"}|};
+    ]
+  in
+  let got, _, _ = serve_lines ~batch_size:1 lines in
+  match got with
+  | [ _first; second; third ] ->
+    (* The resetting request is itself served the pre-reset snapshot... *)
+    Alcotest.(check bool) "pre-reset snapshot counts the advise" true
+      (contains ~sub:{|"requests":1|} second);
+    (* ...and the reset lands once its batch completes, so the next
+       stats request sees zeroed counters. *)
+    Alcotest.(check bool) "post-reset counters are zero" true
+      (contains ~sub:{|"requests":0|} third)
+  | other ->
+    Alcotest.fail (Printf.sprintf "expected 3 responses, got %d" (List.length other))
 
 let test_server_survives_malformed_flood () =
   let lines =
@@ -523,12 +589,14 @@ let () =
           Alcotest.test_case "request round-trip" `Quick test_protocol_round_trip;
           Alcotest.test_case "parse errors" `Quick test_protocol_errors;
           Alcotest.test_case "handle errors" `Quick test_protocol_handle_errors;
+          Alcotest.test_case "strategies listing" `Quick test_protocol_strategies;
         ] );
       ( "cache",
         [
           Alcotest.test_case "canonicalization" `Quick test_cache_canonicalization;
           Alcotest.test_case "sharing + correctness" `Quick
             test_cache_sharing_and_correctness;
+          Alcotest.test_case "in-place growth" `Quick test_cache_growth;
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "preload groups solves" `Quick
             test_cache_preload_groups_solves;
@@ -544,6 +612,7 @@ let () =
           Alcotest.test_case "end to end, byte-identical" `Slow
             test_server_end_to_end;
           Alcotest.test_case "stats request" `Quick test_server_stats_request;
+          Alcotest.test_case "stats reset" `Quick test_server_stats_reset;
           Alcotest.test_case "malformed flood" `Quick
             test_server_survives_malformed_flood;
           Alcotest.test_case "unterminated final line" `Quick

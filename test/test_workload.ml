@@ -12,15 +12,15 @@ let test_distribution_validation () =
   (try
      ignore (Workload.Distribution.constant 0.);
      Alcotest.fail "constant 0 accepted"
-   with Invalid_argument _ -> ());
+   with Cyclesteal.Error.Error _ -> ());
   (try
      ignore (Workload.Distribution.uniform ~lo:2. ~hi:1.);
      Alcotest.fail "inverted uniform accepted"
-   with Invalid_argument _ -> ());
+   with Cyclesteal.Error.Error _ -> ());
   (try
      ignore (Workload.Distribution.pareto ~xm:1. ~alpha:0.);
      Alcotest.fail "alpha 0 accepted"
-   with Invalid_argument _ -> ())
+   with Cyclesteal.Error.Error _ -> ())
 
 let test_constant_sampling () =
   let d = Workload.Distribution.constant 2.5 in
@@ -173,11 +173,11 @@ let test_trace_validation () =
   (try
      ignore (Workload.Interrupt_trace.of_times ~u:10. [ 11. ]);
      Alcotest.fail "time beyond lifespan accepted"
-   with Invalid_argument _ -> ());
+   with Cyclesteal.Error.Error _ -> ());
   (try
      ignore (Workload.Interrupt_trace.validate ~u:10. [ 3.; 3. ]);
      Alcotest.fail "duplicate accepted"
-   with Invalid_argument _ -> ())
+   with Cyclesteal.Error.Error _ -> ())
 
 let test_poisson_trace_caps_at_p () =
   let r = rng () in
@@ -209,7 +209,7 @@ let test_shifts () =
   (try
      ignore (Workload.Interrupt_trace.shifts ~u:100. ~fractions:[ 1.5 ]);
      Alcotest.fail "fraction > 1 accepted"
-   with Invalid_argument _ -> ())
+   with Cyclesteal.Error.Error _ -> ())
 
 (* --- QCheck ---------------------------------------------------------------- *)
 

@@ -1,12 +1,34 @@
 #!/bin/sh
 # Format gate for a container without ocamlformat: OCaml sources and
 # dune files must be tab-free, carry no trailing whitespace, and end
-# with a newline.  Run via `dune build @fmt` (or directly from the
-# repository root).
+# with a newline.  Library code must also raise the structured
+# Error.t instead of failwith.  Run via `dune build @fmt` (or directly
+# from the repository root).
 set -eu
 
 fail=0
 tab=$(printf '\t')
+
+# Error-discipline gate: lib/ raises Cyclesteal.Error (Error.invalid,
+# Error.unknown, ...), never failwith — that is what keeps CLI and
+# daemon error output structured.  Allowlist files here (as
+# "path:reason") if a stdlib-flavoured exception is ever the right
+# call; lib/util is exempt wholesale as a modelling-free substrate
+# whose contract violations stay stdlib Invalid_argument.
+failwith_allowlist=""
+
+for f in $(find lib -type f \( -name '*.ml' -o -name '*.mli' \) \
+             -not -path 'lib/util/*' | sort); do
+  case " $failwith_allowlist " in
+    *" $f:"*) continue ;;
+  esac
+  if grep -nE '(^|[^A-Za-z0-9_.])failwith([^A-Za-z0-9_]|$)' "$f" \
+       >/dev/null 2>&1; then
+    echo "error-discipline: failwith in $f (use Error.invalid / Error.unknown):" >&2
+    grep -nE '(^|[^A-Za-z0-9_.])failwith([^A-Za-z0-9_]|$)' "$f" | head -3 >&2
+    fail=1
+  fi
+done
 
 for f in $(find lib bin test bench examples -type f \
              \( -name '*.ml' -o -name '*.mli' -o -name 'dune' \) \
