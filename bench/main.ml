@@ -969,6 +969,189 @@ let growth_bench () =
      doubling L touches the L^2 tail (~1.3x); the daemon's cache turns\n\
      near-miss queries into these grow steps instead of full re-solves.\n\n"
 
+(* --- DP kernel: scalar vs pruned vs parallel --------------------------------- *)
+
+(* The kernel perf trajectory (DESIGN.md S17).  Three kernels solve the
+   same instances: [Dp.Ref.solve] (the exhaustive scalar reference),
+   [Dp.solve] (monotone-pruned inner loop), and [Dp.solve_with ~pool]
+   (pruned + wavefront over a worker pool).  Results are asserted
+   cell-identical, timed, and written as machine-readable BENCH_dp.json
+   so later changes can regress-check the kernel against this PR's
+   numbers. *)
+
+let assert_tables_equal ~what a b =
+  let max_p = Dp.max_p a and max_l = Dp.max_l a in
+  assert (Dp.max_p b = max_p && Dp.max_l b = max_l);
+  for p = 0 to max_p do
+    for l = 0 to max_l do
+      if
+        Dp.value a ~p ~l <> Dp.value b ~p ~l
+        || Dp.optimal_first_period a ~p ~l <> Dp.optimal_first_period b ~p ~l
+      then begin
+        Printf.eprintf "kernel mismatch (%s) at p=%d l=%d\n" what p l;
+        exit 1
+      end
+    done
+  done
+
+let time_min ~runs f =
+  let best = ref infinity and out = ref None in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then begin
+      best := dt;
+      out := Some v
+    end
+  done;
+  (!best, Option.get !out)
+
+let dp_kernel_instance ~pool ~scalar_runs (c, max_p, max_l) =
+  let cells = (max_p + 1) * (max_l + 1) in
+  let fcells = float_of_int cells in
+  let scalar_s, reference =
+    time_min ~runs:scalar_runs (fun () -> Dp.Ref.solve ~c ~max_p ~max_l)
+  in
+  Dp.reset_counters ();
+  let pruned_s, pruned = time_min ~runs:3 (fun () -> Dp.solve ~c ~max_p ~max_l) in
+  let k = Dp.counters () in
+  let prune_ratio =
+    float_of_int k.Dp.candidates_pruned
+    /. float_of_int (max 1 (k.Dp.candidates_visited + k.Dp.candidates_pruned))
+  in
+  Dp.reset_counters ();
+  let par_s, par =
+    time_min ~runs:3 (fun () -> Dp.solve_with ~pool:(Some pool) ~c ~max_p ~max_l)
+  in
+  let kp = Dp.counters () in
+  assert_tables_equal ~what:"pruned vs reference" pruned reference;
+  assert_tables_equal ~what:"parallel vs pruned" par pruned;
+  let series kernel seconds domains extra =
+    Service.Json.Obj
+      ([
+         ("kernel", Service.Json.String kernel);
+         ("seconds", Service.Json.Float seconds);
+         ("cells_per_sec", Service.Json.Float (fcells /. seconds));
+         ("speedup_vs_scalar", Service.Json.Float (scalar_s /. seconds));
+         ("domains", Service.Json.Int domains);
+       ]
+       @ extra)
+  in
+  let instance =
+    Service.Json.Obj
+      [
+        ("c", Service.Json.Int c);
+        ("max_p", Service.Json.Int max_p);
+        ("max_l", Service.Json.Int max_l);
+        ("cells", Service.Json.Int cells);
+        ( "series",
+          Service.Json.List
+            [
+              series "scalar" scalar_s 1 [];
+              series "pruned" pruned_s 1
+                [
+                  ("prune_ratio", Service.Json.Float prune_ratio);
+                  ( "candidates_visited",
+                    Service.Json.Int (k.Dp.candidates_visited / 3) );
+                  ( "candidates_pruned",
+                    Service.Json.Int (k.Dp.candidates_pruned / 3) );
+                ];
+              series "pruned+parallel" par_s (Csutil.Par.Pool.size pool)
+                [ ("parallel_fills", Service.Json.Int kp.Dp.parallel_fills) ];
+            ] );
+      ]
+  in
+  let t =
+    Csutil.Table.create
+      ~title:
+        (Printf.sprintf "c = %d, p <= %d, L <= %d (%d cells)" c max_p max_l
+           cells)
+      ~aligns:Csutil.Table.[ Left; Right; Right; Right ]
+      [ "kernel"; "seconds"; "cells/s"; "speedup" ]
+  in
+  List.iter
+    (fun (kernel, secs) ->
+       Csutil.Table.add_row t
+         [
+           kernel;
+           Csutil.Table.cell_float ~prec:4 secs;
+           Printf.sprintf "%.3g" (fcells /. secs);
+           Printf.sprintf "%.1fx" (scalar_s /. secs);
+         ])
+    [
+      ("scalar (Dp.Ref)", scalar_s);
+      ("pruned", pruned_s);
+      (Printf.sprintf "pruned+parallel (%d domains)"
+         (Csutil.Par.Pool.size pool), par_s);
+    ];
+  emit t;
+  Printf.printf "prune ratio: %.4f (%d of %d candidates skipped)\n\n"
+    prune_ratio (k.Dp.candidates_pruned / 3)
+    ((k.Dp.candidates_visited + k.Dp.candidates_pruned) / 3);
+  instance
+
+(* Quick mode: the runtest perf smoke.  Asserts kernel == reference on a
+   fixed mid-size instance and finishes under a generous bound; no JSON
+   is written. *)
+let dp_kernel_quick () =
+  let t0 = Unix.gettimeofday () in
+  let c = 10 and max_p = 8 and max_l = 10000 in
+  let reference = Dp.Ref.solve ~c ~max_p ~max_l in
+  let pruned = Dp.solve ~c ~max_p ~max_l in
+  assert_tables_equal ~what:"pruned vs reference" pruned reference;
+  Csutil.Par.Pool.with_pool ~domains:3 (fun pool ->
+      Dp.reset_counters ();
+      let par = Dp.solve_with ~pool:(Some pool) ~c ~max_p ~max_l in
+      (* The instance is sized above the wavefront threshold, so this
+         must have exercised the parallel fill, not just fallen back. *)
+      assert ((Dp.counters ()).Dp.parallel_fills = 1);
+      assert_tables_equal ~what:"parallel vs pruned" par pruned);
+  let dt = Unix.gettimeofday () -. t0 in
+  (* Generous: the three solves take well under a second; only a badly
+     broken kernel (or machine) blows this. *)
+  if dt > 120. then begin
+    Printf.eprintf "bench dp --quick exceeded its 120 s bound: %.1f s\n" dt;
+    exit 1
+  end;
+  Printf.printf
+    "dp --quick: pruned and parallel kernels match the reference on\n\
+     (c=%d, p<=%d, L<=%d); %.2f s\n"
+    c max_p max_l dt
+
+let dp_kernel_bench ?(out = "BENCH_dp.json") () =
+  heading "DP kernel -- scalar vs pruned vs parallel (BENCH_dp.json)";
+  let domains = max 4 (Csutil.Par.available_domains ()) in
+  Csutil.Par.Pool.with_pool ~domains (fun pool ->
+      (* The flagship scalar solve takes minutes; time it once.  The
+         mid-size instance gets the usual min-of-3. *)
+      let instances =
+        [
+          ((10, 8, 8000), 3);
+          ((1, 64, 50000), 1);
+        ]
+      in
+      let results =
+        List.map
+          (fun (inst, scalar_runs) ->
+             dp_kernel_instance ~pool ~scalar_runs inst)
+          instances
+      in
+      let doc =
+        Service.Json.Obj
+          [
+            ("bench", Service.Json.String "dp");
+            ( "domains_available",
+              Service.Json.Int (Csutil.Par.available_domains ()) );
+            ("instances", Service.Json.List results);
+          ]
+      in
+      let oc = open_out out in
+      output_string oc (Service.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n\n" out)
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let tables () =
@@ -1015,11 +1198,14 @@ let () =
     | [ "ablations" ] -> ablations ()
     | [ "service" ] -> service_bench ()
     | [ "growth" ] -> growth_bench ()
+    | [ "dp" ] -> dp_kernel_bench ()
+    | [ "dp"; "--quick" ] -> dp_kernel_quick ()
+    | [ "dp"; "--out"; path ] -> dp_kernel_bench ~out:path ()
     | [ "bechamel" ] -> bechamel ()
     | other ->
       Printf.eprintf
         "usage: main.exe [--csv DIR] [tables | series eN | service | growth | \
-         bechamel]\n";
+         dp [--quick | --out FILE] | bechamel]\n";
       Printf.eprintf "got: %s\n" (String.concat " " other);
       exit 2
   in

@@ -22,9 +22,15 @@ let serve socket_path batch_size domains cache_tables shards quiet =
   else if cache_tables < 1 then `Error (false, "cache-tables must be >= 1")
   else if shards < 1 then `Error (false, "shards must be >= 1")
   else begin
-    let cache = Service.Cache.create ~shards ~capacity:cache_tables () in
+    (* One pool serves both layers: batches fan out over it, and a cold
+       solve inside a batch borrows it for the wavefront fill when the
+       fan-out has left it idle (busy pools degrade to inline fills). *)
+    let pool = Csutil.Par.Pool.create ~domains in
+    let cache =
+      Service.Cache.create ~shards ~pool ~capacity:cache_tables ()
+    in
     let server =
-      Service.Server.create ~batch_size ~domains ~cache ()
+      Service.Server.create ~batch_size ~domains ~pool ~cache ()
     in
     let stop _ = Service.Server.request_stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);

@@ -27,8 +27,33 @@
    the superseded arrays after a re-allocation), so a single grower —
    e.g. the service cache under its shard lock — never races them.
 
-   Complexity: O(max_p * max_l^2) time for a fresh solve; a grow pays
-   only for the new cells.  Space: O(cap_p * cap_l). *)
+   The kernel (see also DESIGN.md S17):
+
+   - Pruned inner loop.  W(p-1) is non-decreasing in l (Prop 4.1(a)),
+     so the adversary's branch killed(t) = W(p-1)[l - t] is
+     non-increasing in the period length t, and every candidate is
+     min(killed t, survive t) <= killed t.  Once killed t <= best, no
+     longer period can beat the incumbent and the scan stops.  Because
+     best grows to within low-order terms of l while killed t falls
+     roughly linearly, the scan visits O(sqrt(c l)) of the l candidates
+     instead of all of them.  The prune only skips candidates the
+     exhaustive scan would have rejected, so values AND recorded argmax
+     periods are bit-identical to the reference kernel ([Ref]).
+
+   - Domain-parallel fill.  A row has a left-to-right dependency on
+     itself (the survive branch), so one row cannot be split across
+     domains — but the killed branch only reads the *previous* row, so
+     row p can be filled in blocks pipelined against row p - 1: the
+     block of row p covering columns [lo, hi] may start as soon as row
+     p - 1 is solved through column hi - 1.  Workers claim rows in
+     ascending order and publish per-row progress under a mutex, giving
+     a wavefront with up to min(domains, rows) blocks in flight.  Cell
+     reads only ever touch published (final) cells, so the parallel
+     fill is bit-identical to the sequential one.
+
+   Complexity: O(max_p * max_l^2) time for a fresh exhaustive solve;
+   pruning cuts the inner factor to O(sqrt(c * max_l)) in practice; a
+   grow pays only for the new cells.  Space: O(cap_p * cap_l). *)
 
 type mat = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
@@ -61,46 +86,191 @@ let alloc ~cap_p ~cap_l =
   Bigarray.Array1.fill a 0;
   a
 
-(* Fill every cell of [body] not already solved when the bounds were
-   (old_p, old_l); pass old_p = -1 for a fresh table.  Rows ascend so a
-   cell's reads (previous row, smaller l in this row) are always ready:
-   for surviving rows only l > old_l is new, for new rows everything. *)
-let fill ~c body ~old_p ~old_l =
+(* --- kernel counters ----------------------------------------------------- *)
+
+(* Process-wide accounting of kernel work, kept in atomics and flushed
+   once per row/block (never per cell) so the inner loop stays free of
+   synchronisation.  [candidates_visited + candidates_pruned] equals
+   the exhaustive candidate count of the cells filled so far. *)
+type counters = {
+  cells_filled : int;
+  candidates_visited : int;
+  candidates_pruned : int;
+  parallel_fills : int;
+}
+
+let cells_ctr = Atomic.make 0
+let visited_ctr = Atomic.make 0
+let pruned_ctr = Atomic.make 0
+let parfill_ctr = Atomic.make 0
+
+let counters () =
+  {
+    cells_filled = Atomic.get cells_ctr;
+    candidates_visited = Atomic.get visited_ctr;
+    candidates_pruned = Atomic.get pruned_ctr;
+    parallel_fills = Atomic.get parfill_ctr;
+  }
+
+let reset_counters () =
+  Atomic.set cells_ctr 0;
+  Atomic.set visited_ctr 0;
+  Atomic.set pruned_ctr 0;
+  Atomic.set parfill_ctr 0
+
+let charge ~cells ~visited ~pruned =
+  ignore (Atomic.fetch_and_add cells_ctr cells);
+  ignore (Atomic.fetch_and_add visited_ctr visited);
+  ignore (Atomic.fetch_and_add pruned_ctr pruned)
+
+(* --- row primitives ------------------------------------------------------ *)
+
+(* Row 0 is the closed form W(0)[l] = l (-) c. *)
+let fill_row0 body ~c ~l_from =
   let open Bigarray in
-  let stride = body.cap_l + 1 in
   let v = body.value and f = body.first in
-  let l0_row0 = if old_p < 0 then 0 else old_l + 1 in
-  for l = l0_row0 to body.max_l do
+  for l = l_from to body.max_l do
     Array1.unsafe_set v l (max 0 (l - c));
     Array1.unsafe_set f l l
   done;
-  for p = 1 to body.max_p do
-    let row = p * stride in
-    let prev = row - stride in
-    let l_from = if p > old_p then 0 else old_l + 1 in
-    if l_from = 0 then begin
-      Array1.unsafe_set v row 0;
-      Array1.unsafe_set f row 0
-    end;
-    for l = max 1 l_from to body.max_l do
-      (* t = l is always available and yields min(vp1.(0), ...) = 0, so
-         the maximum is at least 0; seed with it. *)
-      let best = ref 0 and best_t = ref l in
-      for t = 1 to l do
-        let survive = max 0 (t - c) + Array1.unsafe_get v (row + l - t) in
-        let killed = Array1.unsafe_get v (prev + l - t) in
+  if body.max_l >= l_from then
+    charge ~cells:(body.max_l - l_from + 1) ~visited:0 ~pruned:0
+
+(* Fill cells (p, l) for l in [l_lo, l_hi] with the pruned scan.
+   Requires row p - 1 solved through column l_hi - 1 and row p solved
+   through column l_lo - 1.  A leading l_lo = 0 cell is the base case
+   W(p)[0] = 0.  Returns the number of candidates visited; the
+   exhaustive scan would visit l per cell. *)
+let fill_block body ~c ~p ~l_lo ~l_hi =
+  let open Bigarray in
+  let stride = body.cap_l + 1 in
+  let v = body.value and f = body.first in
+  let row = p * stride in
+  let prev = row - stride in
+  if l_lo = 0 then begin
+    Array1.unsafe_set v row 0;
+    Array1.unsafe_set f row 0
+  end;
+  let visited = ref 0 in
+  for l = max 1 l_lo to l_hi do
+    (* t = l is always available and yields min(vp1.(0), ...) = 0, so
+       the maximum is at least 0; seed with it.  The scan stops at the
+       first t whose killed branch cannot beat the incumbent (see the
+       kernel note above). *)
+    let best = ref 0 and best_t = ref l in
+    let t = ref 1 and scanning = ref true in
+    while !scanning do
+      let tt = !t in
+      incr visited;
+      let killed = Array1.unsafe_get v (prev + l - tt) in
+      if killed <= !best then scanning := false
+      else begin
+        let survive = max 0 (tt - c) + Array1.unsafe_get v (row + l - tt) in
         let cand = if killed < survive then killed else survive in
         if cand > !best then begin
           best := cand;
-          best_t := t
-        end
-      done;
-      Array1.unsafe_set v (row + l) !best;
-      Array1.unsafe_set f (row + l) !best_t
-    done
+          best_t := tt
+        end;
+        if tt >= l then scanning := false else t := tt + 1
+      end
+    done;
+    Array1.unsafe_set v (row + l) !best;
+    Array1.unsafe_set f (row + l) !best_t
+  done;
+  !visited
+
+(* Exhaustive candidate count of a block: sum of l over its cells. *)
+let exhaustive_count ~l_lo ~l_hi =
+  let lo = max 1 l_lo in
+  if l_hi < lo then 0 else (lo + l_hi) * (l_hi - lo + 1) / 2
+
+(* --- fill drivers --------------------------------------------------------- *)
+
+(* The fresh/grow region: for rows p <= old_p only columns > old_l are
+   new, for rows p > old_p the whole row is (pass old_p = -1, old_l = -1
+   for a fresh table). *)
+let row_start ~old_p ~old_l p = if p > old_p then 0 else old_l + 1
+
+let seq_fill body ~c ~old_p ~old_l =
+  for p = 1 to body.max_p do
+    let l_lo = row_start ~old_p ~old_l p in
+    if l_lo <= body.max_l then begin
+      let visited = fill_block body ~c ~p ~l_lo ~l_hi:body.max_l in
+      let cells = body.max_l - max 1 l_lo + 1 + (if l_lo = 0 then 1 else 0) in
+      charge ~cells
+        ~visited
+        ~pruned:(exhaustive_count ~l_lo ~l_hi:body.max_l - visited)
+    end
   done
 
-let solve ~c ~max_p ~max_l =
+(* Wavefront fill: workers claim rows in ascending order and walk their
+   blocks left to right; the block [lo, hi] of row p waits until row
+   p - 1 has published progress >= hi - 1.  progress.(p) is the highest
+   solved column of row p, maintained under one mutex whose broadcast
+   doubles as the publication fence for the cells themselves. *)
+let par_fill pool body ~c ~old_p ~old_l =
+  let slots = Csutil.Par.Pool.size pool in
+  let block =
+    (* ~8 blocks per slot per row: enough pipeline ramp, negligible
+       handshake cost. *)
+    max 256 ((body.max_l + (8 * slots) - 1) / (8 * slots))
+  in
+  let lock = Mutex.create () and moved = Condition.create () in
+  let progress = Array.make (body.max_p + 1) body.max_l in
+  for p = 1 to body.max_p do
+    progress.(p) <- row_start ~old_p ~old_l p - 1
+  done;
+  let next_row = Atomic.make 1 in
+  ignore (Atomic.fetch_and_add parfill_ctr 1);
+  Csutil.Par.Pool.run pool (fun _slot ->
+      let cells = ref 0 and visited = ref 0 and pruned = ref 0 in
+      let rec claim () =
+        let p = Atomic.fetch_and_add next_row 1 in
+        if p <= body.max_p then begin
+          let lo = ref (row_start ~old_p ~old_l p) in
+          while !lo <= body.max_l do
+            let hi = min body.max_l (!lo + block - 1) in
+            Mutex.lock lock;
+            while progress.(p - 1) < hi - 1 do
+              Condition.wait moved lock
+            done;
+            Mutex.unlock lock;
+            let vis = fill_block body ~c ~p ~l_lo:!lo ~l_hi:hi in
+            Mutex.lock lock;
+            progress.(p) <- hi;
+            Condition.broadcast moved;
+            Mutex.unlock lock;
+            cells :=
+              !cells + (hi - max 1 !lo + 1) + (if !lo = 0 then 1 else 0);
+            visited := !visited + vis;
+            pruned := !pruned + exhaustive_count ~l_lo:!lo ~l_hi:hi - vis;
+            lo := hi + 1
+          done;
+          claim ()
+        end
+      in
+      claim ();
+      charge ~cells:!cells ~visited:!visited ~pruned:!pruned)
+
+(* Below this many new cells a wavefront is pure overhead. *)
+let par_threshold = 1 lsl 16
+
+let fill ?pool ~c body ~old_p ~old_l =
+  fill_row0 body ~c ~l_from:(row_start ~old_p ~old_l 0);
+  let new_cells =
+    let full_rows = body.max_p - max 0 old_p in
+    let grown_cols = body.max_l - (if old_p < 0 then body.max_l else old_l) in
+    (full_rows * (body.max_l + 1)) + (max 0 (old_p + 1) * grown_cols)
+  in
+  match pool with
+  | Some pool
+    when Csutil.Par.Pool.size pool > 1
+         && body.max_p >= 2
+         && new_cells >= par_threshold ->
+    par_fill pool body ~c ~old_p ~old_l
+  | _ -> seq_fill body ~c ~old_p ~old_l
+
+let solve_with ~pool ~c ~max_p ~max_l =
   if c < 1 then Error.invalid "Dp.solve: c must be >= 1 tick";
   if max_p < 0 then Error.invalid "Dp.solve: max_p must be non-negative";
   if max_l < 0 then Error.invalid "Dp.solve: max_l must be non-negative";
@@ -114,10 +284,12 @@ let solve ~c ~max_p ~max_l =
       first = alloc ~cap_p:max_p ~cap_l:max_l;
     }
   in
-  fill ~c body ~old_p:(-1) ~old_l:(-1);
+  fill ?pool ~c body ~old_p:(-1) ~old_l:(-1);
   { c; body }
 
-let grow t ~max_p ~max_l =
+let solve ~c ~max_p ~max_l = solve_with ~pool:None ~c ~max_p ~max_l
+
+let grow ?pool t ~max_p ~max_l =
   if max_p < 0 then Error.invalid "Dp.grow: max_p must be non-negative";
   if max_l < 0 then Error.invalid "Dp.grow: max_l must be non-negative";
   let old = t.body in
@@ -149,9 +321,63 @@ let grow t ~max_p ~max_l =
         { max_p = new_p; max_l = new_l; cap_p; cap_l; value; first }
       end
     in
-    fill ~c:t.c body ~old_p:old.max_p ~old_l:old.max_l;
+    fill ?pool ~c:t.c body ~old_p:old.max_p ~old_l:old.max_l;
     t.body <- body
   end
+
+(* --- reference kernel ----------------------------------------------------- *)
+
+(* The naive exhaustive scan the pruned kernel must agree with, cell by
+   cell — values and argmax periods both.  Kept byte-for-byte simple as
+   the correctness reference and the scalar baseline of the bench `dp`
+   series; it bypasses the counters. *)
+module Ref = struct
+  let fill ~c body =
+    let open Bigarray in
+    let stride = body.cap_l + 1 in
+    let v = body.value and f = body.first in
+    for l = 0 to body.max_l do
+      Array1.unsafe_set v l (max 0 (l - c));
+      Array1.unsafe_set f l l
+    done;
+    for p = 1 to body.max_p do
+      let row = p * stride in
+      let prev = row - stride in
+      Array1.unsafe_set v row 0;
+      Array1.unsafe_set f row 0;
+      for l = 1 to body.max_l do
+        let best = ref 0 and best_t = ref l in
+        for t = 1 to l do
+          let survive = max 0 (t - c) + Array1.unsafe_get v (row + l - t) in
+          let killed = Array1.unsafe_get v (prev + l - t) in
+          let cand = if killed < survive then killed else survive in
+          if cand > !best then begin
+            best := cand;
+            best_t := t
+          end
+        done;
+        Array1.unsafe_set v (row + l) !best;
+        Array1.unsafe_set f (row + l) !best_t
+      done
+    done
+
+  let solve ~c ~max_p ~max_l =
+    if c < 1 then Error.invalid "Dp.Ref.solve: c must be >= 1 tick";
+    if max_p < 0 then Error.invalid "Dp.Ref.solve: max_p must be non-negative";
+    if max_l < 0 then Error.invalid "Dp.Ref.solve: max_l must be non-negative";
+    let body =
+      {
+        max_p;
+        max_l;
+        cap_p = max_p;
+        cap_l = max_l;
+        value = alloc ~cap_p:max_p ~cap_l:max_l;
+        first = alloc ~cap_p:max_p ~cap_l:max_l;
+      }
+    in
+    fill ~c body;
+    { c; body }
+end
 
 let check_body b ~p ~l =
   if p < 0 || p > b.max_p then
@@ -231,26 +457,44 @@ let float_value t params ~p ~residual =
   let p = min p b.max_p in
   float_of_int (Bigarray.Array1.get b.value ((p * (b.cap_l + 1)) + l)) *. tick
 
+(* The grid may not cover the residual exactly; absorb the remainder
+   into the final period so the schedule spans the residual. *)
+let absorb_slack ~residual periods =
+  let covered = Csutil.Float_ext.sum_list periods in
+  let slack = residual -. covered in
+  let periods =
+    if slack <= 0. then periods
+    else begin
+      match List.rev periods with
+      | last :: rest -> List.rev ((last +. slack) :: rest)
+      | [] -> [ residual ]
+    end
+  in
+  Schedule.of_list periods
+
 let float_episode t params ~p ~residual =
   let b = t.body in
   let tick = tick_of_params t params in
   let l = min b.max_l (int_of_float (residual /. tick)) in
   let p = min p b.max_p in
-  if l = 0 then Schedule.singleton residual
+  if l = 0 then begin
+    (* The grid has nothing to say (sub-tick residual, or a table with
+       max_l = 0).  A sub-tick residual is below the setup cost, so one
+       period is as good as any split — but when the residual clamps
+       down to an empty grid while still exceeding (p + 1) c, a single
+       period would hand the adversary everything.  Hedge with p + 1
+       equal periods (each interrupt kills at most one) and route them
+       through the same slack-absorption path as the on-grid case. *)
+    if p = 0 || residual <= float_of_int (p + 1) *. Model.c params then
+      Schedule.singleton residual
+    else begin
+      let m = p + 1 in
+      let period = residual /. float_of_int m in
+      absorb_slack ~residual (List.init m (fun _ -> period))
+    end
+  end
   else begin
     let ticks = optimal_episode t ~p ~l in
     let periods = List.map (fun n -> float_of_int n *. tick) ticks in
-    (* The grid may not cover the residual exactly; absorb the remainder
-       into the final period so the schedule spans the residual. *)
-    let covered = Csutil.Float_ext.sum_list periods in
-    let slack = residual -. covered in
-    let periods =
-      if slack <= 0. then periods
-      else begin
-        match List.rev periods with
-        | last :: rest -> List.rev ((last +. slack) :: rest)
-        | [] -> assert false
-      end
-    in
-    Schedule.of_list periods
+    absorb_slack ~residual periods
   end

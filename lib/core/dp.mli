@@ -20,16 +20,54 @@ val solve : c:int -> max_p:int -> max_l:int -> t
 (** [solve ~c ~max_p ~max_l] fills the table by the recurrence
     [W(p)[L] = max_t min (W(p-1)[L-t], (t (-) c) + W(p)[L-t])] with base
     cases [W(0)[L] = L (-) c] and [W(p)[0] = 0].
-    [O(max_p * max_l^2)] time.
+
+    The inner maximisation is pruned: the adversary's branch
+    [W(p-1)[L-t]] is non-increasing in [t], so the scan over periods
+    stops at the first [t] that cannot beat the incumbent.  Values and
+    recorded argmax periods are bit-identical to the exhaustive
+    reference kernel {!Ref.solve}.
+
     @raise Error.Error when [c < 1] or bounds are negative. *)
 
-val grow : t -> max_p:int -> max_l:int -> unit
+val solve_with :
+  pool:Csutil.Par.Pool.t option -> c:int -> max_p:int -> max_l:int -> t
+(** {!solve}, with an optional worker pool.  When [pool] is
+    [Some p] (and [p] has more than one slot, and the fill is large
+    enough to pay for the handshakes), rows are filled in blocks
+    pipelined as a wavefront across the pool's domains; the result is
+    bit-identical to the sequential fill. *)
+
+val grow : ?pool:Csutil.Par.Pool.t -> t -> max_p:int -> max_l:int -> unit
 (** [grow t ~max_p ~max_l] extends the table in place to bounds
     [max t.max_p max_p] and [max t.max_l max_l], solving only the new
     cells; the existing prefix is reused, never recomputed.  A no-op
     when the table already covers the requested bounds.  Capacity is at
     least doubled on re-allocation so repeated small grows stay
-    amortised.  @raise Error.Error on negative bounds. *)
+    amortised.  [pool] parallelises the new-cell fill as in {!solve}.
+    @raise Error.Error on negative bounds. *)
+
+module Ref : sig
+  val solve : c:int -> max_p:int -> max_l:int -> t
+  (** The naive exhaustive kernel ([O(max_p * max_l^2)] candidate
+      visits, single-threaded): the correctness reference and scalar
+      baseline the pruned/parallel kernels are validated against, cell
+      by cell.  Does not touch the kernel {!counters}. *)
+end
+
+type counters = {
+  cells_filled : int;  (** cells written by the pruned kernel *)
+  candidates_visited : int;  (** inner-loop candidates examined *)
+  candidates_pruned : int;
+      (** candidates the exhaustive scan would have examined but the
+          monotone prune skipped; [visited + pruned] is the exhaustive
+          count for the cells filled *)
+  parallel_fills : int;  (** fills that actually ran the wavefront *)
+}
+(** Process-wide kernel work accounting (all {!solve}/{!grow} calls in
+    any domain since the last {!reset_counters}). *)
+
+val counters : unit -> counters
+val reset_counters : unit -> unit
 
 val c : t -> int
 val max_p : t -> int
@@ -68,4 +106,7 @@ val float_value : t -> Model.params -> p:int -> residual:float -> float
 
 val float_episode : t -> Model.params -> p:int -> residual:float -> Schedule.t
 (** The optimal episode for the rounded state, stretched to cover
-    [residual] exactly (grid slack absorbed into the final period). *)
+    [residual] exactly (grid slack absorbed into the final period).
+    When the residual rounds down to an empty grid but still exceeds
+    [(p + 1) * c], the schedule hedges with [p + 1] equal periods
+    instead of a single killable one. *)

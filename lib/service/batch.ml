@@ -16,7 +16,7 @@ let dp_keys envelopes =
         Some (Cache.canonical ~c:c_ticks ~p ~l)
       | _ -> None)
 
-let run ?domains ?stats_payload ~cache envelopes =
+let run ?pool ?domains ?stats_payload ~cache envelopes =
   Cache.preload cache ~keys:(dp_keys envelopes) ?domains ();
   let evaluate (e : Protocol.envelope) =
     match e.Protocol.request with
@@ -28,4 +28,4 @@ let run ?domains ?stats_payload ~cache envelopes =
       let result = Protocol.handle ~cache req in
       { envelope = e; result; latency = Unix.gettimeofday () -. t0 }
   in
-  Csutil.Par.map ?domains evaluate envelopes
+  Csutil.Par.map ?pool ?domains evaluate envelopes

@@ -20,6 +20,7 @@ val dp_keys : Protocol.envelope array -> Cache.key list
     (with duplicates; {!Cache.preload} dedups). *)
 
 val run :
+  ?pool:Csutil.Par.Pool.t ->
   ?domains:int ->
   ?stats_payload:Json.t ->
   cache:Cache.t ->
@@ -29,4 +30,6 @@ val run :
     latency.  [Stats] requests answer with [stats_payload] (the daemon
     snapshots its counters once per batch, before the parallel phase);
     without it they answer with {!Protocol.handle}'s error.  The result
-    array is index-aligned with the input. *)
+    array is index-aligned with the input.  [pool] carries the fan-out
+    (default: the shared pool); cold solves inside it fall back to
+    inline fills when they find the pool busy. *)

@@ -54,9 +54,9 @@ type shard = {
   mutable growths : int;
 }
 
-type t = { shards : shard array }
+type t = { shards : shard array; pool : Csutil.Par.Pool.t option }
 
-let create ?(shards = 8) ~capacity () =
+let create ?(shards = 8) ?pool ~capacity () =
   if capacity < 1 then Error.invalid "Cache.create: capacity must be >= 1";
   if shards < 1 then Error.invalid "Cache.create: shards must be >= 1";
   let shards = min shards capacity in
@@ -74,6 +74,7 @@ let create ?(shards = 8) ~capacity () =
             evictions = 0;
             growths = 0;
           });
+    pool;
   }
 
 let shard_of t c = t.shards.(Hashtbl.hash c mod Array.length t.shards)
@@ -100,8 +101,11 @@ let evict_lru sh =
 
 (* Under the shard lock: the resident table for [key.c], grown or
    solved so it covers [key].  A grow counts as both a miss (solve work
-   was paid) and a growth (the prefix was reused). *)
-let obtain sh key ~count =
+   was paid) and a growth (the prefix was reused).  Solve and grow take
+   the cache's pool: fills large enough for the wavefront use it, and a
+   busy pool (e.g. this solve sits under a batch fan-out) just runs the
+   fill inline. *)
+let obtain ~pool sh key ~count =
   with_lock sh (fun () ->
       sh.clock <- sh.clock + 1;
       match Hashtbl.find_opt sh.table key.c with
@@ -114,7 +118,7 @@ let obtain sh key ~count =
         else begin
           if count then sh.misses <- sh.misses + 1;
           sh.growths <- sh.growths + 1;
-          Dp.grow e.dp ~max_p:key.max_p ~max_l:key.max_l;
+          Dp.grow ?pool e.dp ~max_p:key.max_p ~max_l:key.max_l;
           e.dp
         end
       | None ->
@@ -122,13 +126,13 @@ let obtain sh key ~count =
         while Hashtbl.length sh.table >= sh.capacity do
           evict_lru sh
         done;
-        let dp = Dp.solve ~c:key.c ~max_p:key.max_p ~max_l:key.max_l in
+        let dp = Dp.solve_with ~pool ~c:key.c ~max_p:key.max_p ~max_l:key.max_l in
         Hashtbl.add sh.table key.c { dp; used = sh.clock };
         dp)
 
 let find_or_solve t ~c ~p ~l =
   let key = canonical ~c ~p ~l in
-  obtain (shard_of t key.c) key ~count:true
+  obtain ~pool:t.pool (shard_of t key.c) key ~count:true
 
 (* Presence probe ("is there a resident table covering these bounds?")
    that neither stamps the LRU clock nor counts. *)
@@ -165,8 +169,10 @@ let preload t ~keys ?domains () =
     (* Solve outside the locks (this is the parallel phase), then merge
        under the lock; if another domain raced a table in, grow it to
        cover instead of replacing it, so everyone converges on one. *)
-    let solve key = Dp.solve ~c:key.c ~max_p:key.max_p ~max_l:key.max_l in
-    let solved = Csutil.Par.map ?domains solve missing in
+    let solve key =
+      Dp.solve_with ~pool:t.pool ~c:key.c ~max_p:key.max_p ~max_l:key.max_l
+    in
+    let solved = Csutil.Par.map ?pool:t.pool ?domains solve missing in
     Array.iteri
       (fun i dp ->
          let key = missing.(i) in
@@ -179,7 +185,7 @@ let preload t ~keys ?domains () =
                e.used <- sh.clock;
                if not (covers e.dp key) then begin
                  sh.growths <- sh.growths + 1;
-                 Dp.grow e.dp ~max_p:key.max_p ~max_l:key.max_l
+                 Dp.grow ?pool:t.pool e.dp ~max_p:key.max_p ~max_l:key.max_l
                end
              | None ->
                while Hashtbl.length sh.table >= sh.capacity do
@@ -196,6 +202,7 @@ type stats = {
   growths : int;
   resident : int;
   resident_bytes : int;
+  kernel : Dp.counters;
 }
 
 let stats t =
@@ -206,6 +213,7 @@ let stats t =
              Hashtbl.fold (fun _ e b -> b + table_bytes e.dp) sh.table 0
            in
            {
+             acc with
              hits = acc.hits + sh.hits;
              misses = acc.misses + sh.misses;
              evictions = acc.evictions + sh.evictions;
@@ -220,6 +228,9 @@ let stats t =
       growths = 0;
       resident = 0;
       resident_bytes = 0;
+      (* Process-wide: every solve/grow in this daemon goes through the
+         cache, so the kernel counters read as the cache's solve work. *)
+      kernel = Dp.counters ();
     }
     t.shards
 
@@ -231,4 +242,5 @@ let reset_counters t =
            sh.misses <- 0;
            sh.evictions <- 0;
            sh.growths <- 0))
-    t.shards
+    t.shards;
+  Dp.reset_counters ()

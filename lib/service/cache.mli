@@ -36,10 +36,14 @@ val canonical : c:int -> p:int -> l:int -> key
     min_l], [p] rounds up to an even number [>= min_p].
     @raise Error.Error when [c < 1], [p < 0] or [l < 0]. *)
 
-val create : ?shards:int -> capacity:int -> unit -> t
+val create : ?shards:int -> ?pool:Csutil.Par.Pool.t -> capacity:int -> unit -> t
 (** [create ~capacity ()] holds at most [capacity] solved tables in
     total, split over [shards] (default 8) independently locked LRU
     shards (each shard holds at most [ceil (capacity / shards)]).
+    [pool] is handed to every solve and grow so large fills run the
+    domain-parallel wavefront kernel; when the pool is busy (say this
+    solve sits under a {!Batch} fan-out on the same pool) the fill runs
+    inline, so sharing one pool is always safe.
     @raise Error.Error when [capacity < 1] or [shards < 1]. *)
 
 val find_or_solve : t -> c:int -> p:int -> l:int -> Cyclesteal.Dp.t
@@ -66,6 +70,10 @@ type stats = {
           re-solving it *)
   resident : int;  (** tables currently cached *)
   resident_bytes : int;  (** approximate heap bytes of cached tables *)
+  kernel : Cyclesteal.Dp.counters;
+      (** DP kernel work counters (cells filled, candidates visited /
+          pruned, parallel fills).  Process-wide — in the daemon every
+          solve and grow goes through the cache. *)
 }
 
 val stats : t -> stats
@@ -73,8 +81,9 @@ val stats : t -> stats
     each shard is read under its lock). *)
 
 val reset_counters : t -> unit
-(** Zero the hit/miss/eviction/growth counters, keeping the resident
-    tables; backs the daemon's [stats reset] sub-op. *)
+(** Zero the hit/miss/eviction/growth counters and the process-wide
+    kernel counters, keeping the resident tables; backs the daemon's
+    [stats reset] sub-op. *)
 
 val table_bytes : Cyclesteal.Dp.t -> int
 (** Approximate heap footprint of one solved table. *)

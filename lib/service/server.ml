@@ -120,12 +120,13 @@ let write_all fd s =
 type t = {
   batch_size : int;
   domains : int;
+  pool : Csutil.Par.Pool.t option;
   cache : Cache.t;
   stats : Stats.t;
   stop : bool Atomic.t;
 }
 
-let create ?(batch_size = 64) ?domains ~cache () =
+let create ?(batch_size = 64) ?domains ?pool ~cache () =
   if batch_size < 1 then Cyclesteal.Error.invalid "Server.create: batch_size must be >= 1";
   let domains =
     match domains with
@@ -136,6 +137,7 @@ let create ?(batch_size = 64) ?domains ~cache () =
   {
     batch_size;
     domains;
+    pool;
     cache;
     stats = Stats.create ();
     stop = Atomic.make false;
@@ -180,8 +182,8 @@ let serve_fd t in_fd out_fd =
           Stats.to_json t.stats ~cache:(Cache.stats t.cache)
         in
         let outcomes =
-          Batch.run ~domains:t.domains ~stats_payload ~cache:t.cache
-            envelopes
+          Batch.run ?pool:t.pool ~domains:t.domains ~stats_payload
+            ~cache:t.cache envelopes
         in
         let buf = Buffer.create 4096 in
         Array.iter

@@ -15,10 +15,17 @@
 type t
 
 val create :
-  ?batch_size:int -> ?domains:int -> cache:Cache.t -> unit -> t
+  ?batch_size:int ->
+  ?domains:int ->
+  ?pool:Csutil.Par.Pool.t ->
+  cache:Cache.t ->
+  unit ->
+  t
 (** [batch_size] (default 64) caps how many requests one batch drains;
     [domains] caps the parallel fan-out (default:
-    {!Csutil.Par.available_domains}).
+    {!Csutil.Par.available_domains}); [pool] is the worker pool batches
+    fan out over (default: the shared pool) — hand the same pool to the
+    cache so idle batch workers speed up large table fills.
     @raise Error.Error when [batch_size < 1] or [domains < 1]. *)
 
 val stats : t -> Stats.t

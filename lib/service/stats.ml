@@ -84,6 +84,15 @@ let to_json t ~cache:(c : Cache.stats) =
             ("tables_resident", Json.Int c.Cache.resident);
             ("resident_bytes", Json.Int c.Cache.resident_bytes);
           ] );
+      ( "kernel",
+        let k = c.Cache.kernel in
+        Json.Obj
+          [
+            ("cells_filled", Json.Int k.Cyclesteal.Dp.cells_filled);
+            ("candidates_visited", Json.Int k.Cyclesteal.Dp.candidates_visited);
+            ("candidates_pruned", Json.Int k.Cyclesteal.Dp.candidates_pruned);
+            ("parallel_fills", Json.Int k.Cyclesteal.Dp.parallel_fills);
+          ] );
     ]
 
 let summary t ~cache:(c : Cache.stats) =
@@ -115,4 +124,11 @@ let summary t ~cache:(c : Cache.stats) =
   add "cache growths" (string_of_int c.Cache.growths);
   add "tables resident" (string_of_int c.Cache.resident);
   add "resident bytes" (string_of_int c.Cache.resident_bytes);
+  let k = c.Cache.kernel in
+  add "kernel cells filled" (string_of_int k.Cyclesteal.Dp.cells_filled);
+  add "kernel candidates visited"
+    (string_of_int k.Cyclesteal.Dp.candidates_visited);
+  add "kernel candidates pruned"
+    (string_of_int k.Cyclesteal.Dp.candidates_pruned);
+  add "kernel parallel fills" (string_of_int k.Cyclesteal.Dp.parallel_fills);
   Csutil.Table.to_string table

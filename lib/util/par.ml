@@ -1,53 +1,213 @@
 (* Minimal data-parallel helpers on OCaml 5 domains (stdlib only).
 
-   The evaluators in this library are embarrassingly parallel across
-   *instances* (Monte-Carlo samples, parameter sweeps, per-m searches),
-   not within one DP layer, so a chunked parallel map is all the
-   machinery needed.  Each domain computes an independent slice and the
-   results are concatenated — no shared mutable state, so no locks.
+   Two layers:
+
+   - [Pool]: a small reusable worker pool.  Domains are spawned once
+     and parked on a condition variable; dispatching a job costs a
+     mutex handshake (~a microsecond) instead of a [Domain.spawn]
+     (~tens of microseconds), which is what makes parallelism pay for
+     mid-sized work like DP table fills.  One job runs at a time; a
+     [run] issued while the pool is busy — including from inside one of
+     its own workers — degrades to running every slot inline in the
+     caller, so nested parallelism can never deadlock.
+
+   - [map] / [init] / [map_reduce]: chunked data-parallel maps over the
+     pool.  Each slot processes a statically strided set of chunks and
+     writes into disjoint slices of the result, so there is no shared
+     mutable state and the result never depends on scheduling.
 
    Keep closures passed here free of shared mutable state (in
    particular, give each chunk its own Rng). *)
 
 let available_domains () = max 1 (Domain.recommended_domain_count ())
 
+module Pool = struct
+  type t = {
+    slots : int; (* worker domains + the calling domain *)
+    lock : Mutex.t;
+    work_ready : Condition.t;
+    work_done : Condition.t;
+    mutable epoch : int; (* bumped once per job; workers key off it *)
+    mutable job : (int -> unit) option;
+    mutable pending : int; (* workers still inside the current job *)
+    mutable failure : exn option; (* first exception raised by a worker *)
+    mutable stopping : bool;
+    busy : bool Atomic.t;
+    mutable workers : unit Domain.t list;
+  }
+
+  let size t = t.slots
+
+  let record_failure t exn =
+    Mutex.lock t.lock;
+    if t.failure = None then t.failure <- Some exn;
+    Mutex.unlock t.lock
+
+  let worker_loop t index =
+    let rec wait_for_job last_epoch =
+      Mutex.lock t.lock;
+      while (not t.stopping) && t.epoch = last_epoch do
+        Condition.wait t.work_ready t.lock
+      done;
+      if t.stopping then Mutex.unlock t.lock
+      else begin
+        let epoch = t.epoch in
+        let job = Option.get t.job in
+        Mutex.unlock t.lock;
+        (try job index with exn -> record_failure t exn);
+        Mutex.lock t.lock;
+        t.pending <- t.pending - 1;
+        if t.pending = 0 then Condition.broadcast t.work_done;
+        Mutex.unlock t.lock;
+        wait_for_job epoch
+      end
+    in
+    wait_for_job 0
+
+  let create ~domains =
+    if domains < 1 then invalid_arg "Par.Pool.create: domains must be >= 1";
+    let t =
+      {
+        slots = domains;
+        lock = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        epoch = 0;
+        job = None;
+        pending = 0;
+        failure = None;
+        stopping = false;
+        busy = Atomic.make false;
+        workers = [];
+      }
+    in
+    t.workers <-
+      List.init (domains - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t (i + 1)));
+    t
+
+  (* Run [f 0 .. f (slots - 1)], one call per slot: slot 0 on the
+     calling domain, the rest on the pool's workers.  If the pool is
+     already busy (another [run] in flight, possibly our own caller's),
+     every slot runs inline in this domain instead — same calls, no
+     parallelism, no deadlock. *)
+  let run t f =
+    if t.slots = 1 || not (Atomic.compare_and_set t.busy false true) then
+      for i = 0 to t.slots - 1 do
+        f i
+      done
+    else begin
+      Mutex.lock t.lock;
+      t.job <- Some f;
+      t.pending <- t.slots - 1;
+      t.failure <- None;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.lock;
+      let own_failure = (try f 0; None with exn -> Some exn) in
+      Mutex.lock t.lock;
+      while t.pending > 0 do
+        Condition.wait t.work_done t.lock
+      done;
+      let worker_failure = t.failure in
+      t.job <- None;
+      t.failure <- None;
+      Mutex.unlock t.lock;
+      Atomic.set t.busy false;
+      match own_failure, worker_failure with
+      | Some exn, _ | None, Some exn -> raise exn
+      | None, None -> ()
+    end
+
+  let shutdown t =
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+
+  let with_pool ~domains f =
+    let t = create ~domains in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+(* The process-wide default pool, created on first parallel use and
+   sized to the recommended domain count.  Its parked workers cost
+   nothing while idle and the process exits with its main domain, so it
+   is never shut down. *)
+let shared = lazy (Pool.create ~domains:(available_domains ()))
+let shared_pool () = Lazy.force shared
+
+(* Below this many elements per domain, dispatch overhead dwarfs the
+   mapped work; [map]/[init] stay sequential rather than fan out.  Only
+   applies when the caller leaves [?domains] unset — an explicit count
+   is a statement that the per-element work is worth it. *)
+let min_chunk = 32
+
+let effective_domains who ?domains n =
+  match domains with
+  | Some d when d >= 1 -> min d n
+  | Some _ -> invalid_arg (who ^ ": domains must be >= 1")
+  | None -> max 1 (min (available_domains ()) (n / min_chunk))
+
+(* Indices [1, n) split into [domains] chunks, slot [s] taking chunks
+   s, s + slots, ... — index 0 is the caller's seed element.  Static
+   striding keeps every slot (hence every pool domain) busy and the
+   writes land in disjoint index ranges. *)
+let run_chunked pool ~domains ~n compute =
+  let chunk = max 1 ((n - 1 + domains - 1) / domains) in
+  let nchunks = (n - 1 + chunk - 1) / chunk in
+  let slots = Pool.size pool in
+  Pool.run pool (fun slot ->
+      let k = ref slot in
+      while !k < nchunks do
+        let lo = 1 + (!k * chunk) in
+        let hi = min n (lo + chunk) in
+        for i = lo to hi - 1 do
+          compute i
+        done;
+        k := !k + slots
+      done)
+
+let resolve_pool = function Some p -> p | None -> shared_pool ()
+
 (* [map ~domains f a]: like [Array.map f a], computed on up to [domains]
    domains.  Deterministic: the result ordering never depends on the
    domain count. *)
-let map ?domains f a =
+let map ?pool ?domains f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
-    let domains =
-      match domains with
-      | Some d when d >= 1 -> min d n
-      | Some _ -> invalid_arg "Par.map: domains must be >= 1"
-      | None -> min (available_domains ()) n
-    in
+    let domains = effective_domains "Par.map" ?domains n in
     if domains = 1 then Array.map f a
     else begin
-      let chunk = (n + domains - 1) / domains in
-      let handles =
-        List.init domains (fun i ->
-            let lo = i * chunk in
-            let hi = min n (lo + chunk) in
-            Domain.spawn (fun () ->
-                if hi <= lo then [||]
-                else Array.init (hi - lo) (fun j -> f a.(lo + j))))
-      in
-      Array.concat (List.map Domain.join handles)
+      let result = Array.make n (f a.(0)) in
+      run_chunked (resolve_pool pool) ~domains ~n (fun i ->
+          result.(i) <- f a.(i));
+      result
     end
   end
 
-(* [init ~domains n f]: like [Array.init], parallel across chunks. *)
-let init ?domains n f =
+(* [init ~domains n f]: like [Array.init], parallel across chunks; the
+   indices are generated in place, never materialized as an array. *)
+let init ?pool ?domains n f =
   if n < 0 then invalid_arg "Par.init: negative length";
-  map ?domains f (Array.init n Fun.id)
+  if n = 0 then [||]
+  else begin
+    let domains = effective_domains "Par.init" ?domains n in
+    if domains = 1 then Array.init n f
+    else begin
+      let result = Array.make n (f 0) in
+      run_chunked (resolve_pool pool) ~domains ~n (fun i -> result.(i) <- f i);
+      result
+    end
+  end
 
 (* [map_reduce ~domains ~map:f ~combine ~init a]: fold the mapped values
    with an associative, commutative [combine] (the per-domain partial
    results are combined in chunk order, so associativity suffices if
    [combine] is not commutative). *)
-let map_reduce ?domains ~map:f ~combine ~init:acc0 a =
-  let mapped = map ?domains f a in
+let map_reduce ?pool ?domains ~map:f ~combine ~init:acc0 a =
+  let mapped = map ?pool ?domains f a in
   Array.fold_left combine acc0 mapped

@@ -1,23 +1,70 @@
 (** Minimal data-parallel helpers on OCaml 5 domains (stdlib only).
 
-    Chunked parallel map for embarrassingly parallel instance-level work
-    (Monte-Carlo sampling, parameter sweeps).  No shared mutable state:
-    each domain computes an independent slice.  Closures must not share
-    mutable state across chunks (give each chunk its own {!Rng.t}). *)
+    A small reusable worker {!Pool} plus chunked parallel maps built on
+    it.  No shared mutable state: each slot computes disjoint slices of
+    the result.  Closures must not share mutable state across chunks
+    (give each chunk its own {!Rng.t}). *)
 
 val available_domains : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+module Pool : sig
+  (** A reusable worker pool: [domains - 1] domains spawned once and
+      parked between jobs, so dispatching work costs a mutex handshake
+      instead of a [Domain.spawn].  One job runs at a time; a {!run}
+      issued while the pool is busy — including from inside one of its
+      own workers — executes every slot inline in the caller, so nested
+      parallelism degrades to sequential instead of deadlocking. *)
+
+  type t
+
+  val create : domains:int -> t
+  (** A pool with [domains] slots: the calling domain plus
+      [domains - 1] spawned workers.
+      @raise Invalid_argument when [domains < 1]. *)
+
+  val size : t -> int
+  (** The slot count [domains] the pool was created with. *)
+
+  val run : t -> (int -> unit) -> unit
+  (** [run t f] calls [f slot] exactly once for every
+      [slot = 0 .. size t - 1]: slot 0 on the calling domain, the rest
+      on the pool's workers — or all slots inline in the caller when
+      the pool is busy or has a single slot.  Returns when every call
+      has finished; re-raises the first exception any call raised. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the worker domains.  The pool must be idle; using
+      it afterwards runs everything inline. *)
+
+  val with_pool : domains:int -> (t -> 'a) -> 'a
+  (** [create], run the function, [shutdown] (also on exception). *)
+end
+
+val shared_pool : unit -> Pool.t
+(** The process-wide default pool, created on first use with
+    {!available_domains} slots and never shut down.  {!map} and
+    {!init} fan out over it when not handed an explicit pool. *)
+
+val min_chunk : int
+(** Minimum elements per domain (32) below which {!map} and {!init}
+    stay sequential when [?domains] is not given: dispatch overhead
+    dwarfs sub-chunk work.  An explicit [~domains] bypasses the
+    threshold. *)
+
+val map : ?pool:Pool.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Like [Array.map], computed on up to [domains] domains (default: the
-    recommended count).  The result is identical to the sequential map
-    for any domain count.
+    recommended count, and only when each domain gets at least
+    {!min_chunk} elements).  The result is identical to the sequential
+    map for any domain count.
     @raise Invalid_argument when [domains < 1]. *)
 
-val init : ?domains:int -> int -> (int -> 'a) -> 'a array
-(** Like [Array.init], parallel across chunks. *)
+val init : ?pool:Pool.t -> ?domains:int -> int -> (int -> 'a) -> 'a array
+(** Like [Array.init], parallel across chunks; indices are generated in
+    place (no intermediate index array). *)
 
 val map_reduce :
+  ?pool:Pool.t ->
   ?domains:int ->
   map:('a -> 'b) ->
   combine:('b -> 'b -> 'b) ->

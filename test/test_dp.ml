@@ -170,6 +170,83 @@ let test_float_episode_degenerate () =
   let s = Dp.float_episode dp params ~p:1 ~residual:0.5 in
   Alcotest.(check (float 1e-9)) "covers tiny residual" 0.5 (Schedule.total s)
 
+(* Regression: an off-grid residual (l rounds down to 0) that still
+   exceeds (p+1) c must not come back as a single killable period — it
+   splits into p + 1 equal periods through the same slack-absorption
+   path as the on-grid case. *)
+let test_float_episode_subtick_hedge () =
+  (* max_l = 0: every residual rounds down to an empty grid. *)
+  let dp = Dp.solve ~c:10 ~max_p:3 ~max_l:0 in
+  let params = Model.params ~c:10. in
+  let p = 2 and residual = 100. in
+  let s = Dp.float_episode dp params ~p ~residual in
+  Alcotest.(check int) "p+1 periods" (p + 1) (Schedule.length s);
+  Alcotest.(check (float 1e-9)) "covers residual" residual (Schedule.total s);
+  (* Each period banks positive work, so even with every interrupt spent
+     the schedule guarantees more than the singleton's zero. *)
+  List.iter
+    (fun t ->
+       Alcotest.(check bool) "period exceeds setup cost" true
+         (t > Model.c params))
+    (Schedule.to_list s);
+  (* p = 0 and residuals the adversary can zero out anyway stay single
+     periods. *)
+  Alcotest.(check int) "p=0 singleton" 1
+    (Schedule.length (Dp.float_episode dp params ~p:0 ~residual));
+  Alcotest.(check int) "hopeless residual singleton" 1
+    (Schedule.length (Dp.float_episode dp params ~p:2 ~residual:25.))
+
+(* --- pruned kernel vs reference vs brute force ----------------------------- *)
+
+(* The pruned kernel must agree with the exhaustive reference kernel on
+   values AND argmax periods (the prune only skips candidates the
+   reference rejects), and both with the brute-force oracle over
+   committed schedules. *)
+let small_gen =
+  QCheck.Gen.(triple (int_range 1 4) (int_range 0 3) (int_range 0 12))
+
+let small_print (c, p, l) = Printf.sprintf "c=%d max_p=%d max_l=%d" c p l
+
+let prop_pruned_matches_reference_and_oracle =
+  QCheck.Test.make
+    ~name:"pruned kernel = reference kernel = brute force (small instances)"
+    ~count:40
+    (QCheck.make small_gen ~print:small_print)
+    (fun (c, max_p, max_l) ->
+       let pruned = Dp.solve ~c ~max_p ~max_l in
+       let reference = Dp.Ref.solve ~c ~max_p ~max_l in
+       let ok = ref true in
+       for p = 0 to max_p do
+         for l = 0 to max_l do
+           if
+             Dp.value pruned ~p ~l <> Dp.value reference ~p ~l
+             || Dp.optimal_first_period pruned ~p ~l
+                <> Dp.optimal_first_period reference ~p ~l
+             || Dp.value pruned ~p ~l <> Dp.brute_force_committed ~c ~p ~l
+           then ok := false
+         done
+       done;
+       !ok)
+
+(* Counter bookkeeping: visited + pruned must equal the exhaustive
+   candidate count, and the prune must actually skip work. *)
+let test_kernel_counters () =
+  Dp.reset_counters ();
+  let max_p = 2 and max_l = 400 in
+  ignore (Dp.solve ~c:3 ~max_p ~max_l);
+  let k = Dp.counters () in
+  Alcotest.(check int) "cells filled"
+    ((max_p + 1) * (max_l + 1))
+    k.Dp.cells_filled;
+  let exhaustive = max_p * (max_l * (max_l + 1) / 2) in
+  Alcotest.(check int) "visited + pruned = exhaustive" exhaustive
+    (k.Dp.candidates_visited + k.Dp.candidates_pruned);
+  Alcotest.(check bool) "prune skipped most candidates" true
+    (k.Dp.candidates_pruned > exhaustive / 2);
+  Alcotest.(check int) "no parallel fill without a pool" 0 k.Dp.parallel_fills;
+  Dp.reset_counters ();
+  Alcotest.(check int) "reset" 0 (Dp.counters ()).Dp.cells_filled
+
 (* Cross-check between the two independent evaluators: the DP policy
    played through the game engine's minimax must reproduce the DP's own
    value exactly (the grid schedules land on grid-aligned residuals, so
@@ -209,6 +286,11 @@ let test_loss_coefficients_match_recursion () =
 let () =
   Alcotest.run "dp"
     [
+      ( "kernel",
+        [
+          QCheck_alcotest.to_alcotest prop_pruned_matches_reference_and_oracle;
+          Alcotest.test_case "work counters" `Quick test_kernel_counters;
+        ] );
       ( "dp",
         [
           Alcotest.test_case "base cases" `Quick test_base_cases;
@@ -224,6 +306,8 @@ let () =
           Alcotest.test_case "float bridge" `Quick test_float_bridge;
           Alcotest.test_case "float episode degenerate" `Quick
             test_float_episode_degenerate;
+          Alcotest.test_case "float episode sub-tick hedge" `Quick
+            test_float_episode_subtick_hedge;
           Alcotest.test_case "DP policy through game engine" `Quick
             test_dp_policy_through_game_engine;
           Alcotest.test_case "loss coefficients" `Slow

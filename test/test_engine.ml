@@ -129,6 +129,78 @@ let prop_grow_matches_fresh =
        done;
        !ok)
 
+(* --- parallel fill = sequential fill -------------------------------------- *)
+
+(* Pools are created once per size and reused across qcheck cases (the
+   runtime caps simultaneous domains; leaking one pool per case would
+   exhaust it) and shut down at exit. *)
+let pools = Hashtbl.create 4
+
+let pool_of_size domains =
+  match Hashtbl.find_opt pools domains with
+  | Some pool -> pool
+  | None ->
+    let pool = Csutil.Par.Pool.create ~domains in
+    Hashtbl.add pools domains pool;
+    pool
+
+let () =
+  at_exit (fun () -> Hashtbl.iter (fun _ p -> Csutil.Par.Pool.shutdown p) pools)
+
+let tables_equal a b =
+  let max_p = Dp.max_p a and max_l = Dp.max_l a in
+  let ok = ref (Dp.max_p b = max_p && Dp.max_l b = max_l) in
+  for p = 0 to max_p do
+    for l = 0 to max_l do
+      if
+        Dp.value a ~p ~l <> Dp.value b ~p ~l
+        || Dp.optimal_first_period a ~p ~l <> Dp.optimal_first_period b ~p ~l
+      then ok := false
+    done
+  done;
+  !ok
+
+(* Instances are sized past the wavefront threshold (new cells
+   ~ max_p * max_l >= 2^16) so the parallel path genuinely runs; the
+   counter check below guards against the threshold silently
+   sequentializing the whole property. *)
+let par_gen =
+  QCheck.Gen.(
+    let* c = int_range 1 6 in
+    let* max_p = int_range 2 4 in
+    let* max_l = int_range 36000 40000 in
+    let* domains = int_range 2 4 in
+    return (c, max_p, max_l, domains))
+
+let par_print (c, max_p, max_l, domains) =
+  Printf.sprintf "c=%d max_p=%d max_l=%d domains=%d" c max_p max_l domains
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make
+    ~name:"wavefront-parallel fill = sequential fill at every cell" ~count:6
+    (QCheck.make par_gen ~print:par_print)
+    (fun (c, max_p, max_l, domains) ->
+       let seq = Dp.solve ~c ~max_p ~max_l in
+       Dp.reset_counters ();
+       let par =
+         Dp.solve_with ~pool:(Some (pool_of_size domains)) ~c ~max_p ~max_l
+       in
+       (Dp.counters ()).Dp.parallel_fills = 1 && tables_equal seq par)
+
+(* Growing a table that was filled in parallel must agree with a fresh
+   solve — the wavefront publishes exactly the same cells the grow
+   reads. *)
+let test_grow_after_parallel_fill () =
+  let pool = pool_of_size 4 in
+  Dp.reset_counters ();
+  let grown = Dp.solve_with ~pool:(Some pool) ~c:2 ~max_p:3 ~max_l:36000 in
+  Dp.grow ~pool grown ~max_p:5 ~max_l:45000;
+  Alcotest.(check int) "solve and grow both ran the wavefront" 2
+    (Dp.counters ()).Dp.parallel_fills;
+  let fresh = Dp.solve ~c:2 ~max_p:5 ~max_l:45000 in
+  Alcotest.(check bool) "grown-after-parallel = fresh at every cell" true
+    (tables_equal grown fresh)
+
 (* Growth must also preserve episode recovery, not just values. *)
 let test_grow_preserves_episodes () =
   let grown = Dp.solve ~c:5 ~max_p:2 ~max_l:150 in
@@ -159,5 +231,11 @@ let () =
         @ [
           Alcotest.test_case "episodes preserved" `Quick
             test_grow_preserves_episodes;
+        ] );
+      ( "dp parallel",
+        qc [ prop_parallel_matches_sequential ]
+        @ [
+          Alcotest.test_case "grow after parallel fill" `Quick
+            test_grow_after_parallel_fill;
         ] );
     ]

@@ -79,6 +79,55 @@ let test_map_reduce_deterministic_across_domains () =
          [ 1; 2; 3; 4; 5; 6; 7; 8 ])
     [ 0; 1; 7; 64; 103 ]
 
+(* --- Pool ------------------------------------------------------------------- *)
+
+let test_pool_runs_every_slot () =
+  Csutil.Par.Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check int) "size" 4 (Csutil.Par.Pool.size pool);
+      let hits = Array.make 4 0 in
+      (* Disjoint slots: no synchronization needed. *)
+      Csutil.Par.Pool.run pool (fun slot -> hits.(slot) <- hits.(slot) + 1);
+      Alcotest.(check (array int)) "each slot exactly once" [| 1; 1; 1; 1 |]
+        hits;
+      (* The pool is reusable: a second job goes through the same
+         parked workers. *)
+      Csutil.Par.Pool.run pool (fun slot -> hits.(slot) <- hits.(slot) + 1);
+      Alcotest.(check (array int)) "reusable" [| 2; 2; 2; 2 |] hits)
+
+let test_pool_nested_run_degrades_inline () =
+  Csutil.Par.Pool.with_pool ~domains:3 (fun pool ->
+      let outer = Atomic.make 0 and inner = Atomic.make 0 in
+      Csutil.Par.Pool.run pool (fun _ ->
+          ignore (Atomic.fetch_and_add outer 1);
+          (* The pool is busy with this very job: the nested run must
+             still execute every slot (inline), not deadlock. *)
+          Csutil.Par.Pool.run pool (fun _ ->
+              ignore (Atomic.fetch_and_add inner 1)));
+      Alcotest.(check int) "outer slots" 3 (Atomic.get outer);
+      Alcotest.(check int) "inner slots (3 nested runs x 3 slots)" 9
+        (Atomic.get inner))
+
+let test_pool_propagates_failure () =
+  Csutil.Par.Pool.with_pool ~domains:2 (fun pool ->
+      (try
+         Csutil.Par.Pool.run pool (fun slot ->
+             if slot = 1 then failwith "worker boom");
+         Alcotest.fail "worker exception swallowed"
+       with Failure m -> Alcotest.(check string) "message" "worker boom" m);
+      (* The failed job must not wedge the pool. *)
+      let n = Atomic.make 0 in
+      Csutil.Par.Pool.run pool (fun _ -> ignore (Atomic.fetch_and_add n 1));
+      Alcotest.(check int) "pool usable after failure" 2 (Atomic.get n))
+
+let test_map_over_explicit_pool () =
+  Csutil.Par.Pool.with_pool ~domains:3 (fun pool ->
+      let a = Array.init 500 (fun i -> i) in
+      let f x = (2 * x) - 7 in
+      Alcotest.(check (array int)) "map via pool" (Array.map f a)
+        (Csutil.Par.map ~pool ~domains:3 f a);
+      Alcotest.(check (array int)) "init via pool" (Array.init 100 f)
+        (Csutil.Par.init ~pool ~domains:3 100 f))
+
 (* --- Parallel Monte Carlo ---------------------------------------------------- *)
 
 let params = Model.params ~c:1.
@@ -125,6 +174,17 @@ let () =
           Alcotest.test_case "init / map_reduce" `Quick test_init_and_map_reduce;
           Alcotest.test_case "map_reduce domain invariance" `Quick
             test_map_reduce_deterministic_across_domains;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs every slot, reusable" `Quick
+            test_pool_runs_every_slot;
+          Alcotest.test_case "nested run degrades inline" `Quick
+            test_pool_nested_run_degrades_inline;
+          Alcotest.test_case "propagates worker failure" `Quick
+            test_pool_propagates_failure;
+          Alcotest.test_case "map/init over explicit pool" `Quick
+            test_map_over_explicit_pool;
         ] );
       ( "monte carlo",
         [

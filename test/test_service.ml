@@ -294,6 +294,35 @@ let test_cache_preload_groups_solves () =
   let s' = Cache.stats cache in
   Alcotest.(check int) "no further solves" s.Cache.misses s'.Cache.misses
 
+(* The stats surface carries the DP kernel's work counters, and a reset
+   zeroes them along with the cache counters (the daemon's
+   [stats reset] path calls this same Cache.reset_counters). *)
+let test_cache_kernel_counters () =
+  let cache = Cache.create ~capacity:4 () in
+  Cache.reset_counters cache;
+  ignore (Cache.find_or_solve cache ~c:9 ~p:1 ~l:300);
+  let s = Cache.stats cache in
+  let k = s.Cache.kernel in
+  Alcotest.(check bool) "cells counted" true (k.Cyclesteal.Dp.cells_filled > 0);
+  Alcotest.(check bool) "prune counted" true
+    (k.Cyclesteal.Dp.candidates_pruned > 0);
+  let json = Stats.to_json (Stats.create ()) ~cache:s in
+  (match Json.member "kernel" json with
+   | Some (Json.Obj fields) ->
+     List.iter
+       (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stats json has kernel.%s" name)
+            true (List.mem_assoc name fields))
+       [
+         "cells_filled"; "candidates_visited"; "candidates_pruned";
+         "parallel_fills";
+       ]
+   | _ -> Alcotest.fail "stats json lacks a kernel object");
+  Cache.reset_counters cache;
+  Alcotest.(check int) "reset zeroes kernel counters" 0
+    (Cache.stats cache).Cache.kernel.Cyclesteal.Dp.cells_filled
+
 (* --- A mixed workload ------------------------------------------------------ *)
 
 (* >= 100 mixed advise/schedule/evaluate/dp requests with varying
@@ -600,6 +629,8 @@ let () =
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "preload groups solves" `Quick
             test_cache_preload_groups_solves;
+          Alcotest.test_case "kernel counters surfaced and reset" `Quick
+            test_cache_kernel_counters;
         ] );
       ( "batch",
         [

@@ -30,6 +30,21 @@ for f in $(find lib -type f \( -name '*.ml' -o -name '*.mli' \) \
   fi
 done
 
+# Parallelism gate: domains are spawned in exactly one place, the
+# worker pool in lib/util/par.ml.  Everything else takes a Pool (or
+# Par.map) so parallelism stays deadlock-free (nested pool use degrades
+# inline) and capped; ad-hoc Domain.spawn calls escape both guarantees.
+for f in $(find lib bin bench examples -type f \
+             \( -name '*.ml' -o -name '*.mli' \) \
+             -not -path 'lib/util/par.ml' -not -path 'lib/util/par.mli' \
+           | sort); do
+  if grep -nE 'Domain\.spawn' "$f" >/dev/null 2>&1; then
+    echo "parallelism: Domain.spawn in $f (use Csutil.Par.Pool):" >&2
+    grep -nE 'Domain\.spawn' "$f" | head -3 >&2
+    fail=1
+  fi
+done
+
 for f in $(find lib bin test bench examples -type f \
              \( -name '*.ml' -o -name '*.mli' -o -name 'dune' \) \
            | sort); do
