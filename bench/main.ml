@@ -327,8 +327,9 @@ let series_e7 () =
   in
   List.iter
     (fun pol ->
-       let g = Game.guaranteed params opp pol in
-       let adv = Game.optimal_adversary params opp pol in
+       let solver = Game.Solver.create params opp pol in
+       let g = Game.Solver.guaranteed solver in
+       let adv = Game.Solver.adversary solver in
        let report =
          Nowsim.Farm.run_single params ~bag:(mk_bag ()) ~opportunity:opp
            ~policy:pol ~owner:adv ()
@@ -1152,6 +1153,205 @@ let dp_kernel_bench ?(out = "BENCH_dp.json") () =
       close_out oc;
       Printf.printf "wrote %s\n\n" out)
 
+(* --- Game solver: seed vs shared vs flat vs parallel ------------------------- *)
+
+(* The evaluate-path perf trajectory (DESIGN.md S18).  Before the shared
+   solver, every evaluate ran the minimax recursion twice -- once for
+   [guaranteed], once for [optimal_adversary] -- each over its own
+   raw-float-keyed Hashtbl.  This times the full evaluate workload
+   (value + adversary + replay through [Game.run]) under four solver
+   configurations, asserts each banks the seed value and replays the
+   seed episode structure bit-identically, measures the cschedd
+   resident-solver cache cold vs warm, and writes BENCH_game.json. *)
+
+let outcome_fingerprint (o : Game.outcome) =
+  ( o.Game.work,
+    o.Game.interrupts_used,
+    List.map
+      (fun (e : Game.episode_record) ->
+         ( e.Game.start_elapsed,
+           Schedule.to_list e.Game.planned,
+           (match e.Game.outcome with
+            | Game.Completed -> (0, -1.)
+            | Game.Interrupted { period; fraction } -> (period, fraction)),
+           e.Game.work ))
+      o.Game.episodes )
+
+let assert_evaluations_equal ~what (g_a, o_a) (g_b, o_b) =
+  if g_a <> g_b || outcome_fingerprint o_a <> outcome_fingerprint o_b then begin
+    Printf.eprintf "solver mismatch (%s): %.17g vs %.17g\n" what g_a g_b;
+    exit 1
+  end
+
+let game_instance ~pool ~runs (c, u, p, grid) =
+  let params = Model.params ~c in
+  let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+  let pol = Engine.Registry.policy params opp "adaptive" in
+  (* The seed evaluate path: one private recursion for the value, a
+     second (from scratch) for the adversary replay. *)
+  let seed_eval () =
+    let g = Game.Ref.guaranteed ~grid params opp pol in
+    let adv = Game.Ref.optimal_adversary ~grid params opp pol in
+    (g, Game.run params opp pol adv)
+  in
+  let shared_eval ?pool ?force_hashtbl () =
+    let solver = Game.Solver.create ~grid ?pool ?force_hashtbl params opp pol in
+    let g = Game.Solver.guaranteed solver in
+    (g, Game.run params opp pol (Game.Solver.adversary solver))
+  in
+  let seed_s, seed = time_min ~runs seed_eval in
+  let tbl_s, tbl = time_min ~runs (shared_eval ~force_hashtbl:true) in
+  let flat_s, flat = time_min ~runs (shared_eval ?force_hashtbl:None) in
+  Game.reset_counters ();
+  let par_s, par = time_min ~runs (shared_eval ~pool) in
+  let fills = (Game.counters ()).Game.parallel_fills in
+  assert_evaluations_equal ~what:"shared_hashtbl vs seed" tbl seed;
+  assert_evaluations_equal ~what:"shared_flat vs seed" flat seed;
+  assert_evaluations_equal ~what:"shared_flat+parallel vs seed" par seed;
+  if fills < runs then begin
+    Printf.eprintf "parallel fan-out never fired (%d fills, %d runs)\n" fills
+      runs;
+    exit 1
+  end;
+  let series solver seconds domains extra =
+    Service.Json.Obj
+      ([
+         ("solver", Service.Json.String solver);
+         ("seconds", Service.Json.Float seconds);
+         ("speedup_vs_seed", Service.Json.Float (seed_s /. seconds));
+         ("domains", Service.Json.Int domains);
+       ]
+       @ extra)
+  in
+  let instance =
+    Service.Json.Obj
+      [
+        ("c", Service.Json.Float c);
+        ("u", Service.Json.Float u);
+        ("p", Service.Json.Int p);
+        ("grid", Service.Json.Float grid);
+        ("policy", Service.Json.String "adaptive");
+        ("guaranteed", Service.Json.Float (fst seed));
+        ( "series",
+          Service.Json.List
+            [
+              series "seed" seed_s 1 [];
+              series "shared_hashtbl" tbl_s 1 [];
+              series "shared_flat" flat_s 1 [];
+              series "shared_flat+parallel" par_s (Csutil.Par.Pool.size pool)
+                [ ("parallel_fills", Service.Json.Int fills) ];
+            ] );
+      ]
+  in
+  let t =
+    Csutil.Table.create
+      ~title:
+        (Printf.sprintf "c = %g, U = %g, p = %d, grid = %g (adaptive)" c u p
+           grid)
+      ~aligns:Csutil.Table.[ Left; Right; Right ]
+      [ "solver"; "seconds"; "speedup" ]
+  in
+  List.iter
+    (fun (solver, secs) ->
+       Csutil.Table.add_row t
+         [
+           solver;
+           Csutil.Table.cell_float ~prec:4 secs;
+           Printf.sprintf "%.1fx" (seed_s /. secs);
+         ])
+    [
+      ("seed (two recursions)", seed_s);
+      ("shared hashtbl", tbl_s);
+      ("shared flat", flat_s);
+      (Printf.sprintf "shared flat+parallel (%d domains)"
+         (Csutil.Par.Pool.size pool), par_s);
+    ];
+  emit t;
+  instance
+
+(* Cold vs warm through the cschedd resident-solver cache: the same
+   evaluate request, first against a fresh cache (solver built and memo
+   filled), then repeated (solver resident, every value a memo hit; only
+   the adversary replay itself re-runs). *)
+let game_service_series ~pool =
+  let c = 1. and u = 20_000. and p = 2 in
+  let req =
+    Service.Protocol.Evaluate
+      { c; u; p; policy = "adaptive"; periods = None }
+  in
+  let answer cache =
+    match Service.Protocol.handle ~cache req with
+    | Ok _ -> ()
+    | Error e ->
+      Printf.eprintf "evaluate failed: %s\n" (Cyclesteal.Error.to_string e);
+      exit 1
+  in
+  let cold_s, cache =
+    time_min ~runs:2 (fun () ->
+        let cache = Service.Cache.create ~pool ~capacity:8 () in
+        answer cache;
+        cache)
+  in
+  let warm_s, () = time_min ~runs:5 (fun () -> answer cache) in
+  let s = Service.Cache.stats cache in
+  Printf.printf
+    "service evaluate (c=%g, U=%g, p=%d, adaptive): cold %.4f s, warm %.4f s \
+     (%.0fx; %d solver hits, %d misses)\n\n"
+    c u p cold_s warm_s (cold_s /. warm_s) s.Service.Cache.solver_hits
+    s.Service.Cache.solver_misses;
+  Service.Json.Obj
+    [
+      ("c", Service.Json.Float c);
+      ("u", Service.Json.Float u);
+      ("p", Service.Json.Int p);
+      ("policy", Service.Json.String "adaptive");
+      ("cold_seconds", Service.Json.Float cold_s);
+      ("warm_seconds", Service.Json.Float warm_s);
+      ("warm_speedup", Service.Json.Float (cold_s /. warm_s));
+      ("solver_hits", Service.Json.Int s.Service.Cache.solver_hits);
+      ("solver_misses", Service.Json.Int s.Service.Cache.solver_misses);
+    ]
+
+(* Quick mode: the runtest perf smoke.  Asserts all solver variants
+   reproduce the seed evaluation on a small instance (including at least
+   one parallel fan-out) and finishes under a generous bound; no JSON is
+   written. *)
+let game_solver_quick () =
+  let t0 = Unix.gettimeofday () in
+  Csutil.Par.Pool.with_pool ~domains:3 (fun pool ->
+      ignore (game_instance ~pool ~runs:1 (1., 600., 2, 0.25)));
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 120. then begin
+    Printf.eprintf "bench game --quick exceeded its 120 s bound: %.1f s\n" dt;
+    exit 1
+  end;
+  Printf.printf
+    "game --quick: shared, flat and parallel solvers replay the seed\n\
+     evaluation bit-identically; %.2f s\n" dt
+
+let game_solver_bench ?(out = "BENCH_game.json") () =
+  heading "Game solver -- seed vs shared vs flat vs parallel (BENCH_game.json)";
+  let domains = max 4 (Csutil.Par.available_domains ()) in
+  Csutil.Par.Pool.with_pool ~domains (fun pool ->
+      let instances = [ (1., 2_000., 4, 0.05); (1., 4_000., 5, 0.1) ] in
+      let results = List.map (game_instance ~pool ~runs:3) instances in
+      let service = game_service_series ~pool in
+      let doc =
+        Service.Json.Obj
+          [
+            ("bench", Service.Json.String "game");
+            ( "domains_available",
+              Service.Json.Int (Csutil.Par.available_domains ()) );
+            ("instances", Service.Json.List results);
+            ("service", service);
+          ]
+      in
+      let oc = open_out out in
+      output_string oc (Service.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n\n" out)
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let tables () =
@@ -1201,11 +1401,14 @@ let () =
     | [ "dp" ] -> dp_kernel_bench ()
     | [ "dp"; "--quick" ] -> dp_kernel_quick ()
     | [ "dp"; "--out"; path ] -> dp_kernel_bench ~out:path ()
+    | [ "game" ] -> game_solver_bench ()
+    | [ "game"; "--quick" ] -> game_solver_quick ()
+    | [ "game"; "--out"; path ] -> game_solver_bench ~out:path ()
     | [ "bechamel" ] -> bechamel ()
     | other ->
       Printf.eprintf
         "usage: main.exe [--csv DIR] [tables | series eN | service | growth | \
-         dp [--quick | --out FILE] | bechamel]\n";
+         dp [--quick | --out FILE] | game [--quick | --out FILE] | bechamel]\n";
       Printf.eprintf "got: %s\n" (String.concat " " other);
       exit 2
   in

@@ -207,8 +207,9 @@ let evaluate_cmd =
         | Error e -> fail e
         | Ok policy ->
           let grid = Engine.Planner.default_grid ~u in
-          let g = Game.guaranteed ?grid params opp policy in
-          let adv = Game.optimal_adversary ?grid params opp policy in
+          let solver = Game.Solver.create ?grid params opp policy in
+          let g = Game.Solver.guaranteed solver in
+          let adv = Game.Solver.adversary solver in
           let outcome = Game.run params opp policy adv in
           Printf.printf "policy:            %s\n" (Policy.name policy);
           Printf.printf "guaranteed work:   %.6g  (%.2f%% of U)\n" g

@@ -28,6 +28,102 @@ val run :
     @raise Error.Error if the policy plans a zero-length episode or
     overruns the residual. *)
 
+(** A reusable minimax solver: one memo shared between {!Solver.value}
+    (= {!guaranteed_at}), {!Solver.guaranteed} and the
+    {!Solver.adversary} replay, so an evaluate call site solves the
+    game once instead of once per question.
+
+    States [(interrupts_left, residual)] are memoised on an {e integer}
+    key from a canonical residual: rounded down to the caller's
+    [~grid] when given, or -- ungridded -- the residual with its low 12
+    mantissa bits masked off, folding [-0.0] and float-noise twins of a
+    state (equal to within ~2^-40 relative, far inside the progress
+    tolerance) into one key without ever moving an exactly-representable
+    residual.  Every computation at a state uses the canonical residual,
+    so values are pure functions of their key, independent of query
+    order.  With [~grid] the memo is a flat p-stratified [Bigarray]
+    (NaN = unsolved) that grows in place on larger [p] or residual;
+    without it, an int-keyed [Hashtbl].
+
+    Gridded solvers are bit-identical in value and argmin to the seed
+    recursion ({!Ref}); the ungridded path may differ from the seed by
+    at most the progress tolerance where snapping merges states. *)
+module Solver : sig
+  type t
+
+  val create :
+    ?grid:float ->
+    ?max_states:int ->
+    ?pool:Csutil.Par.Pool.t ->
+    ?force_hashtbl:bool ->
+    Model.params ->
+    Model.opportunity ->
+    Policy.t ->
+    t
+  (** A fresh solver (cheap: the memo fills lazily).  [max_states]
+      bounds the states this solver may expand over its lifetime
+      (default 4e6).  With [~pool], top-level {!value} queries on a
+      flat-memo solver fan the episode's continuation subtrees out
+      across the pool's domains (a busy pool runs them inline, so
+      nested use under the service's batch fan-out stays safe).
+      [force_hashtbl] keeps the Hashtbl backend even when [~grid] is
+      given — the bench uses it to isolate the flat-memo speedup.
+      @raise Error.Error when [grid <= 0]. *)
+
+  val value : t -> p:int -> residual:float -> float
+  (** The guaranteed work from state [(p, residual)]; memo hits are
+      O(1) across repeated and nested queries.
+      @raise Error.Error ([Budget_exhausted]) past [max_states]. *)
+
+  val guaranteed : t -> float
+  (** {!value} at the opportunity's root state. *)
+
+  val adversary : t -> Adversary.t
+  (** The minimax adversary replaying this solver's argmin choices;
+      after {!guaranteed}, its value queries are memo hits, so the
+      replay expands (next to) no new states. *)
+
+  val plan : t -> p:int -> residual:float -> Schedule.t
+  (** The policy's episode schedule at the canonical (snapped) state,
+      computed once per state and cached. *)
+
+  val grow : t -> p:int -> residual:float -> unit
+  (** Extend a flat memo to cover [(p, residual)] in place (allocate
+      and blit; solved cells keep their values).  Happens implicitly on
+      out-of-range queries; a no-op on Hashtbl solvers. *)
+
+  val params : t -> Model.params
+  val opportunity : t -> Model.opportunity
+  val policy : t -> Policy.t
+  (** The policy the solver was built over — hand this to {!run} so a
+      replay reuses e.g. an expensive DP-table policy instead of
+      rebuilding it. *)
+
+  val grid : t -> float option
+
+  val states : t -> int
+  (** States this solver has expanded (counted against [max_states]). *)
+
+  val capacity : t -> int * int
+  (** Current [(max_p, max_index)] of a flat memo;
+      [(max_int, max_int)] for Hashtbl solvers. *)
+
+  val footprint_bytes : t -> int
+  (** Approximate resident size of memo plus plan cache. *)
+end
+
+type counters = {
+  states : int;          (** distinct states expanded (memo misses) *)
+  memo_hits : int;       (** value lookups answered from the memo *)
+  plans_computed : int;  (** [Policy.plan] invocations *)
+  parallel_fills : int;  (** top-level fan-outs dispatched to a pool *)
+}
+(** Process-wide solver counters, summed over every {!Solver.t} (the
+    service surfaces them through cschedd's [stats] op). *)
+
+val counters : unit -> counters
+val reset_counters : unit -> unit
+
 val guaranteed :
   ?grid:float ->
   ?max_states:int ->
@@ -42,6 +138,10 @@ val guaranteed :
     [~grid] residuals are rounded down to the grid: the state space
     becomes finite and the result is a lower bound on the exact value
     (off by at most one grid step per episode).
+
+    Convenience wrapper over a one-shot {!Solver}; call sites that also
+    need the adversary or interior values should build one {!Solver.t}
+    and share it.
     @raise Error.Error ([Budget_exhausted]) when the memoised state
     space grows past [max_states]; pass [~grid] to bound it. *)
 
@@ -66,7 +166,41 @@ val optimal_adversary :
   Adversary.t
 (** The minimax adversary as a playable strategy (shares the recursion
     with {!guaranteed}); running it through {!run} against the same
-    policy reproduces the {!guaranteed} value. *)
+    policy reproduces the {!guaranteed} value.  Builds its own private
+    {!Solver}: prefer {!Solver.adversary} when a solver is already in
+    hand. *)
+
+(** The seed minimax recursion, retained verbatim (raw-float memo keys,
+    one private table per call) as the correctness and performance
+    baseline for bench and test.  Production code goes through
+    {!Solver}. *)
+module Ref : sig
+  val guaranteed :
+    ?grid:float ->
+    ?max_states:int ->
+    Model.params ->
+    Model.opportunity ->
+    Policy.t ->
+    float
+
+  val guaranteed_at :
+    ?grid:float ->
+    ?max_states:int ->
+    Model.params ->
+    Model.opportunity ->
+    Policy.t ->
+    p:int ->
+    residual:float ->
+    float
+
+  val optimal_adversary :
+    ?grid:float ->
+    ?max_states:int ->
+    Model.params ->
+    Model.opportunity ->
+    Policy.t ->
+    Adversary.t
+end
 
 val render_timeline :
   ?width:int -> Model.params -> Model.opportunity -> outcome -> string

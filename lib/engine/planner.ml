@@ -17,11 +17,13 @@ type t = {
   paper : string;
   summary : string;
   params : (string * string) list;
+  state_only : bool;
   policy : Model.params -> Model.opportunity -> Policy.t;
 }
 
-let make ?(aliases = []) ?(params = []) ~name ~kind ~paper ~summary policy =
-  { name; aliases; kind; paper; summary; params; policy }
+let make ?(aliases = []) ?(params = []) ?(state_only = false) ~name ~kind
+    ~paper ~summary policy =
+  { name; aliases; kind; paper; summary; params; state_only; policy }
 
 let policy t params opp = t.policy params opp
 
@@ -30,8 +32,11 @@ let plan t params opp ~p ~residual =
   Policy.plan pol
     { Policy.params; opportunity = opp; residual; interrupts_left = p }
 
+let solver ?grid ?max_states ?pool t params opp =
+  Game.Solver.create ?grid ?max_states ?pool params opp (t.policy params opp)
+
 let guarantee ?grid ?max_states t params opp =
-  Game.guaranteed ?grid ?max_states params opp (t.policy params opp)
+  Game.Solver.guaranteed (solver ?grid ?max_states t params opp)
 
 (* Exact below U = 5000, a 200k-point grid above: the heuristic the
    csched evaluate command has always used; the daemon mirrors it so a

@@ -25,12 +25,17 @@ type t = {
   summary : string;
   params : (string * string) list;
       (** tunable knobs baked into this planner: (name, description) *)
+  state_only : bool;
+      (** the produced [Policy.t] depends only on the model parameters,
+          not on the opportunity: one policy (and so one resident game
+          solver) serves every interrupt budget, growing in place *)
   policy : Model.params -> Model.opportunity -> Policy.t;
 }
 
 val make :
   ?aliases:string list ->
   ?params:(string * string) list ->
+  ?state_only:bool ->
   name:string ->
   kind:kind ->
   paper:string ->
@@ -46,6 +51,18 @@ val plan :
 (** Plan one episode from the interior state with [residual] lifespan
     left and an owner budget of [p] interrupts. *)
 
+val solver :
+  ?grid:float ->
+  ?max_states:int ->
+  ?pool:Csutil.Par.Pool.t ->
+  t ->
+  Model.params ->
+  Model.opportunity ->
+  Cyclesteal.Game.Solver.t
+(** A reusable {!Cyclesteal.Game.Solver} over the planner's policy: one
+    memo answers the guarantee, interior values and the optimal-adversary
+    replay for this opportunity. *)
+
 val guarantee :
   ?grid:float ->
   ?max_states:int ->
@@ -53,8 +70,8 @@ val guarantee :
   Model.params ->
   Model.opportunity ->
   float
-(** The planner's guaranteed work over the opportunity:
-    {!Cyclesteal.Game.guaranteed} of its policy. *)
+(** The planner's guaranteed work over the opportunity: a one-shot
+    {!solver} queried at the root state. *)
 
 val default_grid : u:float -> float option
 (** The grid heuristic every evaluation surface shares (exact below

@@ -30,7 +30,7 @@ let dp_table params opp =
 let naive =
   Planner.make ~name:"naive"
     ~aliases:[ "one-period"; "one-long-period" ]
-    ~kind:Planner.Baseline ~paper:"Prop. 4.1(d)"
+    ~state_only:true ~kind:Planner.Baseline ~paper:"Prop. 4.1(d)"
     ~summary:"one long period: zero overhead, one interrupt wipes everything"
     (fun _params _opp -> Policy.one_long_period)
 
@@ -67,12 +67,14 @@ let nonadaptive =
     (fun params opp -> Policy.nonadaptive_guideline params opp)
 
 let adaptive =
-  Planner.make ~name:"adaptive" ~kind:Planner.Guideline ~paper:"Section 3.2"
+  Planner.make ~name:"adaptive" ~state_only:true ~kind:Planner.Guideline
+    ~paper:"Section 3.2"
     ~summary:"the adaptive guideline: replan Sigma_a^(p)[U] per state"
     (fun _params _opp -> Policy.adaptive_guideline)
 
 let calibrated =
-  Planner.make ~name:"calibrated" ~kind:Planner.Guideline ~paper:"Theorem 4.3"
+  Planner.make ~name:"calibrated" ~state_only:true ~kind:Planner.Guideline
+    ~paper:"Theorem 4.3"
     ~summary:"adaptive guideline with DP-calibrated loss coefficients"
     (fun _params _opp -> Policy.adaptive_calibrated)
 

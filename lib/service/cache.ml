@@ -54,7 +54,51 @@ type shard = {
   mutable growths : int;
 }
 
-type t = { shards : shard array; pool : Csutil.Par.Pool.t option }
+(* --- resident game solvers --------------------------------------------
+
+   The evaluate op's analogue of the Dp shards: one Game.Solver kept
+   warm per (c, u, p, policy), so a repeated evaluation answers from the
+   solver's memo instead of re-expanding the minimax tree.  Policies
+   whose Policy.t ignores the opportunity (Planner.state_only) are keyed
+   with p = -1: one solver serves every interrupt budget at that
+   lifespan, growing its flat memo in place on a larger p.
+
+   Identity must pin everything the solver bakes in: c and the policy
+   (they change the game), u (it fixes both the evaluation grid and the
+   progress tolerance) and — unless state_only — p (the policy was
+   constructed for that budget).  Values are pure functions of canonical
+   states, so a warm solver answers bit-identically to a fresh one.
+
+   One lock guards the whole map (solver traffic is per-request, far
+   lighter than per-query Dp lookups); each entry carries its own mutex
+   so evaluations on distinct solvers run concurrently while two
+   requests hitting the same resident solver — whose Hashtbl backend is
+   not domain-safe — serialize. *)
+
+type solver_key = { sc : float; su : float; sp : int; spolicy : string }
+
+type solver_entry = {
+  solver : Game.Solver.t;
+  slock : Mutex.t;
+  mutable sused : int;
+}
+
+type solvers = {
+  sollock : Mutex.t;
+  entries : (solver_key, solver_entry) Hashtbl.t;
+  scapacity : int;
+  mutable sclock : int;
+  mutable shits : int;
+  mutable smisses : int;
+  mutable sevictions : int;
+  mutable sgrowths : int;
+}
+
+type t = {
+  shards : shard array;
+  pool : Csutil.Par.Pool.t option;
+  solvers : solvers;
+}
 
 let create ?(shards = 8) ?pool ~capacity () =
   if capacity < 1 then Error.invalid "Cache.create: capacity must be >= 1";
@@ -75,6 +119,17 @@ let create ?(shards = 8) ?pool ~capacity () =
             growths = 0;
           });
     pool;
+    solvers =
+      {
+        sollock = Mutex.create ();
+        entries = Hashtbl.create 16;
+        scapacity = capacity;
+        sclock = 0;
+        shits = 0;
+        smisses = 0;
+        sevictions = 0;
+        sgrowths = 0;
+      };
   }
 
 let shard_of t c = t.shards.(Hashtbl.hash c mod Array.length t.shards)
@@ -195,6 +250,62 @@ let preload t ~keys ?domains () =
       solved
   end
 
+(* Under the solvers lock: the resident (or fresh) entry for the key. *)
+let obtain_solver t params opp (planner : Engine.Planner.t) =
+  let u = opp.Model.lifespan in
+  let p = opp.Model.interrupts in
+  let key =
+    {
+      sc = Model.c params;
+      su = u;
+      sp = (if planner.Engine.Planner.state_only then -1 else p);
+      spolicy = planner.Engine.Planner.name;
+    }
+  in
+  let s = t.solvers in
+  Mutex.lock s.sollock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.sollock)
+    (fun () ->
+      s.sclock <- s.sclock + 1;
+      match Hashtbl.find_opt s.entries key with
+      | Some e ->
+        e.sused <- s.sclock;
+        s.shits <- s.shits + 1;
+        (* A state-only hit at a larger budget will grow the resident
+           flat memo in place when evaluated. *)
+        let cap_p, _ = Game.Solver.capacity e.solver in
+        if p > cap_p then s.sgrowths <- s.sgrowths + 1;
+        e
+      | None ->
+        s.smisses <- s.smisses + 1;
+        while Hashtbl.length s.entries >= s.scapacity do
+          let victim = ref None in
+          Hashtbl.iter
+            (fun k e ->
+               match !victim with
+               | Some (_, best) when best.sused <= e.sused -> ()
+               | _ -> victim := Some (k, e))
+            s.entries;
+          match !victim with
+          | Some (k, _) ->
+            Hashtbl.remove s.entries k;
+            s.sevictions <- s.sevictions + 1
+          | None -> ()
+        done;
+        let grid = Engine.Planner.default_grid ~u in
+        let solver =
+          Engine.Planner.solver ?grid ?pool:t.pool planner params opp
+        in
+        let e = { solver; slock = Mutex.create (); sused = s.sclock } in
+        Hashtbl.add s.entries key e;
+        e)
+
+let with_solver t params opp planner f =
+  let e = obtain_solver t params opp planner in
+  Mutex.lock e.slock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.slock) (fun () -> f e.solver)
+
 type stats = {
   hits : int;
   misses : int;
@@ -203,6 +314,13 @@ type stats = {
   resident : int;
   resident_bytes : int;
   kernel : Dp.counters;
+  solver_hits : int;
+  solver_misses : int;
+  solver_evictions : int;
+  solver_growths : int;
+  solvers_resident : int;
+  solver_bytes : int;
+  game : Game.counters;
 }
 
 let stats t =
@@ -221,17 +339,33 @@ let stats t =
              resident = acc.resident + Hashtbl.length sh.table;
              resident_bytes = acc.resident_bytes + bytes;
            }))
-    {
-      hits = 0;
-      misses = 0;
-      evictions = 0;
-      growths = 0;
-      resident = 0;
-      resident_bytes = 0;
-      (* Process-wide: every solve/grow in this daemon goes through the
-         cache, so the kernel counters read as the cache's solve work. *)
-      kernel = Dp.counters ();
-    }
+    (let s = t.solvers in
+     Mutex.lock s.sollock;
+     Fun.protect
+       ~finally:(fun () -> Mutex.unlock s.sollock)
+       (fun () ->
+         {
+           hits = 0;
+           misses = 0;
+           evictions = 0;
+           growths = 0;
+           resident = 0;
+           resident_bytes = 0;
+           (* Process-wide: every solve/grow in this daemon goes through
+              the cache, so the kernel (and game-solver) counters read as
+              the cache's solve work. *)
+           kernel = Dp.counters ();
+           solver_hits = s.shits;
+           solver_misses = s.smisses;
+           solver_evictions = s.sevictions;
+           solver_growths = s.sgrowths;
+           solvers_resident = Hashtbl.length s.entries;
+           solver_bytes =
+             Hashtbl.fold
+               (fun _ e b -> b + Game.Solver.footprint_bytes e.solver)
+               s.entries 0;
+           game = Game.counters ();
+         }))
     t.shards
 
 let reset_counters t =
@@ -243,4 +377,14 @@ let reset_counters t =
            sh.evictions <- 0;
            sh.growths <- 0))
     t.shards;
-  Dp.reset_counters ()
+  (let s = t.solvers in
+   Mutex.lock s.sollock;
+   Fun.protect
+     ~finally:(fun () -> Mutex.unlock s.sollock)
+     (fun () ->
+       s.shits <- 0;
+       s.smisses <- 0;
+       s.sevictions <- 0;
+       s.sgrowths <- 0));
+  Dp.reset_counters ();
+  Game.reset_counters ()

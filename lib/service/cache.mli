@@ -15,7 +15,14 @@
     {!Csutil.Par} domains contend only when they hash to the same shard.
     Growth happens under the shard lock (single writer); previously
     obtained tables stay valid throughout — growth publishes a fresh
-    snapshot and never mutates published cells. *)
+    snapshot and never mutates published cells.
+
+    The cache also keeps {!Cyclesteal.Game.Solver}s resident for the
+    evaluate op ({!with_solver}): one per (c, u, p, policy) — with [p]
+    collapsed for {!Engine.Planner.t}[.state_only] policies, whose one
+    solver serves every interrupt budget at that lifespan by growing its
+    memo in place.  Solver values are pure functions of canonical
+    states, so a warm solver answers bit-identically to a fresh one. *)
 
 type t
 
@@ -59,6 +66,20 @@ val preload : t -> keys:key list -> ?domains:int -> unit -> unit
     them; used by the batch engine so a mixed batch pays each distinct
     solve once, concurrently. *)
 
+val with_solver :
+  t ->
+  Cyclesteal.Model.params ->
+  Cyclesteal.Model.opportunity ->
+  Engine.Planner.t ->
+  (Cyclesteal.Game.Solver.t -> 'a) -> 'a
+(** Run [f] on the resident game solver for this evaluation (created —
+    evicting the least-recently-used solver if the cache is full — on
+    first use, with the shared evaluation grid
+    {!Engine.Planner.default_grid} and the cache's pool).  Evaluations
+    on distinct solvers run concurrently; two requests hitting the same
+    solver serialize on its mutex, since the ungridded memo backend is
+    not domain-safe. *)
+
 type stats = {
   hits : int;  (** lookups fully served from a resident table *)
   misses : int;
@@ -74,6 +95,16 @@ type stats = {
       (** DP kernel work counters (cells filled, candidates visited /
           pruned, parallel fills).  Process-wide — in the daemon every
           solve and grow goes through the cache. *)
+  solver_hits : int;  (** evaluations served by a resident solver *)
+  solver_misses : int;  (** evaluations that created a solver *)
+  solver_evictions : int;
+  solver_growths : int;
+      (** state-only hits whose larger budget grew the resident memo *)
+  solvers_resident : int;
+  solver_bytes : int;  (** approximate heap bytes of resident solvers *)
+  game : Cyclesteal.Game.counters;
+      (** game-solver work counters (states expanded, memo hits, plans
+          computed, parallel fills); process-wide, like [kernel]. *)
 }
 
 val stats : t -> stats
@@ -81,9 +112,10 @@ val stats : t -> stats
     each shard is read under its lock). *)
 
 val reset_counters : t -> unit
-(** Zero the hit/miss/eviction/growth counters and the process-wide
-    kernel counters, keeping the resident tables; backs the daemon's
-    [stats reset] sub-op. *)
+(** Zero the hit/miss/eviction/growth counters (Dp and solver alike)
+    and the process-wide kernel and game-solver counters, keeping the
+    resident tables and solvers; backs the daemon's [stats reset]
+    sub-op. *)
 
 val table_bytes : Cyclesteal.Dp.t -> int
 (** Approximate heap footprint of one solved table. *)

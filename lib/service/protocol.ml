@@ -259,34 +259,42 @@ let episode_to_json (e : Game.episode_record) =
       ("work", Json.Float e.Game.work);
     ]
 
-let handle_evaluate ~c ~u ~p ~policy ~periods =
+let handle_evaluate ?cache ~c ~u ~p ~policy ~periods () =
   let params = Model.params ~c in
   let opp = Model.opportunity ~lifespan:u ~interrupts:p in
-  let pol =
-    match periods with
-    | Some ts -> custom_policy ~u ts
-    | None -> Engine.Registry.policy params opp policy
+  (* One solver answers guaranteed, the adversary replay, and any interior
+     value the replay touches; cached solvers stay resident across
+     requests and answer warm queries from their memo. *)
+  let eval solver =
+    let g = Game.Solver.guaranteed solver in
+    let adv = Game.Solver.adversary solver in
+    let pol = Game.Solver.policy solver in
+    let outcome = Game.run params opp pol adv in
+    Ok
+      (Json.Obj
+         [
+           ("policy", Json.String (Policy.name pol));
+           ("c", Json.Float c); ("u", Json.Float u); ("p", Json.Int p);
+           ("guaranteed", Json.Float g);
+           ("guaranteed_fraction", Json.Float (g /. u));
+           ("loss", Json.Float (u -. g));
+           ( "loss_coefficient",
+             Json.Float ((u -. g) /. Float.sqrt (2. *. c *. u)) );
+           ("interrupts_used", Json.Int outcome.Game.interrupts_used);
+           ( "episodes",
+             Json.List (List.map episode_to_json outcome.Game.episodes) );
+         ])
   in
   (* Same grid heuristic as csched evaluate: exact below U = 5000,
      200k-point grid above. *)
   let grid = Engine.Planner.default_grid ~u in
-  let g = Game.guaranteed ?grid params opp pol in
-  let adv = Game.optimal_adversary ?grid params opp pol in
-  let outcome = Game.run params opp pol adv in
-  Ok
-    (Json.Obj
-       [
-         ("policy", Json.String (Policy.name pol));
-         ("c", Json.Float c); ("u", Json.Float u); ("p", Json.Int p);
-         ("guaranteed", Json.Float g);
-         ("guaranteed_fraction", Json.Float (g /. u));
-         ("loss", Json.Float (u -. g));
-         ( "loss_coefficient",
-           Json.Float ((u -. g) /. Float.sqrt (2. *. c *. u)) );
-         ("interrupts_used", Json.Int outcome.Game.interrupts_used);
-         ( "episodes",
-           Json.List (List.map episode_to_json outcome.Game.episodes) );
-       ])
+  match periods with
+  | Some ts -> eval (Game.Solver.create ?grid params opp (custom_policy ~u ts))
+  | None ->
+    let planner = Engine.Registry.find policy in
+    (match cache with
+     | Some cache -> Cache.with_solver cache params opp planner eval
+     | None -> eval (Engine.Planner.solver ?grid planner params opp))
 
 let handle_dp ?cache ~c_ticks ~l ~p () =
   let dp =
@@ -356,7 +364,7 @@ let handle ?cache req =
     | Advise { c; u; p } -> handle_advise ~c ~u ~p
     | Schedule { c; u; p; regime } -> handle_schedule ~c ~u ~p ~regime
     | Evaluate { c; u; p; policy; periods } ->
-      handle_evaluate ~c ~u ~p ~policy ~periods
+      handle_evaluate ?cache ~c ~u ~p ~policy ~periods ()
     | Dp_query { c_ticks; l; p } -> handle_dp ?cache ~c_ticks ~l ~p ()
     | Strategies -> handle_strategies ()
     | Stats _ ->

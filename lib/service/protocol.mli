@@ -65,8 +65,11 @@ val handle :
   ?cache:Cache.t -> request -> (Json.t, Cyclesteal.Error.t) result
 (** Evaluate one request to its [result] payload.  [Dp_query] solves
     through [cache] when given (canonicalized, growable, LRU), directly
-    otherwise.  [Stats] is served by the daemon, not here: without a
-    daemon context it returns [Error]. *)
+    otherwise.  [Evaluate] likewise draws its game solver from the
+    cache's resident-solver pool when [cache] is given (warm repeats
+    answer from the shared memo; custom [periods] always solve fresh).
+    [Stats] is served by the daemon, not here: without a daemon context
+    it returns [Error]. *)
 
 val error_to_json : Cyclesteal.Error.t -> Json.t
 (** The structured error object of an error response:

@@ -93,6 +93,25 @@ let to_json t ~cache:(c : Cache.stats) =
             ("candidates_pruned", Json.Int k.Cyclesteal.Dp.candidates_pruned);
             ("parallel_fills", Json.Int k.Cyclesteal.Dp.parallel_fills);
           ] );
+      ( "solver_cache",
+        Json.Obj
+          [
+            ("hits", Json.Int c.Cache.solver_hits);
+            ("misses", Json.Int c.Cache.solver_misses);
+            ("evictions", Json.Int c.Cache.solver_evictions);
+            ("growths", Json.Int c.Cache.solver_growths);
+            ("solvers_resident", Json.Int c.Cache.solvers_resident);
+            ("resident_bytes", Json.Int c.Cache.solver_bytes);
+          ] );
+      ( "game",
+        let g = c.Cache.game in
+        Json.Obj
+          [
+            ("states", Json.Int g.Cyclesteal.Game.states);
+            ("memo_hits", Json.Int g.Cyclesteal.Game.memo_hits);
+            ("plans_computed", Json.Int g.Cyclesteal.Game.plans_computed);
+            ("parallel_fills", Json.Int g.Cyclesteal.Game.parallel_fills);
+          ] );
     ]
 
 let summary t ~cache:(c : Cache.stats) =
@@ -131,4 +150,15 @@ let summary t ~cache:(c : Cache.stats) =
   add "kernel candidates pruned"
     (string_of_int k.Cyclesteal.Dp.candidates_pruned);
   add "kernel parallel fills" (string_of_int k.Cyclesteal.Dp.parallel_fills);
+  add "solver hits" (string_of_int c.Cache.solver_hits);
+  add "solver misses" (string_of_int c.Cache.solver_misses);
+  add "solver evictions" (string_of_int c.Cache.solver_evictions);
+  add "solver growths" (string_of_int c.Cache.solver_growths);
+  add "solvers resident" (string_of_int c.Cache.solvers_resident);
+  add "solver bytes" (string_of_int c.Cache.solver_bytes);
+  let g = c.Cache.game in
+  add "game states" (string_of_int g.Cyclesteal.Game.states);
+  add "game memo hits" (string_of_int g.Cyclesteal.Game.memo_hits);
+  add "game plans computed" (string_of_int g.Cyclesteal.Game.plans_computed);
+  add "game parallel fills" (string_of_int g.Cyclesteal.Game.parallel_fills);
   Csutil.Table.to_string table

@@ -355,6 +355,79 @@ let test_policy_value_monotone_in_residual () =
       Policy.nonadaptive_guideline params opp;
     ]
 
+(* --- Shared solver ------------------------------------------------------- *)
+
+(* One solver answers guaranteed and then powers the adversary replay
+   from the same memo: the replay must not re-expand the state space.
+   A fresh solver answering only [guaranteed] sets the baseline. *)
+let test_states_not_double_counted () =
+  let opp = Model.opportunity ~lifespan:150. ~interrupts:2 in
+  let pol = Policy.adaptive_guideline in
+  let baseline = Game.Solver.create params opp pol in
+  ignore (Game.Solver.guaranteed baseline);
+  let shared = Game.Solver.create params opp pol in
+  ignore (Game.Solver.guaranteed shared);
+  let outcome = Game.run params opp pol (Game.Solver.adversary shared) in
+  check_float ~eps:1e-6 "replay banks guaranteed"
+    (Game.Solver.guaranteed shared) outcome.Game.work;
+  let base = Game.Solver.states baseline in
+  let total = Game.Solver.states shared in
+  Alcotest.(check bool)
+    (Printf.sprintf "states %d not double-counted vs %d" total base)
+    true
+    (total <= base + 5)
+
+(* A flat-memo solver grown past its initial bounds answers exactly like
+   a solver created large, and like the seed recursion. *)
+let test_solver_grow_matches_fresh () =
+  let opp = Model.opportunity ~lifespan:60. ~interrupts:1 in
+  let big = Model.opportunity ~lifespan:240. ~interrupts:3 in
+  let pol = Policy.adaptive_guideline in
+  let grown = Game.Solver.create ~grid:0.5 params opp pol in
+  ignore (Game.Solver.guaranteed grown);
+  let v_grown = Game.Solver.value grown ~p:3 ~residual:240. in
+  let fresh = Game.Solver.create ~grid:0.5 params big pol in
+  let v_fresh = Game.Solver.value fresh ~p:3 ~residual:240. in
+  let v_seed = Game.Ref.guaranteed_at ~grid:0.5 params big pol ~p:3 ~residual:240. in
+  Alcotest.(check bool) "grown = fresh" true (v_grown = v_fresh);
+  Alcotest.(check bool) "grown = seed" true (v_grown = v_seed);
+  let cap_p, _ = Game.Solver.capacity grown in
+  Alcotest.(check bool) "capacity grew" true (cap_p >= 3)
+
+let test_solver_counters () =
+  Game.reset_counters ();
+  let opp = Model.opportunity ~lifespan:80. ~interrupts:2 in
+  let s = Game.Solver.create ~grid:0.5 params opp Policy.adaptive_guideline in
+  ignore (Game.Solver.guaranteed s);
+  ignore (Game.Solver.guaranteed s);
+  let k = Game.counters () in
+  Alcotest.(check bool) "states counted" true (k.Game.states > 0);
+  Alcotest.(check bool) "plans counted" true (k.Game.plans_computed > 0);
+  Alcotest.(check bool) "repeat query is a memo hit" true (k.Game.memo_hits > 0);
+  Alcotest.(check int) "plans computed once per state" k.Game.states
+    k.Game.plans_computed;
+  Game.reset_counters ();
+  let z = Game.counters () in
+  Alcotest.(check int) "states reset" 0 z.Game.states;
+  Alcotest.(check int) "hits reset" 0 z.Game.memo_hits;
+  Alcotest.(check int) "plans reset" 0 z.Game.plans_computed;
+  Alcotest.(check int) "fills reset" 0 z.Game.parallel_fills
+
+(* The parallel fan-out shares the memo across domains; values must not
+   depend on it. *)
+let test_parallel_value_matches_sequential () =
+  let opp = Model.opportunity ~lifespan:400. ~interrupts:2 in
+  let pol = Policy.adaptive_guideline in
+  let seq = Game.Solver.create ~grid:0.25 params opp pol in
+  let v_seq = Game.Solver.guaranteed seq in
+  Csutil.Par.Pool.with_pool ~domains:3 (fun pool ->
+      Game.reset_counters ();
+      let par = Game.Solver.create ~grid:0.25 ~pool params opp pol in
+      let v_par = Game.Solver.guaranteed par in
+      Alcotest.(check bool) "parallel = sequential" true (v_par = v_seq);
+      Alcotest.(check bool) "fan-out fired" true
+        ((Game.counters ()).Game.parallel_fills >= 1))
+
 (* --- QCheck: engine-level invariants ------------------------------------ *)
 
 let arb_cfg =
@@ -409,6 +482,62 @@ let prop_episode_work_sums_to_total =
       in
       Csutil.Float_ext.approx_eq ~rtol:1e-9 ~atol:1e-9 total outcome.Game.work)
 
+(* Replaying the solver's adversary through the engine banks exactly the
+   guaranteed value (ungridded).  With a grid the value is computed on
+   floored residuals while the replay accrues exact work, so guaranteed
+   is a floor and the replay overshoots by at most a grid step per
+   episode. *)
+let prop_solver_replay_banks_guaranteed =
+  QCheck.Test.make ~name:"solver adversary replay banks guaranteed" ~count:60
+    arb_cfg (fun (u, p, seed) ->
+      let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+      let pol =
+        if seed mod 2 = 0 then Policy.adaptive_guideline
+        else Policy.adaptive_calibrated
+      in
+      let grid = if seed mod 3 = 0 then Some 0.5 else None in
+      let solver = Game.Solver.create ?grid params opp pol in
+      let g = Game.Solver.guaranteed solver in
+      let outcome = Game.run params opp pol (Game.Solver.adversary solver) in
+      let work = outcome.Game.work in
+      match grid with
+      | None -> Csutil.Float_ext.approx_eq ~rtol:1e-6 ~atol:1e-6 g work
+      | Some gr ->
+        work >= g -. 1e-6
+        && work <= g +. (gr *. float_of_int (p + 2)) +. 1e-6)
+
+(* On a grid, the flat-Bigarray memo, the (forced) Hashtbl memo and the
+   seed recursion are the same function, bit for bit. *)
+let prop_solver_variants_agree_on_grid =
+  QCheck.Test.make ~name:"flat = hashtbl = seed solver on a grid" ~count:60
+    arb_cfg (fun (u, p, seed) ->
+      let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+      let pol =
+        if seed mod 2 = 0 then Policy.adaptive_guideline
+        else Policy.one_long_period
+      in
+      let grid = if seed mod 3 = 0 then 1.0 else 0.25 in
+      let v_seed = Game.Ref.guaranteed ~grid params opp pol in
+      let flat = Game.Solver.create ~grid params opp pol in
+      let tbl = Game.Solver.create ~grid ~force_hashtbl:true params opp pol in
+      Game.Solver.guaranteed flat = v_seed
+      && Game.Solver.guaranteed tbl = v_seed)
+
+(* Ungridded, the solver's mantissa-masked keys may merge states the
+   seed's raw-float keys keep apart; values agree to within the
+   progress tolerance. *)
+let prop_solver_matches_seed_ungridded =
+  QCheck.Test.make ~name:"ungridded solver matches seed recursion" ~count:60
+    arb_cfg (fun (u, p, seed) ->
+      let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+      let pol =
+        if seed mod 2 = 0 then Policy.adaptive_guideline
+        else Policy.adaptive_calibrated
+      in
+      let v_seed = Game.Ref.guaranteed params opp pol in
+      let v = Game.Solver.guaranteed (Game.Solver.create params opp pol) in
+      Csutil.Float_ext.approx_eq ~rtol:1e-9 ~atol:(1e-6 *. u) v_seed v)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "game"
@@ -452,6 +581,16 @@ let () =
           Alcotest.test_case "adversary strategies" `Quick test_adversary_strategies;
           Alcotest.test_case "interrupt_at_offset" `Quick test_interrupt_at_offset;
         ] );
+      ( "solver",
+        [
+          Alcotest.test_case "states not double-counted" `Quick
+            test_states_not_double_counted;
+          Alcotest.test_case "grow matches fresh" `Quick
+            test_solver_grow_matches_fresh;
+          Alcotest.test_case "counters" `Quick test_solver_counters;
+          Alcotest.test_case "parallel value" `Quick
+            test_parallel_value_matches_sequential;
+        ] );
       ( "props",
         qc
           [
@@ -459,5 +598,8 @@ let () =
             prop_durations_sum_to_lifespan;
             prop_interrupts_within_budget;
             prop_episode_work_sums_to_total;
+            prop_solver_replay_banks_guaranteed;
+            prop_solver_variants_agree_on_grid;
+            prop_solver_matches_seed_ungridded;
           ] );
     ]

@@ -323,6 +323,71 @@ let test_cache_kernel_counters () =
   Alcotest.(check int) "reset zeroes kernel counters" 0
     (Cache.stats cache).Cache.kernel.Cyclesteal.Dp.cells_filled
 
+(* Repeated evaluate requests through the cache hit the resident game
+   solver; the stats surface carries the solver-cache and game counters,
+   and reset zeroes them (the daemon's [stats reset] path). *)
+let test_cache_resident_solver () =
+  let cache = Cache.create ~capacity:4 () in
+  Cache.reset_counters cache;
+  let req =
+    Protocol.Evaluate
+      { c = 1.; u = 120.; p = 2; policy = "adaptive"; periods = None }
+  in
+  let answer () =
+    match Protocol.handle ~cache req with
+    | Ok json -> Json.to_string json
+    | Error e -> Alcotest.fail (Cyclesteal.Error.to_string e)
+  in
+  let first = answer () in
+  let s1 = Cache.stats cache in
+  Alcotest.(check int) "first evaluate misses" 1 s1.Cache.solver_misses;
+  Alcotest.(check int) "one solver resident" 1 s1.Cache.solvers_resident;
+  let states_cold = s1.Cache.game.Cyclesteal.Game.states in
+  Alcotest.(check bool) "cold solve expanded states" true (states_cold > 0);
+  let second = answer () in
+  let s2 = Cache.stats cache in
+  Alcotest.(check int) "second evaluate hits" 1 s2.Cache.solver_hits;
+  Alcotest.(check string) "warm response byte-identical" first second;
+  (* The warm evaluate answers from the resident memo: the replay may
+     touch a handful of fresh states, not re-solve the instance. *)
+  Alcotest.(check bool) "warm evaluate reuses the memo" true
+    (s2.Cache.game.Cyclesteal.Game.states - states_cold < states_cold / 2);
+  (* Un-cached evaluation answers identically (fresh solver, same
+     canonical states). *)
+  (match Protocol.handle req with
+   | Ok json ->
+     Alcotest.(check string) "matches direct evaluate" first
+       (Json.to_string json)
+   | Error e -> Alcotest.fail (Cyclesteal.Error.to_string e));
+  let json = Stats.to_json (Stats.create ()) ~cache:s2 in
+  (match Json.member "solver_cache" json with
+   | Some (Json.Obj fields) ->
+     List.iter
+       (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stats json has solver_cache.%s" name)
+            true (List.mem_assoc name fields))
+       [
+         "hits"; "misses"; "evictions"; "growths"; "solvers_resident";
+         "resident_bytes";
+       ]
+   | _ -> Alcotest.fail "stats json lacks a solver_cache object");
+  (match Json.member "game" json with
+   | Some (Json.Obj fields) ->
+     List.iter
+       (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stats json has game.%s" name)
+            true (List.mem_assoc name fields))
+       [ "states"; "memo_hits"; "plans_computed"; "parallel_fills" ]
+   | _ -> Alcotest.fail "stats json lacks a game object");
+  Cache.reset_counters cache;
+  let z = Cache.stats cache in
+  Alcotest.(check int) "reset zeroes solver hits" 0 z.Cache.solver_hits;
+  Alcotest.(check int) "reset zeroes solver misses" 0 z.Cache.solver_misses;
+  Alcotest.(check int) "reset zeroes game states" 0
+    z.Cache.game.Cyclesteal.Game.states
+
 (* --- A mixed workload ------------------------------------------------------ *)
 
 (* >= 100 mixed advise/schedule/evaluate/dp requests with varying
@@ -631,6 +696,8 @@ let () =
             test_cache_preload_groups_solves;
           Alcotest.test_case "kernel counters surfaced and reset" `Quick
             test_cache_kernel_counters;
+          Alcotest.test_case "resident game solver" `Quick
+            test_cache_resident_solver;
         ] );
       ( "batch",
         [

@@ -45,6 +45,21 @@ for f in $(find lib bin bench examples -type f \
   fi
 done
 
+# Solver gate: the raw minimax recursion (Game.make_solver and its
+# Ref retention) is an implementation detail of lib/core.  Call sites
+# go through Game.Solver so the memo is shared between guaranteed,
+# interior values and the adversary replay, and the service can keep
+# solvers resident.
+for f in $(find lib bin test bench examples -type f \
+             \( -name '*.ml' -o -name '*.mli' \) \
+             -not -path 'lib/core/*' | sort); do
+  if grep -nE 'Game\.make_solver' "$f" >/dev/null 2>&1; then
+    echo "solver: Game.make_solver in $f (build a Game.Solver.t instead):" >&2
+    grep -nE 'Game\.make_solver' "$f" | head -3 >&2
+    fail=1
+  fi
+done
+
 for f in $(find lib bin test bench examples -type f \
              \( -name '*.ml' -o -name '*.mli' -o -name 'dune' \) \
            | sort); do
