@@ -1352,6 +1352,414 @@ let game_solver_bench ?(out = "BENCH_game.json") () =
       close_out oc;
       Printf.printf "wrote %s\n\n" out)
 
+(* --- Serving throughput: serial vs concurrent, copying vs lean wire --------- *)
+
+(* A load generator for the cschedd socket front end (DESIGN.md S19).
+   K clients run P passes of a deterministic request script against an
+   in-process server over a Unix-domain socket, pipelining with a
+   bounded outstanding window.  Four series cross the two server axes —
+   serial (max_conns = 1) vs concurrent, and the seed's copying wire
+   loop vs the lean one — and every series must deliver each client
+   byte-identical responses, so the speedups are apples to apples.
+   Pass 0 is the cold-cache run; later passes measure the warm path. *)
+
+(* One client pass: connect, send the script as window-sized pipelined
+   groups (one write syscall per group, so client-side overhead does
+   not drown the per-request server cost being measured), read every
+   response, close.  [groups] is an array of (payload, line count). *)
+let serve_client_pass ~path ~groups =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.connect sock (Unix.ADDR_UNIX path);
+       let out = Buffer.create 65536 in
+       let chunk = Bytes.create 65536 in
+       let received = ref 0 in
+       let recv_some () =
+         match Unix.read sock chunk 0 (Bytes.length chunk) with
+         | 0 -> failwith "bench serve: server closed the connection early"
+         | n ->
+           for j = 0 to n - 1 do
+             if Bytes.get chunk j = '\n' then incr received
+           done;
+           Buffer.add_subbytes out chunk 0 n
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       in
+       let send payload =
+         let len = String.length payload in
+         let off = ref 0 in
+         while !off < len do
+           match Unix.write_substring sock payload !off (len - !off) with
+           | n -> off := !off + n
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         done
+       in
+       let target = ref 0 in
+       Array.iter
+         (fun (payload, count) ->
+            send payload;
+            target := !target + count;
+            while !received < !target do
+              recv_some ()
+            done)
+         groups;
+       Buffer.contents out)
+
+(* Chop one client's script into pipelined groups of [window] request
+   lines, each group pre-joined into a single write payload. *)
+let serve_groups ~window script =
+  let n = Array.length script in
+  let ngroups = (n + window - 1) / window in
+  Array.init ngroups (fun g ->
+      let lo = g * window in
+      let hi = min n (lo + window) in
+      let b = Buffer.create 4096 in
+      for i = lo to hi - 1 do
+        Buffer.add_string b script.(i);
+        Buffer.add_char b '\n'
+      done;
+      (Buffer.contents b, hi - lo))
+
+type serve_result = {
+  pass_seconds : float array;
+  outputs : string array;  (* per client; verified identical across passes *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  served : int;
+  io_errors : int;
+}
+
+(* Run one series: a fresh server and cache, [passes] supervised rounds
+   of all clients at once.  Slot 0 of the orchestration pool releases
+   passes and times them, slot 1 runs the server, the rest are clients.
+   Everything joins through the pool, so a failing client can never
+   leave the server running. *)
+let serve_run ~wire ~max_conns ~scripts ~passes ~window =
+  let clients = Array.length scripts in
+  let grouped = Array.map (serve_groups ~window) scripts in
+  let dir = Filename.temp_file "cschedd_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "s.sock" in
+  let cache = Service.Cache.create ~capacity:32 () in
+  let server = Service.Server.create ~wire ~max_conns ~cache () in
+  let pass_seconds = Array.make passes 0. in
+  let outputs = Array.make_matrix passes clients "" in
+  let go = Atomic.make 0 in
+  let finished = Atomic.make 0 in
+  let failed = Atomic.make false in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+       Csutil.Par.Pool.with_pool ~domains:(clients + 2) (fun pool ->
+           Csutil.Par.Pool.run pool (fun slot ->
+               if slot = 0 then
+                 Fun.protect
+                   ~finally:(fun () ->
+                     Service.Server.request_stop server;
+                     (* Unblock the accept loop. *)
+                     try
+                       let poke = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                       Unix.connect poke (Unix.ADDR_UNIX path);
+                       Unix.close poke
+                     with Unix.Unix_error _ -> ())
+                   (fun () ->
+                      let rec wait_socket tries =
+                        if tries = 0 then
+                          failwith "bench serve: socket never appeared"
+                        else if Sys.file_exists path then ()
+                        else begin
+                          Unix.sleepf 0.005;
+                          wait_socket (tries - 1)
+                        end
+                      in
+                      wait_socket 2000;
+                      for k = 0 to passes - 1 do
+                        let t0 = Unix.gettimeofday () in
+                        Atomic.set go (k + 1);
+                        while
+                          Atomic.get finished < (k + 1) * clients
+                          && not (Atomic.get failed)
+                        do
+                          Unix.sleepf 0.001
+                        done;
+                        pass_seconds.(k) <- Unix.gettimeofday () -. t0
+                      done)
+               else if slot = 1 then Service.Server.serve_socket server ~path
+               else begin
+                 let i = slot - 2 in
+                 try
+                   for k = 0 to passes - 1 do
+                     while Atomic.get go < k + 1 && not (Atomic.get failed) do
+                       Unix.sleepf 0.0005
+                     done;
+                     if not (Atomic.get failed) then begin
+                       outputs.(k).(i) <-
+                         serve_client_pass ~path ~groups:grouped.(i);
+                       ignore (Atomic.fetch_and_add finished 1)
+                     end
+                   done
+                 with e ->
+                   Atomic.set failed true;
+                   raise e
+               end)));
+  (* Each pass must produce the same bytes per client: responses are
+     deterministic, so cold-vs-warm may only differ in timing. *)
+  for k = 1 to passes - 1 do
+    for i = 0 to clients - 1 do
+      if not (String.equal outputs.(k).(i) outputs.(0).(i)) then begin
+        Printf.eprintf
+          "bench serve: client %d pass %d bytes differ from pass 0\n" i k;
+        exit 1
+      end
+    done
+  done;
+  let stats = Service.Server.stats server in
+  let expected =
+    passes * Array.fold_left (fun a s -> a + Array.length s) 0 scripts
+  in
+  let served = Service.Stats.requests stats in
+  if served <> expected then begin
+    Printf.eprintf "bench serve: served %d of %d requests\n" served expected;
+    exit 1
+  end;
+  let p50, p90, p99 =
+    match Service.Stats.percentiles stats with
+    | Some q -> q
+    | None ->
+      Printf.eprintf "bench serve: no latency histogram recorded\n";
+      exit 1
+  in
+  {
+    pass_seconds;
+    outputs = outputs.(0);
+    p50;
+    p90;
+    p99;
+    served;
+    io_errors = Service.Stats.io_errors stats;
+  }
+
+(* Warm-cache advise traffic: 16 distinct parameter tuples, so pass 0
+   pays the solves and every later pass hits the caches. *)
+let advise_scripts ~clients ~reqs =
+  Array.init clients (fun i ->
+      Array.init reqs (fun k ->
+          let t = ((37 * i) + k) mod 16 in
+          Printf.sprintf {|{"id":%d,"op":"advise","c":%d,"u":%d,"p":%d}|}
+            ((1_000_000 * (i + 1)) + k)
+            ((t mod 4) + 1)
+            (500 + (211 * (t / 4)))
+            ((t mod 3) + 1)))
+
+(* Mixed traffic: advise, dp and evaluate over a handful of tuples. *)
+let mixed_scripts ~clients ~reqs =
+  Array.init clients (fun i ->
+      Array.init reqs (fun k ->
+          let id = (1_000_000 * (i + 1)) + k in
+          match k mod 3 with
+          | 0 ->
+            Printf.sprintf {|{"id":%d,"op":"advise","c":%d,"u":%d,"p":%d}|}
+              id
+              ((k mod 3) + 1)
+              (400 + (157 * (k mod 4)))
+              ((k mod 2) + 1)
+          | 1 ->
+            Printf.sprintf {|{"id":%d,"op":"dp","c_ticks":%d,"l":%d,"p":%d}|}
+              id
+              (4 + (k mod 2))
+              (200 + (73 * (k mod 5)))
+              ((k mod 3) + 1)
+          | _ ->
+            Printf.sprintf
+              {|{"id":%d,"op":"evaluate","c":1,"u":%d,"p":%d,"policy":"nonadaptive"}|}
+              id
+              (60 + (19 * (k mod 4)))
+              ((k mod 2) + 1)))
+
+let wire_name = function
+  | Service.Server.Copying -> "copying"
+  | Service.Server.Lean -> "lean"
+
+(* The warm figure is the best pass after the cold one — the steady
+   state a long-lived daemon serves from. *)
+let warm_seconds r =
+  let w = ref infinity in
+  for k = 1 to Array.length r.pass_seconds - 1 do
+    if r.pass_seconds.(k) < !w then w := r.pass_seconds.(k)
+  done;
+  if !w = infinity then r.pass_seconds.(0) else !w
+
+let serve_instance ~label ~scripts ~passes ~window ~conc =
+  let clients = Array.length scripts in
+  let reqs_per_pass =
+    Array.fold_left (fun a s -> a + Array.length s) 0 scripts
+  in
+  let specs =
+    [
+      ("serial_copying", Service.Server.Copying, 1);
+      ("serial_lean", Service.Server.Lean, 1);
+      ("concurrent_copying", Service.Server.Copying, conc);
+      ("concurrent_lean", Service.Server.Lean, conc);
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, wire, mc) ->
+         (name, wire, mc, serve_run ~wire ~max_conns:mc ~scripts ~passes ~window))
+      specs
+  in
+  (* Byte identity across series: whatever the concurrency or wire
+     mode, every client reads the serial copying baseline's bytes. *)
+  let _, _, _, baseline = List.hd results in
+  List.iter
+    (fun (name, _, _, r) ->
+       Array.iteri
+         (fun i out ->
+            if not (String.equal out baseline.outputs.(i)) then begin
+              Printf.eprintf
+                "bench serve: client %d bytes differ between %s and \
+                 serial_copying\n"
+                i name;
+              exit 1
+            end)
+         r.outputs)
+    (List.tl results);
+  let base_warm = warm_seconds baseline in
+  let frps = float_of_int reqs_per_pass in
+  let series =
+    List.map
+      (fun (name, wire, mc, r) ->
+         let warm = warm_seconds r in
+         Service.Json.Obj
+           [
+             ("series", Service.Json.String name);
+             ("wire", Service.Json.String (wire_name wire));
+             ("max_conns", Service.Json.Int mc);
+             ("cold_seconds", Service.Json.Float r.pass_seconds.(0));
+             ("warm_seconds", Service.Json.Float warm);
+             ("cold_rps", Service.Json.Float (frps /. r.pass_seconds.(0)));
+             ("warm_rps", Service.Json.Float (frps /. warm));
+             ( "speedup_vs_serial_copying",
+               Service.Json.Float (base_warm /. warm) );
+             ("p50_s", Service.Json.Float r.p50);
+             ("p90_s", Service.Json.Float r.p90);
+             ("p99_s", Service.Json.Float r.p99);
+             ("requests", Service.Json.Int r.served);
+             ("io_errors", Service.Json.Int r.io_errors);
+           ])
+      results
+  in
+  let headline =
+    let _, _, _, lean = List.nth results 3 in
+    base_warm /. warm_seconds lean
+  in
+  let t =
+    Csutil.Table.create
+      ~title:
+        (Printf.sprintf
+           "%s -- %d clients x %d requests, window %d (%d passes)" label
+           clients (reqs_per_pass / clients) window passes)
+      ~aligns:Csutil.Table.[ Left; Right; Right; Right; Right; Right; Right ]
+      [ "series"; "cold s"; "warm s"; "warm req/s"; "speedup"; "p50 us"; "p99 us" ]
+  in
+  List.iter
+    (fun (name, _, _, r) ->
+       let warm = warm_seconds r in
+       Csutil.Table.add_row t
+         [
+           name;
+           Csutil.Table.cell_float ~prec:4 r.pass_seconds.(0);
+           Csutil.Table.cell_float ~prec:4 warm;
+           Printf.sprintf "%.3g" (frps /. warm);
+           Printf.sprintf "%.1fx" (base_warm /. warm);
+           Printf.sprintf "%.1f" (1e6 *. r.p50);
+           Printf.sprintf "%.1f" (1e6 *. r.p99);
+         ])
+    results;
+  emit t;
+  Printf.printf
+    "headline: concurrent lean vs serial copying, warm: %.1fx\n\n" headline;
+  Service.Json.Obj
+    [
+      ("workload", Service.Json.String label);
+      ("clients", Service.Json.Int clients);
+      ("requests_per_client", Service.Json.Int (reqs_per_pass / clients));
+      ("passes", Service.Json.Int passes);
+      ("window", Service.Json.Int window);
+      ("series", Service.Json.List series);
+      ("headline_speedup", Service.Json.Float headline);
+    ]
+
+(* Quick mode: the runtest smoke.  Two interleaved clients of mixed
+   traffic against the concurrent lean server must read bytes identical
+   to the serial copying baseline, inside a generous bound; no JSON. *)
+let serve_quick () =
+  let t0 = Unix.gettimeofday () in
+  let scripts = mixed_scripts ~clients:2 ~reqs:50 in
+  let base =
+    serve_run ~wire:Service.Server.Copying ~max_conns:1 ~scripts ~passes:2
+      ~window:16
+  in
+  let lean =
+    serve_run ~wire:Service.Server.Lean ~max_conns:2 ~scripts ~passes:2
+      ~window:16
+  in
+  Array.iteri
+    (fun i out ->
+       if not (String.equal out base.outputs.(i)) then begin
+         Printf.eprintf
+           "serve --quick: client %d bytes differ between concurrent lean \
+            and serial copying\n"
+           i;
+         exit 1
+       end)
+    lean.outputs;
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 120. then begin
+    Printf.eprintf "bench serve --quick exceeded its 120 s bound: %.1f s\n" dt;
+    exit 1
+  end;
+  Printf.printf
+    "serve --quick: concurrent lean server byte-identical to the serial\n\
+     copying baseline across %d interleaved clients (%d requests); %.2f s\n"
+    (Array.length scripts)
+    (base.served + lean.served)
+    dt
+
+let serve_bench ?(out = "BENCH_service.json") () =
+  heading
+    "Serving throughput -- serial vs concurrent, copying vs lean \
+     (BENCH_service.json)";
+  let conc = 8 in
+  let advise =
+    serve_instance ~label:"advise_warm"
+      ~scripts:(advise_scripts ~clients:conc ~reqs:1000)
+      ~passes:3 ~window:64 ~conc
+  in
+  let mixed =
+    serve_instance ~label:"mixed"
+      ~scripts:(mixed_scripts ~clients:conc ~reqs:400)
+      ~passes:2 ~window:64 ~conc
+  in
+  let doc =
+    Service.Json.Obj
+      [
+        ("bench", Service.Json.String "serve");
+        ( "domains_available",
+          Service.Json.Int (Csutil.Par.available_domains ()) );
+        ("instances", Service.Json.List [ advise; mixed ]);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Service.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n\n" out
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let tables () =
@@ -1404,11 +1812,15 @@ let () =
     | [ "game" ] -> game_solver_bench ()
     | [ "game"; "--quick" ] -> game_solver_quick ()
     | [ "game"; "--out"; path ] -> game_solver_bench ~out:path ()
+    | [ "serve" ] -> serve_bench ()
+    | [ "serve"; "--quick" ] -> serve_quick ()
+    | [ "serve"; "--out"; path ] -> serve_bench ~out:path ()
     | [ "bechamel" ] -> bechamel ()
     | other ->
       Printf.eprintf
         "usage: main.exe [--csv DIR] [tables | series eN | service | growth | \
-         dp [--quick | --out FILE] | game [--quick | --out FILE] | bechamel]\n";
+         dp [--quick | --out FILE] | game [--quick | --out FILE] | \
+         serve [--quick | --out FILE] | bechamel]\n";
       Printf.eprintf "got: %s\n" (String.concat " " other);
       exit 2
   in

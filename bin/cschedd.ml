@@ -3,34 +3,39 @@
    Serves the csched subcommands as a long-running service speaking
    newline-delimited JSON (see Service.Protocol): requests on stdin,
    responses on stdout, one per line, in request order — or over a
-   Unix-domain socket with --socket.  Solved DP tables are kept in a
-   sharded LRU cache so repeated and nearby (c, p, L) queries cost an
-   array read instead of an O(p L^2) solve; batches of independent
-   requests fan out across domains.
+   Unix-domain socket with --socket, serving up to --max-conns clients
+   concurrently.  Solved DP tables are kept in a sharded LRU cache so
+   repeated and nearby (c, p, L) queries cost an array read instead of
+   an O(p L^2) solve; batches of independent requests fan out across
+   domains, and every connection shares the one cache and resident
+   solver pool.
 
      echo '{"op":"advise","c":30,"u":86400,"p":3}' | cschedd
-     cschedd --socket /tmp/cschedd.sock &
+     cschedd --socket /tmp/cschedd.sock --max-conns 8 &
 
    On EOF or SIGINT the daemon finishes the in-flight batch, flushes
    its responses, and prints a session summary to stderr. *)
 
 open Cmdliner
 
-let serve socket_path batch_size domains cache_tables shards quiet =
+let serve socket_path batch_size domains max_conns cache_tables shards quiet =
   if batch_size < 1 then `Error (false, "batch must be >= 1")
   else if domains < 1 then `Error (false, "domains must be >= 1")
+  else if max_conns < 1 then `Error (false, "max-conns must be >= 1")
   else if cache_tables < 1 then `Error (false, "cache-tables must be >= 1")
   else if shards < 1 then `Error (false, "shards must be >= 1")
   else begin
-    (* One pool serves both layers: batches fan out over it, and a cold
-       solve inside a batch borrows it for the wavefront fill when the
-       fan-out has left it idle (busy pools degrade to inline fills). *)
+    (* One compute pool serves both layers: batches fan out over it, and
+       a cold solve inside a batch borrows it for the wavefront fill
+       when the fan-out has left it idle (busy pools degrade to inline
+       fills).  Connection workers live on a separate pool owned by the
+       server, so serving slots never compete with compute slots. *)
     let pool = Csutil.Par.Pool.create ~domains in
     let cache =
       Service.Cache.create ~shards ~pool ~capacity:cache_tables ()
     in
     let server =
-      Service.Server.create ~batch_size ~domains ~pool ~cache ()
+      Service.Server.create ~batch_size ~domains ~pool ~max_conns ~cache ()
     in
     let stop _ = Service.Server.request_stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -45,8 +50,8 @@ let serve socket_path batch_size domains cache_tables shards quiet =
 
 let socket_arg =
   let doc =
-    "Listen on a Unix-domain socket at $(docv) (clients served one at a \
-     time) instead of stdin/stdout."
+    "Listen on a Unix-domain socket at $(docv) (up to $(b,--max-conns) \
+     clients served concurrently) instead of stdin/stdout."
   in
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
 
@@ -63,6 +68,17 @@ let domains_arg =
     value
     & opt int (Csutil.Par.available_domains ())
     & info [ "domains" ] ~docv:"N" ~doc)
+
+let max_conns_arg =
+  let doc =
+    "Maximum socket clients served concurrently (only meaningful with \
+     $(b,--socket)); each connection batches independently against the \
+     shared cache."
+  in
+  Arg.(
+    value
+    & opt int (Csutil.Par.available_domains ())
+    & info [ "max-conns" ] ~docv:"N" ~doc)
 
 let cache_tables_arg =
   let doc = "Maximum solved DP tables kept resident (LRU per shard)." in
@@ -85,7 +101,7 @@ let () =
   let term =
     Term.(
       ret
-        (const serve $ socket_arg $ batch_arg $ domains_arg
+        (const serve $ socket_arg $ batch_arg $ domains_arg $ max_conns_arg
          $ cache_tables_arg $ shards_arg $ quiet_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,6 +1,8 @@
-(* Two-phase batch evaluation: preload distinct DP tables, then fan the
-   requests across domains.  All shared state touched from worker
-   domains is the cache (internally locked); everything else is pure. *)
+(* Batch evaluation in phases: parse the raw lines in the parallel
+   phase (the accept thread never JSON-decodes), preload distinct DP
+   tables, then fan the requests across domains.  All shared state
+   touched from worker domains is the cache (internally locked);
+   everything else is pure. *)
 
 type outcome = {
   envelope : Protocol.envelope;
@@ -16,7 +18,15 @@ let dp_keys envelopes =
         Some (Cache.canonical ~c:c_ticks ~p ~l)
       | _ -> None)
 
-let run ?pool ?domains ?stats_payload ~cache envelopes =
+let has_stats_op envelopes =
+  Array.exists
+    (fun (e : Protocol.envelope) ->
+       match e.Protocol.request with
+       | Ok (Protocol.Stats _) -> true
+       | _ -> false)
+    envelopes
+
+let run_parsed ?pool ?domains ?stats_payload ~cache envelopes =
   Cache.preload cache ~keys:(dp_keys envelopes) ?domains ();
   let evaluate (e : Protocol.envelope) =
     match e.Protocol.request with
@@ -29,3 +39,14 @@ let run ?pool ?domains ?stats_payload ~cache envelopes =
       { envelope = e; result; latency = Unix.gettimeofday () -. t0 }
   in
   Csutil.Par.map ?pool ?domains evaluate envelopes
+
+let run ?pool ?domains ?stats_payload ~cache lines =
+  let envelopes = Csutil.Par.map ?pool ?domains Protocol.parse_line lines in
+  (* The stats snapshot is only worth its Cache.stats fold when the
+     batch actually carries a stats op — which almost none do. *)
+  let payload =
+    match stats_payload with
+    | Some snapshot when has_stats_op envelopes -> Some (snapshot ())
+    | _ -> None
+  in
+  run_parsed ?pool ?domains ?stats_payload:payload ~cache envelopes

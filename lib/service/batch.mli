@@ -1,13 +1,15 @@
 (** Batched request evaluation.
 
-    A batch is processed in two phases.  First the distinct canonical
+    A batch is processed in phases.  {!run} first parses the raw
+    request lines fanned across domains with {!Csutil.Par.map} — the
+    accept/read loop never JSON-decodes.  Then the distinct canonical
     DP-table keys the batch needs but the cache lacks are solved in
     parallel ({!Cache.preload}) — this is where same-key queries are
     grouped, so a batch of a hundred [dp] requests over nearby [(c, p,
-    L)] pays each canonical solve exactly once.  Then every request is
-    evaluated through {!Protocol.handle}, fanned across domains with
-    {!Csutil.Par.map}; results come back in request order, so response
-    order always matches request order regardless of the domain count. *)
+    L)] pays each canonical solve exactly once.  Finally every request
+    is evaluated through {!Protocol.handle}, again fanned across
+    domains; results come back in request order, so response order
+    always matches request order regardless of the domain count. *)
 
 type outcome = {
   envelope : Protocol.envelope;
@@ -22,14 +24,27 @@ val dp_keys : Protocol.envelope array -> Cache.key list
 val run :
   ?pool:Csutil.Par.Pool.t ->
   ?domains:int ->
+  ?stats_payload:(unit -> Json.t) ->
+  cache:Cache.t ->
+  string array ->
+  outcome array
+(** Parse and evaluate a batch of raw request lines.  Parse errors
+    become [Error] outcomes with zero latency.  [Stats] requests answer
+    with [stats_payload ()] — forced at most once per batch, and only
+    when the batch actually contains a [stats] op, so ordinary batches
+    never pay for the counter snapshot; without [stats_payload] they
+    answer with {!Protocol.handle}'s error.  The result array is
+    index-aligned with the input.  [pool] carries the fan-out (default:
+    the shared pool); cold solves inside it fall back to inline fills
+    when they find the pool busy. *)
+
+val run_parsed :
+  ?pool:Csutil.Par.Pool.t ->
+  ?domains:int ->
   ?stats_payload:Json.t ->
   cache:Cache.t ->
   Protocol.envelope array ->
   outcome array
-(** Evaluate a batch.  Parse errors become [Error] outcomes with zero
-    latency.  [Stats] requests answer with [stats_payload] (the daemon
-    snapshots its counters once per batch, before the parallel phase);
-    without it they answer with {!Protocol.handle}'s error.  The result
-    array is index-aligned with the input.  [pool] carries the fan-out
-    (default: the shared pool); cold solves inside it fall back to
-    inline fills when they find the pool busy. *)
+(** The evaluation phases alone (preload + fan-out), for callers that
+    already hold parsed envelopes.  [stats_payload] here is the forced
+    snapshot value. *)

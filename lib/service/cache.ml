@@ -18,7 +18,13 @@
    grow publishes a fresh snapshot and never mutates published cells.
    Cold solves triggered by a lone query also run under the lock; the
    batch engine keeps its parallelism by preloading distinct tables
-   outside the locks before fanning queries out. *)
+   outside the locks before fanning queries out.
+
+   The same locking discipline is what lets the concurrent server hand
+   one cache to every connection worker: shard mutexes serialize the
+   metadata, published tables are immutable, so cross-connection
+   sharing needs no extra coordination and a table solved for one
+   client is a hit for the next. *)
 
 open Cyclesteal
 

@@ -18,8 +18,22 @@ type t =
 (* --- printing ----------------------------------------------------------- *)
 
 (* Shortest decimal representation that reads back to the same float;
-   %.17g always round-trips, shorter forms are preferred when exact. *)
-let float_repr x =
+   %.17g always round-trips, shorter forms are preferred when exact.
+
+   Float rendering is the daemon's serialization hot spot (an advise
+   response is mostly floats), so the chain below calls the runtime's
+   formatter directly instead of going through the Printf machinery,
+   zeros and integral magnitudes take a [string_of_int] fast path, and
+   each domain keeps a small direct-mapped memo of recent renderings —
+   warm serving traffic re-prints the same handful of bounds over and
+   over.  Every path is byte-identical to the plain
+   sprintf-per-attempt chain, retained as {!Ref.float_repr} (the
+   property-test reference and the serving benchmark's copying
+   baseline). *)
+
+external format_float : string -> float -> string = "caml_format_float"
+
+let float_repr_ref x =
   if not (Float.is_finite x) then "null"
   else begin
     let exact fmt =
@@ -34,53 +48,145 @@ let float_repr x =
        | None -> Printf.sprintf "%.17g" x)
   end
 
+let float_repr_uncached x =
+  (* Integral magnitudes below 1e12 stay in fixed notation under %.12g
+     (12 significant digits, trailing zeros stripped), which is exactly
+     [string_of_int]'s rendering; zeros are handled by the caller so
+     the sign of -0. is preserved. *)
+  if Float.is_integer x && Float.abs x < 1e12 then
+    string_of_int (int_of_float x)
+  else begin
+    let s = format_float "%.12g" x in
+    if float_of_string s = x then s
+    else begin
+      let s = format_float "%.15g" x in
+      if float_of_string s = x then s else format_float "%.17g" x
+    end
+  end
+
+(* Direct-mapped per-domain memo keyed by the float's bits.  Entries
+   are immutable pairs replaced whole, and the zero bit patterns (the
+   initial entries) never reach the memo, so a stale slot can only
+   miss, never answer wrong. *)
+let repr_memo_size = 1024
+
+let repr_memo_key =
+  Domain.DLS.new_key (fun () -> Array.make repr_memo_size (0L, ""))
+
+let float_repr x =
+  if not (Float.is_finite x) then "null"
+  else if x = 0. then (if 1. /. x < 0. then "-0" else "0")
+  else begin
+    let bits = Int64.bits_of_float x in
+    let memo = Domain.DLS.get repr_memo_key in
+    let h = Int64.to_int bits in
+    let idx = (h lxor (h asr 21) lxor (h asr 43)) land (repr_memo_size - 1) in
+    let b, s = Array.unsafe_get memo idx in
+    if Int64.equal b bits then s
+    else begin
+      let s = float_repr_uncached x in
+      Array.unsafe_set memo idx (bits, s);
+      s
+    end
+  end
+
 let escape_string buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun ch ->
-       match ch with
-       | '"' -> Buffer.add_string buf "\\\""
-       | '\\' -> Buffer.add_string buf "\\\\"
-       | '\n' -> Buffer.add_string buf "\\n"
-       | '\r' -> Buffer.add_string buf "\\r"
-       | '\t' -> Buffer.add_string buf "\\t"
-       | '\b' -> Buffer.add_string buf "\\b"
-       | '\012' -> Buffer.add_string buf "\\f"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  (* Common case: nothing to escape — one blit instead of a
+     char-at-a-time walk. *)
+  let rec clean i =
+    i >= n
+    ||
+    match String.unsafe_get s i with
+    | '"' | '\\' -> false
+    | c -> Char.code c >= 0x20 && clean (i + 1)
+  in
+  if clean 0 then Buffer.add_string buf s
+  else
+    String.iter
+      (fun ch ->
+         match ch with
+         | '"' -> Buffer.add_string buf "\\\""
+         | '\\' -> Buffer.add_string buf "\\\\"
+         | '\n' -> Buffer.add_string buf "\\n"
+         | '\r' -> Buffer.add_string buf "\\r"
+         | '\t' -> Buffer.add_string buf "\\t"
+         | '\b' -> Buffer.add_string buf "\\b"
+         | '\012' -> Buffer.add_string buf "\\f"
+         | c when Char.code c < 0x20 ->
+           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+         | c -> Buffer.add_char buf c)
+      s;
   Buffer.add_char buf '"'
+
+let rec add_to_buffer buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float x -> Buffer.add_string buf (float_repr x)
+  | String s -> escape_string buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+         if i > 0 then Buffer.add_char buf ',';
+         add_to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+         if i > 0 then Buffer.add_char buf ',';
+         escape_string buf k;
+         Buffer.add_char buf ':';
+         add_to_buffer buf item)
+      fields;
+    Buffer.add_char buf '}'
 
 let to_string v =
   let buf = Buffer.create 256 in
-  let rec emit = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int n -> Buffer.add_string buf (string_of_int n)
-    | Float x -> Buffer.add_string buf (float_repr x)
-    | String s -> escape_string buf s
-    | List items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i item ->
-           if i > 0 then Buffer.add_char buf ',';
-           emit item)
-        items;
-      Buffer.add_char buf ']'
-    | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, item) ->
-           if i > 0 then Buffer.add_char buf ',';
-           escape_string buf k;
-           Buffer.add_char buf ':';
-           emit item)
-        fields;
-      Buffer.add_char buf '}'
-  in
-  emit v;
+  add_to_buffer buf v;
   Buffer.contents buf
+
+(* The pre-optimization printer, kept verbatim so the fast path above
+   has an in-tree reference to be property-tested against, and so
+   `bench serve` can price the sprintf chain as its copying baseline. *)
+module Ref = struct
+  let float_repr = float_repr_ref
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    let rec emit = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int n -> Buffer.add_string buf (string_of_int n)
+      | Float x -> Buffer.add_string buf (float_repr x)
+      | String s -> escape_string buf s
+      | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+             if i > 0 then Buffer.add_char buf ',';
+             emit item)
+          items;
+        Buffer.add_char buf ']'
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+             if i > 0 then Buffer.add_char buf ',';
+             escape_string buf k;
+             Buffer.add_char buf ':';
+             emit item)
+          fields;
+        Buffer.add_char buf '}'
+    in
+    emit v;
+    Buffer.contents buf
+end
 
 (* --- parsing ------------------------------------------------------------ *)
 

@@ -20,6 +20,20 @@ val to_string : t -> string
 (** Compact single-line rendering.  Non-finite floats render as [null]
     (JSON has no NaN/infinity). *)
 
+val add_to_buffer : Buffer.t -> t -> unit
+(** Emit {!to_string}'s bytes straight into [buf] — the daemon's lean
+    wire path serializes a whole batch into one reused per-connection
+    buffer instead of allocating a string per response. *)
+
+(** The pre-optimization printer ([Printf]-chained float rendering, no
+    per-domain memo), byte-identical to the fast path by construction
+    and by property test.  [bench serve] uses it as the copying
+    baseline; nothing else should. *)
+module Ref : sig
+  val float_repr : float -> string
+  val to_string : t -> string
+end
+
 val of_string : string -> (t, string) result
 (** Parse one JSON document; trailing garbage is an error.  Numbers
     without fraction or exponent that fit in an OCaml [int] parse as

@@ -382,13 +382,22 @@ let error_to_json e =
       ("message", Json.String (Error.to_string e));
     ]
 
-let response_to_string ~id result =
-  Json.to_string
-    (Json.Obj
-       (match result with
-        | Ok payload ->
-          [ ("id", id); ("ok", Json.Bool true); ("result", payload) ]
-        | Error e ->
-          [ ("id", id); ("ok", Json.Bool false); ("error", error_to_json e) ]))
+let response_to_json ~id result =
+  Json.Obj
+    (match result with
+     | Ok payload ->
+       [ ("id", id); ("ok", Json.Bool true); ("result", payload) ]
+     | Error e ->
+       [ ("id", id); ("ok", Json.Bool false); ("error", error_to_json e) ])
+
+let add_response buf ~id result = Json.add_to_buffer buf (response_to_json ~id result)
+
+let response_to_string ~id result = Json.to_string (response_to_json ~id result)
+
+(* The pre-optimization serializer (sprintf float chain, a fresh string
+   per response): byte-identical to {!response_to_string}; the serving
+   benchmark's copying baseline. *)
+let response_to_string_ref ~id result =
+  Json.Ref.to_string (response_to_json ~id result)
 
 let error_response ~id e = response_to_string ~id (Error e)

@@ -5,7 +5,14 @@
    batch's first request) and "give me the next line only if it is
    already here" (the opportunistic drain that forms the rest of the
    batch).  in_channel buffering cannot answer the second question, so
-   the reader owns its buffer and uses [Unix.select] to probe. *)
+   the reader owns its buffer and uses [Unix.select] to probe.
+
+   The socket front end accepts concurrently: an acceptor slot feeds a
+   bounded worker pool through an fd queue, every worker sharing the
+   one cache and stats accumulator.  Each connection still sees its
+   responses in its own request order — batching never crosses
+   connections — so the bytes a client reads are identical to what a
+   serial server would have sent it. *)
 
 type reader = {
   fd : Unix.file_descr;
@@ -13,9 +20,19 @@ type reader = {
   mutable start : int;  (* first unconsumed byte *)
   mutable len : int;    (* unconsumed byte count *)
   mutable eof : bool;
+  mutable discarding : bool;
+      (* inside an overlong line: drop bytes through the next newline *)
 }
 
-let reader fd = { fd; buf = Bytes.create 65536; start = 0; len = 0; eof = false }
+let reader fd =
+  {
+    fd;
+    buf = Bytes.create 65536;
+    start = 0;
+    len = 0;
+    eof = false;
+    discarding = false;
+  }
 
 (* Slide pending bytes to the front so there is room to refill. *)
 let compact r =
@@ -28,10 +45,7 @@ let refill ~blocking r =
   if r.eof then false
   else begin
     compact r;
-    if r.len = Bytes.length r.buf then
-      (* Line longer than the buffer: grow never — treat the overlong
-         chunk as a line; the parser will reject it cleanly. *)
-      false
+    if r.len = Bytes.length r.buf then false
     else begin
       let ready =
         blocking
@@ -54,13 +68,15 @@ let refill ~blocking r =
     end
   end
 
+(* Bytes past [start + len] are stale leftovers of earlier lines, so a
+   newline found there does not count. *)
 let find_newline r =
-  let rec scan i =
-    if i >= r.start + r.len then None
-    else if Bytes.get r.buf i = '\n' then Some i
-    else scan (i + 1)
-  in
-  scan r.start
+  if r.len = 0 then None
+  else
+    match Bytes.index_from r.buf r.start '\n' with
+    | i when i < r.start + r.len -> Some i
+    | _ -> None
+    | exception Not_found -> None
 
 let take_line r upto =
   let raw_len = upto - r.start in
@@ -73,39 +89,78 @@ let take_line r upto =
   r.start <- upto + 1;
   line
 
-(* [next_line ~blocking ~should_stop r]: the next input line, [None] on
-   EOF, or — nonblocking — when no complete line is buffered or
-   readable.  [should_stop] aborts a blocking wait between reads. *)
+(* The final unterminated line at EOF. *)
+let take_final r =
+  let line = Bytes.sub_string r.buf r.start r.len in
+  r.len <- 0;
+  line
+
+type next =
+  | Line of string
+  | Overlong
+      (* a line exceeded the buffer; its bytes were discarded through
+         the terminating newline (or EOF) — answer with one parse error *)
+  | No_line  (* EOF, or — nonblocking — no complete line is available *)
+
+(* [next_line ~blocking ~should_stop r]: the next event on the input.
+   [should_stop] aborts a blocking wait between reads. *)
 let rec next_line ~blocking ~should_stop r =
-  match find_newline r with
-  | Some i -> Some (take_line r i)
-  | None ->
-    if r.len = Bytes.length r.buf then begin
-      (* Overlong line filled the whole buffer: surface the fragment as
-         a line; the JSON parser rejects it with a clean error. *)
-      let line = Bytes.sub_string r.buf r.start r.len in
+  if r.discarding then begin
+    match find_newline r with
+    | Some i ->
+      r.len <- r.len - (i + 1 - r.start);
+      r.start <- i + 1;
+      r.discarding <- false;
+      Overlong
+    | None ->
+      (* None of the buffered bytes belong to a parseable request. *)
       r.start <- 0;
       r.len <- 0;
-      Some line
-    end
-    else if should_stop () then
-      if r.len > 0 && r.eof then begin
-        (* final unterminated line *)
-        let line = Bytes.sub_string r.buf r.start r.len in
-        r.len <- 0;
-        Some line
+      if r.eof then begin
+        r.discarding <- false;
+        Overlong
       end
-      else None
-    else if refill ~blocking r then next_line ~blocking ~should_stop r
-    else if r.eof && r.len > 0 then begin
-      let line = Bytes.sub_string r.buf r.start r.len in
-      r.len <- 0;
-      Some line
-    end
-    else if r.eof || not blocking then None
-    else next_line ~blocking ~should_stop r
+      else if should_stop () then No_line
+      else if refill ~blocking r then next_line ~blocking ~should_stop r
+      else if r.eof then begin
+        r.discarding <- false;
+        Overlong
+      end
+      else if blocking then next_line ~blocking ~should_stop r
+      else No_line
+  end
+  else
+    match find_newline r with
+    | Some i -> Line (take_line r i)
+    | None ->
+      if r.len = Bytes.length r.buf then begin
+        (* A line longer than the whole buffer: enter discard mode and
+           report the line exactly once, however many refills it spans. *)
+        r.start <- 0;
+        r.len <- 0;
+        r.discarding <- true;
+        next_line ~blocking ~should_stop r
+      end
+      else if should_stop () then
+        if r.len > 0 && r.eof then Line (take_final r) else No_line
+      else if refill ~blocking r then next_line ~blocking ~should_stop r
+      else if r.eof && r.len > 0 then Line (take_final r)
+      else if r.eof || not blocking then No_line
+      else next_line ~blocking ~should_stop r
 
 let write_all fd s =
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    match Unix.write_substring fd s !written (n - !written) with
+    | k -> written := !written + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* The pre-optimization write path, copying the string into fresh
+   [Bytes] first.  Kept as the [Copying] wire mode's writer so the
+   serving bench can measure exactly what the lean loop retired. *)
+let write_all_copying fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
   let written = ref 0 in
@@ -117,27 +172,43 @@ let write_all fd s =
 
 (* --- server ------------------------------------------------------------- *)
 
+type wire = Copying | Lean
+
 type t = {
   batch_size : int;
   domains : int;
   pool : Csutil.Par.Pool.t option;
+  max_conns : int;
+  wire : wire;
   cache : Cache.t;
   stats : Stats.t;
   stop : bool Atomic.t;
 }
 
-let create ?(batch_size = 64) ?domains ?pool ~cache () =
-  if batch_size < 1 then Cyclesteal.Error.invalid "Server.create: batch_size must be >= 1";
+let create ?(batch_size = 64) ?domains ?pool ?(max_conns = 1) ?(wire = Lean)
+    ~cache () =
+  if batch_size < 1 then
+    Cyclesteal.Error.invalid "Server.create: batch_size must be >= 1";
+  if max_conns < 1 then
+    Cyclesteal.Error.invalid "Server.create: max_conns must be >= 1";
   let domains =
-    match domains with
-    | None -> Csutil.Par.available_domains ()
-    | Some d when d >= 1 -> d
-    | Some _ -> Cyclesteal.Error.invalid "Server.create: domains must be >= 1"
+    match (domains, pool) with
+    | Some d, _ when d < 1 ->
+      Cyclesteal.Error.invalid "Server.create: domains must be >= 1"
+    | Some d, Some p when d > Csutil.Par.Pool.size p ->
+      Cyclesteal.Error.invalidf
+        "Server.create: domains (%d) exceeds the pool's %d slots" d
+        (Csutil.Par.Pool.size p)
+    | Some d, _ -> d
+    | None, Some p -> Csutil.Par.Pool.size p
+    | None, None -> Csutil.Par.available_domains ()
   in
   {
     batch_size;
     domains;
     pool;
+    max_conns;
+    wire;
     cache;
     stats = Stats.create ();
     stop = Atomic.make false;
@@ -150,82 +221,252 @@ let stopped t = Atomic.get t.stop
 
 let summary t = Stats.summary t.stats ~cache:(Cache.stats t.cache)
 
+let overlong_error =
+  Cyclesteal.Error.Invalid_params
+    "request line exceeds the 65536-byte limit; discarded through the next \
+     newline"
+
 (* Read one batch: block for the first line, then drain whatever is
-   already available, up to the batch size. *)
+   already available, up to the batch size.  An overlong line ends the
+   batch early; the caller answers it with one error response after the
+   batch's own responses, so the wire order still matches arrival
+   order. *)
 let read_batch t r =
   let should_stop () = stopped t in
   match next_line ~blocking:true ~should_stop r with
-  | None -> []
-  | Some first ->
+  | No_line -> ([], false)
+  | Overlong -> ([], true)
+  | Line first ->
     let rec drain acc k =
-      if k >= t.batch_size then List.rev acc
+      if k >= t.batch_size then (List.rev acc, false)
       else
         match next_line ~blocking:false ~should_stop r with
-        | Some line -> drain (line :: acc) (k + 1)
-        | None -> List.rev acc
+        | Line line -> drain (line :: acc) (k + 1)
+        | Overlong -> (List.rev acc, true)
+        | No_line -> (List.rev acc, false)
     in
     drain [ first ] 1
 
-let serve_fd t in_fd out_fd =
+let op_of (o : Batch.outcome) =
+  match o.Batch.envelope.Protocol.request with
+  | Ok req -> Protocol.op_name req
+  | Error _ -> "invalid"
+
+(* A stats reset applies once the batch that carried it is fully
+   accounted and written, so the response still reflects the pre-reset
+   counters. *)
+let finish_batch t outcomes =
+  let wants_reset =
+    Array.exists
+      (fun (o : Batch.outcome) ->
+         match o.Batch.envelope.Protocol.request with
+         | Ok (Protocol.Stats { reset }) -> reset
+         | _ -> false)
+      outcomes
+  in
+  if wants_reset then begin
+    Stats.reset t.stats;
+    Cache.reset_counters t.cache
+  end
+
+(* The lean wire loop: requests parse inside the batch's parallel
+   phase, responses serialize straight into one per-connection buffer
+   reused across batches, the stats snapshot is computed only for
+   batches that carry a [stats] op, and the write syscall reads the
+   string without an intermediate [Bytes] copy. *)
+let serve_lean t in_fd out_fd =
+  let r = reader in_fd in
+  let out = Buffer.create 8192 in
+  let stats_snapshot () = Stats.to_json t.stats ~cache:(Cache.stats t.cache) in
+  let rec loop () =
+    if stopped t then ()
+    else begin
+      let lines, overlong = read_batch t r in
+      if lines = [] && not overlong then ()
+      else begin
+        Buffer.clear out;
+        let outcomes =
+          match lines with
+          | [] -> [||]
+          | lines ->
+            let lines = Array.of_list lines in
+            Stats.add_batch t.stats ~size:(Array.length lines);
+            Batch.run ?pool:t.pool ~domains:t.domains
+              ~stats_payload:stats_snapshot ~cache:t.cache lines
+        in
+        Array.iter
+          (fun (o : Batch.outcome) ->
+             let before = Buffer.length out in
+             Protocol.add_response out ~id:o.Batch.envelope.Protocol.id
+               o.Batch.result;
+             Buffer.add_char out '\n';
+             Stats.add t.stats
+               {
+                 Stats.op = op_of o;
+                 ok = Result.is_ok o.Batch.result;
+                 latency = o.Batch.latency;
+                 bytes = Buffer.length out - before;
+               })
+          outcomes;
+        if overlong then begin
+          let before = Buffer.length out in
+          Protocol.add_response out ~id:Json.Null (Error overlong_error);
+          Buffer.add_char out '\n';
+          Stats.add t.stats
+            {
+              Stats.op = "invalid";
+              ok = false;
+              latency = 0.;
+              bytes = Buffer.length out - before;
+            }
+        end;
+        write_all out_fd (Buffer.contents out);
+        finish_batch t outcomes;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* The pre-optimization wire loop, kept as the serving bench's
+   baseline: serial parse on the connection thread, an eager per-batch
+   stats snapshot, one response string per line through the reference
+   serializer, a fresh buffer per batch, and a [Bytes] copy before
+   every write.  Byte-for-byte the same output as [serve_lean]. *)
+let serve_copying t in_fd out_fd =
   let r = reader in_fd in
   let rec loop () =
     if stopped t then ()
-    else
-      match read_batch t r with
-      | [] -> ()
-      | lines ->
-        let envelopes =
-          Array.of_list (List.map Protocol.parse_line lines)
-        in
-        Stats.add_batch t.stats ~size:(Array.length envelopes);
-        let stats_payload =
-          Stats.to_json t.stats ~cache:(Cache.stats t.cache)
-        in
+    else begin
+      let lines, overlong = read_batch t r in
+      if lines = [] && not overlong then ()
+      else begin
         let outcomes =
-          Batch.run ?pool:t.pool ~domains:t.domains ~stats_payload
-            ~cache:t.cache envelopes
+          match lines with
+          | [] -> [||]
+          | lines ->
+            let envelopes =
+              Array.of_list (List.map Protocol.parse_line lines)
+            in
+            Stats.add_batch t.stats ~size:(Array.length envelopes);
+            let stats_payload =
+              Stats.to_json t.stats ~cache:(Cache.stats t.cache)
+            in
+            Batch.run_parsed ?pool:t.pool ~domains:t.domains ~stats_payload
+              ~cache:t.cache envelopes
         in
         let buf = Buffer.create 4096 in
         Array.iter
           (fun (o : Batch.outcome) ->
              let line =
-               Protocol.response_to_string ~id:o.Batch.envelope.Protocol.id
-                 o.Batch.result
+               Protocol.response_to_string_ref
+                 ~id:o.Batch.envelope.Protocol.id o.Batch.result
              in
              Buffer.add_string buf line;
              Buffer.add_char buf '\n';
              Stats.add t.stats
                {
-                 Stats.op =
-                   (match o.Batch.envelope.Protocol.request with
-                    | Ok req -> Protocol.op_name req
-                    | Error _ -> "invalid");
+                 Stats.op = op_of o;
                  ok = Result.is_ok o.Batch.result;
                  latency = o.Batch.latency;
                  bytes = String.length line + 1;
                })
           outcomes;
-        write_all out_fd (Buffer.contents buf);
-        (* A stats reset applies once the batch that carried it is fully
-           accounted and written, so the response still reflects the
-           pre-reset counters. *)
-        let wants_reset =
-          Array.exists
-            (fun (o : Batch.outcome) ->
-               match o.Batch.envelope.Protocol.request with
-               | Ok (Protocol.Stats { reset }) -> reset
-               | _ -> false)
-            outcomes
-        in
-        if wants_reset then begin
-          Stats.reset t.stats;
-          Cache.reset_counters t.cache
+        if overlong then begin
+          let line =
+            Protocol.response_to_string_ref ~id:Json.Null
+              (Error overlong_error)
+          in
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          Stats.add t.stats
+            {
+              Stats.op = "invalid";
+              ok = false;
+              latency = 0.;
+              bytes = String.length line + 1;
+            }
         end;
+        write_all_copying out_fd (Buffer.contents buf);
+        finish_batch t outcomes;
         loop ()
+      end
+    end
   in
   loop ()
 
+let serve_fd t in_fd out_fd =
+  match t.wire with
+  | Lean -> serve_lean t in_fd out_fd
+  | Copying -> serve_copying t in_fd out_fd
+
+(* Without this, a client that disconnects between our read and our
+   write turns the write into a process-killing SIGPIPE instead of an
+   EPIPE error we can count. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+(* One connection, from a worker's point of view.  A client that
+   disconnects mid-batch surfaces as EPIPE/ECONNRESET from a read or a
+   write; that ends this connection only — count it and keep the worker
+   alive for the next accept. *)
+let handle_connection t conn =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+       try serve_fd t conn conn
+       with Unix.Unix_error _ -> Stats.add_io_error t.stats)
+
+(* A small blocking fd queue between the acceptor and the connection
+   workers.  [pop] keeps draining after [close], so connections
+   accepted just before shutdown are still closed by a worker. *)
+module Conn_queue = struct
+  type 'a t = {
+    lock : Mutex.t;
+    nonempty : Condition.t;
+    items : 'a Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      items = Queue.create ();
+      closed = false;
+    }
+
+  let push q x =
+    Mutex.lock q.lock;
+    Queue.push x q.items;
+    Condition.signal q.nonempty;
+    Mutex.unlock q.lock
+
+  let close q =
+    Mutex.lock q.lock;
+    q.closed <- true;
+    Condition.broadcast q.nonempty;
+    Mutex.unlock q.lock
+
+  let pop q =
+    Mutex.lock q.lock;
+    let rec wait () =
+      if not (Queue.is_empty q.items) then Some (Queue.pop q.items)
+      else if q.closed then None
+      else begin
+        Condition.wait q.nonempty q.lock;
+        wait ()
+      end
+    in
+    let x = wait () in
+    Mutex.unlock q.lock;
+    x
+end
+
 let serve_socket t ~path =
+  Lazy.force ignore_sigpipe;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () ->
@@ -235,17 +476,63 @@ let serve_socket t ~path =
        (* Replace a stale socket file from a previous run. *)
        (try Unix.unlink path with Unix.Unix_error _ -> ());
        Unix.bind sock (Unix.ADDR_UNIX path);
-       Unix.listen sock 8;
-       let rec accept_loop () =
-         if not (stopped t) then begin
+       Unix.listen sock (Stdlib.max 8 (2 * t.max_conns));
+       (* The next connection, [None] once stopped.  Transient accept
+          failures (the client gave up before the handshake, fd
+          exhaustion) are counted and retried — the listener must
+          outlive any single client. *)
+       let rec accept_next () =
+         if stopped t then None
+         else
            match Unix.accept sock with
-           | conn, _ ->
-             Fun.protect
-               ~finally:(fun () ->
-                 try Unix.close conn with Unix.Unix_error _ -> ())
-               (fun () -> serve_fd t conn conn);
-             accept_loop ()
-           | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-         end
+           | conn, _ -> Some conn
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_next ()
+           | exception
+               Unix.Unix_error
+                 ((Unix.ECONNABORTED | Unix.EMFILE | Unix.ENFILE), _, _) ->
+             Stats.add_io_error t.stats;
+             accept_next ()
        in
-       accept_loop ())
+       if t.max_conns = 1 then begin
+         (* Serial serving: accept, serve to EOF, accept again. *)
+         let rec accept_loop () =
+           match accept_next () with
+           | None -> ()
+           | Some conn ->
+             handle_connection t conn;
+             accept_loop ()
+         in
+         accept_loop ()
+       end
+       else begin
+         (* Concurrent serving: slot 0 of a dedicated pool accepts and
+            feeds the fd queue; each other slot serves one connection
+            at a time.  This pool only ever carries connections — batch
+            fan-out still goes through [t.pool] (or the shared pool),
+            so compute jobs keep their inline-fallback behavior and the
+            two layers cannot deadlock each other. *)
+         let queue = Conn_queue.create () in
+         Csutil.Par.Pool.with_pool ~domains:(t.max_conns + 1)
+           (fun conn_pool ->
+              Csutil.Par.Pool.run conn_pool (fun slot ->
+                  if slot = 0 then begin
+                    let rec pump () =
+                      match accept_next () with
+                      | None -> Conn_queue.close queue
+                      | Some conn ->
+                        Conn_queue.push queue conn;
+                        pump ()
+                    in
+                    pump ()
+                  end
+                  else begin
+                    let rec work () =
+                      match Conn_queue.pop queue with
+                      | None -> ()
+                      | Some conn ->
+                        handle_connection t conn;
+                        work ()
+                    in
+                    work ()
+                  end))
+       end)

@@ -8,25 +8,57 @@
     answer per line without waiting for a full batch.  Responses are
     written in request order and flushed once per batch.
 
+    The socket front end serves up to [max_conns] clients concurrently:
+    an acceptor feeds a bounded worker pool, every worker sharing the
+    one cache, resident-solver pool and stats accumulator.  Batches
+    never cross connections, so each client reads exactly the bytes a
+    serial server would have sent it.  A client that disconnects
+    mid-batch costs one {!Stats.io_errors} tick, never the daemon.
+
     Shutdown is graceful: on EOF or {!request_stop} (the SIGINT handler)
     the in-flight batch completes and its responses are flushed before
     the loop returns. *)
 
 type t
 
+type wire =
+  | Copying
+      (** the pre-optimization wire loop: serial request parsing, an
+          eager stats snapshot per batch, one heap-allocated response
+          string per line ({!Json.Ref}), a fresh output buffer per
+          batch and a [Bytes] copy before every write.  Kept so the
+          serving bench can measure the lean loop against it. *)
+  | Lean
+      (** the default: requests parse in the batch's parallel phase,
+          responses serialize into one reused per-connection buffer,
+          the stats snapshot is computed only for batches carrying a
+          [stats] op, and writes skip the [Bytes] copy.  Byte-for-byte
+          the same output as [Copying]. *)
+
 val create :
   ?batch_size:int ->
   ?domains:int ->
   ?pool:Csutil.Par.Pool.t ->
+  ?max_conns:int ->
+  ?wire:wire ->
   cache:Cache.t ->
   unit ->
   t
-(** [batch_size] (default 64) caps how many requests one batch drains;
-    [domains] caps the parallel fan-out (default:
-    {!Csutil.Par.available_domains}); [pool] is the worker pool batches
-    fan out over (default: the shared pool) — hand the same pool to the
-    cache so idle batch workers speed up large table fills.
-    @raise Error.Error when [batch_size < 1] or [domains < 1]. *)
+(** [batch_size] (default 64) caps how many requests one batch drains.
+
+    [domains] caps the per-batch parallel fan-out and [pool] is the
+    worker pool batches fan out over (default: the shared pool) — hand
+    the same pool to the cache so idle batch workers speed up large
+    table fills.  When [pool] is given, [domains] defaults to the
+    pool's slot count and may not exceed it (extra domains could never
+    run).  [max_conns] (default 1) is the number of clients
+    {!serve_socket} serves concurrently; connection workers live on a
+    dedicated pool separate from [pool], so serving slots never
+    compete with compute slots.  [wire] (default [Lean]) picks the
+    wire loop.
+
+    @raise Error.Error when [batch_size < 1], [domains < 1],
+    [max_conns < 1], or [domains] exceeds [pool]'s size. *)
 
 val stats : t -> Stats.t
 val cache : t -> Cache.t
@@ -39,12 +71,18 @@ val stopped : t -> bool
 
 val serve_fd : t -> Unix.file_descr -> Unix.file_descr -> unit
 (** Serve one connection: read request lines from the first descriptor,
-    write response lines to the second, until EOF or {!request_stop}. *)
+    write response lines to the second, until EOF or {!request_stop}.
+    A request line longer than the 64 KiB read buffer is discarded
+    through its terminating newline and answered with a single
+    [invalid_params] error response; the lines after it parse
+    normally. *)
 
 val serve_socket : t -> path:string -> unit
-(** Listen on a Unix-domain socket at [path] (replacing any stale socket
-    file) and serve clients one at a time until {!request_stop}; the
-    socket file is removed on exit. *)
+(** Listen on a Unix-domain socket at [path] (replacing any stale
+    socket file) and serve clients — [max_conns] at a time — until
+    {!request_stop}; the socket file is removed on exit.  SIGPIPE is
+    ignored process-wide on first use so client disconnects surface as
+    countable errors instead of killing the daemon. *)
 
 val summary : t -> string
 (** The shutdown summary ({!Stats.summary} over current counters). *)

@@ -1,13 +1,40 @@
-(* Serving-side accounting.  Folded in by the single serving thread;
-   the parallel phase only produces immutable records. *)
+(* Serving-side accounting, shared by every connection worker.
+
+   One mutex guards the scalar counters and the by-op table (each add
+   is a handful of field bumps, so the critical section is tiny even
+   with several connection workers folding in batches concurrently).
+   The latency histogram is an array of Atomics: recording a latency is
+   a frexp and one fetch-and-add, never a lock, so percentile
+   observability stays cheap on the hot path. *)
 
 type record = { op : string; ok : bool; latency : float; bytes : int }
 
+(* Log-bucketed latency histogram: bucket 0 holds [0, 1us); bucket i
+   (i >= 1) holds [2^(i-1), 2^i) us.  40 buckets reach ~2^39 us
+   (~6 days), far beyond any request.  A percentile estimate is the
+   geometric midpoint of the bucket holding the target rank, so it is
+   accurate to a factor of sqrt(2) — plenty for p50/p90/p99 under load. *)
+let hist_buckets = 40
+
+let bucket_of_latency s =
+  if not (s > 1e-6) then 0
+  else begin
+    let _, e = Float.frexp (s *. 1e6) in
+    if e < 1 then 1 else if e >= hist_buckets then hist_buckets - 1 else e
+  end
+
+let bucket_value = function
+  | 0 -> 0.5e-6
+  | i -> Float.ldexp (Float.sqrt 2.) (i - 1) *. 1e-6
+
 type t = {
+  lock : Mutex.t;
   mutable latency : Csutil.Stats.Accumulator.t;
+  hist : int Atomic.t array;
   by_op : (string, int ref) Hashtbl.t;
   mutable requests : int;
   mutable errors : int;
+  mutable io_errors : int;
   mutable bytes_served : int;
   mutable batches : int;
   mutable largest_batch : int;
@@ -15,39 +42,86 @@ type t = {
 
 let create () =
   {
+    lock = Mutex.create ();
     latency = Csutil.Stats.Accumulator.create ();
+    hist = Array.init hist_buckets (fun _ -> Atomic.make 0);
     by_op = Hashtbl.create 8;
     requests = 0;
     errors = 0;
+    io_errors = 0;
     bytes_served = 0;
     batches = 0;
     largest_batch = 0;
   }
 
-let add t r =
-  t.requests <- t.requests + 1;
-  if not r.ok then t.errors <- t.errors + 1;
-  t.bytes_served <- t.bytes_served + r.bytes;
-  Csutil.Stats.Accumulator.add t.latency r.latency;
-  match Hashtbl.find_opt t.by_op r.op with
-  | Some n -> incr n
-  | None -> Hashtbl.add t.by_op r.op (ref 1)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add t (r : record) =
+  ignore (Atomic.fetch_and_add t.hist.(bucket_of_latency r.latency) 1);
+  locked t (fun () ->
+      t.requests <- t.requests + 1;
+      if not r.ok then t.errors <- t.errors + 1;
+      t.bytes_served <- t.bytes_served + r.bytes;
+      Csutil.Stats.Accumulator.add t.latency r.latency;
+      match Hashtbl.find_opt t.by_op r.op with
+      | Some n -> incr n
+      | None -> Hashtbl.add t.by_op r.op (ref 1))
 
 let add_batch t ~size =
-  t.batches <- t.batches + 1;
-  t.largest_batch <- max t.largest_batch size
+  locked t (fun () ->
+      t.batches <- t.batches + 1;
+      t.largest_batch <- max t.largest_batch size)
+
+let add_io_error t = locked t (fun () -> t.io_errors <- t.io_errors + 1)
 
 let reset t =
-  t.latency <- Csutil.Stats.Accumulator.create ();
-  Hashtbl.reset t.by_op;
-  t.requests <- 0;
-  t.errors <- 0;
-  t.bytes_served <- 0;
-  t.batches <- 0;
-  t.largest_batch <- 0
+  locked t (fun () ->
+      t.latency <- Csutil.Stats.Accumulator.create ();
+      Array.iter (fun b -> Atomic.set b 0) t.hist;
+      Hashtbl.reset t.by_op;
+      t.requests <- 0;
+      t.errors <- 0;
+      t.io_errors <- 0;
+      t.bytes_served <- 0;
+      t.batches <- 0;
+      t.largest_batch <- 0)
 
-let requests t = t.requests
-let bytes_served t = t.bytes_served
+let requests t = locked t (fun () -> t.requests)
+let bytes_served t = locked t (fun () -> t.bytes_served)
+let io_errors t = locked t (fun () -> t.io_errors)
+
+(* --- percentiles --------------------------------------------------------- *)
+
+let percentile_of counts ~total q =
+  if total = 0 then None
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int total)))
+    in
+    let rec go i acc =
+      if i >= hist_buckets then Some (bucket_value (hist_buckets - 1))
+      else begin
+        let acc = acc + counts.(i) in
+        if acc >= rank then Some (bucket_value i) else go (i + 1) acc
+      end
+    in
+    go 0 0
+  end
+
+let percentiles t =
+  let counts = Array.map Atomic.get t.hist in
+  let total = Array.fold_left ( + ) 0 counts in
+  match
+    ( percentile_of counts ~total 0.5,
+      percentile_of counts ~total 0.9,
+      percentile_of counts ~total 0.99 )
+  with
+  | Some p50, Some p90, Some p99 -> Some (p50, p90, p99)
+  | _ -> None
+
+(* --- rendering ----------------------------------------------------------- *)
 
 let op_counts t =
   Hashtbl.fold (fun op n acc -> (op, !n) :: acc) t.by_op []
@@ -56,109 +130,135 @@ let op_counts t =
 let latency_fields t =
   let open Csutil.Stats.Accumulator in
   if count t.latency = 0 then []
-  else
+  else begin
+    let quantiles =
+      match percentiles t with
+      | None -> []
+      | Some (p50, p90, p99) ->
+        [
+          ("p50_s", Json.Float p50);
+          ("p90_s", Json.Float p90);
+          ("p99_s", Json.Float p99);
+        ]
+    in
     [
       ("mean_s", Json.Float (mean t.latency));
       ("min_s", Json.Float (min t.latency));
       ("max_s", Json.Float (max t.latency));
     ]
+    @ quantiles
+  end
 
 let to_json t ~cache:(c : Cache.stats) =
-  Json.Obj
-    [
-      ("requests", Json.Int t.requests);
-      ("errors", Json.Int t.errors);
-      ( "by_op",
-        Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) (op_counts t)) );
-      ("latency", Json.Obj (latency_fields t));
-      ("bytes_served", Json.Int t.bytes_served);
-      ("batches", Json.Int t.batches);
-      ("largest_batch", Json.Int t.largest_batch);
-      ( "cache",
-        Json.Obj
-          [
-            ("hits", Json.Int c.Cache.hits);
-            ("misses", Json.Int c.Cache.misses);
-            ("evictions", Json.Int c.Cache.evictions);
-            ("growths", Json.Int c.Cache.growths);
-            ("tables_resident", Json.Int c.Cache.resident);
-            ("resident_bytes", Json.Int c.Cache.resident_bytes);
-          ] );
-      ( "kernel",
-        let k = c.Cache.kernel in
-        Json.Obj
-          [
-            ("cells_filled", Json.Int k.Cyclesteal.Dp.cells_filled);
-            ("candidates_visited", Json.Int k.Cyclesteal.Dp.candidates_visited);
-            ("candidates_pruned", Json.Int k.Cyclesteal.Dp.candidates_pruned);
-            ("parallel_fills", Json.Int k.Cyclesteal.Dp.parallel_fills);
-          ] );
-      ( "solver_cache",
-        Json.Obj
-          [
-            ("hits", Json.Int c.Cache.solver_hits);
-            ("misses", Json.Int c.Cache.solver_misses);
-            ("evictions", Json.Int c.Cache.solver_evictions);
-            ("growths", Json.Int c.Cache.solver_growths);
-            ("solvers_resident", Json.Int c.Cache.solvers_resident);
-            ("resident_bytes", Json.Int c.Cache.solver_bytes);
-          ] );
-      ( "game",
-        let g = c.Cache.game in
-        Json.Obj
-          [
-            ("states", Json.Int g.Cyclesteal.Game.states);
-            ("memo_hits", Json.Int g.Cyclesteal.Game.memo_hits);
-            ("plans_computed", Json.Int g.Cyclesteal.Game.plans_computed);
-            ("parallel_fills", Json.Int g.Cyclesteal.Game.parallel_fills);
-          ] );
-    ]
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("requests", Json.Int t.requests);
+          ("errors", Json.Int t.errors);
+          ("io_errors", Json.Int t.io_errors);
+          ( "by_op",
+            Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) (op_counts t))
+          );
+          ("latency", Json.Obj (latency_fields t));
+          ("bytes_served", Json.Int t.bytes_served);
+          ("batches", Json.Int t.batches);
+          ("largest_batch", Json.Int t.largest_batch);
+          ( "cache",
+            Json.Obj
+              [
+                ("hits", Json.Int c.Cache.hits);
+                ("misses", Json.Int c.Cache.misses);
+                ("evictions", Json.Int c.Cache.evictions);
+                ("growths", Json.Int c.Cache.growths);
+                ("tables_resident", Json.Int c.Cache.resident);
+                ("resident_bytes", Json.Int c.Cache.resident_bytes);
+              ] );
+          ( "kernel",
+            let k = c.Cache.kernel in
+            Json.Obj
+              [
+                ("cells_filled", Json.Int k.Cyclesteal.Dp.cells_filled);
+                ( "candidates_visited",
+                  Json.Int k.Cyclesteal.Dp.candidates_visited );
+                ( "candidates_pruned",
+                  Json.Int k.Cyclesteal.Dp.candidates_pruned );
+                ("parallel_fills", Json.Int k.Cyclesteal.Dp.parallel_fills);
+              ] );
+          ( "solver_cache",
+            Json.Obj
+              [
+                ("hits", Json.Int c.Cache.solver_hits);
+                ("misses", Json.Int c.Cache.solver_misses);
+                ("evictions", Json.Int c.Cache.solver_evictions);
+                ("growths", Json.Int c.Cache.solver_growths);
+                ("solvers_resident", Json.Int c.Cache.solvers_resident);
+                ("resident_bytes", Json.Int c.Cache.solver_bytes);
+              ] );
+          ( "game",
+            let g = c.Cache.game in
+            Json.Obj
+              [
+                ("states", Json.Int g.Cyclesteal.Game.states);
+                ("memo_hits", Json.Int g.Cyclesteal.Game.memo_hits);
+                ("plans_computed", Json.Int g.Cyclesteal.Game.plans_computed);
+                ("parallel_fills", Json.Int g.Cyclesteal.Game.parallel_fills);
+              ] );
+        ])
 
 let summary t ~cache:(c : Cache.stats) =
-  let table =
-    Csutil.Table.create ~title:"cschedd session summary"
-      ~aligns:Csutil.Table.[ Left; Right ]
-      [ "metric"; "value" ]
-  in
-  let add k v = Csutil.Table.add_row table [ k; v ] in
-  add "requests" (string_of_int t.requests);
-  add "errors" (string_of_int t.errors);
-  List.iter
-    (fun (op, n) -> add ("  op " ^ op) (string_of_int n))
-    (op_counts t);
-  add "batches" (string_of_int t.batches);
-  add "largest batch" (string_of_int t.largest_batch);
-  if Csutil.Stats.Accumulator.count t.latency > 0 then begin
-    add "mean latency"
-      (Printf.sprintf "%.3f ms"
-         (1e3 *. Csutil.Stats.Accumulator.mean t.latency));
-    add "max latency"
-      (Printf.sprintf "%.3f ms"
-         (1e3 *. Csutil.Stats.Accumulator.max t.latency))
-  end;
-  add "bytes served" (string_of_int t.bytes_served);
-  add "cache hits" (string_of_int c.Cache.hits);
-  add "cache misses" (string_of_int c.Cache.misses);
-  add "cache evictions" (string_of_int c.Cache.evictions);
-  add "cache growths" (string_of_int c.Cache.growths);
-  add "tables resident" (string_of_int c.Cache.resident);
-  add "resident bytes" (string_of_int c.Cache.resident_bytes);
-  let k = c.Cache.kernel in
-  add "kernel cells filled" (string_of_int k.Cyclesteal.Dp.cells_filled);
-  add "kernel candidates visited"
-    (string_of_int k.Cyclesteal.Dp.candidates_visited);
-  add "kernel candidates pruned"
-    (string_of_int k.Cyclesteal.Dp.candidates_pruned);
-  add "kernel parallel fills" (string_of_int k.Cyclesteal.Dp.parallel_fills);
-  add "solver hits" (string_of_int c.Cache.solver_hits);
-  add "solver misses" (string_of_int c.Cache.solver_misses);
-  add "solver evictions" (string_of_int c.Cache.solver_evictions);
-  add "solver growths" (string_of_int c.Cache.solver_growths);
-  add "solvers resident" (string_of_int c.Cache.solvers_resident);
-  add "solver bytes" (string_of_int c.Cache.solver_bytes);
-  let g = c.Cache.game in
-  add "game states" (string_of_int g.Cyclesteal.Game.states);
-  add "game memo hits" (string_of_int g.Cyclesteal.Game.memo_hits);
-  add "game plans computed" (string_of_int g.Cyclesteal.Game.plans_computed);
-  add "game parallel fills" (string_of_int g.Cyclesteal.Game.parallel_fills);
-  Csutil.Table.to_string table
+  locked t (fun () ->
+      let table =
+        Csutil.Table.create ~title:"cschedd session summary"
+          ~aligns:Csutil.Table.[ Left; Right ]
+          [ "metric"; "value" ]
+      in
+      let add k v = Csutil.Table.add_row table [ k; v ] in
+      add "requests" (string_of_int t.requests);
+      add "errors" (string_of_int t.errors);
+      add "io errors" (string_of_int t.io_errors);
+      List.iter
+        (fun (op, n) -> add ("  op " ^ op) (string_of_int n))
+        (op_counts t);
+      add "batches" (string_of_int t.batches);
+      add "largest batch" (string_of_int t.largest_batch);
+      if Csutil.Stats.Accumulator.count t.latency > 0 then begin
+        add "mean latency"
+          (Printf.sprintf "%.3f ms"
+             (1e3 *. Csutil.Stats.Accumulator.mean t.latency));
+        (match percentiles t with
+         | Some (p50, _, p99) ->
+           add "p50 latency" (Printf.sprintf "%.3f ms" (1e3 *. p50));
+           add "p99 latency" (Printf.sprintf "%.3f ms" (1e3 *. p99))
+         | None -> ());
+        add "max latency"
+          (Printf.sprintf "%.3f ms"
+             (1e3 *. Csutil.Stats.Accumulator.max t.latency))
+      end;
+      add "bytes served" (string_of_int t.bytes_served);
+      add "cache hits" (string_of_int c.Cache.hits);
+      add "cache misses" (string_of_int c.Cache.misses);
+      add "cache evictions" (string_of_int c.Cache.evictions);
+      add "cache growths" (string_of_int c.Cache.growths);
+      add "tables resident" (string_of_int c.Cache.resident);
+      add "resident bytes" (string_of_int c.Cache.resident_bytes);
+      let k = c.Cache.kernel in
+      add "kernel cells filled" (string_of_int k.Cyclesteal.Dp.cells_filled);
+      add "kernel candidates visited"
+        (string_of_int k.Cyclesteal.Dp.candidates_visited);
+      add "kernel candidates pruned"
+        (string_of_int k.Cyclesteal.Dp.candidates_pruned);
+      add "kernel parallel fills"
+        (string_of_int k.Cyclesteal.Dp.parallel_fills);
+      add "solver hits" (string_of_int c.Cache.solver_hits);
+      add "solver misses" (string_of_int c.Cache.solver_misses);
+      add "solver evictions" (string_of_int c.Cache.solver_evictions);
+      add "solver growths" (string_of_int c.Cache.solver_growths);
+      add "solvers resident" (string_of_int c.Cache.solvers_resident);
+      add "solver bytes" (string_of_int c.Cache.solver_bytes);
+      let g = c.Cache.game in
+      add "game states" (string_of_int g.Cyclesteal.Game.states);
+      add "game memo hits" (string_of_int g.Cyclesteal.Game.memo_hits);
+      add "game plans computed" (string_of_int g.Cyclesteal.Game.plans_computed);
+      add "game parallel fills"
+        (string_of_int g.Cyclesteal.Game.parallel_fills);
+      Csutil.Table.to_string table)

@@ -1,10 +1,14 @@
 (** Per-request accounting for the cschedd daemon: request counts by
-    operation, outcome, latency distribution, bytes served, batch sizes.
+    operation, outcome, latency distribution, bytes served, batch sizes,
+    per-connection I/O failures.
 
     Records are produced by the batch engine (pure values computed in
-    worker domains) and folded in by the single serving thread, so the
-    accumulator itself needs no locking.  Cache hit/miss counters live
-    with the cache ({!Cache.stats}); {!to_json} merges both views. *)
+    worker domains) and folded in by the connection workers.  The
+    accumulator is shared by every concurrent connection: a mutex
+    guards the scalar counters (each add is a few field bumps), and the
+    latency histogram is lock-free (one atomic fetch-and-add per
+    record).  Cache hit/miss counters live with the cache
+    ({!Cache.stats}); {!to_json} merges both views. *)
 
 type t
 
@@ -22,18 +26,31 @@ val add : t -> record -> unit
 val add_batch : t -> size:int -> unit
 (** Record that one batch of [size] requests was dispatched. *)
 
+val add_io_error : t -> unit
+(** Record a per-connection I/O failure (client disconnected
+    mid-batch, reset the connection, ...); the server counts these and
+    keeps accepting instead of dying. *)
+
 val reset : t -> unit
-(** Zero every counter and the latency accumulator; backs the daemon's
-    [stats reset] sub-op (cache counters reset separately via
-    {!Cache.reset_counters}). *)
+(** Zero every counter, the latency accumulator and the histogram;
+    backs the daemon's [stats reset] sub-op (cache counters reset
+    separately via {!Cache.reset_counters}). *)
 
 val requests : t -> int
 val bytes_served : t -> int
+val io_errors : t -> int
+
+val percentiles : t -> (float * float * float) option
+(** [(p50, p90, p99)] request latency in seconds, estimated from a
+    log-bucketed histogram (factor-2 buckets from 1 microsecond, so
+    each estimate is the geometric midpoint of its bucket — accurate to
+    a factor of sqrt 2).  [None] before any request was recorded. *)
 
 val to_json : t -> cache:Cache.stats -> Json.t
 (** The [stats] request payload: request/error/batch counts, per-op
-    counts, latency quantiles (mean/min/max), bytes served, cache
-    counters and resident-table footprint. *)
+    counts, latency quantiles (mean/min/max and histogram
+    p50/p90/p99), bytes served, cache counters and resident-table
+    footprint. *)
 
 val summary : t -> cache:Cache.stats -> string
 (** Human-readable shutdown summary (an ASCII {!Csutil.Table}). *)

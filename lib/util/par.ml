@@ -16,6 +16,12 @@
      writes into disjoint slices of the result, so there is no shared
      mutable state and the result never depends on scheduling.
 
+   A pool's slots may also host long-lived jobs: the serving layer
+   dedicates a pool to connection workers, whose one [run] lasts the
+   server's whole lifetime.  Such a pool must stay separate from any
+   pool used for compute fan-out — its [busy] flag is held for the
+   duration, so nested use would permanently degrade to inline runs.
+
    Keep closures passed here free of shared mutable state (in
    particular, give each chunk its own Rng). *)
 

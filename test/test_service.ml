@@ -101,6 +101,35 @@ let prop_json_round_trip =
       | Ok v' -> Json.equal v v'
       | Error _ -> false)
 
+(* The fast printer must be byte-identical to the reference printer —
+   the daemon's whole byte-identity story rests on it. *)
+let prop_json_ref_printer =
+  QCheck.Test.make ~name:"Json.to_string matches the reference printer"
+    ~count:300
+    (QCheck.make json_gen ~print:(fun v -> Json.Ref.to_string v))
+    (fun v -> String.equal (Json.to_string v) (Json.Ref.to_string v))
+
+let prop_float_repr_matches_ref =
+  QCheck.Test.make ~name:"fast float rendering matches the reference"
+    ~count:2000 QCheck.float (fun x ->
+      String.equal
+        (Json.to_string (Json.Float x))
+        (Json.Ref.to_string (Json.Float x)))
+
+let test_json_float_repr_edges () =
+  List.iter
+    (fun x ->
+       Alcotest.(check string)
+         (Printf.sprintf "repr of %h matches reference" x)
+         (Json.Ref.to_string (Json.Float x))
+         (Json.to_string (Json.Float x)))
+    [
+      0.; -0.; 1.; -1.; 0.1; 0.5; 1. /. 3.; 86399.999999999996;
+      494.63261480389338; 999999999999.; 1e12; 1e12 -. 1.; -1e12; 1e13;
+      4294967296.; 1e-300; 4.9e-324; 2.2250738585072014e-308; 1.7e308;
+      max_float; nan; infinity; neg_infinity; 1.5; -3.25; 6.02214076e23;
+    ]
+
 (* --- Protocol ------------------------------------------------------------- *)
 
 let roundtrip req =
@@ -443,10 +472,7 @@ let test_batch_matches_direct () =
   List.iter
     (fun domains ->
        let cache = Cache.create ~capacity:16 () in
-       let envelopes =
-         Array.of_list (List.map Protocol.parse_line lines)
-       in
-       let outcomes = Batch.run ~domains ~cache envelopes in
+       let outcomes = Batch.run ~domains ~cache (Array.of_list lines) in
        let got =
          Array.to_list outcomes
          |> List.map (fun (o : Batch.outcome) ->
@@ -464,10 +490,22 @@ let test_batch_matches_direct () =
 let test_batch_stats_payload () =
   let cache = Cache.create ~capacity:4 () in
   let payload = Json.Obj [ ("requests", Json.Int 42) ] in
-  let envelopes =
-    [| Protocol.parse_line {|{"id":1,"op":"stats"}|} |]
+  let forced = ref 0 in
+  let snapshot () =
+    incr forced;
+    payload
   in
-  let out = Batch.run ~domains:1 ~stats_payload:payload ~cache envelopes in
+  (* A batch without a stats op never pays for the snapshot. *)
+  let _ =
+    Batch.run ~domains:1 ~stats_payload:snapshot ~cache
+      [| {|{"id":0,"op":"advise","c":1,"u":100,"p":1}|} |]
+  in
+  Alcotest.(check int) "no stats op: snapshot not computed" 0 !forced;
+  let out =
+    Batch.run ~domains:1 ~stats_payload:snapshot ~cache
+      [| {|{"id":1,"op":"stats"}|} |]
+  in
+  Alcotest.(check int) "stats op: snapshot computed once" 1 !forced;
   match out.(0).Batch.result with
   | Ok p -> Alcotest.(check bool) "snapshot served" true (Json.equal p payload)
   | Error e -> Alcotest.fail (Cyclesteal.Error.to_string e)
@@ -496,7 +534,7 @@ let read_lines path =
        in
        go [])
 
-let serve_lines ?batch_size lines =
+let serve_lines ?batch_size ?wire lines =
   let input = String.concat "\n" lines ^ "\n" in
   with_temp_file input (fun in_path ->
       let out_path = Filename.temp_file "cschedd_test" ".out" in
@@ -504,7 +542,7 @@ let serve_lines ?batch_size lines =
         ~finally:(fun () -> try Sys.remove out_path with Sys_error _ -> ())
         (fun () ->
            let cache = Cache.create ~capacity:16 () in
-           let server = Server.create ?batch_size ~domains:2 ~cache () in
+           let server = Server.create ?batch_size ?wire ~domains:2 ~cache () in
            let in_fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
            let out_fd =
              Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
@@ -658,6 +696,206 @@ let test_server_socket () =
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
   Unix.rmdir dir
 
+(* The copying wire mode is the serving bench's baseline; its output
+   must match the lean default byte for byte. *)
+let test_server_copying_wire () =
+  let lines = mixed_request_lines () in
+  let expected = List.map direct_response lines in
+  let got, _, _ = serve_lines ~batch_size:32 ~wire:Server.Copying lines in
+  Alcotest.(check int) "one response per request" (List.length lines)
+    (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+       Alcotest.(check string)
+         (Printf.sprintf "copying line %d byte-identical" i)
+         e g)
+    (List.combine expected got)
+
+(* A request line longer than the 64 KiB read buffer must yield exactly
+   one error response — never a response per 64 KiB fragment, and never
+   the oversized request's id — and the next line must parse cleanly. *)
+let test_server_overlong_line () =
+  let pad = String.make 70_000 'x' in
+  let overlong =
+    {|{"id":666,"op":"advise","c":1,"u":100,"p":1,"pad":"|} ^ pad ^ {|"}|}
+  in
+  let follow = {|{"id":7,"op":"advise","c":1,"u":100,"p":1}|} in
+  let got, stats, _ = serve_lines [ overlong; follow ] in
+  match got with
+  | [ first; second ] ->
+    Alcotest.(check bool) "overlong rejected" true
+      (contains ~sub:{|"ok":false|} first);
+    Alcotest.(check bool) "error names the limit" true
+      (contains ~sub:"exceeds" first);
+    Alcotest.(check bool) "overlong id never surfaces" false
+      (contains ~sub:"666" (first ^ second));
+    Alcotest.(check string) "follow-up line parses normally"
+      (direct_response follow) second;
+    Alcotest.(check int) "both accounted" 2 (Stats.requests stats)
+  | other ->
+    Alcotest.fail
+      (Printf.sprintf "expected 2 responses, got %d" (List.length other))
+
+(* A ping-pong socket client: write one request line, read until its
+   response line arrives, repeat; returns everything it read. *)
+let run_client path lines =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.connect sock (Unix.ADDR_UNIX path);
+       let buf = Buffer.create 4096 in
+       let chunk = Bytes.create 4096 in
+       let newlines = ref 0 in
+       let want = ref 0 in
+       List.iter
+         (fun line ->
+            let payload = line ^ "\n" in
+            let rec send off =
+              if off < String.length payload then
+                match
+                  Unix.write_substring sock payload off
+                    (String.length payload - off)
+                with
+                | n -> send (off + n)
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+            in
+            send 0;
+            incr want;
+            while !newlines < !want do
+              match Unix.read sock chunk 0 (Bytes.length chunk) with
+              | 0 -> failwith "server closed the connection early"
+              | n ->
+                for i = 0 to n - 1 do
+                  if Bytes.get chunk i = '\n' then incr newlines
+                done;
+                Buffer.add_subbytes buf chunk 0 n
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            done)
+         lines;
+       Buffer.contents buf)
+
+let with_socket_server ?(max_conns = 1) ?(capacity = 16) f =
+  let dir = Filename.temp_file "cschedd_sock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "s.sock" in
+  let cache = Cache.create ~capacity () in
+  let server = Server.create ~domains:1 ~max_conns ~cache () in
+  let serving = Domain.spawn (fun () -> Server.serve_socket server ~path) in
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "socket never appeared"
+    else if Sys.file_exists path then ()
+    else begin
+      Unix.sleepf 0.02;
+      wait (tries - 1)
+    end
+  in
+  wait 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop server;
+      (* Unblock the accept loop with one last throwaway connection. *)
+      (try
+         let poke = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         Unix.connect poke (Unix.ADDR_UNIX path);
+         Unix.close poke
+       with Unix.Unix_error _ -> ());
+      Domain.join serving;
+      (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ()))
+    (fun () -> f server path)
+
+(* Deterministic per-client request scripts with disjoint id spaces. *)
+let client_script i =
+  List.init 40 (fun k ->
+      let id = (1000 * (i + 1)) + k in
+      match k mod 3 with
+      | 0 ->
+        Printf.sprintf {|{"id":%d,"op":"advise","c":%d,"u":%d,"p":%d}|} id
+          ((k mod 4) + 1)
+          (300 + (17 * k))
+          (k mod 3)
+      | 1 ->
+        Printf.sprintf {|{"id":%d,"op":"dp","c_ticks":%d,"l":%d,"p":%d}|} id
+          (4 + (k mod 3))
+          (150 + (11 * k))
+          (k mod 3)
+      | _ ->
+        Printf.sprintf
+          {|{"id":%d,"op":"evaluate","c":1,"u":%d,"p":%d,"policy":"nonadaptive"}|}
+          id
+          (40 + (7 * k))
+          (k mod 2))
+
+(* Interleaved clients against one concurrent server: every client must
+   read exactly the bytes a serial run would have sent it. *)
+let test_server_concurrent_clients () =
+  let nclients = 3 in
+  with_socket_server ~max_conns:nclients (fun _server path ->
+      let clients =
+        List.init nclients (fun i ->
+            Domain.spawn (fun () -> run_client path (client_script i)))
+      in
+      let got = List.map Domain.join clients in
+      List.iteri
+        (fun i out ->
+           let expected =
+             String.concat ""
+               (List.map
+                  (fun l -> direct_response l ^ "\n")
+                  (client_script i))
+           in
+           Alcotest.(check string)
+             (Printf.sprintf "client %d byte-identical to serial" i)
+             expected out)
+        got)
+
+(* A client that floods requests and vanishes without reading must cost
+   an io_errors tick, not the daemon: a later client is still served. *)
+let test_server_client_disconnect () =
+  with_socket_server ~max_conns:2 ~capacity:8 (fun server path ->
+      let provoke attempt =
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect sock (Unix.ADDR_UNIX path);
+           (* Distinct params each attempt keep the solves cold and
+              slow, so the responses land after we are gone. *)
+           let line =
+             Printf.sprintf {|{"id":1,"op":"advise","c":%d,"u":%d,"p":2}|}
+               ((attempt mod 5) + 1)
+               (40_000 + (attempt * 97))
+             ^ "\n"
+           in
+           for _ = 1 to 100 do
+             ignore (Unix.write_substring sock line 0 (String.length line))
+           done
+         with Unix.Unix_error _ -> ());
+        try Unix.close sock with Unix.Unix_error _ -> ()
+      in
+      let io_errors () = Stats.io_errors (Server.stats server) in
+      let rec attempt tries =
+        if tries = 0 || io_errors () > 0 then ()
+        else begin
+          provoke (10 - tries);
+          let rec poll k =
+            if k = 0 || io_errors () > 0 then ()
+            else begin
+              Unix.sleepf 0.02;
+              poll (k - 1)
+            end
+          in
+          poll 50;
+          attempt (tries - 1)
+        end
+      in
+      attempt 10;
+      Alcotest.(check bool) "disconnect counted as io error" true
+        (io_errors () > 0);
+      let line = {|{"id":42,"op":"advise","c":1,"u":250,"p":1}|} in
+      Alcotest.(check string) "daemon still serves after disconnects"
+        (direct_response line ^ "\n")
+        (run_client path [ line ]))
+
 (* --- Summary rendering ------------------------------------------------------ *)
 
 let test_summary_renders () =
@@ -676,8 +914,12 @@ let () =
           Alcotest.test_case "parse" `Quick test_json_parse;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "float round-trip" `Quick test_json_float_round_trip;
+          Alcotest.test_case "float repr edge cases" `Quick
+            test_json_float_repr_edges;
         ] );
-      ("json props", qc [ prop_json_round_trip ]);
+      ( "json props",
+        qc [ prop_json_round_trip; prop_json_ref_printer; prop_float_repr_matches_ref ]
+      );
       ( "protocol",
         [
           Alcotest.test_case "request round-trip" `Quick test_protocol_round_trip;
@@ -716,6 +958,13 @@ let () =
           Alcotest.test_case "unterminated final line" `Quick
             test_server_unterminated_final_line;
           Alcotest.test_case "unix socket" `Quick test_server_socket;
+          Alcotest.test_case "copying wire byte-identical" `Slow
+            test_server_copying_wire;
+          Alcotest.test_case "overlong line" `Quick test_server_overlong_line;
+          Alcotest.test_case "concurrent clients" `Slow
+            test_server_concurrent_clients;
+          Alcotest.test_case "client disconnect" `Slow
+            test_server_client_disconnect;
           Alcotest.test_case "summary" `Quick test_summary_renders;
         ] );
     ]

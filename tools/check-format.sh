@@ -45,6 +45,21 @@ for f in $(find lib bin bench examples -type f \
   fi
 done
 
+# Serving gate: accepting connections and spawning raw threads happen
+# in exactly one place, the serving loop in lib/service/server.ml (its
+# worker slots come from Csutil.Par.Pool).  Ad-hoc accept loops or
+# Thread.create calls elsewhere would bypass the server's connection
+# accounting, its disconnect handling and the SIGPIPE guard.
+for f in $(find lib bin bench examples -type f \
+             \( -name '*.ml' -o -name '*.mli' \) \
+             -not -path 'lib/service/server.ml' | sort); do
+  if grep -nE 'Thread\.create|Unix\.accept' "$f" >/dev/null 2>&1; then
+    echo "serving: Thread.create/Unix.accept in $f (route through Service.Server):" >&2
+    grep -nE 'Thread\.create|Unix\.accept' "$f" | head -3 >&2
+    fail=1
+  fi
+done
+
 # Solver gate: the raw minimax recursion (Game.make_solver and its
 # Ref retention) is an implementation detail of lib/core.  Call sites
 # go through Game.Solver so the memo is shared between guaranteed,
