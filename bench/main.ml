@@ -1760,6 +1760,171 @@ let serve_bench ?(out = "BENCH_service.json") () =
   close_out oc;
   Printf.printf "wrote %s\n\n" out
 
+(* --- Persistent memo tier: cold vs bank-mapped startup ----------------------- *)
+
+(* What the snapshot bank buys (DESIGN.md S20): the time from an empty
+   process to the first warm answer.  The cold path is a fresh cache
+   paying the solve; the bank-mapped path is a fresh cache over a
+   precomputed bank — open, warm, answer, with the table pages mapped
+   from disk instead of computed.  Both paths must produce the same
+   bytes, and the mapped path must fill no DP cell and expand no
+   minimax state; the speedup is solve-vs-checksum, which widens with
+   the table (solve is superlinear in the bounds, the CRC linear in the
+   bytes). *)
+
+let store_tmp_dir () =
+  let dir = Filename.temp_file "csched_bank" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let store_cleanup dir =
+  Array.iter
+    (fun f ->
+       try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ()
+
+let store_series ~label req =
+  let dir = store_tmp_dir () in
+  Fun.protect
+    ~finally:(fun () -> store_cleanup dir)
+    (fun () ->
+       let answer ?cache () =
+         match Service.Protocol.handle ?cache req with
+         | Ok payload -> Service.Json.to_string payload
+         | Error e ->
+           Printf.eprintf "bench store (%s): %s\n" label (Error.to_string e);
+           exit 1
+       in
+       let open_bank ~create =
+         match Store.Bank.open_dir ~create dir with
+         | Ok b -> b
+         | Error e ->
+           Printf.eprintf "bench store (%s): %s\n" label (Error.to_string e);
+           exit 1
+       in
+       (* Cold: what a fresh bankless process pays to its first answer. *)
+       let t0 = Unix.gettimeofday () in
+       let cold_cache = Service.Cache.create ~capacity:8 () in
+       let cold_out = answer ~cache:cold_cache () in
+       let cold_s = Unix.gettimeofday () -. t0 in
+       (* Precompute the bank (csched precompute's job; untimed). *)
+       let pre_cache =
+         Service.Cache.create ~bank:(open_bank ~create:true) ~capacity:8 ()
+       in
+       ignore (answer ~cache:pre_cache ());
+       let bank_bytes =
+         Array.fold_left
+           (fun acc f ->
+              acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+           0 (Sys.readdir dir)
+       in
+       (* Bank-mapped: a fresh process over the precomputed bank —
+          open, warm, first answer. *)
+       Dp.reset_counters ();
+       Game.reset_counters ();
+       let t1 = Unix.gettimeofday () in
+       let bank = open_bank ~create:false in
+       let warm_cache = Service.Cache.create ~bank ~capacity:8 () in
+       let warmed = Service.Cache.warm_from_bank warm_cache in
+       let warm_out = answer ~cache:warm_cache () in
+       let warm_s = Unix.gettimeofday () -. t1 in
+       if not (String.equal warm_out cold_out) then begin
+         Printf.eprintf
+           "bench store (%s): bank-mapped answer differs from cold solve\n"
+           label;
+         exit 1
+       end;
+       let k = Dp.counters () in
+       let g = Game.counters () in
+       if k.Dp.cells_filled <> 0 || g.Game.states <> 0 then begin
+         Printf.eprintf
+           "bench store (%s): mapped path did compute work (%d cells, %d \
+            states)\n"
+           label k.Dp.cells_filled g.Game.states;
+         exit 1
+       end;
+       let bc = Store.Bank.counters bank in
+       if bc.Store.Bank.hits < 1 || bc.Store.Bank.load_failures > 0 then begin
+         Printf.eprintf
+           "bench store (%s): bank not exercised (%d hits, %d failures)\n"
+           label bc.Store.Bank.hits bc.Store.Bank.load_failures;
+         exit 1
+       end;
+       Printf.printf
+         "%-12s cold %8.4f s   bank-mapped %8.4f s   %6.0fx   (%d files, %.1f \
+          MB, %d tables warmed)\n%!"
+         label cold_s warm_s (cold_s /. warm_s)
+         (Array.length (Sys.readdir dir))
+         (float_of_int bank_bytes /. 1048576.)
+         warmed;
+       Service.Json.Obj
+         [
+           ("series", Service.Json.String label);
+           ( "request",
+             Service.Json.String
+               (Service.Json.to_string
+                  (Service.Protocol.request_to_json req)) );
+           ("cold_seconds", Service.Json.Float cold_s);
+           ("mapped_seconds", Service.Json.Float warm_s);
+           ("speedup", Service.Json.Float (cold_s /. warm_s));
+           ("bank_bytes", Service.Json.Int bank_bytes);
+           ("tables_warmed", Service.Json.Int warmed);
+           ("bank_hits", Service.Json.Int bc.Store.Bank.hits);
+         ])
+
+let store_dp_req ~c ~p ~l = Service.Protocol.Dp_query { c_ticks = c; l; p }
+
+let store_game_req ~c ~u ~p ~policy =
+  Service.Protocol.Evaluate { c; u; p; policy; periods = None }
+
+(* Quick mode: the runtest smoke.  Small instances; the assertions
+   (byte identity, zero fill, bank hit) are the point, not the
+   speedup. *)
+let store_quick () =
+  let t0 = Unix.gettimeofday () in
+  ignore (store_series ~label:"dp_small" (store_dp_req ~c:9 ~p:3 ~l:1800));
+  ignore
+    (store_series ~label:"game_small"
+       (store_game_req ~c:1. ~u:8_000. ~p:2 ~policy:"adaptive"));
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 120. then begin
+    Printf.eprintf "bench store --quick exceeded its 120 s bound: %.1f s\n" dt;
+    exit 1
+  end;
+  Printf.printf
+    "store --quick: bank-mapped answers byte-identical to cold solves with\n\
+     zero DP cells filled and zero minimax states expanded; %.2f s\n"
+    dt
+
+let store_bench ?(out = "BENCH_store.json") () =
+  heading
+    "Persistent memo tier -- cold solve vs bank-mapped startup \
+     (BENCH_store.json)";
+  let instances =
+    [
+      store_series ~label:"dp_mid" (store_dp_req ~c:10 ~p:4 ~l:4_000);
+      store_series ~label:"dp_large" (store_dp_req ~c:64 ~p:32 ~l:60_000);
+      store_series ~label:"game_large"
+        (store_game_req ~c:1. ~u:100_000. ~p:3 ~policy:"adaptive");
+    ]
+  in
+  let doc =
+    Service.Json.Obj
+      [
+        ("bench", Service.Json.String "store");
+        ( "domains_available",
+          Service.Json.Int (Csutil.Par.available_domains ()) );
+        ("instances", Service.Json.List instances);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Service.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n\n" out
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let tables () =
@@ -1815,12 +1980,16 @@ let () =
     | [ "serve" ] -> serve_bench ()
     | [ "serve"; "--quick" ] -> serve_quick ()
     | [ "serve"; "--out"; path ] -> serve_bench ~out:path ()
+    | [ "store" ] -> store_bench ()
+    | [ "store"; "--quick" ] -> store_quick ()
+    | [ "store"; "--out"; path ] -> store_bench ~out:path ()
     | [ "bechamel" ] -> bechamel ()
     | other ->
       Printf.eprintf
         "usage: main.exe [--csv DIR] [tables | series eN | service | growth | \
          dp [--quick | --out FILE] | game [--quick | --out FILE] | \
-         serve [--quick | --out FILE] | bechamel]\n";
+         serve [--quick | --out FILE] | store [--quick | --out FILE] | \
+         bechamel]\n";
       Printf.eprintf "got: %s\n" (String.concat " " other);
       exit 2
   in

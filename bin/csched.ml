@@ -732,6 +732,192 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(ret (const run $ cost $ job_arg $ measured $ stations_arg))
 
+(* --- precompute ------------------------------------------------------------------ *)
+
+(* Sweep a (c, u, policy, p, L) grid through the daemon's own
+   evaluation path with a bank plugged in: every table the sweep solves
+   is written behind as a snapshot, so a later `cschedd --bank DIR`
+   answers the same keys from mapped pages without filling a cell. *)
+let precompute_cmd =
+  let bank_arg =
+    let doc =
+      "Bank directory to fill (created, parents included, when missing)."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "bank" ] ~docv:"DIR" ~doc)
+  in
+  let c_ticks_arg =
+    let doc = "Tick costs (comma-separated) of the DP tables to bank." in
+    Arg.(value & opt (list int) [ 10 ] & info [ "c-ticks" ] ~docv:"C,..." ~doc)
+  in
+  let l_arg =
+    let doc = "Lifespan bound L each banked DP table covers." in
+    Arg.(value & opt int 4096 & info [ "dp-l" ] ~docv:"L" ~doc)
+  in
+  let max_p_arg =
+    let doc = "Interrupt bound each banked DP table covers." in
+    Arg.(value & opt int 4 & info [ "max-p" ] ~docv:"P" ~doc)
+  in
+  let costs_arg =
+    let doc = "Setup costs c (comma-separated) of the game memos to bank." in
+    Arg.(value & opt (list float) [ 1. ] & info [ "costs" ] ~docv:"C,..." ~doc)
+  in
+  let lifespans_arg =
+    let doc =
+      "Lifespans U (comma-separated) of the game memos to bank.  Only \
+       gridded evaluations (U above the exact/grid threshold) have a \
+       dense memo to snapshot; smaller lifespans are skipped with a note."
+    in
+    Arg.(
+      value & opt (list float) [ 20_000. ]
+      & info [ "lifespans" ] ~docv:"U,..." ~doc)
+  in
+  let policies_arg =
+    let doc = "Strategies (comma-separated) whose game memos to bank." in
+    Arg.(
+      value
+      & opt (list string) [ "adaptive" ]
+      & info [ "policies" ] ~docv:"NAME,..." ~doc)
+  in
+  let game_p_arg =
+    let doc = "Interrupt budgets (comma-separated) of the game memos." in
+    Arg.(value & opt (list int) [ 2 ] & info [ "game-p" ] ~docv:"P,..." ~doc)
+  in
+  let domains_arg =
+    let doc = "Maximum domains used to run the sweep in parallel." in
+    Arg.(
+      value
+      & opt int (Csutil.Par.available_domains ())
+      & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let run bank_dir c_ticks l max_p costs lifespans policies game_ps domains
+      json =
+    if l < 0 then fail ~json (Error.Invalid_params "l must be non-negative")
+    else if max_p < 0 then
+      fail ~json (Error.Invalid_params "max-p must be non-negative")
+    else if domains < 1 then
+      fail ~json (Error.Invalid_params "domains must be >= 1")
+    else begin
+      match Store.Bank.open_dir ~create:true bank_dir with
+      | Error e -> fail ~json e
+      | Ok bank ->
+        let pool = Csutil.Par.Pool.create ~domains in
+        let cache =
+          Service.Cache.create ~pool ~bank
+            ~capacity:
+              (max 1
+                 (List.length c_ticks
+                 + List.length costs * List.length lifespans
+                   * List.length policies * List.length game_ps))
+            ()
+        in
+        let dp_jobs =
+          List.map
+            (fun c -> Service.Protocol.Dp_query { c_ticks = c; l; p = max_p })
+            c_ticks
+        in
+        let game_jobs, skipped =
+          List.fold_left
+            (fun (jobs, skipped) (c, u, policy, p) ->
+              match Engine.Planner.default_grid ~u with
+              | None -> (jobs, (u, policy) :: skipped)
+              | Some _ ->
+                ( Service.Protocol.Evaluate { c; u; p; policy; periods = None }
+                  :: jobs,
+                  skipped ))
+            ([], [])
+            (List.concat_map
+               (fun c ->
+                 List.concat_map
+                   (fun u ->
+                     List.concat_map
+                       (fun policy ->
+                         List.map (fun p -> (c, u, policy, p)) game_ps)
+                       policies)
+                   lifespans)
+               costs)
+        in
+        let jobs = Array.of_list (dp_jobs @ List.rev game_jobs) in
+        let results =
+          Csutil.Par.map ~pool
+            (fun req -> Service.Protocol.handle ~cache req)
+            jobs
+        in
+        let failed =
+          Array.to_list results
+          |> List.filter_map (function Ok _ -> None | Error e -> Some e)
+        in
+        let counters = Store.Bank.counters bank in
+        let trouble =
+          match (failed, Store.Bank.last_error bank) with
+          | e :: _, _ -> Some (Error.to_string e)
+          | [], Some e when counters.Store.Bank.save_failures > 0 -> Some e
+          | [], _ -> None
+        in
+        if json then
+          print_endline
+            (Service.Json.to_string
+               (Service.Json.Obj
+                  ([
+                     ("bank", Service.Json.String (Store.Bank.dir bank));
+                     ("jobs", Service.Json.Int (Array.length jobs));
+                     ( "skipped_ungridded",
+                       Service.Json.Int (List.length skipped) );
+                     ("failed", Service.Json.Int (List.length failed));
+                     ( "snapshots_written",
+                       Service.Json.Int counters.Store.Bank.saves );
+                     ( "save_failures",
+                       Service.Json.Int counters.Store.Bank.save_failures );
+                   ]
+                  @
+                  match trouble with
+                  | None -> []
+                  | Some e -> [ ("error", Service.Json.String e) ])))
+        else begin
+          let t =
+            Csutil.Table.create
+              ~title:(Printf.sprintf "precomputed bank %s" (Store.Bank.dir bank))
+              ~aligns:Csutil.Table.[ Left; Right ]
+              [ "metric"; "value" ]
+          in
+          Csutil.Table.add_row t [ "jobs"; string_of_int (Array.length jobs) ];
+          Csutil.Table.add_row t
+            [ "snapshots written"; string_of_int counters.Store.Bank.saves ];
+          Csutil.Table.add_row t
+            [
+              "save failures"; string_of_int counters.Store.Bank.save_failures;
+            ];
+          Csutil.Table.add_row t
+            [ "failed jobs"; string_of_int (List.length failed) ];
+          Csutil.Table.add_row t
+            [ "skipped (ungridded)"; string_of_int (List.length skipped) ];
+          Csutil.Table.print t;
+          List.iter
+            (fun (u, policy) ->
+              Printf.printf
+                "note: skipped %s at U = %g — exact (ungridded) evaluation \
+                 has no dense memo to bank\n"
+                policy u)
+            (List.rev skipped)
+        end;
+        match trouble with
+        | Some e when not json ->
+          `Error (false, "precompute: " ^ e)
+        | Some _ -> exit 1
+        | None -> `Ok ()
+    end
+  in
+  let doc =
+    "Precompute a persistent memo bank: solve a (c, u, policy, p, L) grid \
+     and snapshot every table for $(b,cschedd --bank)."
+  in
+  Cmd.v
+    (Cmd.info "precompute" ~doc)
+    Term.(
+      ret
+        (const run $ bank_arg $ c_ticks_arg $ l_arg $ max_p_arg $ costs_arg
+        $ lifespans_arg $ policies_arg $ game_p_arg $ domains_arg $ json_flag))
+
 (* --- main ----------------------------------------------------------------------- *)
 
 let () =
@@ -747,5 +933,5 @@ let () =
           [
             schedule_cmd; evaluate_cmd; dp_cmd; strategies_cmd; table1_cmd;
             table2_cmd; sweep_cmd; simulate_cmd; advise_cmd; checkpoint_cmd;
-            expected_cmd; plan_cmd;
+            expected_cmd; plan_cmd; precompute_cmd;
           ]))

@@ -18,34 +18,49 @@
 
 open Cmdliner
 
-let serve socket_path batch_size domains max_conns cache_tables shards quiet =
+let serve socket_path batch_size domains max_conns cache_tables shards bank_dir
+    quiet =
   if batch_size < 1 then `Error (false, "batch must be >= 1")
   else if domains < 1 then `Error (false, "domains must be >= 1")
   else if max_conns < 1 then `Error (false, "max-conns must be >= 1")
   else if cache_tables < 1 then `Error (false, "cache-tables must be >= 1")
   else if shards < 1 then `Error (false, "shards must be >= 1")
   else begin
-    (* One compute pool serves both layers: batches fan out over it, and
-       a cold solve inside a batch borrows it for the wavefront fill
-       when the fan-out has left it idle (busy pools degrade to inline
-       fills).  Connection workers live on a separate pool owned by the
-       server, so serving slots never compete with compute slots. *)
-    let pool = Csutil.Par.Pool.create ~domains in
-    let cache =
-      Service.Cache.create ~shards ~pool ~capacity:cache_tables ()
-    in
-    let server =
-      Service.Server.create ~batch_size ~domains ~pool ~max_conns ~cache ()
-    in
-    let stop _ = Service.Server.request_stop server in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
-     with Invalid_argument _ -> ());
-    (match socket_path with
-     | Some path -> Service.Server.serve_socket server ~path
-     | None -> Service.Server.serve_fd server Unix.stdin Unix.stdout);
-    if not quiet then prerr_string (Service.Server.summary server);
-    `Ok ()
+    (* The persistent memo tier: the directory must already exist (a
+       typo'd path should not silently start a daemon with an empty
+       bank); `csched precompute` is what creates and fills one. *)
+    match
+      match bank_dir with
+      | None -> Ok None
+      | Some dir -> Result.map Option.some (Store.Bank.open_dir ~create:false dir)
+    with
+    | Error e -> `Error (false, Cyclesteal.Error.to_string e)
+    | Ok bank ->
+      (* One compute pool serves both layers: batches fan out over it, and
+         a cold solve inside a batch borrows it for the wavefront fill
+         when the fan-out has left it idle (busy pools degrade to inline
+         fills).  Connection workers live on a separate pool owned by the
+         server, so serving slots never compete with compute slots. *)
+      let pool = Csutil.Par.Pool.create ~domains in
+      let cache =
+        Service.Cache.create ~shards ~pool ?bank ~capacity:cache_tables ()
+      in
+      let warmed = Service.Cache.warm_from_bank cache in
+      if (not quiet) && Option.is_some bank then
+        Printf.eprintf "cschedd: bank %s mapped, %d dp tables warm\n%!"
+          (Option.get bank_dir) warmed;
+      let server =
+        Service.Server.create ~batch_size ~domains ~pool ~max_conns ~cache ()
+      in
+      let stop _ = Service.Server.request_stop server in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+       with Invalid_argument _ -> ());
+      (match socket_path with
+       | Some path -> Service.Server.serve_socket server ~path
+       | None -> Service.Server.serve_fd server Unix.stdin Unix.stdout);
+      if not quiet then prerr_string (Service.Server.summary server);
+      `Ok ()
   end
 
 let socket_arg =
@@ -88,6 +103,15 @@ let shards_arg =
   let doc = "Number of independently locked cache shards." in
   Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
 
+let bank_arg =
+  let doc =
+    "Map the persistent memo bank at $(docv) (written by $(b,csched \
+     precompute)): banked DP tables are warmed at startup, banked game \
+     memos load on first use, and tables solved while serving are \
+     written behind.  The directory must exist."
+  in
+  Arg.(value & opt (some string) None & info [ "bank" ] ~docv:"DIR" ~doc)
+
 let quiet_arg =
   let doc = "Suppress the session summary printed to stderr on shutdown." in
   Arg.(value & flag & info [ "quiet" ] ~doc)
@@ -102,6 +126,6 @@ let () =
     Term.(
       ret
         (const serve $ socket_arg $ batch_arg $ domains_arg $ max_conns_arg
-         $ cache_tables_arg $ shards_arg $ quiet_arg))
+         $ cache_tables_arg $ shards_arg $ bank_arg $ quiet_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

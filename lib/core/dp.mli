@@ -16,6 +16,10 @@
 type t
 (** A solved table. *)
 
+type mat = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The backing store: a flat row-major array of OCaml integers (8
+    bytes per cell on 64-bit platforms). *)
+
 val solve : c:int -> max_p:int -> max_l:int -> t
 (** [solve ~c ~max_p ~max_l] fills the table by the recurrence
     [W(p)[L] = max_t min (W(p-1)[L-t], (t (-) c) + W(p)[L-t])] with base
@@ -45,6 +49,33 @@ val grow : ?pool:Csutil.Par.Pool.t -> t -> max_p:int -> max_l:int -> unit
     least doubled on re-allocation so repeated small grows stay
     amortised.  [pool] parallelises the new-cell fill as in {!solve}.
     @raise Error.Error on negative bounds. *)
+
+type snapshot = {
+  s_c : int;
+  s_max_p : int;
+  s_max_l : int;
+  s_value : mat;  (** (max_p + 1) * (max_l + 1) cells, stride max_l + 1 *)
+  s_first : mat;  (** same layout as [s_value] *)
+}
+(** The disk-tier exchange format ([Store.Snapshot] writes these
+    verbatim): the solved region as two tight arrays — no capacity
+    headroom, stride [s_max_l + 1]. *)
+
+val to_snapshot : t -> snapshot
+(** The table's solved region.  When capacity equals the solved bounds
+    the backing arrays are shared (no copy); otherwise rows are blitted
+    into tight arrays. *)
+
+val of_snapshot : snapshot -> t
+(** A table over the snapshot's arrays, shared without copying.
+    Capacity is pinned to the solved bounds, so a table rebuilt around a
+    read-only file mapping is never written in place: any {!grow}
+    re-allocates on the heap and blits the mapped prefix, leaving the
+    shared pages clean.  Values are whatever the arrays hold —
+    bit-identity with a fresh solve is the store layer's checksum plus
+    the identity property tests, not a load-time recomputation.
+    @raise Error.Error when [s_c < 1], bounds are negative, or the array
+    dimensions do not match the bounds. *)
 
 module Ref : sig
   val solve : c:int -> max_p:int -> max_l:int -> t

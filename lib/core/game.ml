@@ -297,6 +297,68 @@ module Solver = struct
   let grid t = t.grid
   let states t = Atomic.get t.states
 
+  (* --- snapshots ---------------------------------------------------------- *)
+
+  (* The disk-tier exchange format for gridded (flat-memo) solvers: the
+     whole memo matrix, NaN cells included.  Hashtbl solvers are not
+     snapshotable ([to_snapshot] = None) — their keys are masked float
+     bits, not a dense grid.  A solver rebuilt by [of_snapshot] around a
+     privately mapped file writes only the cells it newly expands
+     (copy-on-write pages), so the solved prefix stays physically shared
+     across processes mapping the same bank file. *)
+  type snapshot = {
+    s_grid : float;
+    s_cap_p : int;
+    s_cap_l : int;
+    s_states : int;
+    s_mat : mat;
+  }
+
+  let to_snapshot t =
+    match (t.backend, t.grid) with
+    | Flat f, Some g ->
+      let b = f.body in
+      Some
+        {
+          s_grid = g;
+          s_cap_p = b.cap_p;
+          s_cap_l = b.cap_l;
+          s_states = Atomic.get t.states;
+          s_mat = b.mat;
+        }
+    | _ -> None
+
+  let of_snapshot ?(max_states = 4_000_000) ?pool params opportunity policy s =
+    if s.s_grid <= 0. then
+      Error.invalid "Game.Solver.of_snapshot: grid must be positive";
+    if s.s_cap_p < 0 || s.s_cap_l < 0 then
+      Error.invalid "Game.Solver.of_snapshot: capacities must be non-negative";
+    if s.s_states < 0 then
+      Error.invalid "Game.Solver.of_snapshot: states must be non-negative";
+    let cells = (s.s_cap_p + 1) * (s.s_cap_l + 1) in
+    if Bigarray.Array1.dim s.s_mat <> cells then
+      Error.invalidf
+        "Game.Solver.of_snapshot: capacities (%d, %d) imply %d cells, \
+         payload has %d"
+        s.s_cap_p s.s_cap_l cells
+        (Bigarray.Array1.dim s.s_mat);
+    {
+      params;
+      opportunity;
+      policy;
+      grid = Some s.s_grid;
+      c = Model.c params;
+      eps = progress_eps opportunity;
+      max_states;
+      backend =
+        Flat { body = { cap_p = s.s_cap_p; cap_l = s.s_cap_l; mat = s.s_mat } };
+      plans = Hashtbl.create 256;
+      plans_lock = Mutex.create ();
+      grow_lock = Mutex.create ();
+      states = Atomic.make s.s_states;
+      pool;
+    }
+
   let capacity t =
     match t.backend with
     | Flat f -> (f.body.cap_p, f.body.cap_l)

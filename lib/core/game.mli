@@ -110,6 +110,44 @@ module Solver : sig
 
   val footprint_bytes : t -> int
   (** Approximate resident size of memo plus plan cache. *)
+
+  type mat =
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** The flat memo's backing store (row stride [s_cap_l + 1], NaN =
+      unsolved). *)
+
+  type snapshot = {
+    s_grid : float;
+    s_cap_p : int;
+    s_cap_l : int;
+    s_states : int;  (** expansions charged against [max_states] *)
+    s_mat : mat;  (** (cap_p + 1) * (cap_l + 1) cells, NaN included *)
+  }
+  (** The disk-tier exchange format for gridded (flat-memo) solvers
+      ([Store.Snapshot] writes these verbatim). *)
+
+  val to_snapshot : t -> snapshot option
+  (** The whole memo of a gridded solver; [None] for Hashtbl-backed
+      (ungridded or [force_hashtbl]) solvers, whose masked-float keys
+      have no dense layout to dump. *)
+
+  val of_snapshot :
+    ?max_states:int ->
+    ?pool:Csutil.Par.Pool.t ->
+    Model.params ->
+    Model.opportunity ->
+    Policy.t ->
+    snapshot ->
+    t
+  (** A solver over the snapshot's memo, shared without copying: solved
+      cells answer as memo hits, NaN cells expand as usual (writes land
+      on the caller's pages — map bank files privately so expansion
+      dirties copy-on-write pages, never the file).  The caller pins the
+      identity: [params], [policy] and the grid must be the ones the
+      memo was filled under, or the values answer a different game — the
+      store layer checks them against the file header.
+      @raise Error.Error on a non-positive grid, negative capacities or
+      states, or array dimensions that do not match the capacities. *)
 end
 
 type counters = {

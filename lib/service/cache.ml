@@ -104,9 +104,14 @@ type t = {
   shards : shard array;
   pool : Csutil.Par.Pool.t option;
   solvers : solvers;
+  bank : Store.Bank.t option;
+      (* The persistent memo tier.  Cold misses fall through to the
+         bank's mapped snapshots before paying a solve; tables that were
+         solved or grown here are written behind (outside the shard
+         locks) so the next process starts warm. *)
 }
 
-let create ?(shards = 8) ?pool ~capacity () =
+let create ?(shards = 8) ?pool ?bank ~capacity () =
   if capacity < 1 then Error.invalid "Cache.create: capacity must be >= 1";
   if shards < 1 then Error.invalid "Cache.create: shards must be >= 1";
   let shards = min shards capacity in
@@ -125,6 +130,7 @@ let create ?(shards = 8) ?pool ~capacity () =
             growths = 0;
           });
     pool;
+    bank;
     solvers =
       {
         sollock = Mutex.create ();
@@ -161,12 +167,16 @@ let evict_lru sh =
   | None -> ()
 
 (* Under the shard lock: the resident table for [key.c], grown or
-   solved so it covers [key].  A grow counts as both a miss (solve work
-   was paid) and a growth (the prefix was reused).  Solve and grow take
+   solved so it covers [key], plus whether solve work changed it (the
+   write-behind cue).  A grow counts as both a miss (solve work was
+   paid) and a growth (the prefix was reused).  A cold miss falls
+   through to the bank first: a mapped snapshot that covers the key
+   counts as a hit — no cell was filled — and one that falls short
+   seeds the grow, paying only the missing cells.  Solve and grow take
    the cache's pool: fills large enough for the wavefront use it, and a
    busy pool (e.g. this solve sits under a batch fan-out) just runs the
    fill inline. *)
-let obtain ~pool sh key ~count =
+let obtain ~pool ~bank sh key ~count =
   with_lock sh (fun () ->
       sh.clock <- sh.clock + 1;
       match Hashtbl.find_opt sh.table key.c with
@@ -174,26 +184,55 @@ let obtain ~pool sh key ~count =
         e.used <- sh.clock;
         if covers e.dp key then begin
           if count then sh.hits <- sh.hits + 1;
-          e.dp
+          (e.dp, false)
         end
         else begin
           if count then sh.misses <- sh.misses + 1;
           sh.growths <- sh.growths + 1;
           Dp.grow ?pool e.dp ~max_p:key.max_p ~max_l:key.max_l;
-          e.dp
+          (e.dp, true)
         end
       | None ->
-        if count then sh.misses <- sh.misses + 1;
+        let banked =
+          match bank with
+          | None -> None
+          | Some b -> Store.Bank.load_dp b ~c:key.c
+        in
+        let dp, changed =
+          match banked with
+          | Some dp when covers dp key ->
+            if count then sh.hits <- sh.hits + 1;
+            (dp, false)
+          | Some dp ->
+            if count then sh.misses <- sh.misses + 1;
+            sh.growths <- sh.growths + 1;
+            Dp.grow ?pool dp ~max_p:key.max_p ~max_l:key.max_l;
+            (dp, true)
+          | None ->
+            if count then sh.misses <- sh.misses + 1;
+            ( Dp.solve_with ~pool ~c:key.c ~max_p:key.max_p ~max_l:key.max_l,
+              true )
+        in
         while Hashtbl.length sh.table >= sh.capacity do
           evict_lru sh
         done;
-        let dp = Dp.solve_with ~pool ~c:key.c ~max_p:key.max_p ~max_l:key.max_l in
         Hashtbl.add sh.table key.c { dp; used = sh.clock };
-        dp)
+        (dp, changed))
+
+(* Write-behind: persist a freshly solved or grown table, outside the
+   shard lock.  Published cells are immutable, so reading the table
+   here races nothing; the bank dedups by solved size and swallows I/O
+   failures (they surface in its counters). *)
+let persist_dp t dp =
+  match t.bank with None -> () | Some b -> Store.Bank.save_dp b dp
 
 let find_or_solve t ~c ~p ~l =
   let key = canonical ~c ~p ~l in
-  obtain ~pool:t.pool (shard_of t key.c) key ~count:true
+  let dp, changed =
+    obtain ~pool:t.pool ~bank:t.bank (shard_of t key.c) key ~count:true
+  in
+  if changed then persist_dp t dp;
+  dp
 
 (* Presence probe ("is there a resident table covering these bounds?")
    that neither stamps the LRU clock nor counts. *)
@@ -227,36 +266,79 @@ let preload t ~keys ?domains () =
     merge_keys keys |> List.filter (fun key -> not (mem t key)) |> Array.of_list
   in
   if Array.length missing > 0 then begin
-    (* Solve outside the locks (this is the parallel phase), then merge
-       under the lock; if another domain raced a table in, grow it to
-       cover instead of replacing it, so everyone converges on one. *)
+    (* Solve outside the locks (this is the parallel phase) — falling
+       through to the bank first, like [obtain] — then merge under the
+       lock; if another domain raced a table in, grow it to cover
+       instead of replacing it, so everyone converges on one. *)
     let solve key =
-      Dp.solve_with ~pool:t.pool ~c:key.c ~max_p:key.max_p ~max_l:key.max_l
+      let banked =
+        match t.bank with
+        | None -> None
+        | Some b -> Store.Bank.load_dp b ~c:key.c
+      in
+      match banked with
+      | Some dp when covers dp key -> (dp, false)
+      | Some dp ->
+        Dp.grow ?pool:t.pool dp ~max_p:key.max_p ~max_l:key.max_l;
+        (dp, true)
+      | None ->
+        ( Dp.solve_with ~pool:t.pool ~c:key.c ~max_p:key.max_p ~max_l:key.max_l,
+          true )
     in
     let solved = Csutil.Par.map ?pool:t.pool ?domains solve missing in
+    let to_persist = ref [] in
     Array.iteri
-      (fun i dp ->
+      (fun i (dp, changed) ->
          let key = missing.(i) in
          let sh = shard_of t key.c in
          with_lock sh (fun () ->
-             sh.misses <- sh.misses + 1;
+             if changed then sh.misses <- sh.misses + 1
+             else sh.hits <- sh.hits + 1;
              sh.clock <- sh.clock + 1;
              match Hashtbl.find_opt sh.table key.c with
              | Some e ->
                e.used <- sh.clock;
                if not (covers e.dp key) then begin
                  sh.growths <- sh.growths + 1;
-                 Dp.grow ?pool:t.pool e.dp ~max_p:key.max_p ~max_l:key.max_l
+                 Dp.grow ?pool:t.pool e.dp ~max_p:key.max_p ~max_l:key.max_l;
+                 to_persist := e.dp :: !to_persist
                end
              | None ->
                while Hashtbl.length sh.table >= sh.capacity do
                  evict_lru sh
                done;
-               Hashtbl.add sh.table key.c { dp; used = sh.clock }))
-      solved
+               Hashtbl.add sh.table key.c { dp; used = sh.clock };
+               if changed then to_persist := dp :: !to_persist))
+      solved;
+    List.iter (persist_dp t) !to_persist
   end
 
-(* Under the solvers lock: the resident (or fresh) entry for the key. *)
+(* A gridded memo loaded from the bank, rebuilt into a solver around
+   the mapped (copy-on-write) pages; [None] on miss, on any load
+   failure, or for ungridded evaluations (Hashtbl memos are not
+   bankable). *)
+let solver_from_bank t key params opp (planner : Engine.Planner.t) =
+  match (t.bank, Engine.Planner.default_grid ~u:key.su) with
+  | Some b, Some grid -> (
+    match
+      Store.Bank.load_game b ~c:key.sc ~u:key.su ~grid ~policy:key.spolicy
+        ~p_key:key.sp
+    with
+    | None -> None
+    | Some snap -> (
+      match
+        Error.guard (fun () ->
+            Game.Solver.of_snapshot ?pool:t.pool params opp
+              (Engine.Planner.policy planner params opp)
+              snap)
+      with
+      | Ok solver -> Some solver
+      | Error _ -> None))
+  | _ -> None
+
+(* Under the solvers lock: the resident (or bank-loaded, or fresh)
+   entry for the key, plus the key itself (the write-behind needs the
+   identity the entry is filed under). *)
 let obtain_solver t params opp (planner : Engine.Planner.t) =
   let u = opp.Model.lifespan in
   let p = opp.Model.interrupts in
@@ -282,9 +364,14 @@ let obtain_solver t params opp (planner : Engine.Planner.t) =
            flat memo in place when evaluated. *)
         let cap_p, _ = Game.Solver.capacity e.solver in
         if p > cap_p then s.sgrowths <- s.sgrowths + 1;
-        e
+        (e, key)
       | None ->
-        s.smisses <- s.smisses + 1;
+        let banked = solver_from_bank t key params opp planner in
+        (match banked with
+        | Some _ ->
+          (* No minimax state was expanded: the bank answered. *)
+          s.shits <- s.shits + 1
+        | None -> s.smisses <- s.smisses + 1);
         while Hashtbl.length s.entries >= s.scapacity do
           let victim = ref None in
           Hashtbl.iter
@@ -299,18 +386,68 @@ let obtain_solver t params opp (planner : Engine.Planner.t) =
             s.sevictions <- s.sevictions + 1
           | None -> ()
         done;
-        let grid = Engine.Planner.default_grid ~u in
         let solver =
-          Engine.Planner.solver ?grid ?pool:t.pool planner params opp
+          match banked with
+          | Some solver -> solver
+          | None ->
+            let grid = Engine.Planner.default_grid ~u in
+            Engine.Planner.solver ?grid ?pool:t.pool planner params opp
         in
         let e = { solver; slock = Mutex.create (); sused = s.sclock } in
         Hashtbl.add s.entries key e;
-        e)
+        (e, key))
 
 let with_solver t params opp planner f =
-  let e = obtain_solver t params opp planner in
+  let e, key = obtain_solver t params opp planner in
   Mutex.lock e.slock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock e.slock) (fun () -> f e.solver)
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock e.slock)
+    (fun () ->
+      let result = f e.solver in
+      (* Write-behind, still under the entry lock (so the memo is
+         quiescent): a no-op unless the solver expanded past what the
+         bank already holds — the bank dedups by expanded-state count. *)
+      (match t.bank with
+      | None -> ()
+      | Some b -> (
+        match Game.Solver.to_snapshot e.solver with
+        | None -> ()
+        | Some snap ->
+          Store.Bank.save_game b ~c:key.sc ~u:key.su ~policy:key.spolicy
+            ~p_key:key.sp snap));
+      result)
+
+(* Map every banked Dp table into its shard (without disturbing LRU
+   counters) so the first query after startup is already warm; game
+   memos stay on disk until the first evaluation names their policy —
+   rebuilding a solver needs the live params/policy objects only the
+   evaluate path has.  Returns the number of tables warmed. *)
+let warm_from_bank t =
+  match t.bank with
+  | None -> 0
+  | Some b ->
+    List.fold_left
+      (fun warmed (_, descr) ->
+        match descr with
+        | Store.Snapshot.Game_memo _ -> warmed
+        | Store.Snapshot.Dp_table { c; _ } -> (
+          match Store.Bank.load_dp b ~c with
+          | None -> warmed
+          | Some dp ->
+            let sh = shard_of t c in
+            with_lock sh (fun () ->
+                if Hashtbl.mem sh.table c then warmed
+                else begin
+                  sh.clock <- sh.clock + 1;
+                  while Hashtbl.length sh.table >= sh.capacity do
+                    evict_lru sh
+                  done;
+                  Hashtbl.add sh.table c { dp; used = sh.clock };
+                  warmed + 1
+                end)))
+      0 (Store.Bank.entries b)
+
+let bank t = t.bank
 
 type stats = {
   hits : int;
@@ -327,6 +464,8 @@ type stats = {
   solvers_resident : int;
   solver_bytes : int;
   game : Game.counters;
+  bank : Store.Bank.counters option;
+  bank_last_error : string option;
 }
 
 let stats t =
@@ -371,6 +510,8 @@ let stats t =
                (fun _ e b -> b + Game.Solver.footprint_bytes e.solver)
                s.entries 0;
            game = Game.counters ();
+           bank = Option.map Store.Bank.counters t.bank;
+           bank_last_error = Option.bind t.bank Store.Bank.last_error;
          }))
     t.shards
 
@@ -393,4 +534,7 @@ let reset_counters t =
        s.sevictions <- 0;
        s.sgrowths <- 0));
   Dp.reset_counters ();
-  Game.reset_counters ()
+  Game.reset_counters ();
+  (* The bank group resets with everything else: [stats reset] is one
+     atomic zeroing of every counter family the daemon reports. *)
+  Option.iter Store.Bank.reset_counters t.bank

@@ -43,7 +43,13 @@ val canonical : c:int -> p:int -> l:int -> key
     min_l], [p] rounds up to an even number [>= min_p].
     @raise Error.Error when [c < 1], [p < 0] or [l < 0]. *)
 
-val create : ?shards:int -> ?pool:Csutil.Par.Pool.t -> capacity:int -> unit -> t
+val create :
+  ?shards:int ->
+  ?pool:Csutil.Par.Pool.t ->
+  ?bank:Store.Bank.t ->
+  capacity:int ->
+  unit ->
+  t
 (** [create ~capacity ()] holds at most [capacity] solved tables in
     total, split over [shards] (default 8) independently locked LRU
     shards (each shard holds at most [ceil (capacity / shards)]).
@@ -51,7 +57,25 @@ val create : ?shards:int -> ?pool:Csutil.Par.Pool.t -> capacity:int -> unit -> t
     domain-parallel wavefront kernel; when the pool is busy (say this
     solve sits under a {!Batch} fan-out on the same pool) the fill runs
     inline, so sharing one pool is always safe.
+
+    [bank] plugs in the persistent memo tier: a cold miss (Dp table or
+    gridded game solver alike) falls through to the bank's mapped
+    snapshots before paying a solve — a covering snapshot counts as a
+    cache hit, since no cell is computed — and tables solved or grown
+    here are written behind, outside the shard locks, so the next
+    process starts warm.  Bank load failures (corrupt, truncated,
+    mismatched files) silently fall through to a fresh solve and are
+    reported in {!stats}[.bank].
     @raise Error.Error when [capacity < 1] or [shards < 1]. *)
+
+val warm_from_bank : t -> int
+(** Map every banked Dp table into its shard up front (LRU counters
+    untouched), so the daemon's first query is warm without even the
+    first-request mapping cost; game memos load lazily on the first
+    evaluation that names their identity, which is when the live
+    policy objects exist.  Returns the number of tables warmed. *)
+
+val bank : t -> Store.Bank.t option
 
 val find_or_solve : t -> c:int -> p:int -> l:int -> Cyclesteal.Dp.t
 (** The resident table for [c], guaranteed to cover the canonical
@@ -105,6 +129,12 @@ type stats = {
   game : Cyclesteal.Game.counters;
       (** game-solver work counters (states expanded, memo hits, plans
           computed, parallel fills); process-wide, like [kernel]. *)
+  bank : Store.Bank.counters option;
+      (** persistent-tier accounting ([None] when no bank is plugged
+          in): snapshot loads served, misses, files rejected, snapshots
+          written. *)
+  bank_last_error : string option;
+      (** the most recent bank load/save failure, verbatim *)
 }
 
 val stats : t -> stats
@@ -112,10 +142,11 @@ val stats : t -> stats
     each shard is read under its lock). *)
 
 val reset_counters : t -> unit
-(** Zero the hit/miss/eviction/growth counters (Dp and solver alike)
-    and the process-wide kernel and game-solver counters, keeping the
-    resident tables and solvers; backs the daemon's [stats reset]
-    sub-op. *)
+(** Zero the hit/miss/eviction/growth counters (Dp and solver alike),
+    the process-wide kernel and game-solver counters, and the bank
+    counters when a bank is plugged in — every counter family the
+    daemon reports resets together — keeping the resident tables and
+    solvers; backs the daemon's [stats reset] sub-op. *)
 
 val table_bytes : Cyclesteal.Dp.t -> int
 (** Approximate heap footprint of one solved table. *)

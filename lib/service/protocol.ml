@@ -266,7 +266,11 @@ let handle_evaluate ?cache ~c ~u ~p ~policy ~periods () =
      value the replay touches; cached solvers stay resident across
      requests and answer warm queries from their memo. *)
   let eval solver =
-    let g = Game.Solver.guaranteed solver in
+    (* Query the request's own state, not [Solver.guaranteed]'s baked
+       root: a resident state-only solver (and a bank-loaded memo) is
+       shared across interrupt budgets, so its baked opportunity may be
+       another request's. *)
+    let g = Game.Solver.value solver ~p ~residual:u in
     let adv = Game.Solver.adversary solver in
     let pol = Game.Solver.policy solver in
     let outcome = Game.run params opp pol adv in

@@ -152,7 +152,7 @@ let latency_fields t =
 let to_json t ~cache:(c : Cache.stats) =
   locked t (fun () ->
       Json.Obj
-        [
+        ([
           ("requests", Json.Int t.requests);
           ("errors", Json.Int t.errors);
           ("io_errors", Json.Int t.io_errors);
@@ -203,7 +203,29 @@ let to_json t ~cache:(c : Cache.stats) =
                 ("plans_computed", Json.Int g.Cyclesteal.Game.plans_computed);
                 ("parallel_fills", Json.Int g.Cyclesteal.Game.parallel_fills);
               ] );
-        ])
+        ]
+        (* The bank group only appears when the daemon was started with
+           --bank, so bankless deployments keep their exact stats
+           shape. *)
+        @
+        match c.Cache.bank with
+        | None -> []
+        | Some b ->
+          [
+            ( "bank",
+              Json.Obj
+                ([
+                   ("hits", Json.Int b.Store.Bank.hits);
+                   ("misses", Json.Int b.Store.Bank.misses);
+                   ("load_failures", Json.Int b.Store.Bank.load_failures);
+                   ("saves", Json.Int b.Store.Bank.saves);
+                   ("save_failures", Json.Int b.Store.Bank.save_failures);
+                 ]
+                @
+                match c.Cache.bank_last_error with
+                | None -> []
+                | Some e -> [ ("last_error", Json.String e) ]) );
+          ]))
 
 let summary t ~cache:(c : Cache.stats) =
   locked t (fun () ->
@@ -261,4 +283,15 @@ let summary t ~cache:(c : Cache.stats) =
       add "game plans computed" (string_of_int g.Cyclesteal.Game.plans_computed);
       add "game parallel fills"
         (string_of_int g.Cyclesteal.Game.parallel_fills);
+      (match c.Cache.bank with
+       | None -> ()
+       | Some b ->
+         add "bank hits" (string_of_int b.Store.Bank.hits);
+         add "bank misses" (string_of_int b.Store.Bank.misses);
+         add "bank load failures" (string_of_int b.Store.Bank.load_failures);
+         add "bank saves" (string_of_int b.Store.Bank.saves);
+         add "bank save failures" (string_of_int b.Store.Bank.save_failures);
+         match c.Cache.bank_last_error with
+         | None -> ()
+         | Some e -> add "bank last error" e);
       Csutil.Table.to_string table)

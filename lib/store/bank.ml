@@ -1,0 +1,181 @@
+open Cyclesteal
+
+type counters = {
+  hits : int;
+  misses : int;
+  load_failures : int;
+  saves : int;
+  save_failures : int;
+}
+
+type t = {
+  dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  load_failures : int Atomic.t;
+  saves : int Atomic.t;
+  save_failures : int Atomic.t;
+  lock : Mutex.t;  (** guards [last_error] and [banked] *)
+  mutable last_error : string option;
+  banked : (string, int) Hashtbl.t;
+      (** file name -> solved size already on disk (cells for dp,
+          states for games); the write-behind dedup, seeded by loads *)
+}
+
+let dir t = t.dir
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if parent <> path then mkdir_p parent;
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir ?(create = false) path =
+  Error.guard (fun () ->
+      (try if create then mkdir_p path
+       with Unix.Unix_error (err, _, arg) ->
+         Error.invalidf "bank directory %s: cannot create %s: %s" path arg
+           (Unix.error_message err));
+      (match Sys.is_directory path with
+      | true -> ()
+      | false -> Error.invalidf "bank path %s is not a directory" path
+      | exception Sys_error _ ->
+        Error.invalidf "bank directory %s does not exist" path);
+      {
+        dir = path;
+        hits = Atomic.make 0;
+        misses = Atomic.make 0;
+        load_failures = Atomic.make 0;
+        saves = Atomic.make 0;
+        save_failures = Atomic.make 0;
+        lock = Mutex.create ();
+        last_error = None;
+        banked = Hashtbl.create 64;
+      })
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let note_failure t counter e =
+  Atomic.incr counter;
+  locked t (fun () -> t.last_error <- Some e)
+
+let mark_banked t name size = locked t (fun () -> Hashtbl.replace t.banked name size)
+
+let already_banked t name size =
+  locked t (fun () -> Hashtbl.find_opt t.banked name = Some size)
+
+(* --- file naming ---------------------------------------------------------- *)
+
+let sanitize s =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ch
+      | _ -> '-')
+    s
+
+let dp_name ~c = Printf.sprintf "dp_c%d.snap" c
+
+(* Floats are keyed by their bit patterns: the bank must distinguish
+   identities the cache distinguishes, and %g would collide them. *)
+let game_name ~c ~u ~policy ~p_key =
+  Printf.sprintf "game_%s_c%016Lx_u%016Lx_%s.snap" (sanitize policy)
+    (Int64.bits_of_float c) (Int64.bits_of_float u)
+    (if p_key < 0 then "pany" else Printf.sprintf "p%d" p_key)
+
+(* --- loads ---------------------------------------------------------------- *)
+
+let load t name ~size load_file =
+  let path = Filename.concat t.dir name in
+  if not (Sys.file_exists path) then begin
+    Atomic.incr t.misses;
+    None
+  end
+  else
+    match load_file ~path with
+    | Ok v ->
+      Atomic.incr t.hits;
+      mark_banked t name (size v);
+      Some v
+    | Error e ->
+      note_failure t t.load_failures (Error.to_string e);
+      None
+
+let load_dp t ~c =
+  load t (dp_name ~c)
+    ~size:(fun dp -> (Dp.max_p dp + 1) * (Dp.max_l dp + 1))
+    (fun ~path -> Snapshot.load_dp ~path ~c)
+
+let load_game t ~c ~u ~grid ~policy ~p_key =
+  load t
+    (game_name ~c ~u ~policy ~p_key)
+    ~size:(fun (s : Game.Solver.snapshot) -> s.Game.Solver.s_states)
+    (fun ~path -> Snapshot.load_game ~path ~c ~u ~grid ~policy ~p_key)
+
+(* --- saves ---------------------------------------------------------------- *)
+
+let save t name ~size write =
+  if not (already_banked t name size) then begin
+    let path = Filename.concat t.dir name in
+    match write ~path with
+    | () ->
+      Atomic.incr t.saves;
+      mark_banked t name size
+    | exception Unix.Unix_error (err, _, arg) ->
+      note_failure t t.save_failures
+        (Printf.sprintf "%s: %s: %s" path arg (Unix.error_message err))
+  end
+
+let save_dp t dp =
+  save t
+    (dp_name ~c:(Dp.c dp))
+    ~size:((Dp.max_p dp + 1) * (Dp.max_l dp + 1))
+    (fun ~path -> Snapshot.save_dp ~path dp)
+
+let save_game t ~c ~u ~policy ~p_key (s : Game.Solver.snapshot) =
+  save t
+    (game_name ~c ~u ~policy ~p_key)
+    ~size:s.Game.Solver.s_states
+    (fun ~path -> Snapshot.save_game ~path ~c ~u ~policy ~p_key s)
+
+(* --- enumeration and accounting ------------------------------------------- *)
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error e ->
+    note_failure t t.load_failures e;
+    []
+  | names ->
+    Array.sort String.compare names;
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           if Filename.check_suffix name ".snap" then
+             match Snapshot.peek ~path:(Filename.concat t.dir name) with
+             | Ok d -> Some (name, d)
+             | Error e ->
+               note_failure t t.load_failures (Error.to_string e);
+               None
+           else None)
+
+let counters t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    load_failures = Atomic.get t.load_failures;
+    saves = Atomic.get t.saves;
+    save_failures = Atomic.get t.save_failures;
+  }
+
+let last_error t = locked t (fun () -> t.last_error)
+
+let reset_counters t =
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.load_failures 0;
+  Atomic.set t.saves 0;
+  Atomic.set t.save_failures 0;
+  locked t (fun () -> t.last_error <- None)

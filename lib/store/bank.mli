@@ -1,0 +1,74 @@
+(** A memo bank: a directory of {!Snapshot} files plus the accounting
+    the daemon surfaces under [stats.bank].
+
+    One entry per table identity — [dp_c<c>.snap] for tick tables,
+    [game_<policy>_<c>_<u>_<p>.snap] for gridded solver memos — so a
+    save for an identity that is already banked overwrites it (via the
+    atomic-rename protocol) and a load is a single [stat]+[mmap], no
+    directory scan.
+
+    Loads never raise: a missing file is a miss, an unreadable or
+    invalid file is a load failure (counted, last error kept) and the
+    caller falls through to a fresh solve.  Saves are write-behind and
+    also never raise — a failed save is counted and the daemon keeps
+    answering from memory. *)
+
+type t
+
+val open_dir : ?create:bool -> string -> (t, Cyclesteal.Error.t) result
+(** Open (and with [create], make, parents included) the bank
+    directory.  Fails with a structured error when the path is missing
+    ([create = false]), is not a directory, or cannot be created. *)
+
+val dir : t -> string
+
+val load_dp : t -> c:int -> Cyclesteal.Dp.t option
+(** The banked tick table for cost [c], mapped; [None] on miss or any
+    load failure (counted). *)
+
+val save_dp : t -> Cyclesteal.Dp.t -> unit
+(** Persist the table's solved region, keyed by its [c].  Skipped when
+    the bank already holds this identity at the same solved size (the
+    write-behind dedup); failures are counted, never raised. *)
+
+val load_game :
+  t ->
+  c:float ->
+  u:float ->
+  grid:float ->
+  policy:string ->
+  p_key:int ->
+  Cyclesteal.Game.Solver.snapshot option
+(** The banked solver memo for this cache identity, mapped; [None] on
+    miss or load failure. *)
+
+val save_game :
+  t ->
+  c:float ->
+  u:float ->
+  policy:string ->
+  p_key:int ->
+  Cyclesteal.Game.Solver.snapshot ->
+  unit
+(** Persist a gridded solver memo under its cache identity; same dedup
+    and no-raise contract as {!save_dp}. *)
+
+val entries : t -> (string * Snapshot.descr) list
+(** Every valid snapshot in the bank, by file name; invalid files are
+    skipped (and counted as load failures). *)
+
+type counters = {
+  hits : int;  (** loads answered from a mapped file *)
+  misses : int;  (** loads with no banked entry *)
+  load_failures : int;  (** corrupt/mismatched/unreadable entries *)
+  saves : int;  (** snapshots written (after dedup) *)
+  save_failures : int;
+}
+
+val counters : t -> counters
+
+val last_error : t -> string option
+(** The most recent load/save failure, for [stats]; cleared by
+    {!reset_counters}. *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,77 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+
+   Slicing-by-4: the inner loop folds four bytes per iteration through
+   four precomputed tables, cutting per-byte loop overhead without the
+   cache pressure of the eight-table variant.  On this container it
+   sustains a few hundred MB/s — a large bank file checks in tens of
+   milliseconds, small next to the multi-second solve it replaces. *)
+
+type view = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let poly = 0xEDB88320
+
+(* tables.(k).(b): the CRC contribution of byte b seen k positions
+   before the end of a 4-byte group (tables.(0) is the classic
+   byte-at-a-time table). *)
+let tables =
+  let t0 = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then (!c lsr 1) lxor poly else !c lsr 1
+    done;
+    t0.(n) <- !c
+  done;
+  let t = Array.make_matrix 4 256 0 in
+  t.(0) <- t0;
+  for n = 0 to 255 do
+    for k = 1 to 3 do
+      let prev = t.(k - 1).(n) in
+      t.(k).(n) <- t0.(prev land 0xFF) lxor (prev lsr 8)
+    done
+  done;
+  t
+
+let mask32 = 0xFFFFFFFF
+
+let of_view (a : view) ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim a then
+    invalid_arg "Crc32.of_view: range outside the view";
+  let t0 = tables.(0)
+  and t1 = tables.(1)
+  and t2 = tables.(2)
+  and t3 = tables.(3) in
+  let crc = ref mask32 in
+  let i = ref pos in
+  let stop = pos + len in
+  while stop - !i >= 4 do
+    let j = !i in
+    let b0 = Char.code (Bigarray.Array1.unsafe_get a j)
+    and b1 = Char.code (Bigarray.Array1.unsafe_get a (j + 1))
+    and b2 = Char.code (Bigarray.Array1.unsafe_get a (j + 2))
+    and b3 = Char.code (Bigarray.Array1.unsafe_get a (j + 3)) in
+    let c = !crc in
+    crc :=
+      Array.unsafe_get t3 ((c lxor b0) land 0xFF)
+      lxor Array.unsafe_get t2 (((c lsr 8) lxor b1) land 0xFF)
+      lxor Array.unsafe_get t1 (((c lsr 16) lxor b2) land 0xFF)
+      lxor Array.unsafe_get t0 (((c lsr 24) lxor b3) land 0xFF);
+    i := j + 4
+  done;
+  while !i < stop do
+    let b = Char.code (Bigarray.Array1.unsafe_get a !i) in
+    crc := Array.unsafe_get t0 ((!crc lxor b) land 0xFF) lxor (!crc lsr 8);
+    incr i
+  done;
+  !crc lxor mask32
+
+let of_bytes b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.of_bytes: range outside the buffer";
+  let t0 = tables.(0) in
+  let crc = ref mask32 in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.unsafe_get b i) in
+    crc := Array.unsafe_get t0 ((!crc lxor byte) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor mask32

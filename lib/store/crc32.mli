@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven — the
+    snapshot files' integrity check.  Stdlib only: the toolchain ships
+    no checksum library, and a 32-bit CRC fits an OCaml [int] on every
+    platform this code targets. *)
+
+type view = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A byte view of a (possibly mapped) file region. *)
+
+val of_view : view -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes starting at [pos], in [0, 0xFFFFFFFF].
+    @raise Invalid_argument when the range falls outside the view. *)
+
+val of_bytes : Bytes.t -> pos:int -> len:int -> int
+(** Same, over a [Bytes.t] (used for the header block). *)

@@ -1,0 +1,406 @@
+(* The snapshot file format (DESIGN.md S20).
+
+   Fixed little-endian 128-byte header, then the policy name (games
+   only, zero-padded to an 8-byte boundary), then the payload: the
+   table's backing Bigarrays verbatim, in native byte order (the header
+   carries an endianness tag, so a foreign-order file is rejected
+   instead of misread).
+
+     offset  size  field
+     0       8     magic "CSMEMOBK"
+     8       4     format version (u32)
+     12      4     kind: 1 = dp table, 2 = game memo (u32)
+     16      8     endianness/word tag 0x0102030405060708, native order
+     24      8     payload bytes (i64)
+     32      8     i0   dp: c        game: cap_p
+     40      8     i1   dp: max_p    game: cap_l
+     48      8     i2   dp: max_l    game: states
+     56      8     i3   dp: 0        game: p_key
+     64      8     f0   dp: 0        game: c   (f64 bits)
+     72      8     f1   dp: 0        game: u   (f64 bits)
+     80      8     f2   dp: 0        game: grid (f64 bits)
+     88      4     policy-name length (u32; 0 for dp)
+     92      4     payload CRC-32 (u32)
+     96      4     header CRC-32 (u32, over header + name with this
+                   field zeroed)
+     100     28    reserved (zero)
+     128     ...   policy name, zero-padded to a multiple of 8
+     ...     ...   payload
+
+   Payload: dp = value then first, (max_p+1)*(max_l+1) native ints
+   each; game = the memo matrix, (cap_p+1)*(cap_l+1) float64 (NaN =
+   unsolved).  All section offsets are multiples of 8, so the typed
+   mappings are element-aligned.
+
+   save: write a temporary sibling, blit the arrays through a shared
+   writable mapping, stamp the CRCs, close, rename over the target —
+   readers only ever observe complete files.  load: map privately
+   (shared = false): clean pages are shared across every process
+   mapping the file; later in-place solver expansion dirties private
+   copy-on-write pages, never the file itself. *)
+
+open Cyclesteal
+
+let version = 1
+let magic = "CSMEMOBK"
+let header_bytes = 128
+let endian_tag = 0x0102030405060708L
+let kind_dp = 1
+let kind_game = 2
+
+type descr =
+  | Dp_table of { c : int; max_p : int; max_l : int }
+  | Game_memo of {
+      c : float;
+      u : float;
+      grid : float;
+      policy : string;
+      p_key : int;
+      cap_p : int;
+    }
+
+(* Every field the header carries, decoded; [name] is the policy name
+   (empty for dp tables). *)
+type header = {
+  h_kind : int;
+  h_payload_bytes : int;
+  h_i0 : int;
+  h_i1 : int;
+  h_i2 : int;
+  h_i3 : int;
+  h_f0 : float;
+  h_f1 : float;
+  h_f2 : float;
+  h_name : string;
+  h_payload_crc : int;
+}
+
+let pad8 n = (n + 7) land lnot 7
+let payload_off ~name_len = header_bytes + pad8 name_len
+
+let corrupt path fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Result.Error (Error.Invalid_params (Printf.sprintf "%s: %s" path msg)))
+    fmt
+
+(* --- header encoding ------------------------------------------------------ *)
+
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let set_i64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+let get_i64 b off = Int64.to_int (Bytes.get_int64_le b off)
+let set_f64 b off v = Bytes.set_int64_le b off (Int64.bits_of_float v)
+let get_f64 b off = Int64.float_of_bits (Bytes.get_int64_le b off)
+
+let header_crc_off = 96
+
+let encode h =
+  let name_len = String.length h.h_name in
+  let block = Bytes.make (payload_off ~name_len) '\000' in
+  Bytes.blit_string magic 0 block 0 8;
+  set_u32 block 8 version;
+  set_u32 block 12 h.h_kind;
+  Bytes.set_int64_ne block 16 endian_tag;
+  set_i64 block 24 h.h_payload_bytes;
+  set_i64 block 32 h.h_i0;
+  set_i64 block 40 h.h_i1;
+  set_i64 block 48 h.h_i2;
+  set_i64 block 56 h.h_i3;
+  set_f64 block 64 h.h_f0;
+  set_f64 block 72 h.h_f1;
+  set_f64 block 80 h.h_f2;
+  set_u32 block 88 name_len;
+  set_u32 block 92 h.h_payload_crc;
+  Bytes.blit_string h.h_name 0 block header_bytes name_len;
+  set_u32 block header_crc_off
+    (Crc32.of_bytes block ~pos:0 ~len:(Bytes.length block));
+  block
+
+(* Decode and validate the header + name block read from [path].
+   [file_bytes] is the file's total size, checked against the header's
+   own payload accounting so truncation is caught before any mapping. *)
+let decode ~path ~file_bytes block =
+  if Bytes.length block < header_bytes then
+    corrupt path "truncated snapshot (%d bytes, header needs %d)"
+      (Bytes.length block) header_bytes
+  else if Bytes.sub_string block 0 8 <> magic then
+    corrupt path "bad magic (not a snapshot file)"
+  else begin
+    let v = get_u32 block 8 in
+    if v <> version then
+      corrupt path "format version %d, this build reads version %d" v version
+    else if Bytes.get_int64_ne block 16 <> endian_tag then
+      corrupt path "foreign byte order or word size"
+    else begin
+      let kind = get_u32 block 12 in
+      let name_len = get_u32 block 88 in
+      if kind <> kind_dp && kind <> kind_game then
+        corrupt path "unknown snapshot kind %d" kind
+      else if name_len > 4096 then
+        corrupt path "implausible policy-name length %d" name_len
+      else if Bytes.length block < payload_off ~name_len then
+        corrupt path "truncated snapshot (header says %d name bytes)" name_len
+      else begin
+        let stored_crc = get_u32 block header_crc_off in
+        let check = Bytes.sub block 0 (payload_off ~name_len) in
+        set_u32 check header_crc_off 0;
+        let crc = Crc32.of_bytes check ~pos:0 ~len:(Bytes.length check) in
+        if crc <> stored_crc then
+          corrupt path "header checksum mismatch (%08x, expected %08x)" crc
+            stored_crc
+        else begin
+          let h =
+            {
+              h_kind = kind;
+              h_payload_bytes = get_i64 block 24;
+              h_i0 = get_i64 block 32;
+              h_i1 = get_i64 block 40;
+              h_i2 = get_i64 block 48;
+              h_i3 = get_i64 block 56;
+              h_f0 = get_f64 block 64;
+              h_f1 = get_f64 block 72;
+              h_f2 = get_f64 block 80;
+              h_name = Bytes.sub_string block header_bytes name_len;
+              h_payload_crc = get_u32 block 92;
+            }
+          in
+          if h.h_payload_bytes < 0
+             || payload_off ~name_len + h.h_payload_bytes <> file_bytes
+          then
+            corrupt path "truncated snapshot (%d bytes, header implies %d)"
+              file_bytes
+              (payload_off ~name_len + h.h_payload_bytes)
+          else Ok h
+        end
+      end
+    end
+  end
+
+let descr_of_header = function
+  | { h_kind; h_i0; h_i1; h_i2; _ } when h_kind = kind_dp ->
+    Dp_table { c = h_i0; max_p = h_i1; max_l = h_i2 }
+  | h ->
+    Game_memo
+      {
+        c = h.h_f0;
+        u = h.h_f1;
+        grid = h.h_f2;
+        policy = h.h_name;
+        p_key = h.h_i3;
+        cap_p = h.h_i0;
+      }
+
+(* --- file plumbing -------------------------------------------------------- *)
+
+let with_fd path flags perm f =
+  let fd = Unix.openfile path flags perm in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> f fd)
+
+let map_bytes fd ~shared ~len : Crc32.view =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd Bigarray.char Bigarray.c_layout shared [| len |])
+
+let map_ints fd ~shared ~pos ~cells : Dp.mat =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int Bigarray.c_layout
+       shared [| cells |])
+
+let map_floats fd ~shared ~pos ~cells : Game.Solver.mat =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.float64
+       Bigarray.c_layout shared [| cells |])
+
+(* Write one snapshot: blit the payload sections through a shared
+   writable mapping of a temporary sibling, checksum, stamp the header,
+   rename into place. *)
+let write ~path header blit_payload =
+  let name_len = String.length header.h_name in
+  let off = payload_off ~name_len in
+  let total = off + header.h_payload_bytes in
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  (try
+     with_fd tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+       0o644 (fun fd ->
+         Unix.ftruncate fd total;
+         blit_payload fd ~off;
+         let view = map_bytes fd ~shared:true ~len:total in
+         let crc =
+           Crc32.of_view view ~pos:off ~len:header.h_payload_bytes
+         in
+         let block = encode { header with h_payload_crc = crc } in
+         for i = 0 to Bytes.length block - 1 do
+           Bigarray.Array1.unsafe_set view i (Bytes.unsafe_get block i)
+         done)
+   with e ->
+     (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.rename tmp path
+
+(* Read, validate and hand back the header plus an open fd for the
+   payload mappings. *)
+let read ~path f =
+  match
+    with_fd path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 (fun fd ->
+        let file_bytes = (Unix.fstat fd).Unix.st_size in
+        let want = min file_bytes (header_bytes + pad8 4096) in
+        let block = Bytes.create want in
+        let got = ref 0 in
+        (try
+           let n = ref 1 in
+           while !got < want && !n > 0 do
+             n := Unix.read fd block !got (want - !got);
+             got := !got + !n
+           done
+         with Unix.Unix_error _ -> ());
+        match decode ~path ~file_bytes (Bytes.sub block 0 !got) with
+        | Error _ as e -> e
+        | Ok h ->
+          let off = payload_off ~name_len:(String.length h.h_name) in
+          let view = map_bytes fd ~shared:false ~len:file_bytes in
+          let crc = Crc32.of_view view ~pos:off ~len:h.h_payload_bytes in
+          if crc <> h.h_payload_crc then
+            corrupt path "payload checksum mismatch (%08x, expected %08x)"
+              crc h.h_payload_crc
+          else f fd h ~off)
+  with
+  | result -> result
+  | exception Unix.Unix_error (err, _, _) ->
+    Result.Error
+      (Error.Invalid_params
+         (Printf.sprintf "%s: %s" path (Unix.error_message err)))
+
+let peek ~path =
+  match
+    with_fd path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 (fun fd ->
+        let file_bytes = (Unix.fstat fd).Unix.st_size in
+        let want = min file_bytes (header_bytes + pad8 4096) in
+        let block = Bytes.create want in
+        let got = ref 0 in
+        let n = ref 1 in
+        while !got < want && !n > 0 do
+          n := Unix.read fd block !got (want - !got);
+          got := !got + !n
+        done;
+        Result.map descr_of_header
+          (decode ~path ~file_bytes (Bytes.sub block 0 !got)))
+  with
+  | result -> result
+  | exception Unix.Unix_error (err, _, _) ->
+    Result.Error
+      (Error.Invalid_params
+         (Printf.sprintf "%s: %s" path (Unix.error_message err)))
+
+(* --- dp tables ------------------------------------------------------------ *)
+
+let word = Sys.word_size / 8
+
+let save_dp ~path dp =
+  let s = Dp.to_snapshot dp in
+  let cells = (s.Dp.s_max_p + 1) * (s.Dp.s_max_l + 1) in
+  let header =
+    {
+      h_kind = kind_dp;
+      h_payload_bytes = 2 * cells * word;
+      h_i0 = s.Dp.s_c;
+      h_i1 = s.Dp.s_max_p;
+      h_i2 = s.Dp.s_max_l;
+      h_i3 = 0;
+      h_f0 = 0.;
+      h_f1 = 0.;
+      h_f2 = 0.;
+      h_name = "";
+      h_payload_crc = 0;
+    }
+  in
+  write ~path header (fun fd ~off ->
+      Bigarray.Array1.blit s.Dp.s_value
+        (map_ints fd ~shared:true ~pos:off ~cells);
+      Bigarray.Array1.blit s.Dp.s_first
+        (map_ints fd ~shared:true ~pos:(off + (cells * word)) ~cells))
+
+let load_dp ~path ~c =
+  read ~path (fun fd h ~off ->
+      if h.h_kind <> kind_dp then corrupt path "not a dp-table snapshot"
+      else if h.h_i0 <> c then
+        corrupt path "holds a table for c = %d ticks, expected c = %d" h.h_i0 c
+      else begin
+        let cells = (h.h_i1 + 1) * (h.h_i2 + 1) in
+        if h.h_i1 < 0 || h.h_i2 < 0 || h.h_payload_bytes <> 2 * cells * word
+        then
+          corrupt path "payload is %d bytes, bounds (%d, %d) imply %d"
+            h.h_payload_bytes h.h_i1 h.h_i2 (2 * cells * word)
+        else begin
+          match
+            Error.guard (fun () ->
+                Dp.of_snapshot
+                  {
+                    Dp.s_c = h.h_i0;
+                    s_max_p = h.h_i1;
+                    s_max_l = h.h_i2;
+                    s_value = map_ints fd ~shared:false ~pos:off ~cells;
+                    s_first =
+                      map_ints fd ~shared:false ~pos:(off + (cells * word))
+                        ~cells;
+                  })
+          with
+          | Ok _ as ok -> ok
+          | Error e ->
+            corrupt path "rejected by Dp.of_snapshot: %s" (Error.to_string e)
+        end
+      end)
+
+(* --- game memos ----------------------------------------------------------- *)
+
+let save_game ~path ~c ~u ~policy ~p_key (s : Game.Solver.snapshot) =
+  let cells = (s.Game.Solver.s_cap_p + 1) * (s.Game.Solver.s_cap_l + 1) in
+  let header =
+    {
+      h_kind = kind_game;
+      h_payload_bytes = 8 * cells;
+      h_i0 = s.Game.Solver.s_cap_p;
+      h_i1 = s.Game.Solver.s_cap_l;
+      h_i2 = s.Game.Solver.s_states;
+      h_i3 = p_key;
+      h_f0 = c;
+      h_f1 = u;
+      h_f2 = s.Game.Solver.s_grid;
+      h_name = policy;
+      h_payload_crc = 0;
+    }
+  in
+  write ~path header (fun fd ~off ->
+      Bigarray.Array1.blit s.Game.Solver.s_mat
+        (map_floats fd ~shared:true ~pos:off ~cells))
+
+let load_game ~path ~c ~u ~grid ~policy ~p_key =
+  read ~path (fun fd h ~off ->
+      if h.h_kind <> kind_game then corrupt path "not a game-memo snapshot"
+      else if
+        Int64.bits_of_float h.h_f0 <> Int64.bits_of_float c
+        || Int64.bits_of_float h.h_f1 <> Int64.bits_of_float u
+        || Int64.bits_of_float h.h_f2 <> Int64.bits_of_float grid
+        || h.h_name <> policy
+        || h.h_i3 <> p_key
+      then
+        corrupt path
+          "holds memo (c=%g, u=%g, grid=%g, policy=%s, p_key=%d), expected \
+           (c=%g, u=%g, grid=%g, policy=%s, p_key=%d)"
+          h.h_f0 h.h_f1 h.h_f2 h.h_name h.h_i3 c u grid policy p_key
+      else begin
+        let cells = (h.h_i0 + 1) * (h.h_i1 + 1) in
+        if h.h_i0 < 0 || h.h_i1 < 0 || h.h_i2 < 0
+           || h.h_payload_bytes <> 8 * cells
+        then
+          corrupt path "payload is %d bytes, capacities (%d, %d) imply %d"
+            h.h_payload_bytes h.h_i0 h.h_i1 (8 * cells)
+        else
+          Ok
+            {
+              Game.Solver.s_grid = h.h_f2;
+              s_cap_p = h.h_i0;
+              s_cap_l = h.h_i1;
+              s_states = h.h_i2;
+              s_mat = map_floats fd ~shared:false ~pos:off ~cells;
+            }
+      end)

@@ -1,0 +1,78 @@
+(** The versioned, checksummed snapshot file format for the persistent
+    memo tier (DESIGN.md S20).
+
+    One file holds one table: a {!Cyclesteal.Dp.t} (kind [dp]) or a
+    gridded {!Cyclesteal.Game.Solver} memo (kind [game]).  The layout is
+    a fixed 128-byte header — magic, version, endianness tag, the
+    table's identity parameters, a CRC-32 of the payload and one of the
+    header itself — followed by the policy name (games only, zero-padded
+    to 8 bytes) and the payload: the backing [Bigarray]s written
+    verbatim, so a load is a file mapping, not a parse.
+
+    [save_*] writes to a temporary file in the same directory and
+    publishes it with [Unix.rename], so readers only ever see complete
+    files (the atomic-rename protocol).  [load_*] maps the file privately
+    ([Unix.map_file] with [shared = false]): clean pages are shared
+    between every process mapping the same file; the few cells a solver
+    expands later dirty private copy-on-write pages, never the file.
+
+    Corrupt, truncated, version-skewed or param-mismatched files are
+    reported as [Error] with a structured {!Cyclesteal.Error.t} — the
+    caller falls through to a fresh solve, never crashes. *)
+
+val version : int
+(** Current format version (bumped on any layout change). *)
+
+type descr =
+  | Dp_table of { c : int; max_p : int; max_l : int }
+  | Game_memo of {
+      c : float;
+      u : float;
+      grid : float;
+      policy : string;
+      p_key : int;  (** the solver-cache key's p; [-1] = state-only *)
+      cap_p : int;
+    }
+      (** What a snapshot file holds, read from its header alone. *)
+
+val peek : path:string -> (descr, Cyclesteal.Error.t) result
+(** Read and validate the header (magic, version, endianness, sizes)
+    without mapping or checksumming the payload; used to enumerate a
+    bank directory. *)
+
+val save_dp : path:string -> Cyclesteal.Dp.t -> unit
+(** Snapshot the table's solved region to [path] via the atomic-rename
+    protocol.  @raise Unix.Unix_error on I/O failure (the temporary file
+    is removed). *)
+
+val load_dp : path:string -> c:int -> (Cyclesteal.Dp.t, Cyclesteal.Error.t) result
+(** Map [path] and rebuild the table around the mapped arrays (no
+    copy; see {!Cyclesteal.Dp.of_snapshot} for why the mapping is never
+    written).  Fails — structured, no exception — when the file is
+    corrupt, truncated, version-skewed, or holds a table for a different
+    [c]. *)
+
+val save_game :
+  path:string ->
+  c:float ->
+  u:float ->
+  policy:string ->
+  p_key:int ->
+  Cyclesteal.Game.Solver.snapshot ->
+  unit
+(** Snapshot a gridded solver memo, stamped with the solver-cache
+    identity [(c, u, policy, p_key)] so a load can refuse a file that
+    answers a different game.  @raise Unix.Unix_error on I/O failure. *)
+
+val load_game :
+  path:string ->
+  c:float ->
+  u:float ->
+  grid:float ->
+  policy:string ->
+  p_key:int ->
+  (Cyclesteal.Game.Solver.snapshot, Cyclesteal.Error.t) result
+(** Map [path] and return the memo snapshot, after checking the header's
+    identity (including the evaluation grid) bit-for-bit against the
+    expected key.  The caller rebuilds the solver with
+    {!Cyclesteal.Game.Solver.of_snapshot}. *)

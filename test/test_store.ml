@@ -1,0 +1,419 @@
+(* Tests for the persistent memo tier (DESIGN.md S20): snapshot
+   round-trips are bit-identical, every corruption mode degrades to a
+   structured error (and, through a bank-backed cache, to a fresh
+   solve), and the daemon's counter families reset together. *)
+
+open Cyclesteal
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let tmp_dir () =
+  let dir = Filename.temp_file "csstore" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let rm_rf dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ()
+
+let with_dir f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let mat_equal (a : Dp.mat) (b : Dp.mat) =
+  let open Bigarray.Array1 in
+  dim a = dim b
+  &&
+  let rec go i = i >= dim a || (unsafe_get a i = unsafe_get b i && go (i + 1)) in
+  go 0
+
+(* NaN-aware bit equality: unsolved cells are NaN on both sides. *)
+let fmat_equal (a : Game.Solver.mat) (b : Game.Solver.mat) =
+  let open Bigarray.Array1 in
+  dim a = dim b
+  &&
+  let rec go i =
+    i >= dim a
+    || (Int64.equal
+          (Int64.bits_of_float (unsafe_get a i))
+          (Int64.bits_of_float (unsafe_get b i))
+        && go (i + 1))
+  in
+  go 0
+
+let dp_tables_equal a b =
+  let sa = Dp.to_snapshot a and sb = Dp.to_snapshot b in
+  sa.Dp.s_c = sb.Dp.s_c
+  && sa.Dp.s_max_p = sb.Dp.s_max_p
+  && sa.Dp.s_max_l = sb.Dp.s_max_l
+  && mat_equal sa.Dp.s_value sb.Dp.s_value
+  && mat_equal sa.Dp.s_first sb.Dp.s_first
+
+(* --- round-trip properties ------------------------------------------------ *)
+
+let prop_dp_round_trip =
+  QCheck.Test.make ~name:"dp snapshot round-trips bit-identically" ~count:12
+    QCheck.(triple (int_range 1 9) (int_range 1 4) (int_range 64 900))
+    (fun (c, p, l) ->
+       with_dir (fun dir ->
+           let path = Filename.concat dir "t.snap" in
+           let t = Dp.solve ~c ~max_p:p ~max_l:l in
+           Store.Snapshot.save_dp ~path t;
+           match Store.Snapshot.load_dp ~path ~c with
+           | Error e -> QCheck.Test.fail_report (Error.to_string e)
+           | Ok loaded ->
+             if not (dp_tables_equal t loaded) then
+               QCheck.Test.fail_report "loaded table differs";
+             (* A mapped table grows on the heap (capacity is pinned at
+                the solved bounds) and must agree with a fresh solve at
+                the larger bounds cell for cell. *)
+             Dp.grow loaded ~max_p:(p + 1) ~max_l:(l + 37);
+             let fresh = Dp.solve ~c ~max_p:(p + 1) ~max_l:(l + 37) in
+             if not (dp_tables_equal fresh loaded) then
+               QCheck.Test.fail_report "grown mapped table differs";
+             true))
+
+let prop_game_round_trip =
+  QCheck.Test.make ~name:"game memo snapshot round-trips bit-identically"
+    ~count:8
+    QCheck.(triple (float_range 0.5 2.) (float_range 6_000. 30_000.) (int_range 2 3))
+    (fun (c, u, p) ->
+       with_dir (fun dir ->
+           let path = Filename.concat dir "g.snap" in
+           let params = Model.params ~c in
+           let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+           let grid = u /. 2e5 in
+           let policy = Policy.adaptive_guideline in
+           let solver = Game.Solver.create ~grid params opp policy in
+           let v = Game.Solver.value solver ~p ~residual:u in
+           match Game.Solver.to_snapshot solver with
+           | None -> QCheck.Test.fail_report "gridded solver had no snapshot"
+           | Some snap ->
+             Store.Snapshot.save_game ~path ~c ~u ~policy:"adaptive" ~p_key:p
+               snap;
+             (match
+                Store.Snapshot.load_game ~path ~c ~u ~grid ~policy:"adaptive"
+                  ~p_key:p
+              with
+              | Error e -> QCheck.Test.fail_report (Error.to_string e)
+              | Ok snap' ->
+                if not (fmat_equal snap.Game.Solver.s_mat snap'.Game.Solver.s_mat)
+                then QCheck.Test.fail_report "loaded memo differs";
+                if snap'.Game.Solver.s_states <> snap.Game.Solver.s_states then
+                  QCheck.Test.fail_report "state count differs";
+                let solver' =
+                  Game.Solver.of_snapshot params opp policy snap'
+                in
+                Game.reset_counters ();
+                let v' = Game.Solver.value solver' ~p ~residual:u in
+                if not (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float v'))
+                then QCheck.Test.fail_report "loaded value differs";
+                if (Game.counters ()).Game.states <> 0 then
+                  QCheck.Test.fail_report "loaded solver expanded states";
+                true)))
+
+(* --- corruption ----------------------------------------------------------- *)
+
+let write_dp_file dir =
+  let path = Filename.concat dir "dp_c5.snap" in
+  let t = Dp.solve ~c:5 ~max_p:2 ~max_l:300 in
+  Store.Snapshot.save_dp ~path t;
+  (path, t)
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+       ignore (Unix.lseek fd off Unix.SEEK_SET);
+       let b = Bytes.create 1 in
+       ignore (Unix.read fd b 0 1);
+       Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+       ignore (Unix.lseek fd off Unix.SEEK_SET);
+       ignore (Unix.write fd b 0 1))
+
+let expect_load_error ~what ~sub path =
+  match Store.Snapshot.load_dp ~path ~c:5 with
+  | Ok _ -> Alcotest.failf "%s: load succeeded" what
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s mentions %S: %s" what sub (Error.to_string e))
+      true
+      (contains ~sub (Error.to_string e))
+
+let test_corrupt_payload () =
+  with_dir (fun dir ->
+      let path, _ = write_dp_file dir in
+      (* name_len = 0 for dp files, so the payload starts right after
+         the 128-byte header. *)
+      flip_byte path 200;
+      expect_load_error ~what:"flipped payload byte" ~sub:"checksum" path)
+
+let test_corrupt_header () =
+  with_dir (fun dir ->
+      let path, _ = write_dp_file dir in
+      flip_byte path 33;
+      expect_load_error ~what:"flipped header byte" ~sub:"header" path)
+
+let test_truncated () =
+  with_dir (fun dir ->
+      let path, _ = write_dp_file dir in
+      let size = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (size / 2);
+      expect_load_error ~what:"truncated file" ~sub:"truncated" path;
+      Unix.truncate path 40;
+      expect_load_error ~what:"header-less file" ~sub:"truncated" path)
+
+let test_version_skew () =
+  with_dir (fun dir ->
+      let path, _ = write_dp_file dir in
+      flip_byte path 8;
+      expect_load_error ~what:"bumped version" ~sub:"version" path)
+
+let test_bad_magic () =
+  with_dir (fun dir ->
+      let path, _ = write_dp_file dir in
+      flip_byte path 0;
+      expect_load_error ~what:"bad magic" ~sub:"magic" path)
+
+let test_param_mismatch () =
+  with_dir (fun dir ->
+      let path, _ = write_dp_file dir in
+      (match Store.Snapshot.load_dp ~path ~c:6 with
+       | Ok _ -> Alcotest.fail "c mismatch: load succeeded"
+       | Error e ->
+         Alcotest.(check bool) "mentions cost" true
+           (contains ~sub:"expected c = 6" (Error.to_string e)));
+      (* A dp file is not a game memo. *)
+      match
+        Store.Snapshot.load_game ~path ~c:5. ~u:1e4 ~grid:0.05
+          ~policy:"adaptive" ~p_key:(-1)
+      with
+      | Ok _ -> Alcotest.fail "kind mismatch: load succeeded"
+      | Error _ -> ())
+
+let test_game_identity_mismatch () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "g.snap" in
+      let c = 1. and u = 10_000. and p = 2 in
+      let params = Model.params ~c in
+      let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+      let grid = u /. 2e5 in
+      let solver =
+        Game.Solver.create ~grid params opp Policy.adaptive_guideline
+      in
+      ignore (Game.Solver.value solver ~p ~residual:u);
+      let snap = Option.get (Game.Solver.to_snapshot solver) in
+      Store.Snapshot.save_game ~path ~c ~u ~policy:"adaptive" ~p_key:p snap;
+      let expect what r =
+        match r with
+        | Ok _ -> Alcotest.failf "%s: load succeeded" what
+        | Error _ -> ()
+      in
+      let load ~c ~u ~grid ~policy ~p_key =
+        Store.Snapshot.load_game ~path ~c ~u ~grid ~policy ~p_key
+      in
+      expect "wrong u" (load ~c ~u:(u +. 1.) ~grid ~policy:"adaptive" ~p_key:p);
+      expect "wrong c" (load ~c:(c +. 0.5) ~u ~grid ~policy:"adaptive" ~p_key:p);
+      expect "wrong grid" (load ~c ~u ~grid:(grid *. 2.) ~policy:"adaptive" ~p_key:p);
+      expect "wrong policy" (load ~c ~u ~grid ~policy:"dp" ~p_key:p);
+      expect "wrong p" (load ~c ~u ~grid ~policy:"adaptive" ~p_key:(p + 1));
+      match load ~c ~u ~grid ~policy:"adaptive" ~p_key:p with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "exact identity refused: %s" (Error.to_string e))
+
+(* --- bank ----------------------------------------------------------------- *)
+
+let test_bank_open_errors () =
+  (match Store.Bank.open_dir ~create:false "/no/such/bank" with
+   | Ok _ -> Alcotest.fail "missing dir opened"
+   | Error e ->
+     Alcotest.(check bool) "mentions the path" true
+       (contains ~sub:"/no/such/bank" (Error.to_string e)));
+  with_dir (fun dir ->
+      let file = Filename.concat dir "plain" in
+      let oc = open_out file in
+      close_out oc;
+      (match Store.Bank.open_dir ~create:false file with
+       | Ok _ -> Alcotest.fail "file-as-dir opened"
+       | Error _ -> ());
+      (match Store.Bank.open_dir ~create:true (file ^ "/sub") with
+       | Ok _ -> Alcotest.fail "created a dir under a file"
+       | Error _ -> ());
+      (* create:true builds parents. *)
+      match Store.Bank.open_dir ~create:true (Filename.concat dir "a/b") with
+      | Ok b -> Alcotest.(check bool) "dir made" true (Sys.is_directory (Store.Bank.dir b))
+      | Error e -> Alcotest.fail (Error.to_string e))
+
+let test_bank_dedup_and_counters () =
+  with_dir (fun dir ->
+      let bank = Result.get_ok (Store.Bank.open_dir ~create:true dir) in
+      let t = Dp.solve ~c:3 ~max_p:2 ~max_l:300 in
+      Store.Bank.save_dp bank t;
+      Store.Bank.save_dp bank t;
+      let c = Store.Bank.counters bank in
+      Alcotest.(check int) "second save deduped" 1 c.Store.Bank.saves;
+      Alcotest.(check int) "no failures" 0 c.Store.Bank.save_failures;
+      (match Store.Bank.load_dp bank ~c:3 with
+       | Some loaded ->
+         Alcotest.(check bool) "banked table identical" true
+           (dp_tables_equal t loaded)
+       | None -> Alcotest.fail "banked table missed");
+      Alcotest.(check int) "miss counted" 1
+        (Store.Bank.load_dp bank ~c:9 |> Option.is_none |> fun _ ->
+         (Store.Bank.counters bank).Store.Bank.misses);
+      Alcotest.(check int) "hit counted" 1
+        (Store.Bank.counters bank).Store.Bank.hits;
+      match Store.Bank.entries bank with
+      | [ (_, Store.Snapshot.Dp_table { c = 3; _ }) ] -> ()
+      | es -> Alcotest.failf "unexpected entries (%d)" (List.length es))
+
+let test_bank_corrupt_falls_through () =
+  with_dir (fun dir ->
+      let bank = Result.get_ok (Store.Bank.open_dir ~create:true dir) in
+      let t = Dp.solve ~c:5 ~max_p:2 ~max_l:300 in
+      Store.Bank.save_dp bank t;
+      flip_byte (Filename.concat dir "dp_c5.snap") 200;
+      (* The bank reports a load failure... *)
+      Alcotest.(check bool) "corrupt entry is None" true
+        (Option.is_none (Store.Bank.load_dp bank ~c:5));
+      let bc = Store.Bank.counters bank in
+      Alcotest.(check int) "load failure counted" 1 bc.Store.Bank.load_failures;
+      Alcotest.(check bool) "last error kept" true
+        (Option.is_some (Store.Bank.last_error bank));
+      (* ...and a bank-backed cache answers correctly anyway, by a fresh
+         solve. *)
+      let cache = Service.Cache.create ~bank ~capacity:4 () in
+      let solved = Service.Cache.find_or_solve cache ~c:5 ~p:2 ~l:300 in
+      Alcotest.(check int) "fresh solve answers" (Dp.value t ~p:2 ~l:300)
+        (Dp.value solved ~p:2 ~l:300);
+      let s = Service.Cache.stats cache in
+      match s.Service.Cache.bank with
+      | None -> Alcotest.fail "bank stats absent"
+      | Some b ->
+        Alcotest.(check bool) "failures surfaced in stats" true
+          (b.Store.Bank.load_failures >= 1))
+
+let test_bank_warm_start () =
+  with_dir (fun dir ->
+      let bank = Result.get_ok (Store.Bank.open_dir ~create:true dir) in
+      (* First process: a cold miss solves and writes behind. *)
+      let cache = Service.Cache.create ~bank ~capacity:4 () in
+      let t = Service.Cache.find_or_solve cache ~c:7 ~p:2 ~l:400 in
+      Alcotest.(check int) "write-behind persisted" 1
+        (Store.Bank.counters bank).Store.Bank.saves;
+      (* Second process: the bank warms the cache; the same query is a
+         hit that fills no cell. *)
+      let bank2 = Result.get_ok (Store.Bank.open_dir ~create:false dir) in
+      let cache2 = Service.Cache.create ~bank:bank2 ~capacity:4 () in
+      Alcotest.(check int) "one table warmed" 1
+        (Service.Cache.warm_from_bank cache2);
+      Dp.reset_counters ();
+      let t2 = Service.Cache.find_or_solve cache2 ~c:7 ~p:2 ~l:400 in
+      Alcotest.(check bool) "banked table identical" true (dp_tables_equal t t2);
+      Alcotest.(check int) "no cell filled" 0
+        (Dp.counters ()).Dp.cells_filled;
+      let s = Service.Cache.stats cache2 in
+      Alcotest.(check int) "served as a hit" 1 s.Service.Cache.hits;
+      Alcotest.(check int) "no miss" 0 s.Service.Cache.misses)
+
+(* --- stats reset ---------------------------------------------------------- *)
+
+let test_reset_counters_all_groups () =
+  with_dir (fun dir ->
+      let bank = Result.get_ok (Store.Bank.open_dir ~create:true dir) in
+      let cache = Service.Cache.create ~bank ~capacity:4 () in
+      (* Touch every counter family: dp solve + repeat (hit, miss,
+         kernel fill, bank miss + save), corrupt entry (bank load
+         failure + last error), and a game evaluation (solver miss,
+         game states). *)
+      ignore (Service.Cache.find_or_solve cache ~c:4 ~p:2 ~l:300);
+      ignore (Service.Cache.find_or_solve cache ~c:4 ~p:2 ~l:300);
+      flip_byte (Filename.concat dir "dp_c4.snap") 200;
+      ignore (Store.Bank.load_dp bank ~c:4);
+      let req =
+        Service.Protocol.Evaluate
+          { c = 1.; u = 8_000.; p = 2; policy = "adaptive"; periods = None }
+      in
+      (match Service.Protocol.handle ~cache req with
+       | Ok _ -> ()
+       | Error e -> Alcotest.fail (Error.to_string e));
+      let s = Service.Cache.stats cache in
+      Alcotest.(check bool) "counters moved" true
+        (s.Service.Cache.hits > 0
+         && s.Service.Cache.misses > 0
+         && s.Service.Cache.kernel.Dp.cells_filled > 0
+         && s.Service.Cache.solver_misses > 0
+         && s.Service.Cache.game.Game.states > 0
+         &&
+         match s.Service.Cache.bank with
+         | Some b -> b.Store.Bank.saves > 0 && b.Store.Bank.load_failures > 0
+         | None -> false);
+      Alcotest.(check bool) "last error kept" true
+        (Option.is_some s.Service.Cache.bank_last_error);
+      (* One reset zeroes every family atomically-together. *)
+      Service.Cache.reset_counters cache;
+      let s = Service.Cache.stats cache in
+      Alcotest.(check bool) "every family zero" true
+        (s.Service.Cache.hits = 0
+         && s.Service.Cache.misses = 0
+         && s.Service.Cache.growths = 0
+         && s.Service.Cache.evictions = 0
+         && s.Service.Cache.kernel.Dp.cells_filled = 0
+         && s.Service.Cache.kernel.Dp.candidates_visited = 0
+         && s.Service.Cache.solver_hits = 0
+         && s.Service.Cache.solver_misses = 0
+         && s.Service.Cache.game.Game.states = 0
+         && s.Service.Cache.game.Game.memo_hits = 0
+         &&
+         match s.Service.Cache.bank with
+         | Some b ->
+           b.Store.Bank.hits = 0 && b.Store.Bank.misses = 0
+           && b.Store.Bank.load_failures = 0
+           && b.Store.Bank.saves = 0
+           && b.Store.Bank.save_failures = 0
+         | None -> false);
+      Alcotest.(check bool) "last error cleared" true
+        (Option.is_none s.Service.Cache.bank_last_error);
+      (* Residency survives a reset: the table still answers as a hit. *)
+      ignore (Service.Cache.find_or_solve cache ~c:4 ~p:2 ~l:300);
+      Alcotest.(check int) "still resident" 1
+        (Service.Cache.stats cache).Service.Cache.hits)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "store"
+    [
+      ("round-trip", qc [ prop_dp_round_trip; prop_game_round_trip ]);
+      ( "corruption",
+        [
+          Alcotest.test_case "flipped payload byte" `Quick test_corrupt_payload;
+          Alcotest.test_case "flipped header byte" `Quick test_corrupt_header;
+          Alcotest.test_case "truncated file" `Quick test_truncated;
+          Alcotest.test_case "version skew" `Quick test_version_skew;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "param mismatch" `Quick test_param_mismatch;
+          Alcotest.test_case "game identity mismatch" `Quick
+            test_game_identity_mismatch;
+        ] );
+      ( "bank",
+        [
+          Alcotest.test_case "open_dir errors" `Quick test_bank_open_errors;
+          Alcotest.test_case "dedup + counters" `Quick
+            test_bank_dedup_and_counters;
+          Alcotest.test_case "corrupt entry falls through" `Quick
+            test_bank_corrupt_falls_through;
+          Alcotest.test_case "warm start" `Quick test_bank_warm_start;
+        ] );
+      ( "stats reset",
+        [
+          Alcotest.test_case "all families reset together" `Quick
+            test_reset_counters_all_groups;
+        ] );
+    ]

@@ -60,6 +60,22 @@ for f in $(find lib bin bench examples -type f \
   fi
 done
 
+# Store gate: file mappings are created in exactly one place, the
+# snapshot layer in lib/store/.  Mapping lifetimes are subtle (a
+# Bigarray can outlive its fd; a shared mapping writes through to the
+# file), so every map_file call site stays in the one module whose
+# save/load protocol — atomic rename, CRC before trust, MAP_PRIVATE
+# reads — has been audited.
+for f in $(find lib bin test bench examples -type f \
+             \( -name '*.ml' -o -name '*.mli' \) \
+             -not -path 'lib/store/*' | sort); do
+  if grep -nE 'Unix\.map_file' "$f" >/dev/null 2>&1; then
+    echo "store: Unix.map_file in $f (route through Store.Snapshot):" >&2
+    grep -nE 'Unix\.map_file' "$f" | head -3 >&2
+    fail=1
+  fi
+done
+
 # Solver gate: the raw minimax recursion (Game.make_solver and its
 # Ref retention) is an implementation detail of lib/core.  Call sites
 # go through Game.Solver so the memo is shared between guaranteed,
