@@ -87,6 +87,11 @@ type solver_entry = {
   solver : Game.Solver.t;
   slock : Mutex.t;
   mutable sused : int;
+  mutable saved_states : int;
+      (* expanded-state count last persisted to (or loaded from) the
+         bank; the write-behind threshold compares against it so a
+         handful of fringe expansions does not rewrite a
+         capacity-sized memo file per request *)
 }
 
 type solvers = {
@@ -166,58 +171,76 @@ let evict_lru sh =
     sh.evictions <- sh.evictions + 1
   | None -> ()
 
-(* Under the shard lock: the resident table for [key.c], grown or
-   solved so it covers [key], plus whether solve work changed it (the
-   write-behind cue).  A grow counts as both a miss (solve work was
-   paid) and a growth (the prefix was reused).  A cold miss falls
-   through to the bank first: a mapped snapshot that covers the key
-   counts as a hit — no cell was filled — and one that falls short
-   seeds the grow, paying only the missing cells.  Solve and grow take
-   the cache's pool: fills large enough for the wavefront use it, and a
-   busy pool (e.g. this solve sits under a batch fan-out) just runs the
-   fill inline. *)
+(* Under the shard lock: stamp a resident entry and serve it, growing
+   it in place when it falls short of [key].  A grow counts as both a
+   miss (solve work was paid) and a growth (the prefix was reused). *)
+let serve_resident ~pool sh e key ~count =
+  e.used <- sh.clock;
+  if covers e.dp key then begin
+    if count then sh.hits <- sh.hits + 1;
+    (e.dp, false)
+  end
+  else begin
+    if count then sh.misses <- sh.misses + 1;
+    sh.growths <- sh.growths + 1;
+    Dp.grow ?pool e.dp ~max_p:key.max_p ~max_l:key.max_l;
+    (e.dp, true)
+  end
+
+(* The resident table for [key.c], grown or solved so it covers [key],
+   plus whether solve work changed it (the write-behind cue).  A cold
+   miss falls through to the bank first: a mapped snapshot that covers
+   the key counts as a hit — no cell was filled — and one that falls
+   short seeds the grow, paying only the missing cells.  The bank load
+   (open + CRC scan of the whole payload, tens of ms for a large
+   table) runs OUTSIDE the shard lock so other keys on this shard keep
+   answering; the result is merged under the lock, converging on an
+   entry another thread may have raced in meanwhile.  Solve and grow
+   take the cache's pool: fills large enough for the wavefront use it,
+   and a busy pool (e.g. this solve sits under a batch fan-out) just
+   runs the fill inline. *)
 let obtain ~pool ~bank sh key ~count =
-  with_lock sh (fun () ->
-      sh.clock <- sh.clock + 1;
-      match Hashtbl.find_opt sh.table key.c with
-      | Some e ->
-        e.used <- sh.clock;
-        if covers e.dp key then begin
-          if count then sh.hits <- sh.hits + 1;
-          (e.dp, false)
-        end
-        else begin
-          if count then sh.misses <- sh.misses + 1;
-          sh.growths <- sh.growths + 1;
-          Dp.grow ?pool e.dp ~max_p:key.max_p ~max_l:key.max_l;
-          (e.dp, true)
-        end
-      | None ->
-        let banked =
-          match bank with
-          | None -> None
-          | Some b -> Store.Bank.load_dp b ~c:key.c
-        in
-        let dp, changed =
-          match banked with
-          | Some dp when covers dp key ->
-            if count then sh.hits <- sh.hits + 1;
-            (dp, false)
-          | Some dp ->
-            if count then sh.misses <- sh.misses + 1;
-            sh.growths <- sh.growths + 1;
-            Dp.grow ?pool dp ~max_p:key.max_p ~max_l:key.max_l;
-            (dp, true)
-          | None ->
-            if count then sh.misses <- sh.misses + 1;
-            ( Dp.solve_with ~pool ~c:key.c ~max_p:key.max_p ~max_l:key.max_l,
-              true )
-        in
-        while Hashtbl.length sh.table >= sh.capacity do
-          evict_lru sh
-        done;
-        Hashtbl.add sh.table key.c { dp; used = sh.clock };
-        (dp, changed))
+  let resident =
+    with_lock sh (fun () ->
+        sh.clock <- sh.clock + 1;
+        match Hashtbl.find_opt sh.table key.c with
+        | Some e -> Some (serve_resident ~pool sh e key ~count)
+        | None -> None)
+  in
+  match resident with
+  | Some r -> r
+  | None ->
+    let banked =
+      match bank with
+      | None -> None
+      | Some b -> Store.Bank.load_dp b ~c:key.c
+    in
+    with_lock sh (fun () ->
+        sh.clock <- sh.clock + 1;
+        match Hashtbl.find_opt sh.table key.c with
+        | Some e -> serve_resident ~pool sh e key ~count
+        | None ->
+          let dp, changed =
+            match banked with
+            | Some dp when covers dp key ->
+              if count then sh.hits <- sh.hits + 1;
+              (dp, false)
+            | Some dp ->
+              if count then sh.misses <- sh.misses + 1;
+              sh.growths <- sh.growths + 1;
+              Dp.grow ?pool dp ~max_p:key.max_p ~max_l:key.max_l;
+              (dp, true)
+            | None ->
+              if count then sh.misses <- sh.misses + 1;
+              ( Dp.solve_with ~pool ~c:key.c ~max_p:key.max_p
+                  ~max_l:key.max_l,
+                true )
+          in
+          while Hashtbl.length sh.table >= sh.capacity do
+            evict_lru sh
+          done;
+          Hashtbl.add sh.table key.c { dp; used = sh.clock };
+          (dp, changed))
 
 (* Write-behind: persist a freshly solved or grown table, outside the
    shard lock.  Published cells are immutable, so reading the table
@@ -336,9 +359,22 @@ let solver_from_bank t key params opp (planner : Engine.Planner.t) =
       | Error _ -> None))
   | _ -> None
 
-(* Under the solvers lock: the resident (or bank-loaded, or fresh)
-   entry for the key, plus the key itself (the write-behind needs the
-   identity the entry is filed under). *)
+(* Under the solvers lock: stamp and serve a resident entry. *)
+let serve_resident_solver s e ~p =
+  e.sused <- s.sclock;
+  s.shits <- s.shits + 1;
+  (* A state-only hit at a larger budget will grow the resident flat
+     memo in place when evaluated. *)
+  let cap_p, _ = Game.Solver.capacity e.solver in
+  if p > cap_p then s.sgrowths <- s.sgrowths + 1
+
+(* The resident (or bank-loaded, or fresh) entry for the key, plus the
+   key itself (the write-behind needs the identity the entry is filed
+   under).  On a miss, the bank load (CRC scan + solver rebuild) or
+   the fresh ~20 ms solver build runs OUTSIDE the global solvers lock,
+   so lookups for other solvers never stall behind it; the result is
+   merged under the lock, and a concurrently raced-in resident entry
+   wins over the one built here. *)
 let obtain_solver t params opp (planner : Engine.Planner.t) =
   let u = opp.Model.lifespan in
   let p = opp.Model.interrupts in
@@ -351,51 +387,80 @@ let obtain_solver t params opp (planner : Engine.Planner.t) =
     }
   in
   let s = t.solvers in
-  Mutex.lock s.sollock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock s.sollock)
-    (fun () ->
-      s.sclock <- s.sclock + 1;
-      match Hashtbl.find_opt s.entries key with
-      | Some e ->
-        e.sused <- s.sclock;
-        s.shits <- s.shits + 1;
-        (* A state-only hit at a larger budget will grow the resident
-           flat memo in place when evaluated. *)
-        let cap_p, _ = Game.Solver.capacity e.solver in
-        if p > cap_p then s.sgrowths <- s.sgrowths + 1;
-        (e, key)
+  let locked f =
+    Mutex.lock s.sollock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock s.sollock) f
+  in
+  let resident =
+    locked (fun () ->
+        s.sclock <- s.sclock + 1;
+        match Hashtbl.find_opt s.entries key with
+        | Some e ->
+          serve_resident_solver s e ~p;
+          Some (e, key)
+        | None -> None)
+  in
+  match resident with
+  | Some r -> r
+  | None ->
+    let banked = solver_from_bank t key params opp planner in
+    let solver =
+      match banked with
+      | Some solver -> solver
       | None ->
-        let banked = solver_from_bank t key params opp planner in
-        (match banked with
-        | Some _ ->
-          (* No minimax state was expanded: the bank answered. *)
-          s.shits <- s.shits + 1
-        | None -> s.smisses <- s.smisses + 1);
-        while Hashtbl.length s.entries >= s.scapacity do
-          let victim = ref None in
-          Hashtbl.iter
-            (fun k e ->
-               match !victim with
-               | Some (_, best) when best.sused <= e.sused -> ()
-               | _ -> victim := Some (k, e))
-            s.entries;
-          match !victim with
-          | Some (k, _) ->
-            Hashtbl.remove s.entries k;
-            s.sevictions <- s.sevictions + 1
-          | None -> ()
-        done;
-        let solver =
-          match banked with
-          | Some solver -> solver
-          | None ->
-            let grid = Engine.Planner.default_grid ~u in
-            Engine.Planner.solver ?grid ?pool:t.pool planner params opp
-        in
-        let e = { solver; slock = Mutex.create (); sused = s.sclock } in
-        Hashtbl.add s.entries key e;
-        (e, key))
+        let grid = Engine.Planner.default_grid ~u in
+        Engine.Planner.solver ?grid ?pool:t.pool planner params opp
+    in
+    locked (fun () ->
+        s.sclock <- s.sclock + 1;
+        match Hashtbl.find_opt s.entries key with
+        | Some e ->
+          serve_resident_solver s e ~p;
+          (e, key)
+        | None ->
+          (match banked with
+          | Some _ ->
+            (* No minimax state was expanded: the bank answered. *)
+            s.shits <- s.shits + 1
+          | None -> s.smisses <- s.smisses + 1);
+          while Hashtbl.length s.entries >= s.scapacity do
+            let victim = ref None in
+            Hashtbl.iter
+              (fun k e ->
+                 match !victim with
+                 | Some (_, best) when best.sused <= e.sused -> ()
+                 | _ -> victim := Some (k, e))
+              s.entries;
+            match !victim with
+            | Some (k, _) ->
+              Hashtbl.remove s.entries k;
+              s.sevictions <- s.sevictions + 1
+            | None -> ()
+          done;
+          let e =
+            {
+              solver;
+              slock = Mutex.create ();
+              sused = s.sclock;
+              (* A bank-loaded memo is already on disk at exactly its
+                 rebuilt state count. *)
+              saved_states =
+                (if Option.is_some banked then Game.Solver.states solver
+                 else 0);
+            }
+          in
+          Hashtbl.add s.entries key e;
+          (e, key))
+
+(* Persist when the memo was never banked by this entry (the seed save
+   precompute and warm restarts rely on), or when it grew by at least
+   an eighth since the last save: a save rewrites the whole
+   capacity-sized file, so a warm solver expanding a handful of fringe
+   states per request must not pay (and hold the entry lock for) a
+   full rewrite each time.  The states lost to the threshold are just
+   memo cells — re-expanded on demand after a restart. *)
+let game_save_due ~saved ~states =
+  saved = 0 || states - saved >= max 1 (saved / 8)
 
 let with_solver t params opp planner f =
   let e, key = obtain_solver t params opp planner in
@@ -404,24 +469,31 @@ let with_solver t params opp planner f =
     ~finally:(fun () -> Mutex.unlock e.slock)
     (fun () ->
       let result = f e.solver in
-      (* Write-behind, still under the entry lock (so the memo is
-         quiescent): a no-op unless the solver expanded past what the
-         bank already holds — the bank dedups by expanded-state count. *)
+      (* Write-behind, under the entry lock (so the memo is quiescent)
+         but only when enough growth accrued; the bank additionally
+         dedups by expanded-state count. *)
       (match t.bank with
       | None -> ()
-      | Some b -> (
-        match Game.Solver.to_snapshot e.solver with
-        | None -> ()
-        | Some snap ->
-          Store.Bank.save_game b ~c:key.sc ~u:key.su ~policy:key.spolicy
-            ~p_key:key.sp snap));
+      | Some b ->
+        let states = Game.Solver.states e.solver in
+        if game_save_due ~saved:e.saved_states ~states then (
+          match Game.Solver.to_snapshot e.solver with
+          | None -> ()
+          | Some snap ->
+            Store.Bank.save_game b ~c:key.sc ~u:key.su ~policy:key.spolicy
+              ~p_key:key.sp snap;
+            e.saved_states <- states));
       result)
 
-(* Map every banked Dp table into its shard (without disturbing LRU
-   counters) so the first query after startup is already warm; game
-   memos stay on disk until the first evaluation names their policy —
-   rebuilding a solver needs the live params/policy objects only the
-   evaluate path has.  Returns the number of tables warmed. *)
+(* Map every banked Dp table into its shard (without disturbing LRU or
+   hit/miss counters — `count:false` keeps startup warming out of the
+   serving stats) so the first query after startup is already warm;
+   game memos stay on disk until the first evaluation names their
+   policy — rebuilding a solver needs the live params/policy objects
+   only the evaluate path has.  A table already resident is skipped
+   before any file is touched, so re-warming never pays a load + CRC
+   scan just to discard the result.  Returns the number of tables
+   warmed. *)
 let warm_from_bank t =
   match t.bank with
   | None -> 0
@@ -431,20 +503,25 @@ let warm_from_bank t =
         match descr with
         | Store.Snapshot.Game_memo _ -> warmed
         | Store.Snapshot.Dp_table { c; _ } -> (
-          match Store.Bank.load_dp b ~c with
-          | None -> warmed
-          | Some dp ->
-            let sh = shard_of t c in
-            with_lock sh (fun () ->
-                if Hashtbl.mem sh.table c then warmed
-                else begin
-                  sh.clock <- sh.clock + 1;
-                  while Hashtbl.length sh.table >= sh.capacity do
-                    evict_lru sh
-                  done;
-                  Hashtbl.add sh.table c { dp; used = sh.clock };
-                  warmed + 1
-                end)))
+          let sh = shard_of t c in
+          let resident =
+            with_lock sh (fun () -> Hashtbl.mem sh.table c)
+          in
+          if resident then warmed
+          else
+            match Store.Bank.load_dp ~count:false b ~c with
+            | None -> warmed
+            | Some dp ->
+              with_lock sh (fun () ->
+                  if Hashtbl.mem sh.table c then warmed
+                  else begin
+                    sh.clock <- sh.clock + 1;
+                    while Hashtbl.length sh.table >= sh.capacity do
+                      evict_lru sh
+                    done;
+                    Hashtbl.add sh.table c { dp; used = sh.clock };
+                    warmed + 1
+                  end)))
       0 (Store.Bank.entries b)
 
 let bank t = t.bank

@@ -61,19 +61,25 @@ val create :
     [bank] plugs in the persistent memo tier: a cold miss (Dp table or
     gridded game solver alike) falls through to the bank's mapped
     snapshots before paying a solve — a covering snapshot counts as a
-    cache hit, since no cell is computed — and tables solved or grown
-    here are written behind, outside the shard locks, so the next
-    process starts warm.  Bank load failures (corrupt, truncated,
-    mismatched files) silently fall through to a fresh solve and are
-    reported in {!stats}[.bank].
+    cache hit, since no cell is computed, and the load's CRC scan runs
+    outside the shard and solver locks so concurrent lookups for other
+    keys never stall behind it — and tables solved or grown here are
+    written behind, outside the shard locks, so the next process
+    starts warm (game memos re-persist only after enough growth since
+    the last save; see {!with_solver}).  Bank load failures (corrupt,
+    truncated, mismatched files) silently fall through to a fresh
+    solve and are reported in {!stats}[.bank].
     @raise Error.Error when [capacity < 1] or [shards < 1]. *)
 
 val warm_from_bank : t -> int
-(** Map every banked Dp table into its shard up front (LRU counters
-    untouched), so the daemon's first query is warm without even the
-    first-request mapping cost; game memos load lazily on the first
-    evaluation that names their identity, which is when the live
-    policy objects exist.  Returns the number of tables warmed. *)
+(** Map every banked Dp table into its shard up front (LRU and bank
+    hit/miss counters untouched, so post-start [stats] reflect serving
+    traffic; load failures are still counted), so the daemon's first
+    query is warm without even the first-request mapping cost; tables
+    already resident are skipped without touching their file.  Game
+    memos load lazily on the first evaluation that names their
+    identity, which is when the live policy objects exist.  Returns
+    the number of tables warmed. *)
 
 val bank : t -> Store.Bank.t option
 
@@ -102,7 +108,11 @@ val with_solver :
     {!Engine.Planner.default_grid} and the cache's pool).  Evaluations
     on distinct solvers run concurrently; two requests hitting the same
     solver serialize on its mutex, since the ungridded memo backend is
-    not domain-safe. *)
+    not domain-safe.  With a bank, the memo is written behind on its
+    first evaluation and thereafter only once its expanded-state count
+    grew by at least an eighth since the last save — a save rewrites
+    the whole capacity-sized file, so fringe expansions must not pay
+    one per request. *)
 
 type stats = {
   hits : int;  (** lookups fully served from a resident table *)

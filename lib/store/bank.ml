@@ -15,11 +15,15 @@ type t = {
   load_failures : int Atomic.t;
   saves : int Atomic.t;
   save_failures : int Atomic.t;
-  lock : Mutex.t;  (** guards [last_error] and [banked] *)
+  lock : Mutex.t;  (** guards [last_error], [banked] and [in_flight] *)
   mutable last_error : string option;
   banked : (string, int) Hashtbl.t;
       (** file name -> solved size already on disk (cells for dp,
           states for games); the write-behind dedup, seeded by loads *)
+  in_flight : (string, unit) Hashtbl.t;
+      (** names with a save currently being written; a racing save of
+          the same name is dropped instead of writing a duplicate (the
+          entry re-persists on its next growth) *)
 }
 
 let dir t = t.dir
@@ -53,6 +57,7 @@ let open_dir ?(create = false) path =
         lock = Mutex.create ();
         last_error = None;
         banked = Hashtbl.create 64;
+        in_flight = Hashtbl.create 4;
       })
 
 let locked t f =
@@ -65,8 +70,22 @@ let note_failure t counter e =
 
 let mark_banked t name size = locked t (fun () -> Hashtbl.replace t.banked name size)
 
-let already_banked t name size =
-  locked t (fun () -> Hashtbl.find_opt t.banked name = Some size)
+(* Atomically decide whether this save should run: skipped when the
+   bank already holds the identity at this size, or when another
+   thread's save of the same name is in flight — unique tmp names make
+   the race merely wasteful, this makes it a no-op.  A true claim must
+   be released with [finish_save]. *)
+let claim_save t name size =
+  locked t (fun () ->
+      if Hashtbl.find_opt t.banked name = Some size
+         || Hashtbl.mem t.in_flight name
+      then false
+      else begin
+        Hashtbl.replace t.in_flight name ();
+        true
+      end)
+
+let finish_save t name = locked t (fun () -> Hashtbl.remove t.in_flight name)
 
 (* --- file naming ---------------------------------------------------------- *)
 
@@ -89,46 +108,52 @@ let game_name ~c ~u ~policy ~p_key =
 
 (* --- loads ---------------------------------------------------------------- *)
 
-let load t name ~size load_file =
+(* [count = false] keeps hit/miss counters untouched (startup warming
+   must not pre-inflate serving stats); failures are always counted —
+   a corrupt file is worth surfacing whoever found it. *)
+let load t name ~count ~size load_file =
   let path = Filename.concat t.dir name in
   if not (Sys.file_exists path) then begin
-    Atomic.incr t.misses;
+    if count then Atomic.incr t.misses;
     None
   end
   else
     match load_file ~path with
     | Ok v ->
-      Atomic.incr t.hits;
+      if count then Atomic.incr t.hits;
       mark_banked t name (size v);
       Some v
     | Error e ->
       note_failure t t.load_failures (Error.to_string e);
       None
 
-let load_dp t ~c =
-  load t (dp_name ~c)
+let load_dp ?(count = true) t ~c =
+  load t (dp_name ~c) ~count
     ~size:(fun dp -> (Dp.max_p dp + 1) * (Dp.max_l dp + 1))
     (fun ~path -> Snapshot.load_dp ~path ~c)
 
 let load_game t ~c ~u ~grid ~policy ~p_key =
   load t
     (game_name ~c ~u ~policy ~p_key)
+    ~count:true
     ~size:(fun (s : Game.Solver.snapshot) -> s.Game.Solver.s_states)
     (fun ~path -> Snapshot.load_game ~path ~c ~u ~grid ~policy ~p_key)
 
 (* --- saves ---------------------------------------------------------------- *)
 
 let save t name ~size write =
-  if not (already_banked t name size) then begin
-    let path = Filename.concat t.dir name in
-    match write ~path with
-    | () ->
-      Atomic.incr t.saves;
-      mark_banked t name size
-    | exception Unix.Unix_error (err, _, arg) ->
-      note_failure t t.save_failures
-        (Printf.sprintf "%s: %s: %s" path arg (Unix.error_message err))
-  end
+  if claim_save t name size then
+    Fun.protect
+      ~finally:(fun () -> finish_save t name)
+      (fun () ->
+        let path = Filename.concat t.dir name in
+        match write ~path with
+        | () ->
+          Atomic.incr t.saves;
+          mark_banked t name size
+        | exception Unix.Unix_error (err, _, arg) ->
+          note_failure t t.save_failures
+            (Printf.sprintf "%s: %s: %s" path arg (Unix.error_message err)))
 
 let save_dp t dp =
   save t

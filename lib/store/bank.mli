@@ -22,14 +22,20 @@ val open_dir : ?create:bool -> string -> (t, Cyclesteal.Error.t) result
 
 val dir : t -> string
 
-val load_dp : t -> c:int -> Cyclesteal.Dp.t option
+val load_dp : ?count:bool -> t -> c:int -> Cyclesteal.Dp.t option
 (** The banked tick table for cost [c], mapped; [None] on miss or any
-    load failure (counted). *)
+    load failure (counted).  [count = false] (default [true]) leaves
+    the hit/miss counters untouched — startup warming uses it so the
+    served stats reflect serving traffic only; load failures are
+    counted either way. *)
 
 val save_dp : t -> Cyclesteal.Dp.t -> unit
 (** Persist the table's solved region, keyed by its [c].  Skipped when
     the bank already holds this identity at the same solved size (the
-    write-behind dedup); failures are counted, never raised. *)
+    write-behind dedup) or when another thread's save of the same
+    identity is still in flight — concurrent writers never share a
+    temporary file, and the entry re-persists on its next growth;
+    failures are counted, never raised. *)
 
 val load_game :
   t ->

@@ -213,12 +213,22 @@ let map_floats fd ~shared ~pos ~cells : Game.Solver.mat =
 
 (* Write one snapshot: blit the payload sections through a shared
    writable mapping of a temporary sibling, checksum, stamp the header,
-   rename into place. *)
+   rename into place.  The sibling's name carries the pid AND a
+   process-local counter: two threads persisting the same snapshot
+   concurrently must not share a tmp path, or the second open's O_TRUNC
+   shrinks the file under the first writer's live mapping (SIGBUS on
+   the next blit) — each writer gets its own file and the renames
+   settle last-wins. *)
+let tmp_seq = Atomic.make 0
+
 let write ~path header blit_payload =
   let name_len = String.length header.h_name in
   let off = payload_off ~name_len in
   let total = off + header.h_payload_bytes in
-  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
   (try
      with_fd tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
        0o644 (fun fd ->

@@ -300,6 +300,50 @@ let test_bank_corrupt_falls_through () =
         Alcotest.(check bool) "failures surfaced in stats" true
           (b.Store.Bank.load_failures >= 1))
 
+(* Regression for the tmp-file collision: writers persisting the same
+   snapshot name concurrently must each write through their own
+   temporary sibling — with a shared tmp path, the second open's
+   O_TRUNC shrinks the file under the first writer's live mapping
+   (SIGBUS) or interleaves into a CRC-rejected file.  Afterwards
+   exactly one complete, valid file must remain, with no tmp litter. *)
+let test_concurrent_saves () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "t.snap" in
+      let tables =
+        Array.init 4 (fun i -> Dp.solve ~c:3 ~max_p:2 ~max_l:(300 + (70 * i)))
+      in
+      for _round = 1 to 5 do
+        Array.map
+          (fun t -> Domain.spawn (fun () -> Store.Snapshot.save_dp ~path t))
+          tables
+        |> Array.iter Domain.join
+      done;
+      (match Store.Snapshot.load_dp ~path ~c:3 with
+       | Error e -> Alcotest.fail (Error.to_string e)
+       | Ok loaded ->
+         Alcotest.(check bool) "a complete written table survives" true
+           (Array.exists (fun t -> dp_tables_equal t loaded) tables));
+      Alcotest.(check (list string)) "no tmp litter" [ "t.snap" ]
+        (Sys.readdir dir |> Array.to_list |> List.sort String.compare))
+
+(* The bank-level race: concurrent save_dp of one identity serializes
+   on the in-flight set (racers are dropped, not interleaved) and
+   never records a failure. *)
+let test_bank_concurrent_saves () =
+  with_dir (fun dir ->
+      let bank = Result.get_ok (Store.Bank.open_dir ~create:true dir) in
+      let t = Dp.solve ~c:3 ~max_p:2 ~max_l:400 in
+      Array.init 4 (fun _ -> Domain.spawn (fun () -> Store.Bank.save_dp bank t))
+      |> Array.iter Domain.join;
+      let c = Store.Bank.counters bank in
+      Alcotest.(check bool) "at least one save, none failed" true
+        (c.Store.Bank.saves >= 1 && c.Store.Bank.save_failures = 0);
+      match Store.Bank.load_dp bank ~c:3 with
+      | Some loaded ->
+        Alcotest.(check bool) "banked table intact" true
+          (dp_tables_equal t loaded)
+      | None -> Alcotest.fail "banked table missed")
+
 let test_bank_warm_start () =
   with_dir (fun dir ->
       let bank = Result.get_ok (Store.Bank.open_dir ~create:true dir) in
@@ -410,6 +454,10 @@ let () =
           Alcotest.test_case "corrupt entry falls through" `Quick
             test_bank_corrupt_falls_through;
           Alcotest.test_case "warm start" `Quick test_bank_warm_start;
+          Alcotest.test_case "concurrent snapshot saves" `Quick
+            test_concurrent_saves;
+          Alcotest.test_case "concurrent bank saves" `Quick
+            test_bank_concurrent_saves;
         ] );
       ( "stats reset",
         [
