@@ -1436,15 +1436,15 @@ type serve_result = {
    passes and times them, slot 1 runs the server, the rest are clients.
    Everything joins through the pool, so a failing client can never
    leave the server running. *)
-let serve_run ~wire ~max_conns ~scripts ~passes ~window =
+let serve_run ~wire ~max_conns ~shards ~scripts ~passes ~window =
   let clients = Array.length scripts in
   let grouped = Array.map (serve_groups ~window) scripts in
   let dir = Filename.temp_file "cschedd_bench" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let path = Filename.concat dir "s.sock" in
-  let cache = Service.Cache.create ~capacity:32 () in
-  let server = Service.Server.create ~wire ~max_conns ~cache () in
+  let router = Service.Router.create ~shards ~capacity:32 () in
+  let server = Service.Server.create ~wire ~max_conns ~router () in
   let pass_seconds = Array.make passes 0. in
   let outputs = Array.make_matrix passes clients "" in
   let go = Atomic.make 0 in
@@ -1452,6 +1452,7 @@ let serve_run ~wire ~max_conns ~scripts ~passes ~window =
   let failed = Atomic.make false in
   Fun.protect
     ~finally:(fun () ->
+      Service.Router.shutdown router;
       try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ())
     (fun () ->
        Csutil.Par.Pool.with_pool ~domains:(clients + 2) (fun pool ->
@@ -1600,23 +1601,35 @@ let serve_instance ~label ~scripts ~passes ~window ~conc =
   in
   let specs =
     [
-      ("serial_copying", Service.Server.Copying, 1);
-      ("serial_lean", Service.Server.Lean, 1);
-      ("concurrent_copying", Service.Server.Copying, conc);
-      ("concurrent_lean", Service.Server.Lean, conc);
+      ("serial_copying", Service.Server.Copying, 1, 1);
+      ("serial_lean", Service.Server.Lean, 1, 1);
+      ("concurrent_copying", Service.Server.Copying, conc, 1);
+      ("concurrent_lean", Service.Server.Lean, conc, 1);
+      (* Scaling in K: the concurrent lean server over a sharded router.
+         On a multi-core host warm req/s should grow to K=4; a
+         single-core host records the routing overhead honestly. *)
+      ("sharded_k1", Service.Server.Lean, conc, 1);
+      ("sharded_k2", Service.Server.Lean, conc, 2);
+      ("sharded_k4", Service.Server.Lean, conc, 4);
+      ("sharded_k8", Service.Server.Lean, conc, 8);
     ]
   in
   let results =
     List.map
-      (fun (name, wire, mc) ->
-         (name, wire, mc, serve_run ~wire ~max_conns:mc ~scripts ~passes ~window))
+      (fun (name, wire, mc, k) ->
+         ( name,
+           wire,
+           mc,
+           k,
+           serve_run ~wire ~max_conns:mc ~shards:k ~scripts ~passes ~window ))
       specs
   in
-  (* Byte identity across series: whatever the concurrency or wire
-     mode, every client reads the serial copying baseline's bytes. *)
-  let _, _, _, baseline = List.hd results in
+  (* Byte identity across series: whatever the concurrency, wire mode
+     or shard count, every client reads the serial copying baseline's
+     bytes. *)
+  let _, _, _, _, baseline = List.hd results in
   List.iter
-    (fun (name, _, _, r) ->
+    (fun (name, _, _, _, r) ->
        Array.iteri
          (fun i out ->
             if not (String.equal out baseline.outputs.(i)) then begin
@@ -1632,13 +1645,14 @@ let serve_instance ~label ~scripts ~passes ~window ~conc =
   let frps = float_of_int reqs_per_pass in
   let series =
     List.map
-      (fun (name, wire, mc, r) ->
+      (fun (name, wire, mc, k, r) ->
          let warm = warm_seconds r in
          Service.Json.Obj
            [
              ("series", Service.Json.String name);
              ("wire", Service.Json.String (wire_name wire));
              ("max_conns", Service.Json.Int mc);
+             ("shards", Service.Json.Int k);
              ("cold_seconds", Service.Json.Float r.pass_seconds.(0));
              ("warm_seconds", Service.Json.Float warm);
              ("cold_rps", Service.Json.Float (frps /. r.pass_seconds.(0)));
@@ -1654,7 +1668,7 @@ let serve_instance ~label ~scripts ~passes ~window ~conc =
       results
   in
   let headline =
-    let _, _, _, lean = List.nth results 3 in
+    let _, _, _, _, lean = List.nth results 3 in
     base_warm /. warm_seconds lean
   in
   let t =
@@ -1667,7 +1681,7 @@ let serve_instance ~label ~scripts ~passes ~window ~conc =
       [ "series"; "cold s"; "warm s"; "warm req/s"; "speedup"; "p50 us"; "p99 us" ]
   in
   List.iter
-    (fun (name, _, _, r) ->
+    (fun (name, _, _, _, r) ->
        let warm = warm_seconds r in
        Csutil.Table.add_row t
          [
@@ -1695,39 +1709,48 @@ let serve_instance ~label ~scripts ~passes ~window ~conc =
     ]
 
 (* Quick mode: the runtest smoke.  Two interleaved clients of mixed
-   traffic against the concurrent lean server must read bytes identical
-   to the serial copying baseline, inside a generous bound; no JSON. *)
+   traffic against the concurrent lean server — and against a
+   two-shard router — must read bytes identical to the serial copying
+   baseline, inside a generous bound; no JSON. *)
 let serve_quick () =
   let t0 = Unix.gettimeofday () in
   let scripts = mixed_scripts ~clients:2 ~reqs:50 in
   let base =
-    serve_run ~wire:Service.Server.Copying ~max_conns:1 ~scripts ~passes:2
-      ~window:16
+    serve_run ~wire:Service.Server.Copying ~max_conns:1 ~shards:1 ~scripts
+      ~passes:2 ~window:16
   in
   let lean =
-    serve_run ~wire:Service.Server.Lean ~max_conns:2 ~scripts ~passes:2
-      ~window:16
+    serve_run ~wire:Service.Server.Lean ~max_conns:2 ~shards:1 ~scripts
+      ~passes:2 ~window:16
   in
-  Array.iteri
-    (fun i out ->
-       if not (String.equal out base.outputs.(i)) then begin
-         Printf.eprintf
-           "serve --quick: client %d bytes differ between concurrent lean \
-            and serial copying\n"
-           i;
-         exit 1
-       end)
-    lean.outputs;
+  let sharded =
+    serve_run ~wire:Service.Server.Lean ~max_conns:2 ~shards:2 ~scripts
+      ~passes:2 ~window:16
+  in
+  List.iter
+    (fun (name, r) ->
+       Array.iteri
+         (fun i out ->
+            if not (String.equal out base.outputs.(i)) then begin
+              Printf.eprintf
+                "serve --quick: client %d bytes differ between %s and serial \
+                 copying\n"
+                i name;
+              exit 1
+            end)
+         r.outputs)
+    [ ("concurrent lean", lean); ("sharded k=2", sharded) ];
   let dt = Unix.gettimeofday () -. t0 in
   if dt > 120. then begin
     Printf.eprintf "bench serve --quick exceeded its 120 s bound: %.1f s\n" dt;
     exit 1
   end;
   Printf.printf
-    "serve --quick: concurrent lean server byte-identical to the serial\n\
-     copying baseline across %d interleaved clients (%d requests); %.2f s\n"
+    "serve --quick: concurrent lean and two-shard servers byte-identical to\n\
+     the serial copying baseline across %d interleaved clients (%d requests); \
+     %.2f s\n"
     (Array.length scripts)
-    (base.served + lean.served)
+    (base.served + lean.served + sharded.served)
     dt
 
 let serve_bench ?(out = "BENCH_service.json") () =

@@ -4,14 +4,18 @@
    newline-delimited JSON (see Service.Protocol): requests on stdin,
    responses on stdout, one per line, in request order — or over a
    Unix-domain socket with --socket, serving up to --max-conns clients
-   concurrently.  Solved DP tables are kept in a sharded LRU cache so
+   concurrently.  Evaluation goes through a router that
+   consistent-hashes each request's canonical key onto one of --shards
+   independent shard workers, each pinning its own LRU cache of solved
+   DP tables and resident game solvers to a dedicated domain — so
    repeated and nearby (c, p, L) queries cost an array read instead of
-   an O(p L^2) solve; batches of independent requests fan out across
-   domains, and every connection shares the one cache and resident
-   solver pool.
+   an O(p L^2) solve, unrelated keys never contend, and a shard worker
+   that dies or wedges is restarted bank-warm while its in-flight
+   requests answer with a structured error instead of killing the
+   daemon.
 
      echo '{"op":"advise","c":30,"u":86400,"p":3}' | cschedd
-     cschedd --socket /tmp/cschedd.sock --max-conns 8 &
+     cschedd --socket /tmp/cschedd.sock --max-conns 8 --shards 4 &
 
    On EOF or SIGINT the daemon finishes the in-flight batch, flushes
    its responses, and prints a session summary to stderr. *)
@@ -36,22 +40,19 @@ let serve socket_path batch_size domains max_conns cache_tables shards bank_dir
     with
     | Error e -> `Error (false, Cyclesteal.Error.to_string e)
     | Ok bank ->
-      (* One compute pool serves both layers: batches fan out over it, and
-         a cold solve inside a batch borrows it for the wavefront fill
-         when the fan-out has left it idle (busy pools degrade to inline
-         fills).  Connection workers live on a separate pool owned by the
-         server, so serving slots never compete with compute slots. *)
-      let pool = Csutil.Par.Pool.create ~domains in
-      let cache =
-        Service.Cache.create ~shards ~pool ?bank ~capacity:cache_tables ()
+      (* The router owns the compute side end to end: K shard workers,
+         each with its own cache, solve-pool slice of the domain budget
+         and slice of the bank.  Connection workers live on a separate
+         pool owned by the server, so serving slots never compete with
+         compute slots. *)
+      let router =
+        Service.Router.create ~shards ~domains ?bank ~capacity:cache_tables ()
       in
-      let warmed = Service.Cache.warm_from_bank cache in
+      let warmed = Service.Router.warm_from_bank router in
       if (not quiet) && Option.is_some bank then
         Printf.eprintf "cschedd: bank %s mapped, %d dp tables warm\n%!"
           (Option.get bank_dir) warmed;
-      let server =
-        Service.Server.create ~batch_size ~domains ~pool ~max_conns ~cache ()
-      in
+      let server = Service.Server.create ~batch_size ~max_conns ~router () in
       let stop _ = Service.Server.request_stop server in
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
       (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
@@ -59,6 +60,7 @@ let serve socket_path batch_size domains max_conns cache_tables shards bank_dir
       (match socket_path with
        | Some path -> Service.Server.serve_socket server ~path
        | None -> Service.Server.serve_fd server Unix.stdin Unix.stdout);
+      Service.Router.shutdown router;
       if not quiet then prerr_string (Service.Server.summary server);
       `Ok ()
   end
@@ -96,12 +98,22 @@ let max_conns_arg =
     & info [ "max-conns" ] ~docv:"N" ~doc)
 
 let cache_tables_arg =
-  let doc = "Maximum solved DP tables kept resident (LRU per shard)." in
+  let doc =
+    "Maximum solved DP tables kept resident across all shards (each shard's \
+     LRU holds its share)."
+  in
   Arg.(value & opt int 32 & info [ "cache-tables" ] ~docv:"N" ~doc)
 
 let shards_arg =
-  let doc = "Number of independently locked cache shards." in
-  Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
+  let doc =
+    "Number of independent shard workers.  Each request is routed by a \
+     consistent hash of its canonical key to one shard, which pins its own \
+     cache, solver pool and bank slice to a dedicated domain; composes with \
+     $(b,--max-conns) (connections fan in, shards fan out) and $(b,--bank) \
+     (shards partition the bank).  A dead or wedged shard worker restarts \
+     bank-warm without taking the daemon down."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
 
 let bank_arg =
   let doc =

@@ -11,7 +11,11 @@
    - [Budget_exhausted]: an exact computation hit its state budget and
      was abandoned (the caller should coarsen the query);
    - [Unknown_name]: a registry/dispatch lookup failed; carries the
-     accepted names so the message can teach the caller.
+     accepted names so the message can teach the caller;
+   - [Unavailable]: the serving substrate (a shard worker) failed or
+     wedged while the request was in flight — the request itself may
+     be perfectly valid, and retrying after the shard restarts is
+     expected to succeed.
 
    Generic container utilities in [Csutil] keep raising the stdlib's
    [Invalid_argument]: they are not part of the scheduling domain and
@@ -22,6 +26,7 @@ type t =
   | Out_of_range of string
   | Budget_exhausted of { states : int; budget : int }
   | Unknown_name of { kind : string; name : string; known : string list }
+  | Unavailable of string
 
 exception Error of t
 
@@ -30,10 +35,12 @@ let code = function
   | Out_of_range _ -> "out_of_range"
   | Budget_exhausted _ -> "budget_exhausted"
   | Unknown_name _ -> "unknown_name"
+  | Unavailable _ -> "unavailable"
 
 let to_string = function
   | Invalid_params msg -> msg
   | Out_of_range msg -> msg
+  | Unavailable msg -> msg
   | Budget_exhausted { states; budget } ->
     Printf.sprintf "state budget exceeded (%d states, budget %d); use a coarser query"
       states budget
@@ -49,6 +56,7 @@ let range msg = raise_error (Out_of_range msg)
 let rangef fmt = Printf.ksprintf range fmt
 let budget_exhausted ~states ~budget = raise_error (Budget_exhausted { states; budget })
 let unknown ~kind ~name ~known = raise_error (Unknown_name { kind; name; known })
+let unavailable msg = raise_error (Unavailable msg)
 
 (* Run [f], turning a raised [Error] into [Result.Error]. *)
 let guard f = match f () with v -> Ok v | exception Error t -> Result.Error t

@@ -15,12 +15,16 @@ type t =
       (** An exact computation hit its state budget; coarsen the query. *)
   | Unknown_name of { kind : string; name : string; known : string list }
       (** A registry/dispatch lookup failed; [known] lists valid names. *)
+  | Unavailable of string
+      (** The serving substrate (a shard worker) failed while the
+          request was in flight; the request may be valid and a retry
+          after the shard restarts is expected to succeed. *)
 
 exception Error of t
 
 val code : t -> string
 (** Stable machine-readable tag: ["invalid_params"], ["out_of_range"],
-    ["budget_exhausted"] or ["unknown_name"]. *)
+    ["budget_exhausted"], ["unknown_name"] or ["unavailable"]. *)
 
 val to_string : t -> string
 (** Human-readable rendering (the message for the two string cases). *)
@@ -39,6 +43,9 @@ val rangef : ('a, unit, string, 'b) format4 -> 'a
 
 val budget_exhausted : states:int -> budget:int -> 'a
 val unknown : kind:string -> name:string -> known:string list -> 'a
+
+val unavailable : string -> 'a
+(** [unavailable msg] raises [Error (Unavailable msg)]. *)
 
 val guard : (unit -> 'a) -> ('a, t) result
 (** [guard f] runs [f], catching a raised [Error] as [Result.Error]. *)

@@ -2,7 +2,15 @@
    phase (the accept thread never JSON-decodes), preload distinct DP
    tables, then fan the requests across domains.  All shared state
    touched from worker domains is the cache (internally locked);
-   everything else is pure. *)
+   everything else is pure.
+
+   Both public entry points — [run] on raw lines and [run_parsed] on
+   envelopes — funnel through the one [evaluate_parsed] pipeline, so
+   the evaluation semantics (preload grouping, stats-payload
+   substitution, per-request timing, outcome alignment) cannot drift
+   between them; they differ only in whether a parse phase runs first
+   and in how the stats payload arrives (a thunk forced at most once
+   for [run], the already-forced value for [run_parsed]). *)
 
 type outcome = {
   envelope : Protocol.envelope;
@@ -26,7 +34,12 @@ let has_stats_op envelopes =
        | _ -> false)
     envelopes
 
-let run_parsed ?pool ?domains ?stats_payload ~cache envelopes =
+(* The one evaluation pipeline: preload the batch's distinct DP tables
+   outside the cache lock, then fan every envelope across domains.
+   [stats_payload] is the forced snapshot a [stats] op answers with
+   (the daemon's counters; without one, [Protocol.handle] supplies the
+   no-daemon error). *)
+let evaluate_parsed ?pool ?domains ~stats_payload ~cache envelopes =
   Cache.preload cache ~keys:(dp_keys envelopes) ?domains ();
   let evaluate (e : Protocol.envelope) =
     match e.Protocol.request with
@@ -40,6 +53,9 @@ let run_parsed ?pool ?domains ?stats_payload ~cache envelopes =
   in
   Csutil.Par.map ?pool ?domains evaluate envelopes
 
+let run_parsed ?pool ?domains ?stats_payload ~cache envelopes =
+  evaluate_parsed ?pool ?domains ~stats_payload ~cache envelopes
+
 let run ?pool ?domains ?stats_payload ~cache lines =
   let envelopes = Csutil.Par.map ?pool ?domains Protocol.parse_line lines in
   (* The stats snapshot is only worth its Cache.stats fold when the
@@ -49,4 +65,4 @@ let run ?pool ?domains ?stats_payload ~cache lines =
     | Some snapshot when has_stats_op envelopes -> Some (snapshot ())
     | _ -> None
   in
-  run_parsed ?pool ?domains ?stats_payload:payload ~cache envelopes
+  evaluate_parsed ?pool ?domains ~stats_payload:payload ~cache envelopes

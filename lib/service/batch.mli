@@ -9,7 +9,11 @@
     L)] pays each canonical solve exactly once.  Finally every request
     is evaluated through {!Protocol.handle}, again fanned across
     domains; results come back in request order, so response order
-    always matches request order regardless of the domain count. *)
+    always matches request order regardless of the domain count.
+
+    {!run} and {!run_parsed} share one internal evaluation pipeline —
+    they differ only in whether the parse phase runs first — so the
+    two entry points cannot drift apart semantically. *)
 
 type outcome = {
   envelope : Protocol.envelope;
@@ -20,6 +24,11 @@ type outcome = {
 val dp_keys : Protocol.envelope array -> Cache.key list
 (** The canonical table keys of the batch's well-formed [dp] requests
     (with duplicates; {!Cache.preload} dedups). *)
+
+val has_stats_op : Protocol.envelope array -> bool
+(** Whether the batch carries a well-formed [stats] request — callers
+    ({!Router.run}) use this to force the stats snapshot at most once,
+    and only when some request will actually consume it. *)
 
 val run :
   ?pool:Csutil.Par.Pool.t ->

@@ -1,4 +1,4 @@
-(* Sharded LRU cache of solved Dp tables, keyed by the tick cost c.
+(* LRU cache of solved Dp tables, keyed by the tick cost c.
 
    One table per c: a query whose bounds exceed the resident table's
    GROWS the table in place (Dp.grow) instead of solving a fresh one —
@@ -7,21 +7,29 @@
    still canonicalized (l to a power of two, p to an even bound) so a
    ramp of slightly-growing queries does not trigger a grow per query.
 
-   Each shard is a Hashtbl guarded by its own mutex with a logical-clock
+   The table map is a Hashtbl guarded by one mutex with a logical-clock
    LRU: every hit stamps the entry with a fresh tick, eviction scans for
-   the minimum stamp.  Shard capacities are small (a handful of tables),
-   so the O(shard size) eviction scan is cheaper than maintaining an
-   intrusive list, and far simpler.
+   the minimum stamp.  Capacities are small (a handful of tables), so
+   the O(size) eviction scan is cheaper than maintaining an intrusive
+   list, and far simpler.
 
-   Growth happens under the shard lock — Dp.grow requires a single
-   writer — and readers that obtained the table earlier stay safe: a
-   grow publishes a fresh snapshot and never mutates published cells.
-   Cold solves triggered by a lone query also run under the lock; the
-   batch engine keeps its parallelism by preloading distinct tables
-   outside the locks before fanning queries out.
+   A cache used to carry its own lock-shard array; that moved out when
+   the Router took ownership of placement.  Each Router shard now owns
+   one whole cache, so the cross-key concurrency that lock shards
+   bought is supplied by running K caches side by side — and a single
+   lock per cache keeps the metadata discipline trivial.  Placement
+   (which requests share a cache) is a serving-topology question the
+   cache cannot answer; see Router.
+
+   Growth happens under the lock — Dp.grow requires a single writer —
+   and readers that obtained the table earlier stay safe: a grow
+   publishes a fresh snapshot and never mutates published cells.  Cold
+   solves triggered by a lone query also run under the lock; the batch
+   engine keeps its parallelism by preloading distinct tables outside
+   the lock before fanning queries out.
 
    The same locking discipline is what lets the concurrent server hand
-   one cache to every connection worker: shard mutexes serialize the
+   one cache to every connection worker: the mutex serializes the
    metadata, published tables are immutable, so cross-connection
    sharing needs no extra coordination and a table solved for one
    client is a hit for the next. *)
@@ -49,7 +57,7 @@ let table_bytes = Dp.footprint_bytes
 
 type entry = { dp : Dp.t; mutable used : int }
 
-type shard = {
+type tables = {
   lock : Mutex.t;
   table : (int, entry) Hashtbl.t; (* keyed by the table's c *)
   capacity : int;
@@ -62,7 +70,7 @@ type shard = {
 
 (* --- resident game solvers --------------------------------------------
 
-   The evaluate op's analogue of the Dp shards: one Game.Solver kept
+   The evaluate op's analogue of the Dp table map: one Game.Solver kept
    warm per (c, u, p, policy), so a repeated evaluation answers from the
    solver's memo instead of re-expanding the minimax tree.  Policies
    whose Policy.t ignores the opportunity (Planner.state_only) are keyed
@@ -106,34 +114,30 @@ type solvers = {
 }
 
 type t = {
-  shards : shard array;
+  tables : tables;
   pool : Csutil.Par.Pool.t option;
   solvers : solvers;
   bank : Store.Bank.t option;
       (* The persistent memo tier.  Cold misses fall through to the
          bank's mapped snapshots before paying a solve; tables that were
-         solved or grown here are written behind (outside the shard
-         locks) so the next process starts warm. *)
+         solved or grown here are written behind (outside the table
+         lock) so the next process starts warm. *)
 }
 
-let create ?(shards = 8) ?pool ?bank ~capacity () =
+let create ?pool ?bank ~capacity () =
   if capacity < 1 then Error.invalid "Cache.create: capacity must be >= 1";
-  if shards < 1 then Error.invalid "Cache.create: shards must be >= 1";
-  let shards = min shards capacity in
-  let per_shard = (capacity + shards - 1) / shards in
   {
-    shards =
-      Array.init shards (fun _ ->
-          {
-            lock = Mutex.create ();
-            table = Hashtbl.create 16;
-            capacity = per_shard;
-            clock = 0;
-            hits = 0;
-            misses = 0;
-            evictions = 0;
-            growths = 0;
-          });
+    tables =
+      {
+        lock = Mutex.create ();
+        table = Hashtbl.create 16;
+        capacity;
+        clock = 0;
+        hits = 0;
+        misses = 0;
+        evictions = 0;
+        growths = 0;
+      };
     pool;
     bank;
     solvers =
@@ -149,40 +153,38 @@ let create ?(shards = 8) ?pool ?bank ~capacity () =
       };
   }
 
-let shard_of t c = t.shards.(Hashtbl.hash c mod Array.length t.shards)
-
-let with_lock sh f =
-  Mutex.lock sh.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) f
+let with_lock tb f =
+  Mutex.lock tb.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock tb.lock) f
 
 let covers dp key = Dp.max_p dp >= key.max_p && Dp.max_l dp >= key.max_l
 
-let evict_lru sh =
+let evict_lru tb =
   let victim = ref None in
   Hashtbl.iter
     (fun k e ->
        match !victim with
        | Some (_, best) when best.used <= e.used -> ()
        | _ -> victim := Some (k, e))
-    sh.table;
+    tb.table;
   match !victim with
   | Some (k, _) ->
-    Hashtbl.remove sh.table k;
-    sh.evictions <- sh.evictions + 1
+    Hashtbl.remove tb.table k;
+    tb.evictions <- tb.evictions + 1
   | None -> ()
 
-(* Under the shard lock: stamp a resident entry and serve it, growing
-   it in place when it falls short of [key].  A grow counts as both a
-   miss (solve work was paid) and a growth (the prefix was reused). *)
-let serve_resident ~pool sh e key ~count =
-  e.used <- sh.clock;
+(* Under the lock: stamp a resident entry and serve it, growing it in
+   place when it falls short of [key].  A grow counts as both a miss
+   (solve work was paid) and a growth (the prefix was reused). *)
+let serve_resident ~pool tb e key ~count =
+  e.used <- tb.clock;
   if covers e.dp key then begin
-    if count then sh.hits <- sh.hits + 1;
+    if count then tb.hits <- tb.hits + 1;
     (e.dp, false)
   end
   else begin
-    if count then sh.misses <- sh.misses + 1;
-    sh.growths <- sh.growths + 1;
+    if count then tb.misses <- tb.misses + 1;
+    tb.growths <- tb.growths + 1;
     Dp.grow ?pool e.dp ~max_p:key.max_p ~max_l:key.max_l;
     (e.dp, true)
   end
@@ -193,18 +195,18 @@ let serve_resident ~pool sh e key ~count =
    the key counts as a hit — no cell was filled — and one that falls
    short seeds the grow, paying only the missing cells.  The bank load
    (open + CRC scan of the whole payload, tens of ms for a large
-   table) runs OUTSIDE the shard lock so other keys on this shard keep
-   answering; the result is merged under the lock, converging on an
-   entry another thread may have raced in meanwhile.  Solve and grow
-   take the cache's pool: fills large enough for the wavefront use it,
-   and a busy pool (e.g. this solve sits under a batch fan-out) just
-   runs the fill inline. *)
-let obtain ~pool ~bank sh key ~count =
+   table) runs OUTSIDE the lock so other keys keep answering; the
+   result is merged under the lock, converging on an entry another
+   thread may have raced in meanwhile.  Solve and grow take the
+   cache's pool: fills large enough for the wavefront use it, and a
+   busy pool (e.g. this solve sits under a batch fan-out) just runs
+   the fill inline. *)
+let obtain ~pool ~bank tb key ~count =
   let resident =
-    with_lock sh (fun () ->
-        sh.clock <- sh.clock + 1;
-        match Hashtbl.find_opt sh.table key.c with
-        | Some e -> Some (serve_resident ~pool sh e key ~count)
+    with_lock tb (fun () ->
+        tb.clock <- tb.clock + 1;
+        match Hashtbl.find_opt tb.table key.c with
+        | Some e -> Some (serve_resident ~pool tb e key ~count)
         | None -> None)
   in
   match resident with
@@ -215,36 +217,36 @@ let obtain ~pool ~bank sh key ~count =
       | None -> None
       | Some b -> Store.Bank.load_dp b ~c:key.c
     in
-    with_lock sh (fun () ->
-        sh.clock <- sh.clock + 1;
-        match Hashtbl.find_opt sh.table key.c with
-        | Some e -> serve_resident ~pool sh e key ~count
+    with_lock tb (fun () ->
+        tb.clock <- tb.clock + 1;
+        match Hashtbl.find_opt tb.table key.c with
+        | Some e -> serve_resident ~pool tb e key ~count
         | None ->
           let dp, changed =
             match banked with
             | Some dp when covers dp key ->
-              if count then sh.hits <- sh.hits + 1;
+              if count then tb.hits <- tb.hits + 1;
               (dp, false)
             | Some dp ->
-              if count then sh.misses <- sh.misses + 1;
-              sh.growths <- sh.growths + 1;
+              if count then tb.misses <- tb.misses + 1;
+              tb.growths <- tb.growths + 1;
               Dp.grow ?pool dp ~max_p:key.max_p ~max_l:key.max_l;
               (dp, true)
             | None ->
-              if count then sh.misses <- sh.misses + 1;
+              if count then tb.misses <- tb.misses + 1;
               ( Dp.solve_with ~pool ~c:key.c ~max_p:key.max_p
                   ~max_l:key.max_l,
                 true )
           in
-          while Hashtbl.length sh.table >= sh.capacity do
-            evict_lru sh
+          while Hashtbl.length tb.table >= tb.capacity do
+            evict_lru tb
           done;
-          Hashtbl.add sh.table key.c { dp; used = sh.clock };
+          Hashtbl.add tb.table key.c { dp; used = tb.clock };
           (dp, changed))
 
 (* Write-behind: persist a freshly solved or grown table, outside the
-   shard lock.  Published cells are immutable, so reading the table
-   here races nothing; the bank dedups by solved size and swallows I/O
+   lock.  Published cells are immutable, so reading the table here
+   races nothing; the bank dedups by solved size and swallows I/O
    failures (they surface in its counters). *)
 let persist_dp t dp =
   match t.bank with None -> () | Some b -> Store.Bank.save_dp b dp
@@ -252,7 +254,7 @@ let persist_dp t dp =
 let find_or_solve t ~c ~p ~l =
   let key = canonical ~c ~p ~l in
   let dp, changed =
-    obtain ~pool:t.pool ~bank:t.bank (shard_of t key.c) key ~count:true
+    obtain ~pool:t.pool ~bank:t.bank t.tables key ~count:true
   in
   if changed then persist_dp t dp;
   dp
@@ -260,9 +262,9 @@ let find_or_solve t ~c ~p ~l =
 (* Presence probe ("is there a resident table covering these bounds?")
    that neither stamps the LRU clock nor counts. *)
 let mem t key =
-  let sh = shard_of t key.c in
-  with_lock sh (fun () ->
-      match Hashtbl.find_opt sh.table key.c with
+  let tb = t.tables in
+  with_lock tb (fun () ->
+      match Hashtbl.find_opt tb.table key.c with
       | Some e -> covers e.dp key
       | None -> false)
 
@@ -289,7 +291,7 @@ let preload t ~keys ?domains () =
     merge_keys keys |> List.filter (fun key -> not (mem t key)) |> Array.of_list
   in
   if Array.length missing > 0 then begin
-    (* Solve outside the locks (this is the parallel phase) — falling
+    (* Solve outside the lock (this is the parallel phase) — falling
        through to the bank first, like [obtain] — then merge under the
        lock; if another domain raced a table in, grow it to cover
        instead of replacing it, so everyone converges on one. *)
@@ -310,27 +312,27 @@ let preload t ~keys ?domains () =
     in
     let solved = Csutil.Par.map ?pool:t.pool ?domains solve missing in
     let to_persist = ref [] in
+    let tb = t.tables in
     Array.iteri
       (fun i (dp, changed) ->
          let key = missing.(i) in
-         let sh = shard_of t key.c in
-         with_lock sh (fun () ->
-             if changed then sh.misses <- sh.misses + 1
-             else sh.hits <- sh.hits + 1;
-             sh.clock <- sh.clock + 1;
-             match Hashtbl.find_opt sh.table key.c with
+         with_lock tb (fun () ->
+             if changed then tb.misses <- tb.misses + 1
+             else tb.hits <- tb.hits + 1;
+             tb.clock <- tb.clock + 1;
+             match Hashtbl.find_opt tb.table key.c with
              | Some e ->
-               e.used <- sh.clock;
+               e.used <- tb.clock;
                if not (covers e.dp key) then begin
-                 sh.growths <- sh.growths + 1;
+                 tb.growths <- tb.growths + 1;
                  Dp.grow ?pool:t.pool e.dp ~max_p:key.max_p ~max_l:key.max_l;
                  to_persist := e.dp :: !to_persist
                end
              | None ->
-               while Hashtbl.length sh.table >= sh.capacity do
-                 evict_lru sh
+               while Hashtbl.length tb.table >= tb.capacity do
+                 evict_lru tb
                done;
-               Hashtbl.add sh.table key.c { dp; used = sh.clock };
+               Hashtbl.add tb.table key.c { dp; used = tb.clock };
                if changed then to_persist := dp :: !to_persist))
       solved;
     List.iter (persist_dp t) !to_persist
@@ -485,43 +487,48 @@ let with_solver t params opp planner f =
             e.saved_states <- states));
       result)
 
-(* Map every banked Dp table into its shard (without disturbing LRU or
-   hit/miss counters — `count:false` keeps startup warming out of the
-   serving stats) so the first query after startup is already warm;
-   game memos stay on disk until the first evaluation names their
-   policy — rebuilding a solver needs the live params/policy objects
-   only the evaluate path has.  A table already resident is skipped
-   before any file is touched, so re-warming never pays a load + CRC
-   scan just to discard the result.  Returns the number of tables
-   warmed. *)
-let warm_from_bank t =
+(* Map every banked Dp table this cache owns (without disturbing LRU
+   or hit/miss counters — `count:false` keeps startup warming out of
+   the serving stats) so the first query after startup is already
+   warm; game memos stay on disk until the first evaluation names
+   their policy — rebuilding a solver needs the live params/policy
+   objects only the evaluate path has.  [owns] is the placement slice
+   (the Router hands each shard's cache a predicate over c so K
+   shards partition one bank instead of each mapping all of it); a
+   table already resident is skipped before any file is touched, so
+   re-warming never pays a load + CRC scan just to discard the
+   result.  Returns the number of tables warmed. *)
+let warm_from_bank ?owns t =
   match t.bank with
   | None -> 0
   | Some b ->
+    let owns = match owns with Some f -> f | None -> fun _ -> true in
+    let tb = t.tables in
     List.fold_left
       (fun warmed (_, descr) ->
         match descr with
         | Store.Snapshot.Game_memo _ -> warmed
         | Store.Snapshot.Dp_table { c; _ } -> (
-          let sh = shard_of t c in
-          let resident =
-            with_lock sh (fun () -> Hashtbl.mem sh.table c)
-          in
-          if resident then warmed
+          if not (owns c) then warmed
           else
-            match Store.Bank.load_dp ~count:false b ~c with
-            | None -> warmed
-            | Some dp ->
-              with_lock sh (fun () ->
-                  if Hashtbl.mem sh.table c then warmed
-                  else begin
-                    sh.clock <- sh.clock + 1;
-                    while Hashtbl.length sh.table >= sh.capacity do
-                      evict_lru sh
-                    done;
-                    Hashtbl.add sh.table c { dp; used = sh.clock };
-                    warmed + 1
-                  end)))
+            let resident =
+              with_lock tb (fun () -> Hashtbl.mem tb.table c)
+            in
+            if resident then warmed
+            else
+              match Store.Bank.load_dp ~count:false b ~c with
+              | None -> warmed
+              | Some dp ->
+                with_lock tb (fun () ->
+                    if Hashtbl.mem tb.table c then warmed
+                    else begin
+                      tb.clock <- tb.clock + 1;
+                      while Hashtbl.length tb.table >= tb.capacity do
+                        evict_lru tb
+                      done;
+                      Hashtbl.add tb.table c { dp; used = tb.clock };
+                      warmed + 1
+                    end)))
       0 (Store.Bank.entries b)
 
 let bank t = t.bank
@@ -546,61 +553,86 @@ type stats = {
 }
 
 let stats t =
-  Array.fold_left
-    (fun acc sh ->
-       with_lock sh (fun () ->
-           let bytes =
-             Hashtbl.fold (fun _ e b -> b + table_bytes e.dp) sh.table 0
-           in
-           {
-             acc with
-             hits = acc.hits + sh.hits;
-             misses = acc.misses + sh.misses;
-             evictions = acc.evictions + sh.evictions;
-             growths = acc.growths + sh.growths;
-             resident = acc.resident + Hashtbl.length sh.table;
-             resident_bytes = acc.resident_bytes + bytes;
-           }))
-    (let s = t.solvers in
-     Mutex.lock s.sollock;
-     Fun.protect
-       ~finally:(fun () -> Mutex.unlock s.sollock)
-       (fun () ->
-         {
-           hits = 0;
-           misses = 0;
-           evictions = 0;
-           growths = 0;
-           resident = 0;
-           resident_bytes = 0;
-           (* Process-wide: every solve/grow in this daemon goes through
-              the cache, so the kernel (and game-solver) counters read as
-              the cache's solve work. *)
-           kernel = Dp.counters ();
-           solver_hits = s.shits;
-           solver_misses = s.smisses;
-           solver_evictions = s.sevictions;
-           solver_growths = s.sgrowths;
-           solvers_resident = Hashtbl.length s.entries;
-           solver_bytes =
-             Hashtbl.fold
-               (fun _ e b -> b + Game.Solver.footprint_bytes e.solver)
-               s.entries 0;
-           game = Game.counters ();
-           bank = Option.map Store.Bank.counters t.bank;
-           bank_last_error = Option.bind t.bank Store.Bank.last_error;
-         }))
-    t.shards
+  let solver_part =
+    let s = t.solvers in
+    Mutex.lock s.sollock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.sollock)
+      (fun () ->
+        {
+          hits = 0;
+          misses = 0;
+          evictions = 0;
+          growths = 0;
+          resident = 0;
+          resident_bytes = 0;
+          (* Process-wide: every solve/grow in this daemon goes through
+             a cache, so the kernel (and game-solver) counters read as
+             solve work.  With several shard caches, each snapshot
+             carries the same globals; [merge] keeps exactly one copy. *)
+          kernel = Dp.counters ();
+          solver_hits = s.shits;
+          solver_misses = s.smisses;
+          solver_evictions = s.sevictions;
+          solver_growths = s.sgrowths;
+          solvers_resident = Hashtbl.length s.entries;
+          solver_bytes =
+            Hashtbl.fold
+              (fun _ e b -> b + Game.Solver.footprint_bytes e.solver)
+              s.entries 0;
+          game = Game.counters ();
+          bank = Option.map Store.Bank.counters t.bank;
+          bank_last_error = Option.bind t.bank Store.Bank.last_error;
+        })
+  in
+  let tb = t.tables in
+  with_lock tb (fun () ->
+      let bytes =
+        Hashtbl.fold (fun _ e b -> b + table_bytes e.dp) tb.table 0
+      in
+      {
+        solver_part with
+        hits = tb.hits;
+        misses = tb.misses;
+        evictions = tb.evictions;
+        growths = tb.growths;
+        resident = Hashtbl.length tb.table;
+        resident_bytes = bytes;
+      })
+
+(* The merged aggregate view over K shard caches: per-cache families
+   sum; the process-wide kernel/game counters and the (shared) bank
+   counters are kept from exactly one snapshot — summing them would
+   report every solve K times. *)
+let merge = function
+  | [] -> Error.invalid "Cache.merge: need at least one stats snapshot"
+  | first :: rest ->
+    List.fold_left
+      (fun acc s ->
+        {
+          s with
+          hits = acc.hits + s.hits;
+          misses = acc.misses + s.misses;
+          evictions = acc.evictions + s.evictions;
+          growths = acc.growths + s.growths;
+          resident = acc.resident + s.resident;
+          resident_bytes = acc.resident_bytes + s.resident_bytes;
+          solver_hits = acc.solver_hits + s.solver_hits;
+          solver_misses = acc.solver_misses + s.solver_misses;
+          solver_evictions = acc.solver_evictions + s.solver_evictions;
+          solver_growths = acc.solver_growths + s.solver_growths;
+          solvers_resident = acc.solvers_resident + s.solvers_resident;
+          solver_bytes = acc.solver_bytes + s.solver_bytes;
+        })
+      first rest
 
 let reset_counters t =
-  Array.iter
-    (fun sh ->
-       with_lock sh (fun () ->
-           sh.hits <- 0;
-           sh.misses <- 0;
-           sh.evictions <- 0;
-           sh.growths <- 0))
-    t.shards;
+  (let tb = t.tables in
+   with_lock tb (fun () ->
+       tb.hits <- 0;
+       tb.misses <- 0;
+       tb.evictions <- 0;
+       tb.growths <- 0));
   (let s = t.solvers in
    Mutex.lock s.sollock;
    Fun.protect

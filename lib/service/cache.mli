@@ -1,5 +1,5 @@
-(** Sharded LRU cache of solved {!Cyclesteal.Dp} tables, one per tick
-    cost [c].
+(** LRU cache of solved {!Cyclesteal.Dp} tables, one per tick cost
+    [c].
 
     Solving a table costs [O(max_p * max_l^2)]; answering a query from a
     solved table costs an array read.  The cache keeps at most one table
@@ -11,11 +11,13 @@
     {!min_p}) so a ramp of slightly-growing queries does not pay a grow
     per query.
 
-    Shards are independently locked LRU maps, so concurrent lookups from
-    {!Csutil.Par} domains contend only when they hash to the same shard.
-    Growth happens under the shard lock (single writer); previously
-    obtained tables stay valid throughout — growth publishes a fresh
-    snapshot and never mutates published cells.
+    One mutex guards the table map with a logical-clock LRU.  Growth
+    happens under the lock (single writer); previously obtained tables
+    stay valid throughout — growth publishes a fresh snapshot and never
+    mutates published cells.  Concurrent lookups are safe from any
+    domain; cross-key concurrency at scale comes from running several
+    caches side by side, one per {!Router} shard — placement (which
+    requests share a cache) belongs to the router, not here.
 
     The cache also keeps {!Cyclesteal.Game.Solver}s resident for the
     evaluate op ({!with_solver}): one per (c, u, p, policy) — with [p]
@@ -44,57 +46,57 @@ val canonical : c:int -> p:int -> l:int -> key
     @raise Error.Error when [c < 1], [p < 0] or [l < 0]. *)
 
 val create :
-  ?shards:int ->
   ?pool:Csutil.Par.Pool.t ->
   ?bank:Store.Bank.t ->
   capacity:int ->
   unit ->
   t
-(** [create ~capacity ()] holds at most [capacity] solved tables in
-    total, split over [shards] (default 8) independently locked LRU
-    shards (each shard holds at most [ceil (capacity / shards)]).
-    [pool] is handed to every solve and grow so large fills run the
-    domain-parallel wavefront kernel; when the pool is busy (say this
-    solve sits under a {!Batch} fan-out on the same pool) the fill runs
-    inline, so sharing one pool is always safe.
+(** [create ~capacity ()] holds at most [capacity] solved tables (and
+    at most [capacity] resident game solvers), evicting
+    least-recently-used entries beyond that.  [pool] is handed to every
+    solve and grow so large fills run the domain-parallel wavefront
+    kernel; when the pool is busy (say this solve sits under a
+    {!Batch} fan-out on the same pool) the fill runs inline, so
+    sharing one pool is always safe.
 
     [bank] plugs in the persistent memo tier: a cold miss (Dp table or
     gridded game solver alike) falls through to the bank's mapped
     snapshots before paying a solve — a covering snapshot counts as a
     cache hit, since no cell is computed, and the load's CRC scan runs
-    outside the shard and solver locks so concurrent lookups for other
+    outside the table and solver locks so concurrent lookups for other
     keys never stall behind it — and tables solved or grown here are
-    written behind, outside the shard locks, so the next process
-    starts warm (game memos re-persist only after enough growth since
-    the last save; see {!with_solver}).  Bank load failures (corrupt,
+    written behind, outside the locks, so the next process starts
+    warm (game memos re-persist only after enough growth since the
+    last save; see {!with_solver}).  Bank load failures (corrupt,
     truncated, mismatched files) silently fall through to a fresh
     solve and are reported in {!stats}[.bank].
-    @raise Error.Error when [capacity < 1] or [shards < 1]. *)
+    @raise Error.Error when [capacity < 1]. *)
 
-val warm_from_bank : t -> int
-(** Map every banked Dp table into its shard up front (LRU and bank
-    hit/miss counters untouched, so post-start [stats] reflect serving
-    traffic; load failures are still counted), so the daemon's first
-    query is warm without even the first-request mapping cost; tables
-    already resident are skipped without touching their file.  Game
-    memos load lazily on the first evaluation that names their
-    identity, which is when the live policy objects exist.  Returns
-    the number of tables warmed. *)
+val warm_from_bank : ?owns:(int -> bool) -> t -> int
+(** Map every banked Dp table up front (LRU and bank hit/miss counters
+    untouched, so post-start [stats] reflect serving traffic; load
+    failures are still counted), so the daemon's first query is warm
+    without even the first-request mapping cost; tables already
+    resident are skipped without touching their file.  [owns] filters
+    by tick cost [c] — the router hands each shard's cache its
+    placement slice so K shards partition one bank (default: own
+    everything).  Game memos load lazily on the first evaluation that
+    names their identity, which is when the live policy objects exist.
+    Returns the number of tables warmed. *)
 
 val bank : t -> Store.Bank.t option
 
 val find_or_solve : t -> c:int -> p:int -> l:int -> Cyclesteal.Dp.t
 (** The resident table for [c], guaranteed to cover the canonical
     bounds of [(c, p, l)]: served as-is on a hit, grown in place when
-    the bounds exceed it, solved fresh (evicting the shard's
-    least-recently-used table if full) when absent.  Thread- and
-    domain-safe. *)
+    the bounds exceed it, solved fresh (evicting the least-recently-
+    used table if full) when absent.  Thread- and domain-safe. *)
 
 val preload : t -> keys:key list -> ?domains:int -> unit -> unit
 (** Solve all missing tables (requested bounds merged per [c]) in
-    parallel via {!Csutil.Par.map} outside the shard locks and insert
-    them; used by the batch engine so a mixed batch pays each distinct
-    solve once, concurrently. *)
+    parallel via {!Csutil.Par.map} outside the lock and insert them;
+    used by the batch engine so a mixed batch pays each distinct solve
+    once, concurrently. *)
 
 val with_solver :
   t ->
@@ -128,7 +130,8 @@ type stats = {
   kernel : Cyclesteal.Dp.counters;
       (** DP kernel work counters (cells filled, candidates visited /
           pruned, parallel fills).  Process-wide — in the daemon every
-          solve and grow goes through the cache. *)
+          solve and grow goes through a cache — so {!merge} keeps one
+          copy instead of summing. *)
   solver_hits : int;  (** evaluations served by a resident solver *)
   solver_misses : int;  (** evaluations that created a solver *)
   solver_evictions : int;
@@ -148,8 +151,15 @@ type stats = {
 }
 
 val stats : t -> stats
-(** Aggregate counters across shards (a consistent-enough snapshot:
-    each shard is read under its lock). *)
+(** Current counters (a consistent-enough snapshot: each family is
+    read under its lock). *)
+
+val merge : stats list -> stats
+(** The merged aggregate view over several shard caches: per-cache
+    families sum; the process-wide [kernel]/[game] counters and the
+    shared [bank] counters are kept from exactly one snapshot, so a
+    solve is never reported K times.
+    @raise Error.Error on an empty list. *)
 
 val reset_counters : t -> unit
 (** Zero the hit/miss/eviction/growth counters (Dp and solver alike),

@@ -34,6 +34,31 @@ let op_name = function
   | Strategies -> "strategies"
   | Stats _ -> "stats"
 
+(* --- shard placement keys ------------------------------------------------
+
+   The canonical identity a request's cached state lives under, as a
+   string the router consistent-hashes.  Two requests share a key
+   exactly when they can share residency: dp queries share a table per
+   c (bounds only say how far it must cover), point ops share solvers
+   per (c, u, policy) — p stays out of the key because state_only
+   policies collapse it, and keeping all budgets of one (c, u, policy)
+   together is what lets the resident solver grow in place instead of
+   duplicating across shards.  Floats print with %h (exact hex), so no
+   two distinct parameters ever collide by formatting.  Strategies and
+   stats have no placement: the router answers them itself (strategies
+   is pure; stats aggregates across shards). *)
+
+let dp_shard_key ~c_ticks = Printf.sprintf "dp:%d" c_ticks
+
+let shard_key = function
+  | Advise { c; u; _ } -> Some (Printf.sprintf "cu:%h:%h:advise" c u)
+  | Schedule { c; u; regime; _ } ->
+    Some (Printf.sprintf "cu:%h:%h:%s" c u regime)
+  | Evaluate { c; u; policy; _ } ->
+    Some (Printf.sprintf "cu:%h:%h:%s" c u policy)
+  | Dp_query { c_ticks; _ } -> Some (dp_shard_key ~c_ticks)
+  | Strategies | Stats _ -> None
+
 (* --- decoding ----------------------------------------------------------- *)
 
 let ( let* ) = Result.bind

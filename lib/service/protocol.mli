@@ -53,6 +53,20 @@ type envelope = {
 val op_name : request -> string
 (** The wire name of the operation ("advise", "schedule", ...). *)
 
+val shard_key : request -> string option
+(** The canonical placement identity the router consistent-hashes:
+    requests with equal keys share cached state (one DP table per
+    [c_ticks]; one resident solver family per [(c, u, policy)] — the
+    interrupt budget [p] stays out so every budget of a state-only
+    policy lands on the one shard whose solver grows in place).
+    [None] for [Strategies] and [Stats]: they have no placement — the
+    router answers them itself, aggregating across shards. *)
+
+val dp_shard_key : c_ticks:int -> string
+(** [shard_key]'s key for a [dp] request with this tick cost; the
+    router uses it to slice a bank's tables across shard caches at
+    warm-up, so warming agrees with serving placement. *)
+
 val parse_line : string -> envelope
 (** Parse one request line.  Total: malformed JSON, a non-object, an
     unknown [op] or bad argument types yield an [Error] envelope, never

@@ -1,0 +1,598 @@
+(* The routing seam: rendezvous placement onto K shard workers.
+
+   Topology.  One router owns K shards.  Each shard pins an
+   independent serving runtime — cache, solve pool, stats family — to
+   one dedicated worker domain, fed through a private job channel.  A
+   connection's batch is split by placement into per-shard sub-batches
+   (jobs); the connection worker enqueues them, evaluates the
+   placement-free ops itself while the shards work, then blocks on
+   each job's condition and reassembles outcomes by original index —
+   so per-connection ordering, and with it byte-identity to a serial
+   server, is preserved no matter how sub-batches interleave across
+   shards.
+
+   Placement.  Rendezvous (highest-random-weight) hashing over the
+   canonical placement key (Protocol.shard_key): score every (key,
+   shard) pair with a mixed 64-bit hash, pick the argmax.  Stable by
+   construction — growing K to K+1 remaps exactly the keys whose new
+   shard's score wins, an expected 1/(K+1) of them, every one moving
+   to the new shard — and purely deterministic (FNV-1a + splitmix64
+   finalizer, no Random), so any process computes the same placement.
+
+   Failure.  A worker that dies fails its own in-flight job with
+   Error.Unavailable and restarts its shard before retiring: bump the
+   generation, migrate the queued jobs to a fresh channel, build a
+   fresh bank-warm cache and pool, spawn a replacement domain.  A
+   worker that wedges is caught by the watchdog domain (no timed
+   condition wait in the stdlib, so the watchdog polls in-flight start
+   times) and the shard is restarted out from under it; when the
+   zombie eventually wakes it finds its job already failed (delivery
+   is first-writer-wins under the job lock) and its channel closed,
+   and retires without a trace.  Stats families survive restarts —
+   only the failed runtime is replaced — and each restart is counted.
+
+   The shard channel below is the only inter-shard communication
+   primitive in the tree; tools/check-format.sh gates both Shard_chan
+   and Domain.spawn against use outside this file (and Par). *)
+
+exception Injected_failure
+
+(* --- placement ----------------------------------------------------------- *)
+
+(* FNV-1a over the key bytes; splitmix64 finalizer mixes in the shard
+   index.  All Int64 so the constants fit and the arithmetic wraps the
+   same on every platform. *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+       h :=
+         Int64.mul
+           (Int64.logxor !h (Int64.of_int (Char.code ch)))
+           0x100000001b3L)
+    s;
+  !h
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let score key_hash shard =
+  mix64 (Int64.logxor key_hash (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int (shard + 1))))
+
+let place ~shards key =
+  if shards < 1 then Cyclesteal.Error.invalid "Router.place: shards must be >= 1";
+  if shards = 1 then 0
+  else begin
+    let h = fnv1a key in
+    let best = ref 0 in
+    let best_score = ref (score h 0) in
+    for i = 1 to shards - 1 do
+      let s = score h i in
+      if Int64.unsigned_compare s !best_score > 0 then begin
+        best := i;
+        best_score := s
+      end
+    done;
+    !best
+  end
+
+(* Which tick costs a shard's cache owns — used to slice the shared
+   bank at warm-up so warming agrees with serving placement. *)
+let owns ~shards index c = place ~shards (Protocol.dp_shard_key ~c_ticks:c) = index
+
+(* --- jobs and the shard channel ------------------------------------------ *)
+
+type job_state =
+  | Pending
+  | Done of Batch.outcome array
+  | Failed of Cyclesteal.Error.t
+
+type job = {
+  envelopes : Protocol.envelope array;  (* this shard's sub-batch *)
+  jlock : Mutex.t;
+  finished : Condition.t;
+  mutable state : job_state;  (* written once, under [jlock] *)
+}
+
+(* A blocking job queue between connection workers and one shard
+   worker.  [pop] keeps draining after [close] so jobs enqueued just
+   before a shutdown are still evaluated; [migrate] closes the old
+   channel and carries its queue to the replacement atomically, so a
+   restart loses only the in-flight job, never the queued ones. *)
+module Shard_chan = struct
+  type 'a t = {
+    lock : Mutex.t;
+    nonempty : Condition.t;
+    items : 'a Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      items = Queue.create ();
+      closed = false;
+    }
+
+  let push q x =
+    Mutex.lock q.lock;
+    let accepted = not q.closed in
+    if accepted then begin
+      Queue.push x q.items;
+      Condition.signal q.nonempty
+    end;
+    Mutex.unlock q.lock;
+    accepted
+
+  let close q =
+    Mutex.lock q.lock;
+    q.closed <- true;
+    Condition.broadcast q.nonempty;
+    Mutex.unlock q.lock
+
+  let pop q =
+    Mutex.lock q.lock;
+    let rec wait () =
+      if not (Queue.is_empty q.items) then Some (Queue.pop q.items)
+      else if q.closed then None
+      else begin
+        Condition.wait q.nonempty q.lock;
+        wait ()
+      end
+    in
+    let x = wait () in
+    Mutex.unlock q.lock;
+    x
+
+  let migrate ~from ~into =
+    Mutex.lock from.lock;
+    from.closed <- true;
+    let moved = Queue.create () in
+    Queue.transfer from.items moved;
+    Condition.broadcast from.nonempty;
+    Mutex.unlock from.lock;
+    Mutex.lock into.lock;
+    Queue.transfer moved into.items;
+    if not (Queue.is_empty into.items) then Condition.broadcast into.nonempty;
+    Mutex.unlock into.lock
+end
+
+type failure = Die | Wedge of float
+
+type chaos = Chaos_none | Chaos_die | Chaos_wedge of float
+
+type shard = {
+  index : int;
+  stats : Stats.t;  (* survives restarts: the shard's serving history *)
+  slock : Mutex.t;  (* guards the mutable runtime fields below *)
+  mutable cache : Cache.t;
+  mutable pool : Csutil.Par.Pool.t;
+  mutable chan : job Shard_chan.t;
+  mutable generation : int;
+  mutable restarts : int;
+  mutable current : (job * float) option;  (* in-flight job + start time *)
+  mutable worker : unit Domain.t option;
+  chaos : chaos Atomic.t;  (* one-shot fault injection for tests *)
+}
+
+type t = {
+  shards : shard array;
+  domains : int;
+  per_shard_domains : int;
+  shard_capacity : int;
+  bank : Store.Bank.t option;
+  hang_timeout : float;
+  stopped : bool Atomic.t;
+  mutable watchdog : unit Domain.t option;
+}
+
+let shard_count t = Array.length t.shards
+
+(* --- job lifecycle ------------------------------------------------------- *)
+
+(* First writer wins: a zombie worker waking after its shard was
+   restarted finds the job already [Failed] and drops its result. *)
+let deliver job result =
+  Mutex.lock job.jlock;
+  let accepted = match job.state with Pending -> true | _ -> false in
+  if accepted then begin
+    job.state <- result;
+    Condition.broadcast job.finished
+  end;
+  Mutex.unlock job.jlock;
+  accepted
+
+let await job =
+  Mutex.lock job.jlock;
+  let rec wait () =
+    match job.state with
+    | Pending ->
+      Condition.wait job.finished job.jlock;
+      wait ()
+    | (Done _ | Failed _) as st -> st
+  in
+  let st = wait () in
+  Mutex.unlock job.jlock;
+  st
+
+let op_of (o : Batch.outcome) =
+  match o.Batch.envelope.Protocol.request with
+  | Ok req -> Protocol.op_name req
+  | Error _ -> "invalid"
+
+let record_outcomes sh outcomes =
+  Array.iter
+    (fun (o : Batch.outcome) ->
+       Stats.add sh.stats
+         {
+           Stats.op = op_of o;
+           ok = Result.is_ok o.Batch.result;
+           latency = o.Batch.latency;
+           (* bytes belong to the connection that serializes, not here *)
+           bytes = 0;
+         })
+    outcomes
+
+(* Answer every request of a failed sub-batch with the structured
+   error, and account them to the shard that lost them. *)
+let fail_job sh job err =
+  if deliver job (Failed err) then
+    Array.iter
+      (fun (e : Protocol.envelope) ->
+         let op =
+           match e.Protocol.request with
+           | Ok req -> Protocol.op_name req
+           | Error _ -> "invalid"
+         in
+         Stats.add sh.stats { Stats.op = op; ok = false; latency = 0.; bytes = 0 })
+      job.envelopes
+
+let died_error index =
+  Cyclesteal.Error.Unavailable
+    (Printf.sprintf
+       "shard %d worker failed; in-flight requests were aborted and the shard \
+        restarted warm — retry"
+       index)
+
+let wedged_error index timeout =
+  Cyclesteal.Error.Unavailable
+    (Printf.sprintf
+       "shard %d worker unresponsive for %.1fs; in-flight requests were \
+        aborted and the shard restarted warm — retry"
+       index timeout)
+
+let stopped_error index =
+  Cyclesteal.Error.Unavailable
+    (Printf.sprintf "shard %d is shutting down" index)
+
+(* --- shard runtime ------------------------------------------------------- *)
+
+(* A shard's replaceable half: cache + solve pool (the stats family and
+   channel identity live on the shard record).  Restarts rebuild this
+   bank-warm, so a replacement worker starts where the bank left off
+   rather than cold. *)
+let fresh_runtime ~shards ~per_shard_domains ~shard_capacity ~bank ~warm index =
+  let pool = Csutil.Par.Pool.create ~domains:per_shard_domains in
+  let cache = Cache.create ~pool ?bank ~capacity:shard_capacity () in
+  if warm && Option.is_some bank then
+    ignore (Cache.warm_from_bank ~owns:(owns ~shards index) cache);
+  (cache, pool)
+
+let note_start sh ~gen job =
+  Mutex.lock sh.slock;
+  if sh.generation = gen then sh.current <- Some (job, Unix.gettimeofday ());
+  Mutex.unlock sh.slock
+
+let note_finish sh ~gen job =
+  Mutex.lock sh.slock;
+  (match sh.current with
+   | Some (j, _) when j == job && sh.generation = gen -> sh.current <- None
+   | _ -> ());
+  Mutex.unlock sh.slock
+
+(* Evaluate one sub-batch on this shard's runtime.  Every envelope here
+   routed, so there is never a stats op to substitute; the chaos hook
+   fires before any work so an armed failure aborts the whole
+   sub-batch, like a real crash mid-batch would. *)
+let evaluate_job sh ~cache ~pool job =
+  (match Atomic.exchange sh.chaos Chaos_none with
+   | Chaos_none -> ()
+   | Chaos_die -> raise Injected_failure
+   | Chaos_wedge d -> Unix.sleepf d);
+  Stats.add_batch sh.stats ~size:(Array.length job.envelopes);
+  Batch.run_parsed ~pool ~domains:(Csutil.Par.Pool.size pool) ~cache
+    job.envelopes
+
+(* The worker, its restart path and the spawner are mutually recursive:
+   a dying worker restarts its own shard (which spawns a replacement)
+   before retiring. *)
+let rec worker_loop t sh ~gen ~chan ~cache ~pool =
+  match Shard_chan.pop chan with
+  | None -> ()  (* closed and drained: this generation retires *)
+  | Some job ->
+    note_start sh ~gen job;
+    (match evaluate_job sh ~cache ~pool job with
+     | outcomes ->
+       note_finish sh ~gen job;
+       if deliver job (Done outcomes) then record_outcomes sh outcomes;
+       worker_loop t sh ~gen ~chan ~cache ~pool
+     | exception _ ->
+       (* The worker is compromised: fail what it held, hand the shard
+          to a fresh generation, retire this domain.  Whoever wins the
+          generation race does the restart; the job dies either way. *)
+       note_finish sh ~gen job;
+       ignore (restart_shard t sh ~gen);
+       fail_job sh job (died_error sh.index))
+
+and restart_shard t sh ~gen =
+  Mutex.lock sh.slock;
+  if sh.generation <> gen || Atomic.get t.stopped then begin
+    Mutex.unlock sh.slock;
+    false
+  end
+  else begin
+    sh.generation <- sh.generation + 1;
+    sh.restarts <- sh.restarts + 1;
+    sh.current <- None;
+    let fresh = Shard_chan.create () in
+    Shard_chan.migrate ~from:sh.chan ~into:fresh;
+    sh.chan <- fresh;
+    let cache, pool =
+      fresh_runtime ~shards:(Array.length t.shards)
+        ~per_shard_domains:t.per_shard_domains ~shard_capacity:t.shard_capacity
+        ~bank:t.bank ~warm:true sh.index
+    in
+    sh.cache <- cache;
+    sh.pool <- pool;
+    spawn_worker t sh ~gen:sh.generation ~chan:fresh ~cache ~pool;
+    Mutex.unlock sh.slock;
+    true
+  end
+
+and spawn_worker t sh ~gen ~chan ~cache ~pool =
+  sh.worker <-
+    Some (Domain.spawn (fun () -> worker_loop t sh ~gen ~chan ~cache ~pool))
+
+(* The watchdog polls in-flight start times (the stdlib has no timed
+   condition wait): a job past [hang_timeout] means its worker wedged —
+   restart the shard out from under it and fail the stuck job.  The
+   generation captured with the overdue job arbitrates against the
+   worker dying on its own at the same moment. *)
+let watchdog_loop t =
+  let interval = Float.max 0.01 (Float.min 0.25 (t.hang_timeout /. 4.)) in
+  let rec loop () =
+    if not (Atomic.get t.stopped) then begin
+      Unix.sleepf interval;
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (fun sh ->
+           let overdue =
+             Mutex.lock sh.slock;
+             let r =
+               match sh.current with
+               | Some (job, t0) when now -. t0 > t.hang_timeout ->
+                 Some (job, sh.generation)
+               | _ -> None
+             in
+             Mutex.unlock sh.slock;
+             r
+           in
+           match overdue with
+           | None -> ()
+           | Some (job, gen) ->
+             if restart_shard t sh ~gen then
+               fail_job sh job (wedged_error sh.index t.hang_timeout))
+        t.shards;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- construction -------------------------------------------------------- *)
+
+let create ?(shards = 1) ?domains ?bank ?(hang_timeout = 30.) ~capacity () =
+  if shards < 1 then Cyclesteal.Error.invalid "Router.create: shards must be >= 1";
+  if capacity < 1 then
+    Cyclesteal.Error.invalid "Router.create: capacity must be >= 1";
+  if not (hang_timeout > 0.) then
+    Cyclesteal.Error.invalid "Router.create: hang_timeout must be positive";
+  let domains =
+    match domains with
+    | Some d when d < 1 ->
+      Cyclesteal.Error.invalid "Router.create: domains must be >= 1"
+    | Some d -> d
+    | None -> Csutil.Par.available_domains ()
+  in
+  let per_shard_domains = max 1 (domains / shards) in
+  let shard_capacity = max 1 ((capacity + shards - 1) / shards) in
+  let t =
+    {
+      shards =
+        Array.init shards (fun index ->
+            let cache, pool =
+              fresh_runtime ~shards ~per_shard_domains ~shard_capacity ~bank
+                ~warm:false index
+            in
+            {
+              index;
+              stats = Stats.create ();
+              slock = Mutex.create ();
+              cache;
+              pool;
+              chan = Shard_chan.create ();
+              generation = 0;
+              restarts = 0;
+              current = None;
+              worker = None;
+              chaos = Atomic.make Chaos_none;
+            });
+      domains;
+      per_shard_domains;
+      shard_capacity;
+      bank;
+      hang_timeout;
+      stopped = Atomic.make false;
+      watchdog = None;
+    }
+  in
+  Array.iter
+    (fun sh ->
+       spawn_worker t sh ~gen:0 ~chan:sh.chan ~cache:sh.cache ~pool:sh.pool)
+    t.shards;
+  t.watchdog <- Some (Domain.spawn (fun () -> watchdog_loop t));
+  t
+
+let shutdown t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Array.iter
+      (fun sh ->
+         Mutex.lock sh.slock;
+         Shard_chan.close sh.chan;
+         let worker = sh.worker in
+         sh.worker <- None;
+         Mutex.unlock sh.slock;
+         Option.iter Domain.join worker;
+         Csutil.Par.Pool.shutdown sh.pool)
+      t.shards;
+    Option.iter Domain.join t.watchdog;
+    t.watchdog <- None
+  end
+
+(* --- submission ---------------------------------------------------------- *)
+
+let submit sh job =
+  Mutex.lock sh.slock;
+  let accepted = Shard_chan.push sh.chan job in
+  Mutex.unlock sh.slock;
+  if not accepted then ignore (deliver job (Failed (stopped_error sh.index)))
+
+let run_parsed t ?stats_payload envelopes =
+  let n = Array.length envelopes in
+  if n = 0 then [||]
+  else begin
+    let shards = Array.length t.shards in
+    let routed = Array.make shards [] in
+    let inline_rev = ref [] in
+    Array.iteri
+      (fun i (e : Protocol.envelope) ->
+         match e.Protocol.request with
+         | Ok req -> (
+           match Protocol.shard_key req with
+           | Some key ->
+             let k = place ~shards key in
+             routed.(k) <- (i, e) :: routed.(k)
+           | None -> inline_rev := (i, e) :: !inline_rev)
+         | Error _ -> inline_rev := (i, e) :: !inline_rev)
+      envelopes;
+    let jobs =
+      Array.mapi
+        (fun k items ->
+           match items with
+           | [] -> None
+           | items ->
+             let items = Array.of_list (List.rev items) in
+             let job =
+               {
+                 envelopes = Array.map snd items;
+                 jlock = Mutex.create ();
+                 finished = Condition.create ();
+                 state = Pending;
+               }
+             in
+             submit t.shards.(k) job;
+             Some (Array.map fst items, job))
+        routed
+    in
+    let out = Array.make n None in
+    (* Placement-free ops (strategies, stats, parse errors) evaluate
+       right here on the submitting connection — through the same
+       Batch pipeline, so semantics cannot drift — while the shard
+       workers chew on their sub-batches. *)
+    (match List.rev !inline_rev with
+     | [] -> ()
+     | inline ->
+       let inline = Array.of_list inline in
+       let outcomes =
+         Batch.run_parsed ~domains:1 ?stats_payload
+           ~cache:t.shards.(0).cache (Array.map snd inline)
+       in
+       Array.iteri (fun j o -> out.(fst inline.(j)) <- Some o) outcomes);
+    Array.iter
+      (function
+        | None -> ()
+        | Some (idxs, job) -> (
+          match await job with
+          | Pending -> assert false
+          | Done outcomes ->
+            Array.iteri (fun j o -> out.(idxs.(j)) <- Some o) outcomes
+          | Failed err ->
+            Array.iteri
+              (fun j env ->
+                 out.(idxs.(j)) <-
+                   Some
+                     { Batch.envelope = env; result = Error err; latency = 0. })
+              job.envelopes))
+      jobs;
+    Array.map (function Some o -> o | None -> assert false) out
+  end
+
+let run t ?stats_payload lines =
+  let envelopes =
+    Csutil.Par.map ~pool:t.shards.(0).pool ~domains:t.domains
+      Protocol.parse_line lines
+  in
+  (* The stats snapshot is only worth its fold across shards when the
+     batch actually carries a stats op — which almost none do. *)
+  let payload =
+    match stats_payload with
+    | Some snapshot when Batch.has_stats_op envelopes -> Some (snapshot ())
+    | _ -> None
+  in
+  run_parsed t ?stats_payload:payload envelopes
+
+(* --- observation --------------------------------------------------------- *)
+
+let warm_from_bank t =
+  let shards = Array.length t.shards in
+  Array.fold_left
+    (fun warmed sh ->
+       warmed + Cache.warm_from_bank ~owns:(owns ~shards sh.index) sh.cache)
+    0 t.shards
+
+let cache_stats t =
+  Cache.merge
+    (Array.to_list (Array.map (fun sh -> Cache.stats sh.cache) t.shards))
+
+let shards_json t =
+  Array.to_list
+    (Array.map
+       (fun sh ->
+          Stats.shard_json sh.stats ~shard:sh.index ~restarts:sh.restarts
+            ~cache:(Cache.stats sh.cache))
+       t.shards)
+
+let restarts t =
+  Array.fold_left (fun acc sh -> acc + sh.restarts) 0 t.shards
+
+let reset_counters t =
+  Array.iter
+    (fun sh ->
+       Stats.reset_counters sh.stats;
+       Cache.reset_counters sh.cache;
+       Mutex.lock sh.slock;
+       sh.restarts <- 0;
+       Mutex.unlock sh.slock)
+    t.shards
+
+let inject_failure t ~shard failure =
+  if shard < 0 || shard >= Array.length t.shards then
+    Cyclesteal.Error.rangef "Router.inject_failure: no shard %d" shard;
+  Atomic.set t.shards.(shard).chaos
+    (match failure with Die -> Chaos_die | Wedge d -> Chaos_wedge d)

@@ -1,0 +1,128 @@
+(** The request-routing seam: one placement function, K shard workers.
+
+    A router classifies every parsed request to a shard key — the
+    canonical identity its cached state lives under
+    ({!Protocol.shard_key}) — and consistent-hashes that key onto one
+    of K shards.  Each shard is an independent serving runtime pinned
+    to its own dedicated domain: its own {!Cache.t} (DP tables and
+    resident game solvers), its own solve pool, its own {!Stats.t}
+    family and its own slice of the persistent bank.  Resident state
+    therefore {e shards} instead of duplicating — a (c, u, policy)
+    lives on exactly one shard, however many clients ask for it — and
+    K shards solve unrelated keys with zero lock contention between
+    them.
+
+    Serial, concurrent and sharded serving are this one code path: a
+    single-shard router is the serial daemon's evaluation engine, and
+    {!Server} always talks to a router, whatever K is.
+
+    {b Placement} uses rendezvous (highest-random-weight) hashing:
+    every (key, shard) pair gets a deterministic 64-bit score and the
+    key lives on the highest-scoring shard.  Growing K to K+1 moves
+    only the keys whose new shard wins — an expected 1/(K+1) fraction,
+    each moving {e to} the new shard — so resizing a fleet reshuffles
+    almost nothing (contrast mod-K hashing, which moves nearly
+    everything).  Requests with no placement ([strategies], [stats])
+    are answered by the router itself; [stats] aggregates the merged
+    cache view plus per-shard sections.
+
+    {b Failure is a first-class event, never a daemon crash.}  A shard
+    worker that dies (an escaped exception) fails its in-flight
+    sub-batch with a structured [Error.Unavailable] — clients get an
+    error {e response}, not a dropped connection — and the shard
+    restarts with a fresh, bank-warm cache under a bumped generation;
+    queued sub-batches migrate to the replacement worker untouched.  A
+    worker that {e wedges} (stuck past [hang_timeout] on one batch) is
+    detected by a watchdog domain and restarted the same way; the
+    stale worker's late results are discarded by generation check, so
+    it can never answer a request the replacement already failed.
+    [stats] reports restarts per shard and in total. *)
+
+type t
+
+val create :
+  ?shards:int ->
+  ?domains:int ->
+  ?bank:Store.Bank.t ->
+  ?hang_timeout:float ->
+  capacity:int ->
+  unit ->
+  t
+(** [create ~capacity ()] starts [shards] (default 1) shard workers,
+    each pinned to a dedicated domain with its own cache holding up to
+    [ceil (capacity / shards)] tables.  [domains] (default
+    {!Csutil.Par.available_domains}) is the total compute-domain
+    budget, split evenly across shard solve pools (each shard gets at
+    least one slot).  [bank] is shared: each shard's cache maps and
+    writes behind only the tables its placement owns (warm them with
+    {!warm_from_bank}).  [hang_timeout] (default 30 s) is how long one
+    sub-batch may run before the watchdog declares the worker wedged
+    and restarts it.
+    @raise Error.Error when [shards < 1], [capacity < 1],
+    [domains < 1] or [hang_timeout <= 0]. *)
+
+val shard_count : t -> int
+
+val place : shards:int -> string -> int
+(** [place ~shards key] is the shard a placement key lives on, in
+    [0 .. shards - 1]: pure, deterministic rendezvous hashing, the
+    same in every process, so external routers and bank slicing agree
+    with serving placement.
+    @raise Error.Error when [shards < 1]. *)
+
+val run :
+  t -> ?stats_payload:(unit -> Json.t) -> string array -> Batch.outcome array
+(** Parse and evaluate one connection's batch: lines parse in the
+    parallel phase, each well-formed request is routed to its shard's
+    worker (sub-batches run concurrently across shards), parse errors
+    and placement-free ops answer on the submitting thread, and the
+    outcomes come back index-aligned with the input — so per-connection
+    response order, and therefore the bytes a client reads, are
+    identical to a serial server's.  [stats_payload] is forced at most
+    once, only when the batch carries a [stats] op. *)
+
+val run_parsed :
+  t -> ?stats_payload:Json.t -> Protocol.envelope array -> Batch.outcome array
+(** The routing and evaluation phases alone, for callers holding
+    parsed envelopes ({!Server}'s copying wire mode); [stats_payload]
+    is the already-forced snapshot. *)
+
+val warm_from_bank : t -> int
+(** Warm every shard cache from the shared bank, each mapping only the
+    tables its placement owns — K shards partition the bank instead of
+    each duplicating all of it.  Returns the total tables warmed.
+    Idempotent: resident tables are skipped. *)
+
+val cache_stats : t -> Cache.stats
+(** The merged aggregate view ({!Cache.merge}) over every shard's
+    cache: per-cache families sum, process-wide kernel/game counters
+    appear once. *)
+
+val shards_json : t -> Json.t list
+(** Per-shard [stats] sections ({!Stats.shard_json}): what each
+    shard's worker evaluated, its cache families, its restart count. *)
+
+val restarts : t -> int
+(** Total shard-worker restarts (death or wedge) since start or the
+    last {!reset_counters}. *)
+
+val reset_counters : t -> unit
+(** Zero every shard's stats family, cache counters and restart count;
+    backs the daemon's [stats reset] together with the server-level
+    {!Stats.reset_counters}. *)
+
+type failure =
+  | Die  (** the worker raises mid-batch on its next sub-batch *)
+  | Wedge of float  (** the worker stalls that many seconds first *)
+
+val inject_failure : t -> shard:int -> failure -> unit
+(** Fault injection for tests: arm the shard's worker to fail exactly
+    once, on the next sub-batch it picks up.  The armed batch's
+    requests are answered with [Error.Unavailable] and the shard
+    restarts bank-warm, as with a real failure. *)
+
+val shutdown : t -> unit
+(** Stop and join every shard worker (queued sub-batches are still
+    evaluated and delivered first) and the watchdog, and release the
+    shard pools.  Idempotent.  Sub-batches submitted afterwards fail
+    with [Error.Unavailable]. *)

@@ -8,11 +8,14 @@
    the reader owns its buffer and uses [Unix.select] to probe.
 
    The socket front end accepts concurrently: an acceptor slot feeds a
-   bounded worker pool through an fd queue, every worker sharing the
-   one cache and stats accumulator.  Each connection still sees its
-   responses in its own request order — batching never crosses
-   connections — so the bytes a client reads are identical to what a
-   serial server would have sent it. *)
+   bounded worker pool through an fd queue, every worker submitting its
+   batches to the one router and folding into the one server-level
+   stats accumulator.  Each connection still sees its responses in its
+   own request order — batching never crosses connections, and the
+   router gathers sub-batches back index-aligned — so the bytes a
+   client reads are identical to what a serial server would have sent
+   it.  This file owns accept, framing and ordering only; placement,
+   evaluation and failure recovery live in [Router]. *)
 
 type reader = {
   fd : Unix.file_descr;
@@ -176,50 +179,43 @@ type wire = Copying | Lean
 
 type t = {
   batch_size : int;
-  domains : int;
-  pool : Csutil.Par.Pool.t option;
   max_conns : int;
   wire : wire;
-  cache : Cache.t;
-  stats : Stats.t;
+  router : Router.t;
+  stats : Stats.t;  (* the connection-facing family: bytes, I/O errors *)
   stop : bool Atomic.t;
 }
 
-let create ?(batch_size = 64) ?domains ?pool ?(max_conns = 1) ?(wire = Lean)
-    ~cache () =
+let create ?(batch_size = 64) ?(max_conns = 1) ?(wire = Lean) ~router () =
   if batch_size < 1 then
     Cyclesteal.Error.invalid "Server.create: batch_size must be >= 1";
   if max_conns < 1 then
     Cyclesteal.Error.invalid "Server.create: max_conns must be >= 1";
-  let domains =
-    match (domains, pool) with
-    | Some d, _ when d < 1 ->
-      Cyclesteal.Error.invalid "Server.create: domains must be >= 1"
-    | Some d, Some p when d > Csutil.Par.Pool.size p ->
-      Cyclesteal.Error.invalidf
-        "Server.create: domains (%d) exceeds the pool's %d slots" d
-        (Csutil.Par.Pool.size p)
-    | Some d, _ -> d
-    | None, Some p -> Csutil.Par.Pool.size p
-    | None, None -> Csutil.Par.available_domains ()
-  in
-  {
-    batch_size;
-    domains;
-    pool;
-    max_conns;
-    wire;
-    cache;
-    stats = Stats.create ();
-    stop = Atomic.make false;
-  }
+  { batch_size; max_conns; wire; router; stats = Stats.create (); stop = Atomic.make false }
 
 let stats t = t.stats
-let cache t = t.cache
+let router t = t.router
 let request_stop t = Atomic.set t.stop true
 let stopped t = Atomic.get t.stop
 
-let summary t = Stats.summary t.stats ~cache:(Cache.stats t.cache)
+(* The [stats] payload merges both layers: the server's connection-side
+   counters and the router's merged cache view, with per-shard sections
+   and the restart count appended only when there is something to say —
+   a single-shard daemon that never restarted keeps the exact serial
+   payload shape. *)
+let stats_json t =
+  let cache = Router.cache_stats t.router in
+  if Router.shard_count t.router > 1 || Router.restarts t.router > 0 then
+    Stats.to_json
+      ~shards:(Router.shards_json t.router)
+      ~restarts:(Router.restarts t.router) t.stats ~cache
+  else Stats.to_json t.stats ~cache
+
+let summary t =
+  Stats.summary
+    ~shards:(Router.shard_count t.router)
+    ~restarts:(Router.restarts t.router) t.stats
+    ~cache:(Router.cache_stats t.router)
 
 let overlong_error =
   Cyclesteal.Error.Invalid_params
@@ -265,8 +261,8 @@ let finish_batch t outcomes =
       outcomes
   in
   if wants_reset then begin
-    Stats.reset t.stats;
-    Cache.reset_counters t.cache
+    Stats.reset_counters t.stats;
+    Router.reset_counters t.router
   end
 
 (* The lean wire loop: requests parse inside the batch's parallel
@@ -277,7 +273,7 @@ let finish_batch t outcomes =
 let serve_lean t in_fd out_fd =
   let r = reader in_fd in
   let out = Buffer.create 8192 in
-  let stats_snapshot () = Stats.to_json t.stats ~cache:(Cache.stats t.cache) in
+  let stats_snapshot () = stats_json t in
   let rec loop () =
     if stopped t then ()
     else begin
@@ -291,8 +287,7 @@ let serve_lean t in_fd out_fd =
           | lines ->
             let lines = Array.of_list lines in
             Stats.add_batch t.stats ~size:(Array.length lines);
-            Batch.run ?pool:t.pool ~domains:t.domains
-              ~stats_payload:stats_snapshot ~cache:t.cache lines
+            Router.run t.router ~stats_payload:stats_snapshot lines
         in
         Array.iter
           (fun (o : Batch.outcome) ->
@@ -349,11 +344,8 @@ let serve_copying t in_fd out_fd =
               Array.of_list (List.map Protocol.parse_line lines)
             in
             Stats.add_batch t.stats ~size:(Array.length envelopes);
-            let stats_payload =
-              Stats.to_json t.stats ~cache:(Cache.stats t.cache)
-            in
-            Batch.run_parsed ?pool:t.pool ~domains:t.domains ~stats_payload
-              ~cache:t.cache envelopes
+            let stats_payload = stats_json t in
+            Router.run_parsed t.router ~stats_payload envelopes
         in
         let buf = Buffer.create 4096 in
         Array.iter
@@ -507,10 +499,10 @@ let serve_socket t ~path =
        else begin
          (* Concurrent serving: slot 0 of a dedicated pool accepts and
             feeds the fd queue; each other slot serves one connection
-            at a time.  This pool only ever carries connections — batch
-            fan-out still goes through [t.pool] (or the shared pool),
-            so compute jobs keep their inline-fallback behavior and the
-            two layers cannot deadlock each other. *)
+            at a time.  This pool only ever carries connections —
+            evaluation happens on the router's shard workers and their
+            solve pools, so serving slots never compete with compute
+            slots and the two layers cannot deadlock each other. *)
          let queue = Conn_queue.create () in
          Csutil.Par.Pool.with_pool ~domains:(t.max_conns + 1)
            (fun conn_pool ->

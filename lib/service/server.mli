@@ -9,11 +9,16 @@
     written in request order and flushed once per batch.
 
     The socket front end serves up to [max_conns] clients concurrently:
-    an acceptor feeds a bounded worker pool, every worker sharing the
-    one cache, resident-solver pool and stats accumulator.  Batches
-    never cross connections, so each client reads exactly the bytes a
-    serial server would have sent it.  A client that disconnects
-    mid-batch costs one {!Stats.io_errors} tick, never the daemon.
+    an acceptor feeds a bounded worker pool, every worker submitting
+    its batches to the one {!Router.t}.  Batches never cross
+    connections and the router returns outcomes index-aligned, so each
+    client reads exactly the bytes a serial server would have sent it.
+    A client that disconnects mid-batch costs one {!Stats.io_errors}
+    tick, never the daemon.
+
+    This module owns accept, framing and per-connection ordering only.
+    Request placement, evaluation, caching and shard-failure recovery
+    all live behind the router seam ({!Router}).
 
     Shutdown is graceful: on EOF or {!request_stop} (the SIGINT handler)
     the in-flight batch completes and its responses are flushed before
@@ -35,33 +40,20 @@ type wire =
           [stats] op, and writes skip the [Bytes] copy.  Byte-for-byte
           the same output as [Copying]. *)
 
-val create :
-  ?batch_size:int ->
-  ?domains:int ->
-  ?pool:Csutil.Par.Pool.t ->
-  ?max_conns:int ->
-  ?wire:wire ->
-  cache:Cache.t ->
-  unit ->
-  t
+val create : ?batch_size:int -> ?max_conns:int -> ?wire:wire -> router:Router.t -> unit -> t
 (** [batch_size] (default 64) caps how many requests one batch drains.
+    [max_conns] (default 1) is the number of clients {!serve_socket}
+    serves concurrently; connection workers live on a dedicated pool
+    separate from the router's shard pools, so serving slots never
+    compete with compute slots.  [wire] (default [Lean]) picks the wire
+    loop.  [router] is the evaluation engine every connection submits
+    to; the caller owns it (and its {!Router.shutdown}) — one router
+    can outlive many serve calls.
 
-    [domains] caps the per-batch parallel fan-out and [pool] is the
-    worker pool batches fan out over (default: the shared pool) — hand
-    the same pool to the cache so idle batch workers speed up large
-    table fills.  When [pool] is given, [domains] defaults to the
-    pool's slot count and may not exceed it (extra domains could never
-    run).  [max_conns] (default 1) is the number of clients
-    {!serve_socket} serves concurrently; connection workers live on a
-    dedicated pool separate from [pool], so serving slots never
-    compete with compute slots.  [wire] (default [Lean]) picks the
-    wire loop.
-
-    @raise Error.Error when [batch_size < 1], [domains < 1],
-    [max_conns < 1], or [domains] exceeds [pool]'s size. *)
+    @raise Error.Error when [batch_size < 1] or [max_conns < 1]. *)
 
 val stats : t -> Stats.t
-val cache : t -> Cache.t
+val router : t -> Router.t
 
 val request_stop : t -> unit
 (** Ask the serving loops to stop after the current batch.  Safe to call

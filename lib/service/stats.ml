@@ -76,7 +76,11 @@ let add_batch t ~size =
 
 let add_io_error t = locked t (fun () -> t.io_errors <- t.io_errors + 1)
 
-let reset t =
+(* Everything zeroes together: the scalar counters, the by-op table,
+   the latency accumulator AND the histogram buckets — a reset that
+   kept old histogram counts would keep reporting stale percentiles
+   (and a nonzero latency section) against zeroed request counts. *)
+let reset_counters t =
   locked t (fun () ->
       t.latency <- Csutil.Stats.Accumulator.create ();
       Array.iter (fun b -> Atomic.set b 0) t.hist;
@@ -149,7 +153,47 @@ let latency_fields t =
     @ quantiles
   end
 
-let to_json t ~cache:(c : Cache.stats) =
+(* One shard's section of the stats payload: what this shard's worker
+   evaluated (requests/errors/by-op/latency recorded at evaluation
+   time; bytes belong to the connection that serialized, not here) and
+   its own cache families, plus how often its worker was restarted.
+   The process-wide kernel/game counters stay out — they appear once,
+   in the merged view. *)
+let shard_json t ~shard ~restarts ~cache:(c : Cache.stats) =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("shard", Json.Int shard);
+          ("restarts", Json.Int restarts);
+          ("requests", Json.Int t.requests);
+          ("errors", Json.Int t.errors);
+          ( "by_op",
+            Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) (op_counts t))
+          );
+          ("latency", Json.Obj (latency_fields t));
+          ( "cache",
+            Json.Obj
+              [
+                ("hits", Json.Int c.Cache.hits);
+                ("misses", Json.Int c.Cache.misses);
+                ("evictions", Json.Int c.Cache.evictions);
+                ("growths", Json.Int c.Cache.growths);
+                ("tables_resident", Json.Int c.Cache.resident);
+                ("resident_bytes", Json.Int c.Cache.resident_bytes);
+              ] );
+          ( "solver_cache",
+            Json.Obj
+              [
+                ("hits", Json.Int c.Cache.solver_hits);
+                ("misses", Json.Int c.Cache.solver_misses);
+                ("evictions", Json.Int c.Cache.solver_evictions);
+                ("growths", Json.Int c.Cache.solver_growths);
+                ("solvers_resident", Json.Int c.Cache.solvers_resident);
+                ("resident_bytes", Json.Int c.Cache.solver_bytes);
+              ] );
+        ])
+
+let to_json ?shards ?restarts t ~cache:(c : Cache.stats) =
   locked t (fun () ->
       Json.Obj
         ([
@@ -207,27 +251,36 @@ let to_json t ~cache:(c : Cache.stats) =
         (* The bank group only appears when the daemon was started with
            --bank, so bankless deployments keep their exact stats
            shape. *)
+        @ (match c.Cache.bank with
+          | None -> []
+          | Some b ->
+            [
+              ( "bank",
+                Json.Obj
+                  ([
+                     ("hits", Json.Int b.Store.Bank.hits);
+                     ("misses", Json.Int b.Store.Bank.misses);
+                     ("load_failures", Json.Int b.Store.Bank.load_failures);
+                     ("saves", Json.Int b.Store.Bank.saves);
+                     ("save_failures", Json.Int b.Store.Bank.save_failures);
+                   ]
+                  @
+                  match c.Cache.bank_last_error with
+                  | None -> []
+                  | Some e -> [ ("last_error", Json.String e) ]) );
+            ])
+        (* Likewise the shard sections and restart total: a single-shard
+           daemon that never restarted keeps the exact pre-router stats
+           shape, so serial replies stay byte-identical. *)
+        @ (match restarts with
+          | None -> []
+          | Some n -> [ ("restarts", Json.Int n) ])
         @
-        match c.Cache.bank with
+        match shards with
         | None -> []
-        | Some b ->
-          [
-            ( "bank",
-              Json.Obj
-                ([
-                   ("hits", Json.Int b.Store.Bank.hits);
-                   ("misses", Json.Int b.Store.Bank.misses);
-                   ("load_failures", Json.Int b.Store.Bank.load_failures);
-                   ("saves", Json.Int b.Store.Bank.saves);
-                   ("save_failures", Json.Int b.Store.Bank.save_failures);
-                 ]
-                @
-                match c.Cache.bank_last_error with
-                | None -> []
-                | Some e -> [ ("last_error", Json.String e) ]) );
-          ]))
+        | Some sections -> [ ("shards", Json.List sections) ]))
 
-let summary t ~cache:(c : Cache.stats) =
+let summary ?shards ?restarts t ~cache:(c : Cache.stats) =
   locked t (fun () ->
       let table =
         Csutil.Table.create ~title:"cschedd session summary"
@@ -235,6 +288,12 @@ let summary t ~cache:(c : Cache.stats) =
           [ "metric"; "value" ]
       in
       let add k v = Csutil.Table.add_row table [ k; v ] in
+      (match shards with
+       | Some k when k > 1 -> add "shards" (string_of_int k)
+       | _ -> ());
+      (match restarts with
+       | Some n when n > 0 -> add "shard restarts" (string_of_int n)
+       | _ -> ());
       add "requests" (string_of_int t.requests);
       add "errors" (string_of_int t.errors);
       add "io errors" (string_of_int t.io_errors);

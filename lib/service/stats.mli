@@ -31,10 +31,13 @@ val add_io_error : t -> unit
     mid-batch, reset the connection, ...); the server counts these and
     keeps accepting instead of dying. *)
 
-val reset : t -> unit
-(** Zero every counter, the latency accumulator and the histogram;
-    backs the daemon's [stats reset] sub-op (cache counters reset
-    separately via {!Cache.reset_counters}). *)
+val reset_counters : t -> unit
+(** Zero every counter family together: the scalar counters, the by-op
+    table, the latency accumulator {e and} the latency histogram
+    buckets — stale histogram counts would keep reporting old
+    percentiles against zeroed request counts.  Backs the daemon's
+    [stats reset] sub-op (cache counters reset separately via
+    {!Cache.reset_counters}). *)
 
 val requests : t -> int
 val bytes_served : t -> int
@@ -46,11 +49,25 @@ val percentiles : t -> (float * float * float) option
     each estimate is the geometric midpoint of its bucket — accurate to
     a factor of sqrt 2).  [None] before any request was recorded. *)
 
-val to_json : t -> cache:Cache.stats -> Json.t
+val shard_json : t -> shard:int -> restarts:int -> cache:Cache.stats -> Json.t
+(** One shard's section of the stats payload: what this shard's worker
+    evaluated (requests, errors, by-op counts, latency) plus its own
+    cache and solver-cache families and its restart count.  The
+    process-wide kernel/game counters stay out of shard sections —
+    they appear exactly once, in the merged view. *)
+
+val to_json :
+  ?shards:Json.t list -> ?restarts:int -> t -> cache:Cache.stats -> Json.t
 (** The [stats] request payload: request/error/batch counts, per-op
     counts, latency quantiles (mean/min/max and histogram
     p50/p90/p99), bytes served, cache counters and resident-table
-    footprint. *)
+    footprint over the merged [cache] view.  [shards] appends the
+    per-shard sections ({!shard_json}) and [restarts] the total shard
+    restart count; both are omitted by single-shard daemons that never
+    restarted, so the serial payload shape is unchanged. *)
 
-val summary : t -> cache:Cache.stats -> string
-(** Human-readable shutdown summary (an ASCII {!Csutil.Table}). *)
+val summary :
+  ?shards:int -> ?restarts:int -> t -> cache:Cache.stats -> string
+(** Human-readable shutdown summary (an ASCII {!Csutil.Table});
+    [shards] and [restarts] add rows when K > 1 or any worker was
+    restarted. *)

@@ -1,8 +1,9 @@
 (* Tests for the schedule-advice service: JSON round-trips, protocol
-   parsing, the sharded LRU table cache, the batch engine, and the
-   serving loop end to end.  The load-bearing property throughout: a
-   daemon response is byte-identical to a direct library call serialized
-   through the same protocol. *)
+   parsing, the LRU table cache, the batch engine, the router's
+   placement and failure recovery, and the serving loop end to end.
+   The load-bearing property throughout: a daemon response is
+   byte-identical to a direct library call serialized through the same
+   protocol — whatever the wire mode, concurrency or shard count. *)
 
 open Service
 
@@ -284,7 +285,7 @@ let test_cache_growth () =
 let test_cache_lru_eviction () =
   (* Identity is the tick cost c alone (bounds only grow a resident
      table), so eviction needs three distinct costs. *)
-  let cache = Cache.create ~shards:1 ~capacity:2 () in
+  let cache = Cache.create ~capacity:2 () in
   let k c = Cache.find_or_solve cache ~c ~p:1 ~l:200 in
   let t3 = k 3 in
   let _t5 = k 5 in
@@ -534,25 +535,37 @@ let read_lines path =
        in
        go [])
 
-let serve_lines ?batch_size ?wire lines =
+(* Serve [lines] over plain file descriptors.  A caller-provided
+   [router] is used as-is (and stays alive for inspection afterwards —
+   the caller shuts it down); otherwise a fresh one with [shards]
+   shards is created and shut down before returning. *)
+let serve_lines ?batch_size ?wire ?(shards = 1) ?router lines =
   let input = String.concat "\n" lines ^ "\n" in
   with_temp_file input (fun in_path ->
       let out_path = Filename.temp_file "cschedd_test" ".out" in
       Fun.protect
         ~finally:(fun () -> try Sys.remove out_path with Sys_error _ -> ())
         (fun () ->
-           let cache = Cache.create ~capacity:16 () in
-           let server = Server.create ?batch_size ?wire ~domains:2 ~cache () in
-           let in_fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
-           let out_fd =
-             Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+           let owned = router = None in
+           let router =
+             match router with
+             | Some r -> r
+             | None -> Router.create ~shards ~domains:2 ~capacity:16 ()
            in
            Fun.protect
-             ~finally:(fun () ->
-               Unix.close in_fd;
-               Unix.close out_fd)
-             (fun () -> Server.serve_fd server in_fd out_fd);
-           (read_lines out_path, Server.stats server, server)))
+             ~finally:(fun () -> if owned then Router.shutdown router)
+             (fun () ->
+                let server = Server.create ?batch_size ?wire ~router () in
+                let in_fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+                let out_fd =
+                  Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+                in
+                Fun.protect
+                  ~finally:(fun () ->
+                    Unix.close in_fd;
+                    Unix.close out_fd)
+                  (fun () -> Server.serve_fd server in_fd out_fd);
+                (read_lines out_path, Server.stats server, server))))
 
 let test_server_end_to_end () =
   let lines = mixed_request_lines () in
@@ -635,8 +648,8 @@ let test_server_unterminated_final_line () =
       Fun.protect
         ~finally:(fun () -> try Sys.remove out_path with Sys_error _ -> ())
         (fun () ->
-           let cache = Cache.create ~capacity:4 () in
-           let server = Server.create ~domains:1 ~cache () in
+           let router = Router.create ~domains:1 ~capacity:4 () in
+           let server = Server.create ~router () in
            let in_fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
            let out_fd =
              Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
@@ -644,7 +657,8 @@ let test_server_unterminated_final_line () =
            Fun.protect
              ~finally:(fun () ->
                Unix.close in_fd;
-               Unix.close out_fd)
+               Unix.close out_fd;
+               Router.shutdown router)
              (fun () -> Server.serve_fd server in_fd out_fd);
            match read_lines out_path with
            | [ line ] ->
@@ -659,8 +673,8 @@ let test_server_socket () =
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let path = Filename.concat dir "s.sock" in
-  let cache = Cache.create ~capacity:4 () in
-  let server = Server.create ~domains:1 ~cache () in
+  let router = Router.create ~domains:1 ~capacity:4 () in
+  let server = Server.create ~router () in
   let serving = Domain.spawn (fun () -> Server.serve_socket server ~path) in
   (* Wait for the socket to appear, connect, query, read, shut down. *)
   let rec wait tries =
@@ -693,6 +707,7 @@ let test_server_socket () =
      Unix.close poke
    with Unix.Unix_error _ -> ());
   Domain.join serving;
+  Router.shutdown router;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
   Unix.rmdir dir
 
@@ -775,13 +790,13 @@ let run_client path lines =
          lines;
        Buffer.contents buf)
 
-let with_socket_server ?(max_conns = 1) ?(capacity = 16) f =
+let with_socket_server ?(max_conns = 1) ?(capacity = 16) ?(shards = 1) f =
   let dir = Filename.temp_file "cschedd_sock" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let path = Filename.concat dir "s.sock" in
-  let cache = Cache.create ~capacity () in
-  let server = Server.create ~domains:1 ~max_conns ~cache () in
+  let router = Router.create ~shards ~domains:1 ~capacity () in
+  let server = Server.create ~max_conns ~router () in
   let serving = Domain.spawn (fun () -> Server.serve_socket server ~path) in
   let rec wait tries =
     if tries = 0 then Alcotest.fail "socket never appeared"
@@ -802,6 +817,7 @@ let with_socket_server ?(max_conns = 1) ?(capacity = 16) f =
          Unix.close poke
        with Unix.Unix_error _ -> ());
       Domain.join serving;
+      Router.shutdown router;
       (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ()))
     (fun () -> f server path)
 
@@ -896,6 +912,202 @@ let test_server_client_disconnect () =
         (direct_response line ^ "\n")
         (run_client path [ line ]))
 
+(* --- Router: placement ------------------------------------------------------ *)
+
+(* Placement is a pure function: in range, and the same on every call
+   (rendezvous hashing uses no per-process state). *)
+let prop_placement_range =
+  QCheck.Test.make ~name:"Router.place lands in range, deterministically"
+    ~count:500
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 64)) (int_range 1 16))
+    (fun (key, shards) ->
+       let k = Router.place ~shards key in
+       k >= 0 && k < shards && Router.place ~shards key = k)
+
+(* Rendezvous stability, sharply: a key moves from a K-shard placement
+   to a (K+1)-shard one only if the new shard out-scores its old one,
+   so every mover lands on shard K, and about 1/(K+1) of keys move. *)
+let test_placement_remap () =
+  let keys =
+    List.init 2000 (fun i ->
+        Printf.sprintf "cu:%h:%h:advise" (float_of_int (i + 1)) (3.5 *. float_of_int i))
+  in
+  let n = float_of_int (List.length keys) in
+  List.iter
+    (fun shards ->
+       let moved =
+         List.filter
+           (fun key ->
+              let before = Router.place ~shards key in
+              let after = Router.place ~shards:(shards + 1) key in
+              if after <> before then begin
+                Alcotest.(check int)
+                  (Printf.sprintf "K=%d: mover lands on the new shard" shards)
+                  shards after;
+                true
+              end
+              else false)
+           keys
+       in
+       let frac = float_of_int (List.length moved) /. n in
+       let expected = 1. /. float_of_int (shards + 1) in
+       Alcotest.(check bool)
+         (Printf.sprintf "K=%d: %.3f of keys moved (expected ~%.3f)" shards
+            frac expected)
+         true
+         (frac > 0.3 *. expected && frac < 2.5 *. expected))
+    [ 1; 2; 3; 4; 7 ]
+
+(* Requests that share cached state share a canonical placement key —
+   e.g. evaluate over the same (c, u, policy) at different p reuses one
+   resident solver — so they must land on the same shard. *)
+let test_placement_equal_canonical_keys () =
+  let key p =
+    let line =
+      Printf.sprintf
+        {|{"op":"evaluate","c":1,"u":120,"p":%d,"policy":"adaptive"}|} p
+    in
+    match (Protocol.parse_line line).Protocol.request with
+    | Ok req -> Protocol.shard_key req
+    | Error e -> Alcotest.fail (Cyclesteal.Error.to_string e)
+  in
+  Alcotest.(check bool) "p is not part of the placement key" true
+    (key 1 = key 3 && key 1 <> None);
+  (* And the dp placement key is the one bank slicing uses. *)
+  let dp_key =
+    match
+      (Protocol.parse_line {|{"op":"dp","c_ticks":7,"l":200,"p":1}|})
+        .Protocol.request
+    with
+    | Ok req -> Protocol.shard_key req
+    | Error e -> Alcotest.fail (Cyclesteal.Error.to_string e)
+  in
+  Alcotest.(check bool) "dp key matches the bank-slicing key" true
+    (dp_key = Some (Protocol.dp_shard_key ~c_ticks:7))
+
+(* --- Router: sharded serving ------------------------------------------------ *)
+
+(* The whole mixed corpus through a 3-shard router must serve bytes
+   identical to direct library calls — routing must be invisible. *)
+let test_sharded_byte_identity () =
+  let lines = mixed_request_lines () in
+  let expected = List.map direct_response lines in
+  let got, stats, _server = serve_lines ~batch_size:32 ~shards:3 lines in
+  Alcotest.(check int) "one response per request" (List.length lines)
+    (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+       Alcotest.(check string)
+         (Printf.sprintf "K=3 line %d byte-identical" i)
+         e g)
+    (List.combine expected got);
+  Alcotest.(check int) "requests counted" (List.length lines)
+    (Stats.requests stats)
+
+(* The stats payload of a K>1 daemon carries per-shard sections, and
+   every routed request is accounted by exactly one shard. *)
+let test_sharded_stats_sections () =
+  let lines =
+    List.init 12 (fun i ->
+        Printf.sprintf {|{"id":%d,"op":"advise","c":%d,"u":%d,"p":1}|} i
+          ((i mod 4) + 1)
+          (200 + (31 * i)))
+    @ [ {|{"id":99,"op":"stats"}|} ]
+  in
+  let got, _, _ = serve_lines ~batch_size:64 ~shards:2 lines in
+  let last = List.nth got (List.length got - 1) in
+  Alcotest.(check bool) "payload has shard sections" true
+    (contains ~sub:{|"shards":[|} last && contains ~sub:{|"shard":1|} last)
+
+(* --- Router: shard failure -------------------------------------------------- *)
+
+(* Kill a shard worker mid-batch: the in-flight requests answer with a
+   structured unavailable error (the daemon survives), the same request
+   succeeds on the restarted shard, and stats reports the restart. *)
+let test_shard_worker_killed () =
+  let line = {|{"id":1,"op":"advise","c":2,"u":300,"p":1}|} in
+  let shards = 2 in
+  let shard =
+    match (Protocol.parse_line line).Protocol.request with
+    | Ok req -> Router.place ~shards (Option.get (Protocol.shard_key req))
+    | Error e -> Alcotest.fail (Cyclesteal.Error.to_string e)
+  in
+  let router = Router.create ~shards ~domains:1 ~capacity:8 () in
+  Fun.protect
+    ~finally:(fun () -> Router.shutdown router)
+    (fun () ->
+       Router.inject_failure router ~shard Router.Die;
+       let got, _, _ =
+         serve_lines ~batch_size:1 ~router
+           [ line; line; {|{"id":3,"op":"stats"}|} ]
+       in
+       match got with
+       | [ first; second; stats_line ] ->
+         Alcotest.(check bool) "killed batch answers an error" true
+           (contains ~sub:{|"ok":false|} first);
+         Alcotest.(check bool) "error is structured unavailable" true
+           (contains ~sub:{|"unavailable"|} first
+            && contains ~sub:"restarted" first);
+         Alcotest.(check string) "retry succeeds on the restarted shard"
+           (direct_response line) second;
+         Alcotest.(check bool) "stats reports the restart" true
+           (contains ~sub:{|"restarts":1|} stats_line);
+         Alcotest.(check int) "router counts one restart" 1
+           (Router.restarts router)
+       | other ->
+         Alcotest.fail
+           (Printf.sprintf "expected 3 responses, got %d" (List.length other)))
+
+(* A wedged worker is caught by the watchdog: the stuck batch answers
+   unavailable after ~hang_timeout, and the replacement worker serves
+   the next request. *)
+let test_shard_worker_wedged () =
+  let line = {|{"id":1,"op":"advise","c":1,"u":250,"p":1}|} in
+  let router =
+    Router.create ~shards:1 ~domains:1 ~hang_timeout:0.2 ~capacity:8 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Router.shutdown router)
+    (fun () ->
+       Router.inject_failure router ~shard:0 (Router.Wedge 1.5);
+       let t0 = Unix.gettimeofday () in
+       let got, _, _ = serve_lines ~batch_size:1 ~router [ line; line ] in
+       let dt = Unix.gettimeofday () -. t0 in
+       match got with
+       | [ first; second ] ->
+         Alcotest.(check bool) "wedged batch answers an error" true
+           (contains ~sub:{|"ok":false|} first
+            && contains ~sub:"unresponsive" first);
+         Alcotest.(check string) "next request serves from the replacement"
+           (direct_response line) second;
+         Alcotest.(check bool)
+           (Printf.sprintf
+              "watchdog fired before the wedge cleared (%.2f s)" dt)
+           true (dt < 1.4);
+         Alcotest.(check int) "one restart recorded" 1 (Router.restarts router)
+       | other ->
+         Alcotest.fail
+           (Printf.sprintf "expected 2 responses, got %d" (List.length other)))
+
+(* --- Stats: counter reset ---------------------------------------------------- *)
+
+(* reset_counters must zero the latency histogram along with the scalar
+   counters: stale buckets would keep reporting percentiles computed
+   from requests the counters no longer admit to. *)
+let test_stats_reset_histogram () =
+  let s = Stats.create () in
+  List.iter
+    (fun latency ->
+       Stats.add s { Stats.op = "advise"; ok = true; latency; bytes = 10 })
+    [ 1e-5; 1e-4; 1e-3 ];
+  Alcotest.(check bool) "percentiles present before reset" true
+    (Stats.percentiles s <> None);
+  Stats.reset_counters s;
+  Alcotest.(check int) "requests zeroed" 0 (Stats.requests s);
+  Alcotest.(check int) "bytes zeroed" 0 (Stats.bytes_served s);
+  Alcotest.(check bool) "histogram zeroed: no stale percentiles" true
+    (Stats.percentiles s = None)
+
 (* --- Summary rendering ------------------------------------------------------ *)
 
 let test_summary_renders () =
@@ -946,6 +1158,27 @@ let () =
           Alcotest.test_case "mixed batch matches direct calls" `Slow
             test_batch_matches_direct;
           Alcotest.test_case "stats snapshot" `Quick test_batch_stats_payload;
+        ] );
+      ( "router",
+        qc [ prop_placement_range ]
+        @ [
+            Alcotest.test_case "rendezvous remap K -> K+1" `Quick
+              test_placement_remap;
+            Alcotest.test_case "equal canonical keys share a shard" `Quick
+              test_placement_equal_canonical_keys;
+            Alcotest.test_case "K=3 byte-identical to direct" `Slow
+              test_sharded_byte_identity;
+            Alcotest.test_case "per-shard stats sections" `Quick
+              test_sharded_stats_sections;
+            Alcotest.test_case "killed shard worker" `Quick
+              test_shard_worker_killed;
+            Alcotest.test_case "wedged shard worker" `Slow
+              test_shard_worker_wedged;
+          ] );
+      ( "stats",
+        [
+          Alcotest.test_case "reset zeroes the latency histogram" `Quick
+            test_stats_reset_histogram;
         ] );
       ( "server",
         [

@@ -30,17 +30,36 @@ for f in $(find lib -type f \( -name '*.ml' -o -name '*.mli' \) \
   fi
 done
 
-# Parallelism gate: domains are spawned in exactly one place, the
-# worker pool in lib/util/par.ml.  Everything else takes a Pool (or
-# Par.map) so parallelism stays deadlock-free (nested pool use degrades
-# inline) and capped; ad-hoc Domain.spawn calls escape both guarantees.
+# Parallelism gate: domains are spawned in exactly two places — the
+# worker pool in lib/util/par.ml and the shard-worker topology in
+# lib/service/router.ml (dedicated shard workers and the watchdog,
+# whose restart-on-failure lifecycle a pool cannot express).
+# Everything else takes a Pool (or Par.map) so parallelism stays
+# deadlock-free (nested pool use degrades inline) and capped; ad-hoc
+# Domain.spawn calls escape both guarantees.
 for f in $(find lib bin bench examples -type f \
              \( -name '*.ml' -o -name '*.mli' \) \
              -not -path 'lib/util/par.ml' -not -path 'lib/util/par.mli' \
+             -not -path 'lib/service/router.ml' \
            | sort); do
   if grep -nE 'Domain\.spawn' "$f" >/dev/null 2>&1; then
     echo "parallelism: Domain.spawn in $f (use Csutil.Par.Pool):" >&2
     grep -nE 'Domain\.spawn' "$f" | head -3 >&2
+    fail=1
+  fi
+done
+
+# Routing gate: the inter-shard job channel (Router's Shard_chan) is
+# the router's private seam — jobs enter a shard through Router.run /
+# run_parsed, which own placement, generation checks and failure
+# delivery.  Reaching for the channel anywhere else would bypass all
+# three.
+for f in $(find lib bin test bench examples -type f \
+             \( -name '*.ml' -o -name '*.mli' \) \
+             -not -path 'lib/service/router.ml' | sort); do
+  if grep -nE 'Shard_chan' "$f" >/dev/null 2>&1; then
+    echo "routing: Shard_chan in $f (submit through Service.Router):" >&2
+    grep -nE 'Shard_chan' "$f" | head -3 >&2
     fail=1
   fi
 done
