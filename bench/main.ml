@@ -1120,6 +1120,131 @@ let dp_kernel_quick () =
      (c=%d, p<=%d, L<=%d); %.2f s\n"
     c max_p max_l dt
 
+(* --- DP skew: one giant solve among many tiny ones ---------------------------- *)
+
+(* The work-stealing payoff case (DESIGN.md S22): a batch of solves
+   dominated by one giant table.  The pre-deque engine carved a batch
+   into static contiguous stripes, one per slot — whichever slot drew
+   the giant solve ran it alone, inner wavefront inline, while the
+   others went idle after their tiny stripes.  The deque engine fans
+   the batch out as stealable tasks and feeds the giant solve's nested
+   wavefront into the same pool, so idle slots steal rows of the giant
+   table instead of watching.  Tables must be cell-identical either
+   way; on a single-core host the two schedules tie and the numbers are
+   recorded honestly. *)
+let dp_skew_solves ~giant ~tiny =
+  giant :: List.init tiny (fun i -> (2 + (i mod 8), 2, 1024))
+
+(* Returns (static stripes seconds, stealing seconds), asserting the
+   two schedules produce cell-identical tables. *)
+let dp_skew_run ~runs ~pool solves =
+  let arr = Array.of_list solves in
+  let n = Array.length arr in
+  let static_s, static_tables =
+    time_min ~runs (fun () ->
+        let out = Array.make n None in
+        let k = Csutil.Par.Pool.size pool in
+        let per = (n + k - 1) / k in
+        (* One contiguous stripe per slot, inner fills inline: the
+           pre-deque schedule. *)
+        Csutil.Par.Pool.run pool (fun slot ->
+            for i = slot * per to min n ((slot + 1) * per) - 1 do
+              let c, max_p, max_l = arr.(i) in
+              out.(i) <- Some (Dp.solve_with ~pool:None ~c ~max_p ~max_l)
+            done);
+        Array.map Option.get out)
+  in
+  let steal_s, steal_tables =
+    time_min ~runs (fun () ->
+        Csutil.Par.map ~pool
+          (fun (c, max_p, max_l) ->
+             Dp.solve_with ~pool:(Some pool) ~c ~max_p ~max_l)
+          arr)
+  in
+  Array.iteri
+    (fun i t ->
+       assert_tables_equal
+         ~what:(Printf.sprintf "skew solve %d, stealing vs static" i)
+         t static_tables.(i))
+    steal_tables;
+  (static_s, steal_s)
+
+let dp_skew_instance ~pool =
+  let giant = (1, 48, 24000) and tiny = 24 in
+  let solves = dp_skew_solves ~giant ~tiny in
+  let static_s, steal_s = dp_skew_run ~runs:2 ~pool solves in
+  let gc, gp, gl = giant in
+  let t =
+    Csutil.Table.create
+      ~title:
+        (Printf.sprintf
+           "skewed batch -- 1 giant (c=%d, p<=%d, L<=%d) + %d tiny solves" gc
+           gp gl tiny)
+      ~aligns:Csutil.Table.[ Left; Right; Right ]
+      [ "schedule"; "seconds"; "speedup" ]
+  in
+  List.iter
+    (fun (name, secs) ->
+       Csutil.Table.add_row t
+         [
+           name;
+           Csutil.Table.cell_float ~prec:4 secs;
+           Printf.sprintf "%.1fx" (static_s /. secs);
+         ])
+    [ ("static stripes", static_s); ("work stealing", steal_s) ];
+  emit t;
+  Service.Json.Obj
+    [
+      ("workload", Service.Json.String "skew");
+      ("giant_c", Service.Json.Int gc);
+      ("giant_max_p", Service.Json.Int gp);
+      ("giant_max_l", Service.Json.Int gl);
+      ("tiny_solves", Service.Json.Int tiny);
+      ("domains", Service.Json.Int (Csutil.Par.Pool.size pool));
+      ( "series",
+        Service.Json.List
+          [
+            Service.Json.Obj
+              [
+                ("schedule", Service.Json.String "static_stripes");
+                ("seconds", Service.Json.Float static_s);
+              ];
+            Service.Json.Obj
+              [
+                ("schedule", Service.Json.String "work_stealing");
+                ("seconds", Service.Json.Float steal_s);
+                ( "speedup_vs_static",
+                  Service.Json.Float (static_s /. steal_s) );
+              ];
+          ] );
+    ]
+
+let dp_skew_bench () =
+  heading "DP skewed batch -- static stripes vs work stealing";
+  let domains = max 4 (Csutil.Par.available_domains ()) in
+  Csutil.Par.Pool.with_pool ~domains (fun pool ->
+      ignore (dp_skew_instance ~pool))
+
+(* Skew smoke for runtest: the two schedules must agree cell-for-cell
+   on a small skewed batch, inside a generous bound. *)
+let dp_skew_quick () =
+  let t0 = Unix.gettimeofday () in
+  Csutil.Par.Pool.with_pool ~domains:3 (fun pool ->
+      let solves =
+        dp_skew_solves ~giant:(1, 16, 6000) ~tiny:12
+      in
+      ignore (dp_skew_run ~runs:1 ~pool solves));
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 120. then begin
+    Printf.eprintf "bench dp --skew --quick exceeded its 120 s bound: %.1f s\n"
+      dt;
+    exit 1
+  end;
+  Printf.printf
+    "dp --skew --quick: stealing and static-stripe schedules cell-identical \
+     on a skewed batch; %.2f s\n"
+    dt
+
 let dp_kernel_bench ?(out = "BENCH_dp.json") () =
   heading "DP kernel -- scalar vs pruned vs parallel (BENCH_dp.json)";
   let domains = max 4 (Csutil.Par.available_domains ()) in
@@ -1138,13 +1263,14 @@ let dp_kernel_bench ?(out = "BENCH_dp.json") () =
              dp_kernel_instance ~pool ~scalar_runs inst)
           instances
       in
+      let skew = dp_skew_instance ~pool in
       let doc =
         Service.Json.Obj
           [
             ("bench", Service.Json.String "dp");
             ( "domains_available",
               Service.Json.Int (Csutil.Par.available_domains ()) );
-            ("instances", Service.Json.List results);
+            ("instances", Service.Json.List (results @ [ skew ]));
           ]
       in
       let oc = open_out out in
@@ -1429,6 +1555,7 @@ type serve_result = {
   p99 : float;
   served : int;
   io_errors : int;
+  steals : int;  (* jobs answered by a non-owning shard (0 without --steal) *)
 }
 
 (* Run one series: a fresh server and cache, [passes] supervised rounds
@@ -1436,14 +1563,15 @@ type serve_result = {
    passes and times them, slot 1 runs the server, the rest are clients.
    Everything joins through the pool, so a failing client can never
    leave the server running. *)
-let serve_run ~wire ~max_conns ~shards ~scripts ~passes ~window =
+let serve_run ~steal ~wire ~max_conns ~shards ~scripts ~passes
+    ~window =
   let clients = Array.length scripts in
   let grouped = Array.map (serve_groups ~window) scripts in
   let dir = Filename.temp_file "cschedd_bench" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let path = Filename.concat dir "s.sock" in
-  let router = Service.Router.create ~shards ~capacity:32 () in
+  let router = Service.Router.create ~shards ~steal ~capacity:32 () in
   let server = Service.Server.create ~wire ~max_conns ~router () in
   let pass_seconds = Array.make passes 0. in
   let outputs = Array.make_matrix passes clients "" in
@@ -1542,7 +1670,48 @@ let serve_run ~wire ~max_conns ~shards ~scripts ~passes ~window =
     p99;
     served;
     io_errors = Service.Stats.io_errors stats;
+    steals = Service.Router.steals router;
   }
+
+(* Skewed traffic: every request's placement key hashes onto ONE shard
+   of [shards], so a pinned router serializes the whole instance through
+   that shard while its siblings idle; with stealing the idle shards
+   answer read-only requests off the hot queue.  Ids never enter the
+   placement key, so probing each candidate tuple once with id 0 stands
+   for every request built from it. *)
+let hot_shard_scripts ~shards ~clients ~reqs =
+  let line ~id t =
+    Printf.sprintf {|{"id":%d,"op":"advise","c":%d,"u":%d,"p":%d}|} id
+      ((t mod 4) + 1)
+      (500 + (211 * (t mod 7)))
+      ((t mod 3) + 1)
+  in
+  let shard_of l =
+    match (Service.Protocol.parse_line l).Service.Protocol.request with
+    | Ok req -> (
+        match Service.Protocol.shard_key req with
+        | Some key -> Service.Router.place ~shards key
+        | None -> -1)
+    | Error _ -> -1
+  in
+  let candidates = List.init 84 (fun t -> (t, shard_of (line ~id:0 t))) in
+  let hot =
+    let counts = Array.make shards 0 in
+    List.iter
+      (fun (_, s) -> if s >= 0 then counts.(s) <- counts.(s) + 1)
+      candidates;
+    let best = ref 0 in
+    Array.iteri (fun i c -> if c > counts.(!best) then best := i) counts;
+    !best
+  in
+  let tuples =
+    List.filter_map (fun (t, s) -> if s = hot then Some t else None) candidates
+    |> Array.of_list
+  in
+  Array.init clients (fun i ->
+      Array.init reqs (fun k ->
+          let t = tuples.(((37 * i) + k) mod Array.length tuples) in
+          line ~id:((1_000_000 * (i + 1)) + k) t))
 
 (* Warm-cache advise traffic: 16 distinct parameter tuples, so pass 0
    pays the solves and every later pass hits the caches. *)
@@ -1594,49 +1763,63 @@ let warm_seconds r =
   done;
   if !w = infinity then r.pass_seconds.(0) else !w
 
-let serve_instance ~label ~scripts ~passes ~window ~conc =
+(* The default series ladder: wire modes, connection concurrency, then
+   shard scaling.  On a multi-core host warm req/s should grow to K=4;
+   a single-core host records the routing overhead honestly. *)
+let serve_default_specs conc =
+  [
+    ("serial_copying", Service.Server.Copying, 1, 1, false);
+    ("serial_lean", Service.Server.Lean, 1, 1, false);
+    ("concurrent_copying", Service.Server.Copying, conc, 1, false);
+    ("concurrent_lean", Service.Server.Lean, conc, 1, false);
+    ("sharded_k1", Service.Server.Lean, conc, 1, false);
+    ("sharded_k2", Service.Server.Lean, conc, 2, false);
+    ("sharded_k4", Service.Server.Lean, conc, 4, false);
+    ("sharded_k8", Service.Server.Lean, conc, 8, false);
+  ]
+
+(* The skewed ladder: with every request hashing to one shard of four,
+   the pinned router serializes through it; [steal] lets the three idle
+   shards answer read-only requests off the hot shard's queue. *)
+let serve_skew_specs conc =
+  [
+    ("serial_copying", Service.Server.Copying, 1, 1, false);
+    ("hot_pinned_k4", Service.Server.Lean, conc, 4, false);
+    ("hot_steal_k4", Service.Server.Lean, conc, 4, true);
+  ]
+
+(* [specs] rows are (series name, wire, max_conns, shards, steal); the
+   first row is the byte-identity baseline, [headline_name] picks the
+   series quoted in the headline line. *)
+let serve_instance ~label ~specs ~headline_name ~scripts ~passes ~window =
   let clients = Array.length scripts in
   let reqs_per_pass =
     Array.fold_left (fun a s -> a + Array.length s) 0 scripts
   in
-  let specs =
-    [
-      ("serial_copying", Service.Server.Copying, 1, 1);
-      ("serial_lean", Service.Server.Lean, 1, 1);
-      ("concurrent_copying", Service.Server.Copying, conc, 1);
-      ("concurrent_lean", Service.Server.Lean, conc, 1);
-      (* Scaling in K: the concurrent lean server over a sharded router.
-         On a multi-core host warm req/s should grow to K=4; a
-         single-core host records the routing overhead honestly. *)
-      ("sharded_k1", Service.Server.Lean, conc, 1);
-      ("sharded_k2", Service.Server.Lean, conc, 2);
-      ("sharded_k4", Service.Server.Lean, conc, 4);
-      ("sharded_k8", Service.Server.Lean, conc, 8);
-    ]
-  in
   let results =
     List.map
-      (fun (name, wire, mc, k) ->
+      (fun (name, wire, mc, k, steal) ->
          ( name,
            wire,
            mc,
            k,
-           serve_run ~wire ~max_conns:mc ~shards:k ~scripts ~passes ~window ))
+           steal,
+           serve_run ~steal ~wire ~max_conns:mc ~shards:k ~scripts ~passes
+             ~window ))
       specs
   in
-  (* Byte identity across series: whatever the concurrency, wire mode
-     or shard count, every client reads the serial copying baseline's
+  (* Byte identity across series: whatever the concurrency, wire mode,
+     shard count or steal policy, every client reads the baseline's
      bytes. *)
-  let _, _, _, _, baseline = List.hd results in
+  let base_name, _, _, _, _, baseline = List.hd results in
   List.iter
-    (fun (name, _, _, _, r) ->
+    (fun (name, _, _, _, _, r) ->
        Array.iteri
          (fun i out ->
             if not (String.equal out baseline.outputs.(i)) then begin
               Printf.eprintf
-                "bench serve: client %d bytes differ between %s and \
-                 serial_copying\n"
-                i name;
+                "bench serve: client %d bytes differ between %s and %s\n" i
+                name base_name;
               exit 1
             end)
          r.outputs)
@@ -1645,7 +1828,7 @@ let serve_instance ~label ~scripts ~passes ~window ~conc =
   let frps = float_of_int reqs_per_pass in
   let series =
     List.map
-      (fun (name, wire, mc, k, r) ->
+      (fun (name, wire, mc, k, steal, r) ->
          let warm = warm_seconds r in
          Service.Json.Obj
            [
@@ -1653,23 +1836,28 @@ let serve_instance ~label ~scripts ~passes ~window ~conc =
              ("wire", Service.Json.String (wire_name wire));
              ("max_conns", Service.Json.Int mc);
              ("shards", Service.Json.Int k);
+             ("steal", Service.Json.Bool steal);
              ("cold_seconds", Service.Json.Float r.pass_seconds.(0));
              ("warm_seconds", Service.Json.Float warm);
              ("cold_rps", Service.Json.Float (frps /. r.pass_seconds.(0)));
              ("warm_rps", Service.Json.Float (frps /. warm));
-             ( "speedup_vs_serial_copying",
+             ( "speedup_vs_baseline",
                Service.Json.Float (base_warm /. warm) );
              ("p50_s", Service.Json.Float r.p50);
              ("p90_s", Service.Json.Float r.p90);
              ("p99_s", Service.Json.Float r.p99);
              ("requests", Service.Json.Int r.served);
              ("io_errors", Service.Json.Int r.io_errors);
+             ("steals", Service.Json.Int r.steals);
            ])
       results
   in
   let headline =
-    let _, _, _, _, lean = List.nth results 3 in
-    base_warm /. warm_seconds lean
+    let _, _, _, _, _, hr =
+      List.find (fun (n, _, _, _, _, _) -> String.equal n headline_name)
+        results
+    in
+    base_warm /. warm_seconds hr
   in
   let t =
     Csutil.Table.create
@@ -1677,11 +1865,15 @@ let serve_instance ~label ~scripts ~passes ~window ~conc =
         (Printf.sprintf
            "%s -- %d clients x %d requests, window %d (%d passes)" label
            clients (reqs_per_pass / clients) window passes)
-      ~aligns:Csutil.Table.[ Left; Right; Right; Right; Right; Right; Right ]
-      [ "series"; "cold s"; "warm s"; "warm req/s"; "speedup"; "p50 us"; "p99 us" ]
+      ~aligns:
+        Csutil.Table.[ Left; Right; Right; Right; Right; Right; Right; Right ]
+      [
+        "series"; "cold s"; "warm s"; "warm req/s"; "speedup"; "p50 us";
+        "p99 us"; "steals";
+      ]
   in
   List.iter
-    (fun (name, _, _, _, r) ->
+    (fun (name, _, _, _, _, r) ->
        let warm = warm_seconds r in
        Csutil.Table.add_row t
          [
@@ -1692,11 +1884,12 @@ let serve_instance ~label ~scripts ~passes ~window ~conc =
            Printf.sprintf "%.1fx" (base_warm /. warm);
            Printf.sprintf "%.1f" (1e6 *. r.p50);
            Printf.sprintf "%.1f" (1e6 *. r.p99);
+           string_of_int r.steals;
          ])
     results;
   emit t;
-  Printf.printf
-    "headline: concurrent lean vs serial copying, warm: %.1fx\n\n" headline;
+  Printf.printf "headline: %s vs %s, warm: %.1fx\n\n" headline_name base_name
+    headline;
   Service.Json.Obj
     [
       ("workload", Service.Json.String label);
@@ -1716,15 +1909,15 @@ let serve_quick () =
   let t0 = Unix.gettimeofday () in
   let scripts = mixed_scripts ~clients:2 ~reqs:50 in
   let base =
-    serve_run ~wire:Service.Server.Copying ~max_conns:1 ~shards:1 ~scripts
+    serve_run ~steal:false ~wire:Service.Server.Copying ~max_conns:1 ~shards:1 ~scripts
       ~passes:2 ~window:16
   in
   let lean =
-    serve_run ~wire:Service.Server.Lean ~max_conns:2 ~shards:1 ~scripts
+    serve_run ~steal:false ~wire:Service.Server.Lean ~max_conns:2 ~shards:1 ~scripts
       ~passes:2 ~window:16
   in
   let sharded =
-    serve_run ~wire:Service.Server.Lean ~max_conns:2 ~shards:2 ~scripts
+    serve_run ~steal:false ~wire:Service.Server.Lean ~max_conns:2 ~shards:2 ~scripts
       ~passes:2 ~window:16
   in
   List.iter
@@ -1759,14 +1952,22 @@ let serve_bench ?(out = "BENCH_service.json") () =
      (BENCH_service.json)";
   let conc = 8 in
   let advise =
-    serve_instance ~label:"advise_warm"
+    serve_instance ~label:"advise_warm" ~specs:(serve_default_specs conc)
+      ~headline_name:"concurrent_lean"
       ~scripts:(advise_scripts ~clients:conc ~reqs:1000)
-      ~passes:3 ~window:64 ~conc
+      ~passes:3 ~window:64
   in
   let mixed =
-    serve_instance ~label:"mixed"
+    serve_instance ~label:"mixed" ~specs:(serve_default_specs conc)
+      ~headline_name:"concurrent_lean"
       ~scripts:(mixed_scripts ~clients:conc ~reqs:400)
-      ~passes:2 ~window:64 ~conc
+      ~passes:2 ~window:64
+  in
+  let skew =
+    serve_instance ~label:"hot_shard" ~specs:(serve_skew_specs conc)
+      ~headline_name:"hot_steal_k4"
+      ~scripts:(hot_shard_scripts ~shards:4 ~clients:conc ~reqs:400)
+      ~passes:2 ~window:64
   in
   let doc =
     Service.Json.Obj
@@ -1774,7 +1975,7 @@ let serve_bench ?(out = "BENCH_service.json") () =
         ("bench", Service.Json.String "serve");
         ( "domains_available",
           Service.Json.Int (Csutil.Par.available_domains ()) );
-        ("instances", Service.Json.List [ advise; mixed ]);
+        ("instances", Service.Json.List [ advise; mixed; skew ]);
       ]
   in
   let oc = open_out out in
@@ -1782,6 +1983,61 @@ let serve_bench ?(out = "BENCH_service.json") () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n\n" out
+
+(* The skewed instance alone, without rewriting BENCH_service.json. *)
+let serve_skew_bench () =
+  heading "Skewed serving -- every request hashes to one shard of four";
+  let conc = 8 in
+  ignore
+    (serve_instance ~label:"hot_shard" ~specs:(serve_skew_specs conc)
+       ~headline_name:"hot_steal_k4"
+       ~scripts:(hot_shard_scripts ~shards:4 ~clients:conc ~reqs:400)
+       ~passes:2 ~window:64)
+
+(* CI smoke for the skew path: pinned and stealing 4-shard routers on
+   hot-shard-only traffic must read bytes identical to the serial
+   copying baseline, inside a generous bound; no JSON. *)
+let serve_skew_quick () =
+  let t0 = Unix.gettimeofday () in
+  let scripts = hot_shard_scripts ~shards:4 ~clients:2 ~reqs:60 in
+  let base =
+    serve_run ~steal:false ~wire:Service.Server.Copying ~max_conns:1 ~shards:1 ~scripts
+      ~passes:2 ~window:16
+  in
+  let pinned =
+    serve_run ~steal:false ~wire:Service.Server.Lean ~max_conns:2 ~shards:4 ~scripts
+      ~passes:2 ~window:16
+  in
+  let steal =
+    serve_run ~steal:true ~wire:Service.Server.Lean ~max_conns:2 ~shards:4
+      ~scripts ~passes:2 ~window:16
+  in
+  List.iter
+    (fun (name, r) ->
+       Array.iteri
+         (fun i out ->
+            if not (String.equal out base.outputs.(i)) then begin
+              Printf.eprintf
+                "serve --skew --quick: client %d bytes differ between %s and \
+                 serial copying\n"
+                i name;
+              exit 1
+            end)
+         r.outputs)
+    [ ("hot pinned k=4", pinned); ("hot steal k=4", steal) ];
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 120. then begin
+    Printf.eprintf
+      "bench serve --skew --quick exceeded its 120 s bound: %.1f s\n" dt;
+    exit 1
+  end;
+  Printf.printf
+    "serve --skew --quick: pinned and stealing 4-shard routers \
+     byte-identical to\n\
+     the serial copying baseline on hot-shard traffic (%d requests, %d \
+     steals); %.2f s\n"
+    (base.served + pinned.served + steal.served)
+    steal.steals dt
 
 (* --- Persistent memo tier: cold vs bank-mapped startup ----------------------- *)
 
@@ -2002,12 +2258,16 @@ let () =
     | [ "growth" ] -> growth_bench ()
     | [ "dp" ] -> dp_kernel_bench ()
     | [ "dp"; "--quick" ] -> dp_kernel_quick ()
+    | [ "dp"; "--skew" ] -> dp_skew_bench ()
+    | [ "dp"; "--skew"; "--quick" ] -> dp_skew_quick ()
     | [ "dp"; "--out"; path ] -> dp_kernel_bench ~out:path ()
     | [ "game" ] -> game_solver_bench ()
     | [ "game"; "--quick" ] -> game_solver_quick ()
     | [ "game"; "--out"; path ] -> game_solver_bench ~out:path ()
     | [ "serve" ] -> serve_bench ()
     | [ "serve"; "--quick" ] -> serve_quick ()
+    | [ "serve"; "--skew" ] -> serve_skew_bench ()
+    | [ "serve"; "--skew"; "--quick" ] -> serve_skew_quick ()
     | [ "serve"; "--out"; path ] -> serve_bench ~out:path ()
     | [ "store" ] -> store_bench ()
     | [ "store"; "--quick" ] -> store_quick ()
@@ -2016,9 +2276,10 @@ let () =
     | other ->
       Printf.eprintf
         "usage: main.exe [--csv DIR] [tables | series eN | service | growth | \
-         dp [--quick | --out FILE] | game [--quick | --out FILE] | \
-         serve [--quick | --out FILE] | store [--quick | --out FILE] | \
-         bechamel]\n";
+         dp [--quick | --skew [--quick] | --out FILE] | \
+         game [--quick | --out FILE] | \
+         serve [--quick | --skew [--quick] | --out FILE] | \
+         store [--quick | --out FILE] | bechamel]\n";
       Printf.eprintf "got: %s\n" (String.concat " " other);
       exit 2
   in

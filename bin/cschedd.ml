@@ -22,13 +22,14 @@
 
 open Cmdliner
 
-let serve socket_path batch_size domains max_conns cache_tables shards bank_dir
-    quiet =
+let serve socket_path batch_size domains max_conns cache_tables shards steal
+    queue_bound bank_dir quiet =
   if batch_size < 1 then `Error (false, "batch must be >= 1")
   else if domains < 1 then `Error (false, "domains must be >= 1")
   else if max_conns < 1 then `Error (false, "max-conns must be >= 1")
   else if cache_tables < 1 then `Error (false, "cache-tables must be >= 1")
   else if shards < 1 then `Error (false, "shards must be >= 1")
+  else if queue_bound < 1 then `Error (false, "queue-bound must be >= 1")
   else begin
     (* The persistent memo tier: the directory must already exist (a
        typo'd path should not silently start a daemon with an empty
@@ -46,7 +47,8 @@ let serve socket_path batch_size domains max_conns cache_tables shards bank_dir
          pool owned by the server, so serving slots never compete with
          compute slots. *)
       let router =
-        Service.Router.create ~shards ~domains ?bank ~capacity:cache_tables ()
+        Service.Router.create ~shards ~domains ?bank ~steal ~queue_bound
+          ~capacity:cache_tables ()
       in
       let warmed = Service.Router.warm_from_bank router in
       if (not quiet) && Option.is_some bank then
@@ -115,6 +117,26 @@ let shards_arg =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
 
+let steal_arg =
+  let doc =
+    "Let an idle shard worker steal read-only requests (pure compute, or dp \
+     queries the owning shard already holds a covering table for) from a hot \
+     sibling's queue.  Writes and cold solves stay pinned to their placement \
+     shard, so cache ownership and bank write-behind are unchanged and \
+     responses are byte-identical to a no-steal run; per-shard $(b,stats) \
+     sections gain a $(i,steals) object.  Only meaningful with \
+     $(b,--shards) > 1."
+  in
+  Arg.(value & flag & info [ "steal" ] ~doc)
+
+let queue_bound_arg =
+  let doc =
+    "Maximum jobs queued per shard; a submit against a full queue blocks \
+     until the shard worker (or, with $(b,--steal), a thief) drains it, so a \
+     hot shard back-pressures its connections instead of growing a backlog."
+  in
+  Arg.(value & opt int 64 & info [ "queue-bound" ] ~docv:"N" ~doc)
+
 let bank_arg =
   let doc =
     "Map the persistent memo bank at $(docv) (written by $(b,csched \
@@ -138,6 +160,7 @@ let () =
     Term.(
       ret
         (const serve $ socket_arg $ batch_arg $ domains_arg $ max_conns_arg
-         $ cache_tables_arg $ shards_arg $ bank_arg $ quiet_arg))
+         $ cache_tables_arg $ shards_arg $ steal_arg $ queue_bound_arg
+         $ bank_arg $ quiet_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

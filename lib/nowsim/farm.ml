@@ -5,7 +5,15 @@
    lifespan, interrupt bound, policy and owner); all masters draw tasks
    from the shared bag and return them when a period is killed.  The farm
    watches the bag and records the makespan: the first instant at which
-   the bag is empty and no tasks are in flight. *)
+   the bag is empty and no tasks are in flight.
+
+   With ~steal:true a station that finds the bag dry while it still has
+   lifespan left parks instead of finishing: when a sibling's kill
+   returns tasks to the bag the farm wakes every parked station (after
+   the victim re-plans — FIFO at the same timestamp), so returned work
+   is picked up by whoever has residual lifespan instead of stranding as
+   leftovers.  Parked time is charged to the parked station as idle, and
+   a kill that returns tasks retracts a prematurely stamped makespan. *)
 
 open Cyclesteal
 
@@ -36,28 +44,38 @@ type report = {
   summary : Metrics.summary;
   leftover_tasks : int;
   leftover_work : float;
+  steals : int;                     (* parked-station wakes that found work *)
   events_fired : int;
   finished_at : float;              (* simulation time when all stations stopped *)
 }
 
-let run ?(early_return = false) ?nic params ~bag specs =
+let run ?(early_return = false) ?nic ?(steal = false) params ~bag specs =
   if specs = [] then Error.invalid "Farm.run: no stations";
   let sim = Sim.create () in
   let drained_at = ref None in
   let masters = ref [] in
   let watch master =
     ignore master;
-    if !drained_at = None && Workload.Task.is_empty bag then begin
-      let in_flight =
-        List.fold_left (fun acc m -> acc + Master.in_flight m) 0 !masters
-      in
-      if in_flight = 0 then drained_at := Some (Sim.now sim)
+    if Workload.Task.is_empty bag then begin
+      if !drained_at = None then begin
+        let in_flight =
+          List.fold_left (fun acc m -> acc + Master.in_flight m) 0 !masters
+        in
+        if in_flight = 0 then drained_at := Some (Sim.now sim)
+      end
+    end
+    else if steal then begin
+      (* Tasks just returned (a killed period unpacked): the farm is
+         not done after all, so retract any prematurely stamped
+         makespan and wake every parked station to bid for them. *)
+      drained_at := None;
+      List.iter (fun m -> if Master.parked m then Master.wake m) !masters
     end
   in
   masters :=
     List.map
       (fun s ->
-         Master.create ~on_change:watch ~sim ~bag
+         Master.create ~on_change:watch ~on_empty:(fun _ -> steal) ~sim ~bag
            {
              Master.station = s.name;
              params;
@@ -71,12 +89,17 @@ let run ?(early_return = false) ?nic params ~bag specs =
            })
       specs;
   Sim.run sim;
+  (* Stations still parked when the event queue drained can never be
+     woken (nothing is left to return tasks); close them out so every
+     station reports a finish time and its parked stretch as idle. *)
+  if steal then List.iter Master.finalize !masters;
   let per_station = List.map Master.metrics !masters in
   {
     per_station;
     summary = Metrics.summarize ?makespan:!drained_at per_station;
     leftover_tasks = Workload.Task.remaining_count bag;
     leftover_work = Workload.Task.remaining_work bag;
+    steals = List.fold_left (fun acc m -> acc + Master.steals m) 0 !masters;
     events_fired = Sim.events_fired sim;
     finished_at = Sim.now sim;
   }

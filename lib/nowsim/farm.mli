@@ -47,6 +47,10 @@ type report = {
   summary : Metrics.summary;
   leftover_tasks : int;
   leftover_work : float;
+  steals : int;
+      (** parked-station wakes that found returned tasks — episodes run
+          only because [steal] kept a dry-bag station alive; always 0
+          with stealing off *)
   events_fired : int;
   finished_at : float;
 }
@@ -54,15 +58,25 @@ type report = {
 val run :
   ?early_return:bool ->
   ?nic:Nic.t ->
+  ?steal:bool ->
   Model.params ->
   bag:Workload.Task.bag ->
   spec list ->
   report
 (** Run all stations to completion in one simulation.  The summary's
     makespan is the first instant the bag is empty with no tasks in
-    flight.  Limitation: a station that stopped because the bag was
-    momentarily empty does not restart if another station's kill later
-    returns tasks; leftovers are reported.
+    flight.
+
+    Without [steal] (the default) a station that finds the bag
+    momentarily empty finishes for good: if another station's kill
+    later returns tasks, nobody restarts and they strand as leftovers.
+    With [steal:true] such a station {e parks} instead — wall time
+    parked is charged against its lifespan as idle — and every kill
+    that returns tasks wakes the parked stations ({e after} the victim
+    re-plans, so stealing never changes what the victim itself would
+    have done) to pick the returned work up; [report.steals] counts the
+    wakes that found work, and a retracted drain re-stamps the makespan
+    at the true last instant the bag empties.
     @raise Error.Error on an empty spec list. *)
 
 val run_single :

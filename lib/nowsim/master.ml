@@ -50,12 +50,19 @@ type t = {
   mutable pending_interrupt : Sim.handle option;
   mutable nic_token : Nic.token option;        (* outstanding NIC request/hold *)
   mutable finished : bool;
+  mutable parked_since : float option; (* parked on a dry bag, since when *)
+  mutable wake_pending : bool;         (* a wake event is already queued *)
+  mutable steal_count : int;           (* wakes that found returned tasks *)
   on_change : t -> unit; (* farm hook, called after task movements *)
+  on_empty : t -> bool;  (* farm policy: park on a dry bag instead of
+                            finishing?  (the farm's steal mode) *)
 }
 
 let metrics t = t.metrics
 let finished t = t.finished
 let context t = t.ctx
+let parked t = t.parked_since <> None
+let steals t = t.steal_count
 
 let progress_eps t = 1e-9 *. t.config.opportunity.Model.lifespan
 
@@ -221,7 +228,8 @@ and episode_completed t =
 and plan_episode t =
   if t.finished then ()
   else if t.ctx.Policy.residual <= progress_eps t then finish t
-  else if Workload.Task.is_empty t.bag then finish t
+  else if Workload.Task.is_empty t.bag then
+    if t.on_empty t then park t else finish t
   else begin
     let plan = Policy.plan t.config.policy t.ctx in
     let total = Schedule.total plan in
@@ -300,6 +308,67 @@ and interrupted t =
   t.on_change t;
   plan_episode t
 
+(* --- Idle-steal parking ------------------------------------------------ *)
+
+(* The bag is dry but lifespan remains.  Under the farm's steal policy
+   the station parks instead of finishing: it stays in the simulation,
+   waiting for a sibling's killed period to return tasks to the bag, at
+   which point the farm wakes it.  Wall time spent parked still consumes
+   the lifespan (the owner's tolerance window keeps running whether or
+   not B computes); it is charged as idle when the park ends. *)
+and park t =
+  if t.parked_since = None then begin
+    t.parked_since <- Some (Sim.now t.sim);
+    Log.debug (fun m ->
+        m "%s: parked at %.4g (bag dry, residual %.4g)" t.config.station
+          (Sim.now t.sim) t.ctx.Policy.residual)
+  end
+
+(* Charge a just-ended parked stretch against the residual as idle time.
+   Clipped to the residual: wall time past the lifespan boundary is
+   outside the opportunity and charged to nobody. *)
+let charge_parked t ~since =
+  t.parked_since <- None;
+  let idle = Float.min (Sim.now t.sim -. since) t.ctx.Policy.residual in
+  if idle > 0. then begin
+    Metrics.log_idle t.metrics ~duration:idle;
+    t.ctx <- { t.ctx with Policy.residual = t.ctx.Policy.residual -. idle }
+  end
+
+(* Re-activate a parked station: the farm calls this when a kill has
+   just returned tasks to the bag.  The wake is a fresh event AT the
+   current timestamp, so the interrupted sibling finishes its own
+   re-plan first (FIFO tie-break) and the woken station picks up only
+   what is genuinely spare — stealing never changes what the victim
+   would have done.  A station woken past its lifespan simply finishes;
+   one woken onto an already re-emptied bag parks again.  Idempotent
+   while a wake is already queued. *)
+let wake t =
+  if t.parked_since <> None && not (t.wake_pending || t.finished) then begin
+    t.wake_pending <- true;
+    ignore
+      (Sim.schedule t.sim ~at:(Sim.now t.sim) (fun _ ->
+           t.wake_pending <- false;
+           match t.parked_since with
+           | None -> ()
+           | Some since ->
+             charge_parked t ~since;
+             if not (Workload.Task.is_empty t.bag) then
+               t.steal_count <- t.steal_count + 1;
+             plan_episode t))
+  end
+
+(* Close out a station still parked when the simulation's event queue
+   drained: nothing can return tasks any more, so account the parked
+   stretch and finish — the remaining residual is logged as idle by
+   [finish], exactly as an immediate no-steal finish would have. *)
+let finalize t =
+  match t.parked_since with
+  | None -> ()
+  | Some since ->
+    charge_parked t ~since;
+    finish t
+
 (* --- Construction ------------------------------------------------------ *)
 
 (* Under NIC contention periods can stretch past the lifespan; B's
@@ -331,11 +400,17 @@ let lifespan_exhausted t =
          };
        Metrics.log_truncated t.metrics ~elapsed
      | None -> ());
+    (* A station parked at the cutoff has idled away its remaining
+       lifespan; charge it before the residual is zeroed below. *)
+    (match t.parked_since with
+     | Some since -> charge_parked t ~since
+     | None -> ());
     t.ctx <- { t.ctx with Policy.residual = 0. };
     finish t
   end
 
-let create ?(on_change = fun _ -> ()) ~sim ~bag config =
+let create ?(on_change = fun _ -> ()) ?(on_empty = fun _ -> false) ~sim ~bag
+    config =
   let t =
     {
       config;
@@ -355,7 +430,11 @@ let create ?(on_change = fun _ -> ()) ~sim ~bag config =
       pending_interrupt = None;
       nic_token = None;
       finished = false;
+      parked_since = None;
+      wake_pending = false;
+      steal_count = 0;
       on_change;
+      on_empty;
     }
   in
   ignore (Sim.schedule t.sim ~at:config.start_at (fun _ -> plan_episode t));

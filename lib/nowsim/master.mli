@@ -31,9 +31,18 @@ type config = {
 type t
 
 val create :
-  ?on_change:(t -> unit) -> sim:Sim.t -> bag:Workload.Task.bag -> config -> t
+  ?on_change:(t -> unit) ->
+  ?on_empty:(t -> bool) ->
+  sim:Sim.t ->
+  bag:Workload.Task.bag ->
+  config ->
+  t
 (** Registers the opportunity's start event on [sim]; [on_change] fires
-    after every task movement (the farm uses it to detect bag drain). *)
+    after every task movement (the farm uses it to detect bag drain).
+    [on_empty] is consulted when the station would plan an episode but
+    the bag is dry: return [true] to {e park} the station — it stays in
+    the simulation, waiting for {!wake} — instead of finishing (the
+    default, and the pre-steal behaviour). *)
 
 val metrics : t -> Metrics.t
 val finished : t -> bool
@@ -42,3 +51,24 @@ val context : t -> Policy.context
 
 val in_flight : t -> int
 (** Tasks currently packed into the running period. *)
+
+val parked : t -> bool
+(** Is the station parked on a dry bag, waiting for returned tasks? *)
+
+val wake : t -> unit
+(** Re-activate a parked station after tasks returned to the bag: a
+    fresh event at the current timestamp (so the station whose kill
+    returned them re-plans first and the woken station takes only what
+    is spare) charges the parked stretch against the residual lifespan
+    as idle, then re-plans — finishing if the lifespan ran out while
+    parked, re-parking if the bag emptied again meanwhile.  Idempotent
+    while a wake is already queued; a no-op when not parked. *)
+
+val finalize : t -> unit
+(** Close out a station still parked when the simulation ends (nothing
+    can return tasks any more): charge the parked stretch and finish.
+    A no-op when not parked. *)
+
+val steals : t -> int
+(** Wakes that found returned tasks to work on — episodes this station
+    ran only because the steal policy kept it alive. *)

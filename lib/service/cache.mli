@@ -92,6 +92,13 @@ val find_or_solve : t -> c:int -> p:int -> l:int -> Cyclesteal.Dp.t
     the bounds exceed it, solved fresh (evicting the least-recently-
     used table if full) when absent.  Thread- and domain-safe. *)
 
+val mem : t -> key -> bool
+(** Presence probe: is a resident table covering [key] held right now?
+    Neither stamps the LRU clock nor counts as a hit or miss — safe to
+    poll from outside the owning shard (the router's steal eligibility
+    check).  Advisory by nature: the table can be evicted between the
+    probe and a subsequent {!find_or_solve}, which then just solves. *)
+
 val preload : t -> keys:key list -> ?domains:int -> unit -> unit
 (** Solve all missing tables (requested bounds merged per [c]) in
     parallel via {!Csutil.Par.map} outside the lock and insert them;

@@ -11,6 +11,18 @@
    server, is preserved no matter how sub-batches interleave across
    shards.
 
+   Stealing (opt-in).  With [~steal:true] the per-shard queues are
+   work-stealing on the read-only fraction of the load: a worker whose
+   own queue is empty scans its siblings' queues for a job whose every
+   request is pure compute or a dp query the owner's cache already
+   covers, lifts the oldest such job, and runs it on its own pool
+   against the owner's cache.  Ownership of mutable state never moves
+   — cold solves, solver-growing evaluates and the bank write-behind
+   stay pinned to the placement owner — so responses stay
+   byte-identical to the no-steal router; stealing changes only which
+   domain answers, which is exactly the paper's cycle-stealing move
+   applied to our own serving fleet.
+
    Placement.  Rendezvous (highest-random-weight) hashing over the
    canonical placement key (Protocol.shard_key): score every (key,
    shard) pair with a mixed 64-bit hash, pick the argmax.  Stable by
@@ -100,32 +112,54 @@ type job = {
   mutable state : job_state;  (* written once, under [jlock] *)
 }
 
-(* A blocking job queue between connection workers and one shard
-   worker.  [pop] keeps draining after [close] so jobs enqueued just
-   before a shutdown are still evaluated; [migrate] closes the old
-   channel and carries its queue to the replacement atomically, so a
-   restart loses only the in-flight job, never the queued ones. *)
+(* A bounded blocking job queue between connection workers and one
+   shard worker.  [push] blocks while the queue is at [bound] (the
+   back-pressure that keeps a hot shard's backlog from growing without
+   limit) and returns [false] once the channel is closed; [pop] keeps
+   draining after [close] so jobs enqueued just before a shutdown are
+   still evaluated; [migrate] closes the old channel and carries its
+   queue (and depth high-water) to the replacement atomically, so a
+   restart loses only the in-flight job, never the queued ones.
+
+   Stealing hooks: [steal_matching] removes the oldest queued job a
+   predicate accepts (preserving the order of the rest), and [kick]
+   wakes a worker parked in [pop_kick] without giving it a job — the
+   router kicks idle siblings after each submit so they can come
+   steal from the shard that just got work. *)
 module Shard_chan = struct
   type 'a t = {
     lock : Mutex.t;
     nonempty : Condition.t;
+    notfull : Condition.t;
     items : 'a Queue.t;
+    bound : int;
+    mutable kick_count : int;
+    mutable max_depth : int;
     mutable closed : bool;
   }
 
-  let create () =
+  let create ?(bound = max_int) () =
     {
       lock = Mutex.create ();
       nonempty = Condition.create ();
+      notfull = Condition.create ();
       items = Queue.create ();
+      bound;
+      kick_count = 0;
+      max_depth = 0;
       closed = false;
     }
 
   let push q x =
     Mutex.lock q.lock;
+    while Queue.length q.items >= q.bound && not q.closed do
+      Condition.wait q.notfull q.lock
+    done;
     let accepted = not q.closed in
     if accepted then begin
       Queue.push x q.items;
+      if Queue.length q.items > q.max_depth then
+        q.max_depth <- Queue.length q.items;
       Condition.signal q.nonempty
     end;
     Mutex.unlock q.lock;
@@ -135,12 +169,18 @@ module Shard_chan = struct
     Mutex.lock q.lock;
     q.closed <- true;
     Condition.broadcast q.nonempty;
+    Condition.broadcast q.notfull;
     Mutex.unlock q.lock
+
+  let take q =
+    let x = Queue.pop q.items in
+    Condition.signal q.notfull;
+    x
 
   let pop q =
     Mutex.lock q.lock;
     let rec wait () =
-      if not (Queue.is_empty q.items) then Some (Queue.pop q.items)
+      if not (Queue.is_empty q.items) then Some (take q)
       else if q.closed then None
       else begin
         Condition.wait q.nonempty q.lock;
@@ -151,15 +191,96 @@ module Shard_chan = struct
     Mutex.unlock q.lock;
     x
 
+  let pop_nowait q =
+    Mutex.lock q.lock;
+    let r =
+      if not (Queue.is_empty q.items) then `Item (take q)
+      else if q.closed then `Closed
+      else `Empty
+    in
+    Mutex.unlock q.lock;
+    r
+
+  (* Like [pop], but also returns on a kick that arrived after the
+     [kicks] count the caller last saw — the worker then goes looking
+     for a sibling to steal from instead of a job of its own. *)
+  let pop_kick q ~kicks =
+    Mutex.lock q.lock;
+    let rec wait () =
+      if not (Queue.is_empty q.items) then `Item (take q)
+      else if q.closed then `Closed
+      else if q.kick_count <> kicks then `Kick q.kick_count
+      else begin
+        Condition.wait q.nonempty q.lock;
+        wait ()
+      end
+    in
+    let r = wait () in
+    Mutex.unlock q.lock;
+    r
+
+  let kicks q =
+    Mutex.lock q.lock;
+    let k = q.kick_count in
+    Mutex.unlock q.lock;
+    k
+
+  let kick q =
+    Mutex.lock q.lock;
+    q.kick_count <- q.kick_count + 1;
+    Condition.broadcast q.nonempty;
+    Mutex.unlock q.lock
+
+  (* Remove and return the oldest queued item [accept] takes; the
+     relative order of everything else is preserved.  The predicate
+     runs under the channel lock, so keep it cheap. *)
+  let steal_matching q accept =
+    Mutex.lock q.lock;
+    let keep = Queue.create () in
+    let found = ref None in
+    Queue.iter
+      (fun x ->
+         if Option.is_none !found && accept x then found := Some x
+         else Queue.push x keep)
+      q.items;
+    (match !found with
+     | Some _ ->
+       Queue.clear q.items;
+       Queue.transfer keep q.items;
+       Condition.signal q.notfull
+     | None -> ());
+    Mutex.unlock q.lock;
+    !found
+
+  let length q =
+    Mutex.lock q.lock;
+    let n = Queue.length q.items in
+    Mutex.unlock q.lock;
+    n
+
+  let max_depth q =
+    Mutex.lock q.lock;
+    let n = q.max_depth in
+    Mutex.unlock q.lock;
+    n
+
+  let reset_max q =
+    Mutex.lock q.lock;
+    q.max_depth <- Queue.length q.items;
+    Mutex.unlock q.lock
+
   let migrate ~from ~into =
     Mutex.lock from.lock;
     from.closed <- true;
     let moved = Queue.create () in
     Queue.transfer from.items moved;
+    let high = from.max_depth in
     Condition.broadcast from.nonempty;
+    Condition.broadcast from.notfull;
     Mutex.unlock from.lock;
     Mutex.lock into.lock;
     Queue.transfer moved into.items;
+    if into.max_depth < high then into.max_depth <- high;
     if not (Queue.is_empty into.items) then Condition.broadcast into.nonempty;
     Mutex.unlock into.lock
 end
@@ -180,6 +301,8 @@ type shard = {
   mutable current : (job * float) option;  (* in-flight job + start time *)
   mutable worker : unit Domain.t option;
   chaos : chaos Atomic.t;  (* one-shot fault injection for tests *)
+  steals_in : int Atomic.t;  (* jobs this worker stole and ran *)
+  stolen_from : int Atomic.t;  (* jobs siblings took off this queue *)
 }
 
 type t = {
@@ -189,6 +312,8 @@ type t = {
   shard_capacity : int;
   bank : Store.Bank.t option;
   hang_timeout : float;
+  steal : bool;
+  queue_bound : int;
   stopped : bool Atomic.t;
   mutable watchdog : unit Domain.t option;
 }
@@ -310,26 +435,133 @@ let evaluate_job sh ~cache ~pool job =
   Batch.run_parsed ~pool ~domains:(Csutil.Par.Pool.size pool) ~cache
     job.envelopes
 
+(* --- stealing ------------------------------------------------------------- *)
+
+(* Which requests may an idle sibling run on the owner's behalf?
+   Read-only ones: advise and schedule are pure closed-form compute,
+   evaluate with explicit periods solves fresh against nothing
+   resident, and a dp query is read-only exactly when the owner
+   already holds a covering table (a presence probe that stamps no LRU
+   clock and counts nothing).  Evaluate via a named policy is pinned:
+   answering it grows the owner's resident solver memo and schedules
+   bank write-behind, which must stay single-owner.  The probe is
+   advisory — if the table is evicted between the check and the run,
+   the thief's evaluation degrades to a solve under the owner cache's
+   own lock, which is slower but still correct. *)
+let read_only_request cache (req : Protocol.request) =
+  match req with
+  | Protocol.Advise _ | Protocol.Schedule _ -> true
+  | Protocol.Evaluate { periods = Some _; _ } -> true
+  | Protocol.Evaluate _ -> false
+  | Protocol.Dp_query { c_ticks; l; p } -> (
+    match Cache.canonical ~c:c_ticks ~p ~l with
+    | key -> Cache.mem cache key
+    | exception _ -> false)
+  | _ -> false
+
+let job_stealable cache job =
+  Array.for_all
+    (fun (e : Protocol.envelope) ->
+       match e.Protocol.request with
+       | Ok req -> read_only_request cache req
+       | Error _ -> false)
+    job.envelopes
+
+(* A stolen sub-batch runs on the thief's pool against the *owner's*
+   cache (domain-safe for lookups), and its outcomes are recorded in
+   the owner's stats family — per-shard request counts reflect
+   placement whether or not stealing is on; only the steal counters
+   differ.  No chaos hook: fault injection arms a shard's own worker. *)
+let evaluate_stolen victim ~cache ~pool job =
+  Stats.add_batch victim.stats ~size:(Array.length job.envelopes);
+  Batch.run_parsed ~pool ~domains:(Csutil.Par.Pool.size pool) ~cache
+    job.envelopes
+
 (* The worker, its restart path and the spawner are mutually recursive:
    a dying worker restarts its own shard (which spawns a replacement)
    before retiring. *)
 let rec worker_loop t sh ~gen ~chan ~cache ~pool =
-  match Shard_chan.pop chan with
-  | None -> ()  (* closed and drained: this generation retires *)
-  | Some job ->
-    note_start sh ~gen job;
-    (match evaluate_job sh ~cache ~pool job with
-     | outcomes ->
-       note_finish sh ~gen job;
-       if deliver job (Done outcomes) then record_outcomes sh outcomes;
-       worker_loop t sh ~gen ~chan ~cache ~pool
-     | exception _ ->
-       (* The worker is compromised: fail what it held, hand the shard
-          to a fresh generation, retire this domain.  Whoever wins the
-          generation race does the restart; the job dies either way. *)
-       note_finish sh ~gen job;
-       ignore (restart_shard t sh ~gen);
-       fail_job sh job (died_error sh.index))
+  if t.steal then
+    steal_worker t sh ~gen ~chan ~cache ~pool ~kicks:(Shard_chan.kicks chan)
+  else begin
+    match Shard_chan.pop chan with
+    | None -> ()  (* closed and drained: this generation retires *)
+    | Some job ->
+      if execute_own t sh ~gen ~cache ~pool job then
+        worker_loop t sh ~gen ~chan ~cache ~pool
+  end
+
+(* Run one job of our own queue.  [false] means this worker is
+   compromised and has already handed its shard to a fresh generation:
+   fail what it held, retire this domain.  Whoever wins the generation
+   race does the restart; the job dies either way. *)
+and execute_own t sh ~gen ~cache ~pool job =
+  note_start sh ~gen job;
+  match evaluate_job sh ~cache ~pool job with
+  | outcomes ->
+    note_finish sh ~gen job;
+    if deliver job (Done outcomes) then record_outcomes sh outcomes;
+    true
+  | exception _ ->
+    note_finish sh ~gen job;
+    ignore (restart_shard t sh ~gen);
+    fail_job sh job (died_error sh.index);
+    false
+
+(* Steal-enabled worker: drain the own queue first, then try to lift a
+   read-only job off a sibling, and only then park.  A parked worker
+   wakes on its own jobs as before, and on a [kick] — submit kicks all
+   siblings — after which it re-runs the steal scan. *)
+and steal_worker t sh ~gen ~chan ~cache ~pool ~kicks =
+  match Shard_chan.pop_nowait chan with
+  | `Item job ->
+    if execute_own t sh ~gen ~cache ~pool job then
+      steal_worker t sh ~gen ~chan ~cache ~pool ~kicks
+  | `Closed -> ()
+  | `Empty ->
+    if steal_once t sh ~gen ~pool then
+      steal_worker t sh ~gen ~chan ~cache ~pool ~kicks
+    else begin
+      match Shard_chan.pop_kick chan ~kicks with
+      | `Item job ->
+        if execute_own t sh ~gen ~cache ~pool job then
+          steal_worker t sh ~gen ~chan ~cache ~pool ~kicks
+      | `Closed -> ()
+      | `Kick k -> steal_worker t sh ~gen ~chan ~cache ~pool ~kicks:k
+    end
+
+(* One steal attempt across the siblings in index order from our right
+   neighbour.  The victim's channel and cache are snapshotted under its
+   shard lock (it may be mid-restart; the stale channel then turns up
+   empty, which is just a failed attempt).  A thief that fails while
+   running a stolen job fails that job but does not restart anything:
+   its own runtime was never implicated. *)
+and steal_once t sh ~gen ~pool =
+  let k = Array.length t.shards in
+  let rec scan i =
+    if i >= k then false
+    else begin
+      let v = t.shards.((sh.index + i) mod k) in
+      Mutex.lock v.slock;
+      let vchan = v.chan and vcache = v.cache in
+      Mutex.unlock v.slock;
+      match Shard_chan.steal_matching vchan (job_stealable vcache) with
+      | Some job ->
+        Atomic.incr v.stolen_from;
+        Atomic.incr sh.steals_in;
+        note_start sh ~gen job;
+        (match evaluate_stolen v ~cache:vcache ~pool job with
+         | outcomes ->
+           note_finish sh ~gen job;
+           if deliver job (Done outcomes) then record_outcomes v outcomes
+         | exception _ ->
+           note_finish sh ~gen job;
+           fail_job v job (died_error sh.index));
+        true
+      | None -> scan (i + 1)
+    end
+  in
+  k > 1 && scan 1
 
 and restart_shard t sh ~gen =
   Mutex.lock sh.slock;
@@ -341,7 +573,7 @@ and restart_shard t sh ~gen =
     sh.generation <- sh.generation + 1;
     sh.restarts <- sh.restarts + 1;
     sh.current <- None;
-    let fresh = Shard_chan.create () in
+    let fresh = Shard_chan.create ~bound:t.queue_bound () in
     Shard_chan.migrate ~from:sh.chan ~into:fresh;
     sh.chan <- fresh;
     let cache, pool =
@@ -397,12 +629,15 @@ let watchdog_loop t =
 
 (* --- construction -------------------------------------------------------- *)
 
-let create ?(shards = 1) ?domains ?bank ?(hang_timeout = 30.) ~capacity () =
+let create ?(shards = 1) ?domains ?bank ?(hang_timeout = 30.) ?(steal = false)
+    ?(queue_bound = 64) ~capacity () =
   if shards < 1 then Cyclesteal.Error.invalid "Router.create: shards must be >= 1";
   if capacity < 1 then
     Cyclesteal.Error.invalid "Router.create: capacity must be >= 1";
   if not (hang_timeout > 0.) then
     Cyclesteal.Error.invalid "Router.create: hang_timeout must be positive";
+  if queue_bound < 1 then
+    Cyclesteal.Error.invalid "Router.create: queue_bound must be >= 1";
   let domains =
     match domains with
     | Some d when d < 1 ->
@@ -426,18 +661,22 @@ let create ?(shards = 1) ?domains ?bank ?(hang_timeout = 30.) ~capacity () =
               slock = Mutex.create ();
               cache;
               pool;
-              chan = Shard_chan.create ();
+              chan = Shard_chan.create ~bound:queue_bound ();
               generation = 0;
               restarts = 0;
               current = None;
               worker = None;
               chaos = Atomic.make Chaos_none;
+              steals_in = Atomic.make 0;
+              stolen_from = Atomic.make 0;
             });
       domains;
       per_shard_domains;
       shard_capacity;
       bank;
       hang_timeout;
+      steal;
+      queue_bound;
       stopped = Atomic.make false;
       watchdog = None;
     }
@@ -467,11 +706,37 @@ let shutdown t =
 
 (* --- submission ---------------------------------------------------------- *)
 
-let submit sh job =
-  Mutex.lock sh.slock;
-  let accepted = Shard_chan.push sh.chan job in
-  Mutex.unlock sh.slock;
-  if not accepted then ignore (deliver job (Failed (stopped_error sh.index)))
+(* Enqueue with back-pressure, without holding the shard lock across
+   the (possibly blocking) push — a restart needs that lock to swap the
+   channel out.  A push refused because the channel closed under us is
+   retried against the replacement channel; once the router itself is
+   stopping, the job fails structurally instead.  With stealing on,
+   every accepted job kicks the sibling workers so an idle one can come
+   take it if this shard's worker is occupied. *)
+let submit t sh job =
+  let rec attempt () =
+    if Atomic.get t.stopped then
+      ignore (deliver job (Failed (stopped_error sh.index)))
+    else begin
+      Mutex.lock sh.slock;
+      let chan = sh.chan in
+      Mutex.unlock sh.slock;
+      if Shard_chan.push chan job then begin
+        if t.steal then
+          Array.iter
+            (fun other ->
+               if other.index <> sh.index then begin
+                 Mutex.lock other.slock;
+                 let ochan = other.chan in
+                 Mutex.unlock other.slock;
+                 Shard_chan.kick ochan
+               end)
+            t.shards
+      end
+      else attempt ()
+    end
+  in
+  attempt ()
 
 let run_parsed t ?stats_payload envelopes =
   let n = Array.length envelopes in
@@ -506,7 +771,7 @@ let run_parsed t ?stats_payload envelopes =
                  state = Pending;
                }
              in
-             submit t.shards.(k) job;
+             submit t t.shards.(k) job;
              Some (Array.map fst items, job))
         routed
     in
@@ -574,12 +839,28 @@ let shards_json t =
   Array.to_list
     (Array.map
        (fun sh ->
-          Stats.shard_json sh.stats ~shard:sh.index ~restarts:sh.restarts
-            ~cache:(Cache.stats sh.cache))
+          let steals =
+            if not t.steal then None
+            else begin
+              Mutex.lock sh.slock;
+              let chan = sh.chan in
+              Mutex.unlock sh.slock;
+              Some
+                ( Atomic.get sh.steals_in,
+                  Atomic.get sh.stolen_from,
+                  Shard_chan.length chan,
+                  Shard_chan.max_depth chan )
+            end
+          in
+          Stats.shard_json ?steals sh.stats ~shard:sh.index
+            ~restarts:sh.restarts ~cache:(Cache.stats sh.cache))
        t.shards)
 
 let restarts t =
   Array.fold_left (fun acc sh -> acc + sh.restarts) 0 t.shards
+
+let steals t =
+  Array.fold_left (fun acc sh -> acc + Atomic.get sh.steals_in) 0 t.shards
 
 let reset_counters t =
   Array.iter
@@ -588,6 +869,9 @@ let reset_counters t =
        Cache.reset_counters sh.cache;
        Mutex.lock sh.slock;
        sh.restarts <- 0;
+       Atomic.set sh.steals_in 0;
+       Atomic.set sh.stolen_from 0;
+       Shard_chan.reset_max sh.chan;
        Mutex.unlock sh.slock)
     t.shards
 

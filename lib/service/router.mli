@@ -36,7 +36,23 @@
     detected by a watchdog domain and restarted the same way; the
     stale worker's late results are discarded by generation check, so
     it can never answer a request the replacement already failed.
-    [stats] reports restarts per shard and in total. *)
+    [stats] reports restarts per shard and in total.
+
+    {b Stealing} ([~steal:true]) lets an idle shard worker lift
+    {e read-only} jobs off a hot sibling's queue: sub-batches whose
+    every request is pure compute (advise, schedule, evaluate with
+    explicit periods) or a dp query the owner already holds a covering
+    resident table for.  The thief runs the job on its own pool
+    against the {e owner's} cache — a concurrent lookup the cache is
+    built for — so cache ownership never moves: writes (cold dp
+    solves, policy-evaluate solver growth) and the bank write-behind
+    they schedule stay pinned to the owning shard.  Responses are
+    byte-identical to a no-steal router; only where (and how soon)
+    they are computed changes.  Each shard's [stats] section gains a
+    [steals] object — jobs taken, jobs given, queue depth and
+    high-water — and queues are bounded ([queue_bound]) so a hot
+    shard's backlog applies back-pressure instead of growing without
+    limit. *)
 
 type t
 
@@ -45,6 +61,8 @@ val create :
   ?domains:int ->
   ?bank:Store.Bank.t ->
   ?hang_timeout:float ->
+  ?steal:bool ->
+  ?queue_bound:int ->
   capacity:int ->
   unit ->
   t
@@ -57,9 +75,12 @@ val create :
     writes behind only the tables its placement owns (warm them with
     {!warm_from_bank}).  [hang_timeout] (default 30 s) is how long one
     sub-batch may run before the watchdog declares the worker wedged
-    and restarts it.
+    and restarts it.  [steal] (default [false]) enables idle-shard
+    work stealing of read-only jobs; [queue_bound] (default 64) caps
+    each shard's job queue — a submit against a full queue blocks
+    until the worker (or a thief) drains it.
     @raise Error.Error when [shards < 1], [capacity < 1],
-    [domains < 1] or [hang_timeout <= 0]. *)
+    [domains < 1], [hang_timeout <= 0] or [queue_bound < 1]. *)
 
 val shard_count : t -> int
 
@@ -100,16 +121,23 @@ val cache_stats : t -> Cache.stats
 
 val shards_json : t -> Json.t list
 (** Per-shard [stats] sections ({!Stats.shard_json}): what each
-    shard's worker evaluated, its cache families, its restart count. *)
+    shard's worker evaluated, its cache families, its restart count —
+    and, when stealing is on, its [steals] object (jobs taken from
+    siblings, jobs siblings took, queue depth and high-water). *)
 
 val restarts : t -> int
 (** Total shard-worker restarts (death or wedge) since start or the
     last {!reset_counters}. *)
 
+val steals : t -> int
+(** Total jobs answered by a shard other than their placement owner
+    since start or the last {!reset_counters}; always 0 with stealing
+    off. *)
+
 val reset_counters : t -> unit
-(** Zero every shard's stats family, cache counters and restart count;
-    backs the daemon's [stats reset] together with the server-level
-    {!Stats.reset_counters}. *)
+(** Zero every shard's stats family, cache counters, restart count and
+    steal/queue-high-water counters; backs the daemon's [stats reset]
+    together with the server-level {!Stats.reset_counters}. *)
 
 type failure =
   | Die  (** the worker raises mid-batch on its next sub-batch *)

@@ -49,12 +49,21 @@ val percentiles : t -> (float * float * float) option
     each estimate is the geometric midpoint of its bucket — accurate to
     a factor of sqrt 2).  [None] before any request was recorded. *)
 
-val shard_json : t -> shard:int -> restarts:int -> cache:Cache.stats -> Json.t
+val shard_json :
+  ?steals:int * int * int * int ->
+  t ->
+  shard:int ->
+  restarts:int ->
+  cache:Cache.stats ->
+  Json.t
 (** One shard's section of the stats payload: what this shard's worker
     evaluated (requests, errors, by-op counts, latency) plus its own
-    cache and solver-cache families and its restart count.  The
-    process-wide kernel/game counters stay out of shard sections —
-    they appear exactly once, in the merged view. *)
+    cache and solver-cache families and its restart count.  [steals]
+    — [(taken, given, queue_depth, queue_max)] — appends a [steals]
+    object; routers with stealing off omit it, so the payload shape is
+    unchanged for them.  The process-wide kernel/game counters stay
+    out of shard sections — they appear exactly once, in the merged
+    view. *)
 
 val to_json :
   ?shards:Json.t list -> ?restarts:int -> t -> cache:Cache.stats -> Json.t

@@ -9,12 +9,17 @@ val available_domains : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)
 
 module Pool : sig
-  (** A reusable worker pool: [domains - 1] domains spawned once and
-      parked between jobs, so dispatching work costs a mutex handshake
-      instead of a [Domain.spawn].  One job runs at a time; a {!run}
-      issued while the pool is busy — including from inside one of its
-      own workers — executes every slot inline in the caller, so nested
-      parallelism degrades to sequential instead of deadlocking. *)
+  (** A reusable work-stealing pool: [domains - 1] domains spawned once,
+      each owning a Chase-Lev deque it pushes and pops locally and
+      steals from a random victim when dry.  A {!run} — from outside or
+      from inside one of the pool's own tasks — enqueues its calls as
+      tasks onto the submitting domain's deque and joins by draining
+      and stealing, so nested fan-out really spreads across idle
+      workers instead of degrading to a sequential inline loop.  It
+      still cannot deadlock: a joiner with nothing left to take parks
+      until its job's last in-flight task completes, and when every
+      worker is occupied (or the pool is saturated with concurrent
+      callers) the submitter simply executes all its tasks itself. *)
 
   type t
 
@@ -28,10 +33,19 @@ module Pool : sig
 
   val run : t -> (int -> unit) -> unit
   (** [run t f] calls [f slot] exactly once for every
-      [slot = 0 .. size t - 1]: slot 0 on the calling domain, the rest
-      on the pool's workers — or all slots inline in the caller when
-      the pool is busy or has a single slot.  Returns when every call
-      has finished; re-raises the first exception any call raised. *)
+      [slot = 0 .. size t - 1].  The submitting domain runs slot 0
+      itself (so a long-lived slot-0 task — a socket acceptor — stays
+      on the calling domain, where signals interrupt its blocking
+      syscalls); with idle workers every other call lands on its own
+      domain, so [size t] mutually blocking calls all run concurrently.
+      Under load, calls 1 .. size-1 land wherever a domain goes idle —
+      possibly all in the caller.  Returns when every call has
+      finished; re-raises the first exception any call raised (every
+      call still runs). *)
+
+  val steals : t -> int
+  (** Tasks executed by a domain other than the one that enqueued them,
+      since {!create} — monotonic, racy-read scheduling telemetry. *)
 
   val shutdown : t -> unit
   (** Stop and join the worker domains.  The pool must be idle; using
@@ -55,8 +69,10 @@ val min_chunk : int
 val map : ?pool:Pool.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Like [Array.map], computed on up to [domains] domains (default: the
     recommended count, and only when each domain gets at least
-    {!min_chunk} elements).  The result is identical to the sequential
-    map for any domain count.
+    {!min_chunk} elements).  Chunks are cut finer than one per domain
+    so stealing can rebalance a skewed load; each chunk writes a
+    disjoint slice, so the result is identical to the sequential map
+    for any domain count and any schedule.
     @raise Invalid_argument when [domains < 1]. *)
 
 val init : ?pool:Pool.t -> ?domains:int -> int -> (int -> 'a) -> 'a array

@@ -419,6 +419,72 @@ let test_farm_deterministic () =
   Alcotest.(check int) "same interrupts" s1.Nowsim.Metrics.total_interrupts
     s2.Nowsim.Metrics.total_interrupts
 
+(* Idle-steal: one station packs the whole bag into one long period and
+   is killed halfway, returning tasks after the other station already
+   found the bag dry.  Without ~steal the dry station finished for good
+   and the returned tasks strand as leftovers; with it the station
+   parks, is woken by the kill, and completes them. *)
+let steal_scenario ~steal () =
+  let bag = Workload.Task.bag_of_sizes (List.init 10 (fun _ -> 1.)) in
+  let kill_mid =
+    Adversary.make ~name:"kill-mid" ~decide:(fun ctx _ ->
+        if ctx.Policy.interrupts_left > 0 then
+          Adversary.Interrupt { period = 1; fraction = 0.5 }
+        else Adversary.Let_run)
+  in
+  let hot =
+    (* One period spanning the whole lifespan packs the entire bag
+       (budget 11 >= 10), then dies at t = 6 with only enough residual
+       left to redo 5 of the 10 returned tasks. *)
+    Nowsim.Farm.spec ~name:"hot"
+      ~opportunity:(Model.opportunity ~lifespan:12. ~interrupts:1)
+      ~policy:(Policy.non_adaptive ~committed:(Schedule.singleton 12.))
+      ~owner:kill_mid ()
+  in
+  let helper =
+    (* Starts with the bag already packed away; plenty of lifespan. *)
+    Nowsim.Farm.spec ~name:"helper"
+      ~opportunity:(Model.opportunity ~lifespan:30. ~interrupts:0)
+      ~policy:(Policy.non_adaptive ~committed:(Schedule.singleton 7.))
+      ~owner:Adversary.none ()
+  in
+  Nowsim.Farm.run ~steal params ~bag [ hot; helper ]
+
+let test_farm_no_steal_strands_leftovers () =
+  let report = steal_scenario ~steal:false () in
+  Alcotest.(check int) "returned tasks strand" 5
+    report.Nowsim.Farm.leftover_tasks;
+  Alcotest.(check int) "no steals" 0 report.Nowsim.Farm.steals
+
+let test_farm_steal_completes_leftovers () =
+  let report = steal_scenario ~steal:true () in
+  Alcotest.(check int) "nothing stranded" 0 report.Nowsim.Farm.leftover_tasks;
+  Alcotest.(check int) "one steal" 1 report.Nowsim.Farm.steals;
+  (match report.Nowsim.Farm.per_station with
+   | [ hot; helper ] ->
+     Alcotest.(check int) "victim redid what its residual allowed" 5
+       (Nowsim.Metrics.tasks_completed hot);
+     Alcotest.(check int) "helper did the stranded tasks" 5
+       (Nowsim.Metrics.tasks_completed helper)
+   | _ -> Alcotest.fail "expected two stations");
+  (* Makespan is the true drain instant, after the stolen episode. *)
+  (match report.Nowsim.Farm.summary.Nowsim.Metrics.makespan with
+   | Some t -> check_float ~eps:1e-6 "drained when helper finished" 13. t
+   | None -> Alcotest.fail "expected makespan");
+  (* Parked time is charged as idle: every station still conserves its
+     lifespan. *)
+  List.iter
+    (fun m ->
+       let u = if Nowsim.Metrics.station m = "hot" then 12. else 30. in
+       let total =
+         Nowsim.Metrics.model_work m +. Nowsim.Metrics.overhead_time m
+         +. Nowsim.Metrics.wasted_time m +. Nowsim.Metrics.idle_time m
+       in
+       check_float ~eps:1e-6
+         (Nowsim.Metrics.station m ^ " conserves under parking")
+         u total)
+    report.Nowsim.Farm.per_station
+
 let test_farm_empty_specs_rejected () =
   let bag = Workload.Task.bag_of_sizes [ 1. ] in
   (try
@@ -595,6 +661,10 @@ let () =
         [
           Alcotest.test_case "shared bag drains" `Quick test_farm_shared_bag_drains;
           Alcotest.test_case "deterministic" `Quick test_farm_deterministic;
+          Alcotest.test_case "no steal strands leftovers" `Quick
+            test_farm_no_steal_strands_leftovers;
+          Alcotest.test_case "steal completes leftovers" `Quick
+            test_farm_steal_completes_leftovers;
           Alcotest.test_case "empty specs" `Quick test_farm_empty_specs_rejected;
         ] );
       ( "stress",

@@ -94,18 +94,52 @@ let test_pool_runs_every_slot () =
       Csutil.Par.Pool.run pool (fun slot -> hits.(slot) <- hits.(slot) + 1);
       Alcotest.(check (array int)) "reusable" [| 2; 2; 2; 2 |] hits)
 
-let test_pool_nested_run_degrades_inline () =
+let test_pool_nested_run_completes () =
   Csutil.Par.Pool.with_pool ~domains:3 (fun pool ->
       let outer = Atomic.make 0 and inner = Atomic.make 0 in
       Csutil.Par.Pool.run pool (fun _ ->
           ignore (Atomic.fetch_and_add outer 1);
-          (* The pool is busy with this very job: the nested run must
-             still execute every slot (inline), not deadlock. *)
+          (* The pool is busy with this very job: the nested run feeds
+             the caller's own deque and must still execute every call
+             (stolen or not), never deadlock. *)
           Csutil.Par.Pool.run pool (fun _ ->
               ignore (Atomic.fetch_and_add inner 1)));
       Alcotest.(check int) "outer slots" 3 (Atomic.get outer);
       Alcotest.(check int) "inner slots (3 nested runs x 3 slots)" 9
         (Atomic.get inner))
+
+(* The work-stealing regression: a nested run from inside a worker must
+   be able to span multiple workers once the others go idle — the old
+   engine inlined all nested work on the caller.  Each nested task
+   rendezvouses until a second task is in flight; only a second worker
+   stealing off the caller's deque can provide it, so a pure-inline
+   engine times out the first task's wait and fails the check. *)
+let test_pool_nested_run_is_stolen () =
+  Csutil.Par.Pool.with_pool ~domains:3 (fun pool ->
+      let arrived = Atomic.make 0 in
+      let all_met = Atomic.make true in
+      let rendezvous () =
+        ignore (Atomic.fetch_and_add arrived 1);
+        let rec wait spins =
+          if Atomic.get arrived >= 2 then true
+          else if spins = 0 then false
+          else begin
+            Domain.cpu_relax ();
+            wait (spins - 1)
+          end
+        in
+        (* Generous bound: ~seconds of cpu_relax, only ever reached by
+           an engine that runs nested tasks one by one. *)
+        if not (wait 200_000_000) then Atomic.set all_met false
+      in
+      Csutil.Par.Pool.run pool (fun slot ->
+          (* Slots 1 and 2 return at once, freeing their workers to
+             steal; the remaining slot fans out nested tasks. *)
+          if slot = 0 then
+            Csutil.Par.Pool.run pool (fun _ -> rendezvous ()));
+      Alcotest.(check int) "every nested task ran" 3 (Atomic.get arrived);
+      Alcotest.(check bool) "nested tasks overlapped across workers" true
+        (Atomic.get all_met))
 
 let test_pool_propagates_failure () =
   Csutil.Par.Pool.with_pool ~domains:2 (fun pool ->
@@ -127,6 +161,36 @@ let test_map_over_explicit_pool () =
         (Csutil.Par.map ~pool ~domains:3 f a);
       Alcotest.(check (array int)) "init via pool" (Array.init 100 f)
         (Csutil.Par.init ~pool ~domains:3 100 f))
+
+(* The deque engine must be invisible in results: map_reduce with an
+   associative, NON-commutative combine agrees with the sequential fold
+   and with the pre-deque engine's schedule (one contiguous static block
+   per slot, combined in slot order) on random sizes and domain counts —
+   whatever got stolen from whom. *)
+let prop_map_reduce_schedule_invariant =
+  QCheck.Test.make ~name:"map_reduce = sequential = static-stride" ~count:30
+    QCheck.(pair (int_range 0 400) (int_range 1 5))
+    (fun (n, domains) ->
+      let input = Array.init n (fun i -> i) in
+      let map x = Printf.sprintf "%x." x in
+      let seq = Array.fold_left (fun acc x -> acc ^ map x) "" input in
+      let stolen =
+        Csutil.Par.map_reduce ~domains ~map ~combine:( ^ ) ~init:"" input
+      in
+      let static =
+        Csutil.Par.Pool.with_pool ~domains (fun pool ->
+            let k = Csutil.Par.Pool.size pool in
+            let per = (n + k - 1) / k in
+            let parts = Array.make k "" in
+            Csutil.Par.Pool.run pool (fun slot ->
+                let acc = ref "" in
+                for i = slot * per to min n ((slot + 1) * per) - 1 do
+                  acc := !acc ^ map input.(i)
+                done;
+                parts.(slot) <- !acc);
+            Array.fold_left ( ^ ) "" parts)
+      in
+      String.equal seq stolen && String.equal seq static)
 
 (* --- Parallel Monte Carlo ---------------------------------------------------- *)
 
@@ -179,13 +243,18 @@ let () =
         [
           Alcotest.test_case "runs every slot, reusable" `Quick
             test_pool_runs_every_slot;
-          Alcotest.test_case "nested run degrades inline" `Quick
-            test_pool_nested_run_degrades_inline;
+          Alcotest.test_case "nested run completes every call" `Quick
+            test_pool_nested_run_completes;
+          Alcotest.test_case "nested run is stolen" `Quick
+            test_pool_nested_run_is_stolen;
           Alcotest.test_case "propagates worker failure" `Quick
             test_pool_propagates_failure;
           Alcotest.test_case "map/init over explicit pool" `Quick
             test_map_over_explicit_pool;
         ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_map_reduce_schedule_invariant ] );
       ( "monte carlo",
         [
           Alcotest.test_case "deterministic" `Quick test_mc_par_deterministic;

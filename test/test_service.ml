@@ -1019,6 +1019,94 @@ let test_sharded_stats_sections () =
   Alcotest.(check bool) "payload has shard sections" true
     (contains ~sub:{|"shards":[|} last && contains ~sub:{|"shard":1|} last)
 
+(* --- Router: stealing -------------------------------------------------- *)
+
+let outcome_strings outcomes =
+  Array.to_list outcomes
+  |> List.map (fun (o : Batch.outcome) ->
+      Protocol.response_to_string ~id:o.Batch.envelope.Protocol.id
+        o.Batch.result)
+
+(* Stealing must be invisible in the bytes: interleaved clients running
+   the whole mixed corpus against a steal-enabled sharded router get
+   responses identical to direct library calls (and therefore to a
+   no-steal router, which the sharded byte-identity test above pins to
+   the same reference). *)
+let test_steal_byte_identity_interleaved () =
+  let router = Router.create ~shards:3 ~domains:2 ~steal:true ~capacity:16 () in
+  Fun.protect
+    ~finally:(fun () -> Router.shutdown router)
+    (fun () ->
+       let lines = Array.of_list (mixed_request_lines ()) in
+       let clients =
+         List.init 3 (fun _ ->
+             Domain.spawn (fun () -> outcome_strings (Router.run router lines)))
+       in
+       let expected = List.map direct_response (Array.to_list lines) in
+       List.iteri
+         (fun c got ->
+            List.iteri
+              (fun i (e, g) ->
+                 Alcotest.(check string)
+                   (Printf.sprintf "client %d line %d byte-identical" c i)
+                   e g)
+              (List.combine expected got))
+         (List.map Domain.join clients))
+
+(* Idle-shard stealing actually fires: pin the hot shard down with one
+   long cold dp solve, then feed it stealable pure-compute requests —
+   the idle sibling is kicked on each submit and answers them while the
+   owner is stuck, so the steal counter must move and the responses
+   must still match the direct reference. *)
+let test_steal_takes_from_hot_shard () =
+  let shards = 2 in
+  let shard_of line =
+    match (Protocol.parse_line line).Protocol.request with
+    | Ok req -> (
+        match Protocol.shard_key req with
+        | Some key -> Router.place ~shards key
+        | None -> -1)
+    | Error e -> Alcotest.fail (Cyclesteal.Error.to_string e)
+  in
+  let blocker = {|{"id":0,"op":"dp","c_ticks":5,"l":24000,"p":12}|} in
+  let hot = shard_of blocker in
+  (* Pure-compute advise requests placed on the same (hot) shard. *)
+  let stealable =
+    List.init 400 (fun i ->
+        Printf.sprintf {|{"id":%d,"op":"advise","c":%d,"u":%d,"p":1}|} (i + 1)
+          ((i mod 6) + 1)
+          (150 + (17 * i)))
+    |> List.filter (fun l -> shard_of l = hot)
+    |> fun ls -> List.filteri (fun i _ -> i < 8) ls
+  in
+  Alcotest.(check bool) "found stealable lines on the hot shard" true
+    (List.length stealable = 8);
+  let router =
+    Router.create ~shards ~domains:2 ~steal:true ~capacity:16 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Router.shutdown router)
+    (fun () ->
+       let solver = Domain.spawn (fun () -> Router.run router [| blocker |]) in
+       (* Let the hot worker pick the blocker up before queueing work
+          behind it. *)
+       Unix.sleepf 0.02;
+       List.iter
+         (fun line ->
+            match outcome_strings (Router.run router [| line |]) with
+            | [ got ] ->
+              Alcotest.(check string) "stolen response byte-identical"
+                (direct_response line) got
+            | _ -> Alcotest.fail "expected one response")
+         stealable;
+       (match outcome_strings (Domain.join solver) with
+        | [ got ] ->
+          Alcotest.(check string) "blocker response byte-identical"
+            (direct_response blocker) got
+        | _ -> Alcotest.fail "expected one blocker response");
+       Alcotest.(check bool) "sibling stole from the hot shard" true
+         (Router.steals router >= 1))
+
 (* --- Router: shard failure -------------------------------------------------- *)
 
 (* Kill a shard worker mid-batch: the in-flight requests answer with a
@@ -1170,6 +1258,10 @@ let () =
               test_sharded_byte_identity;
             Alcotest.test_case "per-shard stats sections" `Quick
               test_sharded_stats_sections;
+            Alcotest.test_case "steal: interleaved byte-identity" `Slow
+              test_steal_byte_identity_interleaved;
+            Alcotest.test_case "steal: idle shard takes from hot" `Quick
+              test_steal_takes_from_hot_shard;
             Alcotest.test_case "killed shard worker" `Quick
               test_shard_worker_killed;
             Alcotest.test_case "wedged shard worker" `Slow

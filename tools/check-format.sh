@@ -49,6 +49,23 @@ for f in $(find lib bin bench examples -type f \
   fi
 done
 
+# Lock-free-queue gate: Atomic.compare_and_set is how lock-free
+# structures settle ownership of an element, and the only audited one
+# in the tree is the Chase-Lev deque in lib/util/par.ml.  A CAS loop
+# anywhere else is an ad-hoc concurrent queue in the making — build on
+# Pool / Router / Shard_chan instead.  (Monotone counters via
+# Atomic.fetch_and_add / incr stay allowed everywhere: they count,
+# they never arbitrate ownership.)
+for f in $(find lib bin bench examples -type f \
+             \( -name '*.ml' -o -name '*.mli' \) \
+             -not -path 'lib/util/par.ml' | sort); do
+  if grep -nE 'Atomic\.compare_and_set' "$f" >/dev/null 2>&1; then
+    echo "lock-free: Atomic.compare_and_set in $f (build on Csutil.Par.Pool):" >&2
+    grep -nE 'Atomic\.compare_and_set' "$f" | head -3 >&2
+    fail=1
+  fi
+done
+
 # Routing gate: the inter-shard job channel (Router's Shard_chan) is
 # the router's private seam — jobs enter a shard through Router.run /
 # run_parsed, which own placement, generation checks and failure
