@@ -1556,6 +1556,8 @@ type serve_result = {
   served : int;
   io_errors : int;
   steals : int;  (* jobs answered by a non-owning shard (0 without --steal) *)
+  cache : Service.Cache.stats;  (* merged across shards, end of run *)
+  resp : Service.Resp_cache.stats option;  (* with ~resp_cache only *)
 }
 
 (* Run one series: a fresh server and cache, [passes] supervised rounds
@@ -1563,16 +1565,21 @@ type serve_result = {
    passes and times them, slot 1 runs the server, the rest are clients.
    Everything joins through the pool, so a failing client can never
    leave the server running. *)
-let serve_run ~steal ~wire ~max_conns ~shards ~scripts ~passes
-    ~window =
+let serve_run ~steal ~wire ~max_conns ~shards ?(resp_cache = 0) ~scripts
+    ~passes ~window () =
   let clients = Array.length scripts in
   let grouped = Array.map (serve_groups ~window) scripts in
   let dir = Filename.temp_file "cschedd_bench" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let path = Filename.concat dir "s.sock" in
-  let router = Service.Router.create ~shards ~steal ~capacity:32 () in
-  let server = Service.Server.create ~wire ~max_conns ~router () in
+  let rc =
+    if resp_cache = 0 then None
+    else Some (Service.Resp_cache.create ~capacity:resp_cache)
+  in
+  let on_grow = Option.map (fun r c -> Service.Resp_cache.invalidate r ~c) rc in
+  let router = Service.Router.create ~shards ~steal ?on_grow ~capacity:32 () in
+  let server = Service.Server.create ~wire ~max_conns ?resp_cache:rc ~router () in
   let pass_seconds = Array.make passes 0. in
   let outputs = Array.make_matrix passes clients "" in
   let go = Atomic.make 0 in
@@ -1671,6 +1678,8 @@ let serve_run ~steal ~wire ~max_conns ~shards ~scripts ~passes
     served;
     io_errors = Service.Stats.io_errors stats;
     steals = Service.Router.steals router;
+    cache = Service.Router.cache_stats router;
+    resp = Option.map Service.Resp_cache.stats rc;
   }
 
 (* Skewed traffic: every request's placement key hashes onto ONE shard
@@ -1805,7 +1814,7 @@ let serve_instance ~label ~specs ~headline_name ~scripts ~passes ~window =
            k,
            steal,
            serve_run ~steal ~wire ~max_conns:mc ~shards:k ~scripts ~passes
-             ~window ))
+             ~window () ))
       specs
   in
   (* Byte identity across series: whatever the concurrency, wire mode,
@@ -1910,15 +1919,15 @@ let serve_quick () =
   let scripts = mixed_scripts ~clients:2 ~reqs:50 in
   let base =
     serve_run ~steal:false ~wire:Service.Server.Copying ~max_conns:1 ~shards:1 ~scripts
-      ~passes:2 ~window:16
+      ~passes:2 ~window:16 ()
   in
   let lean =
     serve_run ~steal:false ~wire:Service.Server.Lean ~max_conns:2 ~shards:1 ~scripts
-      ~passes:2 ~window:16
+      ~passes:2 ~window:16 ()
   in
   let sharded =
     serve_run ~steal:false ~wire:Service.Server.Lean ~max_conns:2 ~shards:2 ~scripts
-      ~passes:2 ~window:16
+      ~passes:2 ~window:16 ()
   in
   List.iter
     (fun (name, r) ->
@@ -1946,44 +1955,6 @@ let serve_quick () =
     (base.served + lean.served + sharded.served)
     dt
 
-let serve_bench ?(out = "BENCH_service.json") () =
-  heading
-    "Serving throughput -- serial vs concurrent, copying vs lean \
-     (BENCH_service.json)";
-  let conc = 8 in
-  let advise =
-    serve_instance ~label:"advise_warm" ~specs:(serve_default_specs conc)
-      ~headline_name:"concurrent_lean"
-      ~scripts:(advise_scripts ~clients:conc ~reqs:1000)
-      ~passes:3 ~window:64
-  in
-  let mixed =
-    serve_instance ~label:"mixed" ~specs:(serve_default_specs conc)
-      ~headline_name:"concurrent_lean"
-      ~scripts:(mixed_scripts ~clients:conc ~reqs:400)
-      ~passes:2 ~window:64
-  in
-  let skew =
-    serve_instance ~label:"hot_shard" ~specs:(serve_skew_specs conc)
-      ~headline_name:"hot_steal_k4"
-      ~scripts:(hot_shard_scripts ~shards:4 ~clients:conc ~reqs:400)
-      ~passes:2 ~window:64
-  in
-  let doc =
-    Service.Json.Obj
-      [
-        ("bench", Service.Json.String "serve");
-        ( "domains_available",
-          Service.Json.Int (Csutil.Par.available_domains ()) );
-        ("instances", Service.Json.List [ advise; mixed; skew ]);
-      ]
-  in
-  let oc = open_out out in
-  output_string oc (Service.Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s\n\n" out
-
 (* The skewed instance alone, without rewriting BENCH_service.json. *)
 let serve_skew_bench () =
   heading "Skewed serving -- every request hashes to one shard of four";
@@ -2002,15 +1973,15 @@ let serve_skew_quick () =
   let scripts = hot_shard_scripts ~shards:4 ~clients:2 ~reqs:60 in
   let base =
     serve_run ~steal:false ~wire:Service.Server.Copying ~max_conns:1 ~shards:1 ~scripts
-      ~passes:2 ~window:16
+      ~passes:2 ~window:16 ()
   in
   let pinned =
     serve_run ~steal:false ~wire:Service.Server.Lean ~max_conns:2 ~shards:4 ~scripts
-      ~passes:2 ~window:16
+      ~passes:2 ~window:16 ()
   in
   let steal =
     serve_run ~steal:true ~wire:Service.Server.Lean ~max_conns:2 ~shards:4
-      ~scripts ~passes:2 ~window:16
+      ~scripts ~passes:2 ~window:16 ()
   in
   List.iter
     (fun (name, r) ->
@@ -2038,6 +2009,345 @@ let serve_skew_quick () =
      steals); %.2f s\n"
     (base.served + pinned.served + steal.served)
     steal.steals dt
+
+(* --- Thundering herd: duplicate requests against cold state ------------------ *)
+
+(* Herd traffic (DESIGN.md S23): every client sends the same script — a
+   handful of distinct cold identities, each repeated — with ids fixed
+   across clients, so the series exercise all three collapse layers at
+   once: batch grouping folds repeats inside a batch into one cache
+   acquisition, single-flight folds concurrent cold solves across
+   connections into one leader, and the response cache folds identical
+   lines into stored bytes.  4 distinct dp tables + 2 distinct solver
+   identities, however many clients, repeats and passes. *)
+let dup_distinct_dp = 4
+let dup_distinct_solvers = 2
+
+let dup_herd_scripts ~clients ~repeats =
+  let dp_costs = [| 23; 29; 31; 37 |] in
+  let ndp = Array.length dp_costs in
+  let script =
+    Array.concat
+      [
+        Array.init (ndp * repeats) (fun k ->
+            Printf.sprintf {|{"id":%d,"op":"dp","c_ticks":%d,"l":600,"p":2}|}
+              (k mod ndp)
+              dp_costs.(k mod ndp));
+        Array.init (dup_distinct_solvers * repeats) (fun k ->
+            let v = k mod dup_distinct_solvers in
+            Printf.sprintf
+              {|{"id":%d,"op":"evaluate","c":1,"u":%d,"p":1,"policy":"adaptive"}|}
+              (100 + v)
+              (80 + (40 * v)));
+      ]
+  in
+  Array.init clients (fun _ -> script)
+
+(* Every run of the herd — whatever the concurrency — must have solved
+   each distinct identity exactly once: N duplicate cold requests, one
+   solve.  This is the deterministic guarantee single-flight adds; the
+   wall-clock numbers only say what it is worth. *)
+let dup_check_collapse ~name (r : serve_result) =
+  if r.cache.Service.Cache.misses <> dup_distinct_dp then begin
+    Printf.eprintf
+      "bench serve --dup: %s solved %d dp tables for %d distinct identities\n"
+      name r.cache.Service.Cache.misses dup_distinct_dp;
+    exit 1
+  end;
+  if r.cache.Service.Cache.solver_misses <> dup_distinct_solvers then begin
+    Printf.eprintf
+      "bench serve --dup: %s built %d solvers for %d distinct identities\n"
+      name r.cache.Service.Cache.solver_misses dup_distinct_solvers;
+    exit 1
+  end
+
+(* The cache-level herd, without sockets: M domains race one cold key
+   through a shared cache (single-flight: one solve, M - 1 adopters)
+   against M caches each paying its own solve (the pre-coalescing
+   cost).  The counters are exact; the timing ratio approaches the
+   solve cost times M as M grows. *)
+let dup_direct_herd ~domains:m =
+  let solve_key cache = Service.Cache.find_or_solve cache ~c:41 ~p:2 ~l:600 in
+  let shared = Service.Cache.create ~capacity:4 () in
+  let barrier = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  Csutil.Par.Pool.with_pool ~domains:m (fun pool ->
+      Csutil.Par.Pool.run pool (fun _slot ->
+          Atomic.incr barrier;
+          while Atomic.get barrier < m do
+            Domain.cpu_relax ()
+          done;
+          ignore (solve_key shared)));
+  let coalesced_s = Unix.gettimeofday () -. t0 in
+  let s = Service.Cache.stats shared in
+  if s.Service.Cache.misses <> 1 || s.Service.Cache.hits <> m - 1 then begin
+    Printf.eprintf
+      "bench serve --dup: herd of %d left %d misses / %d hits (want 1 / %d)\n"
+      m s.Service.Cache.misses s.Service.Cache.hits (m - 1);
+    exit 1
+  end;
+  let t1 = Unix.gettimeofday () in
+  Csutil.Par.Pool.with_pool ~domains:m (fun pool ->
+      Csutil.Par.Pool.run pool (fun _slot ->
+          ignore (solve_key (Service.Cache.create ~capacity:4 ()))));
+  let duplicated_s = Unix.gettimeofday () -. t1 in
+  (coalesced_s, duplicated_s, s.Service.Cache.coalesced)
+
+(* (series name, wire, max_conns, shards, resp-cache capacity). *)
+let serve_dup_specs conc =
+  [
+    ("serial_copying", Service.Server.Copying, 1, 1, 0);
+    ("herd_lean_k1", Service.Server.Lean, conc, 1, 0);
+    ("herd_lean_k2", Service.Server.Lean, conc, 2, 0);
+    ("herd_resp_cache", Service.Server.Lean, conc, 2, 256);
+  ]
+
+let serve_dup_instance ~clients ~repeats ~passes ~window =
+  let scripts = dup_herd_scripts ~clients ~repeats in
+  let reqs_per_pass =
+    Array.fold_left (fun a s -> a + Array.length s) 0 scripts
+  in
+  let results =
+    List.map
+      (fun (name, wire, mc, k, resp_cache) ->
+         ( name,
+           wire,
+           mc,
+           k,
+           resp_cache,
+           serve_run ~steal:false ~wire ~max_conns:mc ~shards:k ~resp_cache
+             ~scripts ~passes ~window () ))
+      (serve_dup_specs clients)
+  in
+  let base_name, _, _, _, _, baseline = List.hd results in
+  List.iter
+    (fun (name, _, _, _, _, r) ->
+       Array.iteri
+         (fun i out ->
+            if not (String.equal out baseline.outputs.(i)) then begin
+              Printf.eprintf
+                "bench serve --dup: client %d bytes differ between %s and %s\n"
+                i name base_name;
+              exit 1
+            end)
+         r.outputs)
+    (List.tl results);
+  List.iter (fun (name, _, _, _, _, r) -> dup_check_collapse ~name r) results;
+  (match
+     List.find_opt (fun (_, _, _, _, rcap, _) -> rcap > 0) results
+   with
+   | Some (name, _, _, _, _, r) ->
+     let rs = Option.get r.resp in
+     if rs.Service.Resp_cache.hits = 0 then begin
+       Printf.eprintf
+         "bench serve --dup: %s recorded no response-cache hits on duplicate \
+          lines\n"
+         name;
+       exit 1
+     end
+   | None -> ());
+  let base_warm = warm_seconds baseline in
+  let frps = float_of_int reqs_per_pass in
+  let t =
+    Csutil.Table.create
+      ~title:
+        (Printf.sprintf
+           "dup_herd -- %d clients x %d duplicate-heavy requests, window %d \
+            (%d passes)"
+           clients (reqs_per_pass / clients) window passes)
+      ~aligns:
+        Csutil.Table.[ Left; Right; Right; Right; Right; Right; Right; Right ]
+      [
+        "series"; "cold s"; "warm s"; "warm req/s"; "speedup"; "solves";
+        "coalesced"; "resp hits";
+      ]
+  in
+  let series =
+    List.map
+      (fun (name, wire, mc, k, rcap, r) ->
+         let warm = warm_seconds r in
+         Csutil.Table.add_row t
+           [
+             name;
+             Csutil.Table.cell_float ~prec:4 r.pass_seconds.(0);
+             Csutil.Table.cell_float ~prec:4 warm;
+             Printf.sprintf "%.3g" (frps /. warm);
+             Printf.sprintf "%.1fx" (base_warm /. warm);
+             string_of_int r.cache.Service.Cache.misses;
+             string_of_int r.cache.Service.Cache.coalesced;
+             (match r.resp with
+              | Some rs -> string_of_int rs.Service.Resp_cache.hits
+              | None -> "-");
+           ];
+         Service.Json.Obj
+           [
+             ("series", Service.Json.String name);
+             ("wire", Service.Json.String (wire_name wire));
+             ("max_conns", Service.Json.Int mc);
+             ("shards", Service.Json.Int k);
+             ("resp_cache", Service.Json.Int rcap);
+             ("cold_seconds", Service.Json.Float r.pass_seconds.(0));
+             ("warm_seconds", Service.Json.Float warm);
+             ("cold_rps", Service.Json.Float (frps /. r.pass_seconds.(0)));
+             ("warm_rps", Service.Json.Float (frps /. warm));
+             ("speedup_vs_baseline", Service.Json.Float (base_warm /. warm));
+             ("p50_s", Service.Json.Float r.p50);
+             ("p99_s", Service.Json.Float r.p99);
+             ("requests", Service.Json.Int r.served);
+             ("dp_solves", Service.Json.Int r.cache.Service.Cache.misses);
+             ( "solver_builds",
+               Service.Json.Int r.cache.Service.Cache.solver_misses );
+             ("coalesced", Service.Json.Int r.cache.Service.Cache.coalesced);
+             ( "solver_coalesced",
+               Service.Json.Int r.cache.Service.Cache.solver_coalesced );
+             ( "resp_hits",
+               match r.resp with
+               | Some rs -> Service.Json.Int rs.Service.Resp_cache.hits
+               | None -> Service.Json.Null );
+           ])
+      results
+  in
+  emit t;
+  let herd_domains = max 2 (min 8 (Csutil.Par.available_domains ())) in
+  let coal_s, dup_s, coalesced = dup_direct_herd ~domains:herd_domains in
+  Printf.printf
+    "direct herd: %d domains, one cold key -- single-flight %0.4f s (1 \
+     solve, %d parked), duplicated %0.4f s (%d solves)\n"
+    herd_domains coal_s coalesced dup_s herd_domains;
+  let headline =
+    let _, _, _, _, _, hr =
+      List.find
+        (fun (n, _, _, _, _, _) -> String.equal n "herd_resp_cache")
+        results
+    in
+    base_warm /. warm_seconds hr
+  in
+  Printf.printf "headline: herd_resp_cache vs %s, warm: %.1fx\n\n" base_name
+    headline;
+  Service.Json.Obj
+    [
+      ("workload", Service.Json.String "dup_herd");
+      ("clients", Service.Json.Int clients);
+      ("requests_per_client", Service.Json.Int (reqs_per_pass / clients));
+      ("passes", Service.Json.Int passes);
+      ("window", Service.Json.Int window);
+      ("distinct_dp_identities", Service.Json.Int dup_distinct_dp);
+      ( "distinct_solver_identities",
+        Service.Json.Int dup_distinct_solvers );
+      ("series", Service.Json.List series);
+      ("headline_speedup", Service.Json.Float headline);
+      ( "direct_herd",
+        Service.Json.Obj
+          [
+            ("domains", Service.Json.Int herd_domains);
+            ("coalesced_seconds", Service.Json.Float coal_s);
+            ("duplicated_seconds", Service.Json.Float dup_s);
+            ("parked_joiners", Service.Json.Int coalesced);
+          ] );
+    ]
+
+(* The thundering-herd instance alone, without rewriting
+   BENCH_service.json. *)
+let serve_dup_bench () =
+  heading
+    "Thundering herd -- duplicate requests, single-flight + response cache";
+  ignore (serve_dup_instance ~clients:8 ~repeats:8 ~passes:2 ~window:32)
+
+(* CI smoke for the dup path: a small herd must collapse to one solve
+   per identity, answer byte-identically to the serial copying
+   baseline, and record response-cache hits on duplicate lines. *)
+let serve_dup_quick () =
+  let t0 = Unix.gettimeofday () in
+  let scripts = dup_herd_scripts ~clients:2 ~repeats:2 in
+  let base =
+    serve_run ~steal:false ~wire:Service.Server.Copying ~max_conns:1 ~shards:1
+      ~scripts ~passes:2 ~window:8 ()
+  in
+  let herd =
+    serve_run ~steal:false ~wire:Service.Server.Lean ~max_conns:2 ~shards:2
+      ~scripts ~passes:2 ~window:8 ()
+  in
+  let resp =
+    serve_run ~steal:false ~wire:Service.Server.Lean ~max_conns:2 ~shards:2
+      ~resp_cache:64 ~scripts ~passes:2 ~window:8 ()
+  in
+  List.iter
+    (fun (name, r) ->
+       Array.iteri
+         (fun i out ->
+            if not (String.equal out base.outputs.(i)) then begin
+              Printf.eprintf
+                "serve --dup --quick: client %d bytes differ between %s and \
+                 serial copying\n"
+                i name;
+              exit 1
+            end)
+         r.outputs)
+    [ ("herd lean k=2", herd); ("herd resp-cache", resp) ];
+  List.iter
+    (fun (name, r) -> dup_check_collapse ~name r)
+    [ ("serial copying", base); ("herd lean k=2", herd);
+      ("herd resp-cache", resp) ];
+  let rs = Option.get resp.resp in
+  if rs.Service.Resp_cache.hits = 0 then begin
+    Printf.eprintf
+      "serve --dup --quick: no response-cache hits on duplicate lines\n";
+    exit 1
+  end;
+  let coal_s, dup_s, _ = dup_direct_herd ~domains:4 in
+  ignore coal_s;
+  ignore dup_s;
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 120. then begin
+    Printf.eprintf "bench serve --dup --quick exceeded its 120 s bound: %.1f s\n"
+      dt;
+    exit 1
+  end;
+  Printf.printf
+    "serve --dup --quick: duplicate-heavy herds collapsed to %d dp solves + \
+     %d solver builds\n\
+     per run (byte-identical to serial copying), %d response-cache hits; \
+     %.2f s\n"
+    dup_distinct_dp dup_distinct_solvers rs.Service.Resp_cache.hits dt
+
+let serve_bench ?(out = "BENCH_service.json") () =
+  heading
+    "Serving throughput -- serial vs concurrent, copying vs lean \
+     (BENCH_service.json)";
+  let conc = 8 in
+  let advise =
+    serve_instance ~label:"advise_warm" ~specs:(serve_default_specs conc)
+      ~headline_name:"concurrent_lean"
+      ~scripts:(advise_scripts ~clients:conc ~reqs:1000)
+      ~passes:3 ~window:64
+  in
+  let mixed =
+    serve_instance ~label:"mixed" ~specs:(serve_default_specs conc)
+      ~headline_name:"concurrent_lean"
+      ~scripts:(mixed_scripts ~clients:conc ~reqs:400)
+      ~passes:2 ~window:64
+  in
+  let skew =
+    serve_instance ~label:"hot_shard" ~specs:(serve_skew_specs conc)
+      ~headline_name:"hot_steal_k4"
+      ~scripts:(hot_shard_scripts ~shards:4 ~clients:conc ~reqs:400)
+      ~passes:2 ~window:64
+  in
+  let dup = serve_dup_instance ~clients:conc ~repeats:8 ~passes:2 ~window:32 in
+  let doc =
+    Service.Json.Obj
+      [
+        ("bench", Service.Json.String "serve");
+        ( "domains_available",
+          Service.Json.Int (Csutil.Par.available_domains ()) );
+        ("instances", Service.Json.List [ advise; mixed; skew; dup ]);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Service.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n\n" out
 
 (* --- Persistent memo tier: cold vs bank-mapped startup ----------------------- *)
 
@@ -2268,6 +2578,8 @@ let () =
     | [ "serve"; "--quick" ] -> serve_quick ()
     | [ "serve"; "--skew" ] -> serve_skew_bench ()
     | [ "serve"; "--skew"; "--quick" ] -> serve_skew_quick ()
+    | [ "serve"; "--dup" ] -> serve_dup_bench ()
+    | [ "serve"; "--dup"; "--quick" ] -> serve_dup_quick ()
     | [ "serve"; "--out"; path ] -> serve_bench ~out:path ()
     | [ "store" ] -> store_bench ()
     | [ "store"; "--quick" ] -> store_quick ()
@@ -2278,7 +2590,7 @@ let () =
         "usage: main.exe [--csv DIR] [tables | series eN | service | growth | \
          dp [--quick | --skew [--quick] | --out FILE] | \
          game [--quick | --out FILE] | \
-         serve [--quick | --skew [--quick] | --out FILE] | \
+         serve [--quick | --skew [--quick] | --dup [--quick] | --out FILE] | \
          store [--quick | --out FILE] | bechamel]\n";
       Printf.eprintf "got: %s\n" (String.concat " " other);
       exit 2

@@ -2,14 +2,24 @@
 
     A batch is processed in phases.  {!run} first parses the raw
     request lines fanned across domains with {!Csutil.Par.map} — the
-    accept/read loop never JSON-decodes.  Then the distinct canonical
-    DP-table keys the batch needs but the cache lacks are solved in
-    parallel ({!Cache.preload}) — this is where same-key queries are
-    grouped, so a batch of a hundred [dp] requests over nearby [(c, p,
-    L)] pays each canonical solve exactly once.  Finally every request
-    is evaluated through {!Protocol.handle}, again fanned across
-    domains; results come back in request order, so response order
-    always matches request order regardless of the domain count.
+    accept/read loop never JSON-decodes.  The parsed requests are then
+    grouped by the cache identity their evaluation locks
+    ({!Protocol.cache_group}) and the {e groups} fan across domains: a
+    group of [dp] queries against one table fetches it once (grown to
+    the group-max bounds) and answers every query from it, and a group
+    of evaluations sharing one resident solver holds it once and
+    answers every budget through it — so a batch of a hundred requests
+    over one identity takes that cache lock once, not a hundred times.
+    Requests with no cache identity evaluate as singleton groups
+    through {!Protocol.handle}, exactly as before.
+
+    Outcomes scatter back by original index, so response order always
+    matches request order regardless of grouping or domain count, and
+    every payload is byte-identical to per-request evaluation (dp
+    payloads are independent of table bounds; solver queries go
+    through the request's own state).  A group-level fetch failure
+    falls back to per-request evaluation, reproducing the exact
+    per-request errors.
 
     {!run} and {!run_parsed} share one internal evaluation pipeline —
     they differ only in whether the parse phase runs first — so the
@@ -18,12 +28,10 @@
 type outcome = {
   envelope : Protocol.envelope;
   result : (Json.t, Cyclesteal.Error.t) result;
-  latency : float;  (** seconds spent in {!Protocol.handle} *)
+  latency : float;
+      (** seconds spent evaluating; a group's shared fetch is charged
+          to its first request *)
 }
-
-val dp_keys : Protocol.envelope array -> Cache.key list
-(** The canonical table keys of the batch's well-formed [dp] requests
-    (with duplicates; {!Cache.preload} dedups). *)
 
 val has_stats_op : Protocol.envelope array -> bool
 (** Whether the batch carries a well-formed [stats] request — callers
@@ -54,6 +62,6 @@ val run_parsed :
   cache:Cache.t ->
   Protocol.envelope array ->
   outcome array
-(** The evaluation phases alone (preload + fan-out), for callers that
+(** The evaluation phases alone (grouping + fan-out), for callers that
     already hold parsed envelopes.  [stats_payload] here is the forced
     snapshot value. *)

@@ -24,9 +24,13 @@
    Growth happens under the lock — Dp.grow requires a single writer —
    and readers that obtained the table earlier stay safe: a grow
    publishes a fresh snapshot and never mutates published cells.  Cold
-   solves triggered by a lone query also run under the lock; the batch
-   engine keeps its parallelism by preloading distinct tables outside
-   the lock before fanning queries out.
+   solves are single-flight: the first caller for a missing c registers
+   an in-flight marker under the lock, solves OUTSIDE it, and publishes
+   the table; every concurrent duplicate parks on the flight's condvar
+   (releasing the lock, so other keys keep answering) and adopts the
+   leader's table instead of paying the solve again — a join counts as
+   a hit plus a [coalesced] tick.  The same protocol guards resident
+   game-solver builds.
 
    The same locking discipline is what lets the concurrent server hand
    one cache to every connection worker: the mutex serializes the
@@ -57,13 +61,23 @@ let table_bytes = Dp.footprint_bytes
 
 type entry = { dp : Dp.t; mutable used : int }
 
+(* A single-flight marker: present in the flight map while one caller
+   (the leader) is off solving the identity, absent otherwise.  Joiners
+   wait on the condvar; the leader removes the marker and broadcasts
+   under the same lock that published (or failed to publish) the
+   result, so a woken joiner re-checks the map and either adopts the
+   table or — if the leader died — claims the flight itself. *)
+type flight = { fcond : Condition.t }
+
 type tables = {
   lock : Mutex.t;
   table : (int, entry) Hashtbl.t; (* keyed by the table's c *)
+  flights : (int, flight) Hashtbl.t; (* in-flight cold solves, by c *)
   capacity : int;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  mutable coalesced : int;
   mutable evictions : int;
   mutable growths : int;
 }
@@ -105,10 +119,12 @@ type solver_entry = {
 type solvers = {
   sollock : Mutex.t;
   entries : (solver_key, solver_entry) Hashtbl.t;
+  sflights : (solver_key, flight) Hashtbl.t; (* in-flight solver builds *)
   scapacity : int;
   mutable sclock : int;
   mutable shits : int;
   mutable smisses : int;
+  mutable scoalesced : int;
   mutable sevictions : int;
   mutable sgrowths : int;
 }
@@ -122,32 +138,43 @@ type t = {
          bank's mapped snapshots before paying a solve; tables that were
          solved or grown here are written behind (outside the table
          lock) so the next process starts warm. *)
+  on_grow : (int -> unit) option;
+      (* Invalidation hook: called with the table's c, outside the
+         lock, after a resident table grew.  The server's serialized-
+         response cache hangs off this so stored dp replies for that
+         identity are dropped the moment the table they answered from
+         is superseded. *)
 }
 
-let create ?pool ?bank ~capacity () =
+let create ?pool ?bank ?on_grow ~capacity () =
   if capacity < 1 then Error.invalid "Cache.create: capacity must be >= 1";
   {
     tables =
       {
         lock = Mutex.create ();
         table = Hashtbl.create 16;
+        flights = Hashtbl.create 4;
         capacity;
         clock = 0;
         hits = 0;
         misses = 0;
+        coalesced = 0;
         evictions = 0;
         growths = 0;
       };
     pool;
     bank;
+    on_grow;
     solvers =
       {
         sollock = Mutex.create ();
         entries = Hashtbl.create 16;
+        sflights = Hashtbl.create 4;
         scapacity = capacity;
         sclock = 0;
         shits = 0;
         smisses = 0;
+        scoalesced = 0;
         sevictions = 0;
         sgrowths = 0;
       };
@@ -175,74 +202,115 @@ let evict_lru tb =
 
 (* Under the lock: stamp a resident entry and serve it, growing it in
    place when it falls short of [key].  A grow counts as both a miss
-   (solve work was paid) and a growth (the prefix was reused). *)
+   (solve work was paid) and a growth (the prefix was reused).  The
+   third component reports the grow so the caller can fire the
+   [on_grow] invalidation hook once the lock is released. *)
 let serve_resident ~pool tb e key ~count =
   e.used <- tb.clock;
   if covers e.dp key then begin
     if count then tb.hits <- tb.hits + 1;
-    (e.dp, false)
+    (e.dp, false, false)
   end
   else begin
     if count then tb.misses <- tb.misses + 1;
     tb.growths <- tb.growths + 1;
     Dp.grow ?pool e.dp ~max_p:key.max_p ~max_l:key.max_l;
-    (e.dp, true)
+    (e.dp, true, true)
   end
 
 (* The resident table for [key.c], grown or solved so it covers [key],
-   plus whether solve work changed it (the write-behind cue).  A cold
-   miss falls through to the bank first: a mapped snapshot that covers
-   the key counts as a hit — no cell was filled — and one that falls
-   short seeds the grow, paying only the missing cells.  The bank load
+   plus whether solve work changed it (the write-behind cue) and
+   whether a resident/banked table grew (the invalidation cue).
+
+   Cold misses are single-flight.  Under the lock, a caller finding
+   neither a resident table nor an in-flight marker for key.c claims
+   the flight and becomes the leader; it then pays the bank load
    (open + CRC scan of the whole payload, tens of ms for a large
-   table) runs OUTSIDE the lock so other keys keep answering; the
-   result is merged under the lock, converging on an entry another
-   thread may have raced in meanwhile.  Solve and grow take the
-   cache's pool: fills large enough for the wavefront use it, and a
-   busy pool (e.g. this solve sits under a batch fan-out) just runs
-   the fill inline. *)
+   table) and the solve OUTSIDE the lock, so other keys keep
+   answering and N concurrent duplicates do not serialize N solves
+   behind the mutex.  A caller that finds a marker is a joiner: it
+   ticks [coalesced] once, parks on the flight's condvar (releasing
+   the lock), and on wake re-checks the map — normally adopting the
+   leader's published table as a plain hit, or claiming the flight
+   itself if the leader's solve raised.  Publication, marker removal
+   and the broadcast happen under one lock section, so a joiner can
+   never observe the flight gone without the table (or the failure)
+   being visible too.
+
+   Solve and grow take the cache's pool: fills large enough for the
+   wavefront use it, and a busy pool (e.g. this solve sits under a
+   batch fan-out) just runs the fill inline. *)
 let obtain ~pool ~bank tb key ~count =
-  let resident =
+  let counted = ref false in
+  let decision =
     with_lock tb (fun () ->
-        tb.clock <- tb.clock + 1;
-        match Hashtbl.find_opt tb.table key.c with
-        | Some e -> Some (serve_resident ~pool tb e key ~count)
-        | None -> None)
-  in
-  match resident with
-  | Some r -> r
-  | None ->
-    let banked =
-      match bank with
-      | None -> None
-      | Some b -> Store.Bank.load_dp b ~c:key.c
-    in
-    with_lock tb (fun () ->
-        tb.clock <- tb.clock + 1;
-        match Hashtbl.find_opt tb.table key.c with
-        | Some e -> serve_resident ~pool tb e key ~count
-        | None ->
-          let dp, changed =
-            match banked with
-            | Some dp when covers dp key ->
-              if count then tb.hits <- tb.hits + 1;
-              (dp, false)
-            | Some dp ->
-              if count then tb.misses <- tb.misses + 1;
-              tb.growths <- tb.growths + 1;
-              Dp.grow ?pool dp ~max_p:key.max_p ~max_l:key.max_l;
-              (dp, true)
+        let rec decide () =
+          tb.clock <- tb.clock + 1;
+          match Hashtbl.find_opt tb.table key.c with
+          | Some e -> `Served (serve_resident ~pool tb e key ~count)
+          | None -> (
+            match Hashtbl.find_opt tb.flights key.c with
+            | Some fl ->
+              if count && not !counted then begin
+                tb.coalesced <- tb.coalesced + 1;
+                counted := true
+              end;
+              Condition.wait fl.fcond tb.lock;
+              decide ()
             | None ->
-              if count then tb.misses <- tb.misses + 1;
-              ( Dp.solve_with ~pool ~c:key.c ~max_p:key.max_p
-                  ~max_l:key.max_l,
-                true )
-          in
-          while Hashtbl.length tb.table >= tb.capacity do
-            evict_lru tb
-          done;
-          Hashtbl.add tb.table key.c { dp; used = tb.clock };
-          (dp, changed))
+              Hashtbl.add tb.flights key.c { fcond = Condition.create () };
+              `Lead)
+        in
+        decide ())
+  in
+  match decision with
+  | `Served r -> r
+  | `Lead -> (
+    let clear_flight () =
+      match Hashtbl.find_opt tb.flights key.c with
+      | Some fl ->
+        Hashtbl.remove tb.flights key.c;
+        Condition.broadcast fl.fcond
+      | None -> ()
+    in
+    match
+      let banked =
+        match bank with
+        | None -> None
+        | Some b -> Store.Bank.load_dp b ~c:key.c
+      in
+      match banked with
+      | Some dp when covers dp key -> (dp, false, false)
+      | Some dp ->
+        Dp.grow ?pool dp ~max_p:key.max_p ~max_l:key.max_l;
+        (dp, true, true)
+      | None ->
+        (Dp.solve_with ~pool ~c:key.c ~max_p:key.max_p ~max_l:key.max_l, true, false)
+    with
+    | exception exn ->
+      (* Wake the joiners with nothing published: the first to run
+         claims the flight and retries the solve as the new leader. *)
+      with_lock tb (fun () -> clear_flight ());
+      raise exn
+    | dp, changed, grew ->
+      with_lock tb (fun () ->
+          clear_flight ();
+          tb.clock <- tb.clock + 1;
+          match Hashtbl.find_opt tb.table key.c with
+          | Some e ->
+            (* Raced in sideways (startup warming inserts without a
+               flight): the resident entry wins, ours is dropped. *)
+            serve_resident ~pool tb e key ~count
+          | None ->
+            if count then
+              if changed then tb.misses <- tb.misses + 1
+              else tb.hits <- tb.hits + 1;
+            if grew then tb.growths <- tb.growths + 1;
+            while Hashtbl.length tb.table >= tb.capacity do
+              evict_lru tb
+            done;
+            Hashtbl.add tb.table key.c { dp; used = tb.clock };
+            (dp, changed, grew)))
 
 (* Write-behind: persist a freshly solved or grown table, outside the
    lock.  Published cells are immutable, so reading the table here
@@ -251,11 +319,17 @@ let obtain ~pool ~bank tb key ~count =
 let persist_dp t dp =
   match t.bank with None -> () | Some b -> Store.Bank.save_dp b dp
 
+(* Fire the invalidation hook outside the table lock: the hook takes
+   the response cache's own mutex, and keeping the two locks disjoint
+   means neither side can deadlock the other. *)
+let notify_grow t c = match t.on_grow with None -> () | Some f -> f c
+
 let find_or_solve t ~c ~p ~l =
   let key = canonical ~c ~p ~l in
-  let dp, changed =
+  let dp, changed, grew =
     obtain ~pool:t.pool ~bank:t.bank t.tables key ~count:true
   in
+  if grew then notify_grow t key.c;
   if changed then persist_dp t dp;
   dp
 
@@ -291,51 +365,20 @@ let preload t ~keys ?domains () =
     merge_keys keys |> List.filter (fun key -> not (mem t key)) |> Array.of_list
   in
   if Array.length missing > 0 then begin
-    (* Solve outside the lock (this is the parallel phase) — falling
-       through to the bank first, like [obtain] — then merge under the
-       lock; if another domain raced a table in, grow it to cover
-       instead of replacing it, so everyone converges on one. *)
+    (* Each missing key goes through [obtain] on its own domain:
+       distinct tables still solve in parallel (this is the parallel
+       phase), while a key another preload or a lone query is already
+       solving joins that flight instead of paying a second full
+       solve — the redundancy this path used to leak. *)
     let solve key =
-      let banked =
-        match t.bank with
-        | None -> None
-        | Some b -> Store.Bank.load_dp b ~c:key.c
-      in
-      match banked with
-      | Some dp when covers dp key -> (dp, false)
-      | Some dp ->
-        Dp.grow ?pool:t.pool dp ~max_p:key.max_p ~max_l:key.max_l;
-        (dp, true)
-      | None ->
-        ( Dp.solve_with ~pool:t.pool ~c:key.c ~max_p:key.max_p ~max_l:key.max_l,
-          true )
+      (key.c, obtain ~pool:t.pool ~bank:t.bank t.tables key ~count:true)
     in
     let solved = Csutil.Par.map ?pool:t.pool ?domains solve missing in
-    let to_persist = ref [] in
-    let tb = t.tables in
-    Array.iteri
-      (fun i (dp, changed) ->
-         let key = missing.(i) in
-         with_lock tb (fun () ->
-             if changed then tb.misses <- tb.misses + 1
-             else tb.hits <- tb.hits + 1;
-             tb.clock <- tb.clock + 1;
-             match Hashtbl.find_opt tb.table key.c with
-             | Some e ->
-               e.used <- tb.clock;
-               if not (covers e.dp key) then begin
-                 tb.growths <- tb.growths + 1;
-                 Dp.grow ?pool:t.pool e.dp ~max_p:key.max_p ~max_l:key.max_l;
-                 to_persist := e.dp :: !to_persist
-               end
-             | None ->
-               while Hashtbl.length tb.table >= tb.capacity do
-                 evict_lru tb
-               done;
-               Hashtbl.add tb.table key.c { dp; used = tb.clock };
-               if changed then to_persist := dp :: !to_persist))
-      solved;
-    List.iter (persist_dp t) !to_persist
+    Array.iter
+      (fun (c, (dp, changed, grew)) ->
+        if grew then notify_grow t c;
+        if changed then persist_dp t dp)
+      solved
   end
 
 (* A gridded memo loaded from the bank, rebuilt into a solver around
@@ -372,11 +415,13 @@ let serve_resident_solver s e ~p =
 
 (* The resident (or bank-loaded, or fresh) entry for the key, plus the
    key itself (the write-behind needs the identity the entry is filed
-   under).  On a miss, the bank load (CRC scan + solver rebuild) or
-   the fresh ~20 ms solver build runs OUTSIDE the global solvers lock,
-   so lookups for other solvers never stall behind it; the result is
-   merged under the lock, and a concurrently raced-in resident entry
-   wins over the one built here. *)
+   under).  Misses are single-flight, mirroring [obtain]: the leader
+   pays the bank load (CRC scan + solver rebuild) or the fresh ~20 ms
+   solver build OUTSIDE the global solvers lock, so lookups for other
+   solvers never stall behind it, while concurrent duplicates — e.g. a
+   batch fan-out of identical evaluate requests — park on the flight
+   instead of each expanding the same minimax tree and discarding all
+   but one copy. *)
 let obtain_solver t params opp (planner : Engine.Planner.t) =
   let u = opp.Model.lifespan in
   let p = opp.Model.interrupts in
@@ -393,66 +438,98 @@ let obtain_solver t params opp (planner : Engine.Planner.t) =
     Mutex.lock s.sollock;
     Fun.protect ~finally:(fun () -> Mutex.unlock s.sollock) f
   in
-  let resident =
+  let counted = ref false in
+  let decision =
     locked (fun () ->
-        s.sclock <- s.sclock + 1;
-        match Hashtbl.find_opt s.entries key with
-        | Some e ->
-          serve_resident_solver s e ~p;
-          Some (e, key)
-        | None -> None)
+        let rec decide () =
+          s.sclock <- s.sclock + 1;
+          match Hashtbl.find_opt s.entries key with
+          | Some e ->
+            serve_resident_solver s e ~p;
+            `Served (e, key)
+          | None -> (
+            match Hashtbl.find_opt s.sflights key with
+            | Some fl ->
+              if not !counted then begin
+                s.scoalesced <- s.scoalesced + 1;
+                counted := true
+              end;
+              Condition.wait fl.fcond s.sollock;
+              decide ()
+            | None ->
+              Hashtbl.add s.sflights key { fcond = Condition.create () };
+              `Lead)
+        in
+        decide ())
   in
-  match resident with
-  | Some r -> r
-  | None ->
-    let banked = solver_from_bank t key params opp planner in
-    let solver =
-      match banked with
-      | Some solver -> solver
-      | None ->
-        let grid = Engine.Planner.default_grid ~u in
-        Engine.Planner.solver ?grid ?pool:t.pool planner params opp
+  match decision with
+  | `Served r -> r
+  | `Lead -> (
+    let clear_flight () =
+      match Hashtbl.find_opt s.sflights key with
+      | Some fl ->
+        Hashtbl.remove s.sflights key;
+        Condition.broadcast fl.fcond
+      | None -> ()
     in
-    locked (fun () ->
-        s.sclock <- s.sclock + 1;
-        match Hashtbl.find_opt s.entries key with
-        | Some e ->
-          serve_resident_solver s e ~p;
-          (e, key)
+    match
+      let banked = solver_from_bank t key params opp planner in
+      let solver =
+        match banked with
+        | Some solver -> solver
         | None ->
-          (match banked with
-          | Some _ ->
-            (* No minimax state was expanded: the bank answered. *)
-            s.shits <- s.shits + 1
-          | None -> s.smisses <- s.smisses + 1);
-          while Hashtbl.length s.entries >= s.scapacity do
-            let victim = ref None in
-            Hashtbl.iter
-              (fun k e ->
-                 match !victim with
-                 | Some (_, best) when best.sused <= e.sused -> ()
-                 | _ -> victim := Some (k, e))
-              s.entries;
-            match !victim with
-            | Some (k, _) ->
-              Hashtbl.remove s.entries k;
-              s.sevictions <- s.sevictions + 1
-            | None -> ()
-          done;
-          let e =
-            {
-              solver;
-              slock = Mutex.create ();
-              sused = s.sclock;
-              (* A bank-loaded memo is already on disk at exactly its
-                 rebuilt state count. *)
-              saved_states =
-                (if Option.is_some banked then Game.Solver.states solver
-                 else 0);
-            }
-          in
-          Hashtbl.add s.entries key e;
-          (e, key))
+          let grid = Engine.Planner.default_grid ~u in
+          Engine.Planner.solver ?grid ?pool:t.pool planner params opp
+      in
+      (banked, solver)
+    with
+    | exception exn ->
+      locked (fun () -> clear_flight ());
+      raise exn
+    | banked, solver ->
+      locked (fun () ->
+          clear_flight ();
+          s.sclock <- s.sclock + 1;
+          match Hashtbl.find_opt s.entries key with
+          | Some e ->
+            (* Defensive: nothing inserts past the flight today, but a
+               raced-in resident entry would still win over ours. *)
+            serve_resident_solver s e ~p;
+            (e, key)
+          | None ->
+            (match banked with
+            | Some _ ->
+              (* No minimax state was expanded: the bank answered. *)
+              s.shits <- s.shits + 1
+            | None -> s.smisses <- s.smisses + 1);
+            while Hashtbl.length s.entries >= s.scapacity do
+              let victim = ref None in
+              Hashtbl.iter
+                (fun k e ->
+                  match !victim with
+                  | Some (_, best) when best.sused <= e.sused -> ()
+                  | _ -> victim := Some (k, e))
+                s.entries;
+              match !victim with
+              | Some (k, _) ->
+                Hashtbl.remove s.entries k;
+                s.sevictions <- s.sevictions + 1
+              | None -> ()
+            done;
+            let e =
+              {
+                solver;
+                slock = Mutex.create ();
+                sused = s.sclock;
+                (* A bank-loaded memo is already on disk at exactly its
+                   rebuilt state count. *)
+                saved_states =
+                  (if Option.is_some banked then Game.Solver.states solver
+                   else 0);
+              }
+            in
+            Hashtbl.add s.entries key e;
+            (e, key)))
 
 (* Persist when the memo was never banked by this entry (the seed save
    precompute and warm restarts rely on), or when it grew by at least
@@ -536,6 +613,7 @@ let bank t = t.bank
 type stats = {
   hits : int;
   misses : int;
+  coalesced : int;
   evictions : int;
   growths : int;
   resident : int;
@@ -543,6 +621,7 @@ type stats = {
   kernel : Dp.counters;
   solver_hits : int;
   solver_misses : int;
+  solver_coalesced : int;
   solver_evictions : int;
   solver_growths : int;
   solvers_resident : int;
@@ -562,6 +641,7 @@ let stats t =
         {
           hits = 0;
           misses = 0;
+          coalesced = 0;
           evictions = 0;
           growths = 0;
           resident = 0;
@@ -573,6 +653,7 @@ let stats t =
           kernel = Dp.counters ();
           solver_hits = s.shits;
           solver_misses = s.smisses;
+          solver_coalesced = s.scoalesced;
           solver_evictions = s.sevictions;
           solver_growths = s.sgrowths;
           solvers_resident = Hashtbl.length s.entries;
@@ -594,6 +675,7 @@ let stats t =
         solver_part with
         hits = tb.hits;
         misses = tb.misses;
+        coalesced = tb.coalesced;
         evictions = tb.evictions;
         growths = tb.growths;
         resident = Hashtbl.length tb.table;
@@ -613,12 +695,14 @@ let merge = function
           s with
           hits = acc.hits + s.hits;
           misses = acc.misses + s.misses;
+          coalesced = acc.coalesced + s.coalesced;
           evictions = acc.evictions + s.evictions;
           growths = acc.growths + s.growths;
           resident = acc.resident + s.resident;
           resident_bytes = acc.resident_bytes + s.resident_bytes;
           solver_hits = acc.solver_hits + s.solver_hits;
           solver_misses = acc.solver_misses + s.solver_misses;
+          solver_coalesced = acc.solver_coalesced + s.solver_coalesced;
           solver_evictions = acc.solver_evictions + s.solver_evictions;
           solver_growths = acc.solver_growths + s.solver_growths;
           solvers_resident = acc.solvers_resident + s.solvers_resident;
@@ -631,6 +715,7 @@ let reset_counters t =
    with_lock tb (fun () ->
        tb.hits <- 0;
        tb.misses <- 0;
+       tb.coalesced <- 0;
        tb.evictions <- 0;
        tb.growths <- 0));
   (let s = t.solvers in
@@ -640,6 +725,7 @@ let reset_counters t =
      (fun () ->
        s.shits <- 0;
        s.smisses <- 0;
+       s.scoalesced <- 0;
        s.sevictions <- 0;
        s.sgrowths <- 0));
   Dp.reset_counters ();

@@ -14,10 +14,16 @@
     One mutex guards the table map with a logical-clock LRU.  Growth
     happens under the lock (single writer); previously obtained tables
     stay valid throughout — growth publishes a fresh snapshot and never
-    mutates published cells.  Concurrent lookups are safe from any
-    domain; cross-key concurrency at scale comes from running several
-    caches side by side, one per {!Router} shard — placement (which
-    requests share a cache) belongs to the router, not here.
+    mutates published cells.  Cold solves are {e single-flight}: the
+    first caller for a missing [c] solves outside the lock while
+    concurrent duplicates park on an in-flight marker and adopt the
+    leader's published table (a hit plus a [coalesced] tick each), so
+    N simultaneous cold requests for one identity pay one solve and
+    never serialize N solves behind the mutex.  Concurrent lookups are
+    safe from any domain; cross-key concurrency at scale comes from
+    running several caches side by side, one per {!Router} shard —
+    placement (which requests share a cache) belongs to the router,
+    not here.
 
     The cache also keeps {!Cyclesteal.Game.Solver}s resident for the
     evaluate op ({!with_solver}): one per (c, u, p, policy) — with [p]
@@ -48,6 +54,7 @@ val canonical : c:int -> p:int -> l:int -> key
 val create :
   ?pool:Csutil.Par.Pool.t ->
   ?bank:Store.Bank.t ->
+  ?on_grow:(int -> unit) ->
   capacity:int ->
   unit ->
   t
@@ -70,6 +77,11 @@ val create :
     last save; see {!with_solver}).  Bank load failures (corrupt,
     truncated, mismatched files) silently fall through to a fresh
     solve and are reported in {!stats}[.bank].
+
+    [on_grow] is an invalidation hook, called with the table's [c] —
+    outside the cache locks — every time a table for that identity
+    grows; the server's serialized-response cache uses it to drop
+    stored dp replies whose backing table was superseded.
     @raise Error.Error when [capacity < 1]. *)
 
 val warm_from_bank : ?owns:(int -> bool) -> t -> int
@@ -103,7 +115,9 @@ val preload : t -> keys:key list -> ?domains:int -> unit -> unit
 (** Solve all missing tables (requested bounds merged per [c]) in
     parallel via {!Csutil.Par.map} outside the lock and insert them;
     used by the batch engine so a mixed batch pays each distinct solve
-    once, concurrently. *)
+    once, concurrently.  Each key goes through the same single-flight
+    path as {!find_or_solve}, so two concurrent preloads (or a preload
+    racing a lone query) of one identity coalesce on a single solve. *)
 
 val with_solver :
   t ->
@@ -128,6 +142,10 @@ type stats = {
   misses : int;
       (** solve work paid, whether a fresh solve, a grow, or a
           {!preload} *)
+  coalesced : int;
+      (** lookups that joined an in-flight solve instead of paying (or
+          waiting for the lock behind) their own; each also counts as
+          a hit once the leader's table is adopted *)
   evictions : int;
   growths : int;
       (** in-place grows: misses that reused a solved prefix instead of
@@ -141,6 +159,9 @@ type stats = {
           copy instead of summing. *)
   solver_hits : int;  (** evaluations served by a resident solver *)
   solver_misses : int;  (** evaluations that created a solver *)
+  solver_coalesced : int;
+      (** evaluations that joined an in-flight solver build instead of
+          expanding their own copy of the minimax tree *)
   solver_evictions : int;
   solver_growths : int;
       (** state-only hits whose larger budget grew the resident memo *)

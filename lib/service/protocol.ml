@@ -284,36 +284,40 @@ let episode_to_json (e : Game.episode_record) =
       ("work", Json.Float e.Game.work);
     ]
 
+(* One solver answers guaranteed, the adversary replay, and any interior
+   value the replay touches; cached solvers stay resident across
+   requests and answer warm queries from their memo.  Factored out so
+   the batch engine can answer a whole group of evaluations holding
+   one resident solver: queries go through the request's own state,
+   not [Solver.guaranteed]'s baked root, because a resident state-only
+   solver (and a bank-loaded memo) is shared across interrupt budgets,
+   so its baked opportunity may be another request's. *)
+let evaluate_with_solver ~c ~u ~p solver =
+  let params = Model.params ~c in
+  let opp = Model.opportunity ~lifespan:u ~interrupts:p in
+  let g = Game.Solver.value solver ~p ~residual:u in
+  let adv = Game.Solver.adversary solver in
+  let pol = Game.Solver.policy solver in
+  let outcome = Game.run params opp pol adv in
+  Ok
+    (Json.Obj
+       [
+         ("policy", Json.String (Policy.name pol));
+         ("c", Json.Float c); ("u", Json.Float u); ("p", Json.Int p);
+         ("guaranteed", Json.Float g);
+         ("guaranteed_fraction", Json.Float (g /. u));
+         ("loss", Json.Float (u -. g));
+         ( "loss_coefficient",
+           Json.Float ((u -. g) /. Float.sqrt (2. *. c *. u)) );
+         ("interrupts_used", Json.Int outcome.Game.interrupts_used);
+         ( "episodes",
+           Json.List (List.map episode_to_json outcome.Game.episodes) );
+       ])
+
 let handle_evaluate ?cache ~c ~u ~p ~policy ~periods () =
   let params = Model.params ~c in
   let opp = Model.opportunity ~lifespan:u ~interrupts:p in
-  (* One solver answers guaranteed, the adversary replay, and any interior
-     value the replay touches; cached solvers stay resident across
-     requests and answer warm queries from their memo. *)
-  let eval solver =
-    (* Query the request's own state, not [Solver.guaranteed]'s baked
-       root: a resident state-only solver (and a bank-loaded memo) is
-       shared across interrupt budgets, so its baked opportunity may be
-       another request's. *)
-    let g = Game.Solver.value solver ~p ~residual:u in
-    let adv = Game.Solver.adversary solver in
-    let pol = Game.Solver.policy solver in
-    let outcome = Game.run params opp pol adv in
-    Ok
-      (Json.Obj
-         [
-           ("policy", Json.String (Policy.name pol));
-           ("c", Json.Float c); ("u", Json.Float u); ("p", Json.Int p);
-           ("guaranteed", Json.Float g);
-           ("guaranteed_fraction", Json.Float (g /. u));
-           ("loss", Json.Float (u -. g));
-           ( "loss_coefficient",
-             Json.Float ((u -. g) /. Float.sqrt (2. *. c *. u)) );
-           ("interrupts_used", Json.Int outcome.Game.interrupts_used);
-           ( "episodes",
-             Json.List (List.map episode_to_json outcome.Game.episodes) );
-         ])
-  in
+  let eval = evaluate_with_solver ~c ~u ~p in
   (* Same grid heuristic as csched evaluate: exact below U = 5000,
      200k-point grid above. *)
   let grid = Engine.Planner.default_grid ~u in
@@ -325,16 +329,14 @@ let handle_evaluate ?cache ~c ~u ~p ~policy ~periods () =
      | Some cache -> Cache.with_solver cache params opp planner eval
      | None -> eval (Engine.Planner.solver ?grid planner params opp))
 
-let handle_dp ?cache ~c_ticks ~l ~p () =
-  let dp =
-    match cache with
-    | Some cache -> Cache.find_or_solve cache ~c:c_ticks ~p ~l
-    | None -> Dp.solve ~c:c_ticks ~max_p:p ~max_l:l
-  in
-  (* The recurrence at (p, l) only reads entries at smaller p and l, so
-     the value and episode are independent of the table bounds: cached
-     (canonical, larger, possibly grown) and direct (exact) tables
-     answer identically. *)
+(* Answer a dp query from an already-fetched table covering its
+   bounds.  The recurrence at (p, l) only reads entries at smaller p
+   and l, so the value and episode are independent of the table
+   bounds: cached (canonical, larger, possibly grown) and direct
+   (exact) tables answer identically — which is also what lets the
+   batch engine fetch one group-max table and answer every query of
+   the group from it. *)
+let handle_dp_with dp ~c_ticks ~l ~p =
   let w = Dp.value dp ~p ~l in
   let a_hat =
     if l = 0 then 0.
@@ -353,6 +355,14 @@ let handle_dp ?cache ~c_ticks ~l ~p () =
            Json.List
              (List.map (fun t -> Json.Int t) (Dp.optimal_episode dp ~p ~l)) );
        ])
+
+let handle_dp ?cache ~c_ticks ~l ~p () =
+  let dp =
+    match cache with
+    | Some cache -> Cache.find_or_solve cache ~c:c_ticks ~p ~l
+    | None -> Dp.solve ~c:c_ticks ~max_p:p ~max_l:l
+  in
+  handle_dp_with dp ~c_ticks ~l ~p
 
 let planner_to_json (pl : Engine.Planner.t) =
   Json.Obj
@@ -386,23 +396,49 @@ let handle_strategies () =
 
 (* The daemon must never die on a request, so evaluation failures
    (including library validation errors on adversarial inputs) become
-   error responses. *)
-let handle ?cache req =
-  match
-    match req with
-    | Advise { c; u; p } -> handle_advise ~c ~u ~p
-    | Schedule { c; u; p; regime } -> handle_schedule ~c ~u ~p ~regime
-    | Evaluate { c; u; p; policy; periods } ->
-      handle_evaluate ?cache ~c ~u ~p ~policy ~periods ()
-    | Dp_query { c_ticks; l; p } -> handle_dp ?cache ~c_ticks ~l ~p ()
-    | Strategies -> handle_strategies ()
-    | Stats _ ->
-      Result.Error (Error.Invalid_params "stats is served by the cschedd daemon")
-  with
+   error responses.  [guard] is the one conversion, shared with the
+   batch engine's grouped evaluation paths so a request answered
+   against a pre-fetched table or resident solver fails exactly like
+   one answered through [handle]. *)
+let guard f =
+  match f () with
   | result -> result
   | exception Error.Error e -> Result.Error e
   | exception Invalid_argument e -> Result.Error (Error.Invalid_params e)
   | exception Failure e -> Result.Error (Error.Invalid_params e)
+
+let handle ?cache req =
+  guard (fun () ->
+      match req with
+      | Advise { c; u; p } -> handle_advise ~c ~u ~p
+      | Schedule { c; u; p; regime } -> handle_schedule ~c ~u ~p ~regime
+      | Evaluate { c; u; p; policy; periods } ->
+        handle_evaluate ?cache ~c ~u ~p ~policy ~periods ()
+      | Dp_query { c_ticks; l; p } -> handle_dp ?cache ~c_ticks ~l ~p ()
+      | Strategies -> handle_strategies ()
+      | Stats _ ->
+        Result.Error
+          (Error.Invalid_params "stats is served by the cschedd daemon"))
+
+(* The cache-state identity a request's evaluation takes a lock for —
+   finer than [shard_key] (which keeps all ops of one (c, u) together
+   for residency): dp queries group per table [c], named-policy
+   evaluations group per resident-solver identity, which is
+   (c, u, policy) plus p unless the planner is state_only (the solver
+   cache collapses budgets for those — mirror of [Cache]'s solver
+   key).  [None] for everything else — pure compute, custom-periods
+   evaluations (fresh solver per request), unknown policies (they
+   error per-request), placement-free ops — which the batch engine
+   evaluates as singletons. *)
+let cache_group = function
+  | Dp_query { c_ticks; _ } -> Some (dp_shard_key ~c_ticks)
+  | Evaluate { periods = None; c; u; p; policy } ->
+    (match Engine.Registry.find policy with
+     | planner ->
+       let sp = if planner.Engine.Planner.state_only then -1 else p in
+       Some (Printf.sprintf "ev:%h:%h:%s:%d" c u policy sp)
+     | exception _ -> None)
+  | Advise _ | Schedule _ | Evaluate _ | Strategies | Stats _ -> None
 
 let error_to_json e =
   Json.Obj

@@ -67,6 +67,17 @@ val dp_shard_key : c_ticks:int -> string
     router uses it to slice a bank's tables across shard caches at
     warm-up, so warming agrees with serving placement. *)
 
+val cache_group : request -> string option
+(** The cache-state identity the request's evaluation takes a lock
+    for, finer than {!shard_key}: one key per dp table ([c_ticks]) and
+    per resident-solver identity ([(c, u, policy)] plus [p] unless the
+    planner is state-only, mirroring {!Cache}'s solver key).  The
+    batch engine groups a batch by this so each group takes the cache
+    once — one table fetch, one resident-solver hold — instead of once
+    per request.  [None] for requests that take no cache lock (pure
+    compute, custom-periods evaluations, unknown policies, placement-
+    free ops): those evaluate as singletons. *)
+
 val parse_line : string -> envelope
 (** Parse one request line.  Total: malformed JSON, a non-object, an
     unknown [op] or bad argument types yield an [Error] envelope, never
@@ -84,6 +95,38 @@ val handle :
     answer from the shared memo; custom [periods] always solve fresh).
     [Stats] is served by the daemon, not here: without a daemon context
     it returns [Error]. *)
+
+val guard :
+  (unit -> (Json.t, Cyclesteal.Error.t) result) ->
+  (Json.t, Cyclesteal.Error.t) result
+(** Run an evaluation with {!handle}'s exception discipline: library
+    validation errors ([Error.Error], [Invalid_argument], [Failure])
+    become error results, so the daemon never dies on a request.  The
+    batch engine wraps its grouped evaluation paths in this. *)
+
+val handle_dp_with :
+  Cyclesteal.Dp.t ->
+  c_ticks:int ->
+  l:int ->
+  p:int ->
+  (Json.t, Cyclesteal.Error.t) result
+(** Answer a [dp] query from an already-fetched table covering its
+    bounds.  The recurrence at [(p, l)] reads only smaller indices, so
+    the payload is independent of the table's bounds — the batch
+    engine fetches one group-max table and answers every query of a
+    group from it, byte-identically to per-request fetches. *)
+
+val evaluate_with_solver :
+  c:float ->
+  u:float ->
+  p:int ->
+  Cyclesteal.Game.Solver.t ->
+  (Json.t, Cyclesteal.Error.t) result
+(** Answer an [evaluate] request against a given game solver (queried
+    at the request's own state, never the solver's baked root, so a
+    shared resident solver answers every budget correctly).  The batch
+    engine holds one resident solver and answers a whole group through
+    this. *)
 
 val error_to_json : Cyclesteal.Error.t -> Json.t
 (** The structured error object of an error response:

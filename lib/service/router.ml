@@ -124,8 +124,8 @@ type job = {
    Stealing hooks: [steal_matching] removes the oldest queued job a
    predicate accepts (preserving the order of the rest), and [kick]
    wakes a worker parked in [pop_kick] without giving it a job — the
-   router kicks idle siblings after each submit so they can come
-   steal from the shard that just got work. *)
+   router kicks every worker once per submitted batch so idle shards
+   can come steal from the ones that just got work. *)
 module Shard_chan = struct
   type 'a t = {
     lock : Mutex.t;
@@ -311,6 +311,10 @@ type t = {
   per_shard_domains : int;
   shard_capacity : int;
   bank : Store.Bank.t option;
+  on_grow : (int -> unit) option;
+      (* threaded into every shard cache (and every restart
+         replacement), so the server's response cache hears about
+         table growth wherever it happens *)
   hang_timeout : float;
   steal : bool;
   queue_bound : int;
@@ -403,9 +407,10 @@ let stopped_error index =
    channel identity live on the shard record).  Restarts rebuild this
    bank-warm, so a replacement worker starts where the bank left off
    rather than cold. *)
-let fresh_runtime ~shards ~per_shard_domains ~shard_capacity ~bank ~warm index =
+let fresh_runtime ~shards ~per_shard_domains ~shard_capacity ~bank ~on_grow
+    ~warm index =
   let pool = Csutil.Par.Pool.create ~domains:per_shard_domains in
-  let cache = Cache.create ~pool ?bank ~capacity:shard_capacity () in
+  let cache = Cache.create ~pool ?bank ?on_grow ~capacity:shard_capacity () in
   if warm && Option.is_some bank then
     ignore (Cache.warm_from_bank ~owns:(owns ~shards index) cache);
   (cache, pool)
@@ -510,8 +515,9 @@ and execute_own t sh ~gen ~cache ~pool job =
 
 (* Steal-enabled worker: drain the own queue first, then try to lift a
    read-only job off a sibling, and only then park.  A parked worker
-   wakes on its own jobs as before, and on a [kick] — submit kicks all
-   siblings — after which it re-runs the steal scan. *)
+   wakes on its own jobs as before, and on a [kick] — the router kicks
+   one round per submitted batch — after which it re-runs the steal
+   scan. *)
 and steal_worker t sh ~gen ~chan ~cache ~pool ~kicks =
   match Shard_chan.pop_nowait chan with
   | `Item job ->
@@ -579,7 +585,7 @@ and restart_shard t sh ~gen =
     let cache, pool =
       fresh_runtime ~shards:(Array.length t.shards)
         ~per_shard_domains:t.per_shard_domains ~shard_capacity:t.shard_capacity
-        ~bank:t.bank ~warm:true sh.index
+        ~bank:t.bank ~on_grow:t.on_grow ~warm:true sh.index
     in
     sh.cache <- cache;
     sh.pool <- pool;
@@ -629,8 +635,8 @@ let watchdog_loop t =
 
 (* --- construction -------------------------------------------------------- *)
 
-let create ?(shards = 1) ?domains ?bank ?(hang_timeout = 30.) ?(steal = false)
-    ?(queue_bound = 64) ~capacity () =
+let create ?(shards = 1) ?domains ?bank ?on_grow ?(hang_timeout = 30.)
+    ?(steal = false) ?(queue_bound = 64) ~capacity () =
   if shards < 1 then Cyclesteal.Error.invalid "Router.create: shards must be >= 1";
   if capacity < 1 then
     Cyclesteal.Error.invalid "Router.create: capacity must be >= 1";
@@ -653,7 +659,7 @@ let create ?(shards = 1) ?domains ?bank ?(hang_timeout = 30.) ?(steal = false)
         Array.init shards (fun index ->
             let cache, pool =
               fresh_runtime ~shards ~per_shard_domains ~shard_capacity ~bank
-                ~warm:false index
+                ~on_grow ~warm:false index
             in
             {
               index;
@@ -674,6 +680,7 @@ let create ?(shards = 1) ?domains ?bank ?(hang_timeout = 30.) ?(steal = false)
       per_shard_domains;
       shard_capacity;
       bank;
+      on_grow;
       hang_timeout;
       steal;
       queue_bound;
@@ -710,9 +717,10 @@ let shutdown t =
    the (possibly blocking) push — a restart needs that lock to swap the
    channel out.  A push refused because the channel closed under us is
    retried against the replacement channel; once the router itself is
-   stopping, the job fails structurally instead.  With stealing on,
-   every accepted job kicks the sibling workers so an idle one can come
-   take it if this shard's worker is occupied. *)
+   stopping, the job fails structurally instead.  Kicking idle thieves
+   is the caller's job ([kick_all], once per batch): a batch places at
+   most one job per shard, so per-submit kicks would cost
+   jobs x (K - 1) wakeups for the same information one round carries. *)
 let submit t sh job =
   let rec attempt () =
     if Atomic.get t.stopped then
@@ -721,22 +729,24 @@ let submit t sh job =
       Mutex.lock sh.slock;
       let chan = sh.chan in
       Mutex.unlock sh.slock;
-      if Shard_chan.push chan job then begin
-        if t.steal then
-          Array.iter
-            (fun other ->
-               if other.index <> sh.index then begin
-                 Mutex.lock other.slock;
-                 let ochan = other.chan in
-                 Mutex.unlock other.slock;
-                 Shard_chan.kick ochan
-               end)
-            t.shards
-      end
-      else attempt ()
+      if not (Shard_chan.push chan job) then attempt ()
     end
   in
   attempt ()
+
+(* One steal-mode kick round: wake every parked worker once so idle
+   shards go looking at their hot siblings' queues.  A worker with its
+   own fresh job wakes on the push itself and finds its queue first
+   ([pop_nowait]), so kicking it too is harmless. *)
+let kick_all t =
+  if t.steal then
+    Array.iter
+      (fun sh ->
+         Mutex.lock sh.slock;
+         let chan = sh.chan in
+         Mutex.unlock sh.slock;
+         Shard_chan.kick chan)
+      t.shards
 
 let run_parsed t ?stats_payload envelopes =
   let n = Array.length envelopes in
@@ -775,6 +785,10 @@ let run_parsed t ?stats_payload envelopes =
              Some (Array.map fst items, job))
         routed
     in
+    (* All sub-batches are queued; one kick round lets idle shards come
+       stealing — batching the wakeups instead of kicking K - 1
+       siblings on every submit. *)
+    kick_all t;
     let out = Array.make n None in
     (* Placement-free ops (strategies, stats, parse errors) evaluate
        right here on the submitting connection — through the same

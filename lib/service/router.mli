@@ -60,6 +60,7 @@ val create :
   ?shards:int ->
   ?domains:int ->
   ?bank:Store.Bank.t ->
+  ?on_grow:(int -> unit) ->
   ?hang_timeout:float ->
   ?steal:bool ->
   ?queue_bound:int ->
@@ -73,7 +74,11 @@ val create :
     budget, split evenly across shard solve pools (each shard gets at
     least one slot).  [bank] is shared: each shard's cache maps and
     writes behind only the tables its placement owns (warm them with
-    {!warm_from_bank}).  [hang_timeout] (default 30 s) is how long one
+    {!warm_from_bank}).  [on_grow] is handed to every shard cache (and
+    every restart replacement): it fires with the table's [c] whenever
+    a resident dp table grows, which is how the server's serialized-
+    response cache invalidates stored dp replies.  [hang_timeout]
+    (default 30 s) is how long one
     sub-batch may run before the watchdog declares the worker wedged
     and restarts it.  [steal] (default [false]) enables idle-shard
     work stealing of read-only jobs; [queue_bound] (default 64) caps

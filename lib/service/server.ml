@@ -182,16 +182,29 @@ type t = {
   max_conns : int;
   wire : wire;
   router : Router.t;
+  resp_cache : Resp_cache.t option;
+      (* the serialized-response hot tier, shared by every connection;
+         [None] (the default) keeps the lean loop byte-for-byte on its
+         pre-cache path *)
   stats : Stats.t;  (* the connection-facing family: bytes, I/O errors *)
   stop : bool Atomic.t;
 }
 
-let create ?(batch_size = 64) ?(max_conns = 1) ?(wire = Lean) ~router () =
+let create ?(batch_size = 64) ?(max_conns = 1) ?(wire = Lean) ?resp_cache
+    ~router () =
   if batch_size < 1 then
     Cyclesteal.Error.invalid "Server.create: batch_size must be >= 1";
   if max_conns < 1 then
     Cyclesteal.Error.invalid "Server.create: max_conns must be >= 1";
-  { batch_size; max_conns; wire; router; stats = Stats.create (); stop = Atomic.make false }
+  {
+    batch_size;
+    max_conns;
+    wire;
+    router;
+    resp_cache;
+    stats = Stats.create ();
+    stop = Atomic.make false;
+  }
 
 let stats t = t.stats
 let router t = t.router
@@ -205,16 +218,19 @@ let stopped t = Atomic.get t.stop
    payload shape. *)
 let stats_json t =
   let cache = Router.cache_stats t.router in
+  let resp = Option.map Resp_cache.stats t.resp_cache in
   if Router.shard_count t.router > 1 || Router.restarts t.router > 0 then
     Stats.to_json
       ~shards:(Router.shards_json t.router)
-      ~restarts:(Router.restarts t.router) t.stats ~cache
-  else Stats.to_json t.stats ~cache
+      ~restarts:(Router.restarts t.router) ?resp t.stats ~cache
+  else Stats.to_json ?resp t.stats ~cache
 
 let summary t =
   Stats.summary
     ~shards:(Router.shard_count t.router)
-    ~restarts:(Router.restarts t.router) t.stats
+    ~restarts:(Router.restarts t.router)
+    ?resp:(Option.map Resp_cache.stats t.resp_cache)
+    t.stats
     ~cache:(Router.cache_stats t.router)
 
 let overlong_error =
@@ -262,18 +278,52 @@ let finish_batch t outcomes =
   in
   if wants_reset then begin
     Stats.reset_counters t.stats;
-    Router.reset_counters t.router
+    Router.reset_counters t.router;
+    Option.iter Resp_cache.reset_counters t.resp_cache
   end
+
+(* Is this outcome's reply storable in the response cache, and under
+   which dp identity?  Only successful results of the pure ops: a
+   stats or strategies reply bakes in server state, an error reply is
+   not worth a slot, and a parse-error envelope has no op at all. *)
+let storable (o : Batch.outcome) =
+  match (o.Batch.result, o.Batch.envelope.Protocol.request) with
+  | Ok _, Ok (Protocol.Advise _ | Protocol.Schedule _ | Protocol.Evaluate _) ->
+    Some None
+  | Ok _, Ok (Protocol.Dp_query { c_ticks; _ }) -> Some (Some c_ticks)
+  | _ -> None
 
 (* The lean wire loop: requests parse inside the batch's parallel
    phase, responses serialize straight into one per-connection buffer
    reused across batches, the stats snapshot is computed only for
    batches that carry a [stats] op, and the write syscall reads the
-   string without an intermediate [Bytes] copy. *)
+   string without an intermediate [Bytes] copy.
+
+   With a response cache, every line probes it first: a hit replays
+   the stored reply bytes without ever reaching the router, only the
+   misses pay parse -> plan -> serialize, and their fresh replies are
+   stored on the way out.  The miss sub-batch comes back from the
+   router index-aligned and is interleaved with the hits in arrival
+   order, so each connection's response order is untouched.  Stats
+   ops are never cached, so a reset-carrying batch always reaches
+   [finish_batch] with its outcome visible. *)
 let serve_lean t in_fd out_fd =
   let r = reader in_fd in
   let out = Buffer.create 8192 in
   let stats_snapshot () = stats_json t in
+  let emit (o : Batch.outcome) =
+    let before = Buffer.length out in
+    Protocol.add_response out ~id:o.Batch.envelope.Protocol.id o.Batch.result;
+    Buffer.add_char out '\n';
+    Stats.add t.stats
+      {
+        Stats.op = op_of o;
+        ok = Result.is_ok o.Batch.result;
+        latency = o.Batch.latency;
+        bytes = Buffer.length out - before;
+      };
+    before
+  in
   let rec loop () =
     if stopped t then ()
     else begin
@@ -282,27 +332,61 @@ let serve_lean t in_fd out_fd =
       else begin
         Buffer.clear out;
         let outcomes =
-          match lines with
-          | [] -> [||]
-          | lines ->
+          match (lines, t.resp_cache) with
+          | [], _ -> [||]
+          | lines, None ->
             let lines = Array.of_list lines in
             Stats.add_batch t.stats ~size:(Array.length lines);
-            Router.run t.router ~stats_payload:stats_snapshot lines
+            let outcomes =
+              Router.run t.router ~stats_payload:stats_snapshot lines
+            in
+            Array.iter (fun o -> ignore (emit o)) outcomes;
+            outcomes
+          | lines, Some rc ->
+            let lines = Array.of_list lines in
+            Stats.add_batch t.stats ~size:(Array.length lines);
+            let probes = Array.map (Resp_cache.find rc) lines in
+            let misses = ref [] in
+            Array.iteri
+              (fun i probe ->
+                match probe with
+                | None -> misses := lines.(i) :: !misses
+                | Some _ -> ())
+              probes;
+            let miss_lines = Array.of_list (List.rev !misses) in
+            let outcomes =
+              if Array.length miss_lines = 0 then [||]
+              else Router.run t.router ~stats_payload:stats_snapshot miss_lines
+            in
+            let mi = ref 0 in
+            Array.iteri
+              (fun i probe ->
+                match probe with
+                | Some (reply, op) ->
+                  Buffer.add_string out reply;
+                  Buffer.add_char out '\n';
+                  Stats.add t.stats
+                    {
+                      Stats.op = op;
+                      ok = true;
+                      latency = 0.;
+                      bytes = String.length reply + 1;
+                    }
+                | None -> (
+                  let o = outcomes.(!mi) in
+                  incr mi;
+                  let before = emit o in
+                  match storable o with
+                  | None -> ()
+                  | Some dp_c ->
+                    let reply =
+                      Buffer.sub out before (Buffer.length out - before - 1)
+                    in
+                    Resp_cache.store rc ~line:lines.(i) ~op:(op_of o) ?dp_c
+                      ~reply ()))
+              probes;
+            outcomes
         in
-        Array.iter
-          (fun (o : Batch.outcome) ->
-             let before = Buffer.length out in
-             Protocol.add_response out ~id:o.Batch.envelope.Protocol.id
-               o.Batch.result;
-             Buffer.add_char out '\n';
-             Stats.add t.stats
-               {
-                 Stats.op = op_of o;
-                 ok = Result.is_ok o.Batch.result;
-                 latency = o.Batch.latency;
-                 bytes = Buffer.length out - before;
-               })
-          outcomes;
         if overlong then begin
           let before = Buffer.length out in
           Protocol.add_response out ~id:Json.Null (Error overlong_error);

@@ -40,7 +40,14 @@ type wire =
           [stats] op, and writes skip the [Bytes] copy.  Byte-for-byte
           the same output as [Copying]. *)
 
-val create : ?batch_size:int -> ?max_conns:int -> ?wire:wire -> router:Router.t -> unit -> t
+val create :
+  ?batch_size:int ->
+  ?max_conns:int ->
+  ?wire:wire ->
+  ?resp_cache:Resp_cache.t ->
+  router:Router.t ->
+  unit ->
+  t
 (** [batch_size] (default 64) caps how many requests one batch drains.
     [max_conns] (default 1) is the number of clients {!serve_socket}
     serves concurrently; connection workers live on a dedicated pool
@@ -49,6 +56,15 @@ val create : ?batch_size:int -> ?max_conns:int -> ?wire:wire -> router:Router.t 
     loop.  [router] is the evaluation engine every connection submits
     to; the caller owns it (and its {!Router.shutdown}) — one router
     can outlive many serve calls.
+
+    [resp_cache] plugs in the serialized-response hot tier (lean wire
+    only): each request line probes it before parsing, hits replay
+    their stored reply bytes, and fresh cacheable replies are stored
+    on the way out.  The caller should wire the same cache into the
+    router's [on_grow] hook so dp replies are invalidated when their
+    backing table grows.  Responses are byte-identical with and
+    without it; the [Copying] wire ignores it, staying the untouched
+    baseline.
 
     @raise Error.Error when [batch_size < 1] or [max_conns < 1]. *)
 

@@ -191,6 +191,7 @@ let shard_json ?steals t ~shard ~restarts ~cache:(c : Cache.stats) =
               [
                 ("hits", Json.Int c.Cache.hits);
                 ("misses", Json.Int c.Cache.misses);
+                ("coalesced", Json.Int c.Cache.coalesced);
                 ("evictions", Json.Int c.Cache.evictions);
                 ("growths", Json.Int c.Cache.growths);
                 ("tables_resident", Json.Int c.Cache.resident);
@@ -201,6 +202,7 @@ let shard_json ?steals t ~shard ~restarts ~cache:(c : Cache.stats) =
               [
                 ("hits", Json.Int c.Cache.solver_hits);
                 ("misses", Json.Int c.Cache.solver_misses);
+                ("coalesced", Json.Int c.Cache.solver_coalesced);
                 ("evictions", Json.Int c.Cache.solver_evictions);
                 ("growths", Json.Int c.Cache.solver_growths);
                 ("solvers_resident", Json.Int c.Cache.solvers_resident);
@@ -209,7 +211,7 @@ let shard_json ?steals t ~shard ~restarts ~cache:(c : Cache.stats) =
         ]
         @ steal_fields))
 
-let to_json ?shards ?restarts t ~cache:(c : Cache.stats) =
+let to_json ?shards ?restarts ?resp t ~cache:(c : Cache.stats) =
   locked t (fun () ->
       Json.Obj
         ([
@@ -228,6 +230,7 @@ let to_json ?shards ?restarts t ~cache:(c : Cache.stats) =
               [
                 ("hits", Json.Int c.Cache.hits);
                 ("misses", Json.Int c.Cache.misses);
+                ("coalesced", Json.Int c.Cache.coalesced);
                 ("evictions", Json.Int c.Cache.evictions);
                 ("growths", Json.Int c.Cache.growths);
                 ("tables_resident", Json.Int c.Cache.resident);
@@ -249,6 +252,7 @@ let to_json ?shards ?restarts t ~cache:(c : Cache.stats) =
               [
                 ("hits", Json.Int c.Cache.solver_hits);
                 ("misses", Json.Int c.Cache.solver_misses);
+                ("coalesced", Json.Int c.Cache.solver_coalesced);
                 ("evictions", Json.Int c.Cache.solver_evictions);
                 ("growths", Json.Int c.Cache.solver_growths);
                 ("solvers_resident", Json.Int c.Cache.solvers_resident);
@@ -264,6 +268,25 @@ let to_json ?shards ?restarts t ~cache:(c : Cache.stats) =
                 ("parallel_fills", Json.Int g.Cyclesteal.Game.parallel_fills);
               ] );
         ]
+        (* The serialized-response family only appears when the daemon
+           was started with --resp-cache, so default deployments keep
+           their exact stats shape. *)
+        @ (match resp with
+          | None -> []
+          | Some (r : Resp_cache.stats) ->
+            [
+              ( "resp_cache",
+                Json.Obj
+                  [
+                    ("hits", Json.Int r.Resp_cache.hits);
+                    ("misses", Json.Int r.Resp_cache.misses);
+                    ("insertions", Json.Int r.Resp_cache.insertions);
+                    ("evictions", Json.Int r.Resp_cache.evictions);
+                    ("invalidations", Json.Int r.Resp_cache.invalidations);
+                    ("entries", Json.Int r.Resp_cache.entries);
+                    ("bytes", Json.Int r.Resp_cache.bytes);
+                  ] );
+            ])
         (* The bank group only appears when the daemon was started with
            --bank, so bankless deployments keep their exact stats
            shape. *)
@@ -296,7 +319,7 @@ let to_json ?shards ?restarts t ~cache:(c : Cache.stats) =
         | None -> []
         | Some sections -> [ ("shards", Json.List sections) ]))
 
-let summary ?shards ?restarts t ~cache:(c : Cache.stats) =
+let summary ?shards ?restarts ?resp t ~cache:(c : Cache.stats) =
   locked t (fun () ->
       let table =
         Csutil.Table.create ~title:"cschedd session summary"
@@ -334,6 +357,7 @@ let summary ?shards ?restarts t ~cache:(c : Cache.stats) =
       add "bytes served" (string_of_int t.bytes_served);
       add "cache hits" (string_of_int c.Cache.hits);
       add "cache misses" (string_of_int c.Cache.misses);
+      add "cache coalesced" (string_of_int c.Cache.coalesced);
       add "cache evictions" (string_of_int c.Cache.evictions);
       add "cache growths" (string_of_int c.Cache.growths);
       add "tables resident" (string_of_int c.Cache.resident);
@@ -348,6 +372,7 @@ let summary ?shards ?restarts t ~cache:(c : Cache.stats) =
         (string_of_int k.Cyclesteal.Dp.parallel_fills);
       add "solver hits" (string_of_int c.Cache.solver_hits);
       add "solver misses" (string_of_int c.Cache.solver_misses);
+      add "solver coalesced" (string_of_int c.Cache.solver_coalesced);
       add "solver evictions" (string_of_int c.Cache.solver_evictions);
       add "solver growths" (string_of_int c.Cache.solver_growths);
       add "solvers resident" (string_of_int c.Cache.solvers_resident);
@@ -358,6 +383,15 @@ let summary ?shards ?restarts t ~cache:(c : Cache.stats) =
       add "game plans computed" (string_of_int g.Cyclesteal.Game.plans_computed);
       add "game parallel fills"
         (string_of_int g.Cyclesteal.Game.parallel_fills);
+      (match resp with
+       | None -> ()
+       | Some (r : Resp_cache.stats) ->
+         add "resp hits" (string_of_int r.Resp_cache.hits);
+         add "resp misses" (string_of_int r.Resp_cache.misses);
+         add "resp evictions" (string_of_int r.Resp_cache.evictions);
+         add "resp invalidations" (string_of_int r.Resp_cache.invalidations);
+         add "resp entries" (string_of_int r.Resp_cache.entries);
+         add "resp bytes" (string_of_int r.Resp_cache.bytes));
       (match c.Cache.bank with
        | None -> ()
        | Some b ->

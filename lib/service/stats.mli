@@ -66,17 +66,29 @@ val shard_json :
     view. *)
 
 val to_json :
-  ?shards:Json.t list -> ?restarts:int -> t -> cache:Cache.stats -> Json.t
+  ?shards:Json.t list ->
+  ?restarts:int ->
+  ?resp:Resp_cache.stats ->
+  t ->
+  cache:Cache.stats ->
+  Json.t
 (** The [stats] request payload: request/error/batch counts, per-op
     counts, latency quantiles (mean/min/max and histogram
     p50/p90/p99), bytes served, cache counters and resident-table
     footprint over the merged [cache] view.  [shards] appends the
     per-shard sections ({!shard_json}) and [restarts] the total shard
     restart count; both are omitted by single-shard daemons that never
-    restarted, so the serial payload shape is unchanged. *)
+    restarted, so the serial payload shape is unchanged.  [resp]
+    appends the serialized-response cache family, present only when
+    the daemon enables that cache ([--resp-cache]). *)
 
 val summary :
-  ?shards:int -> ?restarts:int -> t -> cache:Cache.stats -> string
+  ?shards:int ->
+  ?restarts:int ->
+  ?resp:Resp_cache.stats ->
+  t ->
+  cache:Cache.stats ->
+  string
 (** Human-readable shutdown summary (an ASCII {!Csutil.Table});
     [shards] and [restarts] add rows when K > 1 or any worker was
-    restarted. *)
+    restarted; [resp] adds the serialized-response cache rows. *)

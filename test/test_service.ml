@@ -324,6 +324,92 @@ let test_cache_preload_groups_solves () =
   let s' = Cache.stats cache in
   Alcotest.(check int) "no further solves" s.Cache.misses s'.Cache.misses
 
+(* --- Single-flight coalescing ---------------------------------------------- *)
+
+(* N domains racing one cold key: the flight registry admits exactly
+   one leader (one solve, one miss) and every other domain adopts the
+   same physical table, counting one hit.  A joiner that actually
+   parked also ticks [coalesced] — how many parked is scheduling-
+   dependent, so only its bound is asserted. *)
+let test_cache_single_flight_dup_cold () =
+  let cache = Cache.create ~capacity:4 () in
+  let n = 6 in
+  let barrier = Atomic.make 0 in
+  let worker () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < n do
+      Domain.cpu_relax ()
+    done;
+    Cache.find_or_solve cache ~c:13 ~p:3 ~l:900
+  in
+  let doms = List.init (n - 1) (fun _ -> Domain.spawn worker) in
+  let t0 = worker () in
+  let tables = t0 :: List.map Domain.join doms in
+  List.iter
+    (fun t -> Alcotest.(check bool) "one physical table" true (t == t0))
+    tables;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "exactly one solve" 1 s.Cache.misses;
+  Alcotest.(check int) "every joiner hit" (n - 1) s.Cache.hits;
+  Alcotest.(check bool) "coalesced bounded by joiners" true
+    (s.Cache.coalesced >= 0 && s.Cache.coalesced <= n - 1);
+  let direct = Cyclesteal.Dp.solve ~c:13 ~max_p:3 ~max_l:900 in
+  Alcotest.(check int) "coalesced table answers correctly"
+    (Cyclesteal.Dp.value direct ~p:3 ~l:900)
+    (Cyclesteal.Dp.value t0 ~p:3 ~l:900)
+
+(* Two concurrent preloads of one identity coalesce on a single solve
+   (preload routes through the same single-flight path as queries). *)
+let test_cache_preload_coalesces () =
+  let cache = Cache.create ~capacity:4 () in
+  let keys = [ Cache.canonical ~c:17 ~p:2 ~l:500 ] in
+  let barrier = Atomic.make 0 in
+  let worker () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < 2 do
+      Domain.cpu_relax ()
+    done;
+    Cache.preload cache ~keys ~domains:1 ()
+  in
+  let d = Domain.spawn worker in
+  worker ();
+  Domain.join d;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one solve across both preloads" 1 s.Cache.misses;
+  Alcotest.(check int) "one resident table" 1 s.Cache.resident
+
+(* N domains racing one cold evaluate: one solver build, every other
+   domain adopts the resident solver, byte-identical responses. *)
+let test_cache_solver_single_flight () =
+  let cache = Cache.create ~capacity:4 () in
+  Cache.reset_counters cache;
+  let req =
+    Protocol.Evaluate
+      { c = 1.; u = 150.; p = 2; policy = "adaptive"; periods = None }
+  in
+  let n = 5 in
+  let barrier = Atomic.make 0 in
+  let worker () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < n do
+      Domain.cpu_relax ()
+    done;
+    match Protocol.handle ~cache req with
+    | Ok json -> Json.to_string json
+    | Error e -> failwith (Cyclesteal.Error.to_string e)
+  in
+  let doms = List.init (n - 1) (fun _ -> Domain.spawn worker) in
+  let first = worker () in
+  let replies = first :: List.map Domain.join doms in
+  List.iter
+    (fun r -> Alcotest.(check string) "byte-identical replies" first r)
+    replies;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one solver build" 1 s.Cache.solver_misses;
+  Alcotest.(check int) "every joiner hit" (n - 1) s.Cache.solver_hits;
+  Alcotest.(check bool) "solver coalesced bounded by joiners" true
+    (s.Cache.solver_coalesced >= 0 && s.Cache.solver_coalesced <= n - 1)
+
 (* The stats surface carries the DP kernel's work counters, and a reset
    zeroes them along with the cache counters (the daemon's
    [stats reset] path calls this same Cache.reset_counters). *)
@@ -538,8 +624,11 @@ let read_lines path =
 (* Serve [lines] over plain file descriptors.  A caller-provided
    [router] is used as-is (and stays alive for inspection afterwards —
    the caller shuts it down); otherwise a fresh one with [shards]
-   shards is created and shut down before returning. *)
-let serve_lines ?batch_size ?wire ?(shards = 1) ?router lines =
+   shards is created and shut down before returning.  [resp_cache]
+   plugs the serialized-response tier into the server and wires its
+   dp invalidation into the (owned) router's [on_grow] hook, as
+   cschedd does. *)
+let serve_lines ?batch_size ?wire ?(shards = 1) ?router ?resp_cache lines =
   let input = String.concat "\n" lines ^ "\n" in
   with_temp_file input (fun in_path ->
       let out_path = Filename.temp_file "cschedd_test" ".out" in
@@ -547,15 +636,20 @@ let serve_lines ?batch_size ?wire ?(shards = 1) ?router lines =
         ~finally:(fun () -> try Sys.remove out_path with Sys_error _ -> ())
         (fun () ->
            let owned = router = None in
+           let on_grow =
+             Option.map (fun rc c -> Resp_cache.invalidate rc ~c) resp_cache
+           in
            let router =
              match router with
              | Some r -> r
-             | None -> Router.create ~shards ~domains:2 ~capacity:16 ()
+             | None -> Router.create ~shards ~domains:2 ?on_grow ~capacity:16 ()
            in
            Fun.protect
              ~finally:(fun () -> if owned then Router.shutdown router)
              (fun () ->
-                let server = Server.create ?batch_size ?wire ~router () in
+                let server =
+                  Server.create ?batch_size ?wire ?resp_cache ~router ()
+                in
                 let in_fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
                 let out_fd =
                   Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
@@ -753,6 +847,72 @@ let test_server_overlong_line () =
 
 (* A ping-pong socket client: write one request line, read until its
    response line arrives, repeat; returns everything it read. *)
+(* --- Serialized-response cache ---------------------------------------------- *)
+
+let test_resp_cache_unit () =
+  let rc = Resp_cache.create ~capacity:2 in
+  Alcotest.(check bool) "miss on empty" true (Resp_cache.find rc "a" = None);
+  Resp_cache.store rc ~line:"a" ~op:"advise" ~reply:"ra" ();
+  Resp_cache.store rc ~line:"b" ~op:"dp" ~dp_c:7 ~reply:"rb" ();
+  (match Resp_cache.find rc "a" with
+   | Some (reply, op) ->
+     Alcotest.(check string) "stored bytes come back verbatim" "ra" reply;
+     Alcotest.(check string) "op name stored" "advise" op
+   | None -> Alcotest.fail "expected a hit on a");
+  (* "a" was just served, so "b" is the LRU victim for the third entry. *)
+  Resp_cache.store rc ~line:"c" ~op:"dp" ~dp_c:9 ~reply:"rc" ();
+  Alcotest.(check bool) "LRU entry evicted" true (Resp_cache.find rc "b" = None);
+  Alcotest.(check bool) "touched entry survived" true
+    (Resp_cache.find rc "a" <> None);
+  (* Duplicate store is a no-op (first writer wins). *)
+  Resp_cache.store rc ~line:"a" ~op:"advise" ~reply:"other" ();
+  (match Resp_cache.find rc "a" with
+   | Some (reply, _) -> Alcotest.(check string) "first writer wins" "ra" reply
+   | None -> Alcotest.fail "expected a hit on a");
+  (* Invalidation drops exactly the dp entries backed by table c. *)
+  Resp_cache.invalidate rc ~c:9;
+  Alcotest.(check bool) "dp reply for c=9 dropped" true
+    (Resp_cache.find rc "c" = None);
+  Alcotest.(check bool) "unrelated entry kept" true
+    (Resp_cache.find rc "a" <> None);
+  let s = Resp_cache.stats rc in
+  Alcotest.(check int) "hits" 4 s.Resp_cache.hits;
+  Alcotest.(check int) "misses" 3 s.Resp_cache.misses;
+  Alcotest.(check int) "insertions" 3 s.Resp_cache.insertions;
+  Alcotest.(check int) "evictions" 1 s.Resp_cache.evictions;
+  Alcotest.(check int) "invalidations" 1 s.Resp_cache.invalidations;
+  Alcotest.(check int) "entries" 1 s.Resp_cache.entries;
+  Alcotest.(check bool) "bytes accounted" true (s.Resp_cache.bytes > 0);
+  Resp_cache.reset_counters rc;
+  let z = Resp_cache.stats rc in
+  Alcotest.(check int) "reset zeroes hits" 0 z.Resp_cache.hits;
+  Alcotest.(check int) "reset keeps entries" 1 z.Resp_cache.entries
+
+(* End to end through the server: a duplicate line is served from
+   stored bytes, a dp growth invalidates the stale entry, and every
+   reply stays byte-identical to the no-cache direct baseline. *)
+let test_resp_cache_invalidation_on_grow () =
+  let rc = Resp_cache.create ~capacity:8 in
+  let dup = {|{"id":1,"op":"dp","c_ticks":9,"l":300,"p":1}|} in
+  let grow = {|{"id":2,"op":"dp","c_ticks":9,"l":4000,"p":5}|} in
+  let other = {|{"id":3,"op":"dp","c_ticks":4,"l":300,"p":1}|} in
+  let lines = [ dup; other; dup; grow; dup ] in
+  let got, _stats, _server = serve_lines ~batch_size:1 ~resp_cache:rc lines in
+  let expected = List.map direct_response lines in
+  Alcotest.(check int) "every line answered" (List.length expected)
+    (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+       Alcotest.(check string) (Printf.sprintf "line %d byte-identical" i) e g)
+    (List.combine expected got);
+  let s = Resp_cache.stats rc in
+  Alcotest.(check int) "one hit: the pre-grow duplicate" 1 s.Resp_cache.hits;
+  Alcotest.(check int) "post-grow duplicate re-misses" 4 s.Resp_cache.misses;
+  Alcotest.(check int) "re-stored after invalidation" 4 s.Resp_cache.insertions;
+  Alcotest.(check int) "growth dropped the stale dp reply" 1
+    s.Resp_cache.invalidations;
+  Alcotest.(check int) "entries resident" 3 s.Resp_cache.entries
+
 let run_client path lines =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -863,6 +1023,84 @@ let test_server_concurrent_clients () =
            in
            Alcotest.(check string)
              (Printf.sprintf "client %d byte-identical to serial" i)
+             expected out)
+        got)
+
+(* Like [run_client], but send the whole script before reading anything:
+   the server drains it in large batches, so the batch engine actually
+   sees duplicate-heavy batches to group. *)
+let run_client_burst path lines =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.connect sock (Unix.ADDR_UNIX path);
+       let payload = String.concat "\n" lines ^ "\n" in
+       let rec send off =
+         if off < String.length payload then
+           match
+             Unix.write_substring sock payload off (String.length payload - off)
+           with
+           | n -> send (off + n)
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+       in
+       send 0;
+       let want = List.length lines in
+       let buf = Buffer.create 4096 in
+       let chunk = Bytes.create 4096 in
+       let newlines = ref 0 in
+       while !newlines < want do
+         match Unix.read sock chunk 0 (Bytes.length chunk) with
+         | 0 -> failwith "server closed the connection early"
+         | n ->
+           for i = 0 to n - 1 do
+             if Bytes.get chunk i = '\n' then incr newlines
+           done;
+           Buffer.add_subbytes buf chunk 0 n
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       done;
+       Buffer.contents buf)
+
+(* Scripts dominated by a handful of cache identities, so batch
+   grouping folds most of each batch into a few groups. *)
+let dup_heavy_script i =
+  List.init 48 (fun k ->
+      let id = (1000 * (i + 1)) + k in
+      match k mod 4 with
+      | 0 | 1 ->
+        Printf.sprintf {|{"id":%d,"op":"dp","c_ticks":6,"l":%d,"p":%d}|} id
+          (200 + (13 * (k mod 5)))
+          (k mod 3)
+      | 2 ->
+        Printf.sprintf
+          {|{"id":%d,"op":"evaluate","c":1,"u":90,"p":%d,"policy":"adaptive"}|}
+          id (k mod 2)
+      | _ ->
+        Printf.sprintf {|{"id":%d,"op":"advise","c":2,"u":%d,"p":1}|} id
+          (400 + k))
+
+(* Interleaved dup-heavy clients, whole scripts sent as one burst:
+   grouping reorders evaluation inside a batch, but outcomes must
+   scatter back in request order, so every client reads exactly the
+   bytes a serial ungrouped server would have sent it. *)
+let test_grouping_preserves_order () =
+  let nclients = 3 in
+  with_socket_server ~max_conns:nclients ~shards:2 (fun _server path ->
+      let clients =
+        List.init nclients (fun i ->
+            Domain.spawn (fun () -> run_client_burst path (dup_heavy_script i)))
+      in
+      let got = List.map Domain.join clients in
+      List.iteri
+        (fun i out ->
+           let expected =
+             String.concat ""
+               (List.map
+                  (fun l -> direct_response l ^ "\n")
+                  (dup_heavy_script i))
+           in
+           Alcotest.(check string)
+             (Printf.sprintf "client %d order and bytes preserved" i)
              expected out)
         got)
 
@@ -1236,6 +1474,12 @@ let () =
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "preload groups solves" `Quick
             test_cache_preload_groups_solves;
+          Alcotest.test_case "single-flight: duplicate cold key" `Quick
+            test_cache_single_flight_dup_cold;
+          Alcotest.test_case "single-flight: concurrent preloads" `Quick
+            test_cache_preload_coalesces;
+          Alcotest.test_case "single-flight: solver herd" `Quick
+            test_cache_solver_single_flight;
           Alcotest.test_case "kernel counters surfaced and reset" `Quick
             test_cache_kernel_counters;
           Alcotest.test_case "resident game solver" `Quick
@@ -1288,6 +1532,12 @@ let () =
           Alcotest.test_case "overlong line" `Quick test_server_overlong_line;
           Alcotest.test_case "concurrent clients" `Slow
             test_server_concurrent_clients;
+          Alcotest.test_case "resp cache: LRU + invalidate" `Quick
+            test_resp_cache_unit;
+          Alcotest.test_case "resp cache: invalidated on growth" `Quick
+            test_resp_cache_invalidation_on_grow;
+          Alcotest.test_case "grouping preserves order" `Slow
+            test_grouping_preserves_order;
           Alcotest.test_case "client disconnect" `Slow
             test_server_client_disconnect;
           Alcotest.test_case "summary" `Quick test_summary_renders;

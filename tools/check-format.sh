@@ -66,6 +66,31 @@ for f in $(find lib bin bench examples -type f \
   fi
 done
 
+# Blocking-coordination gate: Mutex+Condition park/wake protocols are
+# easy to get wrong (missed wakeups, waits outside the predicate
+# loop), so they live only in the audited sites: the pool's worker
+# parking (lib/util/par.ml), the cache's single-flight registries and
+# bank write-behind (lib/service/cache.ml), the router's shard
+# channels and watchdog (lib/service/router.ml), the server's
+# connection-slot accounting (lib/service/server.ml), and the DP
+# kernel's wavefront barrier (lib/core/dp.ml).  Everywhere else,
+# coordinate through those layers — a fresh condvar protocol needs a
+# review and a line here.
+condition_allowlist="lib/util/par.ml lib/service/cache.ml \
+lib/service/router.ml lib/service/server.ml lib/core/dp.ml"
+
+for f in $(find lib bin test bench examples -type f \
+             \( -name '*.ml' -o -name '*.mli' \) | sort); do
+  case " $condition_allowlist " in
+    *" $f "*) continue ;;
+  esac
+  if grep -nE 'Condition\.' "$f" >/dev/null 2>&1; then
+    echo "coordination: Condition.* in $f (coordinate through Pool/Cache/Router/Server):" >&2
+    grep -nE 'Condition\.' "$f" | head -3 >&2
+    fail=1
+  fi
+done
+
 # Routing gate: the inter-shard job channel (Router's Shard_chan) is
 # the router's private seam — jobs enter a shard through Router.run /
 # run_parsed, which own placement, generation checks and failure
