@@ -68,15 +68,53 @@ type body = {
   first : mat; (* an optimal first period length at (p, l) *)
 }
 
-type t = { c : int; mutable body : body }
+(* A breakpoint-compressed table (DESIGN.md S24): every solved row is a
+   monotone step function, so instead of (max_l + 1) dense cells a row
+   is stored as its implicit zero prefix plus two run-length tables —
+   one for the loss l - W(p)[l] (long constant runs through the ramp)
+   and one for the recorded argmax (constant on decision runs; row 0's
+   first(l) = l ramp is stored as the constant l - first instead).  The
+   packing is exact for arbitrary tables — runs just get shorter when
+   the structure is absent — so a round trip is bit-identical.
+
+   Layout of [pack] (native ints):
+
+     pack[0 .. max_p]                row block offsets into pack
+     row block: zero_until           W = 0 and first = l through here
+                first_mode           0: runs hold first, 1: l - first
+                n_loss, n_first      run counts
+                loss_pos[n_loss]     run start columns, strictly
+                loss_val[n_loss]       increasing from zero_until + 1
+                first_pos[n_first]
+                first_val[n_first]
+
+   A lookup is a binary search for the run holding l.  Tables loaded
+   from a kind-v2 snapshot stay packed until a [grow] needs the dense
+   arrays, so a bank-warmed daemon holds the compressed rows only. *)
+type packed = { p_max_p : int; p_max_l : int; pack : mat }
+
+type repr = Dense of body | Packed of packed
+type t = { c : int; mutable repr : repr }
 
 let c t = t.c
-let max_p t = t.body.max_p
-let max_l t = t.body.max_l
+
+let max_p t =
+  match t.repr with Dense b -> b.max_p | Packed p -> p.p_max_p
+
+let max_l t =
+  match t.repr with Dense b -> b.max_l | Packed p -> p.p_max_l
 
 let footprint_bytes t =
-  let b = t.body in
-  2 * (b.cap_p + 1) * (b.cap_l + 1) * (Sys.word_size / 8)
+  match t.repr with
+  | Dense b -> 2 * (b.cap_p + 1) * (b.cap_l + 1) * (Sys.word_size / 8)
+  | Packed p -> Bigarray.Array1.dim p.pack * (Sys.word_size / 8)
+
+(* What the solved region would occupy as dense arrays — the baseline
+   the compressed-resident accounting is compared against. *)
+let dense_footprint_bytes t =
+  2 * (max_p t + 1) * (max_l t + 1) * (Sys.word_size / 8)
+
+let is_packed t = match t.repr with Packed _ -> true | Dense _ -> false
 
 let alloc ~cap_p ~cap_l =
   let a =
@@ -97,12 +135,18 @@ type counters = {
   candidates_visited : int;
   candidates_pruned : int;
   parallel_fills : int;
+  dc_splits : int;
+  bp_lookups : int;
+  bp_rows : int;
 }
 
 let cells_ctr = Atomic.make 0
 let visited_ctr = Atomic.make 0
 let pruned_ctr = Atomic.make 0
 let parfill_ctr = Atomic.make 0
+let dc_ctr = Atomic.make 0
+let bp_lookups_ctr = Atomic.make 0
+let bp_rows_ctr = Atomic.make 0
 
 let counters () =
   {
@@ -110,18 +154,51 @@ let counters () =
     candidates_visited = Atomic.get visited_ctr;
     candidates_pruned = Atomic.get pruned_ctr;
     parallel_fills = Atomic.get parfill_ctr;
+    dc_splits = Atomic.get dc_ctr;
+    bp_lookups = Atomic.get bp_lookups_ctr;
+    bp_rows = Atomic.get bp_rows_ctr;
   }
 
 let reset_counters () =
   Atomic.set cells_ctr 0;
   Atomic.set visited_ctr 0;
   Atomic.set pruned_ctr 0;
-  Atomic.set parfill_ctr 0
+  Atomic.set parfill_ctr 0;
+  Atomic.set dc_ctr 0;
+  Atomic.set bp_lookups_ctr 0;
+  Atomic.set bp_rows_ctr 0
 
 let charge ~cells ~visited ~pruned =
   ignore (Atomic.fetch_and_add cells_ctr cells);
   ignore (Atomic.fetch_and_add visited_ctr visited);
   ignore (Atomic.fetch_and_add pruned_ctr pruned)
+
+(* --- kernel registry ------------------------------------------------------ *)
+
+(* Which inner-loop kernel the fill drivers run.  All entries are
+   bit-identical on values and argmax (the registry exists so the
+   baselines stay cross-checkable in production): [Pruned] is the
+   monotone-bound scan, [Monotone_dc] additionally exploits argmax
+   monotonicity with a divide-and-conquer over decision ranges, and
+   [Reference] is the exhaustive scan (the [Ref] module's loop, block
+   compatible).  [Auto] currently resolves to [Monotone_dc]. *)
+type kernel = Auto | Pruned | Monotone_dc | Reference
+
+let kernel_names =
+  [
+    ("auto", Auto);
+    ("pruned", Pruned);
+    ("monotone-dc", Monotone_dc);
+    ("ref", Reference);
+  ]
+
+let kernel_state = Atomic.make Auto
+let kernel () = Atomic.get kernel_state
+let set_kernel k = Atomic.set kernel_state k
+let kernel_of_string s = List.assoc_opt s kernel_names
+
+let kernel_to_string k =
+  fst (List.find (fun (_, k') -> k' = k) kernel_names)
 
 (* --- row primitives ------------------------------------------------------ *)
 
@@ -141,7 +218,7 @@ let fill_row0 body ~c ~l_from =
    through column l_lo - 1.  A leading l_lo = 0 cell is the base case
    W(p)[0] = 0.  Returns the number of candidates visited; the
    exhaustive scan would visit l per cell. *)
-let fill_block body ~c ~p ~l_lo ~l_hi =
+let fill_block_pruned body ~c ~p ~l_lo ~l_hi =
   let open Bigarray in
   let stride = body.cap_l + 1 in
   let v = body.value and f = body.first in
@@ -178,6 +255,209 @@ let fill_block body ~c ~p ~l_lo ~l_hi =
     Array1.unsafe_set f (row + l) !best_t
   done;
   !visited
+
+(* The exhaustive scan as a block fill: same contract as the pruned
+   block, every candidate visited.  This is [Ref]'s inner loop made
+   grow- and wavefront-compatible, selectable as the [Reference]
+   registry entry. *)
+let fill_block_ref body ~c ~p ~l_lo ~l_hi =
+  let open Bigarray in
+  let stride = body.cap_l + 1 in
+  let v = body.value and f = body.first in
+  let row = p * stride in
+  let prev = row - stride in
+  if l_lo = 0 then begin
+    Array1.unsafe_set v row 0;
+    Array1.unsafe_set f row 0
+  end;
+  let visited = ref 0 in
+  for l = max 1 l_lo to l_hi do
+    let best = ref 0 and best_t = ref l in
+    for t = 1 to l do
+      incr visited;
+      let survive = max 0 (t - c) + Array1.unsafe_get v (row + l - t) in
+      let killed = Array1.unsafe_get v (prev + l - t) in
+      let cand = if killed < survive then killed else survive in
+      if cand > !best then begin
+        best := cand;
+        best_t := t
+      end
+    done;
+    Array1.unsafe_set v (row + l) !best;
+    Array1.unsafe_set f (row + l) !best_t
+  done;
+  !visited
+
+(* The monotone-decision fill (DESIGN.md S24).  The recorded argmax
+   itself is NOT monotone in l — at c = 1, p = 1 the lowest maximizer
+   goes first(4) = 2, first(5) = 1 — but the two branches of the
+   recurrence are:
+
+     K(t) = W(p-1)[l - t]              non-increasing in t  (rows are
+                                       nondecreasing in l),
+     S(t) = (t - c) + W(p)[l - t]      nondecreasing in t for t >= c
+                                       (rows are 1-Lipschitz: one more
+                                       tick banks at most one unit),
+
+   both qcheck-verified against [Ref].  So cand(t) = min(K, S) is
+   unimodal on [c, l] and the cell reduces to the equalization
+   crossing of Theorem 4.3 — the least t_c with K(t_c) <= S(t_c),
+   found by divide-and-conquer on the decision range (each halving is
+   a [dc_splits]).  The maximum is max of the three region peaks
+     a = cand(1) = W(p)[l - 1]   (t <= c: setup eats the period, so
+                                  cand = W(p)[l - t], peaked at t = 1),
+     s = S(t_c - 1)              (the survive side's peak),
+     k = K(t_c)                  (the killed side's peak),
+   and the lowest maximizer — Ref's tie-break — is t = 1 if a wins,
+   the least t with S(t) = s (another bisection) if s wins, else t_c.
+   The crossing also drifts slowly: t_c(l) <= t_c(l-1) + 1 (shifting
+   t by one cancels the l shift in both branches, and S gains +1), so
+   each cell gallops down from the previous crossing and pays
+   O(log drift) probes, O(log l) worst case against the pruned scan's
+   O(argmax advance).  Values and argmax stay bit-identical to [Ref]. *)
+let fill_block_mono body ~c ~p ~l_lo ~l_hi =
+  let open Bigarray in
+  let stride = body.cap_l + 1 in
+  let v = body.value and f = body.first in
+  let row = p * stride in
+  let prev = row - stride in
+  if l_lo = 0 then begin
+    Array1.unsafe_set v row 0;
+    Array1.unsafe_set f row 0
+  end;
+  let visited = ref 0 and splits = ref 0 in
+  let bisect cond lo0 hi0 =
+    let lo = ref lo0 and hi = ref hi0 in
+    while !lo < !hi do
+      incr splits;
+      let mid = (!lo + !hi) / 2 in
+      if cond mid then hi := mid else lo := mid + 1
+    done;
+    !hi
+  in
+  (* Least t in [lo0, hi0] satisfying the monotone (false.. then
+     true..) predicate, given cond hi0 holds (hi0 itself is never
+     probed).  [g] seeds a bidirectional gallop: both answers drift by
+     ~1 per cell, so starting at the previous cell's answer pays
+     O(log drift) probes, O(log range) worst case. *)
+  let bisect_min_from cond lo0 hi0 g =
+    if lo0 >= hi0 then hi0
+    else begin
+      let g = if g < lo0 then lo0 else if g >= hi0 then hi0 - 1 else g in
+      if cond g then begin
+        (* Answer at or below g: gallop down for a false probe. *)
+        let lo = ref lo0 and hi = ref g in
+        let d = ref 1 and galloping = ref true in
+        while !galloping do
+          let t = g - !d in
+          if t < lo0 then galloping := false
+          else if cond t then begin
+            hi := t;
+            d := 2 * !d
+          end
+          else begin
+            lo := t + 1;
+            galloping := false
+          end
+        done;
+        bisect cond !lo !hi
+      end
+      else begin
+        (* Answer above g: gallop up for a true probe. *)
+        let lo = ref (g + 1) and hi = ref hi0 in
+        let d = ref 1 and galloping = ref true in
+        while !galloping do
+          let t = g + !d in
+          if t >= hi0 then galloping := false
+          else if cond t then begin
+            hi := t;
+            galloping := false
+          end
+          else begin
+            lo := t + 1;
+            d := 2 * !d
+          end
+        done;
+        bisect cond !lo !hi
+      end
+    end
+  in
+  (* The previous cell's crossing and survive-side argmax; -1 while
+     unknown (block entry or the all-zero prefix l <= c).  The probe
+     predicates close over mutable cell state ([cur_l], [cur_s]) so
+     they allocate once per block, not once per cell — the bisection
+     probes are the hot path and closure churn here is measurable. *)
+  let hint = ref (-1) and fhint = ref (-1) in
+  let cur_l = ref 0 and cur_s = ref 0 in
+  let cond t =
+    incr visited;
+    Array1.unsafe_get v (prev + !cur_l - t)
+    <= t - c + Array1.unsafe_get v (row + !cur_l - t)
+  in
+  (* Least t whose survive branch already reaches cur_s: the left edge
+     of the survive plateau below the crossing. *)
+  let fcond t =
+    incr visited;
+    t - c + Array1.unsafe_get v (row + !cur_l - t) >= !cur_s
+  in
+  for l = max 1 l_lo to l_hi do
+    if l < c then begin
+      (* Sub-setup lifespan: nothing can be banked. *)
+      incr visited;
+      Array1.unsafe_set v (row + l) 0;
+      Array1.unsafe_set f (row + l) l
+    end
+    else begin
+      cur_l := l;
+      (* cond holds at hi0 without probing: at l always (K = 0), and at
+         hint + 1 by the drift bound t_c(l) <= t_c(l - 1) + 1. *)
+      let hi0 = if !hint >= c && !hint + 1 <= l then !hint + 1 else l in
+      let tc = bisect_min_from cond c hi0 (if !hint >= c then !hint else hi0 - 1) in
+      hint := tc;
+      incr visited;
+      let a = Array1.unsafe_get v (row + l - 1) in
+      let k = Array1.unsafe_get v (prev + l - tc) in
+      let s =
+        if tc > c then begin
+          incr visited;
+          tc - 1 - c + Array1.unsafe_get v (row + l - tc + 1)
+        end
+        else -1
+      in
+      let best = max a (max k s) in
+      if best <= 0 then begin
+        Array1.unsafe_set v (row + l) 0;
+        Array1.unsafe_set f (row + l) l
+      end
+      else begin
+        Array1.unsafe_set v (row + l) best;
+        let ft =
+          if a >= best then 1
+          else if s >= k then begin
+            cur_s := s;
+            let ft =
+              bisect_min_from fcond c (tc - 1)
+                (if !fhint >= c then !fhint + 1 else tc - 1)
+            in
+            fhint := ft;
+            ft
+          end
+          else tc
+        in
+        Array1.unsafe_set f (row + l) ft
+      end
+    end
+  done;
+  if !splits > 0 then ignore (Atomic.fetch_and_add dc_ctr !splits);
+  !visited
+
+(* Block dispatch through the registry; all entries share the pruned
+   block's contract and return the candidates visited. *)
+let fill_block body ~c ~p ~l_lo ~l_hi =
+  match Atomic.get kernel_state with
+  | Auto | Monotone_dc -> fill_block_mono body ~c ~p ~l_lo ~l_hi
+  | Pruned -> fill_block_pruned body ~c ~p ~l_lo ~l_hi
+  | Reference -> fill_block_ref body ~c ~p ~l_lo ~l_hi
 
 (* Exhaustive candidate count of a block: sum of l over its cells. *)
 let exhaustive_count ~l_lo ~l_hi =
@@ -285,16 +565,267 @@ let solve_with ~pool ~c ~max_p ~max_l =
     }
   in
   fill ?pool ~c body ~old_p:(-1) ~old_l:(-1);
-  { c; body }
+  { c; repr = Dense body }
 
 let solve ~c ~max_p ~max_l = solve_with ~pool:None ~c ~max_p ~max_l
+
+(* --- breakpoint packing --------------------------------------------------- *)
+
+(* Compress a dense body into the [pack] layout.  The zero prefix is
+   the longest span where W = 0 and first = l (the seed convention);
+   beyond it both the loss l - W and the argmax are run-length encoded,
+   so the packing is exact for any cell contents — structure only makes
+   it small.  Three cheap passes: measure, then write, per table. *)
+let pack_of_body b =
+  let open Bigarray in
+  let stride = b.cap_l + 1 in
+  let v = b.value and f = b.first in
+  let zero_until p =
+    let row = p * stride in
+    let zu = ref (-1) in
+    while
+      !zu < b.max_l
+      && Array1.unsafe_get v (row + !zu + 1) = 0
+      && Array1.unsafe_get f (row + !zu + 1) = !zu + 1
+    do
+      incr zu
+    done;
+    !zu
+  in
+  (* Walk the runs of [g] over [from, max_l]; [emit i l x] sees run
+     number, start column and value; returns the run count. *)
+  let runs g ~from emit =
+    let n = ref 0 and last = ref 0 in
+    for l = from to b.max_l do
+      let x = g l in
+      if !n = 0 || x <> !last then begin
+        emit !n l x;
+        incr n;
+        last := x
+      end
+    done;
+    !n
+  in
+  let nop _ _ _ = () in
+  let loss p =
+    let row = p * stride in
+    fun l -> l - Array1.unsafe_get v (row + l)
+  in
+  let first_direct p =
+    let row = p * stride in
+    fun l -> Array1.unsafe_get f (row + l)
+  in
+  let first_offset p =
+    let row = p * stride in
+    fun l -> l - Array1.unsafe_get f (row + l)
+  in
+  let zus = Array.init (b.max_p + 1) zero_until in
+  let modes = Array.make (b.max_p + 1) 0 in
+  let sizes =
+    Array.init (b.max_p + 1) (fun p ->
+        let from = zus.(p) + 1 in
+        let n_loss = runs (loss p) ~from nop in
+        let direct = runs (first_direct p) ~from nop in
+        let offset = runs (first_offset p) ~from nop in
+        let n_first =
+          if offset < direct then begin
+            modes.(p) <- 1;
+            offset
+          end
+          else direct
+        in
+        4 + (2 * n_loss) + (2 * n_first))
+  in
+  let total = Array.fold_left ( + ) (b.max_p + 1) sizes in
+  let pack = Array1.create Bigarray.int Bigarray.c_layout total in
+  let off = ref (b.max_p + 1) in
+  for p = 0 to b.max_p do
+    Array1.set pack p !off;
+    let base = !off in
+    let from = zus.(p) + 1 in
+    let first_fn = if modes.(p) = 1 then first_offset p else first_direct p in
+    let n_loss = runs (loss p) ~from nop in
+    let n_first = runs first_fn ~from nop in
+    Array1.set pack base zus.(p);
+    Array1.set pack (base + 1) modes.(p);
+    Array1.set pack (base + 2) n_loss;
+    Array1.set pack (base + 3) n_first;
+    let lp = base + 4 in
+    ignore
+      (runs (loss p) ~from (fun i l x ->
+           Array1.set pack (lp + i) l;
+           Array1.set pack (lp + n_loss + i) x));
+    let fp = lp + (2 * n_loss) in
+    ignore
+      (runs first_fn ~from (fun i l x ->
+           Array1.set pack (fp + i) l;
+           Array1.set pack (fp + n_first + i) x));
+    off := base + sizes.(p)
+  done;
+  pack
+
+(* Materialize dense arrays from a (validated) packing.  Capacity is
+   pinned to the solved bounds, like [of_snapshot]. *)
+let body_of_packed pk =
+  let open Bigarray in
+  let mp = pk.p_max_p and ml = pk.p_max_l in
+  let pack = pk.pack in
+  let value = alloc ~cap_p:mp ~cap_l:ml in
+  let first = alloc ~cap_p:mp ~cap_l:ml in
+  let stride = ml + 1 in
+  for p = 0 to mp do
+    let base = Array1.get pack p in
+    let row = p * stride in
+    let zu = Array1.get pack base in
+    let mode = Array1.get pack (base + 1) in
+    let n_loss = Array1.get pack (base + 2) in
+    let n_first = Array1.get pack (base + 3) in
+    for l = 0 to zu do
+      (* alloc already zeroed the values *)
+      Array1.unsafe_set first (row + l) l
+    done;
+    let lp = base + 4 in
+    for i = 0 to n_loss - 1 do
+      let start = Array1.get pack (lp + i) in
+      let stop =
+        if i + 1 < n_loss then Array1.get pack (lp + i + 1) - 1 else ml
+      in
+      let x = Array1.get pack (lp + n_loss + i) in
+      for l = start to stop do
+        Array1.unsafe_set value (row + l) (l - x)
+      done
+    done;
+    let fp = lp + (2 * n_loss) in
+    for i = 0 to n_first - 1 do
+      let start = Array1.get pack (fp + i) in
+      let stop =
+        if i + 1 < n_first then Array1.get pack (fp + i + 1) - 1 else ml
+      in
+      let x = Array1.get pack (fp + n_first + i) in
+      if mode = 1 then
+        for l = start to stop do
+          Array1.unsafe_set first (row + l) (l - x)
+        done
+      else
+        for l = start to stop do
+          Array1.unsafe_set first (row + l) x
+        done
+    done
+  done;
+  { max_p = mp; max_l = ml; cap_p = mp; cap_l = ml; value; first }
+
+let to_packed t =
+  match t.repr with Packed p -> p.pack | Dense b -> pack_of_body b
+
+(* Structural validation of an untrusted packing (a CRC-valid but
+   hand-corrupted snapshot must fail structured, never fault): offsets
+   must tile the array exactly, run starts must begin at the zero
+   boundary and strictly increase within bounds, and a row is covered
+   by its runs exactly when the zero prefix falls short. *)
+let of_packed ~c ~max_p ~max_l pack =
+  if c < 1 then Error.invalid "Dp.of_packed: c must be >= 1 tick";
+  if max_p < 0 || max_l < 0 then
+    Error.invalid "Dp.of_packed: bounds must be non-negative";
+  let open Bigarray in
+  let dim = Array1.dim pack in
+  let bad fmt = Error.invalidf ("Dp.of_packed: " ^^ fmt) in
+  if dim < max_p + 1 then bad "%d words cannot index %d rows" dim (max_p + 1);
+  let expect = ref (max_p + 1) in
+  for p = 0 to max_p do
+    let base = Array1.get pack p in
+    if base <> !expect then bad "row %d offset %d, expected %d" p base !expect;
+    if base + 4 > dim then bad "row %d header past end of pack" p;
+    let zu = Array1.get pack base in
+    let mode = Array1.get pack (base + 1) in
+    let n_loss = Array1.get pack (base + 2) in
+    let n_first = Array1.get pack (base + 3) in
+    if zu < -1 || zu > max_l then bad "row %d zero bound %d" p zu;
+    if mode <> 0 && mode <> 1 then bad "row %d argmax mode %d" p mode;
+    if n_loss < 0 || n_first < 0 then bad "row %d negative run count" p;
+    if zu < max_l && (n_loss = 0 || n_first = 0) then
+      bad "row %d has uncovered cells" p;
+    if zu = max_l && (n_loss <> 0 || n_first <> 0) then
+      bad "row %d has runs past its bounds" p;
+    let need = base + 4 + (2 * n_loss) + (2 * n_first) in
+    if need > dim then bad "row %d runs past end of pack" p;
+    let check_pos off n =
+      if n > 0 then begin
+        if Array1.get pack off <> zu + 1 then
+          bad "row %d first run starts at %d, expected %d" p
+            (Array1.get pack off) (zu + 1);
+        for i = 1 to n - 1 do
+          if Array1.get pack (off + i) <= Array1.get pack (off + i - 1) then
+            bad "row %d run starts not increasing" p
+        done;
+        if Array1.get pack (off + n - 1) > max_l then
+          bad "row %d run start past column bound" p
+      end
+    in
+    check_pos (base + 4) n_loss;
+    check_pos (base + 4 + (2 * n_loss)) n_first;
+    expect := need
+  done;
+  if !expect <> dim then bad "%d trailing words" (dim - !expect);
+  ignore (Atomic.fetch_and_add bp_rows_ctr (max_p + 1));
+  { c; repr = Packed { p_max_p = max_p; p_max_l = max_l; pack } }
+
+(* Greatest run whose start is <= l; callers guarantee l lies past the
+   zero prefix, so run 0 is always a candidate. *)
+let find_run pack ~pos ~n l =
+  let open Bigarray in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if Array1.unsafe_get pack (pos + mid) <= l then lo := mid
+    else hi := mid - 1
+  done;
+  !lo
+
+let packed_value pk ~p ~l =
+  ignore (Atomic.fetch_and_add bp_lookups_ctr 1);
+  let open Bigarray in
+  let pack = pk.pack in
+  let base = Array1.get pack p in
+  let zu = Array1.get pack base in
+  if l <= zu then 0
+  else begin
+    let n = Array1.get pack (base + 2) in
+    let i = find_run pack ~pos:(base + 4) ~n l in
+    l - Array1.get pack (base + 4 + n + i)
+  end
+
+let packed_first pk ~p ~l =
+  ignore (Atomic.fetch_and_add bp_lookups_ctr 1);
+  let open Bigarray in
+  let pack = pk.pack in
+  let base = Array1.get pack p in
+  let zu = Array1.get pack base in
+  if l <= zu then l
+  else begin
+    let mode = Array1.get pack (base + 1) in
+    let n_loss = Array1.get pack (base + 2) in
+    let n = Array1.get pack (base + 3) in
+    let pos = base + 4 + (2 * n_loss) in
+    let i = find_run pack ~pos ~n l in
+    let x = Array1.get pack (pos + n + i) in
+    if mode = 1 then l - x else x
+  end
+
+(* --- grow ----------------------------------------------------------------- *)
 
 let grow ?pool t ~max_p ~max_l =
   if max_p < 0 then Error.invalid "Dp.grow: max_p must be non-negative";
   if max_l < 0 then Error.invalid "Dp.grow: max_l must be non-negative";
-  let old = t.body in
-  let new_p = max old.max_p max_p and new_l = max old.max_l max_l in
-  if new_p > old.max_p || new_l > old.max_l then begin
+  let cur_p = (match t.repr with Dense b -> b.max_p | Packed p -> p.p_max_p)
+  and cur_l = match t.repr with Dense b -> b.max_l | Packed p -> p.p_max_l in
+  if max_p > cur_p || max_l > cur_l then begin
+    (* A packed table densifies first (its capacity is pinned to the
+       solved bounds, so the re-allocation path below always runs);
+       within its bounds it stays compressed. *)
+    let old =
+      match t.repr with Dense b -> b | Packed p -> body_of_packed p
+    in
+    let new_p = max old.max_p max_p and new_l = max old.max_l max_l in
     let body =
       if new_p <= old.cap_p && new_l <= old.cap_l then
         (* Headroom suffices: share the arrays, only new cells will be
@@ -322,7 +853,7 @@ let grow ?pool t ~max_p ~max_l =
       end
     in
     fill ?pool ~c:t.c body ~old_p:old.max_p ~old_l:old.max_l;
-    t.body <- body
+    t.repr <- Dense body
   end
 
 (* --- snapshots ------------------------------------------------------------ *)
@@ -343,7 +874,10 @@ type snapshot = {
 }
 
 let to_snapshot t =
-  let b = t.body in
+  (* A packed table densifies into a local scratch body; [t] itself is
+     never mutated here ([grow] is the only mutator, under the cache
+     lock — snapshot writes run outside it). *)
+  let b = match t.repr with Dense b -> b | Packed p -> body_of_packed p in
   let tight (m : mat) =
     if b.cap_p = b.max_p && b.cap_l = b.max_l then m
     else begin
@@ -384,15 +918,16 @@ let of_snapshot s =
       (Bigarray.Array1.dim s.s_first);
   {
     c = s.s_c;
-    body =
-      {
-        max_p = s.s_max_p;
-        max_l = s.s_max_l;
-        cap_p = s.s_max_p;
-        cap_l = s.s_max_l;
-        value = s.s_value;
-        first = s.s_first;
-      };
+    repr =
+      Dense
+        {
+          max_p = s.s_max_p;
+          max_l = s.s_max_l;
+          cap_p = s.s_max_p;
+          cap_l = s.s_max_l;
+          value = s.s_value;
+          first = s.s_first;
+        };
   }
 
 (* --- reference kernel ----------------------------------------------------- *)
@@ -446,37 +981,41 @@ module Ref = struct
       }
     in
     fill ~c body;
-    { c; body }
+    { c; repr = Dense body }
 end
 
-let check_body b ~p ~l =
-  if p < 0 || p > b.max_p then
-    Error.rangef "Dp: p = %d outside 0..%d" p b.max_p;
-  if l < 0 || l > b.max_l then
-    Error.rangef "Dp: l = %d outside 0..%d" l b.max_l
-
-let check t ~p ~l = check_body t.body ~p ~l
+let check t ~p ~l =
+  let mp = max_p t and ml = max_l t in
+  if p < 0 || p > mp then Error.rangef "Dp: p = %d outside 0..%d" p mp;
+  if l < 0 || l > ml then Error.rangef "Dp: l = %d outside 0..%d" l ml
 
 let value t ~p ~l =
-  let b = t.body in
-  check_body b ~p ~l;
-  Bigarray.Array1.get b.value ((p * (b.cap_l + 1)) + l)
+  check t ~p ~l;
+  match t.repr with
+  | Dense b -> Bigarray.Array1.get b.value ((p * (b.cap_l + 1)) + l)
+  | Packed pk -> packed_value pk ~p ~l
 
 let optimal_first_period t ~p ~l =
-  let b = t.body in
-  check_body b ~p ~l;
-  Bigarray.Array1.get b.first ((p * (b.cap_l + 1)) + l)
+  check t ~p ~l;
+  match t.repr with
+  | Dense b -> Bigarray.Array1.get b.first ((p * (b.cap_l + 1)) + l)
+  | Packed pk -> packed_first pk ~p ~l
 
 (* The episode schedule optimal play follows while no interrupt occurs:
    the argmax chain at fixed p.  Covers l exactly. *)
 let optimal_episode t ~p ~l =
-  let b = t.body in
-  check_body b ~p ~l;
-  let row = p * (b.cap_l + 1) in
+  check t ~p ~l;
+  let first_at =
+    match t.repr with
+    | Dense b ->
+        let row = p * (b.cap_l + 1) in
+        fun l -> Bigarray.Array1.get b.first (row + l)
+    | Packed pk -> fun l -> packed_first pk ~p ~l
+  in
   let rec go l acc =
     if l = 0 then List.rev acc
     else begin
-      let tk = Bigarray.Array1.get b.first (row + l) in
+      let tk = first_at l in
       assert (tk >= 1 && tk <= l);
       go (l - tk) (tk :: acc)
     end
@@ -521,11 +1060,15 @@ let rec brute_force_committed ~c ~p ~l =
 let tick_of_params t params = Model.c params /. float_of_int t.c
 
 let float_value t params ~p ~residual =
-  let b = t.body in
   let tick = tick_of_params t params in
-  let l = min b.max_l (int_of_float (residual /. tick)) in
-  let p = min p b.max_p in
-  float_of_int (Bigarray.Array1.get b.value ((p * (b.cap_l + 1)) + l)) *. tick
+  let l = min (max_l t) (int_of_float (residual /. tick)) in
+  let p = min p (max_p t) in
+  let w =
+    match t.repr with
+    | Dense b -> Bigarray.Array1.get b.value ((p * (b.cap_l + 1)) + l)
+    | Packed pk -> packed_value pk ~p ~l
+  in
+  float_of_int w *. tick
 
 (* The grid may not cover the residual exactly; absorb the remainder
    into the final period so the schedule spans the residual. *)
@@ -543,10 +1086,9 @@ let absorb_slack ~residual periods =
   Schedule.of_list periods
 
 let float_episode t params ~p ~residual =
-  let b = t.body in
   let tick = tick_of_params t params in
-  let l = min b.max_l (int_of_float (residual /. tick)) in
-  let p = min p b.max_p in
+  let l = min (max_l t) (int_of_float (residual /. tick)) in
+  let p = min p (max_p t) in
   if l = 0 then begin
     (* The grid has nothing to say (sub-tick residual, or a table with
        max_l = 0).  A sub-tick residual is below the setup cost, so one

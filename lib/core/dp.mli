@@ -20,16 +20,43 @@ type mat = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 (** The backing store: a flat row-major array of OCaml integers (8
     bytes per cell on 64-bit platforms). *)
 
+type kernel = Auto | Pruned | Monotone_dc | Reference
+(** The fill kernels in the registry.  All three produce bit-identical
+    tables (values and argmax, including tie-breaking: lowest [t]
+    wins); they differ only in how many candidates they examine.
+    [Reference] scans every [t] exhaustively; [Pruned] stops the scan
+    at the first candidate the non-increasing killed branch can no
+    longer improve; [Monotone_dc] exploits that the killed branch
+    [K(t) = W(p-1)[l-t]] is non-increasing and the survive branch
+    [S(t) = (t - c) + W(p)[l-t]] is nondecreasing for [t >= c], so
+    [min (K, S)] is unimodal: it bisects for the equalization
+    crossing (seeded by the previous cell's, since the crossing
+    drifts slowly in [l]) and resolves the exact value and lowest-[t]
+    argmax from the few candidates around it.  The argmax itself is
+    {e not} monotone in [l] — [c = 1] gives [first(1,4) = 2] but
+    [first(1,5) = 1] — which is why the kernel tracks the branch
+    crossing rather than an argmax range.  [Auto] resolves to
+    [Monotone_dc]. *)
+
+val kernel : unit -> kernel
+(** The process-wide kernel selection (an [Atomic]; default [Auto]). *)
+
+val set_kernel : kernel -> unit
+
+val kernel_of_string : string -> kernel option
+(** Parse a registry token: ["auto"], ["pruned"], ["monotone-dc"],
+    ["ref"]. *)
+
+val kernel_to_string : kernel -> string
+
 val solve : c:int -> max_p:int -> max_l:int -> t
 (** [solve ~c ~max_p ~max_l] fills the table by the recurrence
     [W(p)[L] = max_t min (W(p-1)[L-t], (t (-) c) + W(p)[L-t])] with base
     cases [W(0)[L] = L (-) c] and [W(p)[0] = 0].
 
-    The inner maximisation is pruned: the adversary's branch
-    [W(p-1)[L-t]] is non-increasing in [t], so the scan over periods
-    stops at the first [t] that cannot beat the incumbent.  Values and
-    recorded argmax periods are bit-identical to the exhaustive
-    reference kernel {!Ref.solve}.
+    The inner maximisation runs the selected {!kernel}; every kernel is
+    bit-identical (values and recorded argmax periods) to the
+    exhaustive reference {!Ref.solve}.
 
     @raise Error.Error when [c < 1] or bounds are negative. *)
 
@@ -86,13 +113,18 @@ module Ref : sig
 end
 
 type counters = {
-  cells_filled : int;  (** cells written by the pruned kernel *)
+  cells_filled : int;  (** cells written by the counting kernels *)
   candidates_visited : int;  (** inner-loop candidates examined *)
   candidates_pruned : int;
       (** candidates the exhaustive scan would have examined but the
-          monotone prune skipped; [visited + pruned] is the exhaustive
-          count for the cells filled *)
+          kernel skipped; [visited + pruned] is the exhaustive count
+          for the cells filled *)
   parallel_fills : int;  (** fills that actually ran the wavefront *)
+  dc_splits : int;
+      (** divide-and-conquer segment splits performed by the
+          monotone-dc kernel *)
+  bp_lookups : int;  (** binary-search lookups into packed rows *)
+  bp_rows : int;  (** rows rebuilt from breakpoint form by {!of_packed} *)
 }
 (** Process-wide kernel work accounting (all {!solve}/{!grow} calls in
     any domain since the last {!reset_counters}). *)
@@ -105,8 +137,40 @@ val max_p : t -> int
 val max_l : t -> int
 
 val footprint_bytes : t -> int
-(** Allocated size of the backing stores in bytes (capacity, not just
-    the solved bounds). *)
+(** Allocated size of the backing store in bytes: capacity for a dense
+    table, the pack length for a breakpoint-compressed one. *)
+
+val dense_footprint_bytes : t -> int
+(** What the solved bounds would occupy densified (two int cells per
+    [(p, l)] state) — the baseline {!footprint_bytes} is compared
+    against for compression accounting. *)
+
+val is_packed : t -> bool
+(** Whether the table currently holds the breakpoint-compressed
+    representation (as built by {!of_packed}; {!grow} beyond the solved
+    bounds densifies it). *)
+
+val to_packed : t -> mat
+(** The table's solved region in breakpoint form — the snapshot v2
+    payload, one flat int array: a row-offset index
+    [pack.(0..max_p)], then per row a header
+    [zero_until, first_mode, n_loss, n_first] followed by the run
+    starts and per-run values of the loss [l - W(p)[l]] and of the
+    argmax ([first_mode = 1] stores [l - first] so arithmetic argmax
+    progressions compress to a single run).  Exact for any cell
+    contents; row structure only makes it small.  Never mutates [t]
+    (a packed table shares its pack; a dense one is compressed on the
+    fly). *)
+
+val of_packed : c:int -> max_p:int -> max_l:int -> mat -> t
+(** A table reading straight from breakpoint form: cell lookups
+    binary-search the row's runs (counted as [bp_lookups]).  The pack
+    is structurally validated (offset index tiles the array exactly,
+    run starts strictly increase within bounds, rows are fully
+    covered); cell values are whatever the runs encode, as with
+    {!of_snapshot}.
+    @raise Error.Error when [c < 1], bounds are negative, or the pack
+    is structurally invalid. *)
 
 val value : t -> p:int -> l:int -> int
 (** [W(p)[l]] in ticks.  @raise Error.Error out of table range. *)

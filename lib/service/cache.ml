@@ -618,6 +618,8 @@ type stats = {
   growths : int;
   resident : int;
   resident_bytes : int;
+  resident_compressed_bytes : int;
+  resident_dense_bytes : int;
   kernel : Dp.counters;
   solver_hits : int;
   solver_misses : int;
@@ -646,6 +648,8 @@ let stats t =
           growths = 0;
           resident = 0;
           resident_bytes = 0;
+          resident_compressed_bytes = 0;
+          resident_dense_bytes = 0;
           (* Process-wide: every solve/grow in this daemon goes through
              a cache, so the kernel (and game-solver) counters read as
              solve work.  With several shard caches, each snapshot
@@ -671,6 +675,18 @@ let stats t =
       let bytes =
         Hashtbl.fold (fun _ e b -> b + table_bytes e.dp) tb.table 0
       in
+      (* Split residency by representation: tables still in breakpoint
+         form (bank v2 loads that no query has yet grown) versus dense
+         ones, with the dense-equivalent size alongside so the saving
+         is readable off the stats directly. *)
+      let compressed, dense_equiv =
+        Hashtbl.fold
+          (fun _ e (cb, de) ->
+            if Dp.is_packed e.dp then
+              (cb + table_bytes e.dp, de + Dp.dense_footprint_bytes e.dp)
+            else (cb, de))
+          tb.table (0, 0)
+      in
       {
         solver_part with
         hits = tb.hits;
@@ -680,6 +696,8 @@ let stats t =
         growths = tb.growths;
         resident = Hashtbl.length tb.table;
         resident_bytes = bytes;
+        resident_compressed_bytes = compressed;
+        resident_dense_bytes = dense_equiv;
       })
 
 (* The merged aggregate view over K shard caches: per-cache families
@@ -700,6 +718,10 @@ let merge = function
           growths = acc.growths + s.growths;
           resident = acc.resident + s.resident;
           resident_bytes = acc.resident_bytes + s.resident_bytes;
+          resident_compressed_bytes =
+            acc.resident_compressed_bytes + s.resident_compressed_bytes;
+          resident_dense_bytes =
+            acc.resident_dense_bytes + s.resident_dense_bytes;
           solver_hits = acc.solver_hits + s.solver_hits;
           solver_misses = acc.solver_misses + s.solver_misses;
           solver_coalesced = acc.solver_coalesced + s.solver_coalesced;

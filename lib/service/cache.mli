@@ -152,6 +152,12 @@ type stats = {
           re-solving it *)
   resident : int;  (** tables currently cached *)
   resident_bytes : int;  (** approximate heap bytes of cached tables *)
+  resident_compressed_bytes : int;
+      (** bytes of tables still held in breakpoint-compressed form
+          (bank v2 loads no query has yet grown) *)
+  resident_dense_bytes : int;
+      (** what those compressed tables would occupy densified — the
+          saving is [resident_dense_bytes - resident_compressed_bytes] *)
   kernel : Cyclesteal.Dp.counters;
       (** DP kernel work counters (cells filled, candidates visited /
           pruned, parallel fills).  Process-wide — in the daemon every

@@ -246,6 +246,9 @@ let to_json ?shards ?restarts ?resp t ~cache:(c : Cache.stats) =
                 ( "candidates_pruned",
                   Json.Int k.Cyclesteal.Dp.candidates_pruned );
                 ("parallel_fills", Json.Int k.Cyclesteal.Dp.parallel_fills);
+                ("dc_splits", Json.Int k.Cyclesteal.Dp.dc_splits);
+                ("bp_lookups", Json.Int k.Cyclesteal.Dp.bp_lookups);
+                ("bp_rows", Json.Int k.Cyclesteal.Dp.bp_rows);
               ] );
           ( "solver_cache",
             Json.Obj
@@ -302,6 +305,10 @@ let to_json ?shards ?restarts ?resp t ~cache:(c : Cache.stats) =
                      ("load_failures", Json.Int b.Store.Bank.load_failures);
                      ("saves", Json.Int b.Store.Bank.saves);
                      ("save_failures", Json.Int b.Store.Bank.save_failures);
+                     ( "resident_compressed_bytes",
+                       Json.Int c.Cache.resident_compressed_bytes );
+                     ( "resident_dense_bytes",
+                       Json.Int c.Cache.resident_dense_bytes );
                    ]
                   @
                   match c.Cache.bank_last_error with
@@ -370,6 +377,9 @@ let summary ?shards ?restarts ?resp t ~cache:(c : Cache.stats) =
         (string_of_int k.Cyclesteal.Dp.candidates_pruned);
       add "kernel parallel fills"
         (string_of_int k.Cyclesteal.Dp.parallel_fills);
+      add "kernel dc splits" (string_of_int k.Cyclesteal.Dp.dc_splits);
+      add "kernel bp lookups" (string_of_int k.Cyclesteal.Dp.bp_lookups);
+      add "kernel bp rows" (string_of_int k.Cyclesteal.Dp.bp_rows);
       add "solver hits" (string_of_int c.Cache.solver_hits);
       add "solver misses" (string_of_int c.Cache.solver_misses);
       add "solver coalesced" (string_of_int c.Cache.solver_coalesced);
@@ -400,6 +410,10 @@ let summary ?shards ?restarts ?resp t ~cache:(c : Cache.stats) =
          add "bank load failures" (string_of_int b.Store.Bank.load_failures);
          add "bank saves" (string_of_int b.Store.Bank.saves);
          add "bank save failures" (string_of_int b.Store.Bank.save_failures);
+         add "bank resident compressed bytes"
+           (string_of_int c.Cache.resident_compressed_bytes);
+         add "bank resident dense bytes"
+           (string_of_int c.Cache.resident_dense_bytes);
          match c.Cache.bank_last_error with
          | None -> ()
          | Some e -> add "bank last error" e);

@@ -63,6 +63,16 @@ val entries : t -> (string * Snapshot.descr) list
 (** Every valid snapshot in the bank, by file name; invalid files are
     skipped (and counted as load failures). *)
 
+type migration = { migrated : int; already : int; skipped : int }
+
+val migrate : t -> migration
+(** Rewrite every old-format snapshot in place at the current
+    {!Snapshot.version} (dp tables re-encode breakpoint-compressed),
+    each through the usual atomic tmp+rename — a crash leaves files
+    either old or new, never torn.  Files already current are counted
+    as [already]; corrupt or unreadable ones are counted as [skipped]
+    and left untouched (they keep falling through to fresh solves). *)
+
 type counters = {
   hits : int;  (** loads answered from a mapped file *)
   misses : int;  (** loads with no banked entry *)

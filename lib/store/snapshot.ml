@@ -8,7 +8,8 @@
 
      offset  size  field
      0       8     magic "CSMEMOBK"
-     8       4     format version (u32)
+     8       4     format version (u32; 1 and 2 both load, new files
+                   are written as version 2)
      12      4     kind: 1 = dp table, 2 = game memo (u32)
      16      8     endianness/word tag 0x0102030405060708, native order
      24      8     payload bytes (i64)
@@ -27,10 +28,14 @@
      128     ...   policy name, zero-padded to a multiple of 8
      ...     ...   payload
 
-   Payload: dp = value then first, (max_p+1)*(max_l+1) native ints
-   each; game = the memo matrix, (cap_p+1)*(cap_l+1) float64 (NaN =
-   unsolved).  All section offsets are multiples of 8, so the typed
-   mappings are element-aligned.
+   Payload: dp version 1 = value then first, (max_p+1)*(max_l+1)
+   native ints each (dense); dp version 2 = the breakpoint-compressed
+   pack of Dp.to_packed verbatim (native ints; its own structural
+   validation runs in Dp.of_packed on load) — 10-100x smaller for the
+   long monotone rows the recurrence produces.  Game memos carry the
+   same payload in both versions: the memo matrix, (cap_p+1)*(cap_l+1)
+   float64 (NaN = unsolved).  All section offsets are multiples of 8,
+   so the typed mappings are element-aligned.
 
    save: write a temporary sibling, blit the arrays through a shared
    writable mapping, stamp the CRCs, close, rename over the target —
@@ -41,7 +46,7 @@
 
 open Cyclesteal
 
-let version = 1
+let version = 2
 let magic = "CSMEMOBK"
 let header_bytes = 128
 let endian_tag = 0x0102030405060708L
@@ -62,6 +67,7 @@ type descr =
 (* Every field the header carries, decoded; [name] is the policy name
    (empty for dp tables). *)
 type header = {
+  h_version : int;
   h_kind : int;
   h_payload_bytes : int;
   h_i0 : int;
@@ -99,7 +105,7 @@ let encode h =
   let name_len = String.length h.h_name in
   let block = Bytes.make (payload_off ~name_len) '\000' in
   Bytes.blit_string magic 0 block 0 8;
-  set_u32 block 8 version;
+  set_u32 block 8 h.h_version;
   set_u32 block 12 h.h_kind;
   Bytes.set_int64_ne block 16 endian_tag;
   set_i64 block 24 h.h_payload_bytes;
@@ -128,8 +134,9 @@ let decode ~path ~file_bytes block =
     corrupt path "bad magic (not a snapshot file)"
   else begin
     let v = get_u32 block 8 in
-    if v <> version then
-      corrupt path "format version %d, this build reads version %d" v version
+    if v < 1 || v > version then
+      corrupt path "format version %d, this build reads versions 1..%d" v
+        version
     else if Bytes.get_int64_ne block 16 <> endian_tag then
       corrupt path "foreign byte order or word size"
     else begin
@@ -152,6 +159,7 @@ let decode ~path ~file_bytes block =
         else begin
           let h =
             {
+              h_version = v;
               h_kind = kind;
               h_payload_bytes = get_i64 block 24;
               h_i0 = get_i64 block 32;
@@ -280,7 +288,7 @@ let read ~path f =
       (Error.Invalid_params
          (Printf.sprintf "%s: %s" path (Unix.error_message err)))
 
-let peek ~path =
+let peek_full ~path =
   match
     with_fd path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 (fun fd ->
         let file_bytes = (Unix.fstat fd).Unix.st_size in
@@ -292,7 +300,8 @@ let peek ~path =
           n := Unix.read fd block !got (want - !got);
           got := !got + !n
         done;
-        Result.map descr_of_header
+        Result.map
+          (fun h -> (h.h_version, descr_of_header h))
           (decode ~path ~file_bytes (Bytes.sub block 0 !got)))
   with
   | result -> result
@@ -301,15 +310,46 @@ let peek ~path =
       (Error.Invalid_params
          (Printf.sprintf "%s: %s" path (Unix.error_message err)))
 
+let peek ~path = Result.map snd (peek_full ~path)
+
 (* --- dp tables ------------------------------------------------------------ *)
 
 let word = Sys.word_size / 8
 
+(* Version 2: the breakpoint pack verbatim — usually 10-100x smaller
+   than the dense pair, so write-behind and warm start move
+   proportionally fewer bytes. *)
 let save_dp ~path dp =
+  let pack = Dp.to_packed dp in
+  let words = Bigarray.Array1.dim pack in
+  let header =
+    {
+      h_version = version;
+      h_kind = kind_dp;
+      h_payload_bytes = words * word;
+      h_i0 = Dp.c dp;
+      h_i1 = Dp.max_p dp;
+      h_i2 = Dp.max_l dp;
+      h_i3 = 0;
+      h_f0 = 0.;
+      h_f1 = 0.;
+      h_f2 = 0.;
+      h_name = "";
+      h_payload_crc = 0;
+    }
+  in
+  write ~path header (fun fd ~off ->
+      Bigarray.Array1.blit pack
+        (map_ints fd ~shared:true ~pos:off ~cells:words))
+
+(* The version 1 layout (dense value then first), kept as a writer so
+   tests and the migration matrix can fabricate old-format banks. *)
+let save_dp_dense ~path dp =
   let s = Dp.to_snapshot dp in
   let cells = (s.Dp.s_max_p + 1) * (s.Dp.s_max_l + 1) in
   let header =
     {
+      h_version = 1;
       h_kind = kind_dp;
       h_payload_bytes = 2 * cells * word;
       h_i0 = s.Dp.s_c;
@@ -334,6 +374,22 @@ let load_dp ~path ~c =
       if h.h_kind <> kind_dp then corrupt path "not a dp-table snapshot"
       else if h.h_i0 <> c then
         corrupt path "holds a table for c = %d ticks, expected c = %d" h.h_i0 c
+      else if h.h_version >= 2 then begin
+        if h.h_i1 < 0 || h.h_i2 < 0 || h.h_payload_bytes mod word <> 0 then
+          corrupt path "payload is %d bytes, not a whole pack"
+            h.h_payload_bytes
+        else begin
+          let words = h.h_payload_bytes / word in
+          match
+            Error.guard (fun () ->
+                Dp.of_packed ~c:h.h_i0 ~max_p:h.h_i1 ~max_l:h.h_i2
+                  (map_ints fd ~shared:false ~pos:off ~cells:words))
+          with
+          | Ok _ as ok -> ok
+          | Error e ->
+            corrupt path "rejected by Dp.of_packed: %s" (Error.to_string e)
+        end
+      end
       else begin
         let cells = (h.h_i1 + 1) * (h.h_i2 + 1) in
         if h.h_i1 < 0 || h.h_i2 < 0 || h.h_payload_bytes <> 2 * cells * word
@@ -366,6 +422,7 @@ let save_game ~path ~c ~u ~policy ~p_key (s : Game.Solver.snapshot) =
   let cells = (s.Game.Solver.s_cap_p + 1) * (s.Game.Solver.s_cap_l + 1) in
   let header =
     {
+      h_version = version;
       h_kind = kind_game;
       h_payload_bytes = 8 * cells;
       h_i0 = s.Game.Solver.s_cap_p;

@@ -21,7 +21,11 @@
     caller falls through to a fresh solve, never crashes. *)
 
 val version : int
-(** Current format version (bumped on any layout change). *)
+(** Current format version (bumped on any layout change); new files
+    are written at this version, and every version back to 1 still
+    loads.  Version 2 stores dp tables in breakpoint-compressed form
+    ({!Cyclesteal.Dp.to_packed}) instead of the dense value/first
+    pair — typically 10-100x smaller on disk. *)
 
 type descr =
   | Dp_table of { c : int; max_p : int; max_l : int }
@@ -40,17 +44,28 @@ val peek : path:string -> (descr, Cyclesteal.Error.t) result
     without mapping or checksumming the payload; used to enumerate a
     bank directory. *)
 
+val peek_full : path:string -> (int * descr, Cyclesteal.Error.t) result
+(** {!peek}, also returning the file's format version — what
+    [bank migrate] keys its convert/skip decision on. *)
+
 val save_dp : path:string -> Cyclesteal.Dp.t -> unit
 (** Snapshot the table's solved region to [path] via the atomic-rename
-    protocol.  @raise Unix.Unix_error on I/O failure (the temporary file
-    is removed). *)
+    protocol, in the current (breakpoint-compressed) format.
+    @raise Unix.Unix_error on I/O failure (the temporary file is
+    removed). *)
+
+val save_dp_dense : path:string -> Cyclesteal.Dp.t -> unit
+(** {!save_dp} in the version 1 layout (dense value/first arrays) —
+    retained so tests and tooling can fabricate old-format banks. *)
 
 val load_dp : path:string -> c:int -> (Cyclesteal.Dp.t, Cyclesteal.Error.t) result
-(** Map [path] and rebuild the table around the mapped arrays (no
-    copy; see {!Cyclesteal.Dp.of_snapshot} for why the mapping is never
-    written).  Fails — structured, no exception — when the file is
-    corrupt, truncated, version-skewed, or holds a table for a different
-    [c]. *)
+(** Map [path] and rebuild the table around the mapped payload (no
+    copy): version 1 rebuilds around the dense arrays
+    ({!Cyclesteal.Dp.of_snapshot}), version 2 around the breakpoint
+    pack ({!Cyclesteal.Dp.of_packed}, cell reads binary-search the
+    runs until the table is grown).  Fails — structured, no
+    exception — when the file is corrupt, truncated, version-skewed,
+    or holds a table for a different [c]. *)
 
 val save_game :
   path:string ->

@@ -228,6 +228,216 @@ let prop_pruned_matches_reference_and_oracle =
        done;
        !ok)
 
+(* --- kernel registry: every kernel is bit-identical to the reference ------- *)
+
+let with_kernel k f =
+  let prev = Dp.kernel () in
+  Dp.set_kernel k;
+  Fun.protect ~finally:(fun () -> Dp.set_kernel prev) f
+
+let tables_identical a b =
+  let ok = ref true in
+  for p = 0 to Dp.max_p a do
+    for l = 0 to Dp.max_l a do
+      if
+        Dp.value a ~p ~l <> Dp.value b ~p ~l
+        || Dp.optimal_first_period a ~p ~l <> Dp.optimal_first_period b ~p ~l
+      then ok := false
+    done
+  done;
+  !ok
+
+let kernel_gen =
+  QCheck.Gen.(triple (int_range 1 6) (int_range 0 6) (int_range 0 60))
+
+(* Every registered kernel must reproduce the reference table exactly —
+   values AND argmax periods, tie-break included (lowest t wins). *)
+let prop_registry_kernels_identical =
+  QCheck.Test.make
+    ~name:"pruned and monotone-dc kernels bit-identical to reference" ~count:60
+    (QCheck.make kernel_gen ~print:small_print)
+    (fun (c, max_p, max_l) ->
+       let reference = Dp.Ref.solve ~c ~max_p ~max_l in
+       List.for_all
+         (fun k ->
+            with_kernel k (fun () ->
+                tables_identical (Dp.solve ~c ~max_p ~max_l) reference))
+         [ Dp.Pruned; Dp.Monotone_dc ])
+
+(* ...and growing a table keeps the identity, whatever kernel fills the
+   extension (the grown region is filled by the selected kernel against
+   cells the old kernel produced). *)
+let prop_kernels_identical_after_grow =
+  QCheck.Test.make ~name:"kernels bit-identical to reference after grow"
+    ~count:30
+    (QCheck.make kernel_gen ~print:small_print)
+    (fun (c, max_p, max_l) ->
+       let reference =
+         Dp.Ref.solve ~c ~max_p:(max_p + 2) ~max_l:((2 * max_l) + 5)
+       in
+       List.for_all
+         (fun k ->
+            with_kernel k (fun () ->
+                let t = Dp.solve ~c ~max_p ~max_l in
+                Dp.grow t ~max_p:(max_p + 2) ~max_l:((2 * max_l) + 5);
+                tables_identical t reference))
+         [ Dp.Pruned; Dp.Monotone_dc ])
+
+let test_kernel_names () =
+  List.iter
+    (fun k ->
+       Alcotest.(check bool)
+         (Dp.kernel_to_string k)
+         true
+         (Dp.kernel_of_string (Dp.kernel_to_string k) = Some k))
+    [ Dp.Auto; Dp.Pruned; Dp.Monotone_dc; Dp.Reference ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Dp.kernel_of_string "bogus" = None)
+
+(* --- the monotone structure the equalization kernel stands on --------------- *)
+
+(* The monotone-dc kernel does NOT assume the argmax is monotone in l —
+   it is not.  It assumes the value structure below, and derives each
+   cell from the crossing point of the two monotone branches of
+   cand(t) = min(K(t), S(t)).  These properties are the kernel's
+   correctness premises, so they get their own qcheck props. *)
+let prop_value_structure =
+  QCheck.Test.make
+    ~name:"value structure: monotone in l, antitone in p, 1-Lipschitz"
+    ~count:60
+    (QCheck.make kernel_gen ~print:small_print)
+    (fun (c, max_p, max_l) ->
+       let dp = Dp.Ref.solve ~c ~max_p ~max_l in
+       let ok = ref true in
+       for p = 0 to max_p do
+         for l = 0 to max_l do
+           (* W(p)[l] nondecreasing in l, and by at most 1 per tick. *)
+           if l > 0 then begin
+             let d = Dp.value dp ~p ~l - Dp.value dp ~p ~l:(l - 1) in
+             if d < 0 || d > 1 then ok := false
+           end;
+           (* W(p)[l] <= W(p-1)[l]: an extra interrupt never helps the
+              thief. *)
+           if p > 0 && Dp.value dp ~p ~l > Dp.value dp ~p:(p - 1) ~l then
+             ok := false
+         done
+       done;
+       !ok)
+
+(* The two branches of cand(t) = min(K(t), S(t)) are monotone over
+   t in [c, l]: the kill branch K(t) = W(p-1)[l-t] non-increasing, the
+   survive branch S(t) = (t - c) + W(p)[l-t] nondecreasing.  (Both
+   follow from the value structure; checked directly because the
+   kernel bisects on exactly these.) *)
+let prop_branch_monotonicity =
+  QCheck.Test.make ~name:"kill branch non-increasing, survive nondecreasing"
+    ~count:40
+    (QCheck.make kernel_gen ~print:small_print)
+    (fun (c, max_p, max_l) ->
+       let dp = Dp.Ref.solve ~c ~max_p ~max_l in
+       let ok = ref true in
+       for p = 1 to max_p do
+         for l = 0 to max_l do
+           for t = c to l - 1 do
+             let k_t = Dp.value dp ~p:(p - 1) ~l:(l - t)
+             and k_t1 = Dp.value dp ~p:(p - 1) ~l:(l - t - 1) in
+             if k_t1 > k_t then ok := false;
+             let s_t = t - c + Dp.value dp ~p ~l:(l - t)
+             and s_t1 = t + 1 - c + Dp.value dp ~p ~l:(l - t - 1) in
+             if s_t1 < s_t then ok := false
+           done
+         done
+       done;
+       !ok)
+
+(* The property the kernel must NOT rely on, pinned as a regression
+   test: the argmax (lowest optimal first period) is not monotone in l,
+   even between cells of positive value.  At c = 1, first(1, 4) = 2 but
+   first(1, 5) = 1.  A divide-and-conquer over argmax ranges would
+   return 2 at l = 5 — wrong under the lowest-t tie-break — which is
+   why the kernel tracks the equalization crossing instead. *)
+let test_argmax_not_monotone () =
+  let dp = Dp.Ref.solve ~c:1 ~max_p:1 ~max_l:5 in
+  Alcotest.(check bool) "both cells positive" true
+    (Dp.value dp ~p:1 ~l:4 > 0 && Dp.value dp ~p:1 ~l:5 > 0);
+  Alcotest.(check int) "first(1,4)" 2 (Dp.optimal_first_period dp ~p:1 ~l:4);
+  Alcotest.(check int) "first(1,5)" 1 (Dp.optimal_first_period dp ~p:1 ~l:5)
+
+(* --- breakpoint-compressed rows -------------------------------------------- *)
+
+(* A packed table must answer exactly like the dense table it came
+   from, and decompressing (via grow) must reproduce the dense cells
+   bit-for-bit. *)
+let prop_packed_roundtrip =
+  QCheck.Test.make ~name:"packed rows = dense rows (values and argmax)"
+    ~count:60
+    (QCheck.make kernel_gen ~print:small_print)
+    (fun (c, max_p, max_l) ->
+       let dense = Dp.solve ~c ~max_p ~max_l in
+       let packed = Dp.of_packed ~c ~max_p ~max_l (Dp.to_packed dense) in
+       (* No footprint conjunct here: on toy tables the pack's fixed
+          per-row bookkeeping can exceed the dense bytes.  Compression
+          is an economics claim about real-sized rows — asserted on
+          those in bench store and the v1/v2 snapshot tests. *)
+       Dp.is_packed packed
+       && (not (Dp.is_packed dense))
+       && tables_identical packed dense)
+
+(* Growing a packed table densifies it and keeps every answer: the
+   bank-warm daemon path (map compressed, grow on the first bigger
+   query). *)
+let prop_packed_grow =
+  QCheck.Test.make ~name:"grow after packed load = reference" ~count:30
+    (QCheck.make kernel_gen ~print:small_print)
+    (fun (c, max_p, max_l) ->
+       let dense = Dp.solve ~c ~max_p ~max_l in
+       let packed = Dp.of_packed ~c ~max_p ~max_l (Dp.to_packed dense) in
+       Dp.grow packed ~max_p:(max_p + 1) ~max_l:(max_l + 7);
+       (not (Dp.is_packed packed))
+       && tables_identical packed
+            (Dp.Ref.solve ~c ~max_p:(max_p + 1) ~max_l:(max_l + 7)))
+
+(* of_packed is a validating boundary: structurally broken pack words
+   must come back as structured errors, never Fatal or a crash. *)
+let test_of_packed_validation () =
+  let dense = Dp.solve ~c:2 ~max_p:2 ~max_l:30 in
+  let pack = Dp.to_packed dense in
+  let dim = Bigarray.Array1.dim pack in
+  let copy () =
+    let fresh =
+      Bigarray.Array1.create Bigarray.int Bigarray.c_layout dim
+    in
+    Bigarray.Array1.blit pack fresh;
+    fresh
+  in
+  (* Baseline sanity: the untouched pack loads. *)
+  ignore (Dp.of_packed ~c:2 ~max_p:2 ~max_l:30 pack);
+  (* Wrong bounds for the pack. *)
+  (try
+     ignore (Dp.of_packed ~c:2 ~max_p:3 ~max_l:30 pack);
+     Alcotest.fail "max_p mismatch accepted"
+   with Error.Error _ -> ());
+  (* Corrupt every word in turn: each must be rejected or answer
+     within bounds — never crash.  (Most single-word corruptions break
+     an offset, a header range or run monotonicity; a few survive as a
+     different valid table, which the snapshot layer's CRC catches.) *)
+  for i = 0 to dim - 1 do
+    let bad = copy () in
+    Bigarray.Array1.set bad i (-7);
+    match Dp.of_packed ~c:2 ~max_p:2 ~max_l:30 bad with
+    | (_ : Dp.t) -> ()
+    | exception Error.Error _ -> ()
+  done;
+  (* Truncated pack: drop the trailing word. *)
+  let short =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout (dim - 1)
+  in
+  Bigarray.Array1.blit (Bigarray.Array1.sub pack 0 (dim - 1)) short;
+  try
+    ignore (Dp.of_packed ~c:2 ~max_p:2 ~max_l:30 short);
+    Alcotest.fail "truncated pack accepted"
+  with Error.Error _ -> ()
+
 (* Counter bookkeeping: visited + pruned must equal the exhaustive
    candidate count, and the prune must actually skip work. *)
 let test_kernel_counters () =
@@ -289,7 +499,21 @@ let () =
       ( "kernel",
         [
           QCheck_alcotest.to_alcotest prop_pruned_matches_reference_and_oracle;
+          QCheck_alcotest.to_alcotest prop_registry_kernels_identical;
+          QCheck_alcotest.to_alcotest prop_kernels_identical_after_grow;
+          QCheck_alcotest.to_alcotest prop_value_structure;
+          QCheck_alcotest.to_alcotest prop_branch_monotonicity;
+          Alcotest.test_case "argmax not monotone in l" `Quick
+            test_argmax_not_monotone;
+          Alcotest.test_case "kernel names round-trip" `Quick test_kernel_names;
           Alcotest.test_case "work counters" `Quick test_kernel_counters;
+        ] );
+      ( "packed",
+        [
+          QCheck_alcotest.to_alcotest prop_packed_roundtrip;
+          QCheck_alcotest.to_alcotest prop_packed_grow;
+          Alcotest.test_case "of_packed validation" `Quick
+            test_of_packed_validation;
         ] );
       ( "dp",
         [

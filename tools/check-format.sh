@@ -121,6 +121,29 @@ for f in $(find lib bin bench examples -type f \
   fi
 done
 
+# Unsafe-access gate: bounds-unchecked Bigarray reads and writes are
+# earned by kernels whose index arithmetic has been audited — the DP
+# fill and its packed-row binary search (lib/core/dp.ml) and the
+# snapshot / CRC layer (lib/store/).  The banked-matrix probe in
+# lib/core/game.ml predates the gate and keeps its audited pair.  A
+# new unsafe_get / unsafe_set site needs a bounds argument in review
+# and a line here; everywhere else, indexed access stays checked.
+unsafe_allowlist="lib/core/game.ml"
+
+for f in $(find lib bin test bench examples -type f \
+             \( -name '*.ml' -o -name '*.mli' \) \
+             -not -path 'lib/core/dp.ml' -not -path 'lib/store/*' \
+           | sort); do
+  case " $unsafe_allowlist " in
+    *" $f "*) continue ;;
+  esac
+  if grep -nE 'Array1\.unsafe_(get|set)' "$f" >/dev/null 2>&1; then
+    echo "unsafe-access: Array1.unsafe_get/set in $f (use checked access, or audit + allowlist):" >&2
+    grep -nE 'Array1\.unsafe_(get|set)' "$f" | head -3 >&2
+    fail=1
+  fi
+done
+
 # Store gate: file mappings are created in exactly one place, the
 # snapshot layer in lib/store/.  Mapping lifetimes are subtle (a
 # Bigarray can outlive its fd; a shared mapping writes through to the
